@@ -1,0 +1,470 @@
+//! The What-If Service (§4): dollar-denominated evaluation of tuning actions.
+
+use ci_catalog::{Catalog, ErrorInjector};
+use ci_cost::{CostEstimator, EstimatorConfig, PipelineWork};
+use ci_plan::binder::bind;
+use ci_plan::jointree::JoinTree;
+use ci_plan::physical::build_plan;
+use ci_plan::pipeline::PipelineGraph;
+use ci_sql::parse;
+use ci_types::money::Dollars;
+use ci_types::{CiError, Result};
+
+use crate::predictor::PredictedQuery;
+use crate::statsvc::fingerprint_sql;
+
+/// A physical tuning action under consideration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TuningAction {
+    /// Materialize the result of a recurring query.
+    CreateMaterializedView {
+        /// MV name.
+        name: String,
+        /// The defining query.
+        definition_sql: String,
+        /// How often the MV must be refreshed, per hour.
+        refresh_per_hour: f64,
+    },
+    /// Physically re-sort a table by one column (tightens zone maps; §4's
+    /// "recluster (or repartition) a petabyte-sized table" example).
+    Recluster {
+        /// Table name.
+        table: String,
+        /// Cluster column name.
+        column: String,
+    },
+}
+
+impl TuningAction {
+    /// Short display label.
+    pub fn label(&self) -> String {
+        match self {
+            TuningAction::CreateMaterializedView { name, .. } => format!("CREATE MV {name}"),
+            TuningAction::Recluster { table, column } => {
+                format!("RECLUSTER {table} BY {column}")
+            }
+        }
+    }
+}
+
+/// What-If Service configuration.
+#[derive(Debug, Clone)]
+pub struct WhatIfConfig {
+    /// Cost-estimator configuration shared with the optimizer.
+    pub estimator: EstimatorConfig,
+    /// Object-store price, $/GB/hour (S3-standard-like ≈ $0.023/GB/month).
+    pub storage_dollars_per_gb_hour: f64,
+    /// Incremental-refresh cost as a fraction of a full MV rebuild.
+    pub mv_refresh_factor: f64,
+    /// Ongoing recluster maintenance, per hour, as a fraction of the
+    /// one-time rewrite (new data arriving unsorted must be merged).
+    pub recluster_maintenance_factor_per_hour: f64,
+    /// DOP ladder used when costing queries.
+    pub dop_ladder: Vec<u32>,
+}
+
+impl Default for WhatIfConfig {
+    fn default() -> Self {
+        WhatIfConfig {
+            estimator: EstimatorConfig::default(),
+            storage_dollars_per_gb_hour: 0.023 / 730.0,
+            mv_refresh_factor: 0.1,
+            recluster_maintenance_factor_per_hour: 0.002,
+            dop_ladder: (0..=8).map(|i| 1u32 << i).collect(),
+        }
+    }
+}
+
+/// The dollar verdict on one tuning proposal — the "report that uses the
+/// dollar benefit/cost as the bridge" (§2) presented to users.
+#[derive(Debug, Clone)]
+pub struct ProposalReport {
+    /// The evaluated action.
+    pub action: TuningAction,
+    /// `x`: predicted savings rate, $/hour.
+    pub benefit_rate: Dollars,
+    /// `y`: predicted ongoing cost rate (storage + maintenance), $/hour.
+    pub cost_rate: Dollars,
+    /// `x − y`.
+    pub net_rate: Dollars,
+    /// One-time cost to apply the action.
+    pub one_time_cost: Dollars,
+    /// Hours until the one-time cost is repaid (`None` if never).
+    pub break_even_hours: Option<f64>,
+    /// The §4 acceptance rule: `x − y > 0`.
+    pub accepted: bool,
+    /// Human-readable explanation.
+    pub narrative: String,
+}
+
+/// The What-If Service.
+pub struct WhatIfService<'a> {
+    catalog: &'a Catalog,
+    /// Configuration (public for experiment sweeps).
+    pub config: WhatIfConfig,
+}
+
+impl<'a> WhatIfService<'a> {
+    /// New service over a catalog.
+    pub fn new(catalog: &'a Catalog, config: WhatIfConfig) -> WhatIfService<'a> {
+        WhatIfService { catalog, config }
+    }
+
+    /// Evaluates a tuning action against the predicted workload.
+    pub fn evaluate(
+        &self,
+        action: &TuningAction,
+        workload: &[PredictedQuery],
+    ) -> Result<ProposalReport> {
+        match action {
+            TuningAction::CreateMaterializedView {
+                definition_sql,
+                refresh_per_hour,
+                ..
+            } => self.evaluate_mv(action, definition_sql, *refresh_per_hour, workload),
+            TuningAction::Recluster { table, column } => {
+                self.evaluate_recluster(action, table, column, workload)
+            }
+        }
+    }
+
+    /// Estimated dollars and latency for one query under a given catalog.
+    fn query_cost(&self, catalog: &Catalog, sql: &str) -> Result<(Dollars, f64)> {
+        let bound = bind(&parse(sql)?, catalog)?;
+        let tree = JoinTree::left_deep(&(0..bound.relations.len()).collect::<Vec<_>>());
+        let plan = build_plan(&bound, &tree, catalog, &mut ErrorInjector::oracle())?;
+        let graph = PipelineGraph::decompose(&plan)?;
+        let est = CostEstimator::new(catalog, self.config.estimator.clone());
+        let dops: Vec<u32> = graph
+            .pipelines
+            .iter()
+            .map(|p| {
+                est.pipeline_work(&plan, p)
+                    .map(|w| est.machine_time_optimal_dop(&w, &self.config.dop_ladder))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let q = est.estimate(&plan, &graph, &dops)?;
+        Ok((q.cost, q.latency.as_secs_f64()))
+    }
+
+    fn evaluate_mv(
+        &self,
+        action: &TuningAction,
+        definition_sql: &str,
+        refresh_per_hour: f64,
+        workload: &[PredictedQuery],
+    ) -> Result<ProposalReport> {
+        let est = CostEstimator::new(self.catalog, self.config.estimator.clone());
+        // Size of the materialized result, from plan annotations.
+        let bound = bind(&parse(definition_sql)?, self.catalog)?;
+        let tree = JoinTree::left_deep(&(0..bound.relations.len()).collect::<Vec<_>>());
+        let plan = build_plan(&bound, &tree, self.catalog, &mut ErrorInjector::oracle())?;
+        let mv_rows = plan.nodes[plan.root].est_rows;
+        let mv_bytes = mv_rows * plan.row_width(plan.root);
+        let (build_cost, _) = self.query_cost(self.catalog, definition_sql)?;
+
+        // Queries answered by the MV: same fingerprint as the definition.
+        let def_fp = fingerprint_sql(definition_sql);
+        let mut benefit = Dollars::ZERO;
+        let mut matched = 0usize;
+        // Serving cost: scan the MV instead of recomputing.
+        let scan_work = PipelineWork {
+            fetch_bytes: mv_bytes,
+            fetch_objects: (mv_bytes / 16e6).ceil().max(1.0),
+            decode_bytes: mv_bytes,
+            filter_rows: mv_rows,
+            morsels: (mv_bytes / 16e6).ceil().max(1.0),
+            source_rows: mv_rows,
+            ..PipelineWork::default()
+        };
+        let serve_dop = est.machine_time_optimal_dop(&scan_work, &self.config.dop_ladder);
+        let serve_secs =
+            est.pipeline_duration(&scan_work, serve_dop).as_secs_f64() * serve_dop as f64;
+        let serve_cost = self
+            .config
+            .estimator
+            .rate
+            .bill(ci_types::SimDuration::from_secs_f64(serve_secs));
+
+        for q in workload {
+            if q.fingerprint != def_fp {
+                continue;
+            }
+            matched += 1;
+            let (before, _) = self.query_cost(self.catalog, &q.sql)?;
+            let saved = (before - serve_cost).max(Dollars::ZERO);
+            benefit += saved * q.rate_per_hour;
+        }
+
+        let storage_rate = Dollars::new(
+            mv_bytes / 1e9 * self.config.storage_dollars_per_gb_hour,
+        );
+        let refresh_rate = build_cost * self.config.mv_refresh_factor * refresh_per_hour;
+        let cost_rate = storage_rate + refresh_rate;
+        self.finish_report(action, benefit, cost_rate, build_cost, matched)
+    }
+
+    fn evaluate_recluster(
+        &self,
+        action: &TuningAction,
+        table: &str,
+        column: &str,
+        workload: &[PredictedQuery],
+    ) -> Result<ProposalReport> {
+        let entry = self.catalog.get(table)?;
+        let col_idx = entry.table.schema.index_of(column)?;
+        let rows_per_part = entry
+            .table
+            .partitions
+            .first()
+            .map(|p| p.rows().max(1))
+            .unwrap_or(1);
+
+        // Physically recluster a clone and register it in a scratch catalog:
+        // the what-if world. (The data is identical; only zone maps change.)
+        let reclustered = entry.table.reclustered_by(col_idx, rows_per_part)?;
+        let mut scratch = self.catalog.clone();
+        scratch.register(reclustered);
+
+        let mut benefit = Dollars::ZERO;
+        let mut matched = 0usize;
+        for q in workload {
+            // Only queries touching the table can benefit; cheap pre-filter.
+            if !q.sql.to_lowercase().contains(&table.to_lowercase()) {
+                continue;
+            }
+            let (before, _) = self.query_cost(self.catalog, &q.sql)?;
+            let (after, _) = self.query_cost(&scratch, &q.sql)?;
+            if after < before {
+                matched += 1;
+                benefit += (before - after) * q.rate_per_hour;
+            }
+        }
+
+        // One-time rewrite: read + write the whole table once.
+        let bytes = entry.table.total_bytes() as f64;
+        let m = &self.config.estimator.models;
+        let rewrite_secs = 2.0 * bytes / m.hw.node_scan_bytes_per_sec()
+            + bytes * (entry.table.row_count().max(1) as f64).log2().max(1.0)
+                / (m.hw.sort_rows_log_per_sec_per_core
+                    * m.hw.node.cores as f64
+                    * m.hw.node.memory_bytes.max(1) as f64)
+                .max(1.0);
+        let one_time = self
+            .config
+            .estimator
+            .rate
+            .bill(ci_types::SimDuration::from_secs_f64(rewrite_secs));
+        let cost_rate = one_time * self.config.recluster_maintenance_factor_per_hour;
+        self.finish_report(action, benefit, cost_rate, one_time, matched)
+    }
+
+    fn finish_report(
+        &self,
+        action: &TuningAction,
+        benefit_rate: Dollars,
+        cost_rate: Dollars,
+        one_time_cost: Dollars,
+        matched: usize,
+    ) -> Result<ProposalReport> {
+        if !benefit_rate.is_finite() || !cost_rate.is_finite() {
+            return Err(CiError::Tuning("non-finite dollar estimate".into()));
+        }
+        let net_rate = benefit_rate - cost_rate;
+        let accepted = net_rate > Dollars::ZERO;
+        let break_even_hours = if net_rate > Dollars::ZERO {
+            Some(one_time_cost.amount() / net_rate.amount())
+        } else {
+            None
+        };
+        let narrative = format!(
+            "{}: saves x = {}/h across {matched} matched recurring quer{}, costs \
+             y = {}/h to maintain; net {}/h => {}. One-time cost {}{}.",
+            action.label(),
+            benefit_rate,
+            if matched == 1 { "y" } else { "ies" },
+            cost_rate,
+            net_rate,
+            if accepted { "ACCEPT" } else { "REJECT" },
+            one_time_cost,
+            match break_even_hours {
+                Some(h) => format!(", breaks even after {h:.1} h"),
+                None => ", never breaks even".to_owned(),
+            }
+        );
+        Ok(ProposalReport {
+            action: action.clone(),
+            benefit_rate,
+            cost_rate,
+            net_rate,
+            one_time_cost,
+            break_even_hours,
+            accepted,
+            narrative,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use ci_storage::batch::RecordBatch;
+    use ci_storage::column::ColumnData;
+    use ci_storage::schema::{Field, Schema};
+    use ci_storage::table::TableBuilder;
+    use ci_storage::value::DataType;
+    use ci_types::{DetRng, TableId};
+
+    use super::*;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let schema = Arc::new(Schema::of(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("grp", DataType::Int64),
+            Field::new("val", DataType::Float64),
+        ]));
+        let n = 400_000i64;
+        // Shuffled ids so zone maps are useless before reclustering.
+        let mut rng = DetRng::seed_from_u64(1);
+        let mut ids: Vec<i64> = (0..n).collect();
+        rng.shuffle(&mut ids);
+        let mut b =
+            TableBuilder::new(TableId::new(0), "facts", schema.clone(), 8_192).unwrap();
+        b.append(
+            RecordBatch::new(
+                schema,
+                vec![
+                    ColumnData::Int64(ids.clone()),
+                    ColumnData::Int64(ids.iter().map(|i| i % 500).collect()),
+                    ColumnData::Float64(ids.iter().map(|i| (i % 1000) as f64).collect()),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c.register(b.finish().unwrap());
+        c
+    }
+
+    fn workload(sql: &str, rate: f64) -> Vec<PredictedQuery> {
+        vec![PredictedQuery {
+            fingerprint: fingerprint_sql(sql),
+            sql: sql.to_owned(),
+            rate_per_hour: rate,
+            cost_per_execution: Dollars::new(0.01),
+        }]
+    }
+
+    const AGG: &str = "SELECT grp, SUM(val) FROM facts GROUP BY grp";
+    const SELECTIVE: &str = "SELECT val FROM facts WHERE id < 4000";
+
+    #[test]
+    fn mv_accepted_for_hot_query() {
+        let cat = catalog();
+        let svc = WhatIfService::new(&cat, WhatIfConfig::default());
+        let action = TuningAction::CreateMaterializedView {
+            name: "mv_rev".into(),
+            definition_sql: AGG.into(),
+            refresh_per_hour: 0.1,
+        };
+        let report = svc.evaluate(&action, &workload(AGG, 100.0)).unwrap();
+        assert!(report.benefit_rate > Dollars::ZERO);
+        assert!(
+            report.accepted,
+            "100 runs/hour should justify an MV: {}",
+            report.narrative
+        );
+        assert!(report.break_even_hours.is_some());
+        assert!(report.narrative.contains("ACCEPT"));
+    }
+
+    #[test]
+    fn mv_rejected_for_cold_query() {
+        let cat = catalog();
+        let svc = WhatIfService::new(&cat, WhatIfConfig::default());
+        let action = TuningAction::CreateMaterializedView {
+            name: "mv_rev".into(),
+            definition_sql: AGG.into(),
+            // Rarely used but constantly refreshed: y > x.
+            refresh_per_hour: 50.0,
+        };
+        let report = svc.evaluate(&action, &workload(AGG, 0.001)).unwrap();
+        assert!(!report.accepted, "{}", report.narrative);
+        assert!(report.break_even_hours.is_none());
+    }
+
+    #[test]
+    fn mv_with_no_matching_queries_rejected() {
+        let cat = catalog();
+        let svc = WhatIfService::new(&cat, WhatIfConfig::default());
+        let action = TuningAction::CreateMaterializedView {
+            name: "mv".into(),
+            definition_sql: AGG.into(),
+            refresh_per_hour: 0.1,
+        };
+        let other = workload("SELECT id FROM facts WHERE val < 1.0", 50.0);
+        let report = svc.evaluate(&action, &other).unwrap();
+        assert_eq!(report.benefit_rate, Dollars::ZERO);
+        assert!(!report.accepted);
+    }
+
+    #[test]
+    fn recluster_accepted_when_predicates_align() {
+        let cat = catalog();
+        let svc = WhatIfService::new(&cat, WhatIfConfig::default());
+        let action = TuningAction::Recluster {
+            table: "facts".into(),
+            column: "id".into(),
+        };
+        let report = svc
+            .evaluate(&action, &workload(SELECTIVE, 200.0))
+            .unwrap();
+        assert!(
+            report.benefit_rate > Dollars::ZERO,
+            "clustering by id must help id-range scans: {}",
+            report.narrative
+        );
+        assert!(report.accepted, "{}", report.narrative);
+    }
+
+    #[test]
+    fn recluster_rejected_without_benefiting_queries() {
+        let cat = catalog();
+        let svc = WhatIfService::new(&cat, WhatIfConfig::default());
+        let action = TuningAction::Recluster {
+            table: "facts".into(),
+            column: "id".into(),
+        };
+        // Full scans do not benefit from zone maps.
+        let report = svc.evaluate(&action, &workload(AGG, 100.0)).unwrap();
+        assert_eq!(report.benefit_rate, Dollars::ZERO);
+        assert!(!report.accepted);
+    }
+
+    #[test]
+    fn net_rate_is_x_minus_y() {
+        let cat = catalog();
+        let svc = WhatIfService::new(&cat, WhatIfConfig::default());
+        let action = TuningAction::CreateMaterializedView {
+            name: "mv".into(),
+            definition_sql: AGG.into(),
+            refresh_per_hour: 1.0,
+        };
+        let r = svc.evaluate(&action, &workload(AGG, 10.0)).unwrap();
+        assert!(r.net_rate.abs_diff(r.benefit_rate - r.cost_rate) < 1e-12);
+        assert_eq!(r.accepted, r.net_rate > Dollars::ZERO);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let cat = catalog();
+        let svc = WhatIfService::new(&cat, WhatIfConfig::default());
+        let action = TuningAction::Recluster {
+            table: "nope".into(),
+            column: "id".into(),
+        };
+        assert!(svc.evaluate(&action, &[]).is_err());
+    }
+}

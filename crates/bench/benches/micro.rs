@@ -1,0 +1,145 @@
+//! Criterion microbenches backing the paper's "lightweight" claims:
+//!
+//! * `cost_estimator/*` — §3.1 requires the estimator to be cheap enough for
+//!   thousands of invocations per query;
+//! * `optimizer/*` — §3.2 requires constrained DOP planning to stay near
+//!   classic-optimizer complexity;
+//! * `executor/*` — morsel engine throughput (real data + virtual time);
+//! * `stats_service/*` — §4 requires log ingestion to be cheap;
+//! * `storage/*` — zone-map pruning speed.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use ci_autotune::{QueryLogRecord, StatisticsService, StatsConfig};
+use ci_bench::plan_query;
+use ci_cost::{CostEstimator, EstimatorConfig};
+use ci_exec::{ExecutionConfig, Executor, NoScaling};
+use ci_optimizer::{Constraint, DopPlanner, Optimizer, OptimizerConfig};
+use ci_storage::pruning::ColumnBound;
+use ci_storage::value::Value;
+use ci_types::money::Dollars;
+use ci_types::{SimDuration, SimTime, TableId};
+use ci_workload::{queries, CabGenerator};
+
+fn bench_cost_estimator(c: &mut Criterion) {
+    let gen = CabGenerator::at_scale(0.2);
+    let cat = gen.build_catalog().expect("catalog");
+    let sql = queries::canonical(9, &gen);
+    let (plan, graph) = plan_query(&cat, &sql).expect("plan");
+    let est = CostEstimator::new(&cat, EstimatorConfig::default());
+    let dops = vec![8u32; graph.len()];
+
+    let mut g = c.benchmark_group("cost_estimator");
+    g.bench_function("full_query_estimate", |b| {
+        b.iter(|| est.estimate(&plan, &graph, &dops).expect("estimate"))
+    });
+    let w = est.pipeline_work(&plan, &graph.pipelines[0]).expect("work");
+    g.bench_function("pipeline_duration", |b| {
+        b.iter(|| est.pipeline_duration(&w, 8))
+    });
+    g.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let gen = CabGenerator::at_scale(0.2);
+    let cat = gen.build_catalog().expect("catalog");
+    let sql = queries::canonical(9, &gen);
+    let (plan, graph) = plan_query(&cat, &sql).expect("plan");
+    let est = CostEstimator::new(&cat, EstimatorConfig::default());
+
+    let mut g = c.benchmark_group("optimizer");
+    g.sample_size(20);
+    g.bench_function("dop_plan_heuristic", |b| {
+        b.iter(|| {
+            let mut planner = DopPlanner::new(&est);
+            planner
+                .plan(
+                    &plan,
+                    &graph,
+                    Constraint::LatencySla(SimDuration::from_secs(3)),
+                )
+                .expect("plan")
+        })
+    });
+    g.bench_function("end_to_end_plan_sql", |b| {
+        let opt = Optimizer::new(&cat, OptimizerConfig::default());
+        b.iter(|| {
+            opt.plan_sql(&sql, Constraint::LatencySla(SimDuration::from_secs(3)))
+                .expect("plan")
+        })
+    });
+    g.finish();
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let gen = CabGenerator::at_scale(0.2);
+    let cat = gen.build_catalog().expect("catalog");
+    let scan_sql = queries::canonical(6, &gen);
+    let join_sql = queries::canonical(3, &gen);
+    let exec = Executor::new(&cat, ExecutionConfig::default());
+
+    let mut g = c.benchmark_group("executor");
+    g.sample_size(20);
+    for (name, sql) in [("scan_agg", &scan_sql), ("join_agg", &join_sql)] {
+        let (plan, graph) = plan_query(&cat, sql).expect("plan");
+        let dops = vec![4u32; graph.len()];
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                exec.execute(&plan, &graph, &dops, &mut NoScaling)
+                    .expect("run")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_stats_service(c: &mut Criterion) {
+    let rec = QueryLogRecord {
+        fingerprint: "select sum(x) from t where a < ?".into(),
+        sql: "SELECT SUM(x) FROM t WHERE a < 5".into(),
+        finished_at: SimTime::from_secs_f64(1.0),
+        latency: SimDuration::from_millis(200),
+        machine_time: SimDuration::from_millis(800),
+        cost: Dollars::new(0.0004),
+        attributes: vec![(TableId::new(0), 1), (TableId::new(0), 2)],
+        joins: vec![((TableId::new(0), 1), (TableId::new(1), 0))],
+    };
+    let mut g = c.benchmark_group("stats_service");
+    g.bench_function("ingest", |b| {
+        b.iter_batched(
+            || StatisticsService::new(StatsConfig::default()),
+            |mut svc| {
+                for _ in 0..100 {
+                    svc.ingest(rec.clone());
+                }
+                svc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let gen = CabGenerator::at_scale(1.0);
+    let cat = gen.build_catalog().expect("catalog");
+    let orders = cat.get("orders").expect("orders").table.clone();
+    let bounds = [ColumnBound::range(
+        2,
+        Some((Value::Int(100), true)),
+        Some((Value::Int(130), true)),
+    )];
+    let mut g = c.benchmark_group("storage");
+    g.bench_function("zone_map_prune", |b| b.iter(|| orders.prune(&bounds)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cost_estimator,
+    bench_optimizer,
+    bench_executor,
+    bench_stats_service,
+    bench_storage
+);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! E7 (§3.3): mid-pipeline (morsel-driven) resizing vs clean-cut stage
+//! materialization.
+//!
+//! "Such 'clean cuts' between execution stages impose performance overhead,
+//! and we believe that they are nonessential to achieving fine-grained
+//! auto-scaling. Our DOP monitor can ... adjust the cluster size of the
+//! current stage with minimal resizing overhead ... enabled by the
+//! morsel-driven scheduling."
+
+use ci_bench::{banner, fmt_dollars, fmt_secs, header, plan_query, row};
+use ci_exec::scaling::{PipelineProgress, ScaleDecision, ScalingController};
+use ci_exec::{ExecutionConfig, Executor, NoScaling};
+use ci_workload::{queries, CabGenerator};
+
+/// Scales the pipeline to `target` once past `after_fraction` of morsels.
+struct ScaleAt {
+    target: u32,
+    after_fraction: f64,
+    fired: bool,
+}
+
+impl ScalingController for ScaleAt {
+    fn on_progress(&mut self, p: &PipelineProgress) -> ScaleDecision {
+        if !self.fired && p.fraction_done() >= self.after_fraction {
+            self.fired = true;
+            ScaleDecision::SetDop(self.target)
+        } else {
+            ScaleDecision::Keep
+        }
+    }
+}
+
+fn main() {
+    banner(
+        "E7: morsel-driven mid-pipeline resize vs clean-cut materialization",
+        "clean cuts impose overhead and are nonessential; morsel-driven \
+         resizing adjusts the current stage cheaply (§3.3)",
+    );
+    let gen = CabGenerator::at_scale(2.0);
+    let cat = gen.build_catalog().expect("catalog");
+    let sql = queries::canonical(6, &gen); // scan-heavy single pipeline
+    let (plan, graph) = plan_query(&cat, &sql).expect("plan");
+    let exec = Executor::new(&cat, ExecutionConfig::default());
+    let models = &exec.config.models;
+
+    // References: static narrow and static wide.
+    let narrow = exec
+        .execute(&plan, &graph, &vec![2; graph.len()], &mut NoScaling)
+        .expect("narrow");
+    let wide = exec
+        .execute(&plan, &graph, &vec![16; graph.len()], &mut NoScaling)
+        .expect("wide");
+
+    header(&[
+        ("strategy", 26),
+        ("latency", 10),
+        ("cost", 10),
+        ("resizes", 7),
+    ]);
+    row(&[
+        ("static dop=2".into(), 26),
+        (fmt_secs(narrow.metrics.latency.as_secs_f64()), 10),
+        (fmt_dollars(narrow.metrics.cost.amount()), 10),
+        ("0".into(), 7),
+    ]);
+    row(&[
+        ("static dop=16".into(), 26),
+        (fmt_secs(wide.metrics.latency.as_secs_f64()), 10),
+        (fmt_dollars(wide.metrics.cost.amount()), 10),
+        ("0".into(), 7),
+    ]);
+
+    // Morsel-driven: resize 2 -> 16 at several points into the pipeline.
+    let mut morsel_latency_at_half = 0.0;
+    for &frac in &[0.1f64, 0.3, 0.5, 0.7] {
+        let mut ctrl = ScaleAt {
+            target: 16,
+            after_fraction: frac,
+            fired: false,
+        };
+        let out = exec
+            .execute(&plan, &graph, &vec![2; graph.len()], &mut ctrl)
+            .expect("morsel resize");
+        if (frac - 0.5).abs() < 1e-9 {
+            morsel_latency_at_half = out.metrics.latency.as_secs_f64();
+        }
+        row(&[
+            (format!("morsel resize at {:.0}%", frac * 100.0), 26),
+            (fmt_secs(out.metrics.latency.as_secs_f64()), 10),
+            (fmt_dollars(out.metrics.cost.amount()), 10),
+            (out.metrics.resize_events.to_string(), 7),
+        ]);
+    }
+
+    // Clean-cut alternative: stop at 50%, materialize intermediate state to
+    // the object store, restart at dop=16 re-reading it. Modeled as the
+    // morsel run plus a write+read round trip of half the scanned bytes.
+    let scanned_bytes: f64 = graph
+        .pipelines
+        .iter()
+        .map(|p| match &plan.nodes[p.source()].op {
+            ci_plan::physical::PhysicalOp::Scan { kept_parts, table_id, .. } => {
+                let entry = cat.get_by_id(*table_id).expect("table");
+                kept_parts
+                    .iter()
+                    .map(|&i| entry.table.partitions[i].stored_bytes as f64)
+                    .sum()
+            }
+            _ => 0.0,
+        })
+        .sum();
+    let half = scanned_bytes * 0.5;
+    let write_secs = half / models.store.per_node_bw(2) / 2.0;
+    let read_secs = half / models.store.per_node_bw(16) / 16.0;
+    let cut_overhead = write_secs + read_secs + 2.0 * models.store.request_latency_secs;
+    let clean_latency = morsel_latency_at_half + cut_overhead;
+    let clean_cost = {
+        // Extra machine time: writers (2 nodes) during write, readers (16) during read.
+        let extra = 2.0 * write_secs + 16.0 * read_secs;
+        let base = exec
+            .execute(&plan, &graph, &vec![2; graph.len()], &mut ScaleAt {
+                target: 16,
+                after_fraction: 0.5,
+                fired: false,
+            })
+            .expect("rerun")
+            .metrics
+            .cost
+            .amount();
+        base + extra * exec.config.rate.0
+    };
+    row(&[
+        ("clean cut at 50% (modeled)".into(), 26),
+        (fmt_secs(clean_latency), 10),
+        (fmt_dollars(clean_cost), 10),
+        ("1".into(), 7),
+    ]);
+
+    println!(
+        "\nshape check: morsel-driven resizes land between the static \
+         extremes with zero materialization overhead; the clean-cut variant \
+         pays an extra {} of wall time for the same adjustment.",
+        fmt_secs(cut_overhead)
+    );
+}

@@ -1,0 +1,105 @@
+//! E8 (§4): the what-if dollar calculus — `x − y > 0`.
+//!
+//! Sweep the workload frequency and MV refresh rate to map the accept/
+//! reject frontier, and show the recluster decision (the paper's petabyte
+//! example, scaled): rejected for rare workloads, accepted for hot ones,
+//! with the one-time cost amortization horizon.
+
+use ci_autotune::statsvc::fingerprint_sql;
+use ci_autotune::{PredictedQuery, TuningAction, WhatIfConfig, WhatIfService};
+use ci_bench::{banner, header, row};
+use ci_types::money::Dollars;
+use ci_workload::{queries, CabGenerator};
+
+fn workload(sql: &str, rate: f64) -> Vec<PredictedQuery> {
+    vec![PredictedQuery {
+        fingerprint: fingerprint_sql(sql),
+        sql: sql.to_owned(),
+        rate_per_hour: rate,
+        cost_per_execution: Dollars::new(0.01),
+    }]
+}
+
+fn main() {
+    banner(
+        "E8: what-if tuning in dollars (x - y > 0)",
+        "dollar benefit x vs dollar cost y decides every tuning action; \
+         users see break-even horizons instead of DBA folklore (§4)",
+    );
+    let gen = CabGenerator::at_scale(0.5);
+    let cat = gen.build_catalog().expect("catalog");
+    let svc = WhatIfService::new(&cat, WhatIfConfig::default());
+    let agg_sql = queries::canonical(3, &gen);
+
+    println!("materialized view on Q3 (revenue-by-region):");
+    header(&[
+        ("queries/h", 9),
+        ("refresh/h", 9),
+        ("x ($/h)", 10),
+        ("y ($/h)", 10),
+        ("verdict", 8),
+        ("break-even", 10),
+    ]);
+    for &rate in &[0.1f64, 1.0, 10.0, 100.0] {
+        for &refresh in &[0.1f64, 2.0, 20.0] {
+            let action = TuningAction::CreateMaterializedView {
+                name: "mv_q3".into(),
+                definition_sql: agg_sql.clone(),
+                refresh_per_hour: refresh,
+            };
+            let r = svc.evaluate(&action, &workload(&agg_sql, rate)).expect("evaluate");
+            row(&[
+                (format!("{rate}"), 9),
+                (format!("{refresh}"), 9),
+                (format!("{:.5}", r.benefit_rate.amount()), 10),
+                (format!("{:.5}", r.cost_rate.amount()), 10),
+                (if r.accepted { "ACCEPT" } else { "reject" }.into(), 8),
+                (
+                    match r.break_even_hours {
+                        Some(h) => format!("{h:.1}h"),
+                        None => "never".into(),
+                    },
+                    10,
+                ),
+            ]);
+        }
+    }
+
+    // Recluster: the paper's "repartition a huge table" example, scaled.
+    let sel_sql = "SELECT o_id, o_total FROM orders WHERE o_date BETWEEN 100 AND 130";
+    println!("\nrecluster orders by o_date (selective dashboards):");
+    header(&[
+        ("queries/h", 9),
+        ("x ($/h)", 10),
+        ("y ($/h)", 10),
+        ("one-time", 10),
+        ("verdict", 8),
+        ("break-even", 10),
+    ]);
+    for &rate in &[0.01f64, 0.1, 1.0, 10.0, 100.0] {
+        let action = TuningAction::Recluster {
+            table: "orders".into(),
+            column: "o_date".into(),
+        };
+        let r = svc.evaluate(&action, &workload(sel_sql, rate)).expect("evaluate");
+        row(&[
+            (format!("{rate}"), 9),
+            (format!("{:.6}", r.benefit_rate.amount()), 10),
+            (format!("{:.6}", r.cost_rate.amount()), 10),
+            (format!("{:.6}", r.one_time_cost.amount()), 10),
+            (if r.accepted { "ACCEPT" } else { "reject" }.into(), 8),
+            (
+                match r.break_even_hours {
+                    Some(h) => format!("{h:.1}h"),
+                    None => "never".into(),
+                },
+                10,
+            ),
+        ]);
+    }
+    println!(
+        "\nshape check: acceptance is exactly the x - y > 0 half-plane; \
+         break-even horizons shrink as frequency grows; rarely-hit tables \
+         are not worth rewriting."
+    );
+}

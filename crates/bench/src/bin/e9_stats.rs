@@ -1,0 +1,92 @@
+//! E9 (§4): the Statistics Service must itself be cost-efficient.
+//!
+//! "New algorithms to balance the generation cost and the comprehensiveness
+//! of the statistics (e.g., by varying sampling rates)": sweep the sampling
+//! rate and measure the service's own spend against summary accuracy
+//! (fingerprint counts and join-graph weights).
+
+use ci_autotune::{StatisticsService, StatsConfig};
+use ci_bench::{banner, header, row};
+use ci_types::money::Dollars;
+use ci_types::{DetRng, SimDuration, SimTime, TableId};
+
+fn main() {
+    banner(
+        "E9: statistics service overhead vs accuracy",
+        "sampling trades the service's own cost against summary accuracy (§4)",
+    );
+    // Synthesize a ground-truth workload: 3 fingerprints with known rates
+    // and one known join edge distribution.
+    let make_records = |n: u64| {
+        let mut rng = DetRng::seed_from_u64(9);
+        let mut recs = Vec::new();
+        for i in 0..n {
+            let (fp, joins) = match rng.u64_below(10) {
+                0..=5 => ("q_dashboard", vec![((TableId::new(2), 1), (TableId::new(0), 0))]),
+                6..=8 => ("q_report", vec![((TableId::new(3), 0), (TableId::new(2), 0))]),
+                _ => ("q_adhoc", vec![]),
+            };
+            recs.push(ci_autotune::QueryLogRecord {
+                fingerprint: fp.to_owned(),
+                sql: fp.to_owned(),
+                finished_at: SimTime::from_secs_f64(i as f64),
+                latency: SimDuration::from_millis(100),
+                machine_time: SimDuration::from_millis(400),
+                cost: Dollars::new(0.001),
+                attributes: vec![(TableId::new(2), 2)],
+                joins,
+            });
+        }
+        recs
+    };
+    let n = 50_000u64;
+    let records = make_records(n);
+    let truth_dashboard = records
+        .iter()
+        .filter(|r| r.fingerprint == "q_dashboard")
+        .count() as f64;
+
+    header(&[
+        ("sampling", 8),
+        ("recorded", 9),
+        ("svc spend", 10),
+        ("count err", 9),
+        ("edge err", 9),
+    ]);
+    for &rate in &[1.0f64, 0.5, 0.2, 0.05, 0.01] {
+        let mut svc = StatisticsService::new(StatsConfig {
+            sampling_rate: rate,
+            seed: 1,
+            ..StatsConfig::default()
+        });
+        for r in &records {
+            svc.ingest(r.clone());
+        }
+        let est_count = svc
+            .fingerprint("q_dashboard")
+            .map(|s| s.count)
+            .unwrap_or(0.0);
+        let count_err = (est_count - truth_dashboard).abs() / truth_dashboard;
+        // Join edge weight for the dashboard join, vs ground truth.
+        let edge_weight = svc
+            .join_edges()
+            .iter()
+            .find(|(e, _)| e.0 .0 == TableId::new(0) || e.1 .0 == TableId::new(0))
+            .map(|(_, w)| *w)
+            .unwrap_or(0.0);
+        let edge_err = (edge_weight - truth_dashboard).abs() / truth_dashboard;
+        let (recorded, _) = svc.ingest_counts();
+        row(&[
+            (format!("{:.0}%", rate * 100.0), 8),
+            (recorded.to_string(), 9),
+            (format!("{:.5}", svc.ingest_spend().amount()), 10),
+            (format!("{:.2}%", count_err * 100.0), 9),
+            (format!("{:.2}%", edge_err * 100.0), 9),
+        ]);
+    }
+    println!(
+        "\nshape check: spend falls linearly with the sampling rate while \
+         summary error grows slowly (inverse-sqrt): 5-20% sampling keeps \
+         errors in low single digits at a fraction of the cost."
+    );
+}

@@ -1,0 +1,105 @@
+//! F2 (Figure 2): the empirical performance/cost plane, its Pareto
+//! frontier, and where configurations land on it.
+//!
+//! The paper's concept figure shows a frontier in the (performance,
+//! cost-efficiency) plane with "DB auto" moving onto it. We reconstruct it
+//! measurably: sweep DOP configurations of a join+aggregate query, plot
+//! (latency, dollars), extract the frontier, then check that (a) the
+//! optimizer's choices under sweeping SLAs sit on/near the frontier and
+//! (b) fixed T-shirt configurations sit above it.
+
+use ci_bench::{banner, fmt_dollars, fmt_secs, header, plan_query, row, run_uniform};
+use ci_cost::{CostEstimator, EstimatorConfig};
+use ci_optimizer::pareto::{cost_inflation, pareto_frontier, ParetoPoint};
+use ci_optimizer::{Constraint, Optimizer, OptimizerConfig};
+use ci_types::{DetRng, SimDuration};
+use ci_workload::{queries, CabGenerator};
+
+fn main() {
+    banner(
+        "F2: empirical Pareto frontier",
+        "a cost-intelligent warehouse configures itself onto the \
+         performance/cost Pareto frontier; users just pick the trade-off (§2, Figure 2)",
+    );
+    let gen = CabGenerator::at_scale(0.5);
+    let cat = gen.build_catalog().expect("catalog");
+    let sql = queries::canonical(9, &gen); // 4-way star rollup
+    let (plan, graph) = plan_query(&cat, &sql).expect("plan");
+    let est = CostEstimator::new(&cat, EstimatorConfig::default());
+
+    // Sample the configuration space: uniform DOPs plus random vectors.
+    let ladder = [1u32, 2, 4, 8, 16, 32, 64, 128];
+    let mut points: Vec<ParetoPoint<Vec<u32>>> = Vec::new();
+    for &d in &ladder {
+        let dops = vec![d; graph.len()];
+        let q = est.estimate(&plan, &graph, &dops).expect("estimate");
+        points.push(ParetoPoint { latency: q.latency, cost: q.cost, config: dops });
+    }
+    let mut rng = DetRng::seed_from_u64(2);
+    for _ in 0..4000 {
+        let dops: Vec<u32> = (0..graph.len())
+            .map(|_| ladder[rng.usize_below(ladder.len())])
+            .collect();
+        let q = est.estimate(&plan, &graph, &dops).expect("estimate");
+        points.push(ParetoPoint { latency: q.latency, cost: q.cost, config: dops });
+    }
+    let frontier = pareto_frontier(&points);
+    println!("sampled {} configurations; frontier has {} points:", points.len(), frontier.len());
+    header(&[("frontier latency", 16), ("cost", 10), ("dops", 28)]);
+    for p in &frontier {
+        row(&[
+            (fmt_secs(p.latency.as_secs_f64()), 16),
+            (fmt_dollars(p.cost.amount()), 10),
+            (format!("{:?}", p.config), 28),
+        ]);
+    }
+
+    // Optimizer choices under sweeping SLAs.
+    println!("\noptimizer choices (should hug the frontier):");
+    header(&[("SLA", 8), ("pred latency", 12), ("pred cost", 10), ("inflation", 9), ("measured", 12)]);
+    let opt = Optimizer::new(&cat, OptimizerConfig::default());
+    for sla_ms in [1200u64, 1600, 2400, 4000, 8000, 30000] {
+        let planned = opt
+            .plan_sql(&sql, Constraint::LatencySla(SimDuration::from_millis(sla_ms)))
+            .expect("plan");
+        let p = ParetoPoint {
+            latency: planned.predicted.latency,
+            cost: planned.predicted.cost,
+            config: planned.dops.clone(),
+        };
+        let infl = cost_inflation(&frontier, &p);
+        let exec = ci_exec::Executor::new(&cat, ci_exec::ExecutionConfig::default());
+        let measured = exec
+            .execute(&planned.plan, &planned.graph, &planned.dops, &mut ci_exec::NoScaling)
+            .expect("run");
+        row(&[
+            (format!("{}ms", sla_ms), 8),
+            (fmt_secs(p.latency.as_secs_f64()), 12),
+            (fmt_dollars(p.cost.amount()), 10),
+            (format!("{infl:.2}x", ), 9),
+            (fmt_secs(measured.metrics.latency.as_secs_f64()), 12),
+        ]);
+    }
+
+    // T-shirt (uniform) configurations: measured, then judged vs frontier.
+    println!("\nfixed T-shirt (uniform-DOP) configurations:");
+    header(&[("nodes", 6), ("latency", 10), ("cost", 10), ("inflation", 9)]);
+    for &d in &[1u32, 4, 16, 64, 128] {
+        let out = run_uniform(&cat, &plan, &graph, d).expect("run");
+        let p = ParetoPoint {
+            latency: out.metrics.latency,
+            cost: out.metrics.cost,
+            config: vec![d; graph.len()],
+        };
+        row(&[
+            (d.to_string(), 6),
+            (fmt_secs(p.latency.as_secs_f64()), 10),
+            (fmt_dollars(p.cost.amount()), 10),
+            (format!("{:.2}x", cost_inflation(&frontier, &p)), 9),
+        ]);
+    }
+    println!(
+        "\nshape check: optimizer inflation stays near 1.0x across the SLA \
+         sweep; large uniform sizes show multi-x inflation (off-frontier)."
+    );
+}

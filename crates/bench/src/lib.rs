@@ -1,0 +1,105 @@
+//! Experiment harness shared by the `f*`/`e*` binaries.
+//!
+//! Each binary regenerates one figure or in-text claim of the paper (see
+//! DESIGN.md §3 for the full index and EXPERIMENTS.md for recorded results).
+//! This module provides the common plumbing: planning helpers, measured
+//! execution, and fixed-width table printing so every experiment emits
+//! machine-diffable rows.
+
+use ci_catalog::{Catalog, ErrorInjector};
+use ci_exec::{ExecutionConfig, Executor, NoScaling, QueryOutcome};
+use ci_plan::{bind, JoinTree, PhysicalPlan, PipelineGraph};
+use ci_sql::parse;
+use ci_types::Result;
+
+/// Binds, plans (left-deep, syntactic order), and decomposes a query with
+/// oracle cardinalities.
+pub fn plan_query(cat: &Catalog, sql: &str) -> Result<(PhysicalPlan, PipelineGraph)> {
+    plan_query_with(cat, sql, &mut ErrorInjector::oracle())
+}
+
+/// Same as [`plan_query`] with a custom error injector.
+pub fn plan_query_with(
+    cat: &Catalog,
+    sql: &str,
+    injector: &mut ErrorInjector,
+) -> Result<(PhysicalPlan, PipelineGraph)> {
+    let bound = bind(&parse(sql)?, cat)?;
+    let tree = JoinTree::left_deep(&(0..bound.relations.len()).collect::<Vec<_>>());
+    let plan = ci_plan::physical::build_plan(&bound, &tree, cat, injector)?;
+    let graph = PipelineGraph::decompose(&plan)?;
+    Ok((plan, graph))
+}
+
+/// Executes a plan with a uniform DOP under the default engine config.
+pub fn run_uniform(cat: &Catalog, plan: &PhysicalPlan, graph: &PipelineGraph, dop: u32)
+    -> Result<QueryOutcome> {
+    let exec = Executor::new(cat, ExecutionConfig::default());
+    exec.execute(plan, graph, &vec![dop; graph.len()], &mut NoScaling)
+}
+
+/// Prints a fixed-width table header followed by a rule.
+pub fn header(cols: &[(&str, usize)]) {
+    let line: Vec<String> = cols
+        .iter()
+        .map(|(name, w)| format!("{name:>w$}", w = w))
+        .collect();
+    println!("{}", line.join(" | "));
+    let total: usize = cols.iter().map(|(_, w)| w + 3).sum::<usize>().saturating_sub(3);
+    println!("{}", "-".repeat(total));
+}
+
+/// Prints one fixed-width row.
+pub fn row(cells: &[(String, usize)]) {
+    let line: Vec<String> = cells
+        .iter()
+        .map(|(v, w)| format!("{v:>w$}", w = w))
+        .collect();
+    println!("{}", line.join(" | "));
+}
+
+/// Formats seconds adaptively.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else if s < 120.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.1}min", s / 60.0)
+    }
+}
+
+/// Formats dollars with enough precision for small simulated bills.
+pub fn fmt_dollars(d: f64) -> String {
+    format!("${d:.5}")
+}
+
+/// Banner printed at the top of every experiment binary.
+pub fn banner(id: &str, claim: &str) {
+    println!("== {id} ==");
+    println!("paper claim: {claim}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ci_workload::CabGenerator;
+
+    #[test]
+    fn plan_and_run_helper() {
+        let cat = CabGenerator::at_scale(0.05).build_catalog().unwrap();
+        let (plan, graph) =
+            plan_query(&cat, "SELECT COUNT(*) FROM orders WHERE o_date < 100").unwrap();
+        let out = run_uniform(&cat, &plan, &graph, 2).unwrap();
+        assert_eq!(out.result.rows(), 1);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_secs(0.0123), "12.3ms");
+        assert_eq!(fmt_secs(3.5), "3.50s");
+        assert_eq!(fmt_secs(600.0), "10.0min");
+        assert_eq!(fmt_dollars(0.01), "$0.01000");
+    }
+}

@@ -1,0 +1,149 @@
+//! The catalog: name → table + statistics.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ci_storage::table::Table;
+use ci_types::{CiError, Result, TableId};
+
+use crate::tstats::TableStats;
+
+/// A registered table with its statistics.
+#[derive(Debug, Clone)]
+pub struct TableEntry {
+    /// The table data (shared; executors read it concurrently).
+    pub table: Arc<Table>,
+    /// Statistics computed at registration.
+    pub stats: Arc<TableStats>,
+}
+
+/// The warehouse catalog. Name lookup is case-insensitive (names are
+/// normalized to lowercase, matching the SQL front end).
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    by_name: HashMap<String, TableEntry>,
+    by_id: HashMap<TableId, String>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers a table, computing its statistics. Replaces any existing
+    /// table of the same name (re-registration models background refresh,
+    /// e.g. after a recluster tuning action).
+    pub fn register(&mut self, table: Table) -> TableEntry {
+        let stats = Arc::new(TableStats::compute(&table));
+        let name = table.name.to_lowercase();
+        let id = table.id;
+        let entry = TableEntry {
+            table: Arc::new(table),
+            stats,
+        };
+        self.by_id.insert(id, name.clone());
+        self.by_name.insert(name, entry.clone());
+        entry
+    }
+
+    /// Looks a table up by name.
+    pub fn get(&self, name: &str) -> Result<&TableEntry> {
+        self.by_name
+            .get(&name.to_lowercase())
+            .ok_or_else(|| CiError::Catalog(format!("unknown table '{name}'")))
+    }
+
+    /// Looks a table up by id.
+    pub fn get_by_id(&self, id: TableId) -> Result<&TableEntry> {
+        let name = self
+            .by_id
+            .get(&id)
+            .ok_or_else(|| CiError::Catalog(format!("unknown table id {id}")))?;
+        self.get(name)
+    }
+
+    /// Iterates over all registered tables.
+    pub fn tables(&self) -> impl Iterator<Item = (&str, &TableEntry)> {
+        self.by_name.iter().map(|(n, e)| (n.as_str(), e))
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// `true` when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc as StdArc;
+
+    use ci_storage::batch::RecordBatch;
+    use ci_storage::column::ColumnData;
+    use ci_storage::schema::{Field, Schema};
+    use ci_storage::table::table_from_batch;
+    use ci_storage::value::DataType;
+
+    use super::*;
+
+    fn sample(name: &str, id: u32) -> Table {
+        let schema = StdArc::new(Schema::of(vec![Field::new("id", DataType::Int64)]));
+        table_from_batch(
+            TableId::new(id),
+            name,
+            RecordBatch::new(schema, vec![ColumnData::Int64(vec![1, 2, 3])]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        c.register(sample("Orders", 0));
+        assert_eq!(c.len(), 1);
+        let e = c.get("orders").unwrap();
+        assert_eq!(e.stats.row_count, 3);
+        // Case-insensitive.
+        assert!(c.get("ORDERS").is_ok());
+        assert!(c.get("nope").is_err());
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let mut c = Catalog::new();
+        c.register(sample("t1", 7));
+        assert!(c.get_by_id(TableId::new(7)).is_ok());
+        assert!(c.get_by_id(TableId::new(8)).is_err());
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let mut c = Catalog::new();
+        c.register(sample("t", 0));
+        let schema = StdArc::new(Schema::of(vec![Field::new("id", DataType::Int64)]));
+        let bigger = table_from_batch(
+            TableId::new(0),
+            "t",
+            RecordBatch::new(schema, vec![ColumnData::Int64(vec![1, 2, 3, 4, 5])])
+                .unwrap(),
+        );
+        c.register(bigger);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("t").unwrap().stats.row_count, 5);
+    }
+
+    #[test]
+    fn iteration() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        c.register(sample("a", 0));
+        c.register(sample("b", 1));
+        let mut names: Vec<_> = c.tables().map(|(n, _)| n.to_owned()).collect();
+        names.sort();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Machine-time billing.
+//!
+//! §3.1: "the monetary cost of a workload is proportional to the total
+//! machine time instead of the CPU time. For example, if a pipeline execution
+//! is blocked on a node waiting for the input data, the user is still charged
+//! for the under-utilized resources." The meter therefore bills *leases*
+//! (node held), never CPU cycles. This asymmetry is what makes pipeline
+//! waiting waste money and motivates the equal-finish-time heuristic (§3.2).
+
+use ci_types::money::{Dollars, DollarsPerSecond};
+use ci_types::{NodeId, SimDuration, SimTime};
+
+/// One node lease: a node held from `start` until `end` (or still open).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lease {
+    /// The leased node.
+    pub node: NodeId,
+    /// Billing rate for this node.
+    pub rate: DollarsPerSecond,
+    /// Lease start (when provisioning was requested — providers bill from
+    /// acquisition, not from first useful work).
+    pub start: SimTime,
+    /// Lease end; `None` while the node is still held.
+    pub end: Option<SimTime>,
+}
+
+impl Lease {
+    /// Billable duration as of `now`.
+    pub fn held_for(&self, now: SimTime) -> SimDuration {
+        let end = self.end.unwrap_or(now).min(now).max(self.start);
+        end.since(self.start)
+    }
+
+    /// Cost accrued as of `now`.
+    pub fn cost(&self, now: SimTime) -> Dollars {
+        self.rate.bill(self.held_for(now))
+    }
+}
+
+/// Accumulates node leases and answers cost queries.
+///
+/// The meter is the source of truth for user-observable cost (UOC, §1):
+/// experiments read their dollar figures from here, never from ad-hoc
+/// arithmetic, so billing semantics are enforced in exactly one place.
+#[derive(Debug, Default, Clone)]
+pub struct BillingMeter {
+    leases: Vec<Lease>,
+}
+
+impl BillingMeter {
+    /// Empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a lease for `node` at `rate` starting `now`; returns its index.
+    pub fn open(&mut self, node: NodeId, rate: DollarsPerSecond, now: SimTime) -> usize {
+        self.leases.push(Lease {
+            node,
+            rate,
+            start: now,
+            end: None,
+        });
+        self.leases.len() - 1
+    }
+
+    /// Closes the most recent open lease for `node` at `now`.
+    /// Returns `true` if a lease was closed.
+    pub fn close(&mut self, node: NodeId, now: SimTime) -> bool {
+        for lease in self.leases.iter_mut().rev() {
+            if lease.node == node && lease.end.is_none() {
+                debug_assert!(now >= lease.start);
+                lease.end = Some(now);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Closes every open lease at `now` (cluster reclamation).
+    pub fn close_all(&mut self, now: SimTime) {
+        for lease in &mut self.leases {
+            if lease.end.is_none() {
+                lease.end = Some(now);
+            }
+        }
+    }
+
+    /// Number of currently open leases.
+    pub fn open_count(&self) -> usize {
+        self.leases.iter().filter(|l| l.end.is_none()).count()
+    }
+
+    /// Total machine time accrued as of `now` (sum over leases).
+    pub fn machine_time(&self, now: SimTime) -> SimDuration {
+        self.leases.iter().map(|l| l.held_for(now)).sum()
+    }
+
+    /// Total cost accrued as of `now`.
+    pub fn total_cost(&self, now: SimTime) -> Dollars {
+        self.leases.iter().map(|l| l.cost(now)).sum()
+    }
+
+    /// All recorded leases (for reports and tests).
+    pub fn leases(&self) -> &[Lease] {
+        &self.leases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rate() -> DollarsPerSecond {
+        DollarsPerSecond::per_hour(3.6) // $0.001/s, easy mental math
+    }
+
+    #[test]
+    fn single_lease_bills_machine_time() {
+        let mut m = BillingMeter::new();
+        let t0 = SimTime::from_secs_f64(10.0);
+        m.open(NodeId::new(0), rate(), t0);
+        let t1 = SimTime::from_secs_f64(110.0);
+        assert!(m.total_cost(t1).abs_diff(Dollars::new(0.1)) < 1e-9);
+        m.close(NodeId::new(0), t1);
+        // After close, later queries do not keep accruing.
+        let t2 = SimTime::from_secs_f64(500.0);
+        assert!(m.total_cost(t2).abs_diff(Dollars::new(0.1)) < 1e-9);
+        assert_eq!(m.machine_time(t2), SimDuration::from_secs(100));
+    }
+
+    #[test]
+    fn blocked_nodes_still_bill() {
+        // The §3.1 invariant: holding a node costs money regardless of work.
+        let mut m = BillingMeter::new();
+        m.open(NodeId::new(1), rate(), SimTime::ZERO);
+        let now = SimTime::from_secs_f64(60.0);
+        assert!(m.total_cost(now).amount() > 0.0);
+    }
+
+    #[test]
+    fn hundred_nodes_one_minute_equals_one_node_hundred_minutes() {
+        // §2's elasticity identity: 1×100min and 100×1min cost the same.
+        let mut a = BillingMeter::new();
+        a.open(NodeId::new(0), rate(), SimTime::ZERO);
+        a.close(NodeId::new(0), SimTime::from_secs_f64(6000.0));
+
+        let mut b = BillingMeter::new();
+        for i in 0..100 {
+            b.open(NodeId::new(i), rate(), SimTime::ZERO);
+        }
+        b.close_all(SimTime::from_secs_f64(60.0));
+
+        let now = SimTime::from_secs_f64(7000.0);
+        assert!(a.total_cost(now).abs_diff(b.total_cost(now)) < 1e-9);
+    }
+
+    #[test]
+    fn close_targets_matching_open_lease() {
+        let mut m = BillingMeter::new();
+        m.open(NodeId::new(0), rate(), SimTime::ZERO);
+        m.open(NodeId::new(1), rate(), SimTime::ZERO);
+        assert!(m.close(NodeId::new(1), SimTime::from_secs_f64(1.0)));
+        assert_eq!(m.open_count(), 1);
+        assert!(!m.close(NodeId::new(1), SimTime::from_secs_f64(2.0)));
+        assert!(m.close(NodeId::new(0), SimTime::from_secs_f64(2.0)));
+        assert_eq!(m.open_count(), 0);
+    }
+
+    #[test]
+    fn reopened_node_bills_both_leases() {
+        // A node released back to the pool and re-acquired bills twice.
+        let mut m = BillingMeter::new();
+        m.open(NodeId::new(0), rate(), SimTime::ZERO);
+        m.close(NodeId::new(0), SimTime::from_secs_f64(10.0));
+        m.open(NodeId::new(0), rate(), SimTime::from_secs_f64(50.0));
+        m.close(NodeId::new(0), SimTime::from_secs_f64(60.0));
+        let now = SimTime::from_secs_f64(100.0);
+        assert_eq!(m.machine_time(now), SimDuration::from_secs(20));
+        assert_eq!(m.leases().len(), 2);
+    }
+
+    #[test]
+    fn cost_query_mid_lease_is_partial() {
+        let mut m = BillingMeter::new();
+        m.open(NodeId::new(0), rate(), SimTime::ZERO);
+        let mid = m.total_cost(SimTime::from_secs_f64(30.0));
+        m.close(NodeId::new(0), SimTime::from_secs_f64(60.0));
+        let full = m.total_cost(SimTime::from_secs_f64(60.0));
+        assert!(mid.amount() < full.amount());
+        assert!(mid.abs_diff(full / 2.0) < 1e-9);
+    }
+}

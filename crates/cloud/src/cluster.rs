@@ -1,0 +1,307 @@
+//! Cluster lifecycle: acquire, resize, release — with a warm pool.
+//!
+//! §3 assumes "the database service provider maintains a warm server pool to
+//! facilitate rapid cluster creation, resizing, and reclamation". The manager
+//! models exactly that: acquisitions served from the warm pool become ready
+//! after a short warm-start latency; beyond pool capacity, nodes cold-start.
+//! Released nodes refill the pool. Every acquired node opens a billing lease
+//! immediately (§3.1: you pay from acquisition, even before the node is
+//! ready or doing useful work).
+
+use std::collections::BTreeSet;
+
+use ci_types::ids::IdGen;
+use ci_types::money::Dollars;
+use ci_types::{CiError, NodeId, Result, SimDuration, SimTime};
+
+use crate::billing::BillingMeter;
+use crate::node::NodeType;
+
+/// Result of an acquisition: which nodes were granted and when each batch
+/// becomes usable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Acquisition {
+    /// Newly granted node ids.
+    pub nodes: Vec<NodeId>,
+    /// Instant at which *all* granted nodes are ready for work.
+    pub ready_at: SimTime,
+    /// How many of the granted nodes came from the warm pool.
+    pub warm_hits: usize,
+}
+
+/// Configuration of the provider's provisioning behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvisioningConfig {
+    /// Warm-pool capacity (nodes kept pre-booted).
+    pub warm_pool_capacity: usize,
+    /// Latency to hand over a warm node.
+    pub warm_start: SimDuration,
+    /// Latency to boot a cold node.
+    pub cold_start: SimDuration,
+    /// Hard ceiling on simultaneously held nodes (account quota).
+    pub max_nodes: usize,
+}
+
+impl Default for ProvisioningConfig {
+    fn default() -> Self {
+        ProvisioningConfig {
+            warm_pool_capacity: 64,
+            warm_start: SimDuration::from_millis(500),
+            cold_start: SimDuration::from_secs(30),
+            max_nodes: 4096,
+        }
+    }
+}
+
+/// Manages the node inventory for one tenant (§3 assumes private compute:
+/// clusters are not shared between users).
+#[derive(Debug, Clone)]
+pub struct ClusterManager {
+    node_type: NodeType,
+    config: ProvisioningConfig,
+    warm_available: usize,
+    active: BTreeSet<NodeId>,
+    ids: IdGen,
+    meter: BillingMeter,
+    resize_ops: u64,
+}
+
+impl ClusterManager {
+    /// Creates a manager for one node shape with the given provisioning model.
+    pub fn new(node_type: NodeType, config: ProvisioningConfig) -> Self {
+        let warm_available = config.warm_pool_capacity;
+        ClusterManager {
+            node_type,
+            config,
+            warm_available,
+            active: BTreeSet::new(),
+            ids: IdGen::new(),
+            meter: BillingMeter::new(),
+            resize_ops: 0,
+        }
+    }
+
+    /// Convenience constructor with defaults.
+    pub fn standard() -> Self {
+        ClusterManager::new(NodeType::standard(), ProvisioningConfig::default())
+    }
+
+    /// The node shape this manager provisions.
+    pub fn node_type(&self) -> &NodeType {
+        &self.node_type
+    }
+
+    /// Acquires `n` nodes at `now`. Leases open immediately; nodes are ready
+    /// at `Acquisition::ready_at`. Fails if the account quota would be
+    /// exceeded.
+    pub fn acquire(&mut self, n: usize, now: SimTime) -> Result<Acquisition> {
+        if n == 0 {
+            return Ok(Acquisition {
+                nodes: Vec::new(),
+                ready_at: now,
+                warm_hits: 0,
+            });
+        }
+        if self.active.len() + n > self.config.max_nodes {
+            return Err(CiError::Cloud(format!(
+                "quota exceeded: {} active + {} requested > {} max",
+                self.active.len(),
+                n,
+                self.config.max_nodes
+            )));
+        }
+        let warm_hits = n.min(self.warm_available);
+        self.warm_available -= warm_hits;
+        let cold = n - warm_hits;
+        let mut nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id: NodeId = self.ids.next_id();
+            self.meter.open(id, self.node_type.rate, now);
+            self.active.insert(id);
+            nodes.push(id);
+        }
+        let latency = if cold > 0 {
+            self.config.cold_start
+        } else {
+            self.config.warm_start
+        };
+        self.resize_ops += 1;
+        Ok(Acquisition {
+            nodes,
+            ready_at: now + latency,
+            warm_hits,
+        })
+    }
+
+    /// Releases nodes at `now`: closes their leases and refills the warm
+    /// pool up to capacity. Unknown ids are an error (double release).
+    pub fn release(&mut self, nodes: &[NodeId], now: SimTime) -> Result<()> {
+        for &id in nodes {
+            if !self.active.remove(&id) {
+                return Err(CiError::Cloud(format!("release of non-active {id}")));
+            }
+            self.meter.close(id, now);
+            if self.warm_available < self.config.warm_pool_capacity {
+                self.warm_available += 1;
+            }
+        }
+        if !nodes.is_empty() {
+            self.resize_ops += 1;
+        }
+        Ok(())
+    }
+
+    /// Releases everything (end of query / cluster reclamation).
+    pub fn release_all(&mut self, now: SimTime) {
+        self.meter.close_all(now);
+        for _ in 0..self.active.len() {
+            if self.warm_available < self.config.warm_pool_capacity {
+                self.warm_available += 1;
+            }
+        }
+        if !self.active.is_empty() {
+            self.resize_ops += 1;
+        }
+        self.active.clear();
+    }
+
+    /// Currently held nodes.
+    pub fn active_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.active.iter().copied()
+    }
+
+    /// Number of currently held nodes.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Warm nodes currently available in the pool.
+    pub fn warm_available(&self) -> usize {
+        self.warm_available
+    }
+
+    /// Number of acquire/release operations performed (resize churn metric
+    /// for experiments E6/E10).
+    pub fn resize_ops(&self) -> u64 {
+        self.resize_ops
+    }
+
+    /// Total cost accrued as of `now`.
+    pub fn total_cost(&self, now: SimTime) -> Dollars {
+        self.meter.total_cost(now)
+    }
+
+    /// Total machine time as of `now`.
+    pub fn machine_time(&self, now: SimTime) -> SimDuration {
+        self.meter.machine_time(now)
+    }
+
+    /// Read-only view of the billing meter.
+    pub fn meter(&self) -> &BillingMeter {
+        &self.meter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr(warm: usize) -> ClusterManager {
+        let cfg = ProvisioningConfig {
+            warm_pool_capacity: warm,
+            ..ProvisioningConfig::default()
+        };
+        ClusterManager::new(NodeType::standard(), cfg)
+    }
+
+    #[test]
+    fn warm_acquisition_is_fast() {
+        let mut m = mgr(8);
+        let acq = m.acquire(4, SimTime::ZERO).unwrap();
+        assert_eq!(acq.nodes.len(), 4);
+        assert_eq!(acq.warm_hits, 4);
+        assert_eq!(acq.ready_at, SimTime::ZERO + SimDuration::from_millis(500));
+        assert_eq!(m.warm_available(), 4);
+    }
+
+    #[test]
+    fn overflow_goes_cold() {
+        let mut m = mgr(2);
+        let acq = m.acquire(5, SimTime::ZERO).unwrap();
+        assert_eq!(acq.warm_hits, 2);
+        // Any cold node delays overall readiness to the cold-start latency.
+        assert_eq!(acq.ready_at, SimTime::ZERO + SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn release_refills_pool_and_stops_billing() {
+        let mut m = mgr(2);
+        let acq = m.acquire(2, SimTime::ZERO).unwrap();
+        assert_eq!(m.warm_available(), 0);
+        let t = SimTime::from_secs_f64(100.0);
+        m.release(&acq.nodes, t).unwrap();
+        assert_eq!(m.warm_available(), 2);
+        assert_eq!(m.active_count(), 0);
+        let later = SimTime::from_secs_f64(1000.0);
+        // Cost frozen at release time: 2 nodes * 100 s * $2/3600 per s.
+        let expected = 2.0 * 100.0 * 2.0 / 3600.0;
+        assert!(m.total_cost(later).abs_diff(Dollars::new(expected)) < 1e-9);
+    }
+
+    #[test]
+    fn double_release_is_error() {
+        let mut m = mgr(2);
+        let acq = m.acquire(1, SimTime::ZERO).unwrap();
+        m.release(&acq.nodes, SimTime::from_secs_f64(1.0)).unwrap();
+        assert!(m.release(&acq.nodes, SimTime::from_secs_f64(2.0)).is_err());
+    }
+
+    #[test]
+    fn quota_enforced() {
+        let cfg = ProvisioningConfig {
+            max_nodes: 3,
+            ..ProvisioningConfig::default()
+        };
+        let mut m = ClusterManager::new(NodeType::standard(), cfg);
+        m.acquire(3, SimTime::ZERO).unwrap();
+        assert!(m.acquire(1, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn zero_acquire_is_noop() {
+        let mut m = mgr(2);
+        let acq = m.acquire(0, SimTime::from_secs_f64(5.0)).unwrap();
+        assert!(acq.nodes.is_empty());
+        assert_eq!(acq.ready_at, SimTime::from_secs_f64(5.0));
+        assert_eq!(m.resize_ops(), 0);
+    }
+
+    #[test]
+    fn billing_runs_from_acquisition_not_readiness() {
+        // Pay-from-acquire: a cold node bills during its 30 s boot.
+        let mut m = mgr(0);
+        m.acquire(1, SimTime::ZERO).unwrap();
+        let boot_done = SimTime::ZERO + SimDuration::from_secs(30);
+        assert!(m.total_cost(boot_done).amount() > 0.0);
+    }
+
+    #[test]
+    fn resize_ops_counted() {
+        let mut m = mgr(8);
+        let a = m.acquire(2, SimTime::ZERO).unwrap();
+        let b = m.acquire(2, SimTime::ZERO).unwrap();
+        m.release(&a.nodes, SimTime::from_secs_f64(1.0)).unwrap();
+        m.release(&b.nodes, SimTime::from_secs_f64(1.0)).unwrap();
+        assert_eq!(m.resize_ops(), 4);
+    }
+
+    #[test]
+    fn release_all_clears_state() {
+        let mut m = mgr(4);
+        m.acquire(3, SimTime::ZERO).unwrap();
+        m.release_all(SimTime::from_secs_f64(10.0));
+        assert_eq!(m.active_count(), 0);
+        assert_eq!(m.meter().open_count(), 0);
+        assert_eq!(m.warm_available(), 4);
+    }
+}

@@ -1,0 +1,34 @@
+//! Simulated elastic cloud substrate.
+//!
+//! The paper assumes a disaggregated architecture (§3, Figure 3): stateless
+//! compute nodes acquired on demand over a shared object store, billed
+//! per machine-second, with a provider-side warm pool enabling fast cluster
+//! creation/resizing. None of that hardware is available to a reproduction,
+//! so this crate *is* the cloud: a deterministic model of
+//!
+//! * node types and their prices ([`node`], [`pricing`]),
+//! * cluster lifecycle with warm/cold provisioning latencies ([`cluster`]),
+//! * machine-time billing — blocked nodes still bill, per §3.1 ([`billing`]),
+//! * the network fabric whose sub-linear bisection scaling creates the
+//!   exchange-operator knee the paper argues about ([`network`]),
+//! * object-store scan bandwidth ([`objectstore`]).
+//!
+//! All models are pure functions of explicit parameters plus virtual time
+//! ([`ci_types::SimTime`]); the discrete-event clock itself lives in the
+//! execution engine.
+
+pub mod billing;
+pub mod cluster;
+pub mod network;
+pub mod node;
+pub mod objectstore;
+pub mod pricing;
+pub mod work;
+
+pub use billing::BillingMeter;
+pub use cluster::{Acquisition, ClusterManager};
+pub use network::NetworkModel;
+pub use node::{HardwareProfile, NodeType};
+pub use objectstore::ObjectStoreModel;
+pub use pricing::{PriceList, TShirtSize};
+pub use work::WorkModels;

@@ -1,0 +1,152 @@
+//! Price list and the "T-shirt size" provisioning model of Figure 1.
+//!
+//! Snowflake-style warehouses are sold in doubling sizes (XS, S, M, ...)
+//! where each step doubles both the node count and the hourly price. The
+//! paper's opening argument is that forcing users to pick from this menu
+//! causes over/under-provisioning; experiment F1 quantifies it against the
+//! bi-objective optimizer's automatic deployment.
+
+use ci_types::money::DollarsPerSecond;
+
+use crate::node::NodeType;
+
+/// The classic warehouse T-shirt sizes with their node counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TShirtSize {
+    /// 1 node.
+    XS,
+    /// 2 nodes.
+    S,
+    /// 4 nodes.
+    M,
+    /// 8 nodes.
+    L,
+    /// 16 nodes.
+    XL,
+    /// 32 nodes.
+    XXL,
+    /// 64 nodes.
+    XXXL,
+    /// 128 nodes.
+    XXXXL,
+}
+
+impl TShirtSize {
+    /// All sizes in ascending order.
+    pub const ALL: [TShirtSize; 8] = [
+        TShirtSize::XS,
+        TShirtSize::S,
+        TShirtSize::M,
+        TShirtSize::L,
+        TShirtSize::XL,
+        TShirtSize::XXL,
+        TShirtSize::XXXL,
+        TShirtSize::XXXXL,
+    ];
+
+    /// Number of nodes this size provisions.
+    pub fn nodes(self) -> u32 {
+        match self {
+            TShirtSize::XS => 1,
+            TShirtSize::S => 2,
+            TShirtSize::M => 4,
+            TShirtSize::L => 8,
+            TShirtSize::XL => 16,
+            TShirtSize::XXL => 32,
+            TShirtSize::XXXL => 64,
+            TShirtSize::XXXXL => 128,
+        }
+    }
+
+    /// Display label matching the provider UI.
+    pub fn label(self) -> &'static str {
+        match self {
+            TShirtSize::XS => "X-Small",
+            TShirtSize::S => "Small",
+            TShirtSize::M => "Medium",
+            TShirtSize::L => "Large",
+            TShirtSize::XL => "X-Large",
+            TShirtSize::XXL => "2X-Large",
+            TShirtSize::XXXL => "3X-Large",
+            TShirtSize::XXXXL => "4X-Large",
+        }
+    }
+}
+
+/// The provider's price list: node shapes on offer plus the default shape
+/// used when the user does not care.
+#[derive(Debug, Clone)]
+pub struct PriceList {
+    /// Node shapes on offer.
+    pub node_types: Vec<NodeType>,
+    /// Index into `node_types` of the default shape.
+    pub default_type: usize,
+}
+
+impl PriceList {
+    /// A one-shape price list around [`NodeType::standard`]; selecting the
+    /// cost-optimal *shape* is out of the paper's scope (§3 cites \[19]),
+    /// so most experiments run on a single symmetric shape, as §3 assumes.
+    pub fn standard() -> PriceList {
+        PriceList {
+            node_types: vec![NodeType::standard()],
+            default_type: 0,
+        }
+    }
+
+    /// The default node shape.
+    pub fn default_node(&self) -> &NodeType {
+        &self.node_types[self.default_type]
+    }
+
+    /// Hourly price of a cluster of `n` default nodes.
+    pub fn cluster_rate(&self, n: u32) -> DollarsPerSecond {
+        self.default_node().rate * n as f64
+    }
+
+    /// Hourly price of a T-shirt size, matching the doubling menu of Figure 1.
+    pub fn tshirt_rate(&self, size: TShirtSize) -> DollarsPerSecond {
+        self.cluster_rate(size.nodes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_double() {
+        let mut prev = 0;
+        for s in TShirtSize::ALL {
+            let n = s.nodes();
+            if prev != 0 {
+                assert_eq!(n, prev * 2, "{s:?}");
+            }
+            prev = n;
+        }
+        assert_eq!(TShirtSize::XS.nodes(), 1);
+        assert_eq!(TShirtSize::XXXXL.nodes(), 128);
+    }
+
+    #[test]
+    fn price_doubles_with_size() {
+        let pl = PriceList::standard();
+        let xs = pl.tshirt_rate(TShirtSize::XS).hourly();
+        let m = pl.tshirt_rate(TShirtSize::M).hourly();
+        assert!((m - 4.0 * xs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = TShirtSize::ALL.iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), TShirtSize::ALL.len());
+    }
+
+    #[test]
+    fn cluster_rate_scales_linearly() {
+        let pl = PriceList::standard();
+        assert!((pl.cluster_rate(10).hourly() - 20.0).abs() < 1e-9);
+    }
+}

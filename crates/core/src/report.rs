@@ -1,0 +1,59 @@
+//! Query reports: what the user sees after a query completes.
+
+use ci_storage::RecordBatch;
+use ci_types::money::Dollars;
+use ci_types::{SimDuration, SimTime};
+
+/// Everything a cost-intelligent warehouse reports back for one query:
+/// the result, the bill, and the prediction it was planned against —
+/// putting cost next to performance, as §1 demands.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    /// The query result.
+    pub result: RecordBatch,
+    /// When the query was admitted (virtual time).
+    pub submitted_at: SimTime,
+    /// When the result was delivered.
+    pub finished_at: SimTime,
+    /// End-to-end latency.
+    pub latency: SimDuration,
+    /// Dollars billed (user-observable cost).
+    pub cost: Dollars,
+    /// Machine time behind the bill.
+    pub machine_time: SimDuration,
+    /// The optimizer's predicted latency.
+    pub predicted_latency: SimDuration,
+    /// The optimizer's predicted cost.
+    pub predicted_cost: Dollars,
+    /// Whether the constraint was predicted feasible at plan time.
+    pub feasible: bool,
+    /// Whether the constraint actually held at run time.
+    pub constraint_met: bool,
+    /// Chosen per-pipeline DOPs.
+    pub dops: Vec<u32>,
+    /// Runtime resize events (monitor interventions).
+    pub resize_events: u32,
+    /// Rendered physical plan.
+    pub plan_text: String,
+    /// Name of the materialized view that answered the query, if any.
+    pub used_mv: Option<String>,
+}
+
+impl QueryReport {
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} rows in {} for {} (predicted {} / {}){}{}",
+            self.result.rows(),
+            self.latency,
+            self.cost.round_cents(),
+            self.predicted_latency,
+            self.predicted_cost.round_cents(),
+            if self.constraint_met { "" } else { " [CONSTRAINT MISSED]" },
+            match &self.used_mv {
+                Some(mv) => format!(" [answered by MV {mv}]"),
+                None => String::new(),
+            }
+        )
+    }
+}

@@ -1,0 +1,526 @@
+//! Per-operator scalability models and the query-level simulator.
+
+use ci_catalog::Catalog;
+use ci_cloud::work::WorkModels;
+use ci_plan::physical::{PhysicalOp, PhysicalPlan};
+use ci_plan::pipeline::{Pipeline, PipelineGraph, SinkKind};
+use ci_types::money::{Dollars, DollarsPerSecond};
+use ci_types::{CiError, Result, SimDuration, SimTime};
+
+use crate::calibration::Calibration;
+
+/// Estimator configuration (mirrors the executor's scheduling parameters so
+/// predictions and measurements share assumptions).
+#[derive(Debug, Clone)]
+pub struct EstimatorConfig {
+    /// Calibrated hardware/network/storage models.
+    pub models: WorkModels,
+    /// Per-node billing rate.
+    pub rate: DollarsPerSecond,
+    /// Cluster create/resize latency.
+    pub resize_latency: SimDuration,
+    /// Morsel split size (for overhead estimation).
+    pub morsel_rows: usize,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig {
+            models: WorkModels::standard(),
+            rate: DollarsPerSecond::per_hour(2.0),
+            resize_latency: SimDuration::from_millis(500),
+            morsel_rows: 65_536,
+        }
+    }
+}
+
+/// The work profile of one pipeline: every term is a named, explainable
+/// quantity a database engineer can check by hand (§3.1 explainability).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PipelineWork {
+    /// Object-store bytes the source must fetch.
+    pub fetch_bytes: f64,
+    /// Number of GET requests (micro-partitions).
+    pub fetch_objects: f64,
+    /// Bytes decoded from columnar format.
+    pub decode_bytes: f64,
+    /// Rows through filters/projections (and scan-embedded filters).
+    pub filter_rows: f64,
+    /// Rows hashed for exchanges.
+    pub exchange_rows: f64,
+    /// Bytes pushed through exchanges.
+    pub exchange_bytes: f64,
+    /// Bytes gathered to a single node.
+    pub gather_bytes: f64,
+    /// Rows probed into hash tables.
+    pub probe_rows: f64,
+    /// Rows materialized out of probes.
+    pub probe_out_rows: f64,
+    /// Rows inserted into a join build (sink).
+    pub build_rows: f64,
+    /// Rows folded into aggregation state (sink).
+    pub agg_rows: f64,
+    /// Group count finalized by an aggregate sink.
+    pub agg_groups: f64,
+    /// Rows sorted by a sort sink.
+    pub sort_rows: f64,
+    /// Rows copied into a sort buffer / result sink.
+    pub sink_copy_rows: f64,
+    /// Estimated morsel count.
+    pub morsels: f64,
+    /// Estimated source rows (post scan-filter).
+    pub source_rows: f64,
+}
+
+/// An end-to-end query estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryEstimate {
+    /// Predicted query latency.
+    pub latency: SimDuration,
+    /// Predicted total machine time (billing basis, §3.1).
+    pub machine_time: SimDuration,
+    /// Predicted dollars.
+    pub cost: Dollars,
+    /// Per-pipeline (start, finish, release) schedule.
+    pub spans: Vec<(SimTime, SimTime, SimTime)>,
+}
+
+/// The cost estimator.
+#[derive(Debug, Clone)]
+pub struct CostEstimator<'a> {
+    catalog: &'a Catalog,
+    /// Configuration (public so experiments can sweep hardware what-ifs).
+    pub config: EstimatorConfig,
+    /// Optional regression correction (§3.1 "pre-trained regression models").
+    pub calibration: Option<Calibration>,
+}
+
+impl<'a> CostEstimator<'a> {
+    /// New estimator over a catalog.
+    pub fn new(catalog: &'a Catalog, config: EstimatorConfig) -> CostEstimator<'a> {
+        CostEstimator {
+            catalog,
+            config,
+            calibration: None,
+        }
+    }
+
+    /// Attaches a fitted calibration.
+    pub fn with_calibration(mut self, c: Calibration) -> CostEstimator<'a> {
+        self.calibration = Some(c);
+        self
+    }
+
+    /// Computes the work profile of one pipeline from plan annotations.
+    pub fn pipeline_work(&self, plan: &PhysicalPlan, p: &Pipeline) -> Result<PipelineWork> {
+        let mut w = PipelineWork::default();
+        let src = &plan.nodes[p.source()];
+
+        // Source terms.
+        match &src.op {
+            PhysicalOp::Scan {
+                table_id,
+                kept_parts,
+                filter,
+                ..
+            } => {
+                let entry = self.catalog.get_by_id(*table_id)?;
+                let mut bytes = 0f64;
+                let mut raw_rows = 0f64;
+                for &pi in kept_parts {
+                    let part = &entry.table.partitions[pi];
+                    bytes += part.stored_bytes as f64;
+                    raw_rows += part.rows() as f64;
+                }
+                w.fetch_bytes = bytes;
+                w.fetch_objects = kept_parts.len() as f64;
+                w.decode_bytes = bytes;
+                if filter.is_some() {
+                    w.filter_rows += raw_rows;
+                }
+                w.morsels = kept_parts.len() as f64;
+                w.source_rows = src.est_rows;
+            }
+            PhysicalOp::HashAgg { .. } | PhysicalOp::Sort { .. } => {
+                w.source_rows = src.est_rows;
+                w.morsels = (src.est_rows / self.config.morsel_rows as f64).ceil().max(1.0);
+            }
+            other => {
+                return Err(CiError::Plan(format!(
+                    "pipeline source must be scan or breaker, got {}",
+                    other.name()
+                )))
+            }
+        }
+
+        // Streaming chain: input to node k is the est output of node k-1.
+        let mut rows = w.source_rows;
+        for &n_idx in &p.nodes[1..] {
+            let node = &plan.nodes[n_idx];
+            match &node.op {
+                PhysicalOp::Filter { .. } | PhysicalOp::Project { .. } => {
+                    w.filter_rows += rows;
+                }
+                PhysicalOp::ExchangeHash { .. } => {
+                    w.exchange_rows += rows;
+                    w.exchange_bytes += rows * plan.row_width(n_idx);
+                }
+                PhysicalOp::Gather => {
+                    w.gather_bytes += rows * plan.row_width(n_idx);
+                }
+                PhysicalOp::HashJoin { .. } => {
+                    w.probe_rows += rows;
+                    w.probe_out_rows += node.est_rows;
+                }
+                PhysicalOp::Limit { .. } => {}
+                other => {
+                    return Err(CiError::Plan(format!(
+                        "{} cannot appear mid-pipeline",
+                        other.name()
+                    )))
+                }
+            }
+            rows = node.est_rows;
+        }
+
+        // Sink terms. `rows` is now the stream reaching the sink.
+        match p.sink {
+            SinkKind::JoinBuild { .. } => w.build_rows = rows,
+            SinkKind::Aggregate { agg } => {
+                w.agg_rows = rows;
+                w.agg_groups = plan.nodes[agg].est_rows;
+            }
+            SinkKind::Sort { .. } => {
+                w.sort_rows = rows;
+                w.sink_copy_rows = rows;
+            }
+            SinkKind::Result => {}
+        }
+        Ok(w)
+    }
+
+    /// Predicted wall-clock duration of a pipeline at a given DOP —
+    /// the per-operator scalability models composed over the chain.
+    ///
+    /// The parallel work terms divide by `dop`; serial terms (gather
+    /// receive, sort merge span, per-node startup) do not. Morsel-ceiling
+    /// effects are deliberately not modeled (a known, explainable error
+    /// source the run-time monitor absorbs; calibration shrinks it).
+    pub fn pipeline_duration(&self, w: &PipelineWork, dop: u32) -> SimDuration {
+        let m = &self.config.models;
+        let d = dop.max(1);
+        let parallel_secs = w.fetch_objects * m.store.request_latency_secs
+            + w.fetch_bytes / m.store.per_node_bw(d)
+            + m.scan_decode_secs(w.decode_bytes)
+            + m.filter_secs(w.filter_rows)
+            + m.exchange_cpu_secs(w.exchange_rows)
+            + m.exchange_wire_secs(w.exchange_bytes, d)
+            + m.probe_secs(w.probe_rows)
+            + m.filter_secs(w.probe_out_rows)
+            + m.build_secs(w.build_rows)
+            + m.agg_update_secs(w.agg_rows)
+            + m.filter_secs(w.sink_copy_rows)
+            + w.morsels * m.morsel_overhead_secs();
+        let mut serial_secs = m.pipeline_startup_secs()
+            + m.gather_secs(w.gather_bytes, d)
+            + m.sort_finalize_secs(w.sort_rows, d)
+            + m.filter_secs(w.agg_groups);
+        if w.exchange_bytes > 0.0 || w.gather_bytes > 0.0 {
+            serial_secs += m.exchange_startup_secs(d);
+        }
+        // Morsel granularity floor: a pipeline cannot run faster than its
+        // largest indivisible work unit; approximate by the average morsel.
+        let floor = if w.morsels >= 1.0 {
+            parallel_secs / w.morsels
+        } else {
+            0.0
+        };
+        let raw = (parallel_secs / d as f64).max(floor) + serial_secs;
+        let corrected = match &self.calibration {
+            Some(c) => c.correct(raw, d),
+            None => raw,
+        };
+        SimDuration::from_secs_f64(corrected)
+    }
+
+    /// Runs the query-level simulator: schedules the pipeline DAG at the
+    /// given DOPs and predicts latency, machine time, and dollars.
+    ///
+    /// Mirrors the engine's schedule: a pipeline starts when all
+    /// dependencies finish, nodes lease from start, become usable after the
+    /// resize latency, and stay leased until the consumer of the pipeline's
+    /// state finishes (state pinning).
+    pub fn estimate(
+        &self,
+        plan: &PhysicalPlan,
+        graph: &PipelineGraph,
+        dops: &[u32],
+    ) -> Result<QueryEstimate> {
+        if dops.len() != graph.len() {
+            return Err(CiError::Plan(format!(
+                "{} DOPs for {} pipelines",
+                dops.len(),
+                graph.len()
+            )));
+        }
+        let mut finishes = vec![SimTime::ZERO; graph.len()];
+        for p in &graph.pipelines {
+            let start = p
+                .deps
+                .iter()
+                .map(|d| finishes[d.index()])
+                .max()
+                .unwrap_or(SimTime::ZERO);
+            let w = self.pipeline_work(plan, p)?;
+            let dur = self.pipeline_duration(&w, dops[p.id.index()]);
+            finishes[p.id.index()] = start + self.config.resize_latency + dur;
+        }
+        // Release times: state pinned until the consumer finishes.
+        let mut spans = Vec::with_capacity(graph.len());
+        let mut machine_time = SimDuration::ZERO;
+        for p in &graph.pipelines {
+            let start = p
+                .deps
+                .iter()
+                .map(|d| finishes[d.index()])
+                .max()
+                .unwrap_or(SimTime::ZERO);
+            let finish = finishes[p.id.index()];
+            let release = match p.sink {
+                SinkKind::Result => finish,
+                SinkKind::JoinBuild { join } => graph
+                    .pipelines
+                    .iter()
+                    .find(|q| q.id != p.id && q.nodes.contains(&join))
+                    .map(|q| finishes[q.id.index()])
+                    .unwrap_or(finish),
+                SinkKind::Aggregate { agg } => graph
+                    .pipelines
+                    .iter()
+                    .find(|q| q.source() == agg)
+                    .map(|q| finishes[q.id.index()])
+                    .unwrap_or(finish),
+                SinkKind::Sort { sort } => graph
+                    .pipelines
+                    .iter()
+                    .find(|q| q.source() == sort)
+                    .map(|q| finishes[q.id.index()])
+                    .unwrap_or(finish),
+            };
+            machine_time +=
+                release.saturating_since(start) * dops[p.id.index()].max(1) as u64;
+            spans.push((start, finish, release));
+        }
+        let latency = finishes[graph.result_pipeline().id.index()].since(SimTime::ZERO);
+        Ok(QueryEstimate {
+            latency,
+            machine_time,
+            cost: self.config.rate.bill(machine_time),
+            spans,
+        })
+    }
+
+    /// The machine-time-optimal DOP of a standalone pipeline over a
+    /// candidate ladder: minimizes `dop × duration(dop)` (ties to smaller).
+    pub fn machine_time_optimal_dop(&self, w: &PipelineWork, ladder: &[u32]) -> u32 {
+        let mut best = (ladder.first().copied().unwrap_or(1), f64::INFINITY);
+        for &d in ladder {
+            let mt = self.pipeline_duration(w, d).as_secs_f64() * d as f64;
+            if mt < best.1 * 0.999 {
+                best = (d, mt);
+            }
+        }
+        best.0
+    }
+
+    /// The throughput function `T(dop)` of a pipeline in source rows/second
+    /// — the quantity the equal-finish-time heuristic equates (§3.2:
+    /// `C1/T1(DOP1) ≈ C2/T2(DOP2)`).
+    pub fn pipeline_throughput(&self, w: &PipelineWork, dop: u32) -> f64 {
+        let d = self.pipeline_duration(w, dop).as_secs_f64();
+        if d <= 0.0 {
+            f64::INFINITY
+        } else {
+            w.source_rows.max(1.0) / d
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use ci_catalog::ErrorInjector;
+    use ci_plan::{bind, JoinTree};
+    use ci_sql::parse;
+    use ci_storage::batch::RecordBatch;
+    use ci_storage::column::ColumnData;
+    use ci_storage::schema::{Field, Schema};
+    use ci_storage::table::TableBuilder;
+    use ci_storage::value::DataType;
+    use ci_types::TableId;
+
+    use super::*;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let schema = Arc::new(Schema::of(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("grp", DataType::Int64),
+            Field::new("val", DataType::Float64),
+        ]));
+        let n = 200_000i64;
+        let mut b = TableBuilder::new(TableId::new(0), "facts", schema.clone(), 8192).unwrap();
+        b.append(
+            RecordBatch::new(
+                schema,
+                vec![
+                    ColumnData::Int64((0..n).collect()),
+                    ColumnData::Int64((0..n).map(|i| i % 1000).collect()),
+                    ColumnData::Float64((0..n).map(|i| (i % 100) as f64).collect()),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c.register(b.finish().unwrap());
+        let dim = Arc::new(Schema::of(vec![
+            Field::new("d_id", DataType::Int64),
+            Field::new("d_name", DataType::Utf8),
+        ]));
+        let mut b = TableBuilder::new(TableId::new(1), "dims", dim.clone(), 512).unwrap();
+        b.append(
+            RecordBatch::new(
+                dim,
+                vec![
+                    ColumnData::Int64((0..1000).collect()),
+                    ColumnData::Utf8((0..1000).map(|i| format!("d{i}")).collect()),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c.register(b.finish().unwrap());
+        c
+    }
+
+    fn planned(cat: &Catalog, sql: &str) -> (PhysicalPlan, PipelineGraph) {
+        let b = bind(&parse(sql).unwrap(), cat).unwrap();
+        let tree = JoinTree::left_deep(&(0..b.relations.len()).collect::<Vec<_>>());
+        let plan = ci_plan::physical::build_plan(&b, &tree, cat, &mut ErrorInjector::oracle())
+            .unwrap();
+        let graph = PipelineGraph::decompose(&plan).unwrap();
+        (plan, graph)
+    }
+
+    #[test]
+    fn scan_duration_scales_inverse_with_dop() {
+        let cat = catalog();
+        let (plan, graph) = planned(&cat, "SELECT id FROM facts WHERE val < 50.0");
+        let est = CostEstimator::new(&cat, EstimatorConfig::default());
+        let w = est.pipeline_work(&plan, &graph.pipelines[0]).unwrap();
+        let d1 = est.pipeline_duration(&w, 1).as_secs_f64();
+        let d8 = est.pipeline_duration(&w, 8).as_secs_f64();
+        let speedup = d1 / d8;
+        assert!(
+            (5.0..=8.5).contains(&speedup),
+            "scan speedup at 8 nodes was {speedup}"
+        );
+    }
+
+    #[test]
+    fn exchange_heavy_pipeline_has_a_knee() {
+        let cat = catalog();
+        let (plan, graph) = planned(
+            &cat,
+            "SELECT grp, COUNT(*) FROM facts GROUP BY grp",
+        );
+        let est = CostEstimator::new(&cat, EstimatorConfig::default());
+        let w = est.pipeline_work(&plan, &graph.pipelines[0]).unwrap();
+        assert!(w.exchange_bytes > 0.0, "agg input is exchanged");
+        let mut best = (1u32, f64::INFINITY);
+        for d in [1u32, 2, 4, 8, 16, 32, 64, 128, 256] {
+            let t = est.pipeline_duration(&w, d).as_secs_f64();
+            if t < best.1 {
+                best = (d, t);
+            }
+        }
+        // Past some DOP, duration degrades again: exchange connection
+        // fan-out grows with d while the divisible work has run out.
+        let t_big = est.pipeline_duration(&w, 2048).as_secs_f64();
+        assert!(
+            t_big > best.1,
+            "duration at 2048 ({t_big}) should exceed optimum {} at d={}",
+            best.1,
+            best.0
+        );
+        assert!(best.0 > 1, "optimum should not be a single node");
+    }
+
+    #[test]
+    fn estimate_respects_dag_blocking() {
+        let cat = catalog();
+        let (plan, graph) = planned(
+            &cat,
+            "SELECT d_name, SUM(val) FROM facts f JOIN dims d ON f.grp = d.d_id \
+             GROUP BY d_name",
+        );
+        let est = CostEstimator::new(&cat, EstimatorConfig::default());
+        let dops = vec![4; graph.len()];
+        let q = est.estimate(&plan, &graph, &dops).unwrap();
+        // Probe starts after build finishes.
+        let build_span = q.spans[0];
+        let probe_span = q.spans[1];
+        assert!(probe_span.0 >= build_span.1);
+        // Build released when probe finishes (state pinning).
+        assert_eq!(build_span.2, probe_span.1);
+        assert!(q.latency.as_secs_f64() > 0.0);
+        assert!(q.cost.amount() > 0.0);
+    }
+
+    #[test]
+    fn machine_time_counts_pinned_spans() {
+        let cat = catalog();
+        let (plan, graph) = planned(
+            &cat,
+            "SELECT id FROM facts f JOIN dims d ON f.grp = d.d_id",
+        );
+        let est = CostEstimator::new(&cat, EstimatorConfig::default());
+        let q = est.estimate(&plan, &graph, &vec![2; graph.len()]).unwrap();
+        // Machine time > 2 * latency would mean both pipelines fully overlap;
+        // at least it must exceed the result pipeline's own span * dop.
+        let result_span = q.spans.last().unwrap();
+        let own = result_span.2.saturating_since(result_span.0) * 2u64;
+        assert!(q.machine_time >= own);
+    }
+
+    #[test]
+    fn more_dops_cost_more_for_fixed_work() {
+        let cat = catalog();
+        let (plan, graph) = planned(&cat, "SELECT COUNT(*) FROM facts");
+        let est = CostEstimator::new(&cat, EstimatorConfig::default());
+        let cheap = est.estimate(&plan, &graph, &vec![1; graph.len()]).unwrap();
+        let fast = est.estimate(&plan, &graph, &vec![32; graph.len()]).unwrap();
+        assert!(fast.latency < cheap.latency);
+        assert!(fast.cost.amount() > cheap.cost.amount());
+    }
+
+    #[test]
+    fn throughput_is_monotone_then_saturates() {
+        let cat = catalog();
+        let (plan, graph) = planned(&cat, "SELECT grp, COUNT(*) FROM facts GROUP BY grp");
+        let est = CostEstimator::new(&cat, EstimatorConfig::default());
+        let w = est.pipeline_work(&plan, &graph.pipelines[0]).unwrap();
+        let t1 = est.pipeline_throughput(&w, 1);
+        let t8 = est.pipeline_throughput(&w, 8);
+        assert!(t8 > t1);
+    }
+
+    #[test]
+    fn wrong_dop_count_rejected() {
+        let cat = catalog();
+        let (plan, graph) = planned(&cat, "SELECT COUNT(*) FROM facts");
+        let est = CostEstimator::new(&cat, EstimatorConfig::default());
+        assert!(est.estimate(&plan, &graph, &[1, 2, 3, 4, 5, 6, 7]).is_err());
+    }
+}

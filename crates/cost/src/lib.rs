@@ -1,0 +1,28 @@
+//! The cost estimator — the referee at the center of the architecture
+//! (Figure 3, §3.1).
+//!
+//! Given a physical plan fragment, a DOP assignment, and calibrated hardware
+//! parameters, the estimator predicts **execution time, total machine time,
+//! and dollars**. It is built exactly as the paper prescribes:
+//!
+//! * **per-operator scalability models** — simple analytic throughput
+//!   formulas over the shared [`ci_cloud::work::WorkModels`] calibration
+//!   ([`estimator`]);
+//! * **a query-level simulator** — schedules the pipeline DAG (concurrency,
+//!   blocking on dependencies, state pinning) to produce end-to-end latency
+//!   and machine-time ([`estimator::CostEstimator::estimate`]);
+//! * **pre-trained regression corrections** for the operators dominated by
+//!   data exchange, fitted on synthetic calibration workloads
+//!   ([`calibration`]) — deliberately linear models, never deep nets, so
+//!   every prediction stays explainable.
+//!
+//! The estimator is a pure function of its inputs and is cheap (micro-
+//! seconds per call — measured in `ci-bench`), because the optimizer and the
+//! what-if service invoke it thousands of times per query (§3.1's
+//! "lightweight" requirement).
+
+pub mod calibration;
+pub mod estimator;
+
+pub use calibration::Calibration;
+pub use estimator::{CostEstimator, EstimatorConfig, PipelineWork, QueryEstimate};

@@ -1,0 +1,129 @@
+//! Property tests on cost-estimator invariants: predictions must be finite,
+//! positive, monotone in work, and the DAG schedule must respect
+//! dependencies for arbitrary DOP assignments.
+
+use std::sync::Arc;
+
+use ci_catalog::{Catalog, ErrorInjector};
+use ci_cost::{CostEstimator, EstimatorConfig, PipelineWork};
+use ci_plan::{bind, JoinTree, PipelineGraph};
+use ci_sql::parse;
+use ci_storage::batch::RecordBatch;
+use ci_storage::column::ColumnData;
+use ci_storage::schema::{Field, Schema};
+use ci_storage::table::TableBuilder;
+use ci_storage::value::DataType;
+use ci_types::TableId;
+use proptest::prelude::*;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    let schema = Arc::new(Schema::of(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("v", DataType::Float64),
+    ]));
+    let n = 50_000i64;
+    let mut b = TableBuilder::new(TableId::new(0), "t", schema.clone(), 4096).unwrap();
+    b.append(
+        RecordBatch::new(
+            schema,
+            vec![
+                ColumnData::Int64((0..n).map(|i| i % 500).collect()),
+                ColumnData::Float64((0..n).map(|i| (i % 97) as f64).collect()),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    c.register(b.finish().unwrap());
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Estimates are finite and positive for any DOP vector, and the
+    /// schedule respects pipeline dependencies.
+    #[test]
+    fn estimates_are_sane_for_any_dops(seed_dops in proptest::collection::vec(1u32..300, 3)) {
+        let cat = catalog();
+        let bound = bind(
+            &parse("SELECT k, SUM(v) FROM t WHERE v < 50.0 GROUP BY k ORDER BY k").unwrap(),
+            &cat,
+        )
+        .unwrap();
+        let plan = ci_plan::physical::build_plan(
+            &bound,
+            &JoinTree::left_deep(&[0]),
+            &cat,
+            &mut ErrorInjector::oracle(),
+        )
+        .unwrap();
+        let graph = PipelineGraph::decompose(&plan).unwrap();
+        let est = CostEstimator::new(&cat, EstimatorConfig::default());
+        let dops: Vec<u32> = (0..graph.len())
+            .map(|i| seed_dops[i % seed_dops.len()])
+            .collect();
+        let q = est.estimate(&plan, &graph, &dops).unwrap();
+        prop_assert!(q.latency.as_secs_f64() > 0.0);
+        prop_assert!(q.cost.amount() > 0.0 && q.cost.is_finite());
+        prop_assert!(q.machine_time >= q.latency, "machine time < latency is impossible at dop >= 1");
+        // Schedule sanity: each pipeline starts at/after its deps finish.
+        for p in &graph.pipelines {
+            let (start, finish, release) = q.spans[p.id.index()];
+            prop_assert!(finish >= start);
+            prop_assert!(release >= finish);
+            for d in &p.deps {
+                prop_assert!(start >= q.spans[d.index()].1);
+            }
+        }
+    }
+
+    /// Pipeline duration is monotone non-decreasing in every work term.
+    #[test]
+    fn duration_monotone_in_work(
+        rows in 1.0f64..1e8,
+        bytes in 1.0f64..1e10,
+        dop in 1u32..256,
+        scale in 1.01f64..10.0,
+    ) {
+        let cat = catalog();
+        let est = CostEstimator::new(&cat, EstimatorConfig::default());
+        let base = PipelineWork {
+            fetch_bytes: bytes,
+            fetch_objects: (bytes / 16e6).ceil(),
+            decode_bytes: bytes,
+            filter_rows: rows,
+            exchange_rows: rows / 2.0,
+            exchange_bytes: bytes / 2.0,
+            probe_rows: rows / 3.0,
+            morsels: (bytes / 16e6).ceil().max(1.0),
+            source_rows: rows,
+            ..PipelineWork::default()
+        };
+        let mut bigger = base.clone();
+        bigger.filter_rows *= scale;
+        bigger.exchange_bytes *= scale;
+        bigger.probe_rows *= scale;
+        let d_base = est.pipeline_duration(&base, dop);
+        let d_big = est.pipeline_duration(&bigger, dop);
+        prop_assert!(d_big >= d_base, "{d_big} < {d_base} after scaling work by {scale}");
+    }
+
+    /// Throughput never decreases when work shrinks; duration at dop d+
+    /// never beats the morsel floor.
+    #[test]
+    fn dop_scaling_bounded_by_floor(rows in 1e3f64..1e7, dop in 1u32..512) {
+        let cat = catalog();
+        let est = CostEstimator::new(&cat, EstimatorConfig::default());
+        let w = PipelineWork {
+            filter_rows: rows,
+            morsels: 4.0,
+            source_rows: rows,
+            ..PipelineWork::default()
+        };
+        let d = est.pipeline_duration(&w, dop).as_secs_f64();
+        let floor = est.pipeline_duration(&w, u32::MAX).as_secs_f64();
+        prop_assert!(d + 1e-12 >= floor, "duration {d} beat the granularity floor {floor}");
+    }
+}

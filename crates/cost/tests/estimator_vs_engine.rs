@@ -1,0 +1,197 @@
+//! Cross-validation: the cost estimator's predictions vs the engine's
+//! measurements, on clean (oracle) cardinalities. This is the substance of
+//! the paper's §3.1 accuracy requirement and the basis of experiment E2.
+
+use std::sync::Arc;
+
+use ci_catalog::{Catalog, ErrorInjector};
+use ci_cost::{Calibration, CostEstimator, EstimatorConfig};
+use ci_exec::{ExecutionConfig, Executor, NoScaling};
+use ci_plan::{bind, JoinTree, PhysicalPlan, PipelineGraph};
+use ci_sql::parse;
+use ci_storage::batch::RecordBatch;
+use ci_storage::column::ColumnData;
+use ci_storage::schema::{Field, Schema};
+use ci_storage::table::TableBuilder;
+use ci_storage::value::DataType;
+use ci_types::stats::relative_error;
+use ci_types::TableId;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    let schema = Arc::new(Schema::of(vec![
+        Field::new("id", DataType::Int64),
+        Field::new("grp", DataType::Int64),
+        Field::new("val", DataType::Float64),
+    ]));
+    let n = 400_000i64;
+    let mut b = TableBuilder::new(TableId::new(0), "facts", schema.clone(), 16_384).unwrap();
+    b.append(
+        RecordBatch::new(
+            schema,
+            vec![
+                ColumnData::Int64((0..n).collect()),
+                ColumnData::Int64((0..n).map(|i| (i * 7919) % 2000).collect()),
+                ColumnData::Float64((0..n).map(|i| (i % 1000) as f64).collect()),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    c.register(b.finish().unwrap());
+    let dim = Arc::new(Schema::of(vec![
+        Field::new("d_id", DataType::Int64),
+        Field::new("d_cat", DataType::Utf8),
+    ]));
+    let mut b = TableBuilder::new(TableId::new(1), "dims", dim.clone(), 512).unwrap();
+    b.append(
+        RecordBatch::new(
+            dim,
+            vec![
+                ColumnData::Int64((0..2000).collect()),
+                ColumnData::Utf8((0..2000).map(|i| format!("c{}", i % 20)).collect()),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    c.register(b.finish().unwrap());
+    c
+}
+
+fn planned(cat: &Catalog, sql: &str) -> (PhysicalPlan, PipelineGraph) {
+    let b = bind(&parse(sql).unwrap(), cat).unwrap();
+    let tree = JoinTree::left_deep(&(0..b.relations.len()).collect::<Vec<_>>());
+    let plan =
+        ci_plan::physical::build_plan(&b, &tree, cat, &mut ErrorInjector::oracle()).unwrap();
+    let graph = PipelineGraph::decompose(&plan).unwrap();
+    (plan, graph)
+}
+
+const QUERIES: &[&str] = &[
+    "SELECT id FROM facts WHERE val < 100.0",
+    "SELECT COUNT(*) FROM facts",
+    "SELECT grp, COUNT(*), SUM(val) FROM facts GROUP BY grp",
+    "SELECT d_cat, SUM(val) FROM facts f JOIN dims d ON f.grp = d.d_id GROUP BY d_cat",
+    "SELECT id, val FROM facts WHERE val > 900.0 ORDER BY val DESC LIMIT 100",
+];
+
+#[test]
+fn predictions_track_measurements_within_tolerance() {
+    let cat = catalog();
+    let est = CostEstimator::new(&cat, EstimatorConfig::default());
+    let exec = Executor::new(&cat, ExecutionConfig::default());
+
+    let mut errors = Vec::new();
+    for sql in QUERIES {
+        for dop in [1u32, 4, 16] {
+            let (plan, graph) = planned(&cat, sql);
+            let dops = vec![dop; graph.len()];
+            let predicted = est.estimate(&plan, &graph, &dops).unwrap();
+            let measured = exec
+                .execute(&plan, &graph, &dops, &mut NoScaling)
+                .unwrap();
+            let e = relative_error(
+                predicted.latency.as_secs_f64(),
+                measured.metrics.latency.as_secs_f64(),
+            );
+            errors.push(e);
+            // No single configuration should be wildly off on clean stats.
+            assert!(
+                e < 0.6,
+                "{sql} at dop {dop}: predicted {} vs measured {} (err {e:.2})",
+                predicted.latency,
+                measured.metrics.latency
+            );
+        }
+    }
+    errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = errors[errors.len() / 2];
+    assert!(
+        median < 0.25,
+        "median latency error should be small, got {median:.3} ({errors:?})"
+    );
+}
+
+#[test]
+fn cost_predictions_track_billing() {
+    let cat = catalog();
+    let est = CostEstimator::new(&cat, EstimatorConfig::default());
+    let exec = Executor::new(&cat, ExecutionConfig::default());
+    for sql in QUERIES {
+        let (plan, graph) = planned(&cat, sql);
+        let dops = vec![4; graph.len()];
+        let predicted = est.estimate(&plan, &graph, &dops).unwrap();
+        let measured = exec.execute(&plan, &graph, &dops, &mut NoScaling).unwrap();
+        let e = relative_error(predicted.cost.amount(), measured.metrics.cost.amount());
+        assert!(
+            e < 0.6,
+            "{sql}: predicted {} vs billed {} (err {e:.2})",
+            predicted.cost,
+            measured.metrics.cost
+        );
+    }
+}
+
+#[test]
+fn calibration_reduces_error() {
+    let cat = catalog();
+    let est = CostEstimator::new(&cat, EstimatorConfig::default());
+    let exec = Executor::new(&cat, ExecutionConfig::default());
+
+    // Collect calibration samples from a synthetic sweep (§3.1: pre-train
+    // on synthetic workloads covering the parameter space).
+    let mut samples = Vec::new();
+    for sql in QUERIES {
+        for dop in [1u32, 2, 8, 32] {
+            let (plan, graph) = planned(&cat, sql);
+            let dops = vec![dop; graph.len()];
+            let measured = exec.execute(&plan, &graph, &dops, &mut NoScaling).unwrap();
+            for (p, pm) in graph.pipelines.iter().zip(&measured.metrics.pipelines) {
+                let w = est.pipeline_work(&plan, p).unwrap();
+                let raw = est.pipeline_duration(&w, dop).as_secs_f64();
+                let actual = pm.finish.saturating_since(pm.start).as_secs_f64()
+                    - exec.config.resize_latency.as_secs_f64();
+                if actual > 0.0 {
+                    samples.push(ci_cost::calibration::Sample {
+                        predicted_secs: raw,
+                        dop,
+                        actual_secs: actual,
+                    });
+                }
+            }
+        }
+    }
+    let cal = Calibration::fit(&samples).unwrap();
+    let calibrated = CostEstimator::new(&cat, EstimatorConfig::default())
+        .with_calibration(cal);
+
+    // Held-out config: dop 16.
+    let mut raw_err = Vec::new();
+    let mut cal_err = Vec::new();
+    for sql in QUERIES {
+        let (plan, graph) = planned(&cat, sql);
+        let dops = vec![16u32; graph.len()];
+        let measured = exec.execute(&plan, &graph, &dops, &mut NoScaling).unwrap();
+        let actual = measured.metrics.latency.as_secs_f64();
+        raw_err.push(relative_error(
+            est.estimate(&plan, &graph, &dops).unwrap().latency.as_secs_f64(),
+            actual,
+        ));
+        cal_err.push(relative_error(
+            calibrated
+                .estimate(&plan, &graph, &dops)
+                .unwrap()
+                .latency
+                .as_secs_f64(),
+            actual,
+        ));
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&cal_err) <= mean(&raw_err) * 1.10,
+        "calibration should not hurt: raw {:.3} vs calibrated {:.3}",
+        mean(&raw_err),
+        mean(&cal_err)
+    );
+}

@@ -1,0 +1,810 @@
+//! The discrete-event, morsel-driven query executor.
+//!
+//! Execution walks the pipeline DAG bottom-up. Each pipeline:
+//!
+//! 1. acquires `DOP` nodes (leases open at request time; nodes become usable
+//!    after the provisioning latency — you pay from acquisition, §3.1);
+//! 2. splits its source into **morsels** (micro-partitions for scans, chunks
+//!    of materialized breaker output otherwise);
+//! 3. list-schedules morsels onto nodes: each morsel is *really processed*
+//!    through the operator chain (true data, true cardinalities) while its
+//!    virtual duration is charged from the calibrated [`WorkModels`];
+//! 4. lets the [`ScalingController`] observe progress every few morsels and
+//!    resize the node set mid-pipeline (morsel granularity is what makes
+//!    this cheap — §3.3);
+//! 5. finalizes its sink (hash-table build, aggregation, sort) and records
+//!    its finish time; downstream pipelines start at the max of their
+//!    dependencies' finishes.
+//!
+//! Node leases of a pipeline whose sink holds state (a join build) stay open
+//! until the consuming pipeline finishes — **state pinning**. That is the
+//! resource-waste mechanism behind the paper's equal-finish-time heuristic:
+//! a build that finishes early idles (and bills) until its probe completes.
+
+use std::collections::HashMap;
+
+use ci_catalog::Catalog;
+use ci_cloud::work::WorkModels;
+use ci_plan::expr::{ColMap, PlanExpr};
+use ci_plan::physical::{PhysicalOp, PhysicalPlan};
+use ci_plan::pipeline::{Pipeline, PipelineGraph, SinkKind};
+use ci_storage::schema::SchemaRef;
+use ci_storage::RecordBatch;
+use ci_types::money::{Dollars, DollarsPerSecond};
+use ci_types::{CiError, Result, SimDuration, SimTime};
+
+use crate::metrics::{PipelineMetrics, QueryMetrics};
+use crate::operators::{
+    apply_filter, apply_project, slots_schema, AggregateState, JoinHashTable, SortBuffer,
+};
+use crate::scaling::{PipelineProgress, PipelineStart, ScaleDecision, ScalingController};
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecutionConfig {
+    /// Calibrated hardware/network/storage models.
+    pub models: WorkModels,
+    /// Per-node billing rate.
+    pub rate: DollarsPerSecond,
+    /// Latency for cluster creation and resizing (warm-pool assumption, §3).
+    pub resize_latency: SimDuration,
+    /// Maximum rows per morsel when splitting materialized state.
+    pub morsel_rows: usize,
+    /// Progress-callback period, in morsels.
+    pub check_interval: usize,
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        ExecutionConfig {
+            models: WorkModels::standard(),
+            rate: DollarsPerSecond::per_hour(2.0),
+            resize_latency: SimDuration::from_millis(500),
+            morsel_rows: 65_536,
+            check_interval: 8,
+        }
+    }
+}
+
+/// Result of executing one query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The query result (deterministic row order).
+    pub result: RecordBatch,
+    /// Execution metrics (latency, dollars, per-pipeline breakdown).
+    pub metrics: QueryMetrics,
+}
+
+/// The query executor.
+#[derive(Debug)]
+pub struct Executor<'a> {
+    catalog: &'a Catalog,
+    /// Execution configuration (public: experiments tweak models/rates).
+    pub config: ExecutionConfig,
+}
+
+/// Materialized inter-pipeline state, keyed by plan-node index.
+enum NodeState {
+    Built(JoinHashTable),
+    Output(RecordBatch),
+}
+
+/// One unit of schedulable work.
+struct Morsel {
+    batch: RecordBatch,
+    /// Object-store bytes this morsel must fetch (0 for memory-resident).
+    fetch_bytes: f64,
+}
+
+/// Precompiled streaming step of a pipeline's operator chain.
+enum Step {
+    Filter {
+        pred: PlanExpr,
+        map: ColMap,
+        node: usize,
+    },
+    Project {
+        exprs: Vec<(PlanExpr, String)>,
+        map: ColMap,
+        out_schema: SchemaRef,
+        node: usize,
+    },
+    Exchange {
+        node: usize,
+    },
+    Gather {
+        node: usize,
+    },
+    Probe {
+        join_node: usize,
+        probe_positions: Vec<usize>,
+        out_schema: SchemaRef,
+    },
+    Limit {
+        node: usize,
+    },
+}
+
+/// Per-node scheduling slot.
+struct NodeSlot {
+    /// When this node can accept the next morsel.
+    free: SimTime,
+    /// When this node finished its last *assigned* morsel (a node that never
+    /// worked must not extend the pipeline finish time).
+    worked_until: Option<SimTime>,
+    lease_start: SimTime,
+    lease_end: Option<SimTime>,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor over a catalog.
+    pub fn new(catalog: &'a Catalog, config: ExecutionConfig) -> Executor<'a> {
+        Executor { catalog, config }
+    }
+
+    /// Executes a physical plan with per-pipeline DOPs (`dops[i]` is the DOP
+    /// of pipeline `i`; values are clamped to at least 1) under the given
+    /// scaling policy.
+    pub fn execute(
+        &self,
+        plan: &PhysicalPlan,
+        graph: &PipelineGraph,
+        dops: &[u32],
+        ctrl: &mut dyn ScalingController,
+    ) -> Result<QueryOutcome> {
+        if dops.len() != graph.len() {
+            return Err(CiError::Exec(format!(
+                "{} DOPs provided for {} pipelines",
+                dops.len(),
+                graph.len()
+            )));
+        }
+        let mut states: HashMap<usize, NodeState> = HashMap::new();
+        let mut node_actual = vec![0u64; plan.nodes.len()];
+        let mut finishes = vec![SimTime::ZERO; graph.len()];
+        let mut all_metrics: Vec<PipelineMetrics> = Vec::new();
+        let mut open_leases: Vec<Vec<NodeSlot>> = Vec::new();
+        let mut result_batches: Vec<RecordBatch> = Vec::new();
+        let mut resize_events = 0u32;
+
+        for p in &graph.pipelines {
+            let ready = p
+                .deps
+                .iter()
+                .map(|d| finishes[d.index()])
+                .max()
+                .unwrap_or(SimTime::ZERO);
+
+            let (morsels, actual_source_rows) = self.source_morsels(plan, p, &mut states)?;
+            let src_node = &plan.nodes[p.source()];
+            let sink_node_est = plan.nodes[p.last()].est_rows;
+            let planned_dop = dops[p.id.index()].max(1);
+            let dop = ctrl
+                .on_pipeline_start(&PipelineStart {
+                    pipeline: p.id,
+                    planned_dop,
+                    planned_source_rows: src_node.est_rows,
+                    actual_source_rows,
+                    planned_sink_rows: sink_node_est,
+                })
+                .max(1);
+
+            let run = self.run_pipeline(
+                plan,
+                p,
+                dop,
+                ready,
+                morsels,
+                &mut states,
+                &mut node_actual,
+                &mut result_batches,
+                ctrl,
+            )?;
+            finishes[p.id.index()] = run.finish;
+            resize_events += run.metrics.resizes;
+            all_metrics.push(run.metrics);
+            open_leases.push(run.slots);
+        }
+
+        // Release: state-holding pipelines pin their nodes until the
+        // consumer finishes.
+        let release_times: Vec<SimTime> = graph
+            .pipelines
+            .iter()
+            .map(|p| self.release_time(graph, p, &finishes))
+            .collect();
+        let mut machine_time = SimDuration::ZERO;
+        for (p, slots) in graph.pipelines.iter().zip(open_leases.iter_mut()) {
+            let release = release_times[p.id.index()];
+            let mut pm_machine = SimDuration::ZERO;
+            for s in slots.iter_mut() {
+                let end = s.lease_end.unwrap_or(release).max(s.lease_start);
+                s.lease_end = Some(end);
+                pm_machine += end.since(s.lease_start);
+            }
+            machine_time += pm_machine;
+            let m = &mut all_metrics[p.id.index()];
+            m.released = release;
+            m.machine_time = pm_machine;
+        }
+
+        let result_pipeline = graph.result_pipeline().id.index();
+        let latency = finishes[result_pipeline].since(SimTime::ZERO);
+        let cost: Dollars = self.config.rate.bill(machine_time);
+
+        let result = if result_batches.is_empty() {
+            RecordBatch::empty(slots_schema(
+                &plan.nodes[plan.root].out_slots,
+                &plan.slot_types,
+            ))
+        } else {
+            RecordBatch::concat(&result_batches)?
+        };
+        let result_rows = result.rows() as u64;
+
+        Ok(QueryOutcome {
+            result,
+            metrics: QueryMetrics {
+                latency,
+                machine_time,
+                cost,
+                pipelines: all_metrics,
+                node_actual_rows: node_actual,
+                resize_events,
+                result_rows,
+            },
+        })
+    }
+
+    /// Materializes the source of a pipeline into morsels.
+    fn source_morsels(
+        &self,
+        plan: &PhysicalPlan,
+        p: &Pipeline,
+        states: &mut HashMap<usize, NodeState>,
+    ) -> Result<(Vec<Morsel>, Option<f64>)> {
+        let src = p.source();
+        match &plan.nodes[src].op {
+            PhysicalOp::Scan {
+                table_id,
+                kept_parts,
+                ..
+            } => {
+                let entry = self.catalog.get_by_id(*table_id)?;
+                let schema = slots_schema(&plan.nodes[src].out_slots, &plan.slot_types);
+                let mut morsels = Vec::new();
+                let mut total_rows = 0f64;
+                for &pi in kept_parts {
+                    let part = &entry.table.partitions[pi];
+                    total_rows += part.rows() as f64;
+                    let rows = part.rows();
+                    if rows == 0 {
+                        continue;
+                    }
+                    let batch =
+                        RecordBatch::new(schema.clone(), part.batch.columns().to_vec())?;
+                    let bytes = part.stored_bytes as f64;
+                    if rows <= self.config.morsel_rows {
+                        morsels.push(Morsel {
+                            batch,
+                            fetch_bytes: bytes,
+                        });
+                    } else {
+                        let mut offset = 0;
+                        while offset < rows {
+                            let len = self.config.morsel_rows.min(rows - offset);
+                            morsels.push(Morsel {
+                                batch: batch.slice(offset, len)?,
+                                fetch_bytes: bytes * len as f64 / rows as f64,
+                            });
+                            offset += len;
+                        }
+                    }
+                }
+                // Raw partition rows are *pre-filter* and not comparable to
+                // the planner's post-filter estimate; controllers must not
+                // treat them as an observed output cardinality.
+                let _ = total_rows;
+                Ok((morsels, None))
+            }
+            PhysicalOp::HashAgg { .. } | PhysicalOp::Sort { .. } => {
+                let state = states.remove(&src).ok_or_else(|| {
+                    CiError::Exec(format!("breaker output for node {src} not ready"))
+                })?;
+                let NodeState::Output(batch) = state else {
+                    return Err(CiError::Exec(format!(
+                        "node {src} holds a hash table, expected output"
+                    )));
+                };
+                let rows = batch.rows();
+                let mut morsels = Vec::new();
+                let mut offset = 0;
+                while offset < rows {
+                    let len = self.config.morsel_rows.min(rows - offset);
+                    morsels.push(Morsel {
+                        batch: batch.slice(offset, len)?,
+                        fetch_bytes: 0.0,
+                    });
+                    offset += len;
+                }
+                Ok((morsels, Some(rows as f64)))
+            }
+            other => Err(CiError::Exec(format!(
+                "pipeline source must be a scan or breaker, got {}",
+                other.name()
+            ))),
+        }
+    }
+
+    /// Compiles the streaming steps of a pipeline (everything after the
+    /// source node).
+    fn compile_steps(&self, plan: &PhysicalPlan, p: &Pipeline) -> Result<Vec<Step>> {
+        let mut steps = Vec::new();
+        let mut cur_slots = plan.nodes[p.source()].out_slots.clone();
+        for &n_idx in &p.nodes[1..] {
+            let node = &plan.nodes[n_idx];
+            match &node.op {
+                PhysicalOp::Filter { pred } => {
+                    steps.push(Step::Filter {
+                        pred: pred.clone(),
+                        map: ColMap::from_slots(&cur_slots),
+                        node: n_idx,
+                    });
+                }
+                PhysicalOp::Project { exprs } => {
+                    steps.push(Step::Project {
+                        exprs: exprs.clone(),
+                        map: ColMap::from_slots(&cur_slots),
+                        out_schema: slots_schema(&node.out_slots, &plan.slot_types),
+                        node: n_idx,
+                    });
+                }
+                PhysicalOp::ExchangeHash { .. } => {
+                    steps.push(Step::Exchange { node: n_idx });
+                }
+                PhysicalOp::Gather => {
+                    steps.push(Step::Gather { node: n_idx });
+                }
+                PhysicalOp::HashJoin { keys } => {
+                    let probe_positions = keys
+                        .iter()
+                        .map(|&(_, pslot)| {
+                            cur_slots.iter().position(|&s| s == pslot).ok_or_else(|| {
+                                CiError::Exec(format!(
+                                    "probe key slot {pslot} missing from stream"
+                                ))
+                            })
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                    steps.push(Step::Probe {
+                        join_node: n_idx,
+                        probe_positions,
+                        out_schema: slots_schema(&node.out_slots, &plan.slot_types),
+                    });
+                }
+                PhysicalOp::Limit { .. } => {
+                    steps.push(Step::Limit { node: n_idx });
+                }
+                other => {
+                    return Err(CiError::Exec(format!(
+                        "{} cannot appear mid-pipeline",
+                        other.name()
+                    )))
+                }
+            }
+            cur_slots = node.out_slots.clone();
+        }
+        Ok(steps)
+    }
+
+    /// Runs one pipeline to completion; returns finish time, node slots
+    /// (leases), and metrics.
+    #[allow(clippy::too_many_arguments)]
+    fn run_pipeline(
+        &self,
+        plan: &PhysicalPlan,
+        p: &Pipeline,
+        dop: u32,
+        start: SimTime,
+        morsels: Vec<Morsel>,
+        states: &mut HashMap<usize, NodeState>,
+        node_actual: &mut [u64],
+        result_batches: &mut Vec<RecordBatch>,
+        ctrl: &mut dyn ScalingController,
+    ) -> Result<PipelineRun> {
+        let w = &self.config.models;
+        let steps = self.compile_steps(plan, p)?;
+        let src_is_scan = matches!(plan.nodes[p.source()].op, PhysicalOp::Scan { .. });
+        let src_filter = match &plan.nodes[p.source()].op {
+            PhysicalOp::Scan { filter, .. } => filter.clone(),
+            _ => None,
+        };
+        let src_map = ColMap::from_slots(&plan.nodes[p.source()].out_slots);
+
+        // Sink state.
+        let mut sink = self.make_sink(plan, p, states)?;
+        let mut limit_remaining: Option<u64> = p.nodes.iter().find_map(|&n| {
+            match plan.nodes[n].op {
+                PhysicalOp::Limit { n: lim } => Some(lim),
+                _ => None,
+            }
+        });
+
+        // Node slots: leases open at `start`, usable after provisioning +
+        // per-node pipeline startup (+ exchange connection fan-out when the
+        // pipeline shuffles or gathers data).
+        let exchanges = steps
+            .iter()
+            .any(|s| matches!(s, Step::Exchange { .. } | Step::Gather { .. }));
+        let mut startup = SimDuration::from_secs_f64(w.pipeline_startup_secs());
+        if exchanges {
+            startup += SimDuration::from_secs_f64(w.exchange_startup_secs(dop.max(1)));
+        }
+        let usable = start + self.config.resize_latency + startup;
+        let mut slots: Vec<NodeSlot> = (0..dop.max(1))
+            .map(|_| NodeSlot {
+                free: usable,
+                worked_until: None,
+                lease_start: start,
+                lease_end: None,
+            })
+            .collect();
+        let mut cur_dop = dop.max(1);
+        let mut busy = SimDuration::ZERO;
+        let mut resizes = 0u32;
+        let mut source_rows = 0u64;
+        let mut sink_rows = 0u64;
+        let mut gather_bytes = 0f64;
+        let total_morsels = morsels.len();
+        let mut morsels_done = 0usize;
+
+        for (mi, morsel) in morsels.into_iter().enumerate() {
+            if limit_remaining == Some(0) {
+                break;
+            }
+            // Pick the earliest-free alive node.
+            let (ni, _) = slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.lease_end.is_none())
+                .min_by_key(|(_, s)| s.free)
+                .ok_or_else(|| CiError::Exec("no alive nodes".into()))?;
+            let assigned_at = slots[ni].free;
+
+            source_rows += morsel.batch.rows() as u64;
+            let mut secs = 0.0;
+            let mut batch = morsel.batch;
+
+            // Source costs.
+            if src_is_scan {
+                secs += w.scan_fetch_secs(morsel.fetch_bytes, cur_dop);
+                secs += w.scan_decode_secs(morsel.fetch_bytes);
+                if let Some(pred) = &src_filter {
+                    secs += w.filter_secs(batch.rows() as f64);
+                    batch = apply_filter(&batch, pred, &src_map)?;
+                }
+                node_actual[p.source()] += batch.rows() as u64;
+            }
+
+            // Streaming chain.
+            for step in &steps {
+                if batch.is_empty() {
+                    break;
+                }
+                match step {
+                    Step::Filter { pred, map, node } => {
+                        secs += w.filter_secs(batch.rows() as f64);
+                        batch = apply_filter(&batch, pred, map)?;
+                        node_actual[*node] += batch.rows() as u64;
+                    }
+                    Step::Project {
+                        exprs,
+                        map,
+                        out_schema,
+                        node,
+                    } => {
+                        secs += w.filter_secs(batch.rows() as f64);
+                        batch = apply_project(&batch, exprs, map, out_schema.clone())?;
+                        node_actual[*node] += batch.rows() as u64;
+                    }
+                    Step::Exchange { node } => {
+                        secs += w.exchange_cpu_secs(batch.rows() as f64);
+                        secs += w.exchange_wire_secs(batch.byte_size() as f64, cur_dop);
+                        node_actual[*node] += batch.rows() as u64;
+                    }
+                    Step::Gather { node } => {
+                        gather_bytes += batch.byte_size() as f64;
+                        node_actual[*node] += batch.rows() as u64;
+                    }
+                    Step::Probe {
+                        join_node,
+                        probe_positions,
+                        out_schema,
+                    } => {
+                        let Some(NodeState::Built(ht)) = states.get(join_node) else {
+                            return Err(CiError::Exec(format!(
+                                "hash table for join node {join_node} not built"
+                            )));
+                        };
+                        secs += w.probe_secs(batch.rows() as f64);
+                        batch = ht.probe(&batch, probe_positions, out_schema.clone())?;
+                        // Output materialization cost.
+                        secs += w.filter_secs(batch.rows() as f64);
+                        node_actual[*join_node] += batch.rows() as u64;
+                    }
+                    Step::Limit { node } => {
+                        if let Some(rem) = &mut limit_remaining {
+                            let take = (*rem as usize).min(batch.rows());
+                            batch = batch.slice(0, take)?;
+                            *rem -= take as u64;
+                        }
+                        node_actual[*node] += batch.rows() as u64;
+                    }
+                }
+            }
+
+            // Sink.
+            sink_rows += batch.rows() as u64;
+            match &mut sink {
+                Sink::Build(ht) => {
+                    secs += w.build_secs(batch.rows() as f64);
+                    ht.insert_batch(batch)?;
+                }
+                Sink::Agg(st) => {
+                    secs += w.agg_update_secs(batch.rows() as f64);
+                    st.update(&batch)?;
+                }
+                Sink::Sorter(sb) => {
+                    secs += w.filter_secs(batch.rows() as f64);
+                    sb.push(batch);
+                }
+                Sink::Result => {
+                    if !batch.is_empty() {
+                        result_batches.push(batch);
+                    }
+                }
+            }
+
+            let span = SimDuration::from_secs_f64(secs + w.morsel_overhead_secs());
+            slots[ni].free = assigned_at + span;
+            slots[ni].worked_until = Some(slots[ni].free);
+            busy += span;
+            morsels_done += 1;
+
+            // Progress callback.
+            if (mi + 1) % self.config.check_interval == 0 {
+                let now = slots[ni].free;
+                let decision = ctrl.on_progress(&PipelineProgress {
+                    pipeline: p.id,
+                    current_dop: cur_dop,
+                    morsels_done,
+                    morsels_total: total_morsels,
+                    source_rows_seen: source_rows,
+                    sink_rows_seen: sink_rows,
+                    planned_source_rows: plan.nodes[p.source()].est_rows,
+                    planned_sink_rows: plan.nodes[p.last()].est_rows,
+                    elapsed: now.saturating_since(start),
+                    now,
+                });
+                if let ScaleDecision::SetDop(new_dop) = decision {
+                    let new_dop = new_dop.max(1);
+                    if new_dop != cur_dop {
+                        resizes += 1;
+                        if new_dop > cur_dop {
+                            for _ in cur_dop..new_dop {
+                                slots.push(NodeSlot {
+                                    free: now + self.config.resize_latency,
+                                    worked_until: None,
+                                    lease_start: now,
+                                    lease_end: None,
+                                });
+                            }
+                        } else {
+                            // Retire the latest-free alive nodes.
+                            let mut alive: Vec<usize> = slots
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, s)| s.lease_end.is_none())
+                                .map(|(i, _)| i)
+                                .collect();
+                            alive.sort_by_key(|&i| std::cmp::Reverse(slots[i].free));
+                            for &i in alive.iter().take((cur_dop - new_dop) as usize) {
+                                slots[i].lease_end = Some(slots[i].free.max(now));
+                            }
+                        }
+                        cur_dop = new_dop;
+                    }
+                }
+            }
+        }
+
+        // Pipeline work finishes when the last node that actually processed
+        // a morsel drains (idle late-arrivals don't extend the finish).
+        let mut finish = slots
+            .iter()
+            .filter_map(|s| s.worked_until)
+            .max()
+            .unwrap_or(usable)
+            .max(usable);
+
+        // Gather is serial at the receiver.
+        if gather_bytes > 0.0 {
+            finish += SimDuration::from_secs_f64(w.gather_secs(gather_bytes, cur_dop));
+        }
+
+        // Finalize the sink.
+        match sink {
+            Sink::Build(mut ht) => {
+                ht.finalize()?;
+                let SinkKind::JoinBuild { join } = p.sink else {
+                    unreachable!("build sink without join");
+                };
+                states.insert(join, NodeState::Built(ht));
+            }
+            Sink::Agg(st) => {
+                let SinkKind::Aggregate { agg } = p.sink else {
+                    unreachable!("agg sink mismatch");
+                };
+                let out = st.finalize()?;
+                finish += SimDuration::from_secs_f64(w.filter_secs(out.rows() as f64));
+                node_actual[agg] += out.rows() as u64;
+                states.insert(agg, NodeState::Output(out));
+            }
+            Sink::Sorter(sb) => {
+                let SinkKind::Sort { sort } = p.sink else {
+                    unreachable!("sort sink mismatch");
+                };
+                let rows = sb.rows() as f64;
+                let out = sb.finalize()?;
+                finish += SimDuration::from_secs_f64(w.sort_finalize_secs(rows, cur_dop));
+                node_actual[sort] += out.rows() as u64;
+                states.insert(sort, NodeState::Output(out));
+            }
+            Sink::Result => {}
+        }
+
+        let metrics = PipelineMetrics {
+            id: p.id,
+            dop_initial: dop.max(1),
+            dop_final: cur_dop,
+            start,
+            finish,
+            released: finish, // adjusted after consumers are scheduled
+            morsels: morsels_done,
+            source_rows,
+            sink_rows,
+            busy,
+            machine_time: SimDuration::ZERO, // filled at release
+            resizes,
+        };
+        Ok(PipelineRun {
+            finish,
+            slots,
+            metrics,
+        })
+    }
+
+    fn make_sink(
+        &self,
+        plan: &PhysicalPlan,
+        p: &Pipeline,
+        _states: &mut HashMap<usize, NodeState>,
+    ) -> Result<Sink> {
+        match p.sink {
+            SinkKind::JoinBuild { join } => {
+                let PhysicalOp::HashJoin { keys } = &plan.nodes[join].op else {
+                    return Err(CiError::Exec("JoinBuild sink on non-join node".into()));
+                };
+                let build_child = plan.nodes[join].children[0];
+                let layout = &plan.nodes[build_child].out_slots;
+                let positions = keys
+                    .iter()
+                    .map(|&(bslot, _)| {
+                        layout.iter().position(|&s| s == bslot).ok_or_else(|| {
+                            CiError::Exec(format!(
+                                "build key slot {bslot} missing from build layout"
+                            ))
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Sink::Build(JoinHashTable::new(
+                    slots_schema(layout, &plan.slot_types),
+                    positions,
+                )))
+            }
+            SinkKind::Aggregate { agg } => {
+                let PhysicalOp::HashAgg { groups, aggs, .. } = &plan.nodes[agg].op else {
+                    return Err(CiError::Exec("Aggregate sink on non-agg node".into()));
+                };
+                let feed_slots = plan.nodes[p.last()].out_slots.clone();
+                let types = plan.slot_types.clone();
+                let ty = move |s: usize| -> Result<ci_storage::value::DataType> {
+                    types
+                        .get(s)
+                        .copied()
+                        .ok_or_else(|| CiError::Exec(format!("unknown slot {s}")))
+                };
+                Ok(Sink::Agg(AggregateState::new(
+                    groups.clone(),
+                    aggs.clone(),
+                    ColMap::from_slots(&feed_slots),
+                    &ty,
+                    slots_schema(&plan.nodes[agg].out_slots, &plan.slot_types),
+                )?))
+            }
+            SinkKind::Sort { sort } => {
+                let PhysicalOp::Sort { keys } = &plan.nodes[sort].op else {
+                    return Err(CiError::Exec("Sort sink on non-sort node".into()));
+                };
+                let child = plan.nodes[sort].children[0];
+                let layout = &plan.nodes[child].out_slots;
+                let positions = keys
+                    .iter()
+                    .map(|&(slot, asc)| {
+                        layout
+                            .iter()
+                            .position(|&s| s == slot)
+                            .map(|pos| (pos, asc))
+                            .ok_or_else(|| {
+                                CiError::Exec(format!(
+                                    "sort key slot {slot} missing from layout"
+                                ))
+                            })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Sink::Sorter(SortBuffer::new(
+                    slots_schema(layout, &plan.slot_types),
+                    positions,
+                )))
+            }
+            SinkKind::Result => Ok(Sink::Result),
+        }
+    }
+
+    /// When a pipeline's nodes can be released: at the finish of whichever
+    /// pipeline consumes its sink state (own finish for result pipelines).
+    fn release_time(
+        &self,
+        graph: &PipelineGraph,
+        p: &Pipeline,
+        finishes: &[SimTime],
+    ) -> SimTime {
+        match p.sink {
+            SinkKind::Result => finishes[p.id.index()],
+            SinkKind::JoinBuild { join } => {
+                // The consumer is the pipeline whose chain contains the join.
+                graph
+                    .pipelines
+                    .iter()
+                    .find(|q| q.id != p.id && q.nodes.contains(&join))
+                    .map(|q| finishes[q.id.index()])
+                    .unwrap_or(finishes[p.id.index()])
+            }
+            SinkKind::Aggregate { agg } => graph
+                .pipelines
+                .iter()
+                .find(|q| q.source() == agg)
+                .map(|q| finishes[q.id.index()])
+                .unwrap_or(finishes[p.id.index()]),
+            SinkKind::Sort { sort } => graph
+                .pipelines
+                .iter()
+                .find(|q| q.source() == sort)
+                .map(|q| finishes[q.id.index()])
+                .unwrap_or(finishes[p.id.index()]),
+        }
+    }
+}
+
+struct PipelineRun {
+    finish: SimTime,
+    slots: Vec<NodeSlot>,
+    metrics: PipelineMetrics,
+}
+
+enum Sink {
+    Build(JoinHashTable),
+    Agg(AggregateState),
+    Sorter(SortBuffer),
+    Result,
+}

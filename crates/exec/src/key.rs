@@ -1,0 +1,128 @@
+//! Hashable, comparable row keys for joins and aggregation.
+
+use ci_storage::column::ColumnData;
+use ci_storage::value::Value;
+use ci_types::{CiError, Result};
+
+/// One component of a composite key. Floats are keyed by their bit pattern
+/// (exact equality — standard hash-join semantics).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KeyPart {
+    /// Integer key.
+    Int(i64),
+    /// Float key by bit pattern.
+    FloatBits(u64),
+    /// String key.
+    Str(String),
+    /// Boolean key.
+    Bool(bool),
+}
+
+impl From<&Value> for KeyPart {
+    fn from(v: &Value) -> KeyPart {
+        match v {
+            Value::Int(x) => KeyPart::Int(*x),
+            Value::Float(x) => KeyPart::FloatBits(x.to_bits()),
+            Value::Str(s) => KeyPart::Str(s.clone()),
+            Value::Bool(b) => KeyPart::Bool(*b),
+        }
+    }
+}
+
+/// A composite row key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key(pub Vec<KeyPart>);
+
+impl Key {
+    /// Extracts the key of row `row` from the given key columns.
+    pub fn of_row(columns: &[&ColumnData], row: usize) -> Key {
+        Key(columns
+            .iter()
+            .map(|c| match c {
+                ColumnData::Int64(v) => KeyPart::Int(v[row]),
+                ColumnData::Float64(v) => KeyPart::FloatBits(v[row].to_bits()),
+                ColumnData::Utf8(v) => KeyPart::Str(v[row].clone()),
+                ColumnData::Bool(v) => KeyPart::Bool(v[row]),
+            })
+            .collect())
+    }
+
+    /// Re-materializes the key parts as values (group-by output columns).
+    pub fn to_values(&self) -> Vec<Value> {
+        self.0
+            .iter()
+            .map(|p| match p {
+                KeyPart::Int(x) => Value::Int(*x),
+                KeyPart::FloatBits(b) => Value::Float(f64::from_bits(*b)),
+                KeyPart::Str(s) => Value::Str(s.clone()),
+                KeyPart::Bool(b) => Value::Bool(*b),
+            })
+            .collect()
+    }
+}
+
+/// Resolves key column references, failing with a clear message.
+pub fn key_columns<'a>(
+    batch_columns: &'a [ColumnData],
+    positions: &[usize],
+) -> Result<Vec<&'a ColumnData>> {
+    positions
+        .iter()
+        .map(|&p| {
+            batch_columns.get(p).ok_or_else(|| {
+                CiError::Exec(format!("key column position {p} out of bounds"))
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_equality_per_type() {
+        let ints = ColumnData::Int64(vec![1, 1, 2]);
+        let strs = ColumnData::Utf8(vec!["a".into(), "a".into(), "b".into()]);
+        let k0 = Key::of_row(&[&ints, &strs], 0);
+        let k1 = Key::of_row(&[&ints, &strs], 1);
+        let k2 = Key::of_row(&[&ints, &strs], 2);
+        assert_eq!(k0, k1);
+        assert_ne!(k0, k2);
+    }
+
+    #[test]
+    fn float_keys_use_bit_pattern() {
+        let f = ColumnData::Float64(vec![0.5, 0.5, -0.0, 0.0]);
+        assert_eq!(Key::of_row(&[&f], 0), Key::of_row(&[&f], 1));
+        // -0.0 and 0.0 differ bitwise: exact-match join semantics.
+        assert_ne!(Key::of_row(&[&f], 2), Key::of_row(&[&f], 3));
+    }
+
+    #[test]
+    fn round_trip_to_values() {
+        let ints = ColumnData::Int64(vec![7]);
+        let strs = ColumnData::Utf8(vec!["x".into()]);
+        let k = Key::of_row(&[&ints, &strs], 0);
+        assert_eq!(k.to_values(), vec![Value::Int(7), Value::from("x")]);
+    }
+
+    #[test]
+    fn key_columns_bounds_checked() {
+        let cols = vec![ColumnData::Int64(vec![1])];
+        assert!(key_columns(&cols, &[0]).is_ok());
+        assert!(key_columns(&cols, &[1]).is_err());
+    }
+
+    #[test]
+    fn keys_hash_in_maps() {
+        use std::collections::HashMap;
+        let ints = ColumnData::Int64(vec![1, 2, 1]);
+        let mut m: HashMap<Key, Vec<usize>> = HashMap::new();
+        for row in 0..3 {
+            m.entry(Key::of_row(&[&ints], row)).or_default().push(row);
+        }
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[&Key(vec![KeyPart::Int(1)])], vec![0, 2]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Execution metrics: the engine's lightweight profiler.
+//!
+//! §4 requires "a lightweight profiling tool that can attribute the run-time
+//! resource measures to logical database tasks easily". The engine
+//! attributes virtual machine time at morsel granularity to pipelines and
+//! plan nodes, and surfaces true cardinalities — the inputs to the DOP
+//! monitor and the Statistics Service.
+
+use ci_types::money::Dollars;
+use ci_types::{PipelineId, SimDuration, SimTime};
+
+/// Per-pipeline execution metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineMetrics {
+    /// Which pipeline.
+    pub id: PipelineId,
+    /// DOP the pipeline started with.
+    pub dop_initial: u32,
+    /// DOP at completion (differs when the monitor resized mid-pipeline).
+    pub dop_final: u32,
+    /// Virtual start time (node leases open here).
+    pub start: SimTime,
+    /// Virtual completion time of the pipeline's work.
+    pub finish: SimTime,
+    /// Time the pipeline's nodes were released (>= finish: state pinning —
+    /// e.g. hash tables held for a later probe).
+    pub released: SimTime,
+    /// Morsels processed.
+    pub morsels: usize,
+    /// True rows consumed at the source.
+    pub source_rows: u64,
+    /// True rows that reached the sink.
+    pub sink_rows: u64,
+    /// Sum of per-node busy time (work only, excluding idle).
+    pub busy: SimDuration,
+    /// Machine time billed for this pipeline (leases, incl. idle/pinned).
+    pub machine_time: SimDuration,
+    /// Mid-pipeline resize operations applied.
+    pub resizes: u32,
+}
+
+impl PipelineMetrics {
+    /// Node utilization: busy time over billed machine time, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let mt = self.machine_time.as_secs_f64();
+        if mt <= 0.0 {
+            return 1.0;
+        }
+        (self.busy.as_secs_f64() / mt).min(1.0)
+    }
+
+    /// Observed sink flow rate in rows/second of pipeline runtime.
+    pub fn flow_rate(&self) -> f64 {
+        let span = self.finish.saturating_since(self.start).as_secs_f64();
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.sink_rows as f64 / span
+        }
+    }
+}
+
+/// Whole-query execution metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryMetrics {
+    /// End-to-end query latency (user-visible).
+    pub latency: SimDuration,
+    /// Total billed machine time across all leases.
+    pub machine_time: SimDuration,
+    /// Total user-observable cost (UOC, §1).
+    pub cost: Dollars,
+    /// Per-pipeline breakdown.
+    pub pipelines: Vec<PipelineMetrics>,
+    /// True output rows per physical plan node (indexed by node id) —
+    /// the run-time cardinalities the monitor and statistics service use.
+    pub node_actual_rows: Vec<u64>,
+    /// Total resize operations (initial acquisitions excluded).
+    pub resize_events: u32,
+    /// Rows in the final result.
+    pub result_rows: u64,
+}
+
+impl QueryMetrics {
+    /// Aggregate utilization across pipelines.
+    pub fn utilization(&self) -> f64 {
+        let busy: f64 = self.pipelines.iter().map(|p| p.busy.as_secs_f64()).sum();
+        let mt = self.machine_time.as_secs_f64();
+        if mt <= 0.0 {
+            1.0
+        } else {
+            (busy / mt).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pm() -> PipelineMetrics {
+        PipelineMetrics {
+            id: PipelineId::new(0),
+            dop_initial: 4,
+            dop_final: 4,
+            start: SimTime::from_secs_f64(1.0),
+            finish: SimTime::from_secs_f64(3.0),
+            released: SimTime::from_secs_f64(5.0),
+            morsels: 10,
+            source_rows: 1000,
+            sink_rows: 500,
+            busy: SimDuration::from_secs(6),
+            machine_time: SimDuration::from_secs(16),
+            resizes: 0,
+        }
+    }
+
+    #[test]
+    fn utilization_is_busy_over_billed() {
+        assert!((pm().utilization() - 6.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flow_rate_uses_runtime_span() {
+        assert!((pm().flow_rate() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_utilization_aggregates() {
+        let q = QueryMetrics {
+            latency: SimDuration::from_secs(4),
+            machine_time: SimDuration::from_secs(32),
+            cost: Dollars::new(0.1),
+            pipelines: vec![pm(), pm()],
+            node_actual_rows: vec![],
+            resize_events: 0,
+            result_rows: 1,
+        };
+        assert!((q.utilization() - 12.0 / 32.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,713 @@
+//! Physical operator implementations over real columnar data.
+//!
+//! These are the data-correct halves of the engine: they compute true
+//! results (and therefore true cardinalities, which the DOP monitor consumes
+//! at run time), while the DES half of the engine charges virtual time for
+//! the work they represent.
+//!
+//! No-null engine conventions: aggregates over empty input yield zero
+//! defaults (`COUNT = 0`, `SUM = 0`, `AVG = 0.0`, `MIN`/`MAX` = type zero)
+//! instead of SQL NULL.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use ci_plan::expr::{AggExpr, ColMap, PlanExpr};
+use ci_sql::ast::AggFunc;
+use ci_storage::column::ColumnData;
+use ci_storage::schema::{Field, Schema, SchemaRef};
+use ci_storage::value::{DataType, Value};
+use ci_storage::RecordBatch;
+use ci_types::{CiError, Result};
+
+use crate::key::{key_columns, Key};
+
+/// Builds the internal schema for a node's output slots. Field names are
+/// slot-derived (`s<slot>`) so they are unique regardless of user aliases.
+pub fn slots_schema(slots: &[usize], slot_types: &[DataType]) -> SchemaRef {
+    Arc::new(Schema::of(
+        slots
+            .iter()
+            .map(|&s| Field::new(format!("s{s}"), slot_types[s]))
+            .collect(),
+    ))
+}
+
+/// Applies a filter predicate, returning the surviving rows.
+pub fn apply_filter(
+    batch: &RecordBatch,
+    pred: &PlanExpr,
+    map: &ColMap,
+) -> Result<RecordBatch> {
+    let mask = pred.eval_mask(batch, map)?;
+    batch.filter(&mask)
+}
+
+/// Applies a projection, producing a batch in the projection's slot layout.
+pub fn apply_project(
+    batch: &RecordBatch,
+    exprs: &[(PlanExpr, String)],
+    map: &ColMap,
+    out_schema: SchemaRef,
+) -> Result<RecordBatch> {
+    let mut columns = Vec::with_capacity(exprs.len());
+    for (i, (e, _)) in exprs.iter().enumerate() {
+        let col = e.eval(batch, map)?;
+        // Coerce int results into float columns when the schema says float
+        // (e.g. literal `1` projected into a DOUBLE output).
+        let want = out_schema.field(i).data_type;
+        let col = coerce(col, want)?;
+        columns.push(col);
+    }
+    RecordBatch::new(out_schema, columns)
+}
+
+fn coerce(col: ColumnData, want: DataType) -> Result<ColumnData> {
+    match (col, want) {
+        (ColumnData::Int64(v), DataType::Float64) => {
+            Ok(ColumnData::Float64(v.into_iter().map(|x| x as f64).collect()))
+        }
+        (col, want) if col.data_type() == want => Ok(col),
+        (col, want) => Err(CiError::Exec(format!(
+            "cannot coerce {} column to {want}",
+            col.data_type()
+        ))),
+    }
+}
+
+/// Hash-join build state. Batches are buffered as they stream in; the map
+/// is constructed at [`JoinHashTable::finalize`] when the build pipeline
+/// completes (a pipeline breaker, §3.2).
+#[derive(Debug)]
+pub struct JoinHashTable {
+    key_positions: Vec<usize>,
+    schema: SchemaRef,
+    buffered: Vec<RecordBatch>,
+    finalized: Option<FinalizedTable>,
+}
+
+#[derive(Debug)]
+struct FinalizedTable {
+    rows: RecordBatch,
+    map: HashMap<Key, Vec<u32>>,
+}
+
+impl JoinHashTable {
+    /// New build state; `key_positions` index into the build batch layout.
+    pub fn new(schema: SchemaRef, key_positions: Vec<usize>) -> JoinHashTable {
+        JoinHashTable {
+            key_positions,
+            schema,
+            buffered: Vec::new(),
+            finalized: None,
+        }
+    }
+
+    /// Buffers one build-side morsel.
+    pub fn insert_batch(&mut self, batch: RecordBatch) -> Result<()> {
+        if self.finalized.is_some() {
+            return Err(CiError::Exec("insert into finalized hash table".into()));
+        }
+        self.buffered.push(batch);
+        Ok(())
+    }
+
+    /// Total build rows buffered so far.
+    pub fn build_rows(&self) -> usize {
+        self.buffered.iter().map(RecordBatch::rows).sum::<usize>()
+            + self
+                .finalized
+                .as_ref()
+                .map_or(0, |f| f.rows.rows())
+    }
+
+    /// Builds the hash map. Idempotent.
+    pub fn finalize(&mut self) -> Result<()> {
+        if self.finalized.is_some() {
+            return Ok(());
+        }
+        let rows = if self.buffered.is_empty() {
+            RecordBatch::empty(self.schema.clone())
+        } else {
+            RecordBatch::concat(&self.buffered)?
+        };
+        self.buffered.clear();
+        let mut map: HashMap<Key, Vec<u32>> = HashMap::with_capacity(rows.rows());
+        let keys = key_columns(rows.columns(), &self.key_positions)?;
+        for row in 0..rows.rows() {
+            map.entry(Key::of_row(&keys, row))
+                .or_default()
+                .push(row as u32);
+        }
+        self.finalized = Some(FinalizedTable { rows, map });
+        Ok(())
+    }
+
+    /// Probes with a batch; returns the joined batch in
+    /// `probe columns ++ build columns` order under `out_schema`.
+    pub fn probe(
+        &self,
+        probe: &RecordBatch,
+        probe_key_positions: &[usize],
+        out_schema: SchemaRef,
+    ) -> Result<RecordBatch> {
+        let fin = self
+            .finalized
+            .as_ref()
+            .ok_or_else(|| CiError::Exec("probe of non-finalized hash table".into()))?;
+        let keys = key_columns(probe.columns(), probe_key_positions)?;
+        let mut probe_idx: Vec<usize> = Vec::new();
+        let mut build_idx: Vec<usize> = Vec::new();
+        for row in 0..probe.rows() {
+            if let Some(matches) = fin.map.get(&Key::of_row(&keys, row)) {
+                for &b in matches {
+                    probe_idx.push(row);
+                    build_idx.push(b as usize);
+                }
+            }
+        }
+        let probe_part = probe.take(&probe_idx)?;
+        let build_part = fin.rows.take(&build_idx)?;
+        let mut columns = probe_part.columns().to_vec();
+        columns.extend(build_part.columns().iter().cloned());
+        RecordBatch::new(out_schema, columns)
+    }
+}
+
+/// One aggregate accumulator.
+#[derive(Debug, Clone)]
+enum AggAcc {
+    Count(i64),
+    SumI(i64),
+    SumF(f64),
+    Avg { sum: f64, count: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Distinct(HashSet<Key>),
+}
+
+impl AggAcc {
+    fn new(a: &AggExpr, arg_type: Option<DataType>) -> AggAcc {
+        if a.distinct {
+            return AggAcc::Distinct(HashSet::new());
+        }
+        match a.func {
+            AggFunc::Count => AggAcc::Count(0),
+            AggFunc::Sum => match arg_type {
+                Some(DataType::Int64) => AggAcc::SumI(0),
+                _ => AggAcc::SumF(0.0),
+            },
+            AggFunc::Avg => AggAcc::Avg { sum: 0.0, count: 0 },
+            AggFunc::Min => AggAcc::Min(None),
+            AggFunc::Max => AggAcc::Max(None),
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) {
+        match self {
+            AggAcc::Count(c) => *c += 1,
+            AggAcc::SumI(s) => {
+                if let Some(Value::Int(x)) = v {
+                    *s += x;
+                }
+            }
+            AggAcc::SumF(s) => {
+                if let Some(val) = v {
+                    if let Some(x) = val.as_f64() {
+                        *s += x;
+                    }
+                }
+            }
+            AggAcc::Avg { sum, count } => {
+                if let Some(val) = v {
+                    if let Some(x) = val.as_f64() {
+                        *sum += x;
+                        *count += 1;
+                    }
+                }
+            }
+            AggAcc::Min(m) => {
+                if let Some(val) = v {
+                    *m = Some(match m.take() {
+                        None => val.clone(),
+                        Some(cur) => cur.min_sql(val.clone()),
+                    });
+                }
+            }
+            AggAcc::Max(m) => {
+                if let Some(val) = v {
+                    *m = Some(match m.take() {
+                        None => val.clone(),
+                        Some(cur) => cur.max_sql(val.clone()),
+                    });
+                }
+            }
+            AggAcc::Distinct(set) => {
+                if let Some(val) = v {
+                    set.insert(Key(vec![(val).into()]));
+                }
+            }
+        }
+    }
+
+    fn finish(&self, func: AggFunc, out_type: DataType) -> Value {
+        match self {
+            AggAcc::Count(c) => Value::Int(*c),
+            AggAcc::SumI(s) => Value::Int(*s),
+            AggAcc::SumF(s) => Value::Float(*s),
+            AggAcc::Avg { sum, count } => Value::Float(if *count == 0 {
+                0.0
+            } else {
+                sum / *count as f64
+            }),
+            AggAcc::Min(m) | AggAcc::Max(m) => match m {
+                Some(v) => v.clone(),
+                None => zero_of(out_type),
+            },
+            AggAcc::Distinct(set) => match func {
+                AggFunc::Count => Value::Int(set.len() as i64),
+                // SUM/AVG/MIN/MAX DISTINCT: recompute from the set.
+                _ => distinct_fold(set, func),
+            },
+        }
+    }
+}
+
+fn zero_of(t: DataType) -> Value {
+    match t {
+        DataType::Int64 => Value::Int(0),
+        DataType::Float64 => Value::Float(0.0),
+        DataType::Utf8 => Value::Str(String::new()),
+        DataType::Bool => Value::Bool(false),
+    }
+}
+
+fn distinct_fold(set: &HashSet<Key>, func: AggFunc) -> Value {
+    let vals: Vec<Value> = set
+        .iter()
+        .flat_map(|k| k.to_values())
+        .collect();
+    match func {
+        AggFunc::Sum => Value::Float(vals.iter().filter_map(Value::as_f64).sum()),
+        AggFunc::Avg => {
+            let nums: Vec<f64> = vals.iter().filter_map(Value::as_f64).collect();
+            Value::Float(if nums.is_empty() {
+                0.0
+            } else {
+                nums.iter().sum::<f64>() / nums.len() as f64
+            })
+        }
+        AggFunc::Min => vals
+            .into_iter()
+            .reduce(|a, b| a.min_sql(b))
+            .unwrap_or(Value::Int(0)),
+        AggFunc::Max => vals
+            .into_iter()
+            .reduce(|a, b| a.max_sql(b))
+            .unwrap_or(Value::Int(0)),
+        AggFunc::Count => Value::Int(vals.len() as i64),
+    }
+}
+
+/// Streaming hash-aggregation state.
+#[derive(Debug)]
+pub struct AggregateState {
+    group_exprs: Vec<PlanExpr>,
+    aggs: Vec<AggExpr>,
+    in_map: ColMap,
+    arg_types: Vec<Option<DataType>>,
+    out_schema: SchemaRef,
+    groups: HashMap<Key, Vec<AggAcc>>,
+    /// Insertion order of groups (deterministic output).
+    order: Vec<Key>,
+}
+
+impl AggregateState {
+    /// New aggregation state. `out_schema` covers groups then aggregates;
+    /// `in_map` maps input slots to the feeding batch layout.
+    pub fn new(
+        group_exprs: Vec<PlanExpr>,
+        aggs: Vec<AggExpr>,
+        in_map: ColMap,
+        in_types: &dyn Fn(usize) -> Result<DataType>,
+        out_schema: SchemaRef,
+    ) -> Result<AggregateState> {
+        let arg_types = aggs
+            .iter()
+            .map(|a| a.arg.as_ref().map(|e| e.data_type(in_types)).transpose())
+            .collect::<Result<Vec<_>>>()?;
+        Ok(AggregateState {
+            group_exprs,
+            aggs,
+            in_map,
+            arg_types,
+            out_schema,
+            groups: HashMap::new(),
+            order: Vec::new(),
+        })
+    }
+
+    /// Folds one morsel into the state.
+    pub fn update(&mut self, batch: &RecordBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let group_cols: Vec<ColumnData> = self
+            .group_exprs
+            .iter()
+            .map(|e| e.eval(batch, &self.in_map))
+            .collect::<Result<Vec<_>>>()?;
+        let arg_cols: Vec<Option<ColumnData>> = self
+            .aggs
+            .iter()
+            .map(|a| a.arg.as_ref().map(|e| e.eval(batch, &self.in_map)).transpose())
+            .collect::<Result<Vec<_>>>()?;
+        let group_refs: Vec<&ColumnData> = group_cols.iter().collect();
+        for row in 0..batch.rows() {
+            let key = Key::of_row(&group_refs, row);
+            let accs = match self.groups.get_mut(&key) {
+                Some(a) => a,
+                None => {
+                    self.order.push(key.clone());
+                    self.groups.entry(key.clone()).or_insert_with(|| {
+                        self.aggs
+                            .iter()
+                            .zip(&self.arg_types)
+                            .map(|(a, t)| AggAcc::new(a, *t))
+                            .collect()
+                    })
+                }
+            };
+            for (acc, col) in accs.iter_mut().zip(&arg_cols) {
+                let v = col.as_ref().map(|c| c.value(row));
+                acc.update(v.as_ref());
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of groups so far.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Produces the aggregate output batch (groups then agg values).
+    pub fn finalize(mut self) -> Result<RecordBatch> {
+        // Global aggregate over empty input: one row of defaults.
+        if self.groups.is_empty() && self.group_exprs.is_empty() {
+            let accs: Vec<AggAcc> = self
+                .aggs
+                .iter()
+                .zip(&self.arg_types)
+                .map(|(a, t)| AggAcc::new(a, *t))
+                .collect();
+            self.order.push(Key(Vec::new()));
+            self.groups.insert(Key(Vec::new()), accs);
+        }
+        let g = self.group_exprs.len();
+        let mut columns: Vec<ColumnData> = self
+            .out_schema
+            .fields()
+            .iter()
+            .map(|f| ColumnData::with_capacity(f.data_type, self.order.len()))
+            .collect();
+        for key in &self.order {
+            let accs = &self.groups[key];
+            let kvals = key.to_values();
+            for (i, v) in kvals.into_iter().enumerate() {
+                columns[i].push(v)?;
+            }
+            for (j, acc) in accs.iter().enumerate() {
+                let out_t = self.out_schema.field(g + j).data_type;
+                columns[g + j].push(acc.finish(self.aggs[j].func, out_t))?;
+            }
+        }
+        RecordBatch::new(self.out_schema.clone(), columns)
+    }
+}
+
+/// Buffers batches for a sort breaker and produces the sorted output.
+#[derive(Debug)]
+pub struct SortBuffer {
+    schema: SchemaRef,
+    /// (column position, ascending) sort keys.
+    keys: Vec<(usize, bool)>,
+    buffered: Vec<RecordBatch>,
+}
+
+impl SortBuffer {
+    /// New sort state; `keys` index into the batch layout.
+    pub fn new(schema: SchemaRef, keys: Vec<(usize, bool)>) -> SortBuffer {
+        SortBuffer {
+            schema,
+            keys,
+            buffered: Vec::new(),
+        }
+    }
+
+    /// Buffers one morsel.
+    pub fn push(&mut self, batch: RecordBatch) {
+        self.buffered.push(batch);
+    }
+
+    /// Rows buffered so far.
+    pub fn rows(&self) -> usize {
+        self.buffered.iter().map(RecordBatch::rows).sum()
+    }
+
+    /// Sorts and returns the full output.
+    pub fn finalize(self) -> Result<RecordBatch> {
+        if self.buffered.is_empty() {
+            return Ok(RecordBatch::empty(self.schema));
+        }
+        let all = RecordBatch::concat(&self.buffered)?;
+        let mut indices: Vec<usize> = (0..all.rows()).collect();
+        indices.sort_by(|&a, &b| {
+            for &(pos, asc) in &self.keys {
+                let col = all.column(pos);
+                let va = col.value(a);
+                let vb = col.value(b);
+                let ord = va
+                    .partial_cmp_sql(&vb)
+                    .unwrap_or(std::cmp::Ordering::Equal);
+                let ord = if asc { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            // Stable tie-break on original index for determinism.
+            a.cmp(&b)
+        });
+        all.take(&indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema2(t0: DataType, t1: DataType) -> SchemaRef {
+        Arc::new(Schema::of(vec![
+            Field::new("s0", t0),
+            Field::new("s1", t1),
+        ]))
+    }
+
+    fn batch(ids: Vec<i64>, vals: Vec<f64>) -> RecordBatch {
+        RecordBatch::new(
+            schema2(DataType::Int64, DataType::Float64),
+            vec![ColumnData::Int64(ids), ColumnData::Float64(vals)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let b = batch(vec![1, 2, 3], vec![10.0, 20.0, 30.0]);
+        let map = ColMap::from_slots(&[0, 1]);
+        let pred = PlanExpr::bin(
+            ci_plan::expr::BinOp::Gt,
+            PlanExpr::Col(0),
+            PlanExpr::Lit(Value::Int(1)),
+        );
+        let f = apply_filter(&b, &pred, &map).unwrap();
+        assert_eq!(f.rows(), 2);
+
+        let out_schema = Arc::new(Schema::of(vec![Field::new("x", DataType::Float64)]));
+        let exprs = vec![(
+            PlanExpr::bin(
+                ci_plan::expr::BinOp::Mul,
+                PlanExpr::Col(1),
+                PlanExpr::Lit(Value::Float(2.0)),
+            ),
+            "x".to_owned(),
+        )];
+        let p = apply_project(&f, &exprs, &map, out_schema).unwrap();
+        assert_eq!(p.column(0), &ColumnData::Float64(vec![40.0, 60.0]));
+    }
+
+    #[test]
+    fn project_coerces_int_literal_to_float() {
+        let b = batch(vec![1], vec![1.0]);
+        let map = ColMap::from_slots(&[0, 1]);
+        let out_schema = Arc::new(Schema::of(vec![Field::new("one", DataType::Float64)]));
+        let exprs = vec![(PlanExpr::Lit(Value::Int(1)), "one".to_owned())];
+        let p = apply_project(&b, &exprs, &map, out_schema).unwrap();
+        assert_eq!(p.column(0), &ColumnData::Float64(vec![1.0]));
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop() {
+        let build = batch(vec![1, 2, 2, 5], vec![10.0, 20.0, 21.0, 50.0]);
+        let probe = batch(vec![2, 5, 7, 2], vec![0.2, 0.5, 0.7, 0.22]);
+        let mut ht = JoinHashTable::new(build.schema().clone(), vec![0]);
+        // Insert in two morsels.
+        ht.insert_batch(build.slice(0, 2).unwrap()).unwrap();
+        ht.insert_batch(build.slice(2, 2).unwrap()).unwrap();
+        ht.finalize().unwrap();
+        let out_schema = Arc::new(Schema::of(vec![
+            Field::new("p0", DataType::Int64),
+            Field::new("p1", DataType::Float64),
+            Field::new("b0", DataType::Int64),
+            Field::new("b1", DataType::Float64),
+        ]));
+        let joined = ht.probe(&probe, &[0], out_schema).unwrap();
+
+        // Nested-loop reference.
+        let mut expected = 0;
+        for p in 0..probe.rows() {
+            for b in 0..build.rows() {
+                if probe.column(0).value(p) == build.column(0).value(b) {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(joined.rows(), expected);
+        // Every joined row has equal keys.
+        for r in 0..joined.rows() {
+            assert_eq!(joined.column(0).value(r), joined.column(2).value(r));
+        }
+    }
+
+    #[test]
+    fn probe_before_finalize_fails() {
+        let ht = JoinHashTable::new(schema2(DataType::Int64, DataType::Float64), vec![0]);
+        let probe = batch(vec![1], vec![1.0]);
+        assert!(ht
+            .probe(&probe, &[0], schema2(DataType::Int64, DataType::Float64))
+            .is_err());
+    }
+
+    #[test]
+    fn empty_build_joins_to_empty() {
+        let mut ht =
+            JoinHashTable::new(schema2(DataType::Int64, DataType::Float64), vec![0]);
+        ht.finalize().unwrap();
+        let probe = batch(vec![1, 2], vec![1.0, 2.0]);
+        let out_schema = Arc::new(Schema::of(vec![
+            Field::new("p0", DataType::Int64),
+            Field::new("p1", DataType::Float64),
+            Field::new("b0", DataType::Int64),
+            Field::new("b1", DataType::Float64),
+        ]));
+        let joined = ht.probe(&probe, &[0], out_schema).unwrap();
+        assert_eq!(joined.rows(), 0);
+    }
+
+    fn agg_state(groups: Vec<PlanExpr>, aggs: Vec<AggExpr>, out: SchemaRef) -> AggregateState {
+        let types = |s: usize| -> Result<DataType> {
+            Ok(if s == 0 {
+                DataType::Int64
+            } else {
+                DataType::Float64
+            })
+        };
+        AggregateState::new(groups, aggs, ColMap::from_slots(&[0, 1]), &types, out).unwrap()
+    }
+
+    #[test]
+    fn grouped_aggregation() {
+        let out = Arc::new(Schema::of(vec![
+            Field::new("g", DataType::Int64),
+            Field::new("cnt", DataType::Int64),
+            Field::new("sum", DataType::Float64),
+            Field::new("avg", DataType::Float64),
+            Field::new("min", DataType::Float64),
+            Field::new("max", DataType::Float64),
+        ]));
+        let mut st = agg_state(
+            vec![PlanExpr::Col(0)],
+            vec![
+                AggExpr {
+                    func: AggFunc::Count,
+                    arg: None,
+                    distinct: false,
+                },
+                AggExpr {
+                    func: AggFunc::Sum,
+                    arg: Some(PlanExpr::Col(1)),
+                    distinct: false,
+                },
+                AggExpr {
+                    func: AggFunc::Avg,
+                    arg: Some(PlanExpr::Col(1)),
+                    distinct: false,
+                },
+                AggExpr {
+                    func: AggFunc::Min,
+                    arg: Some(PlanExpr::Col(1)),
+                    distinct: false,
+                },
+                AggExpr {
+                    func: AggFunc::Max,
+                    arg: Some(PlanExpr::Col(1)),
+                    distinct: false,
+                },
+            ],
+            out,
+        );
+        st.update(&batch(vec![1, 2, 1], vec![10.0, 20.0, 30.0])).unwrap();
+        st.update(&batch(vec![2], vec![40.0])).unwrap();
+        let result = st.finalize().unwrap();
+        assert_eq!(result.rows(), 2);
+        // Insertion order: group 1 first.
+        assert_eq!(result.row(0)[0], Value::Int(1));
+        assert_eq!(result.row(0)[1], Value::Int(2)); // count
+        assert_eq!(result.row(0)[2], Value::Float(40.0)); // sum
+        assert_eq!(result.row(0)[3], Value::Float(20.0)); // avg
+        assert_eq!(result.row(0)[4], Value::Float(10.0)); // min
+        assert_eq!(result.row(0)[5], Value::Float(30.0)); // max
+        assert_eq!(result.row(1)[2], Value::Float(60.0));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let out = Arc::new(Schema::of(vec![Field::new("cnt", DataType::Int64)]));
+        let st = agg_state(
+            vec![],
+            vec![AggExpr {
+                func: AggFunc::Count,
+                arg: None,
+                distinct: false,
+            }],
+            out,
+        );
+        let result = st.finalize().unwrap();
+        assert_eq!(result.rows(), 1);
+        assert_eq!(result.row(0)[0], Value::Int(0));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let out = Arc::new(Schema::of(vec![Field::new("cd", DataType::Int64)]));
+        let mut st = agg_state(
+            vec![],
+            vec![AggExpr {
+                func: AggFunc::Count,
+                arg: Some(PlanExpr::Col(0)),
+                distinct: true,
+            }],
+            out,
+        );
+        st.update(&batch(vec![1, 2, 2, 3, 1], vec![0.0; 5])).unwrap();
+        let result = st.finalize().unwrap();
+        assert_eq!(result.row(0)[0], Value::Int(3));
+    }
+
+    #[test]
+    fn sort_buffer_orders_with_ties() {
+        let schema = schema2(DataType::Int64, DataType::Float64);
+        let mut sb = SortBuffer::new(schema, vec![(0, false), (1, true)]);
+        sb.push(batch(vec![1, 3], vec![5.0, 1.0]));
+        sb.push(batch(vec![3, 2], vec![0.5, 9.0]));
+        let out = sb.finalize().unwrap();
+        assert_eq!(out.column(0), &ColumnData::Int64(vec![3, 3, 2, 1]));
+        assert_eq!(out.column(1), &ColumnData::Float64(vec![0.5, 1.0, 9.0, 5.0]));
+    }
+
+    #[test]
+    fn empty_sort() {
+        let sb = SortBuffer::new(schema2(DataType::Int64, DataType::Float64), vec![(0, true)]);
+        assert_eq!(sb.finalize().unwrap().rows(), 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Runtime scaling hooks.
+//!
+//! The engine calls a [`ScalingController`] (a) once before each pipeline
+//! starts — giving static DOP plans a chance to be corrected with observed
+//! input cardinalities — and (b) periodically while a pipeline runs, which
+//! is where the §3.3 DOP monitor adjusts cluster size mid-pipeline. The
+//! engine stays policy-free; policies live in `ci-monitor`.
+
+use ci_types::{PipelineId, SimDuration, SimTime};
+
+/// Context available when a pipeline is about to start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineStart {
+    /// Which pipeline.
+    pub pipeline: PipelineId,
+    /// The statically planned DOP.
+    pub planned_dop: u32,
+    /// Planner's estimate of source rows.
+    pub planned_source_rows: f64,
+    /// True source row count, when the source is a materialized breaker
+    /// output (known exactly) or a scan (partition metadata).
+    pub actual_source_rows: Option<f64>,
+    /// Planner's estimate of rows reaching the sink.
+    pub planned_sink_rows: f64,
+}
+
+/// Periodic progress snapshot of a running pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineProgress {
+    /// Which pipeline.
+    pub pipeline: PipelineId,
+    /// Current degree of parallelism.
+    pub current_dop: u32,
+    /// Morsels completed so far.
+    pub morsels_done: usize,
+    /// Total morsels in the pipeline.
+    pub morsels_total: usize,
+    /// Source rows consumed so far.
+    pub source_rows_seen: u64,
+    /// Rows that reached the sink so far.
+    pub sink_rows_seen: u64,
+    /// Planner's estimate of total source rows.
+    pub planned_source_rows: f64,
+    /// Planner's estimate of total sink rows.
+    pub planned_sink_rows: f64,
+    /// Virtual time elapsed since the pipeline started.
+    pub elapsed: SimDuration,
+    /// Current virtual time.
+    pub now: SimTime,
+}
+
+impl PipelineProgress {
+    /// Fraction of morsels completed, in `[0, 1]`.
+    pub fn fraction_done(&self) -> f64 {
+        if self.morsels_total == 0 {
+            1.0
+        } else {
+            self.morsels_done as f64 / self.morsels_total as f64
+        }
+    }
+
+    /// Observed-over-planned sink cardinality ratio, extrapolated from
+    /// progress so far (the deviation signal of §3.3).
+    pub fn sink_deviation(&self) -> f64 {
+        let frac = self.fraction_done().max(1e-6);
+        let projected = self.sink_rows_seen as f64 / frac;
+        if self.planned_sink_rows <= 0.0 {
+            return 1.0;
+        }
+        projected / self.planned_sink_rows
+    }
+}
+
+/// A scaling decision returned from a progress check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Keep the current DOP.
+    Keep,
+    /// Resize this pipeline's node set to the given DOP.
+    SetDop(u32),
+}
+
+/// Runtime scaling policy.
+pub trait ScalingController {
+    /// Called before a pipeline starts; returns the DOP to run it with.
+    /// Default: the statically planned DOP (pure static planning).
+    fn on_pipeline_start(&mut self, ctx: &PipelineStart) -> u32 {
+        ctx.planned_dop
+    }
+
+    /// Called every `check_interval` morsels; may resize the pipeline.
+    fn on_progress(&mut self, _progress: &PipelineProgress) -> ScaleDecision {
+        ScaleDecision::Keep
+    }
+}
+
+/// The no-op policy: pure static DOP execution.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoScaling;
+
+impl ScalingController for NoScaling {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_scaling_keeps_plan() {
+        let mut c = NoScaling;
+        let start = PipelineStart {
+            pipeline: PipelineId::new(0),
+            planned_dop: 7,
+            planned_source_rows: 100.0,
+            actual_source_rows: Some(200.0),
+            planned_sink_rows: 10.0,
+        };
+        assert_eq!(c.on_pipeline_start(&start), 7);
+        let prog = PipelineProgress {
+            pipeline: PipelineId::new(0),
+            current_dop: 7,
+            morsels_done: 5,
+            morsels_total: 10,
+            source_rows_seen: 50,
+            sink_rows_seen: 50,
+            planned_source_rows: 100.0,
+            planned_sink_rows: 10.0,
+            elapsed: SimDuration::from_secs(1),
+            now: SimTime::from_secs_f64(1.0),
+        };
+        assert_eq!(c.on_progress(&prog), ScaleDecision::Keep);
+    }
+
+    #[test]
+    fn deviation_extrapolates() {
+        let prog = PipelineProgress {
+            pipeline: PipelineId::new(0),
+            current_dop: 4,
+            morsels_done: 25,
+            morsels_total: 100,
+            source_rows_seen: 2500,
+            sink_rows_seen: 2500,
+            planned_source_rows: 10_000.0,
+            planned_sink_rows: 1_000.0,
+            elapsed: SimDuration::from_secs(1),
+            now: SimTime::from_secs_f64(1.0),
+        };
+        assert!((prog.fraction_done() - 0.25).abs() < 1e-12);
+        // Projected sink rows = 2500 / 0.25 = 10000; planned 1000 -> 10x.
+        assert!((prog.sink_deviation() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_pipeline_is_done() {
+        let prog = PipelineProgress {
+            pipeline: PipelineId::new(0),
+            current_dop: 1,
+            morsels_done: 0,
+            morsels_total: 0,
+            source_rows_seen: 0,
+            sink_rows_seen: 0,
+            planned_source_rows: 0.0,
+            planned_sink_rows: 0.0,
+            elapsed: SimDuration::ZERO,
+            now: SimTime::ZERO,
+        };
+        assert_eq!(prog.fraction_done(), 1.0);
+        assert_eq!(prog.sink_deviation(), 1.0);
+    }
+}

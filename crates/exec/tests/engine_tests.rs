@@ -1,0 +1,346 @@
+//! End-to-end engine tests: SQL → bind → physical plan → pipelines →
+//! execution, with results checked against independently computed answers
+//! and metrics checked against the billing semantics of §3.1.
+
+use std::sync::Arc;
+
+use ci_catalog::{Catalog, ErrorInjector};
+use ci_exec::scaling::{PipelineProgress, ScaleDecision, ScalingController};
+use ci_exec::{ExecutionConfig, Executor, NoScaling};
+use ci_plan::{bind, JoinTree, PhysicalPlan, PipelineGraph};
+use ci_sql::parse;
+use ci_storage::batch::RecordBatch;
+use ci_storage::column::ColumnData;
+use ci_storage::schema::{Field, Schema};
+use ci_storage::table::TableBuilder;
+use ci_storage::value::{DataType, Value};
+use ci_types::{SimDuration, TableId};
+
+const N_ORDERS: i64 = 20_000;
+const N_CUST: i64 = 500;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    let orders = Arc::new(Schema::of(vec![
+        Field::new("o_id", DataType::Int64),
+        Field::new("o_cust", DataType::Int64),
+        Field::new("o_total", DataType::Float64),
+    ]));
+    let mut b = TableBuilder::new(TableId::new(0), "orders", orders.clone(), 2048).unwrap();
+    b.append(
+        RecordBatch::new(
+            orders,
+            vec![
+                ColumnData::Int64((0..N_ORDERS).collect()),
+                ColumnData::Int64((0..N_ORDERS).map(|i| i % N_CUST).collect()),
+                ColumnData::Float64((0..N_ORDERS).map(|i| (i % 1000) as f64).collect()),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    c.register(b.finish().unwrap());
+
+    let cust = Arc::new(Schema::of(vec![
+        Field::new("c_id", DataType::Int64),
+        Field::new("c_region", DataType::Utf8),
+    ]));
+    let mut b = TableBuilder::new(TableId::new(1), "customers", cust.clone(), 256).unwrap();
+    b.append(
+        RecordBatch::new(
+            cust,
+            vec![
+                ColumnData::Int64((0..N_CUST).collect()),
+                ColumnData::Utf8(
+                    (0..N_CUST)
+                        .map(|i| if i % 2 == 0 { "EU".into() } else { "US".into() })
+                        .collect(),
+                ),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    c.register(b.finish().unwrap());
+    c
+}
+
+fn plan_of(cat: &Catalog, sql: &str) -> (PhysicalPlan, PipelineGraph) {
+    let b = bind(&parse(sql).unwrap(), cat).unwrap();
+    let tree = JoinTree::left_deep(&(0..b.relations.len()).collect::<Vec<_>>());
+    let plan =
+        ci_plan::physical::build_plan(&b, &tree, cat, &mut ErrorInjector::oracle()).unwrap();
+    let graph = PipelineGraph::decompose(&plan).unwrap();
+    (plan, graph)
+}
+
+fn run(cat: &Catalog, sql: &str, dop: u32) -> ci_exec::QueryOutcome {
+    let (plan, graph) = plan_of(cat, sql);
+    let exec = Executor::new(cat, ExecutionConfig::default());
+    let dops = vec![dop; graph.len()];
+    exec.execute(&plan, &graph, &dops, &mut NoScaling).unwrap()
+}
+
+#[test]
+fn filter_scan_results_match_oracle() {
+    let cat = catalog();
+    let out = run(&cat, "SELECT o_id FROM orders WHERE o_total < 10.0", 4);
+    // Values 0..10 of (i % 1000) -> 10 matches per 1000 -> 200 rows.
+    assert_eq!(out.result.rows(), 200);
+    assert_eq!(out.metrics.result_rows, 200);
+    // Every returned row satisfies the predicate.
+    for r in 0..out.result.rows() {
+        let Value::Int(id) = out.result.row(r)[0] else {
+            panic!()
+        };
+        assert!(id % 1000 < 10);
+    }
+}
+
+#[test]
+fn join_aggregate_matches_manual_computation() {
+    let cat = catalog();
+    let out = run(
+        &cat,
+        "SELECT c_region, SUM(o_total) AS rev, COUNT(*) AS n FROM orders o \
+         JOIN customers c ON o.o_cust = c.c_id GROUP BY c_region ORDER BY c_region",
+        4,
+    );
+    assert_eq!(out.result.rows(), 2);
+    // Manual: every order joins exactly one customer; region by o_cust % 2.
+    let mut sums = [0.0f64; 2];
+    let mut counts = [0i64; 2];
+    for i in 0..N_ORDERS {
+        let region = (i % N_CUST) % 2; // 0 = EU, 1 = US
+        sums[region as usize] += (i % 1000) as f64;
+        counts[region as usize] += 1;
+    }
+    assert_eq!(out.result.row(0)[0], Value::from("EU"));
+    assert_eq!(out.result.row(0)[1], Value::Float(sums[0]));
+    assert_eq!(out.result.row(0)[2], Value::Int(counts[0]));
+    assert_eq!(out.result.row(1)[0], Value::from("US"));
+    assert_eq!(out.result.row(1)[1], Value::Float(sums[1]));
+    assert_eq!(out.result.row(1)[2], Value::Int(counts[1]));
+}
+
+#[test]
+fn order_by_and_limit() {
+    let cat = catalog();
+    let out = run(
+        &cat,
+        "SELECT o_id, o_total FROM orders WHERE o_total > 995.0 ORDER BY o_total DESC, o_id ASC LIMIT 7",
+        2,
+    );
+    assert_eq!(out.result.rows(), 7);
+    // Top values are 999 (ids 999, 1999, ...): descending totals, ascending ids.
+    assert_eq!(out.result.row(0)[1], Value::Float(999.0));
+    assert_eq!(out.result.row(0)[0], Value::Int(999));
+    assert_eq!(out.result.row(1)[0], Value::Int(1999));
+    // Monotone non-increasing totals.
+    let mut prev = f64::INFINITY;
+    for r in 0..out.result.rows() {
+        let Value::Float(t) = out.result.row(r)[1] else {
+            panic!()
+        };
+        assert!(t <= prev);
+        prev = t;
+    }
+}
+
+#[test]
+fn dop_speeds_up_scans_at_similar_cost() {
+    // §2's elasticity identity only holds when work dwarfs the fixed
+    // provisioning overhead (the paper's example is a 100-minute job);
+    // run with instant provisioning to isolate the scan scaling itself.
+    let cat = catalog();
+    let sql = "SELECT COUNT(*) FROM orders WHERE o_total < 900.0";
+    let (plan, graph) = plan_of(&cat, sql);
+    let config = ExecutionConfig {
+        resize_latency: SimDuration::ZERO,
+        ..ExecutionConfig::default()
+    };
+    let exec = Executor::new(&cat, config);
+    let d1 = exec
+        .execute(&plan, &graph, &vec![1; graph.len()], &mut NoScaling)
+        .unwrap();
+    let d8 = exec
+        .execute(&plan, &graph, &vec![8; graph.len()], &mut NoScaling)
+        .unwrap();
+    assert_eq!(d1.result.row(0)[0], d8.result.row(0)[0]);
+    assert!(
+        d8.metrics.latency < d1.metrics.latency,
+        "8 nodes should beat 1: {} vs {}",
+        d8.metrics.latency,
+        d1.metrics.latency
+    );
+    // Dollars grow far slower than 8x: scans parallelize near-linearly.
+    let ratio = d8.metrics.cost / d1.metrics.cost;
+    assert!(ratio < 4.0, "cost ratio at DOP 8 was {ratio}");
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let cat = catalog();
+    let sql = "SELECT c_region, COUNT(*) FROM orders o JOIN customers c \
+               ON o.o_cust = c.c_id GROUP BY c_region ORDER BY c_region";
+    let a = run(&cat, sql, 4);
+    let b = run(&cat, sql, 4);
+    assert_eq!(a.result, b.result);
+    assert_eq!(a.metrics.latency, b.metrics.latency);
+    assert_eq!(a.metrics.cost, b.metrics.cost);
+}
+
+#[test]
+fn billing_includes_pinned_build_nodes() {
+    let cat = catalog();
+    let (plan, graph) = plan_of(
+        &cat,
+        "SELECT o_id FROM orders o JOIN customers c ON o.o_cust = c.c_id",
+    );
+    let exec = Executor::new(&cat, ExecutionConfig::default());
+    let dops = vec![2; graph.len()];
+    let out = exec.execute(&plan, &graph, &dops, &mut NoScaling).unwrap();
+    // The build pipeline (customers) must stay leased until the probe ends.
+    let build = &out.metrics.pipelines[0];
+    let probe = out.metrics.pipelines.last().unwrap();
+    assert!(build.released >= probe.finish);
+    assert!(build.machine_time >= build.finish.since(build.start));
+    // Total machine time exceeds the sum of busy times (idle + pinned).
+    assert!(out.metrics.machine_time.as_secs_f64() > 0.0);
+    assert!(out.metrics.utilization() <= 1.0);
+}
+
+#[test]
+fn true_cardinalities_recorded_per_node() {
+    let cat = catalog();
+    let (plan, graph) = plan_of(&cat, "SELECT o_id FROM orders WHERE o_total < 10.0");
+    let exec = Executor::new(&cat, ExecutionConfig::default());
+    let out = exec
+        .execute(&plan, &graph, &vec![2; graph.len()], &mut NoScaling)
+        .unwrap();
+    // Scan node actual = post-filter rows.
+    assert_eq!(out.metrics.node_actual_rows[0], 200);
+}
+
+#[test]
+fn empty_result_keeps_schema() {
+    let cat = catalog();
+    let out = run(&cat, "SELECT o_id FROM orders WHERE o_total < 0.0", 2);
+    assert_eq!(out.result.rows(), 0);
+    assert_eq!(out.result.schema().arity(), 1);
+}
+
+#[test]
+fn global_aggregate_over_empty_input() {
+    let cat = catalog();
+    let out = run(&cat, "SELECT COUNT(*) FROM orders WHERE o_total < 0.0", 2);
+    assert_eq!(out.result.rows(), 1);
+    assert_eq!(out.result.row(0)[0], Value::Int(0));
+}
+
+/// A controller that scales a specific pipeline up at the first check.
+struct ScaleUpOnce {
+    target: u32,
+    fired: bool,
+}
+
+impl ScalingController for ScaleUpOnce {
+    fn on_progress(&mut self, p: &PipelineProgress) -> ScaleDecision {
+        if !self.fired && p.morsels_total > 4 {
+            self.fired = true;
+            ScaleDecision::SetDop(self.target)
+        } else {
+            ScaleDecision::Keep
+        }
+    }
+}
+
+#[test]
+fn mid_pipeline_scale_up_reduces_latency() {
+    let cat = catalog();
+    let sql = "SELECT COUNT(*) FROM orders WHERE o_total < 900.0";
+    let (plan, graph) = plan_of(&cat, sql);
+    // Small morsels + fast resize: plenty of work left after the first
+    // progress check, so mid-pipeline scale-up can pay off.
+    let config = ExecutionConfig {
+        morsel_rows: 512,
+        resize_latency: SimDuration::from_millis(50),
+        check_interval: 4,
+        ..ExecutionConfig::default()
+    };
+    let exec = Executor::new(&cat, config);
+    let dops = vec![1; graph.len()];
+
+    let static_run = exec
+        .execute(&plan, &graph, &dops, &mut NoScaling)
+        .unwrap();
+    let mut ctrl = ScaleUpOnce {
+        target: 8,
+        fired: false,
+    };
+    let scaled = exec.execute(&plan, &graph, &dops, &mut ctrl).unwrap();
+    assert_eq!(scaled.result.row(0)[0], static_run.result.row(0)[0]);
+    assert!(scaled.metrics.resize_events >= 1);
+    assert!(
+        scaled.metrics.latency < static_run.metrics.latency,
+        "scaling up mid-pipeline should cut latency: {} vs {}",
+        scaled.metrics.latency,
+        static_run.metrics.latency
+    );
+}
+
+/// A controller that scales down to 1 immediately.
+struct ScaleDownOnce {
+    fired: bool,
+}
+
+impl ScalingController for ScaleDownOnce {
+    fn on_progress(&mut self, _p: &PipelineProgress) -> ScaleDecision {
+        if !self.fired {
+            self.fired = true;
+            ScaleDecision::SetDop(1)
+        } else {
+            ScaleDecision::Keep
+        }
+    }
+}
+
+#[test]
+fn mid_pipeline_scale_down_trims_cost() {
+    let cat = catalog();
+    let sql = "SELECT COUNT(*) FROM orders";
+    let (plan, graph) = plan_of(&cat, sql);
+    let exec = Executor::new(&cat, ExecutionConfig::default());
+    let dops = vec![8; graph.len()];
+    let wide = exec.execute(&plan, &graph, &dops, &mut NoScaling).unwrap();
+    let mut ctrl = ScaleDownOnce { fired: false };
+    let trimmed = exec.execute(&plan, &graph, &dops, &mut ctrl).unwrap();
+    assert_eq!(trimmed.result.row(0)[0], wide.result.row(0)[0]);
+    assert!(trimmed.metrics.resize_events >= 1);
+    assert!(
+        trimmed.metrics.cost < wide.metrics.cost,
+        "scaling down should save dollars: {} vs {}",
+        trimmed.metrics.cost,
+        wide.metrics.cost
+    );
+}
+
+#[test]
+fn provisioning_latency_charged_before_work() {
+    let cat = catalog();
+    let out = run(&cat, "SELECT o_id FROM orders LIMIT 1", 1);
+    // Latency includes the 500ms cluster creation plus startup.
+    assert!(out.metrics.latency >= SimDuration::from_millis(500));
+}
+
+#[test]
+fn projection_arithmetic_in_results() {
+    let cat = catalog();
+    let out = run(
+        &cat,
+        "SELECT o_id, o_total * 2.0 AS dbl FROM orders WHERE o_id < 3 ORDER BY o_id",
+        2,
+    );
+    assert_eq!(out.result.rows(), 3);
+    assert_eq!(out.result.row(2)[1], Value::Float(4.0));
+}

@@ -1,0 +1,24 @@
+//! The DOP monitor (§3.3) and prior-work auto-scaling baselines.
+//!
+//! "A static DOP assignment produced in query optimization could suffer from
+//! errors in cardinality estimations. We, therefore, introduce a DOP monitor
+//! that dynamically adjusts the cluster size at run time." The monitor
+//! ([`monitor::DopMonitor`]) implements the paper's two-threshold policy at
+//! **pipeline granularity**:
+//!
+//! * deviation within `θ_small` — do nothing;
+//! * deviation beyond `θ_small` — correct *this pipeline's* DOP using the
+//!   cost estimator's scalability models;
+//! * deviation beyond `θ_large` — re-invoke DOP planning with observed
+//!   cardinalities (realized per-pipeline at start boundaries).
+//!
+//! [`baselines`] provides the two strategies §3.3 contrasts with: whole-
+//! cluster interval scaling (Jockey/Ellis \[11, 34]) and per-stage
+//! shuffle-boundary scaling (BigQuery \[1, 9]); pure static execution is
+//! `ci_exec::NoScaling`.
+
+pub mod baselines;
+pub mod monitor;
+
+pub use baselines::{StageBoundaryScaling, WholeClusterScaling};
+pub use monitor::{DopMonitor, MonitorConfig};

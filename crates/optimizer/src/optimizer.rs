@@ -1,0 +1,317 @@
+//! Top-level optimizer: DAG planning → bushy variants → DOP planning →
+//! constrained choice.
+
+use ci_catalog::{Catalog, ErrorInjector};
+use ci_cost::{CostEstimator, EstimatorConfig, QueryEstimate};
+use ci_plan::binder::{bind, BoundQuery};
+use ci_plan::jointree::JoinTree;
+use ci_plan::physical::{build_plan, PhysicalPlan};
+use ci_plan::pipeline::PipelineGraph;
+use ci_sql::parse;
+use ci_types::{CiError, Result};
+
+use crate::bushy::bushy_variants;
+use crate::dagplan::dag_plan;
+use crate::dopplan::{Constraint, DopPlanner, SearchStats};
+
+/// Optimizer configuration.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Cost-estimator configuration.
+    pub estimator: EstimatorConfig,
+    /// Explore bushy join-shape variants at DOP-planning time (§3.2).
+    pub explore_bushy: bool,
+    /// Cardinality-error injection bound (1.0 = oracle estimates).
+    pub error_bound: f64,
+    /// Seed for error injection.
+    pub error_seed: u64,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            estimator: EstimatorConfig::default(),
+            explore_bushy: true,
+            error_bound: 1.0,
+            error_seed: 0,
+        }
+    }
+}
+
+/// A fully planned query, ready for execution.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// The bound query.
+    pub bound: BoundQuery,
+    /// Chosen join-tree shape.
+    pub tree: JoinTree,
+    /// Physical plan with cardinality annotations.
+    pub plan: PhysicalPlan,
+    /// Pipeline decomposition.
+    pub graph: PipelineGraph,
+    /// Chosen per-pipeline DOPs.
+    pub dops: Vec<u32>,
+    /// Predicted latency/cost.
+    pub predicted: QueryEstimate,
+    /// Whether the user constraint is predicted to hold.
+    pub feasible: bool,
+    /// Search effort spent in DOP planning (summed over variants).
+    pub search: SearchStats,
+    /// Join-shape variants that were DOP-planned.
+    pub variants_considered: usize,
+}
+
+/// The bi-objective optimizer.
+pub struct Optimizer<'a> {
+    catalog: &'a Catalog,
+    /// Configuration (public for experiment sweeps).
+    pub config: OptimizerConfig,
+}
+
+impl<'a> Optimizer<'a> {
+    /// New optimizer over a catalog.
+    pub fn new(catalog: &'a Catalog, config: OptimizerConfig) -> Optimizer<'a> {
+        Optimizer { catalog, config }
+    }
+
+    /// Parses, binds, and plans a SQL query under a constraint.
+    pub fn plan_sql(&self, sql: &str, constraint: Constraint) -> Result<PlannedQuery> {
+        let ast = parse(sql)?;
+        let bound = bind(&ast, self.catalog)?;
+        self.plan_bound(bound, constraint)
+    }
+
+    /// Plans an already-bound query.
+    pub fn plan_bound(
+        &self,
+        bound: BoundQuery,
+        constraint: Constraint,
+    ) -> Result<PlannedQuery> {
+        // Stage 1: DAG planning (left-deep DP).
+        let left_deep = dag_plan(&bound, self.catalog)?;
+        let order = leaf_order(&left_deep);
+
+        // Stage 2: join-shape variants, each DOP-planned.
+        let variants = if self.config.explore_bushy && order.len() >= 3 {
+            bushy_variants(&order)
+        } else {
+            vec![left_deep]
+        };
+
+        let est = CostEstimator::new(self.catalog, self.config.estimator.clone());
+        let mut search = SearchStats::default();
+        let mut variants_considered = 0usize;
+        let mut best: Option<PlannedQuery> = None;
+
+        for tree in variants {
+            let mut injector = self.injector();
+            let plan = match build_plan(&bound, &tree, self.catalog, &mut injector) {
+                Ok(p) => p,
+                // Bushy split not connected in the join graph: skip.
+                Err(CiError::Plan(_)) => continue,
+                Err(e) => return Err(e),
+            };
+            let graph = PipelineGraph::decompose(&plan)?;
+            let mut planner = DopPlanner::new(&est);
+            let dop_plan = planner.plan(&plan, &graph, constraint)?;
+            search.estimates += planner.stats.estimates;
+            search.candidates += planner.stats.candidates;
+            variants_considered += 1;
+
+            let candidate = PlannedQuery {
+                bound: bound.clone(),
+                tree,
+                plan,
+                graph,
+                dops: dop_plan.dops,
+                predicted: dop_plan.predicted,
+                feasible: dop_plan.feasible,
+                search,
+                variants_considered,
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => prefer(constraint, &candidate, b),
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+
+        let mut chosen = best.ok_or_else(|| {
+            CiError::Plan("no join-shape variant produced a valid plan".into())
+        })?;
+        chosen.search = search;
+        chosen.variants_considered = variants_considered;
+        Ok(chosen)
+    }
+
+    fn injector(&self) -> ErrorInjector {
+        if self.config.error_bound <= 1.0 {
+            ErrorInjector::oracle()
+        } else {
+            ErrorInjector::with_bound(self.config.error_seed, self.config.error_bound)
+        }
+    }
+}
+
+/// Is `a` a better choice than `b` under the constraint?
+fn prefer(constraint: Constraint, a: &PlannedQuery, b: &PlannedQuery) -> bool {
+    if a.feasible != b.feasible {
+        return a.feasible;
+    }
+    match constraint {
+        Constraint::LatencySla(_) | Constraint::MinCost => {
+            if a.feasible {
+                a.predicted.cost < b.predicted.cost
+            } else {
+                a.predicted.latency < b.predicted.latency
+            }
+        }
+        Constraint::Budget(_) => {
+            if a.feasible {
+                a.predicted.latency < b.predicted.latency
+            } else {
+                a.predicted.cost < b.predicted.cost
+            }
+        }
+    }
+}
+
+/// In-order leaves of a join tree (the relation order).
+pub fn leaf_order(tree: &JoinTree) -> Vec<usize> {
+    let mut out = Vec::new();
+    fn walk(t: &JoinTree, out: &mut Vec<usize>) {
+        match t {
+            JoinTree::Leaf(r) => out.push(*r),
+            JoinTree::Join(l, r) => {
+                walk(l, out);
+                walk(r, out);
+            }
+        }
+    }
+    walk(tree, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use ci_storage::batch::RecordBatch;
+    use ci_storage::column::ColumnData;
+    use ci_storage::schema::{Field, Schema};
+    use ci_storage::table::TableBuilder;
+    use ci_storage::value::DataType;
+    use ci_types::money::Dollars;
+    use ci_types::{SimDuration, TableId};
+
+    use super::*;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let mk = |name: &str, id: u32, n: i64, fk_mod: i64, part: usize| {
+            let schema = Arc::new(Schema::of(vec![
+                Field::new("pk", DataType::Int64),
+                Field::new("fk", DataType::Int64),
+                Field::new("val", DataType::Float64),
+            ]));
+            let mut b = TableBuilder::new(TableId::new(id), name, schema.clone(), part)
+                .unwrap();
+            b.append(
+                RecordBatch::new(
+                    schema,
+                    vec![
+                        ColumnData::Int64((0..n).collect()),
+                        ColumnData::Int64((0..n).map(|i| i % fk_mod.max(1)).collect()),
+                        ColumnData::Float64((0..n).map(|i| (i % 97) as f64).collect()),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+            b.finish().unwrap()
+        };
+        c.register(mk("f", 0, 300_000, 3_000, 16_384));
+        c.register(mk("m", 1, 3_000, 30, 1_024));
+        c.register(mk("t", 2, 30, 1, 64));
+        c
+    }
+
+    const CHAIN: &str = "SELECT f.val FROM f JOIN m ON f.fk = m.pk \
+                         JOIN t ON m.fk = t.pk WHERE t.val < 50.0";
+
+    #[test]
+    fn plans_end_to_end_under_sla() {
+        let cat = catalog();
+        let opt = Optimizer::new(&cat, OptimizerConfig::default());
+        let planned = opt
+            .plan_sql(CHAIN, Constraint::LatencySla(SimDuration::from_secs(30)))
+            .unwrap();
+        assert!(planned.feasible);
+        assert_eq!(planned.dops.len(), planned.graph.len());
+        assert!(planned.dops.iter().all(|&d| d >= 1));
+        assert!(planned.variants_considered >= 1);
+        assert!(planned.search.estimates > 0);
+    }
+
+    #[test]
+    fn bushy_exploration_considers_more_variants() {
+        let cat = catalog();
+        let mut cfg = OptimizerConfig::default();
+        cfg.explore_bushy = false;
+        let opt_ld = Optimizer::new(&cat, cfg.clone());
+        let ld = opt_ld
+            .plan_sql(CHAIN, Constraint::MinCost)
+            .unwrap();
+        assert_eq!(ld.variants_considered, 1);
+
+        cfg.explore_bushy = true;
+        let opt_b = Optimizer::new(&cat, cfg);
+        let bushy = opt_b.plan_sql(CHAIN, Constraint::MinCost).unwrap();
+        assert!(bushy.variants_considered >= ld.variants_considered);
+        // Best bushy choice can never be worse than the left-deep-only one.
+        assert!(bushy.predicted.cost.amount() <= ld.predicted.cost.amount() * 1.0001);
+    }
+
+    #[test]
+    fn budget_constraint_respected_or_flagged() {
+        let cat = catalog();
+        let opt = Optimizer::new(&cat, OptimizerConfig::default());
+        let tight = opt
+            .plan_sql(CHAIN, Constraint::Budget(Dollars::new(0.000001)))
+            .unwrap();
+        // Either infeasible (flagged) or within budget.
+        if tight.feasible {
+            assert!(tight.predicted.cost <= Dollars::new(0.000001));
+        }
+        let roomy = opt
+            .plan_sql(CHAIN, Constraint::Budget(Dollars::new(10.0)))
+            .unwrap();
+        assert!(roomy.feasible);
+        assert!(roomy.predicted.latency <= tight.predicted.latency);
+    }
+
+    #[test]
+    fn error_injection_flows_from_config() {
+        let cat = catalog();
+        let mut cfg = OptimizerConfig::default();
+        cfg.error_bound = 4.0;
+        cfg.error_seed = 7;
+        let opt = Optimizer::new(&cat, cfg);
+        let noisy = opt.plan_sql(CHAIN, Constraint::MinCost).unwrap();
+        let clean = Optimizer::new(&cat, OptimizerConfig::default())
+            .plan_sql(CHAIN, Constraint::MinCost)
+            .unwrap();
+        // Injected error perturbs the plan's cardinality annotations.
+        let noisy_est: f64 = noisy.plan.nodes.iter().map(|n| n.est_rows).sum();
+        let clean_est: f64 = clean.plan.nodes.iter().map(|n| n.est_rows).sum();
+        assert_ne!(noisy_est, clean_est);
+    }
+
+    #[test]
+    fn leaf_order_roundtrip() {
+        let t = JoinTree::left_deep(&[2, 0, 1]);
+        assert_eq!(leaf_order(&t), vec![2, 0, 1]);
+    }
+}

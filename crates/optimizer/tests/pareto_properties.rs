@@ -1,0 +1,72 @@
+//! Property tests on the Pareto machinery and the DOP planner's
+//! constraint discipline.
+
+use ci_optimizer::pareto::{cost_inflation, pareto_frontier, ParetoPoint};
+use ci_types::money::Dollars;
+use ci_types::SimDuration;
+use proptest::prelude::*;
+
+fn points_strategy() -> impl Strategy<Value = Vec<ParetoPoint<u32>>> {
+    proptest::collection::vec((1u64..100_000, 1u64..100_000), 1..120).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (lat_us, cents))| ParetoPoint {
+                latency: SimDuration::from_micros(lat_us),
+                cost: Dollars::new(cents as f64 / 100.0),
+                config: i as u32,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// The frontier is dominance-free, sorted, and every input point is
+    /// dominated-or-equal by some frontier point.
+    #[test]
+    fn frontier_invariants(points in points_strategy()) {
+        let f = pareto_frontier(&points);
+        prop_assert!(!f.is_empty());
+        // Sorted by latency strictly ascending, cost strictly descending.
+        for w in f.windows(2) {
+            prop_assert!(w[0].latency < w[1].latency);
+            prop_assert!(w[0].cost.amount() > w[1].cost.amount());
+        }
+        // Dominance-free.
+        for a in &f {
+            for b in &f {
+                if a.config != b.config {
+                    prop_assert!(!a.dominates(b));
+                }
+            }
+        }
+        // Coverage: every point is matched-or-beaten by a frontier point.
+        for p in &points {
+            let covered = f.iter().any(|q| {
+                q.latency <= p.latency && q.cost.amount() <= p.cost.amount() + 1e-12
+            });
+            prop_assert!(covered, "point {:?} not covered", p.config);
+        }
+        // Frontier points have inflation 1 against their own frontier.
+        for p in &f {
+            let infl = cost_inflation(&f, p);
+            prop_assert!((infl - 1.0).abs() < 1e-9, "inflation {infl}");
+        }
+    }
+
+    /// Inflation is monotone: strictly worse points never report lower
+    /// inflation than their dominating point.
+    #[test]
+    fn inflation_monotone(points in points_strategy(), extra_cost in 1u64..1000) {
+        let f = pareto_frontier(&points);
+        for p in &points {
+            let worse = ParetoPoint {
+                latency: p.latency,
+                cost: p.cost + Dollars::new(extra_cost as f64 / 100.0),
+                config: p.config,
+            };
+            prop_assert!(
+                cost_inflation(&f, &worse) >= cost_inflation(&f, p) - 1e-12
+            );
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! Pipeline decomposition.
+//!
+//! A **pipeline** is a maximal chain of streaming operators between pipeline
+//! breakers — exactly the unit the paper assigns a DOP to (§3: "each
+//! pipeline within an analytical query [should reach] its cost-optimal
+//! degree of parallelism"). Breakers are hash-join *builds* (the build side
+//! must finish before probing starts), hash aggregates, and sorts. Exchanges
+//! are streaming shuffles inside a pipeline (no clean-cut materialization,
+//! §3.3).
+//!
+//! The decomposition yields a DAG: pipeline B depends on pipeline A when
+//! A's sink feeds B (a build feeding the pipeline that probes it; an
+//! aggregate/sort whose output B scans). The DOP planner, cost simulator,
+//! executor, and DOP monitor all consume this graph.
+
+use ci_types::{CiError, PipelineId, Result};
+
+use crate::physical::{PhysicalOp, PhysicalPlan};
+
+/// What a pipeline's output flows into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkKind {
+    /// Builds the hash table of the join node (the probe side belongs to a
+    /// later pipeline).
+    JoinBuild {
+        /// The join node index in the plan arena.
+        join: usize,
+    },
+    /// Feeds a hash aggregate.
+    Aggregate {
+        /// The aggregate node index.
+        agg: usize,
+    },
+    /// Feeds a sort.
+    Sort {
+        /// The sort node index.
+        sort: usize,
+    },
+    /// Produces the final query result.
+    Result,
+}
+
+/// One pipeline: a source-to-sink chain of plan nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pipeline {
+    /// Pipeline id (index in the graph).
+    pub id: PipelineId,
+    /// Plan-node indices in data-flow order. The first is the source (a
+    /// scan, or a breaker output being re-scanned); join nodes appearing
+    /// here are *probes*.
+    pub nodes: Vec<usize>,
+    /// Where the output goes.
+    pub sink: SinkKind,
+    /// Pipelines that must complete before this one can run.
+    pub deps: Vec<PipelineId>,
+}
+
+impl Pipeline {
+    /// The source node index.
+    pub fn source(&self) -> usize {
+        self.nodes[0]
+    }
+
+    /// The last node before the sink.
+    pub fn last(&self) -> usize {
+        *self.nodes.last().expect("pipelines are non-empty")
+    }
+}
+
+/// The pipeline DAG of one physical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineGraph {
+    /// Pipelines in a valid bottom-up construction order (deps precede
+    /// dependents).
+    pub pipelines: Vec<Pipeline>,
+}
+
+impl PipelineGraph {
+    /// Decomposes a physical plan into its pipeline DAG.
+    pub fn decompose(plan: &PhysicalPlan) -> Result<PipelineGraph> {
+        let mut d = Decomposer {
+            plan,
+            pipelines: Vec::new(),
+        };
+        let (chain, deps) = d.walk(plan.root)?;
+        d.finish_pipeline(chain, SinkKind::Result, deps);
+        let g = PipelineGraph {
+            pipelines: d.pipelines,
+        };
+        g.validate(plan)?;
+        Ok(g)
+    }
+
+    /// Number of pipelines.
+    pub fn len(&self) -> usize {
+        self.pipelines.len()
+    }
+
+    /// `true` if there are no pipelines (never happens for valid plans).
+    pub fn is_empty(&self) -> bool {
+        self.pipelines.is_empty()
+    }
+
+    /// The pipeline producing the final result.
+    pub fn result_pipeline(&self) -> &Pipeline {
+        self.pipelines
+            .iter()
+            .find(|p| p.sink == SinkKind::Result)
+            .expect("decomposition always produces a result pipeline")
+    }
+
+    /// Groups of pipelines that can start at the same time (same dependency
+    /// frontier); used by the equal-finish-time heuristic (§3.2).
+    pub fn concurrent_groups(&self) -> Vec<Vec<PipelineId>> {
+        // Level = longest dependency path to a source pipeline.
+        let mut level = vec![0usize; self.pipelines.len()];
+        for p in &self.pipelines {
+            let l = p
+                .deps
+                .iter()
+                .map(|d| level[d.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            level[p.id.index()] = l;
+        }
+        let max_level = level.iter().copied().max().unwrap_or(0);
+        let mut groups = vec![Vec::new(); max_level + 1];
+        for p in &self.pipelines {
+            groups[level[p.id.index()]].push(p.id);
+        }
+        groups
+    }
+
+    /// Sanity checks: every non-breaker node appears in exactly one
+    /// pipeline; dependencies precede dependents.
+    fn validate(&self, plan: &PhysicalPlan) -> Result<()> {
+        let mut seen = vec![0usize; plan.nodes.len()];
+        for p in &self.pipelines {
+            if p.nodes.is_empty() {
+                return Err(CiError::Plan("empty pipeline".into()));
+            }
+            for &n in &p.nodes {
+                seen[n] += 1;
+            }
+            for d in &p.deps {
+                if d.index() >= p.id.index() {
+                    return Err(CiError::Plan(format!(
+                        "pipeline {} depends on later pipeline {}",
+                        p.id, d
+                    )));
+                }
+            }
+        }
+        for (i, node) in plan.nodes.iter().enumerate() {
+            // Every node appears in exactly one pipeline's chain. Breakers
+            // (HashAgg/Sort) appear as the *source* of the pipeline reading
+            // their output; their sink-side work is referenced via the
+            // feeding pipeline's `sink` field. Joins appear in their probe
+            // pipeline; the build side is referenced via `SinkKind::JoinBuild`.
+            if seen[i] != 1 {
+                return Err(CiError::Plan(format!(
+                    "node {i} ({}) appears {} times in pipelines, expected 1",
+                    node.op.name(),
+                    seen[i]
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Decomposer<'a> {
+    plan: &'a PhysicalPlan,
+    pipelines: Vec<Pipeline>,
+}
+
+impl<'a> Decomposer<'a> {
+    /// Walks a subtree; returns the open streaming chain ending at `node`
+    /// plus the dependencies collected so far for the pipeline under
+    /// construction.
+    fn walk(&mut self, node: usize) -> Result<(Vec<usize>, Vec<PipelineId>)> {
+        let n = &self.plan.nodes[node];
+        match &n.op {
+            PhysicalOp::Scan { .. } => Ok((vec![node], Vec::new())),
+            PhysicalOp::Filter { .. }
+            | PhysicalOp::Project { .. }
+            | PhysicalOp::ExchangeHash { .. }
+            | PhysicalOp::Gather
+            | PhysicalOp::Limit { .. } => {
+                let (mut chain, deps) = self.walk(n.children[0])?;
+                chain.push(node);
+                Ok((chain, deps))
+            }
+            PhysicalOp::HashJoin { .. } => {
+                // Build side: its chain becomes a completed pipeline sinking
+                // into this join.
+                let (build_chain, build_deps) = self.walk(n.children[0])?;
+                let build_id = self.finish_pipeline(
+                    build_chain,
+                    SinkKind::JoinBuild { join: node },
+                    build_deps,
+                );
+                // Probe side: streams through the join.
+                let (mut chain, mut deps) = self.walk(n.children[1])?;
+                chain.push(node);
+                deps.push(build_id);
+                Ok((chain, deps))
+            }
+            PhysicalOp::HashAgg { .. } => {
+                let (chain, deps) = self.walk(n.children[0])?;
+                let feed_id =
+                    self.finish_pipeline(chain, SinkKind::Aggregate { agg: node }, deps);
+                // New pipeline sources at the aggregate's output.
+                Ok((vec![node], vec![feed_id]))
+            }
+            PhysicalOp::Sort { .. } => {
+                let (chain, deps) = self.walk(n.children[0])?;
+                let feed_id =
+                    self.finish_pipeline(chain, SinkKind::Sort { sort: node }, deps);
+                Ok((vec![node], vec![feed_id]))
+            }
+        }
+    }
+
+    fn finish_pipeline(
+        &mut self,
+        nodes: Vec<usize>,
+        sink: SinkKind,
+        mut deps: Vec<PipelineId>,
+    ) -> PipelineId {
+        deps.sort_unstable();
+        deps.dedup();
+        let id = PipelineId::from(self.pipelines.len());
+        self.pipelines.push(Pipeline {
+            id,
+            nodes,
+            sink,
+            deps,
+        });
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use ci_catalog::{Catalog, ErrorInjector};
+    use ci_sql::parse;
+    use ci_storage::batch::RecordBatch;
+    use ci_storage::column::ColumnData;
+    use ci_storage::schema::{Field, Schema};
+    use ci_storage::table::table_from_batch;
+    use ci_storage::value::DataType;
+    use ci_types::TableId;
+
+    use crate::binder::bind;
+    use crate::jointree::JoinTree;
+    use crate::physical::build_plan;
+
+    use super::*;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let t = |name: &str, id: u32, key_mod: i64| {
+            let schema = Arc::new(Schema::of(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("fk", DataType::Int64),
+            ]));
+            table_from_batch(
+                TableId::new(id),
+                name,
+                RecordBatch::new(
+                    schema,
+                    vec![
+                        ColumnData::Int64((0..200).collect()),
+                        ColumnData::Int64((0..200).map(|i| i % key_mod).collect()),
+                    ],
+                )
+                .unwrap(),
+            )
+        };
+        c.register(t("a", 0, 50));
+        c.register(t("b", 1, 50));
+        c.register(t("c", 2, 50));
+        c
+    }
+
+    fn graph(sql: &str) -> (crate::physical::PhysicalPlan, PipelineGraph) {
+        let cat = catalog();
+        let b = bind(&parse(sql).unwrap(), &cat).unwrap();
+        let tree = JoinTree::left_deep(&(0..b.relations.len()).collect::<Vec<_>>());
+        let plan = build_plan(&b, &tree, &cat, &mut ErrorInjector::oracle()).unwrap();
+        let g = PipelineGraph::decompose(&plan).unwrap();
+        (plan, g)
+    }
+
+    #[test]
+    fn single_scan_is_one_pipeline() {
+        let (_, g) = graph("SELECT id FROM a WHERE id > 5");
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.pipelines[0].sink, SinkKind::Result);
+        assert!(g.pipelines[0].deps.is_empty());
+    }
+
+    #[test]
+    fn join_makes_build_pipeline() {
+        let (plan, g) = graph("SELECT a.id FROM a JOIN b ON a.id = b.fk");
+        assert_eq!(g.len(), 2);
+        let build = &g.pipelines[0];
+        let probe = g.result_pipeline();
+        assert!(matches!(build.sink, SinkKind::JoinBuild { .. }));
+        assert_eq!(probe.deps, vec![build.id]);
+        // The probe pipeline contains the join node as a streaming op.
+        let SinkKind::JoinBuild { join } = build.sink else {
+            unreachable!()
+        };
+        assert!(probe.nodes.contains(&join));
+        assert!(matches!(
+            plan.nodes[build.source()].op,
+            crate::physical::PhysicalOp::Scan { .. }
+        ));
+    }
+
+    #[test]
+    fn aggregate_splits_pipelines() {
+        let (_, g) = graph("SELECT fk, COUNT(*) FROM a GROUP BY fk ORDER BY fk");
+        // scan->agg | agg->sort | sort->result
+        assert_eq!(g.len(), 3);
+        assert!(matches!(g.pipelines[0].sink, SinkKind::Aggregate { .. }));
+        assert!(matches!(g.pipelines[1].sink, SinkKind::Sort { .. }));
+        assert_eq!(g.pipelines[1].deps, vec![g.pipelines[0].id]);
+        assert_eq!(g.result_pipeline().deps, vec![g.pipelines[1].id]);
+    }
+
+    #[test]
+    fn three_way_join_pipeline_count() {
+        let (_, g) = graph(
+            "SELECT a.id FROM a JOIN b ON a.id = b.fk JOIN c ON a.id = c.fk",
+        );
+        // Two build pipelines + one probe/result pipeline.
+        assert_eq!(g.len(), 3);
+        let result = g.result_pipeline();
+        assert_eq!(result.deps.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_groups_level_builds_together() {
+        let (_, g) = graph(
+            "SELECT a.id FROM a JOIN b ON a.id = b.fk JOIN c ON a.id = c.fk",
+        );
+        let groups = g.concurrent_groups();
+        // Level 0: both build pipelines; level 1: the probe pipeline.
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].len(), 2);
+        assert_eq!(groups[1].len(), 1);
+    }
+
+    #[test]
+    fn bushy_join_has_deeper_dag() {
+        let cat = catalog();
+        let b = bind(
+            &parse("SELECT a.id FROM a JOIN b ON a.id = b.fk JOIN c ON b.id = c.fk")
+                .unwrap(),
+            &cat,
+        )
+        .unwrap();
+        let bushy = JoinTree::Join(
+            Box::new(JoinTree::Leaf(0)),
+            Box::new(JoinTree::Join(
+                Box::new(JoinTree::Leaf(1)),
+                Box::new(JoinTree::Leaf(2)),
+            )),
+        );
+        let plan = build_plan(&b, &bushy, &cat, &mut ErrorInjector::oracle()).unwrap();
+        let g = PipelineGraph::decompose(&plan).unwrap();
+        // Tree a ⋈ (b ⋈ c): the right subtree (b ⋈ c) is the outer build.
+        // Pipelines: build(c) -> inner join; probe(b through inner join)
+        // sinks into the outer build; probe(a through outer join) -> result.
+        assert_eq!(g.len(), 3);
+        let result = g.result_pipeline();
+        assert_eq!(result.deps.len(), 1);
+        // And the middle pipeline depends on the innermost build.
+        assert_eq!(g.pipelines[1].deps, vec![g.pipelines[0].id]);
+    }
+
+    #[test]
+    fn every_streaming_node_in_exactly_one_pipeline() {
+        let (plan, g) = graph(
+            "SELECT a.fk, COUNT(*) FROM a JOIN b ON a.id = b.fk \
+             GROUP BY a.fk ORDER BY a.fk LIMIT 3",
+        );
+        // validate() ran inside decompose; re-run directly for visibility.
+        g.validate(&plan).unwrap();
+    }
+}

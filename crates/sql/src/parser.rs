@@ -1,0 +1,653 @@
+//! Recursive-descent parser with precedence climbing.
+
+use ci_types::{CiError, Result};
+
+use crate::ast::{
+    AggFunc, BinaryOp, Expr, JoinClause, Literal, OrderItem, Query, SelectItem, TableRef,
+    UnaryOp,
+};
+use crate::token::{tokenize, Token, TokenKind};
+
+/// Parses one SELECT statement (an optional trailing `;` is allowed).
+pub fn parse(sql: &str) -> Result<Query> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.eat_symbol(";"); // optional
+    if let Some(t) = p.peek() {
+        return Err(CiError::Parse(format!(
+            "trailing input at offset {}: {:?}",
+            t.offset, t.kind
+        )));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn advance(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token { kind: TokenKind::Keyword(k), .. }) if *k == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("expected {kw}")))
+        }
+    }
+
+    fn at_symbol(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(Token { kind: TokenKind::Symbol(k), .. }) if *k == s)
+    }
+
+    fn eat_symbol(&mut self, s: &str) -> bool {
+        if self.at_symbol(s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: &str) -> Result<()> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("expected '{s}'")))
+        }
+    }
+
+    fn unexpected(&self, what: &str) -> CiError {
+        match self.peek() {
+            Some(t) => CiError::Parse(format!(
+                "{what}, found {:?} at offset {}",
+                t.kind, t.offset
+            )),
+            None => CiError::Parse(format!("{what}, found end of input")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(Token {
+                kind: TokenKind::Ident(name),
+                ..
+            }) => {
+                let name = name.clone();
+                self.pos += 1;
+                Ok(name)
+            }
+            _ => Err(self.unexpected("expected identifier")),
+        }
+    }
+
+    // ---- query structure ----------------------------------------------
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_keyword("SELECT")?;
+        let items = self.select_list()?;
+        self.expect_keyword("FROM")?;
+        let from = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            if self.eat_symbol(",") {
+                let table = self.table_ref()?;
+                joins.push(JoinClause { table, on: None });
+            } else if self.at_keyword("JOIN") || self.at_keyword("INNER") {
+                self.eat_keyword("INNER");
+                self.expect_keyword("JOIN")?;
+                let table = self.table_ref()?;
+                self.expect_keyword("ON")?;
+                let on = self.expr()?;
+                joins.push(JoinClause {
+                    table,
+                    on: Some(on),
+                });
+            } else {
+                break;
+            }
+        }
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.expr()?);
+            while self.eat_symbol(",") {
+                group_by.push(self.expr()?);
+            }
+        }
+        let having = if self.eat_keyword("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let asc = if self.eat_keyword("DESC") {
+                    false
+                } else {
+                    self.eat_keyword("ASC");
+                    true
+                };
+                order_by.push(OrderItem { expr, asc });
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.advance() {
+                Some(Token {
+                    kind: TokenKind::Int(n),
+                    ..
+                }) if *n >= 0 => Some(*n as u64),
+                _ => return Err(self.unexpected("expected non-negative LIMIT count")),
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            items,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            if self.eat_symbol("*") {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_keyword("AS") {
+                    Some(self.ident()?)
+                } else if let Some(Token {
+                    kind: TokenKind::Ident(_),
+                    ..
+                }) = self.peek()
+                {
+                    // Bare alias (SELECT a b) — accept like most dialects.
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let name = self.ident()?;
+        let alias = if self.eat_keyword("AS") {
+            Some(self.ident()?)
+        } else if let Some(Token {
+            kind: TokenKind::Ident(_),
+            ..
+        }) = self.peek()
+        {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    // ---- expressions: precedence ladder --------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = Expr::binary(BinaryOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_expr()?;
+            left = Expr::binary(BinaryOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_keyword("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        // BETWEEN / IN postfix forms (optionally negated).
+        let negated = if self.at_keyword("NOT") {
+            // Lookahead: NOT BETWEEN / NOT IN bind here; bare NOT handled above.
+            let next = self.tokens.get(self.pos + 1);
+            matches!(
+                next,
+                Some(Token {
+                    kind: TokenKind::Keyword(k),
+                    ..
+                }) if *k == "BETWEEN" || *k == "IN"
+            ) && {
+                self.pos += 1;
+                true
+            }
+        } else {
+            false
+        };
+        if self.eat_keyword("BETWEEN") {
+            let low = self.additive()?;
+            self.expect_keyword("AND")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_keyword("IN") {
+            self.expect_symbol("(")?;
+            let mut list = vec![self.expr()?];
+            while self.eat_symbol(",") {
+                list.push(self.expr()?);
+            }
+            self.expect_symbol(")")?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.unexpected("expected BETWEEN or IN after NOT"));
+        }
+        let op = if self.eat_symbol("=") {
+            Some(BinaryOp::Eq)
+        } else if self.eat_symbol("<>") || self.eat_symbol("!=") {
+            Some(BinaryOp::NotEq)
+        } else if self.eat_symbol("<=") {
+            Some(BinaryOp::LtEq)
+        } else if self.eat_symbol(">=") {
+            Some(BinaryOp::GtEq)
+        } else if self.eat_symbol("<") {
+            Some(BinaryOp::Lt)
+        } else if self.eat_symbol(">") {
+            Some(BinaryOp::Gt)
+        } else {
+            None
+        };
+        match op {
+            Some(op) => {
+                let right = self.additive()?;
+                Ok(Expr::binary(op, left, right))
+            }
+            None => Ok(left),
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            if self.eat_symbol("+") {
+                let right = self.multiplicative()?;
+                left = Expr::binary(BinaryOp::Add, left, right);
+            } else if self.eat_symbol("-") {
+                let right = self.multiplicative()?;
+                left = Expr::binary(BinaryOp::Sub, left, right);
+            } else {
+                break;
+            }
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            if self.eat_symbol("*") {
+                let right = self.unary()?;
+                left = Expr::binary(BinaryOp::Mul, left, right);
+            } else if self.eat_symbol("/") {
+                let right = self.unary()?;
+                left = Expr::binary(BinaryOp::Div, left, right);
+            } else {
+                break;
+            }
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat_symbol("-") {
+            let inner = self.unary()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(inner),
+            });
+        }
+        self.primary()
+    }
+
+    fn agg_func(&mut self) -> Option<AggFunc> {
+        let f = match self.peek() {
+            Some(Token {
+                kind: TokenKind::Keyword(k),
+                ..
+            }) => match *k {
+                "COUNT" => Some(AggFunc::Count),
+                "SUM" => Some(AggFunc::Sum),
+                "AVG" => Some(AggFunc::Avg),
+                "MIN" => Some(AggFunc::Min),
+                "MAX" => Some(AggFunc::Max),
+                _ => None,
+            },
+            _ => None,
+        }?;
+        // Only treat as aggregate when followed by '('.
+        if matches!(
+            self.tokens.get(self.pos + 1),
+            Some(Token {
+                kind: TokenKind::Symbol("("),
+                ..
+            })
+        ) {
+            self.pos += 1;
+            Some(f)
+        } else {
+            None
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        if let Some(func) = self.agg_func() {
+            self.expect_symbol("(")?;
+            if self.eat_symbol("*") {
+                self.expect_symbol(")")?;
+                if func != AggFunc::Count {
+                    return Err(CiError::Parse(format!(
+                        "{}(*) is not valid; only COUNT(*)",
+                        func.name()
+                    )));
+                }
+                return Ok(Expr::Aggregate {
+                    func,
+                    expr: None,
+                    distinct: false,
+                });
+            }
+            let distinct = self.eat_keyword("DISTINCT");
+            let inner = self.expr()?;
+            self.expect_symbol(")")?;
+            return Ok(Expr::Aggregate {
+                func,
+                expr: Some(Box::new(inner)),
+                distinct,
+            });
+        }
+        if self.eat_symbol("(") {
+            let inner = self.expr()?;
+            self.expect_symbol(")")?;
+            return Ok(inner);
+        }
+        match self.peek().cloned() {
+            Some(Token {
+                kind: TokenKind::Int(v),
+                ..
+            }) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Int(v)))
+            }
+            Some(Token {
+                kind: TokenKind::Float(v),
+                ..
+            }) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Float(v)))
+            }
+            Some(Token {
+                kind: TokenKind::Str(v),
+                ..
+            }) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Str(v)))
+            }
+            Some(Token {
+                kind: TokenKind::Keyword("TRUE"),
+                ..
+            }) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Bool(true)))
+            }
+            Some(Token {
+                kind: TokenKind::Keyword("FALSE"),
+                ..
+            }) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Bool(false)))
+            }
+            Some(Token {
+                kind: TokenKind::Ident(name),
+                ..
+            }) => {
+                self.pos += 1;
+                if self.eat_symbol(".") {
+                    let col = self.ident()?;
+                    Ok(Expr::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    })
+                } else {
+                    Ok(Expr::Column {
+                        qualifier: None,
+                        name,
+                    })
+                }
+            }
+            _ => Err(self.unexpected("expected expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_query() {
+        let q = parse("SELECT * FROM t").unwrap();
+        assert_eq!(q.items, vec![SelectItem::Wildcard]);
+        assert_eq!(q.from.name, "t");
+        assert!(q.joins.is_empty());
+        assert!(q.where_clause.is_none());
+    }
+
+    #[test]
+    fn full_query_shape() {
+        let q = parse(
+            "SELECT o.cust, SUM(o.total) AS revenue \
+             FROM orders o JOIN customers c ON o.cust = c.id \
+             WHERE o.total > 10.5 AND c.region = 'EU' \
+             GROUP BY o.cust HAVING SUM(o.total) > 100 \
+             ORDER BY revenue DESC LIMIT 10;",
+        )
+        .unwrap();
+        assert_eq!(q.items.len(), 2);
+        assert_eq!(q.joins.len(), 1);
+        assert!(q.joins[0].on.is_some());
+        assert_eq!(q.group_by.len(), 1);
+        assert!(q.having.is_some());
+        assert_eq!(q.order_by.len(), 1);
+        assert!(!q.order_by[0].asc);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn precedence() {
+        let q = parse("SELECT a + b * c FROM t").unwrap();
+        let SelectItem::Expr { expr, .. } = &q.items[0] else {
+            panic!("expected expr item");
+        };
+        assert_eq!(expr.to_string(), "(a + (b * c))");
+
+        let q = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        assert_eq!(
+            q.where_clause.unwrap().to_string(),
+            "((a = 1) OR ((b = 2) AND (c = 3)))"
+        );
+    }
+
+    #[test]
+    fn parentheses_override() {
+        let q = parse("SELECT (a + b) * c FROM t").unwrap();
+        let SelectItem::Expr { expr, .. } = &q.items[0] else {
+            panic!()
+        };
+        assert_eq!(expr.to_string(), "((a + b) * c)");
+    }
+
+    #[test]
+    fn between_and_in() {
+        let q = parse("SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b IN (1, 2, 3)")
+            .unwrap();
+        let w = q.where_clause.unwrap().to_string();
+        assert_eq!(w, "((a BETWEEN 1 AND 5) AND (b IN (1, 2, 3)))");
+        let q2 = parse("SELECT * FROM t WHERE a NOT IN (1) AND b NOT BETWEEN 1 AND 2")
+            .unwrap();
+        let w2 = q2.where_clause.unwrap().to_string();
+        assert!(w2.contains("NOT IN"));
+        assert!(w2.contains("NOT BETWEEN"));
+    }
+
+    #[test]
+    fn aggregates() {
+        let q = parse("SELECT COUNT(*), COUNT(DISTINCT x), AVG(y + 1) FROM t").unwrap();
+        assert_eq!(q.items.len(), 3);
+        let strs: Vec<String> = q
+            .items
+            .iter()
+            .map(|i| match i {
+                SelectItem::Expr { expr, .. } => expr.to_string(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(strs[0], "COUNT(*)");
+        assert_eq!(strs[1], "COUNT(DISTINCT x)");
+        assert_eq!(strs[2], "AVG((y + 1))");
+        assert!(parse("SELECT SUM(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn aliases() {
+        let q = parse("SELECT a AS x, b y FROM orders AS o, parts p").unwrap();
+        match &q.items[0] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("x")),
+            _ => panic!(),
+        }
+        match &q.items[1] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("y")),
+            _ => panic!(),
+        }
+        assert_eq!(q.from.binding(), "o");
+        assert_eq!(q.joins[0].table.binding(), "p");
+        assert!(q.joins[0].on.is_none());
+    }
+
+    #[test]
+    fn comma_join_and_inner_join_mix() {
+        let q = parse("SELECT * FROM a, b JOIN c ON a.x = c.x").unwrap();
+        assert_eq!(q.joins.len(), 2);
+        assert!(q.joins[0].on.is_none());
+        assert!(q.joins[1].on.is_some());
+    }
+
+    #[test]
+    fn negative_numbers_and_not() {
+        let q = parse("SELECT -a FROM t WHERE NOT b > -5").unwrap();
+        let SelectItem::Expr { expr, .. } = &q.items[0] else {
+            panic!()
+        };
+        assert_eq!(expr.to_string(), "(-a)");
+        assert_eq!(q.where_clause.unwrap().to_string(), "(NOT (b > (-5)))");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("").is_err());
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT * FROM").is_err());
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("SELECT * FROM t LIMIT x").is_err());
+        assert!(parse("SELECT * FROM t GROUP a").is_err());
+        assert!(parse("SELECT * FROM t extra garbage !").is_err());
+        assert!(parse("SELECT a FROM t WHERE a NOT 5").is_err());
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        assert!(parse("SELECT * FROM t;").is_ok());
+        assert!(parse("SELECT * FROM t ; SELECT").is_err());
+    }
+
+    #[test]
+    fn min_max_as_idents_would_be_keywords() {
+        // MIN/MAX not followed by '(' are not aggregates; they'd be keywords
+        // in identifier position, which is a parse error — acceptable subset.
+        assert!(parse("SELECT min FROM t").is_err());
+        assert!(parse("SELECT MIN(x) FROM t").is_ok());
+    }
+}

@@ -1,0 +1,291 @@
+//! SQL tokenizer.
+
+use ci_types::{CiError, Result};
+
+/// Token kinds. Keywords are recognized case-insensitively and normalized.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier (lower-cased).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, '' unescaped).
+    Str(String),
+    /// A keyword, stored upper-cased (e.g. `SELECT`).
+    Keyword(&'static str),
+    /// Punctuation / operator symbol.
+    Symbol(&'static str),
+}
+
+/// One token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was scanned.
+    pub kind: TokenKind,
+    /// Byte offset in the input where the token starts.
+    pub offset: usize,
+}
+
+/// Recognized keywords.
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "AS", "AND",
+    "OR", "NOT", "JOIN", "INNER", "ON", "ASC", "DESC", "BETWEEN", "IN", "COUNT", "SUM",
+    "AVG", "MIN", "MAX", "TRUE", "FALSE", "DISTINCT",
+];
+
+fn keyword_of(word: &str) -> Option<&'static str> {
+    let upper = word.to_ascii_uppercase();
+    KEYWORDS.iter().find(|&&k| k == upper).copied()
+}
+
+/// Tokenizes SQL text. Errors carry byte offsets.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments.
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let word = &input[start..i];
+            let kind = match keyword_of(word) {
+                Some(k) => TokenKind::Keyword(k),
+                None => TokenKind::Ident(word.to_ascii_lowercase()),
+            };
+            tokens.push(Token {
+                kind,
+                offset: start,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut saw_dot = false;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_digit() || (!saw_dot && bytes[i] == b'.'))
+            {
+                if bytes[i] == b'.' {
+                    // A dot not followed by a digit is punctuation, not decimal.
+                    if !bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit())
+                    {
+                        break;
+                    }
+                    saw_dot = true;
+                }
+                i += 1;
+            }
+            let text = &input[start..i];
+            let kind = if saw_dot {
+                TokenKind::Float(text.parse().map_err(|_| {
+                    CiError::Parse(format!("bad float literal '{text}' at {start}"))
+                })?)
+            } else {
+                TokenKind::Int(text.parse().map_err(|_| {
+                    CiError::Parse(format!("bad int literal '{text}' at {start}"))
+                })?)
+            };
+            tokens.push(Token {
+                kind,
+                offset: start,
+            });
+            continue;
+        }
+        // String literals.
+        if c == '\'' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                match bytes.get(i) {
+                    None => {
+                        return Err(CiError::Parse(format!(
+                            "unterminated string starting at {start}"
+                        )))
+                    }
+                    Some(b'\'') => {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    Some(&b) => {
+                        // Multi-byte UTF-8: copy the full char.
+                        let ch_len = utf8_len(b);
+                        s.push_str(&input[i..i + ch_len]);
+                        i += ch_len;
+                    }
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Str(s),
+                offset: start,
+            });
+            continue;
+        }
+        // Multi-char symbols first.
+        let two = input.get(i..i + 2);
+        let sym2 = match two {
+            Some("<=") => Some("<="),
+            Some(">=") => Some(">="),
+            Some("<>") => Some("<>"),
+            Some("!=") => Some("!="),
+            _ => None,
+        };
+        if let Some(s) = sym2 {
+            tokens.push(Token {
+                kind: TokenKind::Symbol(s),
+                offset: start,
+            });
+            i += 2;
+            continue;
+        }
+        let sym1 = match c {
+            '(' => "(",
+            ')' => ")",
+            ',' => ",",
+            '.' => ".",
+            '*' => "*",
+            '+' => "+",
+            '-' => "-",
+            '/' => "/",
+            '=' => "=",
+            '<' => "<",
+            '>' => ">",
+            ';' => ";",
+            _ => {
+                return Err(CiError::Parse(format!(
+                    "unexpected character '{c}' at {start}"
+                )))
+            }
+        };
+        tokens.push(Token {
+            kind: TokenKind::Symbol(sym1),
+            offset: start,
+        });
+        i += 1;
+    }
+    Ok(tokens)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("SELECT foo FROM Bar"),
+            vec![
+                TokenKind::Keyword("SELECT"),
+                TokenKind::Ident("foo".into()),
+                TokenKind::Keyword("FROM"),
+                TokenKind::Ident("bar".into()),
+            ]
+        );
+        // Keywords case-insensitive.
+        assert_eq!(kinds("select")[0], TokenKind::Keyword("SELECT"));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 3.5"),
+            vec![TokenKind::Int(42), TokenKind::Float(3.5)]
+        );
+        // Dot after int not followed by digit is punctuation (qualified name).
+        assert_eq!(
+            kinds("1.x"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Symbol("."),
+                TokenKind::Ident("x".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(kinds("'ab''c'"), vec![TokenKind::Str("ab'c".into())]);
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn symbols() {
+        assert_eq!(
+            kinds("a <= b <> c != d >= e"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Symbol("<="),
+                TokenKind::Ident("b".into()),
+                TokenKind::Symbol("<>"),
+                TokenKind::Ident("c".into()),
+                TokenKind::Symbol("!="),
+                TokenKind::Ident("d".into()),
+                TokenKind::Symbol(">="),
+                TokenKind::Ident("e".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("SELECT -- the works\n 1"),
+            vec![TokenKind::Keyword("SELECT"), TokenKind::Int(1)]
+        );
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = tokenize("ab  cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 4);
+    }
+
+    #[test]
+    fn bad_character_is_error() {
+        assert!(tokenize("a @ b").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(kinds("'héllo'"), vec![TokenKind::Str("héllo".into())]);
+    }
+}

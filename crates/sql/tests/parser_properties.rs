@@ -1,0 +1,76 @@
+//! Property tests: the SQL front end must never panic, and displayed
+//! expressions must re-parse to the same tree (round-trip stability).
+
+use ci_sql::{parse, tokenize};
+use proptest::prelude::*;
+
+proptest! {
+    /// Tokenizer and parser return `Result`, never panic, on arbitrary bytes.
+    #[test]
+    fn never_panics_on_arbitrary_input(input in ".{0,200}") {
+        let _ = tokenize(&input);
+        let _ = parse(&input);
+    }
+
+    /// ... including inputs built from SQL-ish fragments, which get deeper
+    /// into the parser than uniform noise does.
+    #[test]
+    fn never_panics_on_sqlish_input(parts in proptest::collection::vec(
+        prop_oneof![
+            Just("SELECT".to_owned()), Just("FROM".to_owned()), Just("WHERE".to_owned()),
+            Just("GROUP BY".to_owned()), Just("ORDER BY".to_owned()), Just("JOIN".to_owned()),
+            Just("ON".to_owned()), Just("AND".to_owned()), Just("OR".to_owned()),
+            Just("NOT".to_owned()), Just("BETWEEN".to_owned()), Just("IN".to_owned()),
+            Just("(".to_owned()), Just(")".to_owned()), Just(",".to_owned()),
+            Just("*".to_owned()), Just("=".to_owned()), Just("<".to_owned()),
+            Just("t".to_owned()), Just("x".to_owned()), Just("1".to_owned()),
+            Just("1.5".to_owned()), Just("'s'".to_owned()), Just("COUNT".to_owned()),
+            Just("SUM".to_owned()), Just("LIMIT".to_owned()),
+        ], 0..30)) {
+        let input = parts.join(" ");
+        let _ = parse(&input);
+    }
+}
+
+/// Strategy generating valid expression SQL strings together with nothing
+/// else; we check parse → display → parse is a fixed point.
+fn expr_sql() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("a".to_owned()),
+        Just("t.b".to_owned()),
+        Just("42".to_owned()),
+        Just("3.5".to_owned()),
+        Just("'str'".to_owned()),
+        Just("TRUE".to_owned()),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("({l} + {r})")),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("({l} * {r})")),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("({l} = {r})")),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("({l} AND {r})")),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(e, l, h)| format!("({e} BETWEEN {l} AND {h})")),
+            inner.clone().prop_map(|e| format!("(NOT {e})")),
+            inner.clone().prop_map(|e| format!("SUM({e})")),
+        ]
+    })
+}
+
+proptest! {
+    /// parse(display(parse(sql))) == parse(sql) for generated expressions.
+    #[test]
+    fn display_parse_round_trip(e in expr_sql()) {
+        let sql = format!("SELECT {e} FROM t");
+        let q1 = parse(&sql).expect("generated SQL must parse");
+        let ci_sql::SelectItem::Expr { expr: e1, .. } = &q1.items[0] else {
+            panic!("expected expression item");
+        };
+        let sql2 = format!("SELECT {} FROM t", e1);
+        let q2 = parse(&sql2).expect("displayed SQL must re-parse");
+        let ci_sql::SelectItem::Expr { expr: e2, .. } = &q2.items[0] else {
+            panic!("expected expression item");
+        };
+        prop_assert_eq!(e1, e2);
+    }
+}

@@ -1,0 +1,283 @@
+//! Record batches: the unit of data flowing between operators.
+
+use std::sync::Arc;
+
+use ci_types::{CiError, Result};
+
+use crate::column::ColumnData;
+use crate::schema::SchemaRef;
+use crate::value::Value;
+
+/// A horizontal chunk of a table: one [`ColumnData`] per schema field, all
+/// the same length. Morsels handed to the execution engine are `RecordBatch`
+/// slices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordBatch {
+    schema: SchemaRef,
+    columns: Vec<ColumnData>,
+    rows: usize,
+}
+
+impl RecordBatch {
+    /// Builds a batch, validating column count, types, and equal lengths.
+    pub fn new(schema: SchemaRef, columns: Vec<ColumnData>) -> Result<RecordBatch> {
+        if columns.len() != schema.arity() {
+            return Err(CiError::Exec(format!(
+                "batch has {} columns, schema expects {}",
+                columns.len(),
+                schema.arity()
+            )));
+        }
+        let rows = columns.first().map_or(0, ColumnData::len);
+        for (i, c) in columns.iter().enumerate() {
+            if c.len() != rows {
+                return Err(CiError::Exec(format!(
+                    "column {i} has {} rows, expected {rows}",
+                    c.len()
+                )));
+            }
+            if c.data_type() != schema.field(i).data_type {
+                return Err(CiError::Exec(format!(
+                    "column {i} is {}, schema field '{}' is {}",
+                    c.data_type(),
+                    schema.field(i).name,
+                    schema.field(i).data_type
+                )));
+            }
+        }
+        Ok(RecordBatch {
+            schema,
+            columns,
+            rows,
+        })
+    }
+
+    /// An empty batch with the given schema.
+    pub fn empty(schema: SchemaRef) -> RecordBatch {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnData::empty(f.data_type))
+            .collect();
+        RecordBatch {
+            schema,
+            columns,
+            rows: 0,
+        }
+    }
+
+    /// The batch's schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// `true` when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The columns in schema order.
+    pub fn columns(&self) -> &[ColumnData] {
+        &self.columns
+    }
+
+    /// One column by index.
+    pub fn column(&self, i: usize) -> &ColumnData {
+        &self.columns[i]
+    }
+
+    /// One full row as values (clones strings); for tests and result display.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// Exact encoded payload size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(ColumnData::byte_size).sum()
+    }
+
+    /// New batch keeping rows where `keep` is true.
+    pub fn filter(&self, keep: &[bool]) -> Result<RecordBatch> {
+        if keep.len() != self.rows {
+            return Err(CiError::Exec(format!(
+                "filter mask has {} entries for {} rows",
+                keep.len(),
+                self.rows
+            )));
+        }
+        let columns: Vec<ColumnData> =
+            self.columns.iter().map(|c| c.filter(keep)).collect();
+        RecordBatch::new(self.schema.clone(), columns)
+    }
+
+    /// New batch gathering the given row indices.
+    pub fn take(&self, indices: &[usize]) -> Result<RecordBatch> {
+        if let Some(&bad) = indices.iter().find(|&&i| i >= self.rows) {
+            return Err(CiError::Exec(format!(
+                "take index {bad} out of bounds for {} rows",
+                self.rows
+            )));
+        }
+        let columns: Vec<ColumnData> =
+            self.columns.iter().map(|c| c.take(indices)).collect();
+        RecordBatch::new(self.schema.clone(), columns)
+    }
+
+    /// New batch projecting columns by index; schema is re-derived.
+    pub fn project(&self, indices: &[usize]) -> Result<RecordBatch> {
+        if let Some(&bad) = indices.iter().find(|&&i| i >= self.columns.len()) {
+            return Err(CiError::Exec(format!(
+                "project index {bad} out of bounds for {} columns",
+                self.columns.len()
+            )));
+        }
+        let schema = Arc::new(self.schema.project(indices));
+        let columns: Vec<ColumnData> =
+            indices.iter().map(|&i| self.columns[i].clone()).collect();
+        RecordBatch::new(schema, columns)
+    }
+
+    /// Contiguous row slice `[offset, offset+len)`.
+    pub fn slice(&self, offset: usize, len: usize) -> Result<RecordBatch> {
+        if offset + len > self.rows {
+            return Err(CiError::Exec(format!(
+                "slice [{offset}, {}) out of bounds for {} rows",
+                offset + len,
+                self.rows
+            )));
+        }
+        let columns: Vec<ColumnData> =
+            self.columns.iter().map(|c| c.slice(offset, len)).collect();
+        RecordBatch::new(self.schema.clone(), columns)
+    }
+
+    /// Concatenates batches sharing one schema. Errors on empty input or
+    /// schema mismatch.
+    pub fn concat(batches: &[RecordBatch]) -> Result<RecordBatch> {
+        let first = batches
+            .first()
+            .ok_or_else(|| CiError::Exec("concat of zero batches".into()))?;
+        let mut columns: Vec<ColumnData> = first
+            .schema
+            .fields()
+            .iter()
+            .map(|f| ColumnData::empty(f.data_type))
+            .collect();
+        for b in batches {
+            if b.schema.as_ref() != first.schema.as_ref() {
+                return Err(CiError::Exec("concat schema mismatch".into()));
+            }
+            for (dst, src) in columns.iter_mut().zip(&b.columns) {
+                dst.extend_from(src)?;
+            }
+        }
+        RecordBatch::new(first.schema.clone(), columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::value::DataType;
+
+    fn schema() -> SchemaRef {
+        Arc::new(Schema::of(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+        ]))
+    }
+
+    fn sample() -> RecordBatch {
+        RecordBatch::new(
+            schema(),
+            vec![
+                ColumnData::Int64(vec![1, 2, 3]),
+                ColumnData::Utf8(vec!["a".into(), "b".into(), "c".into()]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        // Wrong arity.
+        assert!(RecordBatch::new(schema(), vec![ColumnData::Int64(vec![1])]).is_err());
+        // Ragged lengths.
+        assert!(RecordBatch::new(
+            schema(),
+            vec![
+                ColumnData::Int64(vec![1, 2]),
+                ColumnData::Utf8(vec!["a".into()])
+            ]
+        )
+        .is_err());
+        // Type mismatch.
+        assert!(RecordBatch::new(
+            schema(),
+            vec![
+                ColumnData::Bool(vec![true]),
+                ColumnData::Utf8(vec!["a".into()])
+            ]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn filter_take_slice() {
+        let b = sample();
+        let f = b.filter(&[true, false, true]).unwrap();
+        assert_eq!(f.rows(), 2);
+        assert_eq!(f.row(1), vec![Value::Int(3), Value::from("c")]);
+
+        let t = b.take(&[2, 2, 0]).unwrap();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.row(0), vec![Value::Int(3), Value::from("c")]);
+        assert!(b.take(&[9]).is_err());
+
+        let s = b.slice(1, 2).unwrap();
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.row(0), vec![Value::Int(2), Value::from("b")]);
+        assert!(b.slice(2, 5).is_err());
+    }
+
+    #[test]
+    fn filter_mask_length_checked() {
+        assert!(sample().filter(&[true]).is_err());
+    }
+
+    #[test]
+    fn project_rederives_schema() {
+        let p = sample().project(&[1]).unwrap();
+        assert_eq!(p.schema().arity(), 1);
+        assert_eq!(p.schema().field(0).name, "name");
+        assert!(sample().project(&[5]).is_err());
+    }
+
+    #[test]
+    fn concat_appends_rows() {
+        let b = sample();
+        let c = RecordBatch::concat(&[b.clone(), b.clone()]).unwrap();
+        assert_eq!(c.rows(), 6);
+        assert_eq!(c.row(3), vec![Value::Int(1), Value::from("a")]);
+        assert!(RecordBatch::concat(&[]).is_err());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let e = RecordBatch::empty(schema());
+        assert!(e.is_empty());
+        assert_eq!(e.byte_size(), 0);
+    }
+
+    #[test]
+    fn byte_size_counts_payload() {
+        // ids: 3*8 = 24; names: (1+4)*3 = 15.
+        assert_eq!(sample().byte_size(), 24 + 15);
+    }
+}

@@ -1,0 +1,374 @@
+//! Typed column vectors.
+
+use ci_types::{CiError, Result};
+
+use crate::value::{DataType, Value};
+
+/// A contiguous, non-nullable, typed column of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// 64-bit integers.
+    Int64(Vec<i64>),
+    /// 64-bit floats.
+    Float64(Vec<f64>),
+    /// UTF-8 strings.
+    Utf8(Vec<String>),
+    /// Booleans.
+    Bool(Vec<bool>),
+}
+
+impl ColumnData {
+    /// An empty column of the given type.
+    pub fn empty(dt: DataType) -> ColumnData {
+        match dt {
+            DataType::Int64 => ColumnData::Int64(Vec::new()),
+            DataType::Float64 => ColumnData::Float64(Vec::new()),
+            DataType::Utf8 => ColumnData::Utf8(Vec::new()),
+            DataType::Bool => ColumnData::Bool(Vec::new()),
+        }
+    }
+
+    /// An empty column with reserved capacity.
+    pub fn with_capacity(dt: DataType, cap: usize) -> ColumnData {
+        match dt {
+            DataType::Int64 => ColumnData::Int64(Vec::with_capacity(cap)),
+            DataType::Float64 => ColumnData::Float64(Vec::with_capacity(cap)),
+            DataType::Utf8 => ColumnData::Utf8(Vec::with_capacity(cap)),
+            DataType::Bool => ColumnData::Bool(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// This column's type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnData::Int64(_) => DataType::Int64,
+            ColumnData::Float64(_) => DataType::Float64,
+            ColumnData::Utf8(_) => DataType::Utf8,
+            ColumnData::Bool(_) => DataType::Bool,
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int64(v) => v.len(),
+            ColumnData::Float64(v) => v.len(),
+            ColumnData::Utf8(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+        }
+    }
+
+    /// `true` if the column has no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Value at row `i` (clones strings). Panics if out of bounds.
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            ColumnData::Int64(v) => Value::Int(v[i]),
+            ColumnData::Float64(v) => Value::Float(v[i]),
+            ColumnData::Utf8(v) => Value::Str(v[i].clone()),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+        }
+    }
+
+    /// Appends a value; errors on type mismatch.
+    pub fn push(&mut self, v: Value) -> Result<()> {
+        match (self, v) {
+            (ColumnData::Int64(c), Value::Int(x)) => c.push(x),
+            (ColumnData::Float64(c), Value::Float(x)) => c.push(x),
+            (ColumnData::Float64(c), Value::Int(x)) => c.push(x as f64),
+            (ColumnData::Utf8(c), Value::Str(x)) => c.push(x),
+            (ColumnData::Bool(c), Value::Bool(x)) => c.push(x),
+            (col, v) => {
+                return Err(CiError::Exec(format!(
+                    "cannot push {} into {} column",
+                    v.data_type(),
+                    col.data_type()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends row `i` of `src` to this column (same type required).
+    pub fn push_from(&mut self, src: &ColumnData, i: usize) -> Result<()> {
+        match (self, src) {
+            (ColumnData::Int64(dst), ColumnData::Int64(s)) => dst.push(s[i]),
+            (ColumnData::Float64(dst), ColumnData::Float64(s)) => dst.push(s[i]),
+            (ColumnData::Utf8(dst), ColumnData::Utf8(s)) => dst.push(s[i].clone()),
+            (ColumnData::Bool(dst), ColumnData::Bool(s)) => dst.push(s[i]),
+            (dst, s) => {
+                return Err(CiError::Exec(format!(
+                    "column type mismatch: {} vs {}",
+                    dst.data_type(),
+                    s.data_type()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// New column containing only rows where `keep[i]` is true.
+    pub fn filter(&self, keep: &[bool]) -> ColumnData {
+        debug_assert_eq!(keep.len(), self.len());
+        match self {
+            ColumnData::Int64(v) => ColumnData::Int64(
+                v.iter()
+                    .zip(keep)
+                    .filter_map(|(x, &k)| k.then_some(*x))
+                    .collect(),
+            ),
+            ColumnData::Float64(v) => ColumnData::Float64(
+                v.iter()
+                    .zip(keep)
+                    .filter_map(|(x, &k)| k.then_some(*x))
+                    .collect(),
+            ),
+            ColumnData::Utf8(v) => ColumnData::Utf8(
+                v.iter()
+                    .zip(keep)
+                    .filter(|&(_x, &k)| k).map(|(x, &_k)| x.clone())
+                    .collect(),
+            ),
+            ColumnData::Bool(v) => ColumnData::Bool(
+                v.iter()
+                    .zip(keep)
+                    .filter_map(|(x, &k)| k.then_some(*x))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// New column gathering the given row indices (indices may repeat).
+    pub fn take(&self, indices: &[usize]) -> ColumnData {
+        match self {
+            ColumnData::Int64(v) => {
+                ColumnData::Int64(indices.iter().map(|&i| v[i]).collect())
+            }
+            ColumnData::Float64(v) => {
+                ColumnData::Float64(indices.iter().map(|&i| v[i]).collect())
+            }
+            ColumnData::Utf8(v) => {
+                ColumnData::Utf8(indices.iter().map(|&i| v[i].clone()).collect())
+            }
+            ColumnData::Bool(v) => {
+                ColumnData::Bool(indices.iter().map(|&i| v[i]).collect())
+            }
+        }
+    }
+
+    /// Zero-copy-ish slice: clones only the selected range.
+    pub fn slice(&self, offset: usize, len: usize) -> ColumnData {
+        match self {
+            ColumnData::Int64(v) => ColumnData::Int64(v[offset..offset + len].to_vec()),
+            ColumnData::Float64(v) => {
+                ColumnData::Float64(v[offset..offset + len].to_vec())
+            }
+            ColumnData::Utf8(v) => ColumnData::Utf8(v[offset..offset + len].to_vec()),
+            ColumnData::Bool(v) => ColumnData::Bool(v[offset..offset + len].to_vec()),
+        }
+    }
+
+    /// Appends all values of `other` (same type required).
+    pub fn extend_from(&mut self, other: &ColumnData) -> Result<()> {
+        match (self, other) {
+            (ColumnData::Int64(a), ColumnData::Int64(b)) => a.extend_from_slice(b),
+            (ColumnData::Float64(a), ColumnData::Float64(b)) => a.extend_from_slice(b),
+            (ColumnData::Utf8(a), ColumnData::Utf8(b)) => {
+                a.extend(b.iter().cloned())
+            }
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => a.extend_from_slice(b),
+            (a, b) => {
+                return Err(CiError::Exec(format!(
+                    "cannot concat {} with {}",
+                    a.data_type(),
+                    b.data_type()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Exact encoded byte size of this column's data.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            ColumnData::Int64(v) => v.len() * 8,
+            ColumnData::Float64(v) => v.len() * 8,
+            ColumnData::Utf8(v) => v.iter().map(|s| s.len() + 4).sum(),
+            ColumnData::Bool(v) => v.len(),
+        }
+    }
+
+    /// Min and max values (`None` for an empty column).
+    pub fn min_max(&self) -> Option<(Value, Value)> {
+        if self.is_empty() {
+            return None;
+        }
+        match self {
+            ColumnData::Int64(v) => {
+                let min = *v.iter().min().expect("non-empty");
+                let max = *v.iter().max().expect("non-empty");
+                Some((Value::Int(min), Value::Int(max)))
+            }
+            ColumnData::Float64(v) => {
+                let mut min = f64::INFINITY;
+                let mut max = f64::NEG_INFINITY;
+                for &x in v {
+                    min = min.min(x);
+                    max = max.max(x);
+                }
+                Some((Value::Float(min), Value::Float(max)))
+            }
+            ColumnData::Utf8(v) => {
+                let min = v.iter().min().expect("non-empty").clone();
+                let max = v.iter().max().expect("non-empty").clone();
+                Some((Value::Str(min), Value::Str(max)))
+            }
+            ColumnData::Bool(v) => {
+                let any_false = v.iter().any(|x| !x);
+                let any_true = v.iter().any(|x| *x);
+                // false < true: min is false iff any false, max is true iff any true.
+                Some((Value::Bool(!any_false), Value::Bool(any_true)))
+            }
+        }
+    }
+
+    /// Typed accessor; errors if the column is not Int64.
+    pub fn as_i64(&self) -> Result<&[i64]> {
+        match self {
+            ColumnData::Int64(v) => Ok(v),
+            other => Err(CiError::Exec(format!(
+                "expected INT column, got {}",
+                other.data_type()
+            ))),
+        }
+    }
+
+    /// Typed accessor; errors if the column is not Float64.
+    pub fn as_f64(&self) -> Result<&[f64]> {
+        match self {
+            ColumnData::Float64(v) => Ok(v),
+            other => Err(CiError::Exec(format!(
+                "expected DOUBLE column, got {}",
+                other.data_type()
+            ))),
+        }
+    }
+
+    /// Typed accessor; errors if the column is not Utf8.
+    pub fn as_str(&self) -> Result<&[String]> {
+        match self {
+            ColumnData::Utf8(v) => Ok(v),
+            other => Err(CiError::Exec(format!(
+                "expected VARCHAR column, got {}",
+                other.data_type()
+            ))),
+        }
+    }
+
+    /// Typed accessor; errors if the column is not Bool.
+    pub fn as_bool(&self) -> Result<&[bool]> {
+        match self {
+            ColumnData::Bool(v) => Ok(v),
+            other => Err(CiError::Exec(format!(
+                "expected BOOLEAN column, got {}",
+                other.data_type()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read() {
+        let mut c = ColumnData::empty(DataType::Int64);
+        c.push(Value::Int(1)).unwrap();
+        c.push(Value::Int(2)).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.value(1), Value::Int(2));
+        assert!(c.push(Value::from("x")).is_err());
+    }
+
+    #[test]
+    fn int_coerces_into_float_column() {
+        let mut c = ColumnData::empty(DataType::Float64);
+        c.push(Value::Int(3)).unwrap();
+        assert_eq!(c.value(0), Value::Float(3.0));
+    }
+
+    #[test]
+    fn filter_keeps_marked_rows() {
+        let c = ColumnData::Int64(vec![10, 20, 30, 40]);
+        let f = c.filter(&[true, false, true, false]);
+        assert_eq!(f, ColumnData::Int64(vec![10, 30]));
+    }
+
+    #[test]
+    fn take_gathers_with_repeats() {
+        let c = ColumnData::Utf8(vec!["a".into(), "b".into(), "c".into()]);
+        let t = c.take(&[2, 0, 2]);
+        assert_eq!(
+            t,
+            ColumnData::Utf8(vec!["c".into(), "a".into(), "c".into()])
+        );
+    }
+
+    #[test]
+    fn slice_range() {
+        let c = ColumnData::Float64(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.slice(1, 2), ColumnData::Float64(vec![2.0, 3.0]));
+    }
+
+    #[test]
+    fn extend_same_type_only() {
+        let mut a = ColumnData::Int64(vec![1]);
+        a.extend_from(&ColumnData::Int64(vec![2, 3])).unwrap();
+        assert_eq!(a.len(), 3);
+        assert!(a.extend_from(&ColumnData::Bool(vec![true])).is_err());
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(ColumnData::Int64(vec![1, 2]).byte_size(), 16);
+        assert_eq!(ColumnData::Bool(vec![true; 5]).byte_size(), 5);
+        assert_eq!(
+            ColumnData::Utf8(vec!["ab".into(), "c".into()]).byte_size(),
+            2 + 4 + 1 + 4
+        );
+    }
+
+    #[test]
+    fn min_max_per_type() {
+        assert_eq!(
+            ColumnData::Int64(vec![3, 1, 2]).min_max(),
+            Some((Value::Int(1), Value::Int(3)))
+        );
+        assert_eq!(
+            ColumnData::Utf8(vec!["b".into(), "a".into()]).min_max(),
+            Some((Value::Str("a".into()), Value::Str("b".into())))
+        );
+        assert_eq!(ColumnData::Int64(vec![]).min_max(), None);
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let c = ColumnData::Int64(vec![5]);
+        assert_eq!(c.as_i64().unwrap(), &[5]);
+        assert!(c.as_f64().is_err());
+        assert!(c.as_str().is_err());
+        assert!(c.as_bool().is_err());
+    }
+
+    #[test]
+    fn push_from_copies_row() {
+        let src = ColumnData::Int64(vec![7, 8]);
+        let mut dst = ColumnData::empty(DataType::Int64);
+        dst.push_from(&src, 1).unwrap();
+        assert_eq!(dst, ColumnData::Int64(vec![8]));
+    }
+}

@@ -1,0 +1,32 @@
+//! Hybrid-columnar storage over the simulated object store.
+//!
+//! Figure 3's bottom layer: "the storage layer, hosted by cloud object
+//! storage services ... keeps the user data in hybrid-columnar formats such
+//! as Parquet and ORC". This crate implements the equivalent:
+//!
+//! * typed [`column::ColumnData`] vectors and [`batch::RecordBatch`]es,
+//! * [`partition::MicroPartition`]s — the unit of object-store I/O — carrying
+//!   zone maps (per-column min/max) and size metadata,
+//! * [`table::Table`]s assembled from micro-partitions, with partition
+//!   pruning against predicate ranges ([`pruning`]).
+//!
+//! Design decision: columns are **non-nullable**. The paper's arguments are
+//! about cost and parallelism, not SQL edge semantics; omitting null bitmaps
+//! keeps every operator and model in the workspace materially simpler
+//! without affecting any experiment's shape.
+
+pub mod batch;
+pub mod column;
+pub mod partition;
+pub mod pruning;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use batch::RecordBatch;
+pub use column::ColumnData;
+pub use partition::MicroPartition;
+pub use pruning::ColumnBound;
+pub use schema::{Field, Schema};
+pub use table::{Table, TableBuilder};
+pub use value::{DataType, Value};

@@ -1,0 +1,115 @@
+//! Micro-partitions: the unit of object-store storage and I/O.
+//!
+//! Mirrors Snowflake's micro-partitions / Parquet row groups: a horizontal
+//! slice of a table stored as one object, carrying a zone map (per-column
+//! min/max) used for pruning. In this reproduction the payload lives in
+//! memory, but every byte is accounted for so the object-store model can
+//! charge realistic fetch times.
+
+use crate::batch::RecordBatch;
+use crate::pruning::ColumnBound;
+use crate::value::Value;
+
+/// Per-column [min, max] of one micro-partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneMap {
+    /// `(min, max)` per column, in schema order.
+    pub ranges: Vec<(Value, Value)>,
+}
+
+impl ZoneMap {
+    /// Computes the zone map of a batch. Empty batches get an empty map.
+    pub fn of(batch: &RecordBatch) -> ZoneMap {
+        let ranges = batch
+            .columns()
+            .iter()
+            .filter_map(|c| c.min_max())
+            .collect();
+        ZoneMap { ranges }
+    }
+
+    /// Could a row satisfying all `bounds` exist in this partition?
+    pub fn may_contain(&self, bounds: &[ColumnBound]) -> bool {
+        bounds.iter().all(|b| {
+            match self.ranges.get(b.column) {
+                // No zone info for that column (empty partition): keep.
+                None => true,
+                Some((zmin, zmax)) => b.may_overlap(zmin, zmax),
+            }
+        })
+    }
+}
+
+/// One stored micro-partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroPartition {
+    /// The data (in-memory stand-in for the object payload).
+    pub batch: RecordBatch,
+    /// Zone map over `batch`.
+    pub zone_map: ZoneMap,
+    /// Encoded object size in bytes (what a fetch transfers).
+    pub stored_bytes: u64,
+}
+
+impl MicroPartition {
+    /// Wraps a batch into a partition, computing its metadata.
+    pub fn from_batch(batch: RecordBatch) -> MicroPartition {
+        let zone_map = ZoneMap::of(&batch);
+        let stored_bytes = batch.byte_size() as u64;
+        MicroPartition {
+            batch,
+            zone_map,
+            stored_bytes,
+        }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.batch.rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::column::ColumnData;
+    use crate::schema::{Field, Schema};
+    use crate::value::DataType;
+
+    fn part(ids: Vec<i64>) -> MicroPartition {
+        let schema = Arc::new(Schema::of(vec![Field::new("id", DataType::Int64)]));
+        MicroPartition::from_batch(
+            RecordBatch::new(schema, vec![ColumnData::Int64(ids)]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn zone_map_is_min_max() {
+        let p = part(vec![5, 1, 9]);
+        assert_eq!(p.zone_map.ranges, vec![(Value::Int(1), Value::Int(9))]);
+        assert_eq!(p.rows(), 3);
+        assert_eq!(p.stored_bytes, 24);
+    }
+
+    #[test]
+    fn pruning_respects_bounds() {
+        let p = part(vec![10, 20, 30]);
+        assert!(p.zone_map.may_contain(&[ColumnBound::eq(0, Value::Int(20))]));
+        assert!(!p.zone_map.may_contain(&[ColumnBound::eq(0, Value::Int(31))]));
+        // Conjunction: any failing bound prunes.
+        assert!(!p.zone_map.may_contain(&[
+            ColumnBound::eq(0, Value::Int(20)),
+            ColumnBound::eq(0, Value::Int(99)),
+        ]));
+        // No bounds: always kept.
+        assert!(p.zone_map.may_contain(&[]));
+    }
+
+    #[test]
+    fn empty_partition_is_conservative() {
+        let p = part(vec![]);
+        assert!(p.zone_map.may_contain(&[ColumnBound::eq(0, Value::Int(1))]));
+    }
+}

@@ -1,0 +1,110 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across all `cost-intel` crates.
+pub type Result<T> = std::result::Result<T, CiError>;
+
+/// Errors produced anywhere in the cost-intelligent warehouse.
+///
+/// Variants are grouped by the architectural component that raises them
+/// (parser, catalog, planner, executor, cloud substrate, constraint checking),
+/// which keeps error reporting explainable — a stated design goal of the
+/// paper's cost estimator (§3.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CiError {
+    /// SQL text could not be tokenized or parsed.
+    Parse(String),
+    /// Name resolution / catalog lookup failure (unknown table, column, ...).
+    Catalog(String),
+    /// Logical or physical planning failure.
+    Plan(String),
+    /// Execution-time failure (type mismatch in a batch, missing input, ...).
+    Exec(String),
+    /// Cloud substrate failure (no capacity, invalid resize, ...).
+    Cloud(String),
+    /// A user constraint (latency SLA or budget) cannot be satisfied by any
+    /// plan the optimizer explored.
+    Infeasible(String),
+    /// Invalid configuration (bad hardware profile, non-positive scale, ...).
+    Config(String),
+    /// Tuning / what-if service failure.
+    Tuning(String),
+}
+
+impl CiError {
+    /// Short machine-readable category tag, handy for experiment CSV output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CiError::Parse(_) => "parse",
+            CiError::Catalog(_) => "catalog",
+            CiError::Plan(_) => "plan",
+            CiError::Exec(_) => "exec",
+            CiError::Cloud(_) => "cloud",
+            CiError::Infeasible(_) => "infeasible",
+            CiError::Config(_) => "config",
+            CiError::Tuning(_) => "tuning",
+        }
+    }
+}
+
+impl fmt::Display for CiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (kind, msg) = match self {
+            CiError::Parse(m) => ("parse error", m),
+            CiError::Catalog(m) => ("catalog error", m),
+            CiError::Plan(m) => ("plan error", m),
+            CiError::Exec(m) => ("execution error", m),
+            CiError::Cloud(m) => ("cloud error", m),
+            CiError::Infeasible(m) => ("infeasible constraint", m),
+            CiError::Config(m) => ("config error", m),
+            CiError::Tuning(m) => ("tuning error", m),
+        };
+        write!(f, "{kind}: {msg}")
+    }
+}
+
+impl std::error::Error for CiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = CiError::Parse("unexpected token".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token");
+        assert_eq!(e.kind(), "parse");
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let all = [
+            CiError::Parse(String::new()),
+            CiError::Catalog(String::new()),
+            CiError::Plan(String::new()),
+            CiError::Exec(String::new()),
+            CiError::Cloud(String::new()),
+            CiError::Infeasible(String::new()),
+            CiError::Config(String::new()),
+            CiError::Tuning(String::new()),
+        ];
+        let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), all.len());
+    }
+
+    #[test]
+    fn result_alias_works() {
+        fn f(ok: bool) -> Result<u32> {
+            if ok {
+                Ok(1)
+            } else {
+                Err(CiError::Exec("boom".into()))
+            }
+        }
+        assert_eq!(f(true).unwrap(), 1);
+        assert!(f(false).is_err());
+    }
+}

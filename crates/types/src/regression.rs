@@ -1,0 +1,236 @@
+//! Ordinary least squares, used to calibrate cost-estimator models.
+//!
+//! The paper (§3.1) proposes "simple mathematical formulas" for most
+//! operators and "pre-train\[ed\] regression models" for complex exchange
+//! operators — explicitly avoiding opaque ML so the estimator stays
+//! explainable. This module provides exactly that: multivariate linear
+//! regression via normal equations (with optional polynomial feature
+//! expansion), solved by Gaussian elimination with partial pivoting.
+
+use crate::error::{CiError, Result};
+
+/// A fitted linear model `y ≈ β₀ + β₁·x₁ + … + βₖ·xₖ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearModel {
+    /// Coefficients; `beta[0]` is the intercept.
+    pub beta: Vec<f64>,
+    /// Coefficient of determination on the training data.
+    pub r_squared: f64,
+}
+
+impl LinearModel {
+    /// Predicts `y` for a feature vector (without the leading 1).
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        debug_assert_eq!(features.len() + 1, self.beta.len());
+        let mut y = self.beta[0];
+        for (b, x) in self.beta[1..].iter().zip(features) {
+            y += b * x;
+        }
+        y
+    }
+
+    /// Number of features the model expects.
+    pub fn arity(&self) -> usize {
+        self.beta.len() - 1
+    }
+}
+
+/// Fits `y ≈ β·[1, x]` by ordinary least squares.
+///
+/// `rows` is a list of feature vectors (all the same length), `ys` the
+/// targets. Errors if shapes mismatch, there are fewer rows than
+/// coefficients, or the normal equations are singular (collinear features).
+pub fn fit(rows: &[Vec<f64>], ys: &[f64]) -> Result<LinearModel> {
+    if rows.len() != ys.len() {
+        return Err(CiError::Config(format!(
+            "regression: {} feature rows but {} targets",
+            rows.len(),
+            ys.len()
+        )));
+    }
+    if rows.is_empty() {
+        return Err(CiError::Config("regression: empty training set".into()));
+    }
+    let k = rows[0].len();
+    if rows.iter().any(|r| r.len() != k) {
+        return Err(CiError::Config("regression: ragged feature rows".into()));
+    }
+    let p = k + 1; // coefficients including intercept
+    if rows.len() < p {
+        return Err(CiError::Config(format!(
+            "regression: {} rows < {p} coefficients",
+            rows.len()
+        )));
+    }
+
+    // Build X'X (p×p) and X'y (p) with the implicit leading-1 column.
+    let mut xtx = vec![vec![0.0f64; p]; p];
+    let mut xty = vec![0.0f64; p];
+    let mut row_buf = vec![0.0f64; p];
+    for (r, &y) in rows.iter().zip(ys) {
+        row_buf[0] = 1.0;
+        row_buf[1..].copy_from_slice(r);
+        for i in 0..p {
+            xty[i] += row_buf[i] * y;
+            for j in i..p {
+                xtx[i][j] += row_buf[i] * row_buf[j];
+            }
+        }
+    }
+    // Mirror the upper triangle.
+    for i in 0..p {
+        for j in 0..i {
+            xtx[i][j] = xtx[j][i];
+        }
+    }
+
+    let beta = solve(&mut xtx, &mut xty)?;
+
+    // R² on training data.
+    let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+    let mut ss_tot = 0.0;
+    let mut ss_res = 0.0;
+    let model = LinearModel {
+        beta,
+        r_squared: 0.0,
+    };
+    for (r, &y) in rows.iter().zip(ys) {
+        let pred = model.predict(r);
+        ss_res += (y - pred).powi(2);
+        ss_tot += (y - mean_y).powi(2);
+    }
+    let r_squared = if ss_tot < 1e-300 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Ok(LinearModel {
+        beta: model.beta,
+        r_squared,
+    })
+}
+
+/// Solves `A x = b` in place by Gaussian elimination with partial pivoting.
+fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Result<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        for row in col + 1..n {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(CiError::Config(
+                "regression: singular normal equations (collinear features)".into(),
+            ));
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                a[row][j] -= f * a[col][j];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back-substitute.
+    let mut x = vec![0.0f64; n];
+    for col in (0..n).rev() {
+        let mut v = b[col];
+        for j in col + 1..n {
+            v -= a[col][j] * x[j];
+        }
+        x[col] = v / a[col][col];
+    }
+    Ok(x)
+}
+
+/// Expands a scalar into polynomial features `[x, x², …, x^degree]`.
+/// Degree-2 or -3 expansions capture the superlinear network cost of
+/// exchange operators without resorting to black-box models.
+pub fn poly_features(x: f64, degree: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(degree);
+    let mut acc = 1.0;
+    for _ in 0..degree {
+        acc *= x;
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+
+    #[test]
+    fn fits_exact_line() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| 3.0 + 2.0 * i as f64).collect();
+        let m = fit(&rows, &ys).unwrap();
+        assert!((m.beta[0] - 3.0).abs() < 1e-9);
+        assert!((m.beta[1] - 2.0).abs() < 1e-9);
+        assert!(m.r_squared > 0.999_999);
+        assert!((m.predict(&[20.0]) - 43.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fits_multivariate_with_noise() {
+        let mut rng = DetRng::seed_from_u64(99);
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..500 {
+            let x1 = rng.range_f64(0.0, 10.0);
+            let x2 = rng.range_f64(-5.0, 5.0);
+            rows.push(vec![x1, x2]);
+            ys.push(1.0 + 0.5 * x1 - 2.0 * x2 + rng.normal(0.0, 0.1));
+        }
+        let m = fit(&rows, &ys).unwrap();
+        assert!((m.beta[0] - 1.0).abs() < 0.05, "b0={}", m.beta[0]);
+        assert!((m.beta[1] - 0.5).abs() < 0.02, "b1={}", m.beta[1]);
+        assert!((m.beta[2] + 2.0).abs() < 0.02, "b2={}", m.beta[2]);
+        assert!(m.r_squared > 0.99);
+    }
+
+    #[test]
+    fn poly_fit_recovers_quadratic() {
+        let rows: Vec<Vec<f64>> = (1..30).map(|i| poly_features(i as f64, 2)).collect();
+        let ys: Vec<f64> = (1..30).map(|i| 5.0 + (i * i) as f64).collect();
+        let m = fit(&rows, &ys).unwrap();
+        assert!((m.beta[0] - 5.0).abs() < 1e-6);
+        assert!(m.beta[1].abs() < 1e-6);
+        assert!((m.beta[2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(fit(&[], &[]).is_err());
+        assert!(fit(&[vec![1.0]], &[1.0, 2.0]).is_err());
+        assert!(fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]).is_err());
+        // Two coefficients need at least two rows.
+        assert!(fit(&[vec![1.0]], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_collinear_features() {
+        // x2 = 2*x1 exactly: singular.
+        let rows: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![i as f64, 2.0 * i as f64])
+            .collect();
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert!(fit(&rows, &ys).is_err());
+    }
+
+    #[test]
+    fn poly_features_shape() {
+        assert_eq!(poly_features(2.0, 3), vec![2.0, 4.0, 8.0]);
+        assert!(poly_features(5.0, 0).is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! Workload traces: recurring + ad-hoc query streams over virtual time.
+
+use ci_types::{DetRng, SimTime};
+
+use crate::gen::CabGenerator;
+use crate::queries::{canonical, instantiate, TEMPLATES};
+
+/// Trace generation parameters.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Total trace span in hours of virtual time.
+    pub hours: f64,
+    /// Arrival rate of recurring queries, per hour.
+    pub recurring_per_hour: f64,
+    /// Arrival rate of ad-hoc (fresh-parameter) queries, per hour.
+    pub adhoc_per_hour: f64,
+    /// Which template ids recur (with canonical parameters).
+    pub recurring_templates: Vec<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            hours: 24.0,
+            recurring_per_hour: 20.0,
+            adhoc_per_hour: 5.0,
+            recurring_templates: vec![1, 3, 6, 9, 12],
+            seed: 7,
+        }
+    }
+}
+
+/// One query arrival.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// Arrival time.
+    pub at: SimTime,
+    /// SQL text.
+    pub sql: String,
+    /// Template id.
+    pub template: usize,
+    /// `true` when part of the recurring workload (canonical parameters).
+    pub recurring: bool,
+}
+
+/// A generated workload trace, sorted by arrival time.
+#[derive(Debug, Clone)]
+pub struct WorkloadTrace {
+    /// Arrivals in time order.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl WorkloadTrace {
+    /// Generates a trace with Poisson arrivals for both streams.
+    pub fn generate(config: &TraceConfig, gen: &CabGenerator) -> WorkloadTrace {
+        let mut rng = DetRng::seed_from_u64(config.seed);
+        let mut entries = Vec::new();
+        let span_secs = config.hours * 3600.0;
+
+        // Recurring stream: canonical instances of the chosen templates.
+        if config.recurring_per_hour > 0.0 && !config.recurring_templates.is_empty() {
+            let rate_per_sec = config.recurring_per_hour / 3600.0;
+            let mut t = 0.0;
+            let mut r = rng.fork(1);
+            loop {
+                t += r.exponential(rate_per_sec);
+                if t >= span_secs {
+                    break;
+                }
+                let id = *r.choose(&config.recurring_templates);
+                entries.push(TraceEntry {
+                    at: SimTime::from_secs_f64(t),
+                    sql: canonical(id, gen),
+                    template: id,
+                    recurring: true,
+                });
+            }
+        }
+
+        // Ad-hoc stream: any template, fresh parameters each time.
+        if config.adhoc_per_hour > 0.0 {
+            let rate_per_sec = config.adhoc_per_hour / 3600.0;
+            let mut t = 0.0;
+            let mut r = rng.fork(2);
+            loop {
+                t += r.exponential(rate_per_sec);
+                if t >= span_secs {
+                    break;
+                }
+                let id = r.choose(&TEMPLATES).id;
+                entries.push(TraceEntry {
+                    at: SimTime::from_secs_f64(t),
+                    sql: instantiate(id, &mut r, gen),
+                    template: id,
+                    recurring: false,
+                });
+            }
+        }
+
+        entries.sort_by_key(|e| e.at);
+        WorkloadTrace { entries }
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_counts_near_expectation() {
+        let gen = CabGenerator::at_scale(1.0);
+        let cfg = TraceConfig {
+            hours: 50.0,
+            recurring_per_hour: 10.0,
+            adhoc_per_hour: 2.0,
+            ..TraceConfig::default()
+        };
+        let trace = WorkloadTrace::generate(&cfg, &gen);
+        let expected = 50.0 * 12.0;
+        let n = trace.len() as f64;
+        assert!(
+            (n - expected).abs() / expected < 0.2,
+            "got {n}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn sorted_by_time_and_deterministic() {
+        let gen = CabGenerator::at_scale(1.0);
+        let cfg = TraceConfig::default();
+        let a = WorkloadTrace::generate(&cfg, &gen);
+        let b = WorkloadTrace::generate(&cfg, &gen);
+        assert_eq!(a.entries, b.entries);
+        for w in a.entries.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn recurring_entries_repeat_exact_sql() {
+        let gen = CabGenerator::at_scale(1.0);
+        let cfg = TraceConfig {
+            hours: 20.0,
+            recurring_per_hour: 30.0,
+            adhoc_per_hour: 0.0,
+            recurring_templates: vec![3],
+            ..TraceConfig::default()
+        };
+        let trace = WorkloadTrace::generate(&cfg, &gen);
+        assert!(!trace.is_empty());
+        let first = &trace.entries[0].sql;
+        for e in &trace.entries {
+            assert!(e.recurring);
+            assert_eq!(&e.sql, first, "canonical instances must be identical");
+        }
+    }
+
+    #[test]
+    fn adhoc_entries_vary() {
+        let gen = CabGenerator::at_scale(1.0);
+        let cfg = TraceConfig {
+            hours: 30.0,
+            recurring_per_hour: 0.0,
+            adhoc_per_hour: 10.0,
+            ..TraceConfig::default()
+        };
+        let trace = WorkloadTrace::generate(&cfg, &gen);
+        let distinct: std::collections::BTreeSet<&str> =
+            trace.entries.iter().map(|e| e.sql.as_str()).collect();
+        assert!(distinct.len() > trace.len() / 2, "ad-hoc queries should vary");
+    }
+}

@@ -1,0 +1,69 @@
+//! Every CAB template must parse, bind, plan, and execute correctly on a
+//! small scale factor.
+
+use ci_catalog::ErrorInjector;
+use ci_exec::{ExecutionConfig, Executor, NoScaling};
+use ci_plan::{bind, JoinTree, PipelineGraph};
+use ci_sql::parse;
+use ci_types::DetRng;
+use ci_workload::{gen::CabGenerator, queries, TEMPLATES};
+
+#[test]
+fn all_templates_execute() {
+    let gen = CabGenerator::at_scale(0.05);
+    let cat = gen.build_catalog().unwrap();
+    let exec = Executor::new(&cat, ExecutionConfig::default());
+    let mut rng = DetRng::seed_from_u64(99);
+    for t in &TEMPLATES {
+        let sql = queries::instantiate(t.id, &mut rng, &gen);
+        let bound = bind(&parse(&sql).unwrap_or_else(|e| panic!("Q{}: {e}\n{sql}", t.id)), &cat)
+            .unwrap_or_else(|e| panic!("Q{} bind: {e}\n{sql}", t.id));
+        let tree = JoinTree::left_deep(&(0..bound.relations.len()).collect::<Vec<_>>());
+        let plan = ci_plan::physical::build_plan(
+            &bound,
+            &tree,
+            &cat,
+            &mut ErrorInjector::oracle(),
+        )
+        .unwrap_or_else(|e| panic!("Q{} plan: {e}\n{sql}", t.id));
+        let graph = PipelineGraph::decompose(&plan).unwrap();
+        let out = exec
+            .execute(&plan, &graph, &vec![2; graph.len()], &mut NoScaling)
+            .unwrap_or_else(|e| panic!("Q{} exec: {e}\n{sql}", t.id));
+        // Sanity: schema non-empty, latency and cost positive.
+        assert!(out.result.schema().arity() > 0, "Q{}", t.id);
+        assert!(out.metrics.latency.as_secs_f64() > 0.0, "Q{}", t.id);
+        assert!(out.metrics.cost.amount() > 0.0, "Q{}", t.id);
+    }
+}
+
+#[test]
+fn canonical_instances_are_stable() {
+    let gen = CabGenerator::at_scale(0.05);
+    for t in &TEMPLATES {
+        assert_eq!(
+            queries::canonical(t.id, &gen),
+            queries::canonical(t.id, &gen)
+        );
+    }
+}
+
+#[test]
+fn selective_template_returns_subset() {
+    let gen = CabGenerator::at_scale(0.05);
+    let cat = gen.build_catalog().unwrap();
+    let exec = Executor::new(&cat, ExecutionConfig::default());
+    let sql = queries::canonical(2, &gen); // date-window scan
+    let bound = bind(&parse(&sql).unwrap(), &cat).unwrap();
+    let tree = JoinTree::left_deep(&[0]);
+    let plan =
+        ci_plan::physical::build_plan(&bound, &tree, &cat, &mut ErrorInjector::oracle())
+            .unwrap();
+    let graph = PipelineGraph::decompose(&plan).unwrap();
+    let out = exec
+        .execute(&plan, &graph, &vec![2; graph.len()], &mut NoScaling)
+        .unwrap();
+    let total = cat.get("orders").unwrap().stats.row_count;
+    assert!(out.result.rows() > 0);
+    assert!((out.result.rows() as u64) < total / 10, "31-day window is selective");
+}

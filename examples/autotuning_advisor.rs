@@ -1,0 +1,88 @@
+//! Auto-tuning advisor: replay a recurring workload, let the Statistics
+//! Service learn it, ask the What-If Service for dollar-denominated tuning
+//! proposals (§4 of the paper), apply the accepted ones on background
+//! compute, and verify the savings materialize.
+//!
+//! ```sh
+//! cargo run --release --example autotuning_advisor
+//! ```
+
+use cost_intel::autotune::TuningAction;
+use cost_intel::workload::{CabGenerator, TraceConfig, WorkloadTrace};
+use cost_intel::{Constraint, Warehouse, WarehouseConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gen = CabGenerator::at_scale(0.3);
+    let catalog = gen.build_catalog()?;
+    let mut warehouse = Warehouse::new(catalog, WarehouseConfig::default());
+
+    // A day of recurring dashboards (Q3 revenue-by-region, Q6 forecast)
+    // plus some ad-hoc exploration.
+    let trace = WorkloadTrace::generate(
+        &TraceConfig {
+            hours: 24.0,
+            recurring_per_hour: 12.0,
+            adhoc_per_hour: 2.0,
+            recurring_templates: vec![3, 6],
+            seed: 11,
+        },
+        &gen,
+    );
+    println!("replaying {} queries over 24h of virtual time...", trace.len());
+    let reports = warehouse.run_trace(&trace, Constraint::MinCost)?;
+    let before_spend: f64 = reports.iter().map(|r| r.cost.amount()).sum();
+    let per_query_before = before_spend / reports.len() as f64;
+    println!(
+        "  workload spend: ${before_spend:.4} (${per_query_before:.6}/query)\n"
+    );
+
+    // The advisor: statistics -> prediction -> what-if, all in dollars.
+    println!("== tuning proposals ==");
+    let proposals = warehouse.tuning_proposals()?;
+    for p in &proposals {
+        println!("  {}", p.narrative);
+    }
+
+    // Apply what the what-if service accepted.
+    let accepted: Vec<TuningAction> = proposals
+        .iter()
+        .filter(|p| p.accepted)
+        .map(|p| p.action.clone())
+        .collect();
+    if accepted.is_empty() {
+        println!("\nno profitable actions — workload too light to tune.");
+        return Ok(());
+    }
+    println!("\n== applying {} accepted action(s) on background compute ==", accepted.len());
+    for action in &accepted {
+        match warehouse.apply(action) {
+            Ok(bill) => println!("  applied {} for {}", action.label(), bill.round_cents()),
+            Err(e) => println!("  skipped {}: {e}", action.label()),
+        }
+    }
+
+    // Replay the same recurring workload: the bill should shrink.
+    let trace2 = WorkloadTrace::generate(
+        &TraceConfig {
+            hours: 24.0,
+            recurring_per_hour: 12.0,
+            adhoc_per_hour: 2.0,
+            recurring_templates: vec![3, 6],
+            seed: 12,
+        },
+        &gen,
+    );
+    let reports2 = warehouse.run_trace(&trace2, Constraint::MinCost)?;
+    let after_spend: f64 = reports2.iter().map(|r| r.cost.amount()).sum();
+    let per_query_after = after_spend / reports2.len() as f64;
+    let mv_hits = reports2.iter().filter(|r| r.used_mv.is_some()).count();
+
+    println!("\n== verification ==");
+    println!("  next day's spend: ${after_spend:.4} (${per_query_after:.6}/query)");
+    println!("  queries answered by materialized views: {mv_hits}/{}", reports2.len());
+    println!(
+        "  per-query saving: {:.1}%",
+        (1.0 - per_query_after / per_query_before) * 100.0
+    );
+    Ok(())
+}

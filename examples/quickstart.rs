@@ -1,0 +1,53 @@
+//! Quickstart: open a cost-intelligent warehouse, run a query under a
+//! latency SLA, and read the bill next to the prediction.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cost_intel::{Constraint, Warehouse, WarehouseConfig};
+use cost_intel::types::SimDuration;
+use cost_intel::workload::CabGenerator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Generate the CAB star schema (scale factor 0.5: ~100k orders,
+    // ~400k lineitems) and open a warehouse over it. No T-shirt sizes —
+    // the warehouse deploys resources per query (§2 of the paper).
+    let catalog = CabGenerator::at_scale(0.5).build_catalog()?;
+    let mut warehouse = Warehouse::new(catalog, WarehouseConfig::default());
+
+    // Revenue by region, with a 5-second latency SLA. The optimizer finds
+    // the cheapest distributed plan + DOP assignment predicted to meet it.
+    let report = warehouse.submit(
+        "SELECT c_region, SUM(o_total) AS revenue, COUNT(*) AS orders \
+         FROM orders o JOIN customer c ON o.o_cust = c.c_id \
+         WHERE o_date >= 1200 GROUP BY c_region ORDER BY revenue DESC",
+        Constraint::LatencySla(SimDuration::from_secs(5)),
+    )?;
+
+    println!("== results ==");
+    for row in 0..report.result.rows() {
+        let vals = report.result.row(row);
+        println!("  {} revenue={} orders={}", vals[0], vals[1], vals[2]);
+    }
+
+    println!("\n== cost intelligence ==");
+    println!("  {}", report.summary());
+    println!("  per-pipeline DOPs chosen: {:?}", report.dops);
+    println!("  SLA met: {}", report.constraint_met);
+    println!("\n== physical plan ==\n{}", report.plan_text);
+
+    // The same query under a tight budget instead: the optimizer trades
+    // latency for dollars along the same Pareto frontier (Figure 2).
+    let frugal = warehouse.submit(
+        "SELECT c_region, SUM(o_total) AS revenue, COUNT(*) AS orders \
+         FROM orders o JOIN customer c ON o.o_cust = c.c_id \
+         WHERE o_date >= 1200 GROUP BY c_region ORDER BY revenue DESC",
+        Constraint::Budget(cost_intel::types::Dollars::new(0.002)),
+    )?;
+    println!("== same query, $0.002 budget ==");
+    println!("  {}", frugal.summary());
+    println!("  DOPs: {:?}", frugal.dops);
+
+    Ok(())
+}
