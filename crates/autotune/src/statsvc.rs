@@ -12,6 +12,11 @@ use std::collections::HashMap;
 use ci_types::money::Dollars;
 use ci_types::{DetRng, SimDuration, SimTime, TableId};
 
+/// A `(table, column)` attribute reference.
+pub type AttrRef = (TableId, usize);
+/// An undirected join-graph edge between two attributes.
+pub type JoinEdge = (AttrRef, AttrRef);
+
 /// One query execution log record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryLogRecord {
@@ -28,9 +33,9 @@ pub struct QueryLogRecord {
     /// Dollars billed.
     pub cost: Dollars,
     /// (table, column) attribute accesses.
-    pub attributes: Vec<(TableId, usize)>,
+    pub attributes: Vec<AttrRef>,
     /// Equi-join column pairs exercised.
-    pub joins: Vec<((TableId, usize), (TableId, usize))>,
+    pub joins: Vec<JoinEdge>,
 }
 
 /// Sampling and metering configuration.
@@ -81,10 +86,10 @@ pub struct StatisticsService {
     config: StatsConfig,
     rng: DetRng,
     /// Attribute access counts (scaled).
-    attr_counts: HashMap<(TableId, usize), f64>,
+    attr_counts: HashMap<AttrRef, f64>,
     /// Weighted join graph: vertices are (table, column), weights are scaled
     /// access counts (§4's "weighted join graph").
-    join_graph: HashMap<((TableId, usize), (TableId, usize)), f64>,
+    join_graph: HashMap<JoinEdge, f64>,
     fingerprints: HashMap<String, FingerprintStats>,
     /// Executions that were observed but not recorded (sampling misses).
     skipped: u64,
@@ -121,8 +126,7 @@ impl StatisticsService {
 
     /// Ingests one query log record, subject to sampling.
     pub fn ingest(&mut self, rec: QueryLogRecord) {
-        if self.config.sampling_rate < 1.0 && !self.rng.bool_with(self.config.sampling_rate)
-        {
+        if self.config.sampling_rate < 1.0 && !self.rng.bool_with(self.config.sampling_rate) {
             self.skipped += 1;
             return;
         }
@@ -153,8 +157,7 @@ impl StatisticsService {
             });
         // Running mean of latency over recorded samples.
         let n_before = entry.count / scale;
-        let mean = (entry.mean_latency.as_secs_f64() * n_before
-            + rec.latency.as_secs_f64())
+        let mean = (entry.mean_latency.as_secs_f64() * n_before + rec.latency.as_secs_f64())
             / (n_before + 1.0);
         entry.mean_latency = SimDuration::from_secs_f64(mean);
         entry.count += scale;
@@ -187,7 +190,7 @@ impl StatisticsService {
     }
 
     /// Top attributes by access count, descending.
-    pub fn hot_attributes(&self, k: usize) -> Vec<((TableId, usize), f64)> {
+    pub fn hot_attributes(&self, k: usize) -> Vec<(AttrRef, f64)> {
         let mut v: Vec<_> = self.attr_counts.iter().map(|(a, c)| (*a, *c)).collect();
         v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
         v.truncate(k);
@@ -195,7 +198,7 @@ impl StatisticsService {
     }
 
     /// Join-graph edges by weight, descending.
-    pub fn join_edges(&self) -> Vec<(((TableId, usize), (TableId, usize)), f64)> {
+    pub fn join_edges(&self) -> Vec<(JoinEdge, f64)> {
         let mut v: Vec<_> = self.join_graph.iter().map(|(e, w)| (*e, *w)).collect();
         v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
         v
@@ -271,7 +274,10 @@ pub fn fingerprint_sql(sql: &str) -> String {
                 .last()
                 .is_some_and(|p| p.is_ascii_alphanumeric() || p == '_')
         {
-            while chars.peek().is_some_and(|d| d.is_ascii_digit() || *d == '.') {
+            while chars
+                .peek()
+                .is_some_and(|d| d.is_ascii_digit() || *d == '.')
+            {
                 chars.next();
             }
             out.push('?');
@@ -324,9 +330,11 @@ mod tests {
 
     #[test]
     fn sampling_unbiased_in_expectation() {
-        let mut cfg = StatsConfig::default();
-        cfg.sampling_rate = 0.25;
-        cfg.seed = 42;
+        let cfg = StatsConfig {
+            sampling_rate: 0.25,
+            seed: 42,
+            ..Default::default()
+        };
         let mut s = StatisticsService::new(cfg);
         for i in 0..4000 {
             s.ingest(rec("q1", 0.01, i as f64));
@@ -349,8 +357,10 @@ mod tests {
 
     #[test]
     fn hot_cold_tiering_preserves_totals() {
-        let mut cfg = StatsConfig::default();
-        cfg.hot_capacity = 10;
+        let cfg = StatsConfig {
+            hot_capacity: 10,
+            ..Default::default()
+        };
         let mut s = StatisticsService::new(cfg);
         for i in 0..50 {
             // Fingerprint i has cost proportional to i: high-i stay hot.

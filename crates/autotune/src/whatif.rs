@@ -196,9 +196,7 @@ impl<'a> WhatIfService<'a> {
             benefit += saved * q.rate_per_hour;
         }
 
-        let storage_rate = Dollars::new(
-            mv_bytes / 1e9 * self.config.storage_dollars_per_gb_hour,
-        );
+        let storage_rate = Dollars::new(mv_bytes / 1e9 * self.config.storage_dollars_per_gb_hour);
         let refresh_rate = build_cost * self.config.mv_refresh_factor * refresh_per_hour;
         let cost_rate = storage_rate + refresh_rate;
         self.finish_report(action, benefit, cost_rate, build_cost, matched)
@@ -249,7 +247,7 @@ impl<'a> WhatIfService<'a> {
                 / (m.hw.sort_rows_log_per_sec_per_core
                     * m.hw.node.cores as f64
                     * m.hw.node.memory_bytes.max(1) as f64)
-                .max(1.0);
+                    .max(1.0);
         let one_time = self
             .config
             .estimator
@@ -330,8 +328,7 @@ mod tests {
         let mut rng = DetRng::seed_from_u64(1);
         let mut ids: Vec<i64> = (0..n).collect();
         rng.shuffle(&mut ids);
-        let mut b =
-            TableBuilder::new(TableId::new(0), "facts", schema.clone(), 8_192).unwrap();
+        let mut b = TableBuilder::new(TableId::new(0), "facts", schema.clone(), 8_192).unwrap();
         b.append(
             RecordBatch::new(
                 schema,
@@ -418,9 +415,7 @@ mod tests {
             table: "facts".into(),
             column: "id".into(),
         };
-        let report = svc
-            .evaluate(&action, &workload(SELECTIVE, 200.0))
-            .unwrap();
+        let report = svc.evaluate(&action, &workload(SELECTIVE, 200.0)).unwrap();
         assert!(
             report.benefit_rate > Dollars::ZERO,
             "clustering by id must help id-range scans: {}",

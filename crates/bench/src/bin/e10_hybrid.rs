@@ -25,11 +25,13 @@ fn main() {
     // Per-query SLA: 90% of the measured min-cost latency — tight enough
     // that under-provisioned (misestimated) plans miss it, feasible enough
     // that corrected plans make it.
-    let baseline_opt = Optimizer::new(&cat, {
-        let mut c = OptimizerConfig::default();
-        c.explore_bushy = false;
-        c
-    });
+    let baseline_opt = Optimizer::new(
+        &cat,
+        OptimizerConfig {
+            explore_bushy: false,
+            ..Default::default()
+        },
+    );
     let baseline_exec = Executor::new(&cat, ExecutionConfig::default());
     let sla_of = |sql: &str| -> SimDuration {
         let pq = baseline_opt
@@ -40,7 +42,10 @@ fn main() {
             .expect("baseline run");
         out.metrics.latency * 0.9
     };
-    let sqls: Vec<String> = [3usize, 4, 9].iter().map(|&q| queries::canonical(q, &gen)).collect();
+    let sqls: Vec<String> = [3usize, 4, 9]
+        .iter()
+        .map(|&q| queries::canonical(q, &gen))
+        .collect();
     let est = CostEstimator::new(&cat, EstimatorConfig::default());
     let exec = Executor::new(&cat, ExecutionConfig::default());
 
@@ -55,14 +60,18 @@ fn main() {
     for (err_label, err) in [("oracle", 1.0f64), ("4x error", 4.0)] {
         let mut agg: Vec<(&str, usize, f64, f64, u32, usize)> = Vec::new();
         for seed in 0..4u64 {
-            let mut cfg = OptimizerConfig::default();
-            cfg.explore_bushy = false;
-            cfg.error_bound = err;
-            cfg.error_seed = seed;
+            let cfg = OptimizerConfig {
+                explore_bushy: false,
+                error_bound: err,
+                error_seed: seed,
+                ..Default::default()
+            };
             let opt = Optimizer::new(&cat, cfg);
             for sql in &sqls {
                 let sla = sla_of(sql);
-                let pq = opt.plan_sql(sql, Constraint::LatencySla(sla)).expect("plan");
+                let pq = opt
+                    .plan_sql(sql, Constraint::LatencySla(sla))
+                    .expect("plan");
 
                 // Pure static: planned DOPs, no runtime correction.
                 let out = exec

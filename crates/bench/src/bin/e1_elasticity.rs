@@ -14,7 +14,13 @@ use ci_workload::{queries, CabGenerator};
 
 fn sweep(cat: &ci_catalog::Catalog, sql: &str, label: &str) -> Vec<(u32, f64, f64)> {
     println!("\n{label}:");
-    header(&[("dop", 5), ("latency", 10), ("cost", 10), ("speedup", 8), ("$ ratio", 8)]);
+    header(&[
+        ("dop", 5),
+        ("latency", 10),
+        ("cost", 10),
+        ("speedup", 8),
+        ("$ ratio", 8),
+    ]);
     let (plan, graph) = plan_query(cat, sql).expect("plan");
     // The elasticity identity presumes sustained work; shrink the fixed
     // provisioning tail so it does not mask the operator scaling itself.
@@ -54,9 +60,17 @@ fn main() {
     let cat = gen.build_catalog().expect("catalog");
 
     // Embarrassingly parallel: a selective scan-aggregate with no shuffle.
-    let scan = sweep(&cat, &queries::canonical(6, &gen), "scan (forecast-revenue, no exchange)");
+    let scan = sweep(
+        &cat,
+        &queries::canonical(6, &gen),
+        "scan (forecast-revenue, no exchange)",
+    );
     // Exchange-heavy: the 4-way star rollup shuffles at every join + agg.
-    let join = sweep(&cat, &queries::canonical(9, &gen), "join (star-rollup, 5 exchanges)");
+    let join = sweep(
+        &cat,
+        &queries::canonical(9, &gen),
+        "join (star-rollup, 5 exchanges)",
+    );
 
     // Shape checks. The 1x100min == 100x1min identity presumes work >>
     // fixed costs (the paper's example is a 100-minute job); measure the
@@ -86,5 +100,8 @@ fn main() {
         fmt_secs(worst_tail.1),
         worst_tail.2 / join.iter().map(|r| r.2).fold(f64::INFINITY, f64::min)
     );
-    assert!(worst_tail.1 > best_join_lat, "join latency must degrade past the knee");
+    assert!(
+        worst_tail.1 > best_join_lat,
+        "join latency must degrade past the knee"
+    );
 }

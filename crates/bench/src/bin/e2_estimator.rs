@@ -26,7 +26,13 @@ fn main() {
     let mut lat_errs = Vec::new();
     let mut cost_errs = Vec::new();
     let mut samples: Vec<Sample> = Vec::new();
-    header(&[("query", 6), ("dop", 4), ("pred lat", 10), ("meas lat", 10), ("err", 7)]);
+    header(&[
+        ("query", 6),
+        ("dop", 4),
+        ("pred lat", 10),
+        ("meas lat", 10),
+        ("err", 7),
+    ]);
     for &qid in &q_ids {
         let sql = queries::canonical(qid, &gen);
         let (plan, graph) = plan_query(&cat, &sql).expect("plan");
@@ -49,12 +55,7 @@ fn main() {
                 samples.push(Sample {
                     predicted_secs: est.pipeline_duration(&w, d).as_secs_f64(),
                     dop: d,
-                    actual_secs: pm
-                        .finish
-                        .saturating_since(pm.start)
-                        .as_secs_f64()
-                        .max(1e-6)
-                        - 0.5, // subtract provisioning
+                    actual_secs: pm.finish.saturating_since(pm.start).as_secs_f64().max(1e-6) - 0.5, // subtract provisioning
                 });
             }
             row(&[
@@ -69,13 +70,24 @@ fn main() {
 
     let lat = Summary::of(&lat_errs);
     let cost = Summary::of(&cost_errs);
-    println!("\nlatency rel. error: median {:.1}%  p90 {:.1}%  max {:.1}%",
-        lat.p50 * 100.0, lat.p90 * 100.0, lat.max * 100.0);
-    println!("cost    rel. error: median {:.1}%  p90 {:.1}%  max {:.1}%",
-        cost.p50 * 100.0, cost.p90 * 100.0, cost.max * 100.0);
+    println!(
+        "\nlatency rel. error: median {:.1}%  p90 {:.1}%  max {:.1}%",
+        lat.p50 * 100.0,
+        lat.p90 * 100.0,
+        lat.max * 100.0
+    );
+    println!(
+        "cost    rel. error: median {:.1}%  p90 {:.1}%  max {:.1}%",
+        cost.p50 * 100.0,
+        cost.p90 * 100.0,
+        cost.max * 100.0
+    );
 
     // Calibration ablation.
-    let samples: Vec<Sample> = samples.into_iter().filter(|s| s.actual_secs > 0.0).collect();
+    let samples: Vec<Sample> = samples
+        .into_iter()
+        .filter(|s| s.actual_secs > 0.0)
+        .collect();
     match Calibration::fit(&samples) {
         Ok(cal) => {
             println!(

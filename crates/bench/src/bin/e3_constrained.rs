@@ -34,7 +34,11 @@ fn main() {
         let dops: Vec<u32> = idx.iter().map(|&i| ladder[i]).collect();
         let q = est.estimate(&plan, &graph, &dops).expect("estimate");
         evals += 1;
-        points.push(ParetoPoint { latency: q.latency, cost: q.cost, config: dops });
+        points.push(ParetoPoint {
+            latency: q.latency,
+            cost: q.cost,
+            config: dops,
+        });
         let mut k = 0;
         loop {
             if k == idx.len() {
@@ -96,7 +100,14 @@ fn main() {
             (planner.stats.estimates.to_string(), 9),
             (fmt_dollars(ours.predicted.cost.amount()), 10),
             (fmt_secs(ours.predicted.latency.as_secs_f64()), 10),
-            (if gap.is_nan() { "n/a".into() } else { format!("{gap:.2}x") }, 7),
+            (
+                if gap.is_nan() {
+                    "n/a".into()
+                } else {
+                    format!("{gap:.2}x")
+                },
+                7,
+            ),
         ]);
     }
     println!(

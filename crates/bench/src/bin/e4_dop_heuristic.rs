@@ -39,7 +39,9 @@ fn main() {
 
         let heuristic = planner.plan(&plan, &graph, sla).expect("heuristic");
         let h_stats = planner.stats;
-        let exhaustive = planner.plan_exhaustive(&plan, &graph, sla).expect("exhaustive");
+        let exhaustive = planner
+            .plan_exhaustive(&plan, &graph, sla)
+            .expect("exhaustive");
         let e_stats = planner.stats;
 
         for (name, p, stats) in [

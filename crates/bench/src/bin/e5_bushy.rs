@@ -56,7 +56,11 @@ fn main() {
         let graph = PipelineGraph::decompose(&plan).expect("pipelines");
         let mut planner = DopPlanner::new(&est);
         let dop_plan = planner
-            .plan(&plan, &graph, Constraint::LatencySla(SimDuration::from_secs(2)))
+            .plan(
+                &plan,
+                &graph,
+                Constraint::LatencySla(SimDuration::from_secs(2)),
+            )
             .expect("dop plan");
         let out = exec
             .execute(&plan, &graph, &dop_plan.dops, &mut NoScaling)

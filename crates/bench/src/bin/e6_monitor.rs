@@ -24,11 +24,13 @@ fn main() {
     // Per-query SLA: 90% of the measured min-cost latency — tight enough
     // that under-provisioned (misestimated) plans miss it, feasible enough
     // that corrected plans make it.
-    let baseline_opt = Optimizer::new(&cat, {
-        let mut c = OptimizerConfig::default();
-        c.explore_bushy = false;
-        c
-    });
+    let baseline_opt = Optimizer::new(
+        &cat,
+        OptimizerConfig {
+            explore_bushy: false,
+            ..Default::default()
+        },
+    );
     let baseline_exec = Executor::new(&cat, ExecutionConfig::default());
     let sla_of = |sql: &str| -> SimDuration {
         let pq = baseline_opt
@@ -57,10 +59,12 @@ fn main() {
     for &err in &[1.0f64, 2.0, 4.0, 8.0] {
         let mut totals: Vec<(String, usize, f64, u32, usize)> = Vec::new(); // policy, met, cost, resizes, n
         for &seed in &seeds {
-            let mut cfg = OptimizerConfig::default();
-            cfg.explore_bushy = false;
-            cfg.error_bound = err;
-            cfg.error_seed = seed;
+            let cfg = OptimizerConfig {
+                explore_bushy: false,
+                error_bound: err,
+                error_seed: seed,
+                ..Default::default()
+            };
             let opt = Optimizer::new(&cat, cfg);
             let est = CostEstimator::new(&cat, EstimatorConfig::default());
             let exec = Executor::new(&cat, ExecutionConfig::default());
@@ -87,9 +91,14 @@ fn main() {
                     .expect("stage");
                 record(&mut totals, "stage-bound", &out, sla);
                 // DOP monitor
-                let mut mon =
-                    DopMonitor::new(&est, &pq.plan, &pq.graph, &pq.dops, MonitorConfig::default())
-                        .expect("monitor");
+                let mut mon = DopMonitor::new(
+                    &est,
+                    &pq.plan,
+                    &pq.graph,
+                    &pq.dops,
+                    MonitorConfig::default(),
+                )
+                .expect("monitor");
                 let out = exec
                     .execute(&pq.plan, &pq.graph, &pq.dops, &mut mon)
                     .expect("monitor run");

@@ -99,7 +99,11 @@ fn main() {
         .pipelines
         .iter()
         .map(|p| match &plan.nodes[p.source()].op {
-            ci_plan::physical::PhysicalOp::Scan { kept_parts, table_id, .. } => {
+            ci_plan::physical::PhysicalOp::Scan {
+                kept_parts,
+                table_id,
+                ..
+            } => {
                 let entry = cat.get_by_id(*table_id).expect("table");
                 kept_parts
                     .iter()
@@ -118,11 +122,16 @@ fn main() {
         // Extra machine time: writers (2 nodes) during write, readers (16) during read.
         let extra = 2.0 * write_secs + 16.0 * read_secs;
         let base = exec
-            .execute(&plan, &graph, &vec![2; graph.len()], &mut ScaleAt {
-                target: 16,
-                after_fraction: 0.5,
-                fired: false,
-            })
+            .execute(
+                &plan,
+                &graph,
+                &vec![2; graph.len()],
+                &mut ScaleAt {
+                    target: 16,
+                    after_fraction: 0.5,
+                    fired: false,
+                },
+            )
             .expect("rerun")
             .metrics
             .cost

@@ -47,7 +47,9 @@ fn main() {
                 definition_sql: agg_sql.clone(),
                 refresh_per_hour: refresh,
             };
-            let r = svc.evaluate(&action, &workload(&agg_sql, rate)).expect("evaluate");
+            let r = svc
+                .evaluate(&action, &workload(&agg_sql, rate))
+                .expect("evaluate");
             row(&[
                 (format!("{rate}"), 9),
                 (format!("{refresh}"), 9),
@@ -81,7 +83,9 @@ fn main() {
             table: "orders".into(),
             column: "o_date".into(),
         };
-        let r = svc.evaluate(&action, &workload(sel_sql, rate)).expect("evaluate");
+        let r = svc
+            .evaluate(&action, &workload(sel_sql, rate))
+            .expect("evaluate");
         row(&[
             (format!("{rate}"), 9),
             (format!("{:.6}", r.benefit_rate.amount()), 10),

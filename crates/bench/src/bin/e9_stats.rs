@@ -22,8 +22,14 @@ fn main() {
         let mut recs = Vec::new();
         for i in 0..n {
             let (fp, joins) = match rng.u64_below(10) {
-                0..=5 => ("q_dashboard", vec![((TableId::new(2), 1), (TableId::new(0), 0))]),
-                6..=8 => ("q_report", vec![((TableId::new(3), 0), (TableId::new(2), 0))]),
+                0..=5 => (
+                    "q_dashboard",
+                    vec![((TableId::new(2), 1), (TableId::new(0), 0))],
+                ),
+                6..=8 => (
+                    "q_report",
+                    vec![((TableId::new(3), 0), (TableId::new(2), 0))],
+                ),
                 _ => ("q_adhoc", vec![]),
             };
             recs.push(ci_autotune::QueryLogRecord {

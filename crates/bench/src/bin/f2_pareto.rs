@@ -33,7 +33,11 @@ fn main() {
     for &d in &ladder {
         let dops = vec![d; graph.len()];
         let q = est.estimate(&plan, &graph, &dops).expect("estimate");
-        points.push(ParetoPoint { latency: q.latency, cost: q.cost, config: dops });
+        points.push(ParetoPoint {
+            latency: q.latency,
+            cost: q.cost,
+            config: dops,
+        });
     }
     let mut rng = DetRng::seed_from_u64(2);
     for _ in 0..4000 {
@@ -41,10 +45,18 @@ fn main() {
             .map(|_| ladder[rng.usize_below(ladder.len())])
             .collect();
         let q = est.estimate(&plan, &graph, &dops).expect("estimate");
-        points.push(ParetoPoint { latency: q.latency, cost: q.cost, config: dops });
+        points.push(ParetoPoint {
+            latency: q.latency,
+            cost: q.cost,
+            config: dops,
+        });
     }
     let frontier = pareto_frontier(&points);
-    println!("sampled {} configurations; frontier has {} points:", points.len(), frontier.len());
+    println!(
+        "sampled {} configurations; frontier has {} points:",
+        points.len(),
+        frontier.len()
+    );
     header(&[("frontier latency", 16), ("cost", 10), ("dops", 28)]);
     for p in &frontier {
         row(&[
@@ -56,11 +68,20 @@ fn main() {
 
     // Optimizer choices under sweeping SLAs.
     println!("\noptimizer choices (should hug the frontier):");
-    header(&[("SLA", 8), ("pred latency", 12), ("pred cost", 10), ("inflation", 9), ("measured", 12)]);
+    header(&[
+        ("SLA", 8),
+        ("pred latency", 12),
+        ("pred cost", 10),
+        ("inflation", 9),
+        ("measured", 12),
+    ]);
     let opt = Optimizer::new(&cat, OptimizerConfig::default());
     for sla_ms in [1200u64, 1600, 2400, 4000, 8000, 30000] {
         let planned = opt
-            .plan_sql(&sql, Constraint::LatencySla(SimDuration::from_millis(sla_ms)))
+            .plan_sql(
+                &sql,
+                Constraint::LatencySla(SimDuration::from_millis(sla_ms)),
+            )
             .expect("plan");
         let p = ParetoPoint {
             latency: planned.predicted.latency,
@@ -70,20 +91,30 @@ fn main() {
         let infl = cost_inflation(&frontier, &p);
         let exec = ci_exec::Executor::new(&cat, ci_exec::ExecutionConfig::default());
         let measured = exec
-            .execute(&planned.plan, &planned.graph, &planned.dops, &mut ci_exec::NoScaling)
+            .execute(
+                &planned.plan,
+                &planned.graph,
+                &planned.dops,
+                &mut ci_exec::NoScaling,
+            )
             .expect("run");
         row(&[
             (format!("{}ms", sla_ms), 8),
             (fmt_secs(p.latency.as_secs_f64()), 12),
             (fmt_dollars(p.cost.amount()), 10),
-            (format!("{infl:.2}x", ), 9),
+            (format!("{infl:.2}x",), 9),
             (fmt_secs(measured.metrics.latency.as_secs_f64()), 12),
         ]);
     }
 
     // T-shirt (uniform) configurations: measured, then judged vs frontier.
     println!("\nfixed T-shirt (uniform-DOP) configurations:");
-    header(&[("nodes", 6), ("latency", 10), ("cost", 10), ("inflation", 9)]);
+    header(&[
+        ("nodes", 6),
+        ("latency", 10),
+        ("cost", 10),
+        ("inflation", 9),
+    ]);
     for &d in &[1u32, 4, 16, 64, 128] {
         let out = run_uniform(&cat, &plan, &graph, d).expect("run");
         let p = ParetoPoint {

@@ -44,10 +44,15 @@ fn main() {
     let spend_before: f64 = reports.iter().map(|r| r.cost.amount()).sum();
 
     println!("architecture checklist:");
-    check("SQL front end + binder (queries parsed and planned)", !reports.is_empty());
+    check(
+        "SQL front end + binder (queries parsed and planned)",
+        !reports.is_empty(),
+    );
     check(
         "bi-objective optimizer (cost-aware plans with predictions)",
-        reports.iter().all(|r| r.predicted_cost.amount() > 0.0 || r.predicted_latency.as_secs_f64() > 0.0),
+        reports
+            .iter()
+            .all(|r| r.predicted_cost.amount() > 0.0 || r.predicted_latency.as_secs_f64() > 0.0),
     );
     check(
         "elastic compute (per-pipeline DOPs deployed)",
@@ -62,7 +67,10 @@ fn main() {
         w.catalog().get("orders").expect("orders").stats.row_count > 0,
     );
     let (recorded, _) = w.with_stats(|s| s.ingest_counts());
-    check("statistics service (execution history ingested)", recorded as usize == reports.len());
+    check(
+        "statistics service (execution history ingested)",
+        recorded as usize == reports.len(),
+    );
     check(
         "weighted join graph (workload structure learned)",
         w.with_stats(|s| !s.join_edges().is_empty()),
@@ -70,9 +78,15 @@ fn main() {
 
     // Background: proposals in dollars, applied on background compute.
     let proposals = w.tuning_proposals().expect("proposals");
-    check("what-if service (dollar-denominated proposals)", !proposals.is_empty());
+    check(
+        "what-if service (dollar-denominated proposals)",
+        !proposals.is_empty(),
+    );
     let accepted: Vec<_> = proposals.iter().filter(|p| p.accepted).collect();
-    check("x - y > 0 acceptance rule produced accepted actions", !accepted.is_empty());
+    check(
+        "x - y > 0 acceptance rule produced accepted actions",
+        !accepted.is_empty(),
+    );
     let mut applied = 0;
     for p in &accepted {
         if w.apply(&p.action).is_ok() {

@@ -32,8 +32,12 @@ pub fn plan_query_with(
 }
 
 /// Executes a plan with a uniform DOP under the default engine config.
-pub fn run_uniform(cat: &Catalog, plan: &PhysicalPlan, graph: &PipelineGraph, dop: u32)
-    -> Result<QueryOutcome> {
+pub fn run_uniform(
+    cat: &Catalog,
+    plan: &PhysicalPlan,
+    graph: &PipelineGraph,
+    dop: u32,
+) -> Result<QueryOutcome> {
     let exec = Executor::new(cat, ExecutionConfig::default());
     exec.execute(plan, graph, &vec![dop; graph.len()], &mut NoScaling)
 }
@@ -45,7 +49,11 @@ pub fn header(cols: &[(&str, usize)]) {
         .map(|(name, w)| format!("{name:>w$}", w = w))
         .collect();
     println!("{}", line.join(" | "));
-    let total: usize = cols.iter().map(|(_, w)| w + 3).sum::<usize>().saturating_sub(3);
+    let total: usize = cols
+        .iter()
+        .map(|(_, w)| w + 3)
+        .sum::<usize>()
+        .saturating_sub(3);
     println!("{}", "-".repeat(total));
 }
 

@@ -33,9 +33,10 @@ impl CardinalityEstimator {
             Some(col) => {
                 // Equality on a column with known NDV: 1/ndv beats the
                 // histogram point estimate.
-                if let (ci_storage::pruning::Endpoint::Inclusive(lo),
-                        ci_storage::pruning::Endpoint::Inclusive(hi)) =
-                    (&bound.lower, &bound.upper)
+                if let (
+                    ci_storage::pruning::Endpoint::Inclusive(lo),
+                    ci_storage::pruning::Endpoint::Inclusive(hi),
+                ) = (&bound.lower, &bound.upper)
                 {
                     if lo == hi && col.ndv > 0 {
                         return 1.0 / col.ndv as f64;
@@ -59,13 +60,7 @@ impl CardinalityEstimator {
     }
 
     /// Estimated equi-join output: `|L|·|R| / max(ndv_L, ndv_R)`.
-    pub fn join_rows(
-        &self,
-        left_rows: f64,
-        left_ndv: u64,
-        right_rows: f64,
-        right_ndv: u64,
-    ) -> f64 {
+    pub fn join_rows(&self, left_rows: f64, left_ndv: u64, right_rows: f64, right_ndv: u64) -> f64 {
         let denom = left_ndv.max(right_ndv).max(1) as f64;
         (left_rows * right_rows / denom).max(0.0)
     }
@@ -151,8 +146,7 @@ mod tests {
         let t = table_from_batch(
             TableId::new(0),
             "t",
-            RecordBatch::new(schema, vec![ColumnData::Int64(ks), ColumnData::Float64(vs)])
-                .unwrap(),
+            RecordBatch::new(schema, vec![ColumnData::Int64(ks), ColumnData::Float64(vs)]).unwrap(),
         );
         TableStats::compute(&t)
     }

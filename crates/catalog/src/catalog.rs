@@ -128,8 +128,7 @@ mod tests {
         let bigger = table_from_batch(
             TableId::new(0),
             "t",
-            RecordBatch::new(schema, vec![ColumnData::Int64(vec![1, 2, 3, 4, 5])])
-                .unwrap(),
+            RecordBatch::new(schema, vec![ColumnData::Int64(vec![1, 2, 3, 4, 5])]).unwrap(),
         );
         c.register(bigger);
         assert_eq!(c.len(), 1);

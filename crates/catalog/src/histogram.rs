@@ -81,7 +81,11 @@ impl Histogram {
         }
         if self.lo == self.hi {
             // Single-point domain: all rows match iff the point is inside.
-            return if a <= self.lo && self.lo <= b { 1.0 } else { 0.0 };
+            return if a <= self.lo && self.lo <= b {
+                1.0
+            } else {
+                0.0
+            };
         }
         let width = (self.hi - self.lo) / self.counts.len() as f64;
         let mut matched = 0.0;
@@ -185,11 +189,7 @@ mod tests {
     #[test]
     fn bound_selectivity_uses_endpoints() {
         let h = uniform();
-        let b = ColumnBound::range(
-            0,
-            Some((Value::Int(0), true)),
-            Some((Value::Int(99), true)),
-        );
+        let b = ColumnBound::range(0, Some((Value::Int(0), true)), Some((Value::Int(99), true)));
         let s = h.bound_selectivity(&b);
         assert!((s - 0.1).abs() < 0.02, "s = {s}");
         // String bound on numeric histogram: default fallback.

@@ -169,11 +169,7 @@ mod tests {
         let ids: Vec<i64> = (0..100).collect();
         let grps: Vec<String> = (0..100).map(|i| format!("g{}", i % 5)).collect();
         b.append(
-            RecordBatch::new(
-                schema,
-                vec![ColumnData::Int64(ids), ColumnData::Utf8(grps)],
-            )
-            .unwrap(),
+            RecordBatch::new(schema, vec![ColumnData::Int64(ids), ColumnData::Utf8(grps)]).unwrap(),
         )
         .unwrap();
         b.finish().unwrap()

@@ -36,8 +36,8 @@ impl NodeType {
             name: "standard-8".to_owned(),
             cores: 8,
             memory_bytes: 64 << 30,
-            nic_bytes_per_sec: 1.25e9,          // 10 Gbit/s
-            object_store_bytes_per_sec: 0.6e9,  // S3-like per-VM ceiling
+            nic_bytes_per_sec: 1.25e9,         // 10 Gbit/s
+            object_store_bytes_per_sec: 0.6e9, // S3-like per-VM ceiling
             rate: DollarsPerSecond::per_hour(2.0),
         }
     }
@@ -113,8 +113,14 @@ impl HardwareProfile {
                 problems.push(format!("{name} must be positive and finite, got {v}"));
             }
         };
-        check("scan_bytes_per_sec_per_core", self.scan_bytes_per_sec_per_core);
-        check("filter_rows_per_sec_per_core", self.filter_rows_per_sec_per_core);
+        check(
+            "scan_bytes_per_sec_per_core",
+            self.scan_bytes_per_sec_per_core,
+        );
+        check(
+            "filter_rows_per_sec_per_core",
+            self.filter_rows_per_sec_per_core,
+        );
         check(
             "hash_build_rows_per_sec_per_core",
             self.hash_build_rows_per_sec_per_core,
@@ -172,8 +178,7 @@ mod tests {
     fn aggregate_scan_rate_scales_with_cores() {
         let p = HardwareProfile::standard();
         assert!(
-            (p.node_scan_bytes_per_sec()
-                - p.scan_bytes_per_sec_per_core * p.node.cores as f64)
+            (p.node_scan_bytes_per_sec() - p.scan_bytes_per_sec_per_core * p.node.cores as f64)
                 .abs()
                 < 1.0
         );

@@ -108,8 +108,7 @@ impl WorkModels {
             return 0.0;
         }
         let work = rows * rows.log2();
-        let parallel =
-            work / (self.hw.sort_rows_log_per_sec_per_core * self.cores() * d as f64);
+        let parallel = work / (self.hw.sort_rows_log_per_sec_per_core * self.cores() * d as f64);
         let merge = rows / (self.hw.filter_rows_per_sec_per_core * self.cores());
         parallel + merge
     }
@@ -150,10 +149,9 @@ mod tests {
             w2
         };
         assert!(w.filter_secs(1e6) < one_core.filter_secs(1e6));
-        assert!((one_core.filter_secs(1e6) / w.filter_secs(1e6)
-            - w.hw.node.cores as f64)
-            .abs()
-            < 1e-6);
+        assert!(
+            (one_core.filter_secs(1e6) / w.filter_secs(1e6) - w.hw.node.cores as f64).abs() < 1e-6
+        );
     }
 
     #[test]
@@ -170,7 +168,10 @@ mod tests {
         // per-node wire time grows.
         let t8 = w.exchange_wire_secs(1e9, 8);
         let t128 = w.exchange_wire_secs(1e9, 128);
-        assert!(t128 > t8, "per-node exchange should degrade: {t8} -> {t128}");
+        assert!(
+            t128 > t8,
+            "per-node exchange should degrade: {t8} -> {t128}"
+        );
     }
 
     #[test]

@@ -49,7 +49,11 @@ impl QueryReport {
             self.cost.round_cents(),
             self.predicted_latency,
             self.predicted_cost.round_cents(),
-            if self.constraint_met { "" } else { " [CONSTRAINT MISSED]" },
+            if self.constraint_met {
+                ""
+            } else {
+                " [CONSTRAINT MISSED]"
+            },
             match &self.used_mv {
                 Some(mv) => format!(" [answered by MV {mv}]"),
                 None => String::new(),

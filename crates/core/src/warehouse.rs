@@ -2,8 +2,8 @@
 
 use ci_autotune::statsvc::fingerprint_sql;
 use ci_autotune::{
-    ProposalReport, QueryLogRecord, StatisticsService, StatsConfig, TuningAction,
-    WhatIfConfig, WhatIfService, WorkloadPredictor,
+    ProposalReport, QueryLogRecord, StatisticsService, StatsConfig, TuningAction, WhatIfConfig,
+    WhatIfService, WorkloadPredictor,
 };
 use ci_catalog::Catalog;
 use ci_cost::CostEstimator;
@@ -16,7 +16,7 @@ use ci_storage::RecordBatch;
 use ci_types::money::Dollars;
 use ci_types::{CiError, Result, SimDuration, SimTime, TableId};
 use ci_workload::trace::WorkloadTrace;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::report::QueryReport;
 
@@ -168,7 +168,10 @@ impl Warehouse {
             outcome.metrics.cost,
             &planned,
         );
-        self.stats.lock().ingest(record);
+        self.stats
+            .lock()
+            .expect("stats lock poisoned")
+            .ingest(record);
 
         self.total_spend += outcome.metrics.cost;
         self.queries_run += 1;
@@ -249,7 +252,7 @@ impl Warehouse {
     /// recurring fingerprints, reclustering for the hottest attributes),
     /// and dollar-denominated what-if evaluation (§4). Sorted by net rate.
     pub fn tuning_proposals(&self) -> Result<Vec<ProposalReport>> {
-        let stats = self.stats.lock();
+        let stats = self.stats.lock().expect("stats lock poisoned");
         let predicted = WorkloadPredictor::new().predict(&stats, self.now);
         let svc = WhatIfService::new(&self.catalog, self.config.whatif.clone());
         let mut proposals = Vec::new();
@@ -336,8 +339,7 @@ impl Warehouse {
                 let mv_batch = sanitize_result(&report.result)?;
                 let id = TableId::new(self.next_table_id);
                 self.next_table_id += 1;
-                self.catalog
-                    .register(table_from_batch(id, name, mv_batch));
+                self.catalog.register(table_from_batch(id, name, mv_batch));
                 self.mvs.push(MvEntry {
                     name: name.clone(),
                     definition_fingerprint: fingerprint_sql(definition_sql),
@@ -349,7 +351,7 @@ impl Warehouse {
 
     /// Read access to the statistics service (summaries, spend, counters).
     pub fn with_stats<R>(&self, f: impl FnOnce(&StatisticsService) -> R) -> R {
-        f(&self.stats.lock())
+        f(&self.stats.lock().expect("stats lock poisoned"))
     }
 }
 
@@ -365,7 +367,13 @@ fn sanitize_result(batch: &RecordBatch) -> Result<RecordBatch> {
             let mut name: String = f
                 .name
                 .chars()
-                .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
                 .collect();
             name = format!("c{i}_{name}");
             name.truncate(32);

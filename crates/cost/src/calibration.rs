@@ -45,7 +45,10 @@ impl Calibration {
                 samples.len()
             )));
         }
-        let rows: Vec<Vec<f64>> = samples.iter().map(|s| features(s.predicted_secs, s.dop)).collect();
+        let rows: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|s| features(s.predicted_secs, s.dop))
+            .collect();
         let ys: Vec<f64> = samples.iter().map(|s| s.actual_secs).collect();
         let model = fit(&rows, &ys)?;
         Ok(Calibration {
@@ -132,11 +135,31 @@ mod tests {
     fn nonsense_correction_falls_back_to_raw() {
         // Fit a wildly negative model on adversarial data.
         let samples = vec![
-            Sample { predicted_secs: 1.0, dop: 1, actual_secs: -5.0 },
-            Sample { predicted_secs: 2.0, dop: 2, actual_secs: -10.0 },
-            Sample { predicted_secs: 3.0, dop: 4, actual_secs: -15.0 },
-            Sample { predicted_secs: 4.0, dop: 8, actual_secs: -20.0 },
-            Sample { predicted_secs: 5.0, dop: 16, actual_secs: -25.0 },
+            Sample {
+                predicted_secs: 1.0,
+                dop: 1,
+                actual_secs: -5.0,
+            },
+            Sample {
+                predicted_secs: 2.0,
+                dop: 2,
+                actual_secs: -10.0,
+            },
+            Sample {
+                predicted_secs: 3.0,
+                dop: 4,
+                actual_secs: -15.0,
+            },
+            Sample {
+                predicted_secs: 4.0,
+                dop: 8,
+                actual_secs: -20.0,
+            },
+            Sample {
+                predicted_secs: 5.0,
+                dop: 16,
+                actual_secs: -25.0,
+            },
         ];
         let c = Calibration::fit(&samples).unwrap();
         // Prediction would be negative; fall back to the raw estimate.

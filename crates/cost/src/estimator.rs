@@ -143,7 +143,9 @@ impl<'a> CostEstimator<'a> {
             }
             PhysicalOp::HashAgg { .. } | PhysicalOp::Sort { .. } => {
                 w.source_rows = src.est_rows;
-                w.morsels = (src.est_rows / self.config.morsel_rows as f64).ceil().max(1.0);
+                w.morsels = (src.est_rows / self.config.morsel_rows as f64)
+                    .ceil()
+                    .max(1.0);
             }
             other => {
                 return Err(CiError::Plan(format!(
@@ -307,8 +309,7 @@ impl<'a> CostEstimator<'a> {
                     .map(|q| finishes[q.id.index()])
                     .unwrap_or(finish),
             };
-            machine_time +=
-                release.saturating_since(start) * dops[p.id.index()].max(1) as u64;
+            machine_time += release.saturating_since(start) * dops[p.id.index()].max(1) as u64;
             spans.push((start, finish, release));
         }
         let latency = finishes[graph.result_pipeline().id.index()].since(SimTime::ZERO);
@@ -407,8 +408,8 @@ mod tests {
     fn planned(cat: &Catalog, sql: &str) -> (PhysicalPlan, PipelineGraph) {
         let b = bind(&parse(sql).unwrap(), cat).unwrap();
         let tree = JoinTree::left_deep(&(0..b.relations.len()).collect::<Vec<_>>());
-        let plan = ci_plan::physical::build_plan(&b, &tree, cat, &mut ErrorInjector::oracle())
-            .unwrap();
+        let plan =
+            ci_plan::physical::build_plan(&b, &tree, cat, &mut ErrorInjector::oracle()).unwrap();
         let graph = PipelineGraph::decompose(&plan).unwrap();
         (plan, graph)
     }
@@ -431,10 +432,7 @@ mod tests {
     #[test]
     fn exchange_heavy_pipeline_has_a_knee() {
         let cat = catalog();
-        let (plan, graph) = planned(
-            &cat,
-            "SELECT grp, COUNT(*) FROM facts GROUP BY grp",
-        );
+        let (plan, graph) = planned(&cat, "SELECT grp, COUNT(*) FROM facts GROUP BY grp");
         let est = CostEstimator::new(&cat, EstimatorConfig::default());
         let w = est.pipeline_work(&plan, &graph.pipelines[0]).unwrap();
         assert!(w.exchange_bytes > 0.0, "agg input is exchanged");
@@ -481,10 +479,7 @@ mod tests {
     #[test]
     fn machine_time_counts_pinned_spans() {
         let cat = catalog();
-        let (plan, graph) = planned(
-            &cat,
-            "SELECT id FROM facts f JOIN dims d ON f.grp = d.d_id",
-        );
+        let (plan, graph) = planned(&cat, "SELECT id FROM facts f JOIN dims d ON f.grp = d.d_id");
         let est = CostEstimator::new(&cat, EstimatorConfig::default());
         let q = est.estimate(&plan, &graph, &vec![2; graph.len()]).unwrap();
         // Machine time > 2 * latency would mean both pipelines fully overlap;

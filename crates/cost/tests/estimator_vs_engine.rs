@@ -62,8 +62,7 @@ fn catalog() -> Catalog {
 fn planned(cat: &Catalog, sql: &str) -> (PhysicalPlan, PipelineGraph) {
     let b = bind(&parse(sql).unwrap(), cat).unwrap();
     let tree = JoinTree::left_deep(&(0..b.relations.len()).collect::<Vec<_>>());
-    let plan =
-        ci_plan::physical::build_plan(&b, &tree, cat, &mut ErrorInjector::oracle()).unwrap();
+    let plan = ci_plan::physical::build_plan(&b, &tree, cat, &mut ErrorInjector::oracle()).unwrap();
     let graph = PipelineGraph::decompose(&plan).unwrap();
     (plan, graph)
 }
@@ -88,9 +87,7 @@ fn predictions_track_measurements_within_tolerance() {
             let (plan, graph) = planned(&cat, sql);
             let dops = vec![dop; graph.len()];
             let predicted = est.estimate(&plan, &graph, &dops).unwrap();
-            let measured = exec
-                .execute(&plan, &graph, &dops, &mut NoScaling)
-                .unwrap();
+            let measured = exec.execute(&plan, &graph, &dops, &mut NoScaling).unwrap();
             let e = relative_error(
                 predicted.latency.as_secs_f64(),
                 measured.metrics.latency.as_secs_f64(),
@@ -163,8 +160,7 @@ fn calibration_reduces_error() {
         }
     }
     let cal = Calibration::fit(&samples).unwrap();
-    let calibrated = CostEstimator::new(&cat, EstimatorConfig::default())
-        .with_calibration(cal);
+    let calibrated = CostEstimator::new(&cat, EstimatorConfig::default()).with_calibration(cal);
 
     // Held-out config: dop 16.
     let mut raw_err = Vec::new();
@@ -175,7 +171,10 @@ fn calibration_reduces_error() {
         let measured = exec.execute(&plan, &graph, &dops, &mut NoScaling).unwrap();
         let actual = measured.metrics.latency.as_secs_f64();
         raw_err.push(relative_error(
-            est.estimate(&plan, &graph, &dops).unwrap().latency.as_secs_f64(),
+            est.estimate(&plan, &graph, &dops)
+                .unwrap()
+                .latency
+                .as_secs_f64(),
             actual,
         ));
         cal_err.push(relative_error(

@@ -281,8 +281,7 @@ impl<'a> Executor<'a> {
                     if rows == 0 {
                         continue;
                     }
-                    let batch =
-                        RecordBatch::new(schema.clone(), part.batch.columns().to_vec())?;
+                    let batch = RecordBatch::new(schema.clone(), part.batch.columns().to_vec())?;
                     let bytes = part.stored_bytes as f64;
                     if rows <= self.config.morsel_rows {
                         morsels.push(Morsel {
@@ -370,9 +369,7 @@ impl<'a> Executor<'a> {
                         .iter()
                         .map(|&(_, pslot)| {
                             cur_slots.iter().position(|&s| s == pslot).ok_or_else(|| {
-                                CiError::Exec(format!(
-                                    "probe key slot {pslot} missing from stream"
-                                ))
+                                CiError::Exec(format!("probe key slot {pslot} missing from stream"))
                             })
                         })
                         .collect::<Result<Vec<_>>>()?;
@@ -423,12 +420,11 @@ impl<'a> Executor<'a> {
 
         // Sink state.
         let mut sink = self.make_sink(plan, p, states)?;
-        let mut limit_remaining: Option<u64> = p.nodes.iter().find_map(|&n| {
-            match plan.nodes[n].op {
+        let mut limit_remaining: Option<u64> =
+            p.nodes.iter().find_map(|&n| match plan.nodes[n].op {
                 PhysicalOp::Limit { n: lim } => Some(lim),
                 _ => None,
-            }
-        });
+            });
 
         // Node slots: leases open at `start`, usable after provisioning +
         // per-node pipeline startup (+ exchange connection fan-out when the
@@ -746,9 +742,7 @@ impl<'a> Executor<'a> {
                             .position(|&s| s == slot)
                             .map(|pos| (pos, asc))
                             .ok_or_else(|| {
-                                CiError::Exec(format!(
-                                    "sort key slot {slot} missing from layout"
-                                ))
+                                CiError::Exec(format!("sort key slot {slot} missing from layout"))
                             })
                     })
                     .collect::<Result<Vec<_>>>()?;
@@ -763,12 +757,7 @@ impl<'a> Executor<'a> {
 
     /// When a pipeline's nodes can be released: at the finish of whichever
     /// pipeline consumes its sink state (own finish for result pipelines).
-    fn release_time(
-        &self,
-        graph: &PipelineGraph,
-        p: &Pipeline,
-        finishes: &[SimTime],
-    ) -> SimTime {
+    fn release_time(&self, graph: &PipelineGraph, p: &Pipeline, finishes: &[SimTime]) -> SimTime {
         match p.sink {
             SinkKind::Result => finishes[p.id.index()],
             SinkKind::JoinBuild { join } => {

@@ -69,9 +69,9 @@ pub fn key_columns<'a>(
     positions
         .iter()
         .map(|&p| {
-            batch_columns.get(p).ok_or_else(|| {
-                CiError::Exec(format!("key column position {p} out of bounds"))
-            })
+            batch_columns
+                .get(p)
+                .ok_or_else(|| CiError::Exec(format!("key column position {p} out of bounds")))
         })
         .collect()
 }

@@ -34,11 +34,7 @@ pub fn slots_schema(slots: &[usize], slot_types: &[DataType]) -> SchemaRef {
 }
 
 /// Applies a filter predicate, returning the surviving rows.
-pub fn apply_filter(
-    batch: &RecordBatch,
-    pred: &PlanExpr,
-    map: &ColMap,
-) -> Result<RecordBatch> {
+pub fn apply_filter(batch: &RecordBatch, pred: &PlanExpr, map: &ColMap) -> Result<RecordBatch> {
     let mask = pred.eval_mask(batch, map)?;
     batch.filter(&mask)
 }
@@ -64,9 +60,9 @@ pub fn apply_project(
 
 fn coerce(col: ColumnData, want: DataType) -> Result<ColumnData> {
     match (col, want) {
-        (ColumnData::Int64(v), DataType::Float64) => {
-            Ok(ColumnData::Float64(v.into_iter().map(|x| x as f64).collect()))
-        }
+        (ColumnData::Int64(v), DataType::Float64) => Ok(ColumnData::Float64(
+            v.into_iter().map(|x| x as f64).collect(),
+        )),
         (col, want) if col.data_type() == want => Ok(col),
         (col, want) => Err(CiError::Exec(format!(
             "cannot coerce {} column to {want}",
@@ -115,10 +111,7 @@ impl JoinHashTable {
     /// Total build rows buffered so far.
     pub fn build_rows(&self) -> usize {
         self.buffered.iter().map(RecordBatch::rows).sum::<usize>()
-            + self
-                .finalized
-                .as_ref()
-                .map_or(0, |f| f.rows.rows())
+            + self.finalized.as_ref().map_or(0, |f| f.rows.rows())
     }
 
     /// Builds the hash map. Idempotent.
@@ -283,10 +276,7 @@ fn zero_of(t: DataType) -> Value {
 }
 
 fn distinct_fold(set: &HashSet<Key>, func: AggFunc) -> Value {
-    let vals: Vec<Value> = set
-        .iter()
-        .flat_map(|k| k.to_values())
-        .collect();
+    let vals: Vec<Value> = set.iter().flat_map(|k| k.to_values()).collect();
     match func {
         AggFunc::Sum => Value::Float(vals.iter().filter_map(Value::as_f64).sum()),
         AggFunc::Avg => {
@@ -360,7 +350,12 @@ impl AggregateState {
         let arg_cols: Vec<Option<ColumnData>> = self
             .aggs
             .iter()
-            .map(|a| a.arg.as_ref().map(|e| e.eval(batch, &self.in_map)).transpose())
+            .map(|a| {
+                a.arg
+                    .as_ref()
+                    .map(|e| e.eval(batch, &self.in_map))
+                    .transpose()
+            })
             .collect::<Result<Vec<_>>>()?;
         let group_refs: Vec<&ColumnData> = group_cols.iter().collect();
         for row in 0..batch.rows() {
@@ -467,9 +462,7 @@ impl SortBuffer {
                 let col = all.column(pos);
                 let va = col.value(a);
                 let vb = col.value(b);
-                let ord = va
-                    .partial_cmp_sql(&vb)
-                    .unwrap_or(std::cmp::Ordering::Equal);
+                let ord = va.partial_cmp_sql(&vb).unwrap_or(std::cmp::Ordering::Equal);
                 let ord = if asc { ord } else { ord.reverse() };
                 if ord != std::cmp::Ordering::Equal {
                     return ord;
@@ -487,10 +480,7 @@ mod tests {
     use super::*;
 
     fn schema2(t0: DataType, t1: DataType) -> SchemaRef {
-        Arc::new(Schema::of(vec![
-            Field::new("s0", t0),
-            Field::new("s1", t1),
-        ]))
+        Arc::new(Schema::of(vec![Field::new("s0", t0), Field::new("s1", t1)]))
     }
 
     fn batch(ids: Vec<i64>, vals: Vec<f64>) -> RecordBatch {
@@ -580,8 +570,7 @@ mod tests {
 
     #[test]
     fn empty_build_joins_to_empty() {
-        let mut ht =
-            JoinHashTable::new(schema2(DataType::Int64, DataType::Float64), vec![0]);
+        let mut ht = JoinHashTable::new(schema2(DataType::Int64, DataType::Float64), vec![0]);
         ht.finalize().unwrap();
         let probe = batch(vec![1, 2], vec![1.0, 2.0]);
         let out_schema = Arc::new(Schema::of(vec![
@@ -646,7 +635,8 @@ mod tests {
             ],
             out,
         );
-        st.update(&batch(vec![1, 2, 1], vec![10.0, 20.0, 30.0])).unwrap();
+        st.update(&batch(vec![1, 2, 1], vec![10.0, 20.0, 30.0]))
+            .unwrap();
         st.update(&batch(vec![2], vec![40.0])).unwrap();
         let result = st.finalize().unwrap();
         assert_eq!(result.rows(), 2);
@@ -689,7 +679,8 @@ mod tests {
             }],
             out,
         );
-        st.update(&batch(vec![1, 2, 2, 3, 1], vec![0.0; 5])).unwrap();
+        st.update(&batch(vec![1, 2, 2, 3, 1], vec![0.0; 5]))
+            .unwrap();
         let result = st.finalize().unwrap();
         assert_eq!(result.row(0)[0], Value::Int(3));
     }
@@ -702,7 +693,10 @@ mod tests {
         sb.push(batch(vec![3, 2], vec![0.5, 9.0]));
         let out = sb.finalize().unwrap();
         assert_eq!(out.column(0), &ColumnData::Int64(vec![3, 3, 2, 1]));
-        assert_eq!(out.column(1), &ColumnData::Float64(vec![0.5, 1.0, 9.0, 5.0]));
+        assert_eq!(
+            out.column(1),
+            &ColumnData::Float64(vec![0.5, 1.0, 9.0, 5.0])
+        );
     }
 
     #[test]

@@ -68,8 +68,7 @@ fn catalog() -> Catalog {
 fn plan_of(cat: &Catalog, sql: &str) -> (PhysicalPlan, PipelineGraph) {
     let b = bind(&parse(sql).unwrap(), cat).unwrap();
     let tree = JoinTree::left_deep(&(0..b.relations.len()).collect::<Vec<_>>());
-    let plan =
-        ci_plan::physical::build_plan(&b, &tree, cat, &mut ErrorInjector::oracle()).unwrap();
+    let plan = ci_plan::physical::build_plan(&b, &tree, cat, &mut ErrorInjector::oracle()).unwrap();
     let graph = PipelineGraph::decompose(&plan).unwrap();
     (plan, graph)
 }
@@ -271,9 +270,7 @@ fn mid_pipeline_scale_up_reduces_latency() {
     let exec = Executor::new(&cat, config);
     let dops = vec![1; graph.len()];
 
-    let static_run = exec
-        .execute(&plan, &graph, &dops, &mut NoScaling)
-        .unwrap();
+    let static_run = exec.execute(&plan, &graph, &dops, &mut NoScaling).unwrap();
     let mut ctrl = ScaleUpOnce {
         target: 8,
         fired: false,

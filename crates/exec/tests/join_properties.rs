@@ -19,10 +19,7 @@ fn batch_of(keys: Vec<i64>) -> RecordBatch {
     let n = keys.len() as i64;
     RecordBatch::new(
         schema,
-        vec![
-            ColumnData::Int64(keys),
-            ColumnData::Int64((0..n).collect()),
-        ],
+        vec![ColumnData::Int64(keys), ColumnData::Int64((0..n).collect())],
     )
     .expect("batch")
 }

@@ -59,8 +59,7 @@ impl ScalingController for WholeClusterScaling {
             if new_factor > self.factor * 1.05 {
                 self.factor = new_factor;
                 self.actions += 1;
-                let new_dop =
-                    ((p.current_dop as f64 * need).round() as u32).max(p.current_dop + 1);
+                let new_dop = ((p.current_dop as f64 * need).round() as u32).max(p.current_dop + 1);
                 return ScaleDecision::SetDop(new_dop);
             }
         }

@@ -203,8 +203,7 @@ mod tests {
             Field::new("val", DataType::Float64),
         ]));
         let n = 600_000i64;
-        let mut b =
-            TableBuilder::new(TableId::new(0), "facts", schema.clone(), 8_192).unwrap();
+        let mut b = TableBuilder::new(TableId::new(0), "facts", schema.clone(), 8_192).unwrap();
         b.append(
             RecordBatch::new(
                 schema,
@@ -221,8 +220,7 @@ mod tests {
         c
     }
 
-    const SQL: &str =
-        "SELECT grp, SUM(val), COUNT(*) FROM facts WHERE val < 800.0 GROUP BY grp";
+    const SQL: &str = "SELECT grp, SUM(val), COUNT(*) FROM facts WHERE val < 800.0 GROUP BY grp";
 
     /// Plan with badly injected cardinality errors; verify the monitor
     /// recovers the latency promise that static execution misses, or at
@@ -232,9 +230,11 @@ mod tests {
         let cat = catalog();
         // Seeds are searched so that injection *underestimates* (static plan
         // under-provisions and runs slow).
-        let mut cfg = OptimizerConfig::default();
-        cfg.explore_bushy = false;
-        cfg.error_bound = 6.0;
+        let mut cfg = OptimizerConfig {
+            explore_bushy: false,
+            error_bound: 6.0,
+            ..Default::default()
+        };
         let mut chosen = None;
         for seed in 0..16u64 {
             cfg.error_seed = seed;
@@ -256,9 +256,14 @@ mod tests {
             .unwrap();
 
         let est = ci_cost::CostEstimator::new(&cat, EstimatorConfig::default());
-        let mut monitor =
-            DopMonitor::new(&est, &pq.plan, &pq.graph, &pq.dops, MonitorConfig::default())
-                .unwrap();
+        let mut monitor = DopMonitor::new(
+            &est,
+            &pq.plan,
+            &pq.graph,
+            &pq.dops,
+            MonitorConfig::default(),
+        )
+        .unwrap();
         let monitored = exec
             .execute(&pq.plan, &pq.graph, &pq.dops, &mut monitor)
             .unwrap();
@@ -280,16 +285,23 @@ mod tests {
     #[test]
     fn monitor_idle_on_accurate_estimates() {
         let cat = catalog();
-        let mut cfg = OptimizerConfig::default();
-        cfg.explore_bushy = false;
+        let cfg = OptimizerConfig {
+            explore_bushy: false,
+            ..Default::default()
+        };
         let opt = Optimizer::new(&cat, cfg);
         let pq = opt
             .plan_sql(SQL, Constraint::LatencySla(SimDuration::from_secs(5)))
             .unwrap();
         let est = ci_cost::CostEstimator::new(&cat, EstimatorConfig::default());
-        let mut monitor =
-            DopMonitor::new(&est, &pq.plan, &pq.graph, &pq.dops, MonitorConfig::default())
-                .unwrap();
+        let mut monitor = DopMonitor::new(
+            &est,
+            &pq.plan,
+            &pq.graph,
+            &pq.dops,
+            MonitorConfig::default(),
+        )
+        .unwrap();
         let exec = Executor::new(&cat, ExecutionConfig::default());
         let out = exec
             .execute(&pq.plan, &pq.graph, &pq.dops, &mut monitor)

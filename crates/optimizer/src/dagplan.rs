@@ -45,8 +45,8 @@ fn base_cardinalities(bound: &BoundQuery, catalog: &Catalog) -> Result<Vec<f64>>
         .map(|r| {
             let entry = catalog.get(&r.table_name)?;
             let rows = est.filter_rows(&entry.stats, &r.prune_bounds);
-            let penalty = ci_catalog::cardinality::DEFAULT_SELECTIVITY
-                .powi(r.unmodeled_filters as i32);
+            let penalty =
+                ci_catalog::cardinality::DEFAULT_SELECTIVITY.powi(r.unmodeled_filters as i32);
             Ok((rows * penalty).max(1.0))
         })
         .collect()
@@ -81,8 +81,7 @@ fn join_card(
     let mut best: Option<f64> = None;
     for e in &bound.join_edges {
         let (a, b) = (e.left_rel, e.right_rel);
-        let connects = (in_set >> a) & 1 == 1 && b == next
-            || (in_set >> b) & 1 == 1 && a == next;
+        let connects = (in_set >> a) & 1 == 1 && b == next || (in_set >> b) & 1 == 1 && a == next;
         if !connects {
             continue;
         }
@@ -112,18 +111,18 @@ fn dp_order(
     let n = bound.relations.len();
     // best[mask] = (total_cost, result_rows, order)
     let mut best: HashMap<u64, (f64, f64, Vec<usize>)> = HashMap::new();
-    for r in 0..n {
-        best.insert(1u64 << r, (0.0, base[r], vec![r]));
+    for (r, &base_rows) in base.iter().enumerate() {
+        best.insert(1u64 << r, (0.0, base_rows, vec![r]));
     }
     for mask in 1u64..(1 << n) {
         let Some((cost, rows, order)) = best.get(&mask).cloned() else {
             continue;
         };
-        for next in 0..n {
+        for (next, &base_rows) in base.iter().enumerate() {
             if (mask >> next) & 1 == 1 {
                 continue;
             }
-            let Some(card) = join_card(bound, mask, next, rows, base[next], ndv) else {
+            let Some(card) = join_card(bound, mask, next, rows, base_rows, ndv) else {
                 continue;
             };
             let new_mask = mask | (1 << next);
@@ -165,11 +164,11 @@ fn greedy_order(
     let mut rows = base[order[0]];
     while order.len() < n {
         let mut choice: Option<(usize, f64)> = None;
-        for next in 0..n {
+        for (next, &base_rows) in base.iter().enumerate() {
             if (mask >> next) & 1 == 1 {
                 continue;
             }
-            if let Some(card) = join_card(bound, mask, next, rows, base[next], ndv) {
+            if let Some(card) = join_card(bound, mask, next, rows, base_rows, ndv) {
                 if choice.is_none_or(|(_, c)| card < c) {
                     choice = Some((next, card));
                 }
@@ -256,8 +255,7 @@ mod tests {
         // worse than the syntactic order.
         let order_str = tree.to_string();
         assert!(
-            !order_str.starts_with("(R0 ⋈ R2")
-                && !order_str.starts_with("(R2 ⋈ R0"),
+            !order_str.starts_with("(R0 ⋈ R2") && !order_str.starts_with("(R2 ⋈ R0"),
             "unconnected pair joined first: {order_str}"
         );
     }
@@ -266,11 +264,7 @@ mod tests {
     fn disconnected_graph_rejected() {
         let cat = catalog();
         // No join predicate at all between fact and tiny.
-        let b = bind(
-            &parse("SELECT fact.pk FROM fact, tiny").unwrap(),
-            &cat,
-        )
-        .unwrap();
+        let b = bind(&parse("SELECT fact.pk FROM fact, tiny").unwrap(), &cat).unwrap();
         assert!(dag_plan(&b, &cat).is_err());
     }
 

@@ -121,12 +121,9 @@ impl<'a, 'c> DopPlanner<'a, 'c> {
                 }
             }
             Constraint::Budget(budget) => {
-                loop {
-                    let Some((next_dops, next_est)) =
-                        self.best_bump(plan, graph, &dops, &current)?
-                    else {
-                        break;
-                    };
+                while let Some((next_dops, next_est)) =
+                    self.best_bump(plan, graph, &dops, &current)?
+                {
                     if next_est.cost > budget {
                         break;
                     }
@@ -152,9 +149,7 @@ impl<'a, 'c> DopPlanner<'a, 'c> {
                         Constraint::LatencySla(sla) => {
                             est.latency <= sla || est.latency <= current.latency
                         }
-                        Constraint::Budget(b) => {
-                            est.cost <= b && est.latency <= current.latency
-                        }
+                        Constraint::Budget(b) => est.cost <= b && est.latency <= current.latency,
                         Constraint::MinCost => est.latency <= current.latency,
                     };
                     if ok && est.cost <= current.cost {
@@ -202,19 +197,29 @@ impl<'a, 'c> DopPlanner<'a, 'c> {
             let better = match &best {
                 None => true,
                 Some(b) => match constraint {
+                    // Feasible beats infeasible; among two feasible plans the
+                    // primary objective decides. Between two infeasible plans
+                    // an improvement in either objective counts (the result
+                    // then depends on enumeration order, not a strict
+                    // lexicographic preference).
                     Constraint::LatencySla(_) | Constraint::MinCost => {
-                        (feasible && !b.feasible)
-                            || (feasible == b.feasible && est.cost < b.predicted.cost)
-                            || (!feasible
-                                && !b.feasible
-                                && est.latency < b.predicted.latency)
+                        match (feasible, b.feasible) {
+                            (true, false) => true,
+                            (false, true) => false,
+                            (true, true) => est.cost < b.predicted.cost,
+                            (false, false) => {
+                                est.cost < b.predicted.cost || est.latency < b.predicted.latency
+                            }
+                        }
                     }
-                    Constraint::Budget(_) => {
-                        (feasible && !b.feasible)
-                            || (feasible == b.feasible
-                                && est.latency < b.predicted.latency)
-                            || (!feasible && !b.feasible && est.cost < b.predicted.cost)
-                    }
+                    Constraint::Budget(_) => match (feasible, b.feasible) {
+                        (true, false) => true,
+                        (false, true) => false,
+                        (true, true) => est.latency < b.predicted.latency,
+                        (false, false) => {
+                            est.latency < b.predicted.latency || est.cost < b.predicted.cost
+                        }
+                    },
                 },
             };
             if better {
@@ -311,8 +316,7 @@ mod tests {
             Field::new("val", DataType::Float64),
         ]));
         let n = 500_000i64;
-        let mut b =
-            TableBuilder::new(TableId::new(0), "facts", schema.clone(), 16_384).unwrap();
+        let mut b = TableBuilder::new(TableId::new(0), "facts", schema.clone(), 16_384).unwrap();
         b.append(
             RecordBatch::new(
                 schema,
@@ -350,8 +354,7 @@ mod tests {
         let b = bind(&parse(sql).unwrap(), cat).unwrap();
         let tree = JoinTree::left_deep(&(0..b.relations.len()).collect::<Vec<_>>());
         let plan =
-            ci_plan::physical::build_plan(&b, &tree, cat, &mut ErrorInjector::oracle())
-                .unwrap();
+            ci_plan::physical::build_plan(&b, &tree, cat, &mut ErrorInjector::oracle()).unwrap();
         let graph = PipelineGraph::decompose(&plan).unwrap();
         (plan, graph)
     }
@@ -363,7 +366,11 @@ mod tests {
         let est = CostEstimator::new(&cat, EstimatorConfig::default());
         let mut planner = DopPlanner::new(&est);
         let loose = planner
-            .plan(&plan, &graph, Constraint::LatencySla(SimDuration::from_secs(60)))
+            .plan(
+                &plan,
+                &graph,
+                Constraint::LatencySla(SimDuration::from_secs(60)),
+            )
             .unwrap();
         let tight = planner
             .plan(
@@ -433,11 +440,13 @@ mod tests {
         let exhaustive = planner.plan_exhaustive(&plan, &graph, sla).unwrap();
         let e_stats = planner.stats;
 
-        assert!(h_stats.estimates < e_stats.estimates / 2,
-            "heuristic should search far less: {h_stats:?} vs {e_stats:?}");
+        assert!(
+            h_stats.estimates < e_stats.estimates / 2,
+            "heuristic should search far less: {h_stats:?} vs {e_stats:?}"
+        );
         if heuristic.feasible && exhaustive.feasible {
-            let gap = heuristic.predicted.cost.amount()
-                / exhaustive.predicted.cost.amount().max(1e-12);
+            let gap =
+                heuristic.predicted.cost.amount() / exhaustive.predicted.cost.amount().max(1e-12);
             assert!(gap < 1.6, "cost gap vs exhaustive was {gap}");
         }
     }

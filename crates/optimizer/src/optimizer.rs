@@ -82,11 +82,7 @@ impl<'a> Optimizer<'a> {
     }
 
     /// Plans an already-bound query.
-    pub fn plan_bound(
-        &self,
-        bound: BoundQuery,
-        constraint: Constraint,
-    ) -> Result<PlannedQuery> {
+    pub fn plan_bound(&self, bound: BoundQuery, constraint: Constraint) -> Result<PlannedQuery> {
         // Stage 1: DAG planning (left-deep DP).
         let left_deep = dag_plan(&bound, self.catalog)?;
         let order = leaf_order(&left_deep);
@@ -138,9 +134,8 @@ impl<'a> Optimizer<'a> {
             }
         }
 
-        let mut chosen = best.ok_or_else(|| {
-            CiError::Plan("no join-shape variant produced a valid plan".into())
-        })?;
+        let mut chosen = best
+            .ok_or_else(|| CiError::Plan("no join-shape variant produced a valid plan".into()))?;
         chosen.search = search;
         chosen.variants_considered = variants_considered;
         Ok(chosen)
@@ -216,8 +211,7 @@ mod tests {
                 Field::new("fk", DataType::Int64),
                 Field::new("val", DataType::Float64),
             ]));
-            let mut b = TableBuilder::new(TableId::new(id), name, schema.clone(), part)
-                .unwrap();
+            let mut b = TableBuilder::new(TableId::new(id), name, schema.clone(), part).unwrap();
             b.append(
                 RecordBatch::new(
                     schema,
@@ -258,12 +252,12 @@ mod tests {
     #[test]
     fn bushy_exploration_considers_more_variants() {
         let cat = catalog();
-        let mut cfg = OptimizerConfig::default();
-        cfg.explore_bushy = false;
+        let mut cfg = OptimizerConfig {
+            explore_bushy: false,
+            ..Default::default()
+        };
         let opt_ld = Optimizer::new(&cat, cfg.clone());
-        let ld = opt_ld
-            .plan_sql(CHAIN, Constraint::MinCost)
-            .unwrap();
+        let ld = opt_ld.plan_sql(CHAIN, Constraint::MinCost).unwrap();
         assert_eq!(ld.variants_considered, 1);
 
         cfg.explore_bushy = true;
@@ -295,9 +289,11 @@ mod tests {
     #[test]
     fn error_injection_flows_from_config() {
         let cat = catalog();
-        let mut cfg = OptimizerConfig::default();
-        cfg.error_bound = 4.0;
-        cfg.error_seed = 7;
+        let cfg = OptimizerConfig {
+            error_bound: 4.0,
+            error_seed: 7,
+            ..Default::default()
+        };
         let opt = Optimizer::new(&cat, cfg);
         let noisy = opt.plan_sql(CHAIN, Constraint::MinCost).unwrap();
         let clean = Optimizer::new(&cat, OptimizerConfig::default())

@@ -102,10 +102,7 @@ pub struct BoundQuery {
 impl BoundQuery {
     /// Total number of base slots (post-aggregate slots start here).
     pub fn base_slot_count(&self) -> usize {
-        self.relations
-            .iter()
-            .map(|r| r.arity)
-            .sum()
+        self.relations.iter().map(|r| r.arity).sum()
     }
 
     /// The relation owning a base slot.
@@ -135,9 +132,10 @@ struct Scope {
 
 impl Scope {
     fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<(usize, DataType)> {
-        let mut hits = self.cols.iter().filter(|(b, n, _, _)| {
-            n == name && qualifier.is_none_or(|q| q == b)
-        });
+        let mut hits = self
+            .cols
+            .iter()
+            .filter(|(b, n, _, _)| n == name && qualifier.is_none_or(|q| q == b));
         let first = hits.next();
         match (first, hits.next()) {
             (Some(&(_, _, slot, dt)), None) => Ok((slot, dt)),
@@ -173,11 +171,11 @@ impl<'a> Binder<'a> {
         let mut offset = 0usize;
 
         let add_rel = |tref: &ast::TableRef,
-                           relations: &mut Vec<Relation>,
-                           scope: &mut Scope,
-                           slot_types: &mut Vec<DataType>,
-                           slot_names: &mut Vec<String>,
-                           offset: &mut usize|
+                       relations: &mut Vec<Relation>,
+                       scope: &mut Scope,
+                       slot_types: &mut Vec<DataType>,
+                       slot_names: &mut Vec<String>,
+                       offset: &mut usize|
          -> Result<()> {
             let entry = self.catalog.get(&tref.name)?;
             let binding = tref.binding().to_owned();
@@ -188,12 +186,9 @@ impl<'a> Binder<'a> {
             }
             let schema = &entry.table.schema;
             for (i, f) in schema.fields().iter().enumerate() {
-                scope.cols.push((
-                    binding.clone(),
-                    f.name.clone(),
-                    *offset + i,
-                    f.data_type,
-                ));
+                scope
+                    .cols
+                    .push((binding.clone(), f.name.clone(), *offset + i, f.data_type));
                 slot_types.push(f.data_type);
                 slot_names.push(format!("{binding}.{}", f.name));
             }
@@ -347,8 +342,7 @@ impl<'a> Binder<'a> {
                         Some(acc) => PlanExpr::bin(BinOp::Or, acc, eq),
                     });
                 }
-                let any = ors
-                    .ok_or_else(|| CiError::Plan("empty IN list".into()))?;
+                let any = ors.ok_or_else(|| CiError::Plan("empty IN list".into()))?;
                 Ok(if *negated {
                     PlanExpr::Not(Box::new(any))
                 } else {
@@ -407,27 +401,23 @@ impl<'a> Binder<'a> {
                     right,
                 } = &conjunct
                 {
-                    if let (PlanExpr::Col(a), PlanExpr::Col(b)) =
-                        (left.as_ref(), right.as_ref())
-                    {
+                    if let (PlanExpr::Col(a), PlanExpr::Col(b)) = (left.as_ref(), right.as_ref()) {
                         let rel_of = |slot: usize| {
                             relations
                                 .iter()
                                 .find(|r| {
-                                    slot >= r.global_offset
-                                        && slot < r.global_offset + r.arity
+                                    slot >= r.global_offset && slot < r.global_offset + r.arity
                                 })
                                 .map(|r| r.index)
                                 .expect("slot belongs to a relation")
                         };
                         let (ra, rb) = (rel_of(*a), rel_of(*b));
                         if ra != rb {
-                            let (left_rel, left_slot, right_rel, right_slot) =
-                                if ra < rb {
-                                    (ra, *a, rb, *b)
-                                } else {
-                                    (rb, *b, ra, *a)
-                                };
+                            let (left_rel, left_slot, right_rel, right_slot) = if ra < rb {
+                                (ra, *a, rb, *b)
+                            } else {
+                                (rb, *b, ra, *a)
+                            };
                             join_edges.push(JoinEdge {
                                 left_rel,
                                 left_slot,
@@ -448,11 +438,7 @@ impl<'a> Binder<'a> {
     }
 
     /// Output binding for non-aggregated queries.
-    fn bind_plain_output(
-        &self,
-        q: &Query,
-        scope: &Scope,
-    ) -> Result<Vec<(PlanExpr, String)>> {
+    fn bind_plain_output(&self, q: &Query, scope: &Scope) -> Result<Vec<(PlanExpr, String)>> {
         let mut out = Vec::new();
         for item in &q.items {
             match item {
@@ -535,12 +521,34 @@ impl<'a> Binder<'a> {
                 AstExpr::Literal(l) => Ok(PlanExpr::Lit(lit_value(l))),
                 AstExpr::Binary { op, left, right } => Ok(PlanExpr::bin(
                     bin_op(*op),
-                    resolve_post(binder, left, scope, group_ast, group_exprs, aggs, base_total)?,
-                    resolve_post(binder, right, scope, group_ast, group_exprs, aggs, base_total)?,
+                    resolve_post(
+                        binder,
+                        left,
+                        scope,
+                        group_ast,
+                        group_exprs,
+                        aggs,
+                        base_total,
+                    )?,
+                    resolve_post(
+                        binder,
+                        right,
+                        scope,
+                        group_ast,
+                        group_exprs,
+                        aggs,
+                        base_total,
+                    )?,
                 )),
                 AstExpr::Unary { op, expr } => {
                     let inner = resolve_post(
-                        binder, expr, scope, group_ast, group_exprs, aggs, base_total,
+                        binder,
+                        expr,
+                        scope,
+                        group_ast,
+                        group_exprs,
+                        aggs,
+                        base_total,
                     )?;
                     Ok(match op {
                         ast::UnaryOp::Not => PlanExpr::Not(Box::new(inner)),
@@ -564,8 +572,7 @@ impl<'a> Binder<'a> {
                     }
                 }
                 AstExpr::Between { .. } | AstExpr::InList { .. } => Err(CiError::Plan(
-                    "BETWEEN/IN over aggregates not supported; rewrite with comparisons"
-                        .into(),
+                    "BETWEEN/IN over aggregates not supported; rewrite with comparisons".into(),
                 )),
             }
         }
@@ -920,11 +927,7 @@ mod tests {
         let c = catalog();
         // o_id unambiguous; c_id unique; but a shared name would be ambiguous —
         // construct via two bindings of the same table.
-        let err = bind(
-            &parse("SELECT o_id FROM orders a, orders b").unwrap(),
-            &c,
-        )
-        .unwrap_err();
+        let err = bind(&parse("SELECT o_id FROM orders a, orders b").unwrap(), &c).unwrap_err();
         assert!(err.to_string().contains("ambiguous"), "{err}");
         assert!(bind(&parse("SELECT nope FROM orders").unwrap(), &c).is_err());
         assert!(bind(&parse("SELECT o_id FROM nope").unwrap(), &c).is_err());
@@ -932,11 +935,7 @@ mod tests {
 
     #[test]
     fn duplicate_binding_rejected() {
-        assert!(bind(
-            &parse("SELECT 1 FROM orders, orders").unwrap(),
-            &catalog()
-        )
-        .is_err());
+        assert!(bind(&parse("SELECT 1 FROM orders, orders").unwrap(), &catalog()).is_err());
     }
 
     #[test]

@@ -73,9 +73,10 @@ impl ColMap {
 
     /// Physical position of a global slot.
     pub fn position(&self, slot: usize) -> Result<usize> {
-        self.map.get(&slot).copied().ok_or_else(|| {
-            CiError::Exec(format!("column slot {slot} not present in batch"))
-        })
+        self.map
+            .get(&slot)
+            .copied()
+            .ok_or_else(|| CiError::Exec(format!("column slot {slot} not present in batch")))
     }
 
     /// Number of mapped slots.
@@ -151,9 +152,7 @@ impl PlanExpr {
                     (_, DataType::Int64, DataType::Float64)
                     | (_, DataType::Float64, DataType::Int64)
                     | (_, DataType::Float64, DataType::Float64) => Ok(DataType::Float64),
-                    (op, lt, rt) => Err(CiError::Plan(format!(
-                        "type error: {lt} {op:?} {rt}"
-                    ))),
+                    (op, lt, rt) => Err(CiError::Plan(format!("type error: {lt} {op:?} {rt}"))),
                 }
             }
             PlanExpr::Not(_) => Ok(DataType::Bool),
@@ -181,9 +180,7 @@ impl PlanExpr {
             PlanExpr::Neg(e) => {
                 let inner = e.eval(batch, map)?;
                 match inner {
-                    ColumnData::Int64(v) => {
-                        Ok(ColumnData::Int64(v.iter().map(|x| -x).collect()))
-                    }
+                    ColumnData::Int64(v) => Ok(ColumnData::Int64(v.iter().map(|x| -x).collect())),
                     ColumnData::Float64(v) => {
                         Ok(ColumnData::Float64(v.iter().map(|x| -x).collect()))
                     }
@@ -272,9 +269,7 @@ fn arith(op: BinOp, l: &ColumnData, r: &ColumnData) -> Result<ColumnData> {
                 BinOp::Mul => x * y,
                 _ => unreachable!(),
             };
-            Ok(Float64(
-                a.iter().zip(&b).map(|(x, y)| f(*x, *y)).collect(),
-            ))
+            Ok(Float64(a.iter().zip(&b).map(|(x, y)| f(*x, *y)).collect()))
         }
     }
 }
@@ -331,10 +326,7 @@ pub struct AggExpr {
 
 impl AggExpr {
     /// Output type of the aggregate given its input type resolver.
-    pub fn data_type(
-        &self,
-        slot_type: &dyn Fn(usize) -> Result<DataType>,
-    ) -> Result<DataType> {
+    pub fn data_type(&self, slot_type: &dyn Fn(usize) -> Result<DataType>) -> Result<DataType> {
         match self.func {
             AggFunc::Count => Ok(DataType::Int64),
             AggFunc::Avg => Ok(DataType::Float64),
@@ -419,13 +411,12 @@ mod tests {
         );
         // int * int -> int
         let e = PlanExpr::bin(BinOp::Mul, PlanExpr::Col(10), PlanExpr::Col(10));
-        assert_eq!(e.eval(&b, &m).unwrap(), ColumnData::Int64(vec![1, 4, 9, 16]));
-        // div always float
-        let e = PlanExpr::bin(
-            BinOp::Div,
-            PlanExpr::Col(10),
-            PlanExpr::Lit(Value::Int(2)),
+        assert_eq!(
+            e.eval(&b, &m).unwrap(),
+            ColumnData::Int64(vec![1, 4, 9, 16])
         );
+        // div always float
+        let e = PlanExpr::bin(BinOp::Div, PlanExpr::Col(10), PlanExpr::Lit(Value::Int(2)));
         assert_eq!(
             e.eval(&b, &m).unwrap(),
             ColumnData::Float64(vec![0.5, 1.0, 1.5, 2.0])
@@ -531,11 +522,7 @@ mod tests {
     #[test]
     fn division_by_zero_is_infinite_not_panic() {
         let (b, m) = batch();
-        let e = PlanExpr::bin(
-            BinOp::Div,
-            PlanExpr::Col(10),
-            PlanExpr::Lit(Value::Int(0)),
-        );
+        let e = PlanExpr::bin(BinOp::Div, PlanExpr::Col(10), PlanExpr::Lit(Value::Int(0)));
         let out = e.eval(&b, &m).unwrap();
         let v = out.as_f64().unwrap();
         assert!(v.iter().all(|x| x.is_infinite()));

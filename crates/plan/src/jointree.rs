@@ -93,9 +93,7 @@ impl JoinTree {
     pub fn is_left_deep(&self) -> bool {
         match self {
             JoinTree::Leaf(_) => true,
-            JoinTree::Join(l, r) => {
-                matches!(r.as_ref(), JoinTree::Leaf(_)) && l.is_left_deep()
-            }
+            JoinTree::Join(l, r) => matches!(r.as_ref(), JoinTree::Leaf(_)) && l.is_left_deep(),
         }
     }
 }

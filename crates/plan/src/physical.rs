@@ -208,9 +208,7 @@ impl PhysicalPlan {
             }
             for &s in &n.out_slots {
                 if s >= self.slot_types.len() {
-                    return Err(CiError::Plan(format!(
-                        "node {i} carries unknown slot {s}"
-                    )));
+                    return Err(CiError::Plan(format!("node {i} carries unknown slot {s}")));
                 }
             }
         }
@@ -325,9 +323,8 @@ impl<'a> Builder<'a> {
                 self.est.group_rows(in_rows, &ndvs)
             };
             let group_rows = self.injector.perturb(group_rows).max(1.0);
-            let out_slots: Vec<usize> = (base
-                ..base + agg.group_exprs.len() + agg.aggs.len())
-                .collect();
+            let out_slots: Vec<usize> =
+                (base..base + agg.group_exprs.len() + agg.aggs.len()).collect();
             top = self.push_node(
                 PhysicalOp::HashAgg {
                     groups: agg.group_exprs.clone(),
@@ -353,8 +350,7 @@ impl<'a> Builder<'a> {
             self.slot_widths.push(dt.width_estimate() as f64);
             let _ = i;
         }
-        let out_slots: Vec<usize> =
-            (proj_base..proj_base + self.bound.output.len()).collect();
+        let out_slots: Vec<usize> = (proj_base..proj_base + self.bound.output.len()).collect();
         let rows = self.nodes[top].est_rows;
         top = self.push_node(
             PhysicalOp::Project {
@@ -420,9 +416,7 @@ impl<'a> Builder<'a> {
                     .filter_map(|e: &JoinEdge| {
                         if brels.contains(&e.left_rel) && prels.contains(&e.right_rel) {
                             Some((e.left_slot, e.right_slot))
-                        } else if brels.contains(&e.right_rel)
-                            && prels.contains(&e.left_rel)
-                        {
+                        } else if brels.contains(&e.right_rel) && prels.contains(&e.left_rel) {
                             Some((e.right_slot, e.left_slot))
                         } else {
                             None
@@ -484,9 +478,7 @@ impl<'a> Builder<'a> {
                     .iter()
                     .enumerate()
                     .filter(|(i, (rels, _))| {
-                        !self.applied_filters[*i]
-                            && !rels.is_empty()
-                            && rels.is_subset(&covered)
+                        !self.applied_filters[*i] && !rels.is_empty() && rels.is_subset(&covered)
                     })
                     .map(|(i, (_, p))| (i, p.clone()))
                     .collect();
@@ -584,11 +576,7 @@ impl<'a> Builder<'a> {
         for r in &self.bound.relations {
             let entry = self.catalog.get(&r.table_name)?;
             for c in &entry.stats.columns {
-                widths.push(if c.avg_width > 0.0 {
-                    c.avg_width
-                } else {
-                    8.0
-                });
+                widths.push(if c.avg_width > 0.0 { c.avg_width } else { 8.0 });
             }
         }
         // Post-aggregate slots: width by type.
@@ -694,7 +682,11 @@ mod tests {
         let names: Vec<&str> = p.nodes.iter().map(|n| n.op.name()).collect();
         assert_eq!(names, vec!["Scan", "Project", "Gather", "Limit"]);
         // Scan estimate reflects the ~50% selectivity.
-        assert!((p.nodes[0].est_rows - 500.0).abs() < 60.0, "{}", p.nodes[0].est_rows);
+        assert!(
+            (p.nodes[0].est_rows - 500.0).abs() < 60.0,
+            "{}",
+            p.nodes[0].est_rows
+        );
         // Limit caps estimate.
         assert!(p.nodes[p.root].est_rows <= 10.0);
         assert_eq!(p.output_names(), vec!["o_id"]);
@@ -702,9 +694,7 @@ mod tests {
 
     #[test]
     fn join_plan_has_exchanges_and_join() {
-        let p = plan(
-            "SELECT o_id, c_name FROM orders o JOIN customers c ON o.o_cust = c.c_id",
-        );
+        let p = plan("SELECT o_id, c_name FROM orders o JOIN customers c ON o.o_cust = c.c_id");
         let names: Vec<&str> = p.nodes.iter().map(|n| n.op.name()).collect();
         assert_eq!(
             names,
@@ -831,8 +821,7 @@ mod tests {
     fn incomplete_tree_rejected() {
         let cat = catalog();
         let b = bind(
-            &parse("SELECT o_id FROM orders o JOIN customers c ON o.o_cust = c.c_id")
-                .unwrap(),
+            &parse("SELECT o_id FROM orders o JOIN customers c ON o.o_cust = c.c_id").unwrap(),
             &cat,
         )
         .unwrap();
@@ -850,12 +839,10 @@ mod tests {
         .unwrap();
         let tree = JoinTree::left_deep(&[0]);
         let clean = build_plan(&b, &tree, &cat, &mut ErrorInjector::oracle()).unwrap();
-        let noisy = build_plan(&b, &tree, &cat, &mut ErrorInjector::with_bound(1, 4.0))
-            .unwrap();
+        let noisy = build_plan(&b, &tree, &cat, &mut ErrorInjector::with_bound(1, 4.0)).unwrap();
         assert_ne!(clean.nodes[0].est_rows, noisy.nodes[0].est_rows);
         // Same plan with the same seed is reproducible.
-        let noisy2 = build_plan(&b, &tree, &cat, &mut ErrorInjector::with_bound(1, 4.0))
-            .unwrap();
+        let noisy2 = build_plan(&b, &tree, &cat, &mut ErrorInjector::with_bound(1, 4.0)).unwrap();
         assert_eq!(noisy.nodes[0].est_rows, noisy2.nodes[0].est_rows);
     }
 

@@ -208,15 +208,13 @@ impl<'a> Decomposer<'a> {
             }
             PhysicalOp::HashAgg { .. } => {
                 let (chain, deps) = self.walk(n.children[0])?;
-                let feed_id =
-                    self.finish_pipeline(chain, SinkKind::Aggregate { agg: node }, deps);
+                let feed_id = self.finish_pipeline(chain, SinkKind::Aggregate { agg: node }, deps);
                 // New pipeline sources at the aggregate's output.
                 Ok((vec![node], vec![feed_id]))
             }
             PhysicalOp::Sort { .. } => {
                 let (chain, deps) = self.walk(n.children[0])?;
-                let feed_id =
-                    self.finish_pipeline(chain, SinkKind::Sort { sort: node }, deps);
+                let feed_id = self.finish_pipeline(chain, SinkKind::Sort { sort: node }, deps);
                 Ok((vec![node], vec![feed_id]))
             }
         }
@@ -335,9 +333,7 @@ mod tests {
 
     #[test]
     fn three_way_join_pipeline_count() {
-        let (_, g) = graph(
-            "SELECT a.id FROM a JOIN b ON a.id = b.fk JOIN c ON a.id = c.fk",
-        );
+        let (_, g) = graph("SELECT a.id FROM a JOIN b ON a.id = b.fk JOIN c ON a.id = c.fk");
         // Two build pipelines + one probe/result pipeline.
         assert_eq!(g.len(), 3);
         let result = g.result_pipeline();
@@ -346,9 +342,7 @@ mod tests {
 
     #[test]
     fn concurrent_groups_level_builds_together() {
-        let (_, g) = graph(
-            "SELECT a.id FROM a JOIN b ON a.id = b.fk JOIN c ON a.id = c.fk",
-        );
+        let (_, g) = graph("SELECT a.id FROM a JOIN b ON a.id = b.fk JOIN c ON a.id = c.fk");
         let groups = g.concurrent_groups();
         // Level 0: both build pipelines; level 1: the probe pipeline.
         assert_eq!(groups.len(), 2);
@@ -360,8 +354,7 @@ mod tests {
     fn bushy_join_has_deeper_dag() {
         let cat = catalog();
         let b = bind(
-            &parse("SELECT a.id FROM a JOIN b ON a.id = b.fk JOIN c ON b.id = c.fk")
-                .unwrap(),
+            &parse("SELECT a.id FROM a JOIN b ON a.id = b.fk JOIN c ON b.id = c.fk").unwrap(),
             &cat,
         )
         .unwrap();

@@ -1,0 +1,34 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace ships a minimal, API-compatible subset of proptest sufficient
+//! for the property tests in this repository: the [`Strategy`] trait with
+//! `prop_map` / `prop_recursive` / `boxed`, range and tuple strategies,
+//! [`prelude::Just`], `prop_oneof!`, `collection::vec`, `any::<T>()`, and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its case index and RNG seed;
+//!   re-running is fully deterministic, so the failure reproduces exactly.
+//! * **Deterministic by default.** Cases are derived from a fixed seed via
+//!   SplitMix64, keeping the workspace's determinism guarantee (same binary,
+//!   same results) intact even inside the test suite.
+//! * **String "regex" strategies** support only the `.{lo,hi}` shape used
+//!   here (arbitrary strings with bounded length); any other pattern is
+//!   generated as a literal.
+
+pub mod collection;
+mod macros;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The subset of `proptest::prelude` this workspace uses.
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestRng};

@@ -1,0 +1,68 @@
+//! Deterministic RNG and run configuration for the proptest stand-in.
+
+/// SplitMix64: tiny, fast, and plenty for test-case generation. Every case
+/// seeds one of these from `(GLOBAL_SEED, case_index)`, so any failure
+/// message's case index is enough to reproduce the exact inputs.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+/// Fixed global seed; change it only if you want a different (still
+/// deterministic) exploration of the input space.
+pub const GLOBAL_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ GLOBAL_SEED,
+        }
+    }
+
+    pub fn for_case(case: u64) -> Self {
+        // Decorrelate consecutive case indices before mixing.
+        TestRng::new(case.wrapping_mul(0xBF58_476D_1CE4_E5B9).wrapping_add(1))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Multiply-shift bounded sampling (Lemire); bias is negligible for
+        // test-case generation.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Run configuration; only `cases` is honoured by the stand-in.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}

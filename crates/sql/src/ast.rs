@@ -209,11 +209,7 @@ impl Expr {
             Expr::Unary { expr, .. } => expr.contains_aggregate(),
             Expr::Between {
                 expr, low, high, ..
-            } => {
-                expr.contains_aggregate()
-                    || low.contains_aggregate()
-                    || high.contains_aggregate()
-            }
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
             }
@@ -223,9 +219,7 @@ impl Expr {
     /// Collects all column references (qualifier, name) in the tree.
     pub fn columns(&self, out: &mut Vec<(Option<String>, String)>) {
         match self {
-            Expr::Column { qualifier, name } => {
-                out.push((qualifier.clone(), name.clone()))
-            }
+            Expr::Column { qualifier, name } => out.push((qualifier.clone(), name.clone())),
             Expr::Literal(_) => {}
             Expr::Binary { left, right, .. } => {
                 left.columns(out);
@@ -417,7 +411,11 @@ mod tests {
         let e = Expr::binary(
             BinaryOp::Eq,
             Expr::qcol("o", "id"),
-            Expr::binary(BinaryOp::Add, Expr::col("x"), Expr::Literal(Literal::Int(1))),
+            Expr::binary(
+                BinaryOp::Add,
+                Expr::col("x"),
+                Expr::Literal(Literal::Int(1)),
+            ),
         );
         let mut cols = Vec::new();
         e.columns(&mut cols);

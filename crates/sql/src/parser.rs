@@ -3,8 +3,7 @@
 use ci_types::{CiError, Result};
 
 use crate::ast::{
-    AggFunc, BinaryOp, Expr, JoinClause, Literal, OrderItem, Query, SelectItem, TableRef,
-    UnaryOp,
+    AggFunc, BinaryOp, Expr, JoinClause, Literal, OrderItem, Query, SelectItem, TableRef, UnaryOp,
 };
 use crate::token::{tokenize, Token, TokenKind};
 
@@ -85,10 +84,7 @@ impl Parser {
 
     fn unexpected(&self, what: &str) -> CiError {
         match self.peek() {
-            Some(t) => CiError::Parse(format!(
-                "{what}, found {:?} at offset {}",
-                t.kind, t.offset
-            )),
+            Some(t) => CiError::Parse(format!("{what}, found {:?} at offset {}", t.kind, t.offset)),
             None => CiError::Parse(format!("{what}, found end of input")),
         }
     }
@@ -562,12 +558,10 @@ mod tests {
 
     #[test]
     fn between_and_in() {
-        let q = parse("SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b IN (1, 2, 3)")
-            .unwrap();
+        let q = parse("SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b IN (1, 2, 3)").unwrap();
         let w = q.where_clause.unwrap().to_string();
         assert_eq!(w, "((a BETWEEN 1 AND 5) AND (b IN (1, 2, 3)))");
-        let q2 = parse("SELECT * FROM t WHERE a NOT IN (1) AND b NOT BETWEEN 1 AND 2")
-            .unwrap();
+        let q2 = parse("SELECT * FROM t WHERE a NOT IN (1) AND b NOT BETWEEN 1 AND 2").unwrap();
         let w2 = q2.where_clause.unwrap().to_string();
         assert!(w2.contains("NOT IN"));
         assert!(w2.contains("NOT BETWEEN"));

@@ -30,9 +30,9 @@ pub struct Token {
 
 /// Recognized keywords.
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "AS", "AND",
-    "OR", "NOT", "JOIN", "INNER", "ON", "ASC", "DESC", "BETWEEN", "IN", "COUNT", "SUM",
-    "AVG", "MIN", "MAX", "TRUE", "FALSE", "DISTINCT",
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "AS", "AND", "OR", "NOT",
+    "JOIN", "INNER", "ON", "ASC", "DESC", "BETWEEN", "IN", "COUNT", "SUM", "AVG", "MIN", "MAX",
+    "TRUE", "FALSE", "DISTINCT",
 ];
 
 fn keyword_of(word: &str) -> Option<&'static str> {
@@ -97,15 +97,16 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             let text = &input[start..i];
-            let kind = if saw_dot {
-                TokenKind::Float(text.parse().map_err(|_| {
-                    CiError::Parse(format!("bad float literal '{text}' at {start}"))
-                })?)
-            } else {
-                TokenKind::Int(text.parse().map_err(|_| {
-                    CiError::Parse(format!("bad int literal '{text}' at {start}"))
-                })?)
-            };
+            let kind =
+                if saw_dot {
+                    TokenKind::Float(text.parse().map_err(|_| {
+                        CiError::Parse(format!("bad float literal '{text}' at {start}"))
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| {
+                        CiError::Parse(format!("bad int literal '{text}' at {start}"))
+                    })?)
+                };
             tokens.push(Token {
                 kind,
                 offset: start,

@@ -110,8 +110,7 @@ impl RecordBatch {
                 self.rows
             )));
         }
-        let columns: Vec<ColumnData> =
-            self.columns.iter().map(|c| c.filter(keep)).collect();
+        let columns: Vec<ColumnData> = self.columns.iter().map(|c| c.filter(keep)).collect();
         RecordBatch::new(self.schema.clone(), columns)
     }
 
@@ -123,8 +122,7 @@ impl RecordBatch {
                 self.rows
             )));
         }
-        let columns: Vec<ColumnData> =
-            self.columns.iter().map(|c| c.take(indices)).collect();
+        let columns: Vec<ColumnData> = self.columns.iter().map(|c| c.take(indices)).collect();
         RecordBatch::new(self.schema.clone(), columns)
     }
 
@@ -137,8 +135,7 @@ impl RecordBatch {
             )));
         }
         let schema = Arc::new(self.schema.project(indices));
-        let columns: Vec<ColumnData> =
-            indices.iter().map(|&i| self.columns[i].clone()).collect();
+        let columns: Vec<ColumnData> = indices.iter().map(|&i| self.columns[i].clone()).collect();
         RecordBatch::new(schema, columns)
     }
 
@@ -151,8 +148,7 @@ impl RecordBatch {
                 self.rows
             )));
         }
-        let columns: Vec<ColumnData> =
-            self.columns.iter().map(|c| c.slice(offset, len)).collect();
+        let columns: Vec<ColumnData> = self.columns.iter().map(|c| c.slice(offset, len)).collect();
         RecordBatch::new(self.schema.clone(), columns)
     }
 

@@ -129,7 +129,8 @@ impl ColumnData {
             ColumnData::Utf8(v) => ColumnData::Utf8(
                 v.iter()
                     .zip(keep)
-                    .filter(|&(_x, &k)| k).map(|(x, &_k)| x.clone())
+                    .filter(|&(_x, &k)| k)
+                    .map(|(x, &_k)| x.clone())
                     .collect(),
             ),
             ColumnData::Bool(v) => ColumnData::Bool(
@@ -144,18 +145,12 @@ impl ColumnData {
     /// New column gathering the given row indices (indices may repeat).
     pub fn take(&self, indices: &[usize]) -> ColumnData {
         match self {
-            ColumnData::Int64(v) => {
-                ColumnData::Int64(indices.iter().map(|&i| v[i]).collect())
-            }
-            ColumnData::Float64(v) => {
-                ColumnData::Float64(indices.iter().map(|&i| v[i]).collect())
-            }
+            ColumnData::Int64(v) => ColumnData::Int64(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Float64(v) => ColumnData::Float64(indices.iter().map(|&i| v[i]).collect()),
             ColumnData::Utf8(v) => {
                 ColumnData::Utf8(indices.iter().map(|&i| v[i].clone()).collect())
             }
-            ColumnData::Bool(v) => {
-                ColumnData::Bool(indices.iter().map(|&i| v[i]).collect())
-            }
+            ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
         }
     }
 
@@ -163,9 +158,7 @@ impl ColumnData {
     pub fn slice(&self, offset: usize, len: usize) -> ColumnData {
         match self {
             ColumnData::Int64(v) => ColumnData::Int64(v[offset..offset + len].to_vec()),
-            ColumnData::Float64(v) => {
-                ColumnData::Float64(v[offset..offset + len].to_vec())
-            }
+            ColumnData::Float64(v) => ColumnData::Float64(v[offset..offset + len].to_vec()),
             ColumnData::Utf8(v) => ColumnData::Utf8(v[offset..offset + len].to_vec()),
             ColumnData::Bool(v) => ColumnData::Bool(v[offset..offset + len].to_vec()),
         }
@@ -176,9 +169,7 @@ impl ColumnData {
         match (self, other) {
             (ColumnData::Int64(a), ColumnData::Int64(b)) => a.extend_from_slice(b),
             (ColumnData::Float64(a), ColumnData::Float64(b)) => a.extend_from_slice(b),
-            (ColumnData::Utf8(a), ColumnData::Utf8(b)) => {
-                a.extend(b.iter().cloned())
-            }
+            (ColumnData::Utf8(a), ColumnData::Utf8(b)) => a.extend(b.iter().cloned()),
             (ColumnData::Bool(a), ColumnData::Bool(b)) => a.extend_from_slice(b),
             (a, b) => {
                 return Err(CiError::Exec(format!(

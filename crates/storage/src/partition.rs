@@ -20,11 +20,7 @@ pub struct ZoneMap {
 impl ZoneMap {
     /// Computes the zone map of a batch. Empty batches get an empty map.
     pub fn of(batch: &RecordBatch) -> ZoneMap {
-        let ranges = batch
-            .columns()
-            .iter()
-            .filter_map(|c| c.min_max())
-            .collect();
+        let ranges = batch.columns().iter().filter_map(|c| c.min_max()).collect();
         ZoneMap { ranges }
     }
 
@@ -80,9 +76,7 @@ mod tests {
 
     fn part(ids: Vec<i64>) -> MicroPartition {
         let schema = Arc::new(Schema::of(vec![Field::new("id", DataType::Int64)]));
-        MicroPartition::from_batch(
-            RecordBatch::new(schema, vec![ColumnData::Int64(ids)]).unwrap(),
-        )
+        MicroPartition::from_batch(RecordBatch::new(schema, vec![ColumnData::Int64(ids)]).unwrap())
     }
 
     #[test]
@@ -96,8 +90,12 @@ mod tests {
     #[test]
     fn pruning_respects_bounds() {
         let p = part(vec![10, 20, 30]);
-        assert!(p.zone_map.may_contain(&[ColumnBound::eq(0, Value::Int(20))]));
-        assert!(!p.zone_map.may_contain(&[ColumnBound::eq(0, Value::Int(31))]));
+        assert!(p
+            .zone_map
+            .may_contain(&[ColumnBound::eq(0, Value::Int(20))]));
+        assert!(!p
+            .zone_map
+            .may_contain(&[ColumnBound::eq(0, Value::Int(31))]));
         // Conjunction: any failing bound prunes.
         assert!(!p.zone_map.may_contain(&[
             ColumnBound::eq(0, Value::Int(20)),

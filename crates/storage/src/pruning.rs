@@ -67,10 +67,9 @@ impl ColumnBound {
         // Fail the partition only if zmax < lower or zmin > upper.
         let below = match &self.lower {
             Endpoint::Unbounded => false,
-            Endpoint::Inclusive(lo) => matches!(
-                zmax.partial_cmp_sql(lo),
-                Some(std::cmp::Ordering::Less)
-            ),
+            Endpoint::Inclusive(lo) => {
+                matches!(zmax.partial_cmp_sql(lo), Some(std::cmp::Ordering::Less))
+            }
             Endpoint::Exclusive(lo) => matches!(
                 zmax.partial_cmp_sql(lo),
                 Some(std::cmp::Ordering::Less) | Some(std::cmp::Ordering::Equal)
@@ -81,10 +80,9 @@ impl ColumnBound {
         }
         let above = match &self.upper {
             Endpoint::Unbounded => false,
-            Endpoint::Inclusive(hi) => matches!(
-                zmin.partial_cmp_sql(hi),
-                Some(std::cmp::Ordering::Greater)
-            ),
+            Endpoint::Inclusive(hi) => {
+                matches!(zmin.partial_cmp_sql(hi), Some(std::cmp::Ordering::Greater))
+            }
             Endpoint::Exclusive(hi) => matches!(
                 zmin.partial_cmp_sql(hi),
                 Some(std::cmp::Ordering::Greater) | Some(std::cmp::Ordering::Equal)
@@ -155,11 +153,7 @@ mod tests {
 
     #[test]
     fn contains_matches_overlap_semantics() {
-        let b = ColumnBound::range(
-            0,
-            Some((Value::Int(5), true)),
-            Some((Value::Int(8), false)),
-        );
+        let b = ColumnBound::range(0, Some((Value::Int(5), true)), Some((Value::Int(8), false)));
         assert!(!b.contains(&Value::Int(4)));
         assert!(b.contains(&Value::Int(5)));
         assert!(b.contains(&Value::Int(7)));
@@ -168,11 +162,7 @@ mod tests {
 
     #[test]
     fn string_ranges() {
-        let b = ColumnBound::range(
-            1,
-            Some((Value::from("m"), true)),
-            None,
-        );
+        let b = ColumnBound::range(1, Some((Value::from("m"), true)), None);
         assert!(!b.may_overlap(&Value::from("a"), &Value::from("c")));
         assert!(b.may_overlap(&Value::from("a"), &Value::from("z")));
     }

@@ -184,9 +184,6 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        assert_eq!(
-            sample().to_string(),
-            "(id INT, price DOUBLE, name VARCHAR)"
-        );
+        assert_eq!(sample().to_string(), "(id INT, price DOUBLE, name VARCHAR)");
     }
 }

@@ -76,8 +76,7 @@ impl Table {
         if self.partitions.is_empty() {
             return Ok(RecordBatch::empty(self.schema.clone()));
         }
-        let batches: Vec<RecordBatch> =
-            self.partitions.iter().map(|p| p.batch.clone()).collect();
+        let batches: Vec<RecordBatch> = self.partitions.iter().map(|p| p.batch.clone()).collect();
         RecordBatch::concat(&batches)
     }
 
@@ -85,11 +84,7 @@ impl Table {
     /// partitions of `rows_per_partition`. This is the §4 "recluster" tuning
     /// action: the data is identical, but zone maps on the cluster column
     /// become tight, so selective scans prune far more.
-    pub fn reclustered_by(
-        &self,
-        column: usize,
-        rows_per_partition: usize,
-    ) -> Result<Table> {
+    pub fn reclustered_by(&self, column: usize, rows_per_partition: usize) -> Result<Table> {
         if column >= self.schema.arity() {
             return Err(CiError::Catalog(format!(
                 "recluster column {column} out of range"
@@ -183,7 +178,11 @@ impl TableBuilder {
         let rest = combined.slice(self.rows_per_partition, rest_len)?;
         self.partitions.push(MicroPartition::from_batch(part));
         self.pending_rows = rest.rows();
-        self.pending = if rest.is_empty() { Vec::new() } else { vec![rest] };
+        self.pending = if rest.is_empty() {
+            Vec::new()
+        } else {
+            vec![rest]
+        };
         Ok(())
     }
 

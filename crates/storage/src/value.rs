@@ -193,10 +193,7 @@ mod tests {
     fn min_max_sql() {
         assert_eq!(Value::Int(3).min_sql(Value::Int(5)), Value::Int(3));
         assert_eq!(Value::Int(3).max_sql(Value::Int(5)), Value::Int(5));
-        assert_eq!(
-            Value::from("b").max_sql(Value::from("a")),
-            Value::from("b")
-        );
+        assert_eq!(Value::from("b").max_sql(Value::from("a")), Value::from("b"));
     }
 
     #[test]

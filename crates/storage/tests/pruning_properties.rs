@@ -17,8 +17,8 @@ use proptest::prelude::*;
 
 fn table_of(values: Vec<i64>, rows_per_part: usize) -> ci_storage::table::Table {
     let schema = Arc::new(Schema::of(vec![Field::new("v", DataType::Int64)]));
-    let mut b = TableBuilder::new(TableId::new(0), "t", schema.clone(), rows_per_part)
-        .expect("builder");
+    let mut b =
+        TableBuilder::new(TableId::new(0), "t", schema.clone(), rows_per_part).expect("builder");
     b.append(RecordBatch::new(schema, vec![ColumnData::Int64(values)]).expect("batch"))
         .expect("append");
     b.finish().expect("table")
@@ -37,12 +37,14 @@ fn bound_strategy() -> impl Strategy<Value = ColumnBound> {
             None,
             Some((Value::Int(v % 200), inc))
         )),
-        (any::<i64>(), any::<i64>(), any::<bool>(), any::<bool>()).prop_map(
-            |(a, b, ia, ib)| {
-                let (lo, hi) = if a % 200 <= b % 200 { (a % 200, b % 200) } else { (b % 200, a % 200) };
-                ColumnBound::range(0, Some((Value::Int(lo), ia)), Some((Value::Int(hi), ib)))
-            }
-        ),
+        (any::<i64>(), any::<i64>(), any::<bool>(), any::<bool>()).prop_map(|(a, b, ia, ib)| {
+            let (lo, hi) = if a % 200 <= b % 200 {
+                (a % 200, b % 200)
+            } else {
+                (b % 200, a % 200)
+            };
+            ColumnBound::range(0, Some((Value::Int(lo), ia)), Some((Value::Int(hi), ib)))
+        }),
     ]
 }
 

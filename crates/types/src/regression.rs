@@ -78,9 +78,10 @@ pub fn fit(rows: &[Vec<f64>], ys: &[f64]) -> Result<LinearModel> {
         }
     }
     // Mirror the upper triangle.
-    for i in 0..p {
-        for j in 0..i {
-            xtx[i][j] = xtx[j][i];
+    for i in 1..p {
+        let (upper, lower) = xtx.split_at_mut(i);
+        for (j, upper_row) in upper.iter().enumerate() {
+            lower[0][j] = upper_row[i];
         }
     }
 
@@ -134,8 +135,10 @@ fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Result<Vec<f64>> {
             if f == 0.0 {
                 continue;
             }
-            for j in col..n {
-                a[row][j] -= f * a[col][j];
+            let (above, below) = a.split_at_mut(row);
+            let pivot_row = &above[col];
+            for (t, pv) in below[0][col..].iter_mut().zip(&pivot_row[col..]) {
+                *t -= f * pv;
             }
             b[row] -= f * b[col];
         }
@@ -221,9 +224,7 @@ mod tests {
     #[test]
     fn rejects_collinear_features() {
         // x2 = 2*x1 exactly: singular.
-        let rows: Vec<Vec<f64>> = (0..10)
-            .map(|i| vec![i as f64, 2.0 * i as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
         let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
         assert!(fit(&rows, &ys).is_err());
     }

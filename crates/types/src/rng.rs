@@ -242,7 +242,11 @@ mod tests {
             }
         }
         // With strong skew, the top decile should get well over its uniform 10%.
-        assert!(head as f64 / n as f64 > 0.3, "head share {}", head as f64 / n as f64);
+        assert!(
+            head as f64 / n as f64 > 0.3,
+            "head share {}",
+            head as f64 / n as f64
+        );
         // Uniform fallback at theta=0.
         let mut uni = 0usize;
         for _ in 0..n {
@@ -262,7 +266,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
     }
 
     #[test]

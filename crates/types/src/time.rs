@@ -263,7 +263,10 @@ mod tests {
         let mut t = SimTime::ZERO;
         t += SimDuration::from_secs(5);
         assert_eq!(t.as_secs_f64(), 5.0);
-        assert_eq!(t.since(SimTime::from_secs_f64(2.0)), SimDuration::from_secs(3));
+        assert_eq!(
+            t.since(SimTime::from_secs_f64(2.0)),
+            SimDuration::from_secs(3)
+        );
         assert_eq!(
             SimTime::from_secs_f64(1.0).saturating_since(t),
             SimDuration::ZERO

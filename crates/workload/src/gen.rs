@@ -149,9 +149,7 @@ impl CabGenerator {
                             .map(|_| (*r.choose(&CATEGORIES)).to_owned())
                             .collect(),
                     ),
-                    ColumnData::Float64(
-                        (0..n_part).map(|_| r.range_f64(1.0, 1000.0)).collect(),
-                    ),
+                    ColumnData::Float64((0..n_part).map(|_| r.range_f64(1.0, 1000.0)).collect()),
                 ],
             )?)?;
             catalog.register(b.finish()?);
@@ -181,12 +179,8 @@ impl CabGenerator {
                             .map(|_| r.range_i64(0, n_cust as i64))
                             .collect(),
                     ),
-                    ColumnData::Int64(
-                        (0..n_orders).map(|_| r.range_i64(0, DATE_DOMAIN)).collect(),
-                    ),
-                    ColumnData::Float64(
-                        (0..n_orders).map(|_| r.range_f64(10.0, 5000.0)).collect(),
-                    ),
+                    ColumnData::Int64((0..n_orders).map(|_| r.range_i64(0, DATE_DOMAIN)).collect()),
+                    ColumnData::Float64((0..n_orders).map(|_| r.range_f64(10.0, 5000.0)).collect()),
                 ],
             )?)?;
             catalog.register(b.finish()?);
@@ -222,12 +216,8 @@ impl CabGenerator {
                             .collect(),
                     ),
                     ColumnData::Int64((0..n_items).map(|_| r.range_i64(1, 50)).collect()),
-                    ColumnData::Float64(
-                        (0..n_items).map(|_| r.range_f64(1.0, 500.0)).collect(),
-                    ),
-                    ColumnData::Float64(
-                        (0..n_items).map(|_| r.range_f64(0.0, 0.1)).collect(),
-                    ),
+                    ColumnData::Float64((0..n_items).map(|_| r.range_f64(1.0, 500.0)).collect()),
+                    ColumnData::Float64((0..n_items).map(|_| r.range_f64(0.0, 0.1)).collect()),
                 ],
             )?)?;
             catalog.register(b.finish()?);
@@ -298,14 +288,20 @@ mod tests {
         let n_part = g.row_counts().1 as i64;
         let head = parts.iter().filter(|&&p| p < n_part / 10).count();
         let share = head as f64 / parts.len() as f64;
-        assert!(share > 0.2, "top-decile part share {share} should exceed uniform 0.1");
+        assert!(
+            share > 0.2,
+            "top-decile part share {share} should exceed uniform 0.1"
+        );
     }
 
     #[test]
     fn stats_support_histograms_on_dates() {
         let cat = CabGenerator::at_scale(0.1).build_catalog().unwrap();
         let stats = &cat.get("orders").unwrap().stats;
-        let h = stats.columns[2].histogram.as_ref().expect("o_date histogram");
+        let h = stats.columns[2]
+            .histogram
+            .as_ref()
+            .expect("o_date histogram");
         let sel = h.range_selectivity(0.0, (DATE_DOMAIN / 2) as f64);
         assert!((sel - 0.5).abs() < 0.05, "half-domain selectivity {sel}");
     }

@@ -21,18 +21,54 @@ pub struct QueryTemplate {
 
 /// The CAB template catalog.
 pub const TEMPLATES: [QueryTemplate; 12] = [
-    QueryTemplate { id: 1, name: "pricing-summary" },
-    QueryTemplate { id: 2, name: "date-window-scan" },
-    QueryTemplate { id: 3, name: "revenue-by-region" },
-    QueryTemplate { id: 4, name: "segment-analysis" },
-    QueryTemplate { id: 5, name: "top-orders" },
-    QueryTemplate { id: 6, name: "forecast-revenue-change" },
-    QueryTemplate { id: 7, name: "category-volume" },
-    QueryTemplate { id: 8, name: "distinct-customers" },
-    QueryTemplate { id: 9, name: "star-rollup" },
-    QueryTemplate { id: 10, name: "big-sort" },
-    QueryTemplate { id: 11, name: "order-lookup" },
-    QueryTemplate { id: 12, name: "having-filter" },
+    QueryTemplate {
+        id: 1,
+        name: "pricing-summary",
+    },
+    QueryTemplate {
+        id: 2,
+        name: "date-window-scan",
+    },
+    QueryTemplate {
+        id: 3,
+        name: "revenue-by-region",
+    },
+    QueryTemplate {
+        id: 4,
+        name: "segment-analysis",
+    },
+    QueryTemplate {
+        id: 5,
+        name: "top-orders",
+    },
+    QueryTemplate {
+        id: 6,
+        name: "forecast-revenue-change",
+    },
+    QueryTemplate {
+        id: 7,
+        name: "category-volume",
+    },
+    QueryTemplate {
+        id: 8,
+        name: "distinct-customers",
+    },
+    QueryTemplate {
+        id: 9,
+        name: "star-rollup",
+    },
+    QueryTemplate {
+        id: 10,
+        name: "big-sort",
+    },
+    QueryTemplate {
+        id: 11,
+        name: "order-lookup",
+    },
+    QueryTemplate {
+        id: 12,
+        name: "having-filter",
+    },
 ];
 
 /// Instantiates template `id` with parameters drawn from `rng`, sized for

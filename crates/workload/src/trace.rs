@@ -179,6 +179,9 @@ mod tests {
         let trace = WorkloadTrace::generate(&cfg, &gen);
         let distinct: std::collections::BTreeSet<&str> =
             trace.entries.iter().map(|e| e.sql.as_str()).collect();
-        assert!(distinct.len() > trace.len() / 2, "ad-hoc queries should vary");
+        assert!(
+            distinct.len() > trace.len() / 2,
+            "ad-hoc queries should vary"
+        );
     }
 }

@@ -16,16 +16,14 @@ fn all_templates_execute() {
     let mut rng = DetRng::seed_from_u64(99);
     for t in &TEMPLATES {
         let sql = queries::instantiate(t.id, &mut rng, &gen);
-        let bound = bind(&parse(&sql).unwrap_or_else(|e| panic!("Q{}: {e}\n{sql}", t.id)), &cat)
-            .unwrap_or_else(|e| panic!("Q{} bind: {e}\n{sql}", t.id));
-        let tree = JoinTree::left_deep(&(0..bound.relations.len()).collect::<Vec<_>>());
-        let plan = ci_plan::physical::build_plan(
-            &bound,
-            &tree,
+        let bound = bind(
+            &parse(&sql).unwrap_or_else(|e| panic!("Q{}: {e}\n{sql}", t.id)),
             &cat,
-            &mut ErrorInjector::oracle(),
         )
-        .unwrap_or_else(|e| panic!("Q{} plan: {e}\n{sql}", t.id));
+        .unwrap_or_else(|e| panic!("Q{} bind: {e}\n{sql}", t.id));
+        let tree = JoinTree::left_deep(&(0..bound.relations.len()).collect::<Vec<_>>());
+        let plan = ci_plan::physical::build_plan(&bound, &tree, &cat, &mut ErrorInjector::oracle())
+            .unwrap_or_else(|e| panic!("Q{} plan: {e}\n{sql}", t.id));
         let graph = PipelineGraph::decompose(&plan).unwrap();
         let out = exec
             .execute(&plan, &graph, &vec![2; graph.len()], &mut NoScaling)
@@ -57,13 +55,15 @@ fn selective_template_returns_subset() {
     let bound = bind(&parse(&sql).unwrap(), &cat).unwrap();
     let tree = JoinTree::left_deep(&[0]);
     let plan =
-        ci_plan::physical::build_plan(&bound, &tree, &cat, &mut ErrorInjector::oracle())
-            .unwrap();
+        ci_plan::physical::build_plan(&bound, &tree, &cat, &mut ErrorInjector::oracle()).unwrap();
     let graph = PipelineGraph::decompose(&plan).unwrap();
     let out = exec
         .execute(&plan, &graph, &vec![2; graph.len()], &mut NoScaling)
         .unwrap();
     let total = cat.get("orders").unwrap().stats.row_count;
     assert!(out.result.rows() > 0);
-    assert!((out.result.rows() as u64) < total / 10, "31-day window is selective");
+    assert!(
+        (out.result.rows() as u64) < total / 10,
+        "31-day window is selective"
+    );
 }

@@ -28,13 +28,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         &gen,
     );
-    println!("replaying {} queries over 24h of virtual time...", trace.len());
+    println!(
+        "replaying {} queries over 24h of virtual time...",
+        trace.len()
+    );
     let reports = warehouse.run_trace(&trace, Constraint::MinCost)?;
     let before_spend: f64 = reports.iter().map(|r| r.cost.amount()).sum();
     let per_query_before = before_spend / reports.len() as f64;
-    println!(
-        "  workload spend: ${before_spend:.4} (${per_query_before:.6}/query)\n"
-    );
+    println!("  workload spend: ${before_spend:.4} (${per_query_before:.6}/query)\n");
 
     // The advisor: statistics -> prediction -> what-if, all in dollars.
     println!("== tuning proposals ==");
@@ -53,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("\nno profitable actions — workload too light to tune.");
         return Ok(());
     }
-    println!("\n== applying {} accepted action(s) on background compute ==", accepted.len());
+    println!(
+        "\n== applying {} accepted action(s) on background compute ==",
+        accepted.len()
+    );
     for action in &accepted {
         match warehouse.apply(action) {
             Ok(bill) => println!("  applied {} for {}", action.label(), bill.round_cents()),
@@ -79,7 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== verification ==");
     println!("  next day's spend: ${after_spend:.4} (${per_query_after:.6}/query)");
-    println!("  queries answered by materialized views: {mv_hits}/{}", reports2.len());
+    println!(
+        "  queries answered by materialized views: {mv_hits}/{}",
+        reports2.len()
+    );
     println!(
         "  per-query saving: {:.1}%",
         (1.0 - per_query_after / per_query_before) * 100.0

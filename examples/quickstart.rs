@@ -5,9 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use cost_intel::{Constraint, Warehouse, WarehouseConfig};
 use cost_intel::types::SimDuration;
 use cost_intel::workload::CabGenerator;
+use cost_intel::{Constraint, Warehouse, WarehouseConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Generate the CAB star schema (scale factor 0.5: ~100k orders,

@@ -6,9 +6,9 @@
 //! cargo run --release --example sla_explorer
 //! ```
 
-use cost_intel::{Constraint, Warehouse, WarehouseConfig};
 use cost_intel::types::SimDuration;
 use cost_intel::workload::CabGenerator;
+use cost_intel::{Constraint, Warehouse, WarehouseConfig};
 
 const SQL: &str = "SELECT c_segment, p_category, SUM(l_price) AS revenue \
                    FROM lineitem l \
@@ -47,6 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          SLAs fall back to cheap narrow clusters — the Figure-2 trade-off, \
          made by the system instead of the user."
     );
-    println!("\nTotal session spend: {}", warehouse.total_spend().round_cents());
+    println!(
+        "\nTotal session spend: {}",
+        warehouse.total_spend().round_cents()
+    );
     Ok(())
 }

@@ -5,23 +5,11 @@
 //! package. See the README for a tour and `examples/` for runnable programs.
 //!
 //! Reproduction of *Cost-Intelligent Data Analytics in the Cloud* (CIDR 2024).
+//!
+//! Subsystems are available at the top level — `cost_intel::storage`,
+//! `cost_intel::optimizer`, `cost_intel::autotune`, … — for users who want to
+//! drive individual components (e.g. only the cost estimator, or only the
+//! simulated cloud) without the full warehouse facade. The glob picks the
+//! aliases up from [`ci_core`], which maintains the canonical subsystem list.
 
 pub use ci_core::*;
-
-/// Subsystem crates, re-exported for advanced users who want to drive
-/// individual components (e.g. only the cost estimator, or only the
-/// simulated cloud) without the full warehouse facade.
-pub mod crates {
-    pub use ci_autotune as autotune;
-    pub use ci_catalog as catalog;
-    pub use ci_cloud as cloud;
-    pub use ci_cost as cost;
-    pub use ci_exec as exec;
-    pub use ci_monitor as monitor;
-    pub use ci_optimizer as optimizer;
-    pub use ci_plan as plan;
-    pub use ci_sql as sql;
-    pub use ci_storage as storage;
-    pub use ci_types as types;
-    pub use ci_workload as workload;
-}

@@ -8,7 +8,9 @@ use cost_intel::workload::{CabGenerator, TraceConfig, WorkloadTrace};
 use cost_intel::{Constraint, Warehouse, WarehouseConfig};
 
 fn warehouse(scale: f64) -> Warehouse {
-    let catalog = CabGenerator::at_scale(scale).build_catalog().expect("catalog");
+    let catalog = CabGenerator::at_scale(scale)
+        .build_catalog()
+        .expect("catalog");
     Warehouse::new(catalog, WarehouseConfig::default())
 }
 
@@ -30,7 +32,10 @@ fn sla_query_is_correct_and_billed() {
             ref other => panic!("expected int count, got {other:?}"),
         })
         .sum();
-    assert_eq!(total as u64, w.catalog().get("orders").unwrap().stats.row_count);
+    assert_eq!(
+        total as u64,
+        w.catalog().get("orders").unwrap().stats.row_count
+    );
     assert!(r.constraint_met);
     assert!(r.cost.amount() > 0.0);
     assert!(r.machine_time.as_secs_f64() > 0.0);
@@ -90,7 +95,10 @@ fn full_loop_trace_tune_verify() {
         .filter(|p| p.accepted)
         .map(|p| p.action.clone())
         .collect();
-    assert!(!accepted.is_empty(), "a hot recurring query should justify tuning");
+    assert!(
+        !accepted.is_empty(),
+        "a hot recurring query should justify tuning"
+    );
     for a in &accepted {
         let _ = w.apply(a);
     }
@@ -130,8 +138,10 @@ fn infeasible_budget_is_flagged_not_hidden() {
 fn monitor_disabled_matches_static_plan() {
     let gen = CabGenerator::at_scale(0.05);
     let catalog = gen.build_catalog().expect("catalog");
-    let mut cfg = WarehouseConfig::default();
-    cfg.disable_monitor = true;
+    let cfg = WarehouseConfig {
+        disable_monitor: true,
+        ..Default::default()
+    };
     let mut w = Warehouse::new(catalog, cfg);
     let r = w
         .submit("SELECT COUNT(*) FROM orders", Constraint::MinCost)
