@@ -6,11 +6,15 @@
 //!   classic-optimizer complexity;
 //! * `executor/*` — morsel engine throughput (real data + virtual time);
 //! * `stats_service/*` — §4 requires log ingestion to be cheap;
-//! * `storage/*` — zone-map pruning speed.
+//! * `storage/*` — zone-map pruning speed;
+//! * `hot_path/*` — the string data-path kernels (filter, string-key
+//!   hash-join, string-key group-by) over both encodings; the dict variants
+//!   are the zero-copy path, the naive ones its pre-refactor baseline.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use ci_autotune::{QueryLogRecord, StatisticsService, StatsConfig};
+use ci_bench::hotpath::{run_filter, run_group_by, run_join, string_batch};
 use ci_bench::plan_query;
 use ci_cost::{CostEstimator, EstimatorConfig};
 use ci_exec::{ExecutionConfig, Executor, NoScaling};
@@ -134,12 +138,34 @@ fn bench_storage(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_hot_path(c: &mut Criterion) {
+    const ROWS: usize = 65_536;
+    const CARD: usize = 512;
+    let mut g = c.benchmark_group("hot_path");
+    g.sample_size(20);
+    for (enc, dict) in [("naive", false), ("dict", true)] {
+        let batch = string_batch(ROWS, CARD, 11, dict);
+        let probe = string_batch(ROWS / 2, CARD * 2, 12, dict);
+        g.bench_function(&format!("filter_string_eq/{enc}"), |b| {
+            b.iter(|| run_filter(&batch).expect("filter"))
+        });
+        g.bench_function(&format!("hash_join_string_key/{enc}"), |b| {
+            b.iter(|| run_join(&batch, &probe).expect("join"))
+        });
+        g.bench_function(&format!("group_by_string_key/{enc}"), |b| {
+            b.iter(|| run_group_by(&batch, 8_192).expect("group by"))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_cost_estimator,
     bench_optimizer,
     bench_executor,
     bench_stats_service,
-    bench_storage
+    bench_storage,
+    bench_hot_path
 );
 criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Hot-path microbench runner: records `BENCH_micro.json`.
+//!
+//! Measures the three string-heavy data-path kernels (filter, hash-join
+//! build/probe, group-by) over both string encodings in one process:
+//! `baseline_naive_ns` is the pre-refactor representation (owned
+//! `Vec<String>` columns — per-row clones and boxed keys), `dict_ns` the
+//! dictionary-encoded path. The JSON lands at the repo root (or
+//! `$BENCH_MICRO_OUT`) so successive PRs can track the perf trajectory;
+//! CI uploads it as an artifact.
+//!
+//! Usage: `cargo run --release -p ci-bench --bin bench_micro`
+
+use std::time::Instant;
+
+use ci_bench::hotpath::{run_filter, run_group_by, run_join, string_batch};
+use ci_storage::RecordBatch;
+use ci_types::Result;
+
+/// Rows per fixture batch.
+const ROWS: usize = 200_000;
+/// Distinct string keys.
+const CARDINALITY: usize = 1_000;
+/// Morsel size for the group-by kernel (matches the engine default's shape).
+const MORSEL: usize = 65_536;
+/// Timed repetitions per kernel; the minimum is reported.
+const REPS: usize = 7;
+
+struct Measurement {
+    name: &'static str,
+    baseline_naive_ns: u128,
+    dict_ns: u128,
+    check: usize,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.baseline_naive_ns as f64 / self.dict_ns.max(1) as f64
+    }
+}
+
+/// Minimum wall time of `REPS` runs, plus the kernel's checksum output.
+fn time_min<F: FnMut() -> Result<usize>>(mut f: F) -> Result<(u128, usize)> {
+    // One warm-up run.
+    let mut check = f()?;
+    let mut best = u128::MAX;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        check = f()?;
+        best = best.min(t.elapsed().as_nanos());
+    }
+    Ok((best, check))
+}
+
+fn measure<F>(name: &'static str, mut kernel: F) -> Result<Measurement>
+where
+    F: FnMut(&RecordBatch, &RecordBatch) -> Result<usize>,
+{
+    let naive = string_batch(ROWS, CARDINALITY, 11, false);
+    let naive_probe = string_batch(ROWS / 2, CARDINALITY * 2, 12, false);
+    let dict = string_batch(ROWS, CARDINALITY, 11, true);
+    let dict_probe = string_batch(ROWS / 2, CARDINALITY * 2, 12, true);
+    let (baseline_naive_ns, naive_check) = time_min(|| kernel(&naive, &naive_probe))?;
+    let (dict_ns, dict_check) = time_min(|| kernel(&dict, &dict_probe))?;
+    assert_eq!(
+        naive_check, dict_check,
+        "{name}: encodings disagree on results"
+    );
+    Ok(Measurement {
+        name,
+        baseline_naive_ns,
+        dict_ns,
+        check: dict_check,
+    })
+}
+
+fn main() -> Result<()> {
+    let measurements = vec![
+        measure("filter_string_eq", |b, _| run_filter(b))?,
+        measure("hash_join_string_key", run_join)?,
+        measure("group_by_string_key", |b, _| run_group_by(b, MORSEL))?,
+    ];
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str(&format!("  \"rows\": {ROWS},\n"));
+    json.push_str(&format!("  \"cardinality\": {CARDINALITY},\n"));
+    json.push_str("  \"benches\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"baseline_naive_ns\": {}, \"dict_ns\": {}, \"speedup\": {:.2}, \"check\": {}}}{}\n",
+            m.name,
+            m.baseline_naive_ns,
+            m.dict_ns,
+            m.speedup(),
+            m.check,
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = std::env::var("BENCH_MICRO_OUT").unwrap_or_else(|_| "BENCH_micro.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_micro.json");
+
+    println!(
+        "{:<24} {:>14} {:>14} {:>9}",
+        "kernel", "naive", "dict", "speedup"
+    );
+    for m in &measurements {
+        println!(
+            "{:<24} {:>11.2} ms {:>11.2} ms {:>8.2}x",
+            m.name,
+            m.baseline_naive_ns as f64 / 1e6,
+            m.dict_ns as f64 / 1e6,
+            m.speedup()
+        );
+    }
+    println!("wrote {out}");
+    Ok(())
+}

@@ -1,0 +1,133 @@
+//! Data-path microbench fixtures: the string-heavy filter / join /
+//! group-by kernels the zero-copy refactor targets.
+//!
+//! Shared by the criterion microbench (`benches/micro.rs`) and the
+//! `bench_micro` runner that records `BENCH_micro.json`. Each kernel can run
+//! over either string encoding, so every measurement carries its own
+//! pre-refactor baseline: the `naive` numbers execute the exact same
+//! operators over owned `Vec<String>` columns (per-row clones + boxed keys),
+//! the `dict` numbers over the dictionary-encoded path.
+
+use std::sync::Arc;
+
+use ci_exec::operators::{AggregateState, JoinHashTable};
+use ci_plan::expr::{AggExpr, BinOp, ColMap, PlanExpr};
+use ci_sql::ast::AggFunc;
+use ci_storage::column::ColumnData;
+use ci_storage::schema::{Field, Schema, SchemaRef};
+use ci_storage::value::{DataType, Value};
+use ci_storage::RecordBatch;
+use ci_types::{DetRng, Result};
+
+/// Schema of the fixture batches: a string key and an int payload.
+pub fn hot_schema() -> SchemaRef {
+    Arc::new(Schema::of(vec![
+        Field::new("s0", DataType::Utf8),
+        Field::new("s1", DataType::Int64),
+    ]))
+}
+
+/// A deterministic string-keyed batch: `rows` rows over `cardinality`
+/// distinct keys (`grp00042`-style, realistically sized), dict-encoded or
+/// naive.
+pub fn string_batch(rows: usize, cardinality: usize, seed: u64, dict: bool) -> RecordBatch {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let strs: Vec<String> = (0..rows)
+        .map(|_| format!("grp{:05}", rng.u64_below(cardinality.max(1) as u64)))
+        .collect();
+    let ints: Vec<i64> = (0..rows as i64).map(|i| i % 1_000).collect();
+    let col = ColumnData::Utf8(strs);
+    let col = if dict { col.dict_encoded() } else { col };
+    RecordBatch::new(hot_schema(), vec![col, ColumnData::Int64(ints)]).expect("fixture batch")
+}
+
+/// Filter kernel: `s0 = 'grp00007'` mask + batch filter. Returns surviving
+/// rows.
+pub fn run_filter(batch: &RecordBatch) -> Result<usize> {
+    let map = ColMap::from_slots(&[0, 1]);
+    let pred = PlanExpr::bin(
+        BinOp::Eq,
+        PlanExpr::Col(0),
+        PlanExpr::Lit(Value::from("grp00007")),
+    );
+    Ok(batch.filter(&pred.eval_mask(batch, &map)?)?.rows())
+}
+
+/// Hash-join kernel on the string key: build over `build`, probe with
+/// `probe`. Returns joined rows.
+pub fn run_join(build: &RecordBatch, probe: &RecordBatch) -> Result<usize> {
+    let out_schema = Arc::new(Schema::of(vec![
+        Field::new("p0", DataType::Utf8),
+        Field::new("p1", DataType::Int64),
+        Field::new("b0", DataType::Utf8),
+        Field::new("b1", DataType::Int64),
+    ]));
+    let mut ht = JoinHashTable::new(build.schema().clone(), vec![0]);
+    ht.insert_batch(build.clone())?;
+    ht.finalize()?;
+    Ok(ht.probe(probe, &[0], out_schema)?.rows())
+}
+
+/// Group-by kernel on the string key: `COUNT(*), SUM(s1) GROUP BY s0`, fed
+/// in `morsel`-row chunks. Returns the group count.
+pub fn run_group_by(batch: &RecordBatch, morsel: usize) -> Result<usize> {
+    let out = Arc::new(Schema::of(vec![
+        Field::new("g", DataType::Utf8),
+        Field::new("cnt", DataType::Int64),
+        Field::new("sum", DataType::Int64),
+    ]));
+    let types = |s: usize| -> Result<DataType> {
+        Ok(if s == 0 {
+            DataType::Utf8
+        } else {
+            DataType::Int64
+        })
+    };
+    let mut st = AggregateState::new(
+        vec![PlanExpr::Col(0)],
+        vec![
+            AggExpr {
+                func: AggFunc::Count,
+                arg: None,
+                distinct: false,
+            },
+            AggExpr {
+                func: AggFunc::Sum,
+                arg: Some(PlanExpr::Col(1)),
+                distinct: false,
+            },
+        ],
+        ColMap::from_slots(&[0, 1]),
+        &types,
+        out,
+    )?;
+    let mut off = 0;
+    while off < batch.rows() {
+        let len = morsel.min(batch.rows() - off);
+        st.update(&batch.slice(off, len)?)?;
+        off += len;
+    }
+    Ok(st.finalize()?.rows())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_agree_across_encodings() {
+        let naive = string_batch(4_000, 40, 7, false);
+        let dict = string_batch(4_000, 40, 7, true);
+        assert_eq!(run_filter(&dict).unwrap(), run_filter(&naive).unwrap());
+        assert_eq!(
+            run_group_by(&dict, 512).unwrap(),
+            run_group_by(&naive, 512).unwrap()
+        );
+        let probe_n = string_batch(2_000, 60, 8, false);
+        let probe_d = string_batch(2_000, 60, 8, true);
+        assert_eq!(
+            run_join(&dict, &probe_d).unwrap(),
+            run_join(&naive, &probe_n).unwrap()
+        );
+    }
+}

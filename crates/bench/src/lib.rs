@@ -6,6 +6,8 @@
 //! execution, and fixed-width table printing so every experiment emits
 //! machine-diffable rows.
 
+pub mod hotpath;
+
 use ci_catalog::{Catalog, ErrorInjector};
 use ci_exec::{ExecutionConfig, Executor, NoScaling, QueryOutcome};
 use ci_plan::{bind, JoinTree, PhysicalPlan, PipelineGraph};

@@ -38,8 +38,23 @@ impl CardinalityEstimator {
                     ci_storage::pruning::Endpoint::Inclusive(hi),
                 ) = (&bound.lower, &bound.upper)
                 {
-                    if lo == hi && col.ndv > 0 {
-                        return 1.0 / col.ndv as f64;
+                    if lo == hi {
+                        // Dict-encoded string column: the dictionary is the
+                        // exact value domain. A literal absent from it
+                        // matches nothing; estimate one row (conservative
+                        // floor, never zero) instead of rows/ndv.
+                        if let (Some(dict), ci_storage::value::Value::Str(s)) =
+                            (&col.dictionary, lo)
+                        {
+                            return if dict.id_of(s).is_some() {
+                                1.0 / col.ndv.max(1) as f64
+                            } else {
+                                1.0 / stats.row_count.max(1) as f64
+                            };
+                        }
+                        if col.ndv > 0 {
+                            return 1.0 / col.ndv as f64;
+                        }
                     }
                 }
                 match &col.histogram {
@@ -159,6 +174,30 @@ mod tests {
         assert!((sel - 0.01).abs() < 1e-9, "1/ndv = 1/100, got {sel}");
         let rows = est.filter_rows(&s, &[ColumnBound::eq(0, Value::Int(5))]);
         assert!((rows - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn string_equality_probes_dictionary_domain() {
+        let schema = Arc::new(Schema::of(vec![Field::new("g", DataType::Utf8)]));
+        let gs: Vec<String> = (0..1000).map(|i| format!("g{}", i % 25)).collect();
+        let t = table_from_batch(
+            TableId::new(0),
+            "t",
+            RecordBatch::new(schema, vec![ColumnData::Utf8(gs)]).unwrap(),
+        )
+        .dict_encoded();
+        let s = TableStats::compute(&t);
+        let est = CardinalityEstimator::new();
+        // Present literal: exact 1/ndv.
+        let hit = est.bound_selectivity(&s, &ColumnBound::eq(0, Value::from("g7")));
+        assert!((hit - 1.0 / 25.0).abs() < 1e-12, "hit {hit}");
+        // Absent literal: the dictionary proves zero matches; estimate a
+        // one-row floor instead of rows/ndv.
+        let miss = est.bound_selectivity(&s, &ColumnBound::eq(0, Value::from("nope")));
+        assert!((miss - 1.0 / 1000.0).abs() < 1e-12, "miss {miss}");
+        assert!(
+            (est.filter_rows(&s, &[ColumnBound::eq(0, Value::from("nope"))]) - 1.0).abs() < 1e-9
+        );
     }
 
     #[test]

@@ -31,10 +31,12 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// Registers a table, computing its statistics. Replaces any existing
-    /// table of the same name (re-registration models background refresh,
-    /// e.g. after a recluster tuning action).
+    /// Registers a table, dictionary-encoding its string columns ("interned
+    /// per table at load") and computing its statistics. Replaces any
+    /// existing table of the same name (re-registration models background
+    /// refresh, e.g. after a recluster tuning action).
     pub fn register(&mut self, table: Table) -> TableEntry {
+        let table = table.dict_encoded();
         let stats = Arc::new(TableStats::compute(&table));
         let name = table.name.to_lowercase();
         let id = table.id;

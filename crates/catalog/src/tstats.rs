@@ -6,8 +6,10 @@
 //! estimator and cost models.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use ci_storage::column::ColumnData;
+use ci_storage::dict::Dictionary;
 use ci_storage::table::Table;
 use ci_storage::value::Value;
 
@@ -16,7 +18,9 @@ use crate::histogram::Histogram;
 /// Statistics for one column.
 #[derive(Debug, Clone)]
 pub struct ColumnStats {
-    /// Number of distinct values (exact at build time).
+    /// Number of distinct values (exact at build time; for dict-encoded
+    /// string columns this is counted directly from the dictionary ids, no
+    /// hashing involved).
     pub ndv: u64,
     /// Minimum value, if the column is non-empty.
     pub min: Option<Value>,
@@ -26,6 +30,11 @@ pub struct ColumnStats {
     pub histogram: Option<Histogram>,
     /// Average encoded width in bytes.
     pub avg_width: f64,
+    /// The table-wide dictionary, when the column is dict-encoded. The
+    /// exact value domain: [`crate::CardinalityEstimator`] probes it to give
+    /// string-equality predicates `1/ndv` selectivity on hits and a one-row
+    /// floor on literals provably absent from the column.
+    pub dictionary: Option<Arc<Dictionary>>,
 }
 
 /// Statistics for one table.
@@ -67,7 +76,11 @@ impl TableStats {
         let mut bytes = 0usize;
         let mut rows = 0usize;
 
-        // NDV via hashing the canonical encoding of each value.
+        // NDV: dict-encoded columns count referenced ids against the shared
+        // dictionary (exact, no hashing); everything else hashes a canonical
+        // encoding of each value.
+        let shared_dict = table.column_dictionary(col_idx).cloned();
+        let mut seen_ids = vec![false; shared_dict.as_ref().map_or(0, |d| d.len())];
         let mut distinct: HashSet<u64> = HashSet::new();
         let mut numeric: Vec<f64> = Vec::new();
         let mut is_numeric = true;
@@ -111,16 +124,36 @@ impl TableStats {
                         distinct.insert(b as u64);
                     }
                 }
+                ColumnData::Dict { ids, dict } => {
+                    is_numeric = false;
+                    if shared_dict.is_some() {
+                        for &id in ids {
+                            seen_ids[id as usize] = true;
+                        }
+                    } else {
+                        // Partitions carry unrelated dictionaries: fall back
+                        // to value hashing so ids from different dicts never
+                        // collide.
+                        for &id in ids {
+                            distinct.insert(fnv1a(dict.get(id).as_bytes()));
+                        }
+                    }
+                }
             }
         }
 
+        let ndv = if shared_dict.is_some() {
+            seen_ids.iter().filter(|&&s| s).count() as u64
+        } else {
+            distinct.len() as u64
+        };
         let histogram = if is_numeric {
             Histogram::build(numeric.into_iter(), HISTOGRAM_BUCKETS)
         } else {
             None
         };
         ColumnStats {
-            ndv: distinct.len() as u64,
+            ndv,
             min,
             max,
             histogram,
@@ -129,6 +162,7 @@ impl TableStats {
             } else {
                 bytes as f64 / rows as f64
             },
+            dictionary: shared_dict,
         }
     }
 
@@ -215,6 +249,22 @@ mod tests {
         assert!((s.columns[0].avg_width - 8.0).abs() < 1e-9);
         assert!(s.columns[1].avg_width > 0.0);
         assert!(s.avg_row_width() > 8.0);
+    }
+
+    #[test]
+    fn dict_encoded_table_reports_exact_ndv_from_dictionary() {
+        let t = table().dict_encoded();
+        let s = TableStats::compute(&t);
+        assert_eq!(s.columns[1].ndv, 5);
+        let dict = s.columns[1].dictionary.as_ref().expect("shared dictionary");
+        assert_eq!(dict.len(), 5);
+        // Non-string columns carry no dictionary.
+        assert!(s.columns[0].dictionary.is_none());
+        // Value-level stats are encoding-independent.
+        let naive = TableStats::compute(&table());
+        assert_eq!(s.columns[1].min, naive.columns[1].min);
+        assert_eq!(s.columns[1].max, naive.columns[1].max);
+        assert!((s.columns[1].avg_width - naive.columns[1].avg_width).abs() < 1e-12);
     }
 
     #[test]

@@ -380,10 +380,8 @@ fn sanitize_result(batch: &RecordBatch) -> Result<RecordBatch> {
             Field::new(name, f.data_type)
         })
         .collect();
-    RecordBatch::new(
-        std::sync::Arc::new(Schema::new(fields)?),
-        batch.columns().to_vec(),
-    )
+    // Re-labelling only: the column payloads are Arc-shared, not copied.
+    batch.with_schema(std::sync::Arc::new(Schema::new(fields)?))
 }
 
 #[cfg(test)]

@@ -281,7 +281,9 @@ impl<'a> Executor<'a> {
                     if rows == 0 {
                         continue;
                     }
-                    let batch = RecordBatch::new(schema.clone(), part.batch.columns().to_vec())?;
+                    // Re-label the partition's payload under the engine's
+                    // slot schema without copying column data (Arc-shared).
+                    let batch = part.batch.with_schema(schema.clone())?;
                     let bytes = part.stored_bytes as f64;
                     if rows <= self.config.morsel_rows {
                         morsels.push(Morsel {

@@ -1,21 +1,50 @@
 //! Hashable, comparable row keys for joins and aggregation.
+//!
+//! The hot-path representation is [`Key::Inline`]: up to
+//! [`MAX_INLINE_PARTS`] fixed-width parts packed into a stack array — one
+//! `u64` per int / float-bits / bool / dict-id key column — so
+//! [`RowEncoder::encode`] performs **zero heap allocations** for those
+//! column types. Composite keys wider than the inline budget, raw
+//! (non-dict) string keys, and dictionary misses under
+//! [`MissPolicy::Spill`] fall back to the boxed [`KeyPart`] form.
+//!
+//! Correctness across encodings rests on one invariant: for a fixed
+//! [`KeyEncoder`], the form (inline vs boxed) and the per-part encoding of a
+//! row depend only on the row's *values*, never on which batch or column
+//! encoding carried them. Two rows with equal values always produce equal
+//! keys; rows with different values never collide (a dictionary miss under
+//! [`MissPolicy::Sentinel`] maps every missing string to one sentinel key,
+//! which is sound exactly because the build side never emits it).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use ci_storage::column::ColumnData;
+use ci_storage::dict::Dictionary;
 use ci_storage::value::Value;
 use ci_types::{CiError, Result};
 
-/// One component of a composite key. Floats are keyed by their bit pattern
-/// (exact equality — standard hash-join semantics).
+/// Maximum number of key parts the inline (allocation-free) form holds.
+pub const MAX_INLINE_PARTS: usize = 4;
+
+/// Sentinel id for a string absent from the encoder's dictionary. Real ids
+/// fit in `u32`, so the sentinel can never collide with one.
+const DICT_MISS: u64 = u64::MAX;
+
+/// One component of a boxed composite key. Floats are keyed by their bit
+/// pattern (exact equality — standard hash-join semantics).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum KeyPart {
     /// Integer key.
     Int(i64),
     /// Float key by bit pattern.
     FloatBits(u64),
-    /// String key.
+    /// String key (raw-string columns, or dict misses under `Spill`).
     Str(String),
     /// Boolean key.
     Bool(bool),
+    /// Dictionary id key (resolved against the encoder's dictionary).
+    DictId(u64),
 }
 
 impl From<&Value> for KeyPart {
@@ -30,40 +59,342 @@ impl From<&Value> for KeyPart {
 }
 
 /// A composite row key.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Key(pub Vec<KeyPart>);
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Key {
+    /// Fixed-width parts on the stack; the hot path.
+    Inline {
+        /// Number of live parts.
+        n: u8,
+        /// Packed part encodings (unused slots are zero).
+        parts: [u64; MAX_INLINE_PARTS],
+    },
+    /// Spilled form for wide composites and raw strings.
+    Boxed(Box<[KeyPart]>),
+}
 
 impl Key {
-    /// Extracts the key of row `row` from the given key columns.
-    pub fn of_row(columns: &[&ColumnData], row: usize) -> Key {
-        Key(columns
-            .iter()
-            .map(|c| match c {
-                ColumnData::Int64(v) => KeyPart::Int(v[row]),
-                ColumnData::Float64(v) => KeyPart::FloatBits(v[row].to_bits()),
-                ColumnData::Utf8(v) => KeyPart::Str(v[row].clone()),
-                ColumnData::Bool(v) => KeyPart::Bool(v[row]),
-            })
-            .collect())
+    /// The empty key (global aggregates).
+    pub fn empty() -> Key {
+        Key::Inline {
+            n: 0,
+            parts: [0; MAX_INLINE_PARTS],
+        }
     }
 
-    /// Re-materializes the key parts as values (group-by output columns).
-    pub fn to_values(&self) -> Vec<Value> {
-        self.0
+    /// `true` when the key lives entirely on the stack.
+    pub fn is_inline(&self) -> bool {
+        matches!(self, Key::Inline { .. })
+    }
+}
+
+/// What a [`RowEncoder`] does with a string absent from a dict-mode column's
+/// dictionary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissPolicy {
+    /// Encode one shared sentinel. Sound for hash-join probes: the build
+    /// side owns the dictionary, so a miss can never match anyway.
+    Sentinel,
+    /// Spill the row's key to the boxed form carrying the owned string.
+    /// Required for group-by, where distinct unseen strings must form
+    /// distinct groups.
+    Spill,
+}
+
+/// Per-column key encoding mode, fixed when the encoder is created.
+#[derive(Debug, Clone)]
+enum KeyMode {
+    Int,
+    Float,
+    Bool,
+    /// Dict-encoded string column; ids resolve against this dictionary.
+    DictStr(Arc<Dictionary>),
+    /// Raw string column: every key spills to the boxed form.
+    Str,
+}
+
+/// Encodes rows of a fixed key-column layout into [`Key`]s and decodes them
+/// back into values. Create once per join build / aggregation, then
+/// [`KeyEncoder::prepare`] a [`RowEncoder`] per batch.
+#[derive(Debug, Clone)]
+pub struct KeyEncoder {
+    modes: Vec<KeyMode>,
+    miss: MissPolicy,
+    /// Whether every row must take the boxed form (raw-string mode present
+    /// or too many parts) — decided once so both sides of a join agree.
+    always_boxed: bool,
+    /// Foreign-dictionary id translations, cached per `(column, foreign
+    /// dict)` so successive morsels of one probe stream pay the `O(|dict|)`
+    /// translation once, not once per batch. Shared by encoder clones.
+    translations: Arc<Mutex<TranslationCache>>,
+}
+
+/// Cache key: (key column index, foreign dictionary address). The stored
+/// `Arc<Dictionary>` pins the allocation, so an address can never be reused
+/// by a different dictionary while its entry lives.
+type TranslationCache = HashMap<(usize, usize), (Arc<Dictionary>, Arc<Vec<u64>>)>;
+
+impl KeyEncoder {
+    /// Derives an encoder from the authoritative key columns (the join build
+    /// side / the first aggregation morsel).
+    pub fn for_columns(columns: &[&ColumnData], miss: MissPolicy) -> KeyEncoder {
+        let modes: Vec<KeyMode> = columns
             .iter()
-            .map(|p| match p {
-                KeyPart::Int(x) => Value::Int(*x),
-                KeyPart::FloatBits(b) => Value::Float(f64::from_bits(*b)),
-                KeyPart::Str(s) => Value::Str(s.clone()),
-                KeyPart::Bool(b) => Value::Bool(*b),
+            .map(|c| match c {
+                ColumnData::Int64(_) => KeyMode::Int,
+                ColumnData::Float64(_) => KeyMode::Float,
+                ColumnData::Bool(_) => KeyMode::Bool,
+                ColumnData::Dict { dict, .. } => KeyMode::DictStr(dict.clone()),
+                ColumnData::Utf8(_) => KeyMode::Str,
             })
-            .collect()
+            .collect();
+        let always_boxed =
+            modes.len() > MAX_INLINE_PARTS || modes.iter().any(|m| matches!(m, KeyMode::Str));
+        KeyEncoder {
+            modes,
+            miss,
+            always_boxed,
+            translations: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// The translation table from `foreign` ids to the target dictionary's
+    /// ids (`DICT_MISS` for absences) for key column `col_idx`, computed on
+    /// first sight of `foreign` and cached thereafter.
+    fn translation(
+        &self,
+        col_idx: usize,
+        target: &Dictionary,
+        foreign: &Arc<Dictionary>,
+    ) -> Arc<Vec<u64>> {
+        let cache_key = (col_idx, Arc::as_ptr(foreign) as usize);
+        let mut cache = self
+            .translations
+            .lock()
+            .expect("translation cache poisoned");
+        if let Some((pinned, table)) = cache.get(&cache_key) {
+            if Arc::ptr_eq(pinned, foreign) {
+                return table.clone();
+            }
+        }
+        let table = Arc::new(
+            (0..foreign.len() as u32)
+                .map(|id| target.id_of(foreign.get(id)).map_or(DICT_MISS, u64::from))
+                .collect::<Vec<u64>>(),
+        );
+        cache.insert(cache_key, (foreign.clone(), table.clone()));
+        table
+    }
+
+    /// Number of key columns.
+    pub fn arity(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// Binds the encoder to one batch's key columns, resolving per-batch
+    /// fast paths once (direct id reuse when the batch shares the encoder's
+    /// dictionary, an id-translation table when it carries a foreign one).
+    pub fn prepare<'a>(&'a self, columns: &[&'a ColumnData]) -> Result<RowEncoder<'a>> {
+        if columns.len() != self.modes.len() {
+            return Err(CiError::Exec(format!(
+                "key encoder arity mismatch: {} modes, {} columns",
+                self.modes.len(),
+                columns.len()
+            )));
+        }
+        let plans = self
+            .modes
+            .iter()
+            .zip(columns)
+            .enumerate()
+            .map(|(i, (mode, col))| match (mode, col) {
+                (KeyMode::Int, ColumnData::Int64(v)) => ColPlan::I64(v),
+                (KeyMode::Float, ColumnData::Float64(v)) => ColPlan::F64(v),
+                (KeyMode::Bool, ColumnData::Bool(v)) => ColPlan::Bool(v),
+                (KeyMode::DictStr(d), ColumnData::Dict { ids, dict }) => {
+                    if Arc::ptr_eq(d, dict) {
+                        ColPlan::Ids(ids)
+                    } else {
+                        // Foreign dictionary (probe side): translate each
+                        // dictionary entry once — cached across batches —
+                        // then rows are pure lookups.
+                        ColPlan::Translated(ids, dict, self.translation(i, d, dict))
+                    }
+                }
+                (KeyMode::DictStr(d), ColumnData::Utf8(v)) => ColPlan::LookupUtf8(v, d),
+                (KeyMode::Str, ColumnData::Utf8(v)) => ColPlan::StrUtf8(v),
+                (KeyMode::Str, ColumnData::Dict { ids, dict }) => ColPlan::StrDict(ids, dict),
+                // Type mismatch (e.g. probing an int build key with a float
+                // column): encode the raw value; it can never equal the
+                // build side's encoding, so such joins match nothing —
+                // exactly the old per-value `KeyPart` semantics.
+                (_, col) => ColPlan::Mismatch(col),
+            })
+            .collect();
+        Ok(RowEncoder {
+            plans,
+            miss: self.miss,
+            always_boxed: self.always_boxed,
+        })
+    }
+
+    /// Re-materializes a key produced by this encoder as values (group-by
+    /// output columns).
+    ///
+    /// Only meaningful for keys encoded under [`MissPolicy::Spill`] (the
+    /// policy aggregation uses): a [`MissPolicy::Sentinel`] miss carries no
+    /// decodable value, and decoding one panics with a clear message rather
+    /// than returning a wrong string.
+    pub fn key_values(&self, key: &Key) -> Vec<Value> {
+        let decode_id = |d: &Arc<Dictionary>, id: u64| -> Value {
+            assert!(
+                id != DICT_MISS,
+                "key_values on a Sentinel-policy miss key: no decodable value"
+            );
+            Value::Str(d.get(id as u32).to_owned())
+        };
+        match key {
+            Key::Inline { n, parts } => self
+                .modes
+                .iter()
+                .zip(&parts[..*n as usize])
+                .map(|(mode, &p)| match mode {
+                    KeyMode::Int => Value::Int(p as i64),
+                    KeyMode::Float => Value::Float(f64::from_bits(p)),
+                    KeyMode::Bool => Value::Bool(p != 0),
+                    KeyMode::DictStr(d) => decode_id(d, p),
+                    KeyMode::Str => unreachable!("raw-string keys are always boxed"),
+                })
+                .collect(),
+            Key::Boxed(parts) => self
+                .modes
+                .iter()
+                .zip(parts.iter())
+                .map(|(mode, p)| match p {
+                    KeyPart::Int(x) => Value::Int(*x),
+                    KeyPart::FloatBits(b) => Value::Float(f64::from_bits(*b)),
+                    KeyPart::Bool(b) => Value::Bool(*b),
+                    KeyPart::Str(s) => Value::Str(s.clone()),
+                    KeyPart::DictId(id) => match mode {
+                        KeyMode::DictStr(d) => decode_id(d, *id),
+                        _ => unreachable!("DictId under non-dict mode"),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A batch-bound key encoder; see [`KeyEncoder::prepare`].
+pub struct RowEncoder<'a> {
+    plans: Vec<ColPlan<'a>>,
+    miss: MissPolicy,
+    always_boxed: bool,
+}
+
+enum ColPlan<'a> {
+    I64(&'a [i64]),
+    F64(&'a [f64]),
+    Bool(&'a [bool]),
+    /// Dict ids valid against the encoder's dictionary as-is.
+    Ids(&'a [u32]),
+    /// Dict ids from a foreign dictionary plus the per-entry translation
+    /// into the encoder's dictionary (`DICT_MISS` marks absences). The
+    /// foreign dictionary is kept for `Spill` decoding.
+    Translated(&'a [u32], &'a Arc<Dictionary>, Arc<Vec<u64>>),
+    /// Raw strings resolved against the encoder's dictionary per row.
+    LookupUtf8(&'a [String], &'a Arc<Dictionary>),
+    /// Raw-string mode: owned strings.
+    StrUtf8(&'a [String]),
+    /// Raw-string mode fed by a dict column: decode by reference.
+    StrDict(&'a [u32], &'a Arc<Dictionary>),
+    /// Key/column type mismatch: encode the raw value (never matches).
+    Mismatch(&'a ColumnData),
+}
+
+impl ColPlan<'_> {
+    /// The fixed-width encoding of row `row`, or `None` when this column
+    /// forces the boxed form for the row.
+    fn fixed(&self, row: usize, miss: MissPolicy) -> Option<u64> {
+        match self {
+            ColPlan::I64(v) => Some(v[row] as u64),
+            ColPlan::F64(v) => Some(v[row].to_bits()),
+            ColPlan::Bool(v) => Some(v[row] as u64),
+            ColPlan::Ids(ids) => Some(u64::from(ids[row])),
+            ColPlan::Translated(ids, _, table) => {
+                let id = table[ids[row] as usize];
+                if id == DICT_MISS && miss == MissPolicy::Spill {
+                    None
+                } else {
+                    Some(id)
+                }
+            }
+            ColPlan::LookupUtf8(v, d) => match d.id_of(&v[row]) {
+                Some(id) => Some(u64::from(id)),
+                None if miss == MissPolicy::Sentinel => Some(DICT_MISS),
+                None => None,
+            },
+            ColPlan::StrUtf8(_) | ColPlan::StrDict(..) | ColPlan::Mismatch(_) => None,
+        }
+    }
+
+    /// The boxed encoding of row `row`.
+    fn part(&self, row: usize, miss: MissPolicy) -> KeyPart {
+        match self {
+            ColPlan::I64(v) => KeyPart::Int(v[row]),
+            ColPlan::F64(v) => KeyPart::FloatBits(v[row].to_bits()),
+            ColPlan::Bool(v) => KeyPart::Bool(v[row]),
+            ColPlan::Ids(ids) => KeyPart::DictId(u64::from(ids[row])),
+            ColPlan::Translated(ids, foreign, table) => {
+                let id = table[ids[row] as usize];
+                if id == DICT_MISS && miss == MissPolicy::Spill {
+                    KeyPart::Str(foreign.get(ids[row]).to_owned())
+                } else {
+                    KeyPart::DictId(id)
+                }
+            }
+            ColPlan::LookupUtf8(v, d) => match d.id_of(&v[row]) {
+                Some(id) => KeyPart::DictId(u64::from(id)),
+                None if miss == MissPolicy::Sentinel => KeyPart::DictId(DICT_MISS),
+                None => KeyPart::Str(v[row].clone()),
+            },
+            ColPlan::StrUtf8(v) => KeyPart::Str(v[row].clone()),
+            ColPlan::StrDict(ids, d) => KeyPart::Str(d.get(ids[row]).to_owned()),
+            ColPlan::Mismatch(col) => (&col.value(row)).into(),
+        }
+    }
+}
+
+impl RowEncoder<'_> {
+    /// Extracts the key of row `row`. Allocation-free whenever every key
+    /// column is int/float/bool/dict-string (and, under `Spill`, every
+    /// string hits the dictionary).
+    pub fn encode(&self, row: usize) -> Key {
+        if !self.always_boxed {
+            let mut parts = [0u64; MAX_INLINE_PARTS];
+            let mut ok = true;
+            for (i, p) in self.plans.iter().enumerate() {
+                match p.fixed(row, self.miss) {
+                    Some(x) => parts[i] = x,
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                return Key::Inline {
+                    n: self.plans.len() as u8,
+                    parts,
+                };
+            }
+        }
+        Key::Boxed(self.plans.iter().map(|p| p.part(row, self.miss)).collect())
     }
 }
 
 /// Resolves key column references, failing with a clear message.
 pub fn key_columns<'a>(
-    batch_columns: &'a [ColumnData],
+    batch_columns: &'a [Arc<ColumnData>],
     positions: &[usize],
 ) -> Result<Vec<&'a ColumnData>> {
     positions
@@ -71,6 +402,7 @@ pub fn key_columns<'a>(
         .map(|&p| {
             batch_columns
                 .get(p)
+                .map(Arc::as_ref)
                 .ok_or_else(|| CiError::Exec(format!("key column position {p} out of bounds")))
         })
         .collect()
@@ -80,36 +412,119 @@ pub fn key_columns<'a>(
 mod tests {
     use super::*;
 
+    fn dict_col(vals: &[&str]) -> ColumnData {
+        ColumnData::Utf8(vals.iter().map(|s| (*s).to_owned()).collect()).dict_encoded()
+    }
+
+    fn encode_all(cols: &[&ColumnData], miss: MissPolicy) -> Vec<Key> {
+        let enc = KeyEncoder::for_columns(cols, miss);
+        let re = enc.prepare(cols).unwrap();
+        (0..cols[0].len()).map(|r| re.encode(r)).collect()
+    }
+
     #[test]
     fn key_equality_per_type() {
         let ints = ColumnData::Int64(vec![1, 1, 2]);
-        let strs = ColumnData::Utf8(vec!["a".into(), "a".into(), "b".into()]);
-        let k0 = Key::of_row(&[&ints, &strs], 0);
-        let k1 = Key::of_row(&[&ints, &strs], 1);
-        let k2 = Key::of_row(&[&ints, &strs], 2);
-        assert_eq!(k0, k1);
-        assert_ne!(k0, k2);
+        let strs = dict_col(&["a", "a", "b"]);
+        let keys = encode_all(&[&ints, &strs], MissPolicy::Spill);
+        assert_eq!(keys[0], keys[1]);
+        assert_ne!(keys[0], keys[2]);
     }
 
     #[test]
     fn float_keys_use_bit_pattern() {
         let f = ColumnData::Float64(vec![0.5, 0.5, -0.0, 0.0]);
-        assert_eq!(Key::of_row(&[&f], 0), Key::of_row(&[&f], 1));
+        let keys = encode_all(&[&f], MissPolicy::Spill);
+        assert_eq!(keys[0], keys[1]);
         // -0.0 and 0.0 differ bitwise: exact-match join semantics.
-        assert_ne!(Key::of_row(&[&f], 2), Key::of_row(&[&f], 3));
+        assert_ne!(keys[2], keys[3]);
+    }
+
+    #[test]
+    fn fixed_width_keys_are_inline() {
+        let ints = ColumnData::Int64(vec![7, -1]);
+        let floats = ColumnData::Float64(vec![1.5, 2.5]);
+        let bools = ColumnData::Bool(vec![true, false]);
+        let dicts = dict_col(&["x", "y"]);
+        let keys = encode_all(&[&ints, &floats, &bools, &dicts], MissPolicy::Spill);
+        assert!(
+            keys.iter().all(Key::is_inline),
+            "int/float/bool/dict composite must be allocation-free"
+        );
+        // A fifth column exceeds the inline budget.
+        let five: Vec<&ColumnData> = vec![&ints, &floats, &bools, &dicts, &ints];
+        let enc = KeyEncoder::for_columns(&five, MissPolicy::Spill);
+        let re = enc.prepare(&five).unwrap();
+        assert!(!re.encode(0).is_inline());
+    }
+
+    #[test]
+    fn raw_string_keys_spill_to_boxed() {
+        let strs = ColumnData::Utf8(vec!["a".into(), "b".into(), "a".into()]);
+        let keys = encode_all(&[&strs], MissPolicy::Spill);
+        assert!(keys.iter().all(|k| !k.is_inline()));
+        assert_eq!(keys[0], keys[2]);
+        assert_ne!(keys[0], keys[1]);
     }
 
     #[test]
     fn round_trip_to_values() {
         let ints = ColumnData::Int64(vec![7]);
-        let strs = ColumnData::Utf8(vec!["x".into()]);
-        let k = Key::of_row(&[&ints, &strs], 0);
-        assert_eq!(k.to_values(), vec![Value::Int(7), Value::from("x")]);
+        let strs = dict_col(&["x"]);
+        let cols: Vec<&ColumnData> = vec![&ints, &strs];
+        let enc = KeyEncoder::for_columns(&cols, MissPolicy::Spill);
+        let re = enc.prepare(&cols).unwrap();
+        let k = re.encode(0);
+        assert_eq!(enc.key_values(&k), vec![Value::Int(7), Value::from("x")]);
+    }
+
+    #[test]
+    fn foreign_dictionary_probe_translates_ids() {
+        let build = dict_col(&["a", "b", "c"]);
+        let cols: Vec<&ColumnData> = vec![&build];
+        let enc = KeyEncoder::for_columns(&cols, MissPolicy::Sentinel);
+        let build_keys: Vec<Key> = {
+            let re = enc.prepare(&cols).unwrap();
+            (0..3).map(|r| re.encode(r)).collect()
+        };
+        // Probe column interned in a different order, plus a miss.
+        let probe = dict_col(&["c", "q", "a"]);
+        let pcols: Vec<&ColumnData> = vec![&probe];
+        let re = enc.prepare(&pcols).unwrap();
+        assert_eq!(re.encode(0), build_keys[2], "same string, same key");
+        assert_eq!(re.encode(2), build_keys[0]);
+        let miss = re.encode(1);
+        assert!(miss.is_inline(), "sentinel miss stays allocation-free");
+        assert!(build_keys.iter().all(|k| *k != miss));
+    }
+
+    #[test]
+    fn spill_policy_distinguishes_unseen_strings() {
+        let first = dict_col(&["a", "b"]);
+        let cols: Vec<&ColumnData> = vec![&first];
+        let enc = KeyEncoder::for_columns(&cols, MissPolicy::Spill);
+        // A later morsel carries raw strings, two of them unseen.
+        let later = ColumnData::Utf8(vec!["b".into(), "q".into(), "z".into(), "q".into()]);
+        let lcols: Vec<&ColumnData> = vec![&later];
+        let re = enc.prepare(&lcols).unwrap();
+        let kb = re.encode(0);
+        let kq1 = re.encode(1);
+        let kz = re.encode(2);
+        let kq2 = re.encode(3);
+        assert!(kb.is_inline(), "dictionary hit stays inline");
+        assert_ne!(kq1, kz, "distinct unseen strings form distinct keys");
+        assert_eq!(kq1, kq2, "equal unseen strings form equal keys");
+        let first_re = enc.prepare(&cols).unwrap();
+        assert_eq!(
+            first_re.encode(1),
+            kb,
+            "hit encodes identically across batches"
+        );
     }
 
     #[test]
     fn key_columns_bounds_checked() {
-        let cols = vec![ColumnData::Int64(vec![1])];
+        let cols = vec![Arc::new(ColumnData::Int64(vec![1]))];
         assert!(key_columns(&cols, &[0]).is_ok());
         assert!(key_columns(&cols, &[1]).is_err());
     }
@@ -118,11 +533,20 @@ mod tests {
     fn keys_hash_in_maps() {
         use std::collections::HashMap;
         let ints = ColumnData::Int64(vec![1, 2, 1]);
+        let keys = encode_all(&[&ints], MissPolicy::Spill);
         let mut m: HashMap<Key, Vec<usize>> = HashMap::new();
-        for row in 0..3 {
-            m.entry(Key::of_row(&[&ints], row)).or_default().push(row);
+        for (row, k) in keys.iter().enumerate() {
+            m.entry(k.clone()).or_default().push(row);
         }
         assert_eq!(m.len(), 2);
-        assert_eq!(m[&Key(vec![KeyPart::Int(1)])], vec![0, 2]);
+        assert_eq!(m[&keys[0]], vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_key_for_global_aggregates() {
+        let k = Key::empty();
+        assert!(k.is_inline());
+        let enc = KeyEncoder::for_columns(&[], MissPolicy::Spill);
+        assert_eq!(enc.key_values(&k), Vec::<Value>::new());
     }
 }

@@ -7,8 +7,13 @@
 //!
 //! No-null engine conventions: aggregates over empty input yield zero
 //! defaults (`COUNT = 0`, `SUM = 0`, `AVG = 0.0`, `MIN`/`MAX` = type zero)
-//! instead of SQL NULL.
+//! instead of SQL NULL. Columns are non-nullable in both string encodings:
+//! dict-encoded (`ColumnData::Dict`) and owned (`ColumnData::Utf8`) columns
+//! flow through every operator interchangeably — operators read strings by
+//! reference (`str_at`) and key them by dictionary id where possible, so
+//! the conventions here are about values, never about encodings.
 
+use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -20,7 +25,7 @@ use ci_storage::value::{DataType, Value};
 use ci_storage::RecordBatch;
 use ci_types::{CiError, Result};
 
-use crate::key::{key_columns, Key};
+use crate::key::{key_columns, Key, KeyEncoder, KeyPart, MissPolicy};
 
 /// Builds the internal schema for a node's output slots. Field names are
 /// slot-derived (`s<slot>`) so they are unique regardless of user aliases.
@@ -86,6 +91,9 @@ pub struct JoinHashTable {
 struct FinalizedTable {
     rows: RecordBatch,
     map: HashMap<Key, Vec<u32>>,
+    /// Key encoder derived from the build-side key columns; probes encode
+    /// against it (dict-id translation, sentinel misses).
+    encoder: KeyEncoder,
 }
 
 impl JoinHashTable {
@@ -127,12 +135,19 @@ impl JoinHashTable {
         self.buffered.clear();
         let mut map: HashMap<Key, Vec<u32>> = HashMap::with_capacity(rows.rows());
         let keys = key_columns(rows.columns(), &self.key_positions)?;
-        for row in 0..rows.rows() {
-            map.entry(Key::of_row(&keys, row))
-                .or_default()
-                .push(row as u32);
+        // Misses can only occur on the probe side (the build side owns the
+        // dictionaries), so the sentinel policy is sound: a missing probe
+        // string maps to a key the build never produced.
+        let encoder = KeyEncoder::for_columns(&keys, MissPolicy::Sentinel);
+        {
+            let row_encoder = encoder.prepare(&keys)?;
+            for row in 0..rows.rows() {
+                map.entry(row_encoder.encode(row))
+                    .or_default()
+                    .push(row as u32);
+            }
         }
-        self.finalized = Some(FinalizedTable { rows, map });
+        self.finalized = Some(FinalizedTable { rows, map, encoder });
         Ok(())
     }
 
@@ -149,10 +164,13 @@ impl JoinHashTable {
             .as_ref()
             .ok_or_else(|| CiError::Exec("probe of non-finalized hash table".into()))?;
         let keys = key_columns(probe.columns(), probe_key_positions)?;
+        // Per-batch preparation resolves dict-id translation tables once, so
+        // the row loop below is allocation-free for fixed-width keys.
+        let row_encoder = fin.encoder.prepare(&keys)?;
         let mut probe_idx: Vec<usize> = Vec::new();
         let mut build_idx: Vec<usize> = Vec::new();
         for row in 0..probe.rows() {
-            if let Some(matches) = fin.map.get(&Key::of_row(&keys, row)) {
+            if let Some(matches) = fin.map.get(&row_encoder.encode(row)) {
                 for &b in matches {
                     probe_idx.push(row);
                     build_idx.push(b as usize);
@@ -163,7 +181,7 @@ impl JoinHashTable {
         let build_part = fin.rows.take(&build_idx)?;
         let mut columns = probe_part.columns().to_vec();
         columns.extend(build_part.columns().iter().cloned());
-        RecordBatch::new(out_schema, columns)
+        RecordBatch::from_arcs(out_schema, columns)
     }
 }
 
@@ -176,7 +194,28 @@ enum AggAcc {
     Avg { sum: f64, count: i64 },
     Min(Option<Value>),
     Max(Option<Value>),
-    Distinct(HashSet<Key>),
+    Distinct(HashSet<KeyPart>),
+}
+
+/// Numeric view of row `row` (ints coerce to float), `None` otherwise.
+fn num_at(c: &ColumnData, row: usize) -> Option<f64> {
+    match c {
+        ColumnData::Int64(v) => Some(v[row] as f64),
+        ColumnData::Float64(v) => Some(v[row]),
+        _ => None,
+    }
+}
+
+/// The canonical distinct-set key of row `row`. Strings hash by value (not
+/// by dictionary id) so the set stays consistent across encodings.
+fn part_at(c: &ColumnData, row: usize) -> KeyPart {
+    match c {
+        ColumnData::Int64(v) => KeyPart::Int(v[row]),
+        ColumnData::Float64(v) => KeyPart::FloatBits(v[row].to_bits()),
+        ColumnData::Bool(v) => KeyPart::Bool(v[row]),
+        ColumnData::Utf8(v) => KeyPart::Str(v[row].clone()),
+        ColumnData::Dict { ids, dict } => KeyPart::Str(dict.get(ids[row]).to_owned()),
+    }
 }
 
 impl AggAcc {
@@ -196,48 +235,49 @@ impl AggAcc {
         }
     }
 
-    fn update(&mut self, v: Option<&Value>) {
+    /// Folds row `row` of the argument column in. Reads the column in
+    /// place: no per-row `Value` is materialized, and `MIN`/`MAX` clone a
+    /// string only when the bound actually improves.
+    fn update(&mut self, col: Option<&ColumnData>, row: usize) {
         match self {
             AggAcc::Count(c) => *c += 1,
             AggAcc::SumI(s) => {
-                if let Some(Value::Int(x)) = v {
-                    *s += x;
+                if let Some(ColumnData::Int64(v)) = col {
+                    *s += v[row];
                 }
             }
             AggAcc::SumF(s) => {
-                if let Some(val) = v {
-                    if let Some(x) = val.as_f64() {
-                        *s += x;
-                    }
+                if let Some(x) = col.and_then(|c| num_at(c, row)) {
+                    *s += x;
                 }
             }
             AggAcc::Avg { sum, count } => {
-                if let Some(val) = v {
-                    if let Some(x) = val.as_f64() {
-                        *sum += x;
-                        *count += 1;
-                    }
+                if let Some(x) = col.and_then(|c| num_at(c, row)) {
+                    *sum += x;
+                    *count += 1;
                 }
             }
             AggAcc::Min(m) => {
-                if let Some(val) = v {
-                    *m = Some(match m.take() {
-                        None => val.clone(),
-                        Some(cur) => cur.min_sql(val.clone()),
-                    });
+                if let Some(c) = col {
+                    if m.as_ref()
+                        .is_none_or(|cur| row_beats(cur, c, row, Ordering::Greater))
+                    {
+                        *m = Some(c.value(row));
+                    }
                 }
             }
             AggAcc::Max(m) => {
-                if let Some(val) = v {
-                    *m = Some(match m.take() {
-                        None => val.clone(),
-                        Some(cur) => cur.max_sql(val.clone()),
-                    });
+                if let Some(c) = col {
+                    if m.as_ref()
+                        .is_none_or(|cur| row_beats(cur, c, row, Ordering::Less))
+                    {
+                        *m = Some(c.value(row));
+                    }
                 }
             }
             AggAcc::Distinct(set) => {
-                if let Some(val) = v {
-                    set.insert(Key(vec![(val).into()]));
+                if let Some(c) = col {
+                    set.insert(part_at(c, row));
                 }
             }
         }
@@ -266,6 +306,18 @@ impl AggAcc {
     }
 }
 
+/// `true` when the value at `row` strictly beats `cur` in the given
+/// direction (`Greater` = cur loses a MIN race, `Less` = cur loses a MAX
+/// race). String columns compare by reference; incomparable pairs keep the
+/// current bound, matching `Value::min_sql`/`max_sql`.
+fn row_beats(cur: &Value, c: &ColumnData, row: usize, losing: Ordering) -> bool {
+    if let (Value::Str(s), Some(x)) = (cur, c.str_at(row)) {
+        return s.as_str().cmp(x) == losing;
+    }
+    // Non-string columns construct heap-free values.
+    cur.partial_cmp_sql(&c.value(row)) == Some(losing)
+}
+
 fn zero_of(t: DataType) -> Value {
     match t {
         DataType::Int64 => Value::Int(0),
@@ -275,8 +327,24 @@ fn zero_of(t: DataType) -> Value {
     }
 }
 
-fn distinct_fold(set: &HashSet<Key>, func: AggFunc) -> Value {
-    let vals: Vec<Value> = set.iter().flat_map(|k| k.to_values()).collect();
+fn distinct_fold(set: &HashSet<KeyPart>, func: AggFunc) -> Value {
+    // Hash-set iteration order is arbitrary; sort so order-sensitive folds
+    // (float SUM/AVG) are deterministic across runs. `KeyPart`'s derived
+    // `Ord` is total (floats order by bit pattern), so this is well-defined
+    // even when the set holds NaNs — `partial_cmp_sql` is not, and a
+    // non-total comparator can panic `sort_by`.
+    let mut parts: Vec<&KeyPart> = set.iter().collect();
+    parts.sort_unstable();
+    let vals: Vec<Value> = parts
+        .into_iter()
+        .map(|p| match p {
+            KeyPart::Int(x) => Value::Int(*x),
+            KeyPart::FloatBits(b) => Value::Float(f64::from_bits(*b)),
+            KeyPart::Str(s) => Value::Str(s.clone()),
+            KeyPart::Bool(b) => Value::Bool(*b),
+            KeyPart::DictId(_) => unreachable!("distinct sets key strings by value"),
+        })
+        .collect();
     match func {
         AggFunc::Sum => Value::Float(vals.iter().filter_map(Value::as_f64).sum()),
         AggFunc::Avg => {
@@ -307,6 +375,9 @@ pub struct AggregateState {
     in_map: ColMap,
     arg_types: Vec<Option<DataType>>,
     out_schema: SchemaRef,
+    /// Key encoder fixed by the first morsel's group columns (spill policy:
+    /// unseen strings in later morsels must still form distinct groups).
+    encoder: Option<KeyEncoder>,
     groups: HashMap<Key, Vec<AggAcc>>,
     /// Insertion order of groups (deterministic output).
     order: Vec<Key>,
@@ -332,6 +403,7 @@ impl AggregateState {
             in_map,
             arg_types,
             out_schema,
+            encoder: None,
             groups: HashMap::new(),
             order: Vec::new(),
         })
@@ -358,13 +430,17 @@ impl AggregateState {
             })
             .collect::<Result<Vec<_>>>()?;
         let group_refs: Vec<&ColumnData> = group_cols.iter().collect();
+        let encoder = self
+            .encoder
+            .get_or_insert_with(|| KeyEncoder::for_columns(&group_refs, MissPolicy::Spill));
+        let row_encoder = encoder.prepare(&group_refs)?;
         for row in 0..batch.rows() {
-            let key = Key::of_row(&group_refs, row);
+            let key = row_encoder.encode(row);
             let accs = match self.groups.get_mut(&key) {
                 Some(a) => a,
                 None => {
                     self.order.push(key.clone());
-                    self.groups.entry(key.clone()).or_insert_with(|| {
+                    self.groups.entry(key).or_insert_with(|| {
                         self.aggs
                             .iter()
                             .zip(&self.arg_types)
@@ -374,8 +450,7 @@ impl AggregateState {
                 }
             };
             for (acc, col) in accs.iter_mut().zip(&arg_cols) {
-                let v = col.as_ref().map(|c| c.value(row));
-                acc.update(v.as_ref());
+                acc.update(col.as_ref(), row);
             }
         }
         Ok(())
@@ -396,9 +471,13 @@ impl AggregateState {
                 .zip(&self.arg_types)
                 .map(|(a, t)| AggAcc::new(a, *t))
                 .collect();
-            self.order.push(Key(Vec::new()));
-            self.groups.insert(Key(Vec::new()), accs);
+            self.order.push(Key::empty());
+            self.groups.insert(Key::empty(), accs);
         }
+        let encoder = self
+            .encoder
+            .take()
+            .unwrap_or_else(|| KeyEncoder::for_columns(&[], MissPolicy::Spill));
         let g = self.group_exprs.len();
         let mut columns: Vec<ColumnData> = self
             .out_schema
@@ -408,7 +487,7 @@ impl AggregateState {
             .collect();
         for key in &self.order {
             let accs = &self.groups[key];
-            let kvals = key.to_values();
+            let kvals = encoder.key_values(key);
             for (i, v) in kvals.into_iter().enumerate() {
                 columns[i].push(v)?;
             }
@@ -450,21 +529,25 @@ impl SortBuffer {
         self.buffered.iter().map(RecordBatch::rows).sum()
     }
 
-    /// Sorts and returns the full output.
+    /// Sorts and returns the full output. Comparators read columns in
+    /// place — no per-comparison `Value` (and for dict columns, a one-time
+    /// rank table turns string comparisons into integer comparisons).
     pub fn finalize(self) -> Result<RecordBatch> {
         if self.buffered.is_empty() {
             return Ok(RecordBatch::empty(self.schema));
         }
         let all = RecordBatch::concat(&self.buffered)?;
+        let sort_cols: Vec<(SortCol, bool)> = self
+            .keys
+            .iter()
+            .map(|&(pos, asc)| (SortCol::of(all.column(pos)), asc))
+            .collect();
         let mut indices: Vec<usize> = (0..all.rows()).collect();
         indices.sort_by(|&a, &b| {
-            for &(pos, asc) in &self.keys {
-                let col = all.column(pos);
-                let va = col.value(a);
-                let vb = col.value(b);
-                let ord = va.partial_cmp_sql(&vb).unwrap_or(std::cmp::Ordering::Equal);
-                let ord = if asc { ord } else { ord.reverse() };
-                if ord != std::cmp::Ordering::Equal {
+            for (col, asc) in &sort_cols {
+                let ord = col.cmp_rows(a, b);
+                let ord = if *asc { ord } else { ord.reverse() };
+                if ord != Ordering::Equal {
                     return ord;
                 }
             }
@@ -472,6 +555,40 @@ impl SortBuffer {
             a.cmp(&b)
         });
         all.take(&indices)
+    }
+}
+
+/// A sort key column prepared for in-place row comparisons.
+enum SortCol<'a> {
+    I64(&'a [i64]),
+    F64(&'a [f64]),
+    Bool(&'a [bool]),
+    Utf8(&'a [String]),
+    /// Dict ids plus the dictionary's lexicographic rank per id.
+    DictRank(&'a [u32], Vec<u32>),
+}
+
+impl<'a> SortCol<'a> {
+    fn of(c: &'a ColumnData) -> SortCol<'a> {
+        match c {
+            ColumnData::Int64(v) => SortCol::I64(v),
+            ColumnData::Float64(v) => SortCol::F64(v),
+            ColumnData::Bool(v) => SortCol::Bool(v),
+            ColumnData::Utf8(v) => SortCol::Utf8(v),
+            ColumnData::Dict { ids, dict } => SortCol::DictRank(ids, dict.sort_ranks()),
+        }
+    }
+
+    fn cmp_rows(&self, a: usize, b: usize) -> Ordering {
+        match self {
+            SortCol::I64(v) => v[a].cmp(&v[b]),
+            // NaNs compare equal, matching `Value::partial_cmp_sql`'s
+            // unwrap-to-equal behaviour the sorter always used.
+            SortCol::F64(v) => v[a].partial_cmp(&v[b]).unwrap_or(Ordering::Equal),
+            SortCol::Bool(v) => v[a].cmp(&v[b]),
+            SortCol::Utf8(v) => v[a].cmp(&v[b]),
+            SortCol::DictRank(ids, ranks) => ranks[ids[a] as usize].cmp(&ranks[ids[b] as usize]),
+        }
     }
 }
 

@@ -191,6 +191,11 @@ impl PlanExpr {
                 }
             }
             PlanExpr::Bin { op, left, right } => {
+                if op.is_comparison() {
+                    if let Some(mask) = dict_literal_compare(*op, left, right, batch, map)? {
+                        return Ok(mask);
+                    }
+                }
                 let l = left.eval(batch, map)?;
                 let r = right.eval(batch, map)?;
                 eval_binary(*op, &l, &r)
@@ -215,6 +220,41 @@ impl fmt::Display for PlanExpr {
             PlanExpr::Neg(e) => write!(f, "(-{e})"),
         }
     }
+}
+
+/// Fast path for `dict_column <cmp> 'literal'` (either operand order): the
+/// comparison is resolved once per dictionary entry, then the row mask is a
+/// pure id lookup — no per-row string compare, no literal broadcast. Returns
+/// `Ok(None)` when the shape doesn't match and the general path should run.
+fn dict_literal_compare(
+    op: BinOp,
+    left: &PlanExpr,
+    right: &PlanExpr,
+    batch: &RecordBatch,
+    map: &ColMap,
+) -> Result<Option<ColumnData>> {
+    let (slot, lit, col_is_left) = match (left, right) {
+        (PlanExpr::Col(s), PlanExpr::Lit(Value::Str(lit))) => (*s, lit, true),
+        (PlanExpr::Lit(Value::Str(lit)), PlanExpr::Col(s)) => (*s, lit, false),
+        _ => return Ok(None),
+    };
+    let Some((ids, dict)) = batch.column(map.position(slot)?).as_dict() else {
+        return Ok(None);
+    };
+    let keep = comparison_keep(op);
+    let verdicts: Vec<bool> = (0..dict.len() as u32)
+        .map(|id| {
+            let ord = if col_is_left {
+                dict.get(id).cmp(lit.as_str())
+            } else {
+                lit.as_str().cmp(dict.get(id))
+            };
+            keep(ord)
+        })
+        .collect();
+    Ok(Some(ColumnData::Bool(
+        ids.iter().map(|&id| verdicts[id as usize]).collect(),
+    )))
 }
 
 fn broadcast(v: &Value, n: usize) -> ColumnData {
@@ -285,9 +325,10 @@ fn numeric_f64(c: &ColumnData) -> Result<Vec<f64>> {
     }
 }
 
-fn compare(op: BinOp, l: &ColumnData, r: &ColumnData) -> Result<ColumnData> {
+/// The boolean verdict a comparison operator assigns to an ordering.
+fn comparison_keep(op: BinOp) -> impl Fn(std::cmp::Ordering) -> bool {
     use std::cmp::Ordering;
-    let keep = |o: Ordering| match op {
+    move |o: Ordering| match op {
         BinOp::Eq => o == Ordering::Equal,
         BinOp::NotEq => o != Ordering::Equal,
         BinOp::Lt => o == Ordering::Less,
@@ -295,12 +336,32 @@ fn compare(op: BinOp, l: &ColumnData, r: &ColumnData) -> Result<ColumnData> {
         BinOp::Gt => o == Ordering::Greater,
         BinOp::GtEq => o != Ordering::Less,
         _ => unreachable!(),
-    };
+    }
+}
+
+fn compare(op: BinOp, l: &ColumnData, r: &ColumnData) -> Result<ColumnData> {
+    use std::cmp::Ordering;
+    let keep = comparison_keep(op);
+    use ci_storage::value::DataType;
     use ColumnData::*;
     let out: Vec<bool> = match (l, r) {
         (Int64(a), Int64(b)) => a.iter().zip(b).map(|(x, y)| keep(x.cmp(y))).collect(),
-        (Utf8(a), Utf8(b)) => a.iter().zip(b).map(|(x, y)| keep(x.cmp(y))).collect(),
         (Bool(a), Bool(b)) => a.iter().zip(b).map(|(x, y)| keep(x.cmp(y))).collect(),
+        // Equality between columns sharing one dictionary is pure id equality.
+        (Dict { ids: a, dict: da }, Dict { ids: b, dict: db })
+            if std::sync::Arc::ptr_eq(da, db) && matches!(op, BinOp::Eq | BinOp::NotEq) =>
+        {
+            a.iter().zip(b).map(|(x, y)| keep(x.cmp(y))).collect()
+        }
+        // Any string-vs-string combination compares borrowed &str — dict
+        // columns decode by reference, never cloning.
+        _ if l.data_type() == DataType::Utf8 && r.data_type() == DataType::Utf8 => (0..l.len())
+            .map(|i| {
+                let a = l.str_at(i).expect("string column");
+                let b = r.str_at(i).expect("string column");
+                keep(a.cmp(b))
+            })
+            .collect(),
         _ => {
             let a = numeric_f64(l)?;
             let b = numeric_f64(r)?;
@@ -517,6 +578,69 @@ mod tests {
             distinct: false,
         };
         assert_eq!(sum.data_type(&ty).unwrap(), DataType::Int64);
+    }
+
+    fn dict_batch() -> (RecordBatch, ColMap) {
+        let schema = Arc::new(Schema::of(vec![
+            Field::new("s", DataType::Utf8),
+            Field::new("t", DataType::Utf8),
+        ]));
+        let s =
+            ColumnData::Utf8(vec!["x".into(), "y".into(), "x".into(), "z".into()]).dict_encoded();
+        let t =
+            ColumnData::Utf8(vec!["x".into(), "x".into(), "z".into(), "z".into()]).dict_encoded();
+        let b = RecordBatch::new(schema, vec![s, t]).unwrap();
+        (b, ColMap::from_slots(&[0, 1]))
+    }
+
+    #[test]
+    fn dict_literal_comparisons_match_utf8_semantics() {
+        let (b, m) = dict_batch();
+        let eq = PlanExpr::bin(BinOp::Eq, PlanExpr::Col(0), PlanExpr::Lit(Value::from("x")));
+        assert_eq!(
+            eq.eval_mask(&b, &m).unwrap(),
+            vec![true, false, true, false]
+        );
+        // Literal absent from the dictionary: nothing matches / everything differs.
+        let none = PlanExpr::bin(BinOp::Eq, PlanExpr::Col(0), PlanExpr::Lit(Value::from("q")));
+        assert_eq!(none.eval_mask(&b, &m).unwrap(), vec![false; 4]);
+        let ne = PlanExpr::bin(
+            BinOp::NotEq,
+            PlanExpr::Col(0),
+            PlanExpr::Lit(Value::from("q")),
+        );
+        assert_eq!(ne.eval_mask(&b, &m).unwrap(), vec![true; 4]);
+        // Range comparison resolves per dictionary entry.
+        let lt = PlanExpr::bin(BinOp::Lt, PlanExpr::Col(0), PlanExpr::Lit(Value::from("y")));
+        assert_eq!(
+            lt.eval_mask(&b, &m).unwrap(),
+            vec![true, false, true, false]
+        );
+        // Literal on the left flips the ordering correctly.
+        let flipped = PlanExpr::bin(BinOp::Lt, PlanExpr::Lit(Value::from("y")), PlanExpr::Col(0));
+        assert_eq!(
+            flipped.eval_mask(&b, &m).unwrap(),
+            vec![false, false, false, true]
+        );
+    }
+
+    #[test]
+    fn dict_column_to_column_comparisons() {
+        let (b, m) = dict_batch();
+        // Different dictionaries: compared by decoded value.
+        let eq = PlanExpr::bin(BinOp::Eq, PlanExpr::Col(0), PlanExpr::Col(1));
+        assert_eq!(
+            eq.eval_mask(&b, &m).unwrap(),
+            vec![true, false, false, true]
+        );
+        // Same dictionary (column vs itself): id fast path.
+        let self_eq = PlanExpr::bin(BinOp::Eq, PlanExpr::Col(0), PlanExpr::Col(0));
+        assert_eq!(self_eq.eval_mask(&b, &m).unwrap(), vec![true; 4]);
+        let lt = PlanExpr::bin(BinOp::Lt, PlanExpr::Col(0), PlanExpr::Col(1));
+        assert_eq!(
+            lt.eval_mask(&b, &m).unwrap(),
+            vec![false, false, true, false]
+        );
     }
 
     #[test]

@@ -4,8 +4,10 @@
 //! workspace ships a minimal, API-compatible subset of proptest sufficient
 //! for the property tests in this repository: the [`Strategy`] trait with
 //! `prop_map` / `prop_recursive` / `boxed`, range and tuple strategies,
-//! [`prelude::Just`], `prop_oneof!`, `collection::vec`, `any::<T>()`, and the
-//! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
+//! [`prelude::Just`], `prop_oneof!`, `collection::vec`, `any::<T>()`,
+//! `sample::select` (plus the [`sample::string_column`] convenience for
+//! low-cardinality string columns), and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` macros.
 //!
 //! Differences from real proptest, by design:
 //!
@@ -20,11 +22,13 @@
 
 pub mod collection;
 mod macros;
+pub mod sample;
 pub mod strategy;
 pub mod test_runner;
 
 pub mod prelude {
     //! The subset of `proptest::prelude` this workspace uses.
+    pub use crate::sample::{select, string_column};
     pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};

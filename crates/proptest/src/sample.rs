@@ -1,0 +1,73 @@
+//! `proptest::sample` stand-in: choose from a fixed slate of options.
+//!
+//! [`select`] is the building block for **string-column strategies**: a
+//! realistic analytics string column is low-cardinality (regions, segments,
+//! categories), so tests model it as `collection::vec(select(pool), len)` —
+//! a vector drawn from a bounded value pool, which exercises both string
+//! encodings' duplicate handling.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniform choice from a fixed, non-empty list of options.
+#[derive(Clone, Debug)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}
+
+/// `proptest::sample::select` — pick one of `options` uniformly.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select from an empty slate");
+    Select { options }
+}
+
+/// A string-column strategy: `len` strings drawn from a pool of
+/// `pool_size` distinct deterministic values (`"v0"`, `"v1"`, …). The tight
+/// pool guarantees duplicates, the interesting case for dictionary
+/// encodings.
+pub fn string_column(
+    pool_size: usize,
+    len: impl Into<crate::collection::SizeRange>,
+) -> crate::collection::VecStrategy<Select<String>> {
+    let pool: Vec<String> = (0..pool_size.max(1)).map(|i| format!("v{i}")).collect();
+    crate::collection::vec(select(pool), len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_draws_from_slate() {
+        let s = select(vec![1, 2, 3]);
+        let mut rng = TestRng::for_case(0);
+        for _ in 0..50 {
+            assert!((1..=3).contains(&s.generate(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn string_columns_hit_duplicates() {
+        let s = string_column(3, 64usize);
+        let mut rng = TestRng::for_case(1);
+        let col = s.generate(&mut rng);
+        assert_eq!(col.len(), 64);
+        let distinct: std::collections::BTreeSet<_> = col.iter().collect();
+        assert!(distinct.len() <= 3);
+        assert!(col.iter().all(|v| v.starts_with('v')));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slate")]
+    fn empty_slate_panics() {
+        let _ = select(Vec::<u8>::new());
+    }
+}

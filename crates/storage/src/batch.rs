@@ -9,18 +9,28 @@ use crate::schema::SchemaRef;
 use crate::value::Value;
 
 /// A horizontal chunk of a table: one [`ColumnData`] per schema field, all
-/// the same length. Morsels handed to the execution engine are `RecordBatch`
-/// slices.
+/// the same length. Columns are `Arc`-shared, so cloning a batch, projecting
+/// columns, or re-schematizing a partition's payload never copies data —
+/// only filter/take/slice materialize new column payloads (and for
+/// dict-encoded strings those move 4-byte ids, not heap strings). Morsels
+/// handed to the execution engine are `RecordBatch` slices.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecordBatch {
     schema: SchemaRef,
-    columns: Vec<ColumnData>,
+    columns: Vec<Arc<ColumnData>>,
     rows: usize,
 }
 
 impl RecordBatch {
     /// Builds a batch, validating column count, types, and equal lengths.
     pub fn new(schema: SchemaRef, columns: Vec<ColumnData>) -> Result<RecordBatch> {
+        RecordBatch::from_arcs(schema, columns.into_iter().map(Arc::new).collect())
+    }
+
+    /// Builds a batch from already-shared columns (zero-copy: the batch
+    /// holds references, not clones). Validation is identical to
+    /// [`RecordBatch::new`].
+    pub fn from_arcs(schema: SchemaRef, columns: Vec<Arc<ColumnData>>) -> Result<RecordBatch> {
         if columns.len() != schema.arity() {
             return Err(CiError::Exec(format!(
                 "batch has {} columns, schema expects {}",
@@ -28,7 +38,7 @@ impl RecordBatch {
                 schema.arity()
             )));
         }
-        let rows = columns.first().map_or(0, ColumnData::len);
+        let rows = columns.first().map_or(0, |c| c.len());
         for (i, c) in columns.iter().enumerate() {
             if c.len() != rows {
                 return Err(CiError::Exec(format!(
@@ -57,7 +67,7 @@ impl RecordBatch {
         let columns = schema
             .fields()
             .iter()
-            .map(|f| ColumnData::empty(f.data_type))
+            .map(|f| Arc::new(ColumnData::empty(f.data_type)))
             .collect();
         RecordBatch {
             schema,
@@ -81,13 +91,18 @@ impl RecordBatch {
         self.rows == 0
     }
 
-    /// The columns in schema order.
-    pub fn columns(&self) -> &[ColumnData] {
+    /// The shared columns in schema order.
+    pub fn columns(&self) -> &[Arc<ColumnData>] {
         &self.columns
     }
 
     /// One column by index.
     pub fn column(&self, i: usize) -> &ColumnData {
+        &self.columns[i]
+    }
+
+    /// One column's shared handle by index (cheap to clone).
+    pub fn column_arc(&self, i: usize) -> &Arc<ColumnData> {
         &self.columns[i]
     }
 
@@ -98,7 +113,7 @@ impl RecordBatch {
 
     /// Exact encoded payload size in bytes.
     pub fn byte_size(&self) -> usize {
-        self.columns.iter().map(ColumnData::byte_size).sum()
+        self.columns.iter().map(|c| c.byte_size()).sum()
     }
 
     /// New batch keeping rows where `keep` is true.
@@ -114,19 +129,28 @@ impl RecordBatch {
         RecordBatch::new(self.schema.clone(), columns)
     }
 
-    /// New batch gathering the given row indices.
+    /// New batch gathering the given row indices. Bounds are validated
+    /// inline during the first column's gather (single pass, erroring on the
+    /// first bad index); the remaining columns gather unchecked.
     pub fn take(&self, indices: &[usize]) -> Result<RecordBatch> {
-        if let Some(&bad) = indices.iter().find(|&&i| i >= self.rows) {
-            return Err(CiError::Exec(format!(
-                "take index {bad} out of bounds for {} rows",
-                self.rows
-            )));
-        }
-        let columns: Vec<ColumnData> = self.columns.iter().map(|c| c.take(indices)).collect();
+        let Some((first, rest)) = self.columns.split_first() else {
+            // Zero-column batch: nothing to gather, but still validate.
+            if let Some(&bad) = indices.iter().find(|&&i| i >= self.rows) {
+                return Err(CiError::Exec(format!(
+                    "take index {bad} out of bounds for {} rows",
+                    self.rows
+                )));
+            }
+            return RecordBatch::new(self.schema.clone(), Vec::new());
+        };
+        let mut columns = Vec::with_capacity(self.columns.len());
+        columns.push(first.try_take(indices)?);
+        columns.extend(rest.iter().map(|c| c.take(indices)));
         RecordBatch::new(self.schema.clone(), columns)
     }
 
-    /// New batch projecting columns by index; schema is re-derived.
+    /// New batch projecting columns by index; schema is re-derived and
+    /// columns are shared, not copied.
     pub fn project(&self, indices: &[usize]) -> Result<RecordBatch> {
         if let Some(&bad) = indices.iter().find(|&&i| i >= self.columns.len()) {
             return Err(CiError::Exec(format!(
@@ -135,11 +159,14 @@ impl RecordBatch {
             )));
         }
         let schema = Arc::new(self.schema.project(indices));
-        let columns: Vec<ColumnData> = indices.iter().map(|&i| self.columns[i].clone()).collect();
-        RecordBatch::new(schema, columns)
+        let columns: Vec<Arc<ColumnData>> =
+            indices.iter().map(|&i| self.columns[i].clone()).collect();
+        RecordBatch::from_arcs(schema, columns)
     }
 
-    /// Contiguous row slice `[offset, offset+len)`.
+    /// Contiguous row slice `[offset, offset+len)`. A full-range slice is
+    /// zero-copy (shares every column); sub-ranges copy fixed-width payloads
+    /// and dict ids only.
     pub fn slice(&self, offset: usize, len: usize) -> Result<RecordBatch> {
         if offset + len > self.rows {
             return Err(CiError::Exec(format!(
@@ -148,8 +175,17 @@ impl RecordBatch {
                 self.rows
             )));
         }
+        if offset == 0 && len == self.rows {
+            return Ok(self.clone());
+        }
         let columns: Vec<ColumnData> = self.columns.iter().map(|c| c.slice(offset, len)).collect();
         RecordBatch::new(self.schema.clone(), columns)
+    }
+
+    /// Re-labels the batch under a new schema of identical arity and types
+    /// (e.g. table schema → engine slot schema) without touching column data.
+    pub fn with_schema(&self, schema: SchemaRef) -> Result<RecordBatch> {
+        RecordBatch::from_arcs(schema, self.columns.clone())
     }
 
     /// Concatenates batches sharing one schema. Errors on empty input or
@@ -158,12 +194,12 @@ impl RecordBatch {
         let first = batches
             .first()
             .ok_or_else(|| CiError::Exec("concat of zero batches".into()))?;
-        let mut columns: Vec<ColumnData> = first
-            .schema
-            .fields()
-            .iter()
-            .map(|f| ColumnData::empty(f.data_type))
-            .collect();
+        if batches.len() == 1 {
+            return Ok(first.clone());
+        }
+        // Seed with empty slices of the first batch's columns so dict
+        // encodings (and their shared dictionary) survive concatenation.
+        let mut columns: Vec<ColumnData> = first.columns.iter().map(|c| c.slice(0, 0)).collect();
         for b in batches {
             if b.schema.as_ref() != first.schema.as_ref() {
                 return Err(CiError::Exec("concat schema mismatch".into()));
@@ -243,16 +279,50 @@ mod tests {
     }
 
     #[test]
+    fn take_error_names_first_bad_index() {
+        let err = sample().take(&[1, 5, 9]).unwrap_err().to_string();
+        assert!(
+            err.contains("take index 5 out of bounds for 3 rows"),
+            "{err}"
+        );
+    }
+
+    #[test]
     fn filter_mask_length_checked() {
         assert!(sample().filter(&[true]).is_err());
     }
 
     #[test]
-    fn project_rederives_schema() {
-        let p = sample().project(&[1]).unwrap();
+    fn project_rederives_schema_and_shares_columns() {
+        let b = sample();
+        let p = b.project(&[1]).unwrap();
         assert_eq!(p.schema().arity(), 1);
         assert_eq!(p.schema().field(0).name, "name");
+        assert!(Arc::ptr_eq(p.column_arc(0), b.column_arc(1)));
         assert!(sample().project(&[5]).is_err());
+    }
+
+    #[test]
+    fn full_slice_is_zero_copy() {
+        let b = sample();
+        let s = b.slice(0, 3).unwrap();
+        assert!(Arc::ptr_eq(s.column_arc(0), b.column_arc(0)));
+        assert!(Arc::ptr_eq(s.column_arc(1), b.column_arc(1)));
+    }
+
+    #[test]
+    fn with_schema_relabels_without_copy() {
+        let b = sample();
+        let renamed = Arc::new(Schema::of(vec![
+            Field::new("s0", DataType::Int64),
+            Field::new("s1", DataType::Utf8),
+        ]));
+        let r = b.with_schema(renamed).unwrap();
+        assert!(Arc::ptr_eq(r.column_arc(0), b.column_arc(0)));
+        assert_eq!(r.schema().field(0).name, "s0");
+        // Arity mismatch is rejected.
+        let bad = Arc::new(Schema::of(vec![Field::new("x", DataType::Int64)]));
+        assert!(b.with_schema(bad).is_err());
     }
 
     #[test]
@@ -262,6 +332,24 @@ mod tests {
         assert_eq!(c.rows(), 6);
         assert_eq!(c.row(3), vec![Value::Int(1), Value::from("a")]);
         assert!(RecordBatch::concat(&[]).is_err());
+    }
+
+    #[test]
+    fn concat_preserves_dict_encoding() {
+        let dicted = RecordBatch::new(
+            schema(),
+            vec![
+                ColumnData::Int64(vec![1, 2, 3]),
+                ColumnData::Utf8(vec!["a".into(), "b".into(), "a".into()]).dict_encoded(),
+            ],
+        )
+        .unwrap();
+        let left = dicted.slice(0, 2).unwrap();
+        let right = dicted.slice(2, 1).unwrap();
+        let joined = RecordBatch::concat(&[left, right]).unwrap();
+        let (ids, dict) = joined.column(1).as_dict().expect("still dict-encoded");
+        assert_eq!(ids, &[0, 1, 0]);
+        assert!(Arc::ptr_eq(dict, dicted.column(1).as_dict().unwrap().1));
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! storage services ... keeps the user data in hybrid-columnar formats such
 //! as Parquet and ORC". This crate implements the equivalent:
 //!
-//! * typed [`column::ColumnData`] vectors and [`batch::RecordBatch`]es,
+//! * typed [`column::ColumnData`] vectors and [`batch::RecordBatch`]es with
+//!   `Arc`-shared columns and per-table [`dict::Dictionary`] string interning
+//!   (the zero-copy data path),
 //! * [`partition::MicroPartition`]s — the unit of object-store I/O — carrying
 //!   zone maps (per-column min/max) and size metadata,
 //! * [`table::Table`]s assembled from micro-partitions, with partition
@@ -17,6 +19,7 @@
 
 pub mod batch;
 pub mod column;
+pub mod dict;
 pub mod partition;
 pub mod pruning;
 pub mod schema;
@@ -25,6 +28,7 @@ pub mod value;
 
 pub use batch::RecordBatch;
 pub use column::ColumnData;
+pub use dict::Dictionary;
 pub use partition::MicroPartition;
 pub use pruning::ColumnBound;
 pub use schema::{Field, Schema};

@@ -1,11 +1,16 @@
 //! Tables: named collections of micro-partitions.
 
+use std::sync::Arc;
+
 use ci_types::{CiError, Result, TableId};
 
 use crate::batch::RecordBatch;
+use crate::column::ColumnData;
+use crate::dict::Dictionary;
 use crate::partition::MicroPartition;
 use crate::pruning::ColumnBound;
 use crate::schema::SchemaRef;
+use crate::value::DataType;
 
 /// A stored table.
 #[derive(Debug, Clone)]
@@ -78,6 +83,82 @@ impl Table {
         }
         let batches: Vec<RecordBatch> = self.partitions.iter().map(|p| p.batch.clone()).collect();
         RecordBatch::concat(&batches)
+    }
+
+    /// Dictionary-encodes every `Utf8` column: one [`Dictionary`] per column
+    /// is interned across all partitions (in storage order, so the encoding
+    /// is deterministic) and shared by every partition's batch via `Arc`.
+    /// Values, zone maps, and `stored_bytes` are unchanged — only the
+    /// in-memory representation gets cheaper to filter/take/slice. Called by
+    /// the catalog at registration ("interned per table at load"); idempotent.
+    pub fn dict_encoded(mut self) -> Table {
+        let string_cols: Vec<usize> = (0..self.schema.arity())
+            .filter(|&i| self.schema.field(i).data_type == DataType::Utf8)
+            .filter(|&i| {
+                self.partitions
+                    .iter()
+                    .any(|p| matches!(p.batch.column(i), ColumnData::Utf8(_)))
+            })
+            .collect();
+        if string_cols.is_empty() {
+            return self;
+        }
+        // Intern each string column across partitions, top to bottom.
+        let mut encoded: Vec<Vec<Arc<ColumnData>>> = Vec::with_capacity(string_cols.len());
+        for &ci in &string_cols {
+            let mut dict = Dictionary::new();
+            let mut per_part: Vec<Vec<u32>> = Vec::with_capacity(self.partitions.len());
+            for p in &self.partitions {
+                let ids = match p.batch.column(ci) {
+                    ColumnData::Utf8(v) => v.iter().map(|s| dict.intern(s)).collect(),
+                    ColumnData::Dict { ids, dict: d } => {
+                        ids.iter().map(|&id| dict.intern(d.get(id))).collect()
+                    }
+                    other => unreachable!("Utf8 schema field holds {}", other.data_type()),
+                };
+                per_part.push(ids);
+            }
+            let dict = Arc::new(dict);
+            encoded.push(
+                per_part
+                    .into_iter()
+                    .map(|ids| {
+                        Arc::new(ColumnData::Dict {
+                            ids,
+                            dict: dict.clone(),
+                        })
+                    })
+                    .collect(),
+            );
+        }
+        // Rebuild partitions with the encoded columns swapped in. Zone maps
+        // and stored_bytes are value-level quantities, so they are preserved
+        // verbatim rather than recomputed.
+        for (pi, part) in self.partitions.iter_mut().enumerate() {
+            let mut columns: Vec<Arc<ColumnData>> = part.batch.columns().to_vec();
+            for (k, &ci) in string_cols.iter().enumerate() {
+                columns[ci] = encoded[k][pi].clone();
+            }
+            let batch = RecordBatch::from_arcs(part.batch.schema().clone(), columns)
+                .expect("dict encoding preserves shape");
+            part.batch = batch;
+        }
+        self
+    }
+
+    /// The shared dictionary of column `i`, when every partition holds the
+    /// same dict encoding for it (the invariant [`Table::dict_encoded`]
+    /// establishes).
+    pub fn column_dictionary(&self, i: usize) -> Option<&Arc<Dictionary>> {
+        let mut parts = self.partitions.iter();
+        let (_, first) = parts.next()?.batch.column(i).as_dict()?;
+        for p in parts {
+            let (_, d) = p.batch.column(i).as_dict()?;
+            if !Arc::ptr_eq(first, d) {
+                return None;
+            }
+        }
+        Some(first)
     }
 
     /// Rebuilds the table physically sorted by `column`, re-chunked into
@@ -286,6 +367,61 @@ mod tests {
         let t = table_from_batch(TableId::new(0), "t", batch(vec![1]));
         assert!(t.reclustered_by(9, 2).is_err());
         assert!(t.reclustered_by(0, 0).is_err());
+    }
+
+    #[test]
+    fn dict_encoding_shares_one_dictionary_across_partitions() {
+        let schema = Arc::new(Schema::of(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("grp", DataType::Utf8),
+        ]));
+        let mut b = TableBuilder::new(TableId::new(0), "t", schema.clone(), 2).unwrap();
+        b.append(
+            RecordBatch::new(
+                schema,
+                vec![
+                    ColumnData::Int64(vec![1, 2, 3, 4, 5]),
+                    ColumnData::Utf8(vec![
+                        "b".into(),
+                        "a".into(),
+                        "b".into(),
+                        "c".into(),
+                        "a".into(),
+                    ]),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let plain = b.finish().unwrap();
+        let plain_bytes = plain.total_bytes();
+        let plain_rows = plain.to_batch().unwrap();
+
+        let t = plain.dict_encoded();
+        assert_eq!(t.partition_count(), 3);
+        let dict = t.column_dictionary(1).expect("shared dict").clone();
+        assert_eq!(dict.len(), 3, "b, a, c interned once each");
+        for p in &t.partitions {
+            let (_, d) = p.batch.column(1).as_dict().expect("dict-encoded");
+            assert!(Arc::ptr_eq(d, &dict));
+        }
+        // Values, byte accounting, and zone maps are unchanged.
+        assert_eq!(t.total_bytes(), plain_bytes);
+        assert_eq!(t.to_batch().unwrap(), plain_rows);
+        assert_eq!(
+            t.partitions[0].zone_map.ranges[1],
+            (Value::from("a"), Value::from("b"))
+        );
+        // Idempotent, and the int column is untouched.
+        let again = t.clone().dict_encoded();
+        assert!(Arc::ptr_eq(
+            again.column_dictionary(1).unwrap(),
+            t.column_dictionary(1).unwrap()
+        ));
+        assert!(t.column_dictionary(0).is_none());
+        // Reclustering preserves the shared dictionary.
+        let re = t.reclustered_by(1, 2).unwrap();
+        assert!(Arc::ptr_eq(re.column_dictionary(1).unwrap(), &dict));
     }
 
     #[test]
