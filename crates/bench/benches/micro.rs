@@ -9,12 +9,16 @@
 //! * `storage/*` — zone-map pruning speed;
 //! * `hot_path/*` — the string data-path kernels (filter, string-key
 //!   hash-join, string-key group-by) over both encodings; the dict variants
-//!   are the zero-copy path, the naive ones its pre-refactor baseline.
+//!   are the zero-copy path, the naive ones its pre-refactor baseline. The
+//!   `filter_chain/{eager,lazy}` pair measures selection-vector late
+//!   materialization against per-operator compaction.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use ci_autotune::{QueryLogRecord, StatisticsService, StatsConfig};
-use ci_bench::hotpath::{run_filter, run_group_by, run_join, string_batch};
+use ci_bench::hotpath::{
+    run_filter, run_filter_chain, run_group_by, run_join, string_batch, wide_batch,
+};
 use ci_bench::plan_query;
 use ci_cost::{CostEstimator, EstimatorConfig};
 use ci_exec::{ExecutionConfig, Executor, NoScaling};
@@ -154,6 +158,14 @@ fn bench_hot_path(c: &mut Criterion) {
         });
         g.bench_function(&format!("group_by_string_key/{enc}"), |b| {
             b.iter(|| run_group_by(&batch, 8_192).expect("group by"))
+        });
+    }
+    // Late materialization: the same dict batch through a filter→project
+    // chain, compacting per operator (eager) vs composing selections (lazy).
+    let chain = wide_batch(ROWS, 1_000, 11, true);
+    for (mode, eager) in [("eager", true), ("lazy", false)] {
+        g.bench_function(&format!("filter_chain/{mode}"), |b| {
+            b.iter(|| run_filter_chain(&chain, eager).expect("filter chain"))
         });
     }
     g.finish();

@@ -1,0 +1,42 @@
+//! CI gate over `BENCH_micro.json`: validates the report schema and fails
+//! (non-zero exit) when any recorded kernel speedup drops below 1.0 — a
+//! perf regression on the dictionary or selection-vector paths breaks the
+//! build instead of slipping into the artifact.
+//!
+//! Usage: `cargo run --release -p ci-bench --bin bench_check [path]`
+//! (default path `BENCH_micro.json`, or `$BENCH_MICRO_OUT`).
+
+use ci_bench::report::BenchReport;
+use ci_types::{CiError, Result};
+
+fn main() -> Result<()> {
+    let path = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("BENCH_MICRO_OUT").ok())
+        .unwrap_or_else(|| "BENCH_micro.json".into());
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| CiError::Config(format!("cannot read {path}: {e}")))?;
+    let report = BenchReport::parse(&text)?;
+    let violations = report.violations();
+    for v in &violations {
+        eprintln!("BENCH_micro violation: {v}");
+    }
+    if !violations.is_empty() {
+        return Err(CiError::Config(format!(
+            "{path}: {} violation(s)",
+            violations.len()
+        )));
+    }
+    println!(
+        "{path}: ok — {} benches over {} rows, speedups {}",
+        report.benches.len(),
+        report.rows,
+        report
+            .benches
+            .iter()
+            .map(|b| format!("{} {:.2}x", b.name, b.speedup))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    Ok(())
+}

@@ -1,18 +1,24 @@
 //! Hot-path microbench runner: records `BENCH_micro.json`.
 //!
-//! Measures the three string-heavy data-path kernels (filter, hash-join
-//! build/probe, group-by) over both string encodings in one process:
-//! `baseline_naive_ns` is the pre-refactor representation (owned
-//! `Vec<String>` columns — per-row clones and boxed keys), `dict_ns` the
-//! dictionary-encoded path. The JSON lands at the repo root (or
-//! `$BENCH_MICRO_OUT`) so successive PRs can track the perf trajectory;
-//! CI uploads it as an artifact.
+//! Measures the string-heavy data-path kernels (filter, hash-join
+//! build/probe, group-by) over both string encodings, plus the
+//! `filter_chain` kernel over both materialization strategies, in one
+//! process. In every entry `baseline_naive_ns` is the pre-refactor
+//! behaviour (owned `Vec<String>` columns with per-row clones and boxed
+//! keys; per-operator compaction for `filter_chain`) and `dict_ns` the
+//! optimized path (dictionary encoding; deferred selection vectors). The
+//! JSON lands at the repo root (or `$BENCH_MICRO_OUT`) so successive PRs
+//! can track the perf trajectory; CI uploads it as an artifact and
+//! `bench_check` fails the build if any recorded speedup regresses
+//! below 1.0.
 //!
 //! Usage: `cargo run --release -p ci-bench --bin bench_micro`
 
 use std::time::Instant;
 
-use ci_bench::hotpath::{run_filter, run_group_by, run_join, string_batch};
+use ci_bench::hotpath::{
+    run_filter, run_filter_chain, run_group_by, run_join, string_batch, wide_batch,
+};
 use ci_storage::RecordBatch;
 use ci_types::Result;
 
@@ -73,11 +79,31 @@ where
     })
 }
 
+/// The selection-vector measurement: same dict-encoded batch, baseline
+/// compacts after every filter (the pre-selection data path), the optimized
+/// run carries composed selections to the sink.
+fn measure_filter_chain() -> Result<Measurement> {
+    let dict = wide_batch(ROWS, CARDINALITY, 11, true);
+    let (baseline_naive_ns, eager_check) = time_min(|| run_filter_chain(&dict, true))?;
+    let (dict_ns, lazy_check) = time_min(|| run_filter_chain(&dict, false))?;
+    assert_eq!(
+        eager_check, lazy_check,
+        "filter_chain: lazy and eager materialization disagree on results"
+    );
+    Ok(Measurement {
+        name: "filter_chain",
+        baseline_naive_ns,
+        dict_ns,
+        check: lazy_check,
+    })
+}
+
 fn main() -> Result<()> {
     let measurements = vec![
         measure("filter_string_eq", |b, _| run_filter(b))?,
         measure("hash_join_string_key", run_join)?,
         measure("group_by_string_key", |b, _| run_group_by(b, MORSEL))?,
+        measure_filter_chain()?,
     ];
 
     let mut json = String::from("{\n");

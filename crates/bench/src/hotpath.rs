@@ -68,6 +68,68 @@ pub fn run_join(build: &RecordBatch, probe: &RecordBatch) -> Result<usize> {
     Ok(ht.probe(probe, &[0], out_schema)?.rows())
 }
 
+/// Number of integer payload columns in the wide filter-chain fixture.
+pub const WIDE_PAYLOADS: usize = 5;
+
+/// Schema of the filter-chain fixture: a string key plus [`WIDE_PAYLOADS`]
+/// integer payload columns — the "carry the whole row through the WHERE
+/// clause" shape where per-operator materialization hurts most.
+pub fn wide_schema() -> SchemaRef {
+    let mut fields = vec![Field::new("s0", DataType::Utf8)];
+    fields.extend((1..=WIDE_PAYLOADS).map(|i| Field::new(format!("s{i}"), DataType::Int64)));
+    Arc::new(Schema::of(fields))
+}
+
+/// A deterministic wide batch: the same string key distribution as
+/// [`string_batch`] plus [`WIDE_PAYLOADS`] int payload columns.
+pub fn wide_batch(rows: usize, cardinality: usize, seed: u64, dict: bool) -> RecordBatch {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let strs: Vec<String> = (0..rows)
+        .map(|_| format!("grp{:05}", rng.u64_below(cardinality.max(1) as u64)))
+        .collect();
+    let col = ColumnData::Utf8(strs);
+    let mut columns = vec![if dict { col.dict_encoded() } else { col }];
+    for p in 0..WIDE_PAYLOADS as i64 {
+        columns.push(ColumnData::Int64(
+            (0..rows as i64).map(|i| (i * (p + 3)) % 1_000).collect(),
+        ));
+    }
+    RecordBatch::new(wide_schema(), columns).expect("wide fixture batch")
+}
+
+/// Filter-chain kernel over the wide fixture: four successive string
+/// filters followed by a column projection and a checksum read, the shape
+/// the selection-vector refactor targets. With `eager` set, every filter
+/// compacts its survivors immediately — the pre-selection-vector data path
+/// that gathered every column at every operator; without it, batches carry
+/// a composed [`ci_storage::SelectionVector`] and nothing is materialized
+/// until the final checksum read.
+pub fn run_filter_chain(batch: &RecordBatch, eager: bool) -> Result<usize> {
+    let slots: Vec<usize> = (0..=WIDE_PAYLOADS).collect();
+    let map = ColMap::from_slots(&slots);
+    let str_lit = |s: &str| PlanExpr::Lit(Value::from(s));
+    let preds = [
+        PlanExpr::bin(BinOp::Lt, PlanExpr::Col(0), str_lit("grp00700")),
+        PlanExpr::bin(BinOp::GtEq, PlanExpr::Col(0), str_lit("grp00150")),
+        PlanExpr::bin(BinOp::NotEq, PlanExpr::Col(0), str_lit("grp00400")),
+        PlanExpr::bin(BinOp::LtEq, PlanExpr::Col(0), str_lit("grp00640")),
+    ];
+    let mut cur = batch.clone();
+    for pred in &preds {
+        cur = ci_exec::operators::apply_filter(&cur, pred, &map)?;
+        if eager {
+            cur = cur.compacted();
+        }
+    }
+    let out_schema = Arc::new(Schema::of(vec![Field::new("v", DataType::Int64)]));
+    let exprs = vec![(PlanExpr::Col(1), "v".to_owned())];
+    let projected = ci_exec::operators::apply_project(&cur, &exprs, &map, out_schema)?;
+    // The sink: materialize and checksum the surviving payload.
+    let dense = projected.compacted();
+    let sum: i64 = dense.column(0).as_i64()?.iter().sum();
+    Ok(dense.rows() + (sum % 100_003) as usize)
+}
+
 /// Group-by kernel on the string key: `COUNT(*), SUM(s1) GROUP BY s0`, fed
 /// in `morsel`-row chunks. Returns the group count.
 pub fn run_group_by(batch: &RecordBatch, morsel: usize) -> Result<usize> {
@@ -119,6 +181,18 @@ mod tests {
         let naive = string_batch(4_000, 40, 7, false);
         let dict = string_batch(4_000, 40, 7, true);
         assert_eq!(run_filter(&dict).unwrap(), run_filter(&naive).unwrap());
+        // The filter chain agrees across encodings *and* across lazy/eager
+        // materialization (checksums cover values, not just counts).
+        let chain = wide_batch(4_000, 1_000, 7, true);
+        assert_eq!(
+            run_filter_chain(&chain, false).unwrap(),
+            run_filter_chain(&chain, true).unwrap()
+        );
+        let chain_naive = wide_batch(4_000, 1_000, 7, false);
+        assert_eq!(
+            run_filter_chain(&chain_naive, false).unwrap(),
+            run_filter_chain(&chain, true).unwrap()
+        );
         assert_eq!(
             run_group_by(&dict, 512).unwrap(),
             run_group_by(&naive, 512).unwrap()

@@ -7,6 +7,7 @@
 //! machine-diffable rows.
 
 pub mod hotpath;
+pub mod report;
 
 use ci_catalog::{Catalog, ErrorInjector};
 use ci_exec::{ExecutionConfig, Executor, NoScaling, QueryOutcome};

@@ -1,0 +1,243 @@
+//! `BENCH_micro.json` schema: a minimal reader/validator for the report
+//! `bench_micro` writes, so CI can fail on perf regressions without a JSON
+//! dependency (the workspace is registry-free by construction).
+//!
+//! The parser accepts exactly the shape `bench_micro` emits — a flat object
+//! with `schema_version` / `rows` / `cardinality` integers and a `benches`
+//! array of flat objects — and errors loudly on anything missing, so schema
+//! drift between the writer and this reader breaks the build instead of
+//! passing silently.
+
+use ci_types::{CiError, Result};
+
+/// One recorded kernel measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Kernel name (e.g. `filter_chain`).
+    pub name: String,
+    /// Baseline (pre-refactor behaviour) nanoseconds.
+    pub baseline_naive_ns: u128,
+    /// Optimized-path nanoseconds.
+    pub dict_ns: u128,
+    /// Recorded speedup (`baseline_naive_ns / dict_ns`).
+    pub speedup: f64,
+    /// Checksum both paths agreed on.
+    pub check: u64,
+}
+
+/// The parsed report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Report format version; this reader understands version 1.
+    pub schema_version: u64,
+    /// Fixture rows per batch.
+    pub rows: u64,
+    /// Distinct string keys in the fixtures.
+    pub cardinality: u64,
+    /// The kernel measurements.
+    pub benches: Vec<BenchEntry>,
+}
+
+/// The kernels every report must record (schema completeness check).
+pub const REQUIRED_BENCHES: &[&str] = &[
+    "filter_string_eq",
+    "hash_join_string_key",
+    "group_by_string_key",
+    "filter_chain",
+];
+
+impl BenchReport {
+    /// Parses a `BENCH_micro.json` document.
+    pub fn parse(json: &str) -> Result<BenchReport> {
+        let schema_version = int_field(json, "schema_version")?;
+        if schema_version != 1 {
+            return Err(CiError::Config(format!(
+                "unsupported BENCH_micro schema_version {schema_version}"
+            )));
+        }
+        let rows = int_field(json, "rows")?;
+        let cardinality = int_field(json, "cardinality")?;
+        let array = section(json, "benches")?;
+        let benches = objects(array)
+            .map(|obj| {
+                Ok(BenchEntry {
+                    name: str_field(obj, "name")?,
+                    baseline_naive_ns: int_field(obj, "baseline_naive_ns")? as u128,
+                    dict_ns: int_field(obj, "dict_ns")? as u128,
+                    speedup: float_field(obj, "speedup")?,
+                    check: int_field(obj, "check")?,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(BenchReport {
+            schema_version,
+            rows,
+            cardinality,
+            benches,
+        })
+    }
+
+    /// Schema + regression validation: every required kernel present, every
+    /// recorded speedup and duration sane. Returns the list of human-readable
+    /// violations (empty = valid).
+    pub fn violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for required in REQUIRED_BENCHES {
+            if !self.benches.iter().any(|b| b.name == *required) {
+                out.push(format!("required bench '{required}' missing"));
+            }
+        }
+        for b in &self.benches {
+            if b.dict_ns == 0 || b.baseline_naive_ns == 0 {
+                out.push(format!("{}: zero duration recorded", b.name));
+            }
+            let recomputed = b.baseline_naive_ns as f64 / (b.dict_ns.max(1)) as f64;
+            if (recomputed - b.speedup).abs() > 0.011 * recomputed.max(1.0) {
+                out.push(format!(
+                    "{}: recorded speedup {:.2} inconsistent with durations ({recomputed:.2})",
+                    b.name, b.speedup
+                ));
+            }
+            if b.speedup < 1.0 {
+                out.push(format!(
+                    "{}: speedup {:.2} < 1.0 — optimized path regressed below its baseline",
+                    b.name, b.speedup
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// The text between `"key": [` and its matching `]`.
+fn section<'a>(json: &'a str, key: &str) -> Result<&'a str> {
+    let tag = format!("\"{key}\"");
+    let at = json
+        .find(&tag)
+        .ok_or_else(|| CiError::Config(format!("missing field '{key}'")))?;
+    let rest = &json[at + tag.len()..];
+    let open = rest
+        .find('[')
+        .ok_or_else(|| CiError::Config(format!("field '{key}' is not an array")))?;
+    let rest = &rest[open + 1..];
+    let close = rest
+        .rfind(']')
+        .ok_or_else(|| CiError::Config(format!("unterminated array '{key}'")))?;
+    Ok(&rest[..close])
+}
+
+/// Iterates the `{...}` objects of a flat (non-nested) array body.
+fn objects(array: &str) -> impl Iterator<Item = &str> {
+    array.split('{').skip(1).filter_map(|chunk| {
+        let end = chunk.find('}')?;
+        Some(&chunk[..end])
+    })
+}
+
+/// The raw text of `"key": <value>` up to the next `,` / `}` / newline.
+fn raw_field<'a>(obj: &'a str, key: &str) -> Result<&'a str> {
+    let tag = format!("\"{key}\"");
+    let at = obj
+        .find(&tag)
+        .ok_or_else(|| CiError::Config(format!("missing field '{key}'")))?;
+    let rest = &obj[at + tag.len()..];
+    let colon = rest
+        .find(':')
+        .ok_or_else(|| CiError::Config(format!("malformed field '{key}'")))?;
+    let rest = &rest[colon + 1..];
+    let end = rest.find([',', '}', '\n', ']']).unwrap_or(rest.len());
+    Ok(rest[..end].trim())
+}
+
+fn int_field(obj: &str, key: &str) -> Result<u64> {
+    raw_field(obj, key)?
+        .parse()
+        .map_err(|e| CiError::Config(format!("field '{key}' is not an integer: {e}")))
+}
+
+fn float_field(obj: &str, key: &str) -> Result<f64> {
+    raw_field(obj, key)?
+        .parse()
+        .map_err(|e| CiError::Config(format!("field '{key}' is not a number: {e}")))
+}
+
+fn str_field(obj: &str, key: &str) -> Result<String> {
+    let raw = raw_field(obj, key)?;
+    let inner = raw
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| CiError::Config(format!("field '{key}' is not a string")))?;
+    Ok(inner.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(speedup: &str) -> String {
+        format!(
+            r#"{{
+  "schema_version": 1,
+  "rows": 1000,
+  "cardinality": 10,
+  "benches": [
+    {{"name": "filter_string_eq", "baseline_naive_ns": 200, "dict_ns": 100, "speedup": 2.00, "check": 5}},
+    {{"name": "hash_join_string_key", "baseline_naive_ns": 300, "dict_ns": 100, "speedup": 3.00, "check": 6}},
+    {{"name": "group_by_string_key", "baseline_naive_ns": 150, "dict_ns": 100, "speedup": 1.50, "check": 7}},
+    {{"name": "filter_chain", "baseline_naive_ns": {base}, "dict_ns": 100, "speedup": {speedup}, "check": 8}}
+  ]
+}}
+"#,
+            base = (speedup.parse::<f64>().unwrap() * 100.0).round() as u64,
+        )
+    }
+
+    #[test]
+    fn parses_the_writer_format() {
+        let r = BenchReport::parse(&sample("2.50")).unwrap();
+        assert_eq!(r.schema_version, 1);
+        assert_eq!(r.rows, 1000);
+        assert_eq!(r.benches.len(), 4);
+        assert_eq!(r.benches[3].name, "filter_chain");
+        assert_eq!(r.benches[3].baseline_naive_ns, 250);
+        assert!((r.benches[3].speedup - 2.5).abs() < 1e-9);
+        assert_eq!(r.benches[0].check, 5);
+        assert!(r.violations().is_empty());
+    }
+
+    #[test]
+    fn regression_below_one_is_flagged() {
+        let r = BenchReport::parse(&sample("0.80")).unwrap();
+        let v = r.violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("filter_chain"), "{v:?}");
+        assert!(v[0].contains("< 1.0"), "{v:?}");
+    }
+
+    #[test]
+    fn missing_required_bench_is_flagged() {
+        let text = sample("2.00").replace("filter_chain", "something_else");
+        let v = BenchReport::parse(&text).unwrap().violations();
+        assert!(
+            v.iter().any(|m| m.contains("'filter_chain' missing")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn inconsistent_speedup_is_flagged() {
+        let text = sample("2.00").replace("\"speedup\": 3.00", "\"speedup\": 9.99");
+        let v = BenchReport::parse(&text).unwrap().violations();
+        assert!(v.iter().any(|m| m.contains("inconsistent")), "{v:?}");
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        assert!(BenchReport::parse("{}").is_err());
+        let wrong_version =
+            sample("2.00").replace("\"schema_version\": 1", "\"schema_version\": 9");
+        assert!(BenchReport::parse(&wrong_version).is_err());
+        let missing_field = sample("2.00").replace("\"dict_ns\"", "\"other\"");
+        assert!(BenchReport::parse(&missing_field).is_err());
+    }
+}

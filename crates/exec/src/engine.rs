@@ -452,6 +452,7 @@ impl<'a> Executor<'a> {
         let mut resizes = 0u32;
         let mut source_rows = 0u64;
         let mut sink_rows = 0u64;
+        let mut sink_rows_physical = 0u64;
         let mut gather_bytes = 0f64;
         let total_morsels = morsels.len();
         let mut morsels_done = 0usize;
@@ -509,6 +510,10 @@ impl<'a> Executor<'a> {
                         secs += w.exchange_cpu_secs(batch.rows() as f64);
                         secs += w.exchange_wire_secs(batch.byte_size() as f64, cur_dop);
                         node_actual[*node] += batch.rows() as u64;
+                        // Shuffling serializes rows onto the wire: this is a
+                        // materialization point, so deferred filters compact
+                        // here rather than shipping unselected rows.
+                        batch = batch.compacted();
                     }
                     Step::Gather { node } => {
                         gather_bytes += batch.byte_size() as f64;
@@ -541,11 +546,15 @@ impl<'a> Executor<'a> {
                 }
             }
 
-            // Sink.
+            // Sink. Work models charge *logical* rows (identical to the
+            // eager-materialization bill); the logical/physical gap is the
+            // copying the selection path deferred all the way to here.
             sink_rows += batch.rows() as u64;
+            sink_rows_physical += batch.physical_rows() as u64;
             match &mut sink {
                 Sink::Build(ht) => {
                     secs += w.build_secs(batch.rows() as f64);
+                    // Buffered until finalize, which compacts via concat.
                     ht.insert_batch(batch)?;
                 }
                 Sink::Agg(st) => {
@@ -554,11 +563,12 @@ impl<'a> Executor<'a> {
                 }
                 Sink::Sorter(sb) => {
                     secs += w.filter_secs(batch.rows() as f64);
+                    // Buffered until finalize, which compacts via concat.
                     sb.push(batch);
                 }
                 Sink::Result => {
                     if !batch.is_empty() {
-                        result_batches.push(batch);
+                        result_batches.push(batch.compacted());
                     }
                 }
             }
@@ -671,6 +681,7 @@ impl<'a> Executor<'a> {
             morsels: morsels_done,
             source_rows,
             sink_rows,
+            sink_rows_physical,
             busy,
             machine_time: SimDuration::ZERO, // filled at release
             resizes,

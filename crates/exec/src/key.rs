@@ -245,6 +245,14 @@ impl KeyEncoder {
     /// decodable value, and decoding one panics with a clear message rather
     /// than returning a wrong string.
     pub fn key_values(&self, key: &Key) -> Vec<Value> {
+        (0..self.arity())
+            .map(|col| self.key_value_at(key, col))
+            .collect()
+    }
+
+    /// The value of one key column of `key` (see [`KeyEncoder::key_values`]
+    /// for the decoding contract). Panics if `col >= arity()`.
+    pub fn key_value_at(&self, key: &Key, col: usize) -> Value {
         let decode_id = |d: &Arc<Dictionary>, id: u64| -> Value {
             assert!(
                 id != DICT_MISS,
@@ -252,36 +260,76 @@ impl KeyEncoder {
             );
             Value::Str(d.get(id as u32).to_owned())
         };
+        let mode = &self.modes[col];
         match key {
-            Key::Inline { n, parts } => self
-                .modes
-                .iter()
-                .zip(&parts[..*n as usize])
-                .map(|(mode, &p)| match mode {
+            Key::Inline { n, parts } => {
+                assert!(col < *n as usize, "key has {n} parts, wanted {col}");
+                let p = parts[col];
+                match mode {
                     KeyMode::Int => Value::Int(p as i64),
                     KeyMode::Float => Value::Float(f64::from_bits(p)),
                     KeyMode::Bool => Value::Bool(p != 0),
                     KeyMode::DictStr(d) => decode_id(d, p),
                     KeyMode::Str => unreachable!("raw-string keys are always boxed"),
-                })
-                .collect(),
-            Key::Boxed(parts) => self
-                .modes
-                .iter()
-                .zip(parts.iter())
-                .map(|(mode, p)| match p {
-                    KeyPart::Int(x) => Value::Int(*x),
-                    KeyPart::FloatBits(b) => Value::Float(f64::from_bits(*b)),
-                    KeyPart::Bool(b) => Value::Bool(*b),
-                    KeyPart::Str(s) => Value::Str(s.clone()),
-                    KeyPart::DictId(id) => match mode {
-                        KeyMode::DictStr(d) => decode_id(d, *id),
-                        _ => unreachable!("DictId under non-dict mode"),
-                    },
-                })
-                .collect(),
+                }
+            }
+            Key::Boxed(parts) => match &parts[col] {
+                KeyPart::Int(x) => Value::Int(*x),
+                KeyPart::FloatBits(b) => Value::Float(f64::from_bits(*b)),
+                KeyPart::Bool(b) => Value::Bool(*b),
+                KeyPart::Str(s) => Value::Str(s.clone()),
+                KeyPart::DictId(id) => match mode {
+                    KeyMode::DictStr(d) => decode_id(d, *id),
+                    _ => unreachable!("DictId under non-dict mode"),
+                },
+            },
         }
     }
+
+    /// The dictionary key column `col` resolves against, when that column
+    /// is dict-mode (lets group-by outputs stay dictionary-encoded).
+    pub fn dict_mode(&self, col: usize) -> Option<&Arc<Dictionary>> {
+        match &self.modes[col] {
+            KeyMode::DictStr(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// For a dict-mode key column: the dictionary id this key carries, or
+    /// the spilled string of a [`MissPolicy::Spill`] miss (a group string
+    /// never interned in the encoder's dictionary). `None` when the column
+    /// is not dict-mode.
+    pub fn dict_entry<'k>(&self, key: &'k Key, col: usize) -> Option<DictKeyEntry<'k>> {
+        if !matches!(self.modes[col], KeyMode::DictStr(_)) {
+            return None;
+        }
+        Some(match key {
+            Key::Inline { n, parts } => {
+                assert!(col < *n as usize, "key has {n} parts, wanted {col}");
+                let id = parts[col];
+                assert!(id != DICT_MISS, "dict_entry on a Sentinel-policy miss key");
+                DictKeyEntry::Id(id as u32)
+            }
+            Key::Boxed(parts) => match &parts[col] {
+                KeyPart::DictId(id) => {
+                    assert!(*id != DICT_MISS, "dict_entry on a Sentinel-policy miss key");
+                    DictKeyEntry::Id(*id as u32)
+                }
+                KeyPart::Str(s) => DictKeyEntry::Spilled(s),
+                other => unreachable!("{other:?} under dict mode"),
+            },
+        })
+    }
+}
+
+/// How a dict-mode key column stores one key: a resolved dictionary id, or
+/// a string that spilled past the encoder's dictionary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DictKeyEntry<'a> {
+    /// Id valid in the encoder's dictionary for that column.
+    Id(u32),
+    /// String absent from the dictionary (a [`MissPolicy::Spill`] group).
+    Spilled(&'a str),
 }
 
 /// A batch-bound key encoder; see [`KeyEncoder::prepare`].
@@ -520,6 +568,26 @@ mod tests {
             kb,
             "hit encodes identically across batches"
         );
+    }
+
+    #[test]
+    fn dict_entry_exposes_ids_and_spills() {
+        let strs = dict_col(&["a", "b"]);
+        let ints = ColumnData::Int64(vec![1, 2]);
+        let cols: Vec<&ColumnData> = vec![&strs, &ints];
+        let enc = KeyEncoder::for_columns(&cols, MissPolicy::Spill);
+        let k0 = enc.prepare(&cols).unwrap().encode(0);
+        assert_eq!(enc.dict_entry(&k0, 0), Some(DictKeyEntry::Id(0)));
+        assert_eq!(enc.dict_entry(&k0, 1), None, "int column is not dict-mode");
+        assert_eq!(enc.key_value_at(&k0, 0), Value::from("a"));
+        assert_eq!(enc.key_value_at(&k0, 1), Value::Int(1));
+        // A later morsel with an unseen string spills; the entry carries it.
+        let later = ColumnData::Utf8(vec!["q".into()]);
+        let later_ints = ColumnData::Int64(vec![9]);
+        let lcols: Vec<&ColumnData> = vec![&later, &later_ints];
+        let ks = enc.prepare(&lcols).unwrap().encode(0);
+        assert_eq!(enc.dict_entry(&ks, 0), Some(DictKeyEntry::Spilled("q")));
+        assert_eq!(enc.key_value_at(&ks, 0), Value::from("q"));
     }
 
     #[test]

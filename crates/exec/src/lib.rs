@@ -31,6 +31,6 @@ pub mod scaling;
 
 pub use ci_cloud::work::WorkModels;
 pub use engine::{ExecutionConfig, Executor, QueryOutcome};
-pub use key::{Key, KeyEncoder, KeyPart, MissPolicy};
+pub use key::{DictKeyEntry, Key, KeyEncoder, KeyPart, MissPolicy};
 pub use metrics::{PipelineMetrics, QueryMetrics};
 pub use scaling::{NoScaling, PipelineProgress, ScaleDecision, ScalingController};

@@ -29,8 +29,14 @@ pub struct PipelineMetrics {
     pub morsels: usize,
     /// True rows consumed at the source.
     pub source_rows: u64,
-    /// True rows that reached the sink.
+    /// True *logical* rows that reached the sink (what work models and the
+    /// DOP monitor consume).
     pub sink_rows: u64,
+    /// Physical rows carried into the sink by the batches that delivered
+    /// them. Equals `sink_rows` when every batch is dense; the excess is
+    /// rows a deferred selection skipped without ever copying — the
+    /// late-materialization savings, at morsel granularity.
+    pub sink_rows_physical: u64,
     /// Sum of per-node busy time (work only, excluding idle).
     pub busy: SimDuration,
     /// Machine time billed for this pipeline (leases, incl. idle/pinned).
@@ -108,6 +114,7 @@ mod tests {
             morsels: 10,
             source_rows: 1000,
             sink_rows: 500,
+            sink_rows_physical: 800,
             busy: SimDuration::from_secs(6),
             machine_time: SimDuration::from_secs(16),
             resizes: 0,

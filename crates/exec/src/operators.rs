@@ -25,7 +25,7 @@ use ci_storage::value::{DataType, Value};
 use ci_storage::RecordBatch;
 use ci_types::{CiError, Result};
 
-use crate::key::{key_columns, Key, KeyEncoder, KeyPart, MissPolicy};
+use crate::key::{key_columns, DictKeyEntry, Key, KeyEncoder, KeyPart, MissPolicy};
 
 /// Builds the internal schema for a node's output slots. Field names are
 /// slot-derived (`s<slot>`) so they are unique regardless of user aliases.
@@ -38,19 +38,31 @@ pub fn slots_schema(slots: &[usize], slot_types: &[DataType]) -> SchemaRef {
     ))
 }
 
-/// Applies a filter predicate, returning the surviving rows.
+/// Applies a filter predicate, returning the surviving rows. The survivors
+/// are *not* materialized: the batch comes back carrying a composed
+/// selection (unless density fell below the compaction threshold), so
+/// filter→filter→project chains move no column data.
 pub fn apply_filter(batch: &RecordBatch, pred: &PlanExpr, map: &ColMap) -> Result<RecordBatch> {
     let mask = pred.eval_mask(batch, map)?;
     batch.filter(&mask)
 }
 
 /// Applies a projection, producing a batch in the projection's slot layout.
+///
+/// Pure column projections (every expression a [`PlanExpr::Col`] whose
+/// physical type already matches the output schema) share the input's
+/// column `Arc`s and carry its selection along — zero copies, deferred
+/// filters stay deferred. Computed expressions fall back to evaluation,
+/// which materializes dense logical-length columns.
 pub fn apply_project(
     batch: &RecordBatch,
     exprs: &[(PlanExpr, String)],
     map: &ColMap,
     out_schema: SchemaRef,
 ) -> Result<RecordBatch> {
+    if let Some(positions) = pure_column_projection(batch, exprs, map, &out_schema)? {
+        return batch.project(&positions)?.with_schema(out_schema);
+    }
     let mut columns = Vec::with_capacity(exprs.len());
     for (i, (e, _)) in exprs.iter().enumerate() {
         let col = e.eval(batch, map)?;
@@ -61,6 +73,29 @@ pub fn apply_project(
         columns.push(col);
     }
     RecordBatch::new(out_schema, columns)
+}
+
+/// The batch column positions of a projection that only renames/reorders
+/// columns (no computation, no coercion), or `None` when any expression
+/// needs evaluation.
+fn pure_column_projection(
+    batch: &RecordBatch,
+    exprs: &[(PlanExpr, String)],
+    map: &ColMap,
+    out_schema: &SchemaRef,
+) -> Result<Option<Vec<usize>>> {
+    let mut positions = Vec::with_capacity(exprs.len());
+    for (i, (e, _)) in exprs.iter().enumerate() {
+        let PlanExpr::Col(slot) = e else {
+            return Ok(None);
+        };
+        let pos = map.position(*slot)?;
+        if batch.column(pos).data_type() != out_schema.field(i).data_type {
+            return Ok(None);
+        }
+        positions.push(pos);
+    }
+    Ok(Some(positions))
 }
 
 fn coerce(col: ColumnData, want: DataType) -> Result<ColumnData> {
@@ -169,15 +204,23 @@ impl JoinHashTable {
         let row_encoder = fin.encoder.prepare(&keys)?;
         let mut probe_idx: Vec<usize> = Vec::new();
         let mut build_idx: Vec<usize> = Vec::new();
-        for row in 0..probe.rows() {
+        // Probe-side rows are *physical*: a deferred filter on the probe
+        // stream is read through its selection in place, and only matching
+        // rows are ever gathered (the join output is the materialization
+        // point).
+        let mut probe_row = |row: usize| {
             if let Some(matches) = fin.map.get(&row_encoder.encode(row)) {
                 for &b in matches {
                     probe_idx.push(row);
                     build_idx.push(b as usize);
                 }
             }
+        };
+        match probe.selection() {
+            Some(sel) => sel.iter().for_each(&mut probe_row),
+            None => (0..probe.physical_rows()).for_each(&mut probe_row),
         }
-        let probe_part = probe.take(&probe_idx)?;
+        let probe_part = probe.unselected().take(&probe_idx)?;
         let build_part = fin.rows.take(&build_idx)?;
         let mut columns = probe_part.columns().to_vec();
         columns.extend(build_part.columns().iter().cloned());
@@ -409,7 +452,11 @@ impl AggregateState {
         })
     }
 
-    /// Folds one morsel into the state.
+    /// Folds one morsel into the state. Deferred filters cost one
+    /// O(selected) gather per *referenced* column (selection-aware
+    /// [`PlanExpr::eval`]), never a physical-width copy, and unreferenced
+    /// columns are never touched; accumulation is then dense over the
+    /// logical rows.
     pub fn update(&mut self, batch: &RecordBatch) -> Result<()> {
         if batch.is_empty() {
             return Ok(());
@@ -479,17 +526,45 @@ impl AggregateState {
             .take()
             .unwrap_or_else(|| KeyEncoder::for_columns(&[], MissPolicy::Spill));
         let g = self.group_exprs.len();
+        // Group columns keyed through a dictionary re-emit dict-encoded
+        // output sharing the input dictionary, so downstream sorts and
+        // joins stay on the integer id fast path. Only group strings that
+        // spilled past the dictionary (unseen in the first morsel) force a
+        // one-time copy-on-write intern.
         let mut columns: Vec<ColumnData> = self
             .out_schema
             .fields()
             .iter()
-            .map(|f| ColumnData::with_capacity(f.data_type, self.order.len()))
+            .enumerate()
+            .map(|(i, f)| {
+                // Guard: the encoder is arity-0 when no morsel ever arrived.
+                let dict = (i < g && i < encoder.arity())
+                    .then(|| encoder.dict_mode(i))
+                    .flatten();
+                match dict {
+                    Some(dict) => ColumnData::Dict {
+                        ids: Vec::with_capacity(self.order.len()),
+                        dict: dict.clone(),
+                    },
+                    None => ColumnData::with_capacity(f.data_type, self.order.len()),
+                }
+            })
             .collect();
         for key in &self.order {
             let accs = &self.groups[key];
-            let kvals = encoder.key_values(key);
-            for (i, v) in kvals.into_iter().enumerate() {
-                columns[i].push(v)?;
+            for (i, col) in columns.iter_mut().take(g).enumerate() {
+                match encoder.dict_entry(key, i) {
+                    Some(entry) => {
+                        let ColumnData::Dict { ids, dict } = col else {
+                            unreachable!("dict-mode group column built as dict");
+                        };
+                        match entry {
+                            DictKeyEntry::Id(id) => ids.push(id),
+                            DictKeyEntry::Spilled(s) => ids.push(Arc::make_mut(dict).intern(s)),
+                        }
+                    }
+                    None => col.push(encoder.key_value_at(key, i))?,
+                }
             }
             for (j, acc) in accs.iter().enumerate() {
                 let out_t = self.out_schema.field(g + j).data_type;
@@ -800,6 +875,161 @@ mod tests {
             .unwrap();
         let result = st.finalize().unwrap();
         assert_eq!(result.row(0)[0], Value::Int(3));
+    }
+
+    #[test]
+    fn pure_column_project_keeps_selection_and_shares_columns() {
+        let b = batch(vec![1, 2, 3, 4], vec![10.0, 20.0, 30.0, 40.0]);
+        let map = ColMap::from_slots(&[0, 1]);
+        let pred = PlanExpr::bin(
+            ci_plan::expr::BinOp::Gt,
+            PlanExpr::Col(0),
+            PlanExpr::Lit(Value::Int(1)),
+        );
+        let f = apply_filter(&b, &pred, &map).unwrap();
+        assert!(f.selection().is_some(), "filter defers materialization");
+        let out_schema = Arc::new(Schema::of(vec![Field::new("v", DataType::Float64)]));
+        let exprs = vec![(PlanExpr::Col(1), "v".to_owned())];
+        let p = apply_project(&f, &exprs, &map, out_schema.clone()).unwrap();
+        // Zero copy: the projected column is the input's Arc, the deferred
+        // filter rides along.
+        assert!(Arc::ptr_eq(p.column_arc(0), b.column_arc(1)));
+        assert_eq!(p.rows(), 3);
+        assert_eq!(p.row(0), vec![Value::Float(20.0)]);
+        // Computed projections still materialize dense output.
+        let exprs = vec![(
+            PlanExpr::bin(
+                ci_plan::expr::BinOp::Mul,
+                PlanExpr::Col(1),
+                PlanExpr::Lit(Value::Float(2.0)),
+            ),
+            "v".to_owned(),
+        )];
+        let c = apply_project(&f, &exprs, &map, out_schema).unwrap();
+        assert!(c.selection().is_none());
+        assert_eq!(c.column(0), &ColumnData::Float64(vec![40.0, 60.0, 80.0]));
+    }
+
+    #[test]
+    fn probe_reads_selected_probe_batches_in_place() {
+        let build = batch(vec![1, 2, 5], vec![10.0, 20.0, 50.0]);
+        let probe = batch(vec![2, 1, 7, 5], vec![0.2, 0.1, 0.7, 0.5]);
+        let mut ht = JoinHashTable::new(build.schema().clone(), vec![0]);
+        ht.insert_batch(build).unwrap();
+        ht.finalize().unwrap();
+        let out_schema = Arc::new(Schema::of(vec![
+            Field::new("p0", DataType::Int64),
+            Field::new("p1", DataType::Float64),
+            Field::new("b0", DataType::Int64),
+            Field::new("b1", DataType::Float64),
+        ]));
+        let selected = probe.filter(&[true, false, true, true]).unwrap();
+        assert!(selected.selection().is_some());
+        let lazy = ht.probe(&selected, &[0], out_schema.clone()).unwrap();
+        let eager = ht.probe(&selected.compacted(), &[0], out_schema).unwrap();
+        assert_eq!(lazy, eager, "selected and dense probes must agree");
+        assert_eq!(lazy.rows(), 2);
+    }
+
+    #[test]
+    fn aggregate_update_over_selected_batches_matches_dense() {
+        let out = Arc::new(Schema::of(vec![
+            Field::new("g", DataType::Int64),
+            Field::new("sum", DataType::Float64),
+        ]));
+        let mk = || {
+            agg_state(
+                vec![PlanExpr::Col(0)],
+                vec![AggExpr {
+                    func: AggFunc::Sum,
+                    arg: Some(PlanExpr::Col(1)),
+                    distinct: false,
+                }],
+                out.clone(),
+            )
+        };
+        let input = batch(vec![1, 2, 1, 2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let keep = [true, false, true, true, false];
+        let selected = input.filter(&keep).unwrap();
+        assert!(selected.selection().is_some());
+        let mut lazy = mk();
+        lazy.update(&selected).unwrap();
+        let mut eager = mk();
+        eager.update(&selected.compacted()).unwrap();
+        assert_eq!(
+            lazy.finalize().unwrap(),
+            eager.finalize().unwrap(),
+            "selected and dense aggregation must agree (values and order)"
+        );
+    }
+
+    #[test]
+    fn aggregate_emits_dict_group_column_reusing_input_dictionary() {
+        let schema = Arc::new(Schema::of(vec![
+            Field::new("s0", DataType::Utf8),
+            Field::new("s1", DataType::Int64),
+        ]));
+        let grp = ColumnData::Utf8(vec!["b".into(), "a".into(), "b".into()]).dict_encoded();
+        let in_dict = grp.as_dict().unwrap().1.clone();
+        let input = RecordBatch::new(schema, vec![grp, ColumnData::Int64(vec![1, 2, 3])]).unwrap();
+        let out = Arc::new(Schema::of(vec![
+            Field::new("g", DataType::Utf8),
+            Field::new("cnt", DataType::Int64),
+        ]));
+        let types = |s: usize| -> Result<DataType> {
+            Ok(if s == 0 {
+                DataType::Utf8
+            } else {
+                DataType::Int64
+            })
+        };
+        let mk = || {
+            AggregateState::new(
+                vec![PlanExpr::Col(0)],
+                vec![AggExpr {
+                    func: AggFunc::Count,
+                    arg: None,
+                    distinct: false,
+                }],
+                ColMap::from_slots(&[0, 1]),
+                &types,
+                out.clone(),
+            )
+            .unwrap()
+        };
+        let mut st = mk();
+        st.update(&input).unwrap();
+        let result = st.finalize().unwrap();
+        let (ids, out_dict) = result.column(0).as_dict().expect("dict group output");
+        assert_eq!(ids, &[0, 1], "group ids in first-appearance order");
+        assert!(
+            Arc::ptr_eq(out_dict, &in_dict),
+            "output reuses the input dictionary"
+        );
+        assert_eq!(result.row(0), vec![Value::from("b"), Value::Int(2)]);
+
+        // A later morsel with a string outside the dictionary spills: the
+        // output re-interns copy-on-write but stays dict-encoded and correct.
+        let schema2 = Arc::new(Schema::of(vec![
+            Field::new("s0", DataType::Utf8),
+            Field::new("s1", DataType::Int64),
+        ]));
+        let late = RecordBatch::new(
+            schema2,
+            vec![
+                ColumnData::Utf8(vec!["q".into()]),
+                ColumnData::Int64(vec![9]),
+            ],
+        )
+        .unwrap();
+        let mut st = mk();
+        st.update(&input).unwrap();
+        st.update(&late).unwrap();
+        let result = st.finalize().unwrap();
+        let (ids, out_dict) = result.column(0).as_dict().expect("still dict-encoded");
+        assert_eq!(ids.len(), 3);
+        assert!(!Arc::ptr_eq(out_dict, &in_dict), "spill forced a CoW clone");
+        assert_eq!(result.row(2)[0], Value::from("q"));
     }
 
     #[test]

@@ -166,11 +166,21 @@ impl PlanExpr {
         }
     }
 
-    /// Evaluates over a batch, returning one column of `batch.rows()` values.
+    /// Evaluates over a batch, returning one column of `batch.rows()`
+    /// *logical* values: when the batch carries a selection (a deferred
+    /// filter), column references gather the selected rows and the dict
+    /// fast path reads ids through the selection in place, so downstream
+    /// operators never see unselected rows.
     pub fn eval(&self, batch: &RecordBatch, map: &ColMap) -> Result<ColumnData> {
         let n = batch.rows();
         match self {
-            PlanExpr::Col(s) => Ok(batch.column(map.position(*s)?).clone()),
+            PlanExpr::Col(s) => {
+                let col = batch.column(map.position(*s)?);
+                Ok(match batch.selection() {
+                    None => col.clone(),
+                    Some(sel) => col.gather(sel),
+                })
+            }
             PlanExpr::Lit(v) => Ok(broadcast(v, n)),
             PlanExpr::Not(e) => {
                 let inner = e.eval(batch, map)?;
@@ -252,9 +262,13 @@ fn dict_literal_compare(
             keep(ord)
         })
         .collect();
-    Ok(Some(ColumnData::Bool(
-        ids.iter().map(|&id| verdicts[id as usize]).collect(),
-    )))
+    let mask: Vec<bool> = match batch.selection() {
+        None => ids.iter().map(|&id| verdicts[id as usize]).collect(),
+        // Deferred filter upstream: the mask covers the logical rows only,
+        // read straight through the selection (no id gather).
+        Some(sel) => sel.iter().map(|i| verdicts[ids[i] as usize]).collect(),
+    };
+    Ok(Some(ColumnData::Bool(mask)))
 }
 
 fn broadcast(v: &Value, n: usize) -> ColumnData {
@@ -640,6 +654,36 @@ mod tests {
         assert_eq!(
             lt.eval_mask(&b, &m).unwrap(),
             vec![false, false, true, false]
+        );
+    }
+
+    #[test]
+    fn eval_reads_through_selection() {
+        let (b, m) = batch();
+        let f = b.filter(&[true, false, true, true]).unwrap();
+        assert!(f.selection().is_some(), "filter defers materialization");
+        assert_eq!(
+            PlanExpr::Col(10).eval(&f, &m).unwrap(),
+            ColumnData::Int64(vec![1, 3, 4])
+        );
+        let gt = PlanExpr::bin(BinOp::Gt, PlanExpr::Col(10), PlanExpr::Lit(Value::Int(2)));
+        assert_eq!(gt.eval_mask(&f, &m).unwrap(), vec![false, true, true]);
+        // Masks over the selected view match the compacted equivalent.
+        assert_eq!(
+            gt.eval_mask(&f, &m).unwrap(),
+            gt.eval_mask(&f.compacted(), &m).unwrap()
+        );
+    }
+
+    #[test]
+    fn dict_literal_compare_reads_through_selection() {
+        let (b, m) = dict_batch();
+        let f = b.filter(&[false, true, true, true]).unwrap();
+        let eq = PlanExpr::bin(BinOp::Eq, PlanExpr::Col(0), PlanExpr::Lit(Value::from("x")));
+        assert_eq!(eq.eval_mask(&f, &m).unwrap(), vec![false, true, false]);
+        assert_eq!(
+            eq.eval_mask(&f, &m).unwrap(),
+            eq.eval_mask(&f.compacted(), &m).unwrap()
         );
     }
 

@@ -14,6 +14,7 @@ use std::sync::Arc;
 use ci_types::{CiError, Result};
 
 use crate::dict::Dictionary;
+use crate::selection::SelectionVector;
 use crate::value::{DataType, Value};
 
 /// A contiguous, non-nullable, typed column of values.
@@ -251,6 +252,39 @@ impl ColumnData {
                 dict: dict.clone(),
             },
         })
+    }
+
+    /// Materializes the rows a selection names, in order. Panic-free by the
+    /// selection invariants (`sel.total() == self.len()`, indices in
+    /// bounds); dict columns keep their dictionary and move only ids.
+    pub fn gather(&self, sel: &SelectionVector) -> ColumnData {
+        debug_assert_eq!(sel.total(), self.len());
+        fn pick<T: Clone>(v: &[T], sel: &SelectionVector) -> Vec<T> {
+            sel.iter().map(|i| v[i].clone()).collect()
+        }
+        match self {
+            ColumnData::Int64(v) => ColumnData::Int64(pick(v, sel)),
+            ColumnData::Float64(v) => ColumnData::Float64(pick(v, sel)),
+            ColumnData::Utf8(v) => ColumnData::Utf8(pick(v, sel)),
+            ColumnData::Bool(v) => ColumnData::Bool(pick(v, sel)),
+            ColumnData::Dict { ids, dict } => ColumnData::Dict {
+                ids: pick(ids, sel),
+                dict: dict.clone(),
+            },
+        }
+    }
+
+    /// [`ColumnData::byte_size`] restricted to the rows a selection names,
+    /// so byte accounting over a selected batch matches what the eagerly
+    /// materialized batch would report.
+    pub fn byte_size_selected(&self, sel: &SelectionVector) -> usize {
+        debug_assert_eq!(sel.total(), self.len());
+        match self {
+            ColumnData::Int64(_) | ColumnData::Float64(_) => sel.len() * 8,
+            ColumnData::Bool(_) => sel.len(),
+            ColumnData::Utf8(v) => sel.iter().map(|i| v[i].len() + 4).sum(),
+            ColumnData::Dict { ids, dict } => sel.iter().map(|i| dict.value_bytes(ids[i])).sum(),
+        }
     }
 
     /// Slice of the selected range: copies fixed-width payloads (a memcpy);
@@ -648,6 +682,25 @@ mod tests {
         let (ids, dict) = c.as_dict().unwrap();
         assert_eq!(ids, &[0, 1, 0]);
         assert_eq!(dict.len(), 2);
+    }
+
+    #[test]
+    fn gather_and_selected_bytes_match_eager_filter() {
+        let keep = [true, false, true, false];
+        let sel = SelectionVector::from_mask(&keep);
+        let ints = ColumnData::Int64(vec![1, 2, 3, 4]);
+        assert_eq!(ints.gather(&sel), ints.filter(&keep));
+        assert_eq!(
+            ints.byte_size_selected(&sel),
+            ints.filter(&keep).byte_size()
+        );
+        let d = dict_col(&["ab", "c", "ab", ""]);
+        assert_eq!(d.gather(&sel), d.filter(&keep));
+        assert_eq!(d.byte_size_selected(&sel), d.filter(&keep).byte_size());
+        assert!(Arc::ptr_eq(
+            d.gather(&sel).as_dict().unwrap().1,
+            d.as_dict().unwrap().1
+        ));
     }
 
     #[test]

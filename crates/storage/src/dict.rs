@@ -11,18 +11,25 @@
 //! which the catalog statistics and the cost estimator read directly.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// An immutable-by-convention interning table for one string column.
 ///
 /// Entry order is first-appearance order over the column scanned top to
 /// bottom, so two identical tables always produce bit-identical dictionaries
 /// (a workspace determinism requirement).
+///
+/// Each distinct string is allocated **once**: the id-ordered entry list and
+/// the reverse index share one `Arc<str>` per entry, so the dictionary's
+/// heap footprint is a single copy of its distinct values (plus refcounts),
+/// and cloning for an `Arc::make_mut` merge bumps refcounts instead of
+/// duplicating string payloads.
 #[derive(Debug, Clone, Default)]
 pub struct Dictionary {
-    /// Distinct values, indexed by id.
-    values: Vec<String>,
-    /// Reverse index: value → id.
-    index: HashMap<String, u32>,
+    /// Distinct values, indexed by id (allocation shared with `index`).
+    values: Vec<Arc<str>>,
+    /// Reverse index: value → id (allocation shared with `values`).
+    index: HashMap<Arc<str>, u32>,
 }
 
 impl Dictionary {
@@ -39,14 +46,16 @@ impl Dictionary {
         (dict, ids)
     }
 
-    /// Returns the id of `s`, interning it if new.
+    /// Returns the id of `s`, interning it if new (one shared allocation
+    /// for both the entry list and the reverse index).
     pub fn intern(&mut self, s: &str) -> u32 {
         if let Some(&id) = self.index.get(s) {
             return id;
         }
         let id = u32::try_from(self.values.len()).expect("dictionary overflow");
-        self.values.push(s.to_owned());
-        self.index.insert(s.to_owned(), id);
+        let entry: Arc<str> = Arc::from(s);
+        self.values.push(entry.clone());
+        self.index.insert(entry, id);
         id
     }
 
@@ -72,7 +81,7 @@ impl Dictionary {
     }
 
     /// All entries in id order.
-    pub fn values(&self) -> &[String] {
+    pub fn values(&self) -> &[Arc<str>] {
         &self.values
     }
 
@@ -112,11 +121,22 @@ mod tests {
     fn encode_interns_in_first_appearance_order() {
         let (dict, ids) = Dictionary::encode(["b", "a", "b", "c", "a"].into_iter());
         assert_eq!(dict.len(), 3);
-        assert_eq!(dict.values(), &["b", "a", "c"]);
+        let entries: Vec<&str> = dict.values().iter().map(|s| s.as_ref()).collect();
+        assert_eq!(entries, ["b", "a", "c"]);
         assert_eq!(ids, vec![0, 1, 0, 2, 1]);
         assert_eq!(dict.get(2), "c");
         assert_eq!(dict.id_of("a"), Some(1));
         assert_eq!(dict.id_of("zzz"), None);
+    }
+
+    #[test]
+    fn entries_share_one_allocation_with_the_reverse_index() {
+        let (dict, _) = Dictionary::encode(["x", "y"].into_iter());
+        for entry in dict.values() {
+            // The entry list and the reverse-index key both point at the
+            // same allocation: 2 strong refs, not 2 string copies.
+            assert_eq!(Arc::strong_count(entry), 2, "entry {entry} duplicated");
+        }
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! as Parquet and ORC". This crate implements the equivalent:
 //!
 //! * typed [`column::ColumnData`] vectors and [`batch::RecordBatch`]es with
-//!   `Arc`-shared columns and per-table [`dict::Dictionary`] string interning
+//!   `Arc`-shared columns, per-table [`dict::Dictionary`] string interning,
+//!   and late-materializing filters via [`selection::SelectionVector`]
 //!   (the zero-copy data path),
 //! * [`partition::MicroPartition`]s — the unit of object-store I/O — carrying
 //!   zone maps (per-column min/max) and size metadata,
@@ -23,6 +24,7 @@ pub mod dict;
 pub mod partition;
 pub mod pruning;
 pub mod schema;
+pub mod selection;
 pub mod table;
 pub mod value;
 
@@ -32,5 +34,6 @@ pub use dict::Dictionary;
 pub use partition::MicroPartition;
 pub use pruning::ColumnBound;
 pub use schema::{Field, Schema};
+pub use selection::SelectionVector;
 pub use table::{Table, TableBuilder};
 pub use value::{DataType, Value};

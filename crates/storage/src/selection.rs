@@ -1,0 +1,220 @@
+//! Selection vectors: deferred row filtering.
+//!
+//! A [`SelectionVector`] names the surviving rows of a batch without moving
+//! any column data. It has a dual interface — a **bool mask** over physical
+//! rows (the form predicates produce) and **sorted physical indices** (the
+//! form gathers consume) — with the index form as the canonical storage:
+//! composition, iteration, and random access are all O(selected), and a mask
+//! view can be rebuilt on demand with [`SelectionVector::to_mask`].
+//!
+//! Batches carry a selection through filter → project chains so each
+//! operator composes masks instead of copying columns; materialization
+//! happens once, at the pipeline sink (see [`crate::batch::RecordBatch`]).
+
+use ci_types::{CiError, Result};
+
+/// Sorted physical row indices selected from a batch of `total` rows.
+///
+/// Invariants (enforced by construction): indices are strictly increasing
+/// and every index is `< total`. Selections therefore preserve row order —
+/// a batch read through its selection yields the exact subsequence the
+/// eager filter would have materialized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionVector {
+    /// Selected physical rows, strictly increasing.
+    indices: Vec<u32>,
+    /// Physical row count of the underlying batch.
+    total: usize,
+}
+
+impl SelectionVector {
+    /// Selection of every row where `mask` is true (the bool-mask
+    /// constructor; `mask.len()` is the physical row count).
+    pub fn from_mask(mask: &[bool]) -> SelectionVector {
+        let indices = mask
+            .iter()
+            .enumerate()
+            .filter(|&(_, &k)| k)
+            .map(|(i, _)| i as u32)
+            .collect();
+        SelectionVector {
+            indices,
+            total: mask.len(),
+        }
+    }
+
+    /// Selection from explicit physical indices; errors unless they are
+    /// strictly increasing and in bounds (the invariants every consumer
+    /// relies on for panic-free gathers).
+    pub fn from_indices(indices: Vec<u32>, total: usize) -> Result<SelectionVector> {
+        for pair in indices.windows(2) {
+            if pair[0] >= pair[1] {
+                return Err(CiError::Exec(format!(
+                    "selection indices must be strictly increasing, got {} then {}",
+                    pair[0], pair[1]
+                )));
+            }
+        }
+        if let Some(&last) = indices.last() {
+            if last as usize >= total {
+                return Err(CiError::Exec(format!(
+                    "selection index {last} out of bounds for {total} rows"
+                )));
+            }
+        }
+        Ok(SelectionVector { indices, total })
+    }
+
+    /// Number of selected rows.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// `true` when no rows are selected.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Physical row count of the underlying batch.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// `true` when every physical row is selected.
+    pub fn is_full(&self) -> bool {
+        self.indices.len() == self.total
+    }
+
+    /// Selected fraction in `[0, 1]` (an empty batch counts as dense).
+    pub fn density(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.indices.len() as f64 / self.total as f64
+        }
+    }
+
+    /// Physical row of logical row `i`. Panics if `i >= len()`.
+    pub fn physical(&self, i: usize) -> usize {
+        self.indices[i] as usize
+    }
+
+    /// The selected physical rows, in order.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Iterates the selected physical rows in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.indices.iter().map(|&i| i as usize)
+    }
+
+    /// The bool-mask view over physical rows.
+    pub fn to_mask(&self) -> Vec<bool> {
+        let mut mask = vec![false; self.total];
+        for &i in &self.indices {
+            mask[i as usize] = true;
+        }
+        mask
+    }
+
+    /// Composes a further filter: `keep[j]` is the verdict for the `j`-th
+    /// *selected* row. O(selected) — this is what makes a filter over an
+    /// already-selected batch free of column copies.
+    pub fn refine(&self, keep: &[bool]) -> Result<SelectionVector> {
+        if keep.len() != self.indices.len() {
+            return Err(CiError::Exec(format!(
+                "selection refine mask has {} entries for {} selected rows",
+                keep.len(),
+                self.indices.len()
+            )));
+        }
+        let indices = self
+            .indices
+            .iter()
+            .zip(keep)
+            .filter(|&(_, &k)| k)
+            .map(|(&i, _)| i)
+            .collect();
+        Ok(SelectionVector {
+            indices,
+            total: self.total,
+        })
+    }
+
+    /// Sub-range `[offset, offset + len)` of the *selected* rows (logical
+    /// slicing, e.g. morsel splitting); shares no column data. Panics if
+    /// `offset + len > self.len()` — callers validate against the logical
+    /// row count first (as [`crate::batch::RecordBatch::slice`] does).
+    pub fn slice(&self, offset: usize, len: usize) -> SelectionVector {
+        assert!(
+            offset + len <= self.indices.len(),
+            "selection slice [{offset}, {}) out of bounds for {} selected rows",
+            offset + len,
+            self.indices.len()
+        );
+        SelectionVector {
+            indices: self.indices[offset..offset + len].to_vec(),
+            total: self.total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_round_trips_through_indices() {
+        let mask = vec![true, false, false, true, true];
+        let sel = SelectionVector::from_mask(&mask);
+        assert_eq!(sel.len(), 3);
+        assert_eq!(sel.total(), 5);
+        assert_eq!(sel.indices(), &[0, 3, 4]);
+        assert_eq!(sel.to_mask(), mask);
+        assert_eq!(sel.iter().collect::<Vec<_>>(), vec![0, 3, 4]);
+        assert_eq!(sel.physical(1), 3);
+    }
+
+    #[test]
+    fn from_indices_validates() {
+        assert!(SelectionVector::from_indices(vec![0, 2, 4], 5).is_ok());
+        let unsorted = SelectionVector::from_indices(vec![2, 1], 5);
+        assert!(unsorted.is_err());
+        let dup = SelectionVector::from_indices(vec![1, 1], 5);
+        assert!(dup.is_err());
+        let oob = SelectionVector::from_indices(vec![1, 5], 5);
+        assert!(oob.is_err());
+    }
+
+    #[test]
+    fn refine_composes_over_selected_rows() {
+        let sel = SelectionVector::from_mask(&[true, false, true, true, false]);
+        // Verdicts for physical rows 0, 2, 3.
+        let refined = sel.refine(&[false, true, true]).unwrap();
+        assert_eq!(refined.indices(), &[2, 3]);
+        assert_eq!(refined.total(), 5);
+        assert!(sel.refine(&[true]).is_err(), "mask length checked");
+    }
+
+    #[test]
+    fn density_full_and_empty() {
+        let full = SelectionVector::from_mask(&[true, true]);
+        assert!(full.is_full());
+        assert_eq!(full.density(), 1.0);
+        let none = SelectionVector::from_mask(&[false, false]);
+        assert!(none.is_empty());
+        assert_eq!(none.density(), 0.0);
+        let empty_batch = SelectionVector::from_mask(&[]);
+        assert_eq!(empty_batch.density(), 1.0, "empty batches count as dense");
+        assert!(empty_batch.is_full());
+    }
+
+    #[test]
+    fn slice_is_logical() {
+        let sel = SelectionVector::from_mask(&[true, false, true, true, true]);
+        let s = sel.slice(1, 2);
+        assert_eq!(s.indices(), &[2, 3]);
+        assert_eq!(s.total(), 5);
+    }
+}
