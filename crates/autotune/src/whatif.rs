@@ -160,7 +160,10 @@ impl<'a> WhatIfService<'a> {
         let tree = JoinTree::left_deep(&(0..bound.relations.len()).collect::<Vec<_>>());
         let plan = build_plan(&bound, &tree, self.catalog, &mut ErrorInjector::oracle())?;
         let mv_rows = plan.nodes[plan.root].est_rows;
+        // Decoded size drives CPU terms; the encoded size is what the object
+        // store actually holds and bills at rest.
         let mv_bytes = mv_rows * plan.row_width(plan.root);
+        let mv_encoded_bytes = mv_rows * plan.encoded_row_width(plan.root);
         let (build_cost, _) = self.query_cost(self.catalog, definition_sql)?;
 
         // Queries answered by the MV: same fingerprint as the definition.
@@ -169,11 +172,11 @@ impl<'a> WhatIfService<'a> {
         let mut matched = 0usize;
         // Serving cost: scan the MV instead of recomputing.
         let scan_work = PipelineWork {
-            fetch_bytes: mv_bytes,
-            fetch_objects: (mv_bytes / 16e6).ceil().max(1.0),
+            fetch_bytes: mv_encoded_bytes,
+            fetch_objects: (mv_encoded_bytes / 16e6).ceil().max(1.0),
             decode_bytes: mv_bytes,
             filter_rows: mv_rows,
-            morsels: (mv_bytes / 16e6).ceil().max(1.0),
+            morsels: (mv_encoded_bytes / 16e6).ceil().max(1.0),
             source_rows: mv_rows,
             ..PipelineWork::default()
         };
@@ -196,7 +199,8 @@ impl<'a> WhatIfService<'a> {
             benefit += saved * q.rate_per_hour;
         }
 
-        let storage_rate = Dollars::new(mv_bytes / 1e9 * self.config.storage_dollars_per_gb_hour);
+        let storage_rate =
+            Dollars::new(mv_encoded_bytes / 1e9 * self.config.storage_dollars_per_gb_hour);
         let refresh_rate = build_cost * self.config.mv_refresh_factor * refresh_per_hour;
         let cost_rate = storage_rate + refresh_rate;
         self.finish_report(action, benefit, cost_rate, build_cost, matched)
@@ -239,8 +243,9 @@ impl<'a> WhatIfService<'a> {
             }
         }
 
-        // One-time rewrite: read + write the whole table once.
-        let bytes = entry.table.total_bytes() as f64;
+        // One-time rewrite: read + write the whole table once (object I/O
+        // moves encoded bytes).
+        let bytes = entry.table.total_encoded_bytes() as f64;
         let m = &self.config.estimator.models;
         let rewrite_secs = 2.0 * bytes / m.hw.node_scan_bytes_per_sec()
             + bytes * (entry.table.row_count().max(1) as f64).log2().max(1.0)

@@ -8,8 +8,9 @@
 //! * `stats_service/*` — §4 requires log ingestion to be cheap;
 //! * `storage/*` — zone-map pruning speed;
 //! * `hot_path/*` — the string data-path kernels (filter, string-key
-//!   hash-join, string-key group-by) over both encodings; the dict variants
-//!   are the zero-copy path, the naive ones its pre-refactor baseline. The
+//!   hash-join, string-key group-by, page encode/decode, exchange wire
+//!   serialization) over both encodings; the dict variants are the
+//!   zero-copy path, the naive ones its pre-refactor baseline. The
 //!   `filter_chain/{eager,lazy}` pair measures selection-vector late
 //!   materialization against per-operator compaction.
 
@@ -17,7 +18,8 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use ci_autotune::{QueryLogRecord, StatisticsService, StatsConfig};
 use ci_bench::hotpath::{
-    run_filter, run_filter_chain, run_group_by, run_join, string_batch, wide_batch,
+    run_exchange_wire, run_filter, run_filter_chain, run_group_by, run_join, run_page_encode,
+    string_batch, wide_batch,
 };
 use ci_bench::plan_query;
 use ci_cost::{CostEstimator, EstimatorConfig};
@@ -158,6 +160,14 @@ fn bench_hot_path(c: &mut Criterion) {
         });
         g.bench_function(&format!("group_by_string_key/{enc}"), |b| {
             b.iter(|| run_group_by(&batch, 8_192).expect("group by"))
+        });
+        // Encoded pages: storage write path (codec pick + round-trip) and
+        // the exchange wire serializer (shared-dictionary dedup for dict).
+        g.bench_function(&format!("page_encode/{enc}"), |b| {
+            b.iter(|| run_page_encode(&batch).expect("page encode"))
+        });
+        g.bench_function(&format!("exchange_wire/{enc}"), |b| {
+            b.iter(|| run_exchange_wire(&batch, 8_192).expect("exchange wire"))
         });
     }
     // Late materialization: the same dict batch through a filter→project

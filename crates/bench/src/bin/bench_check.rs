@@ -1,7 +1,9 @@
 //! CI gate over `BENCH_micro.json`: validates the report schema and fails
-//! (non-zero exit) when any recorded kernel speedup drops below 1.0 — a
-//! perf regression on the dictionary or selection-vector paths breaks the
-//! build instead of slipping into the artifact.
+//! (non-zero exit) when any recorded kernel speedup drops below 1.0, when
+//! the dict-exchange wire payload stops beating the plain payload, or when
+//! it is no longer >= 2x smaller than the decoded bytes — a regression on
+//! the dictionary, selection-vector, or wire-format paths breaks the build
+//! instead of slipping into the artifact.
 //!
 //! Usage: `cargo run --release -p ci-bench --bin bench_check [path]`
 //! (default path `BENCH_micro.json`, or `$BENCH_MICRO_OUT`).
@@ -28,7 +30,7 @@ fn main() -> Result<()> {
         )));
     }
     println!(
-        "{path}: ok — {} benches over {} rows, speedups {}",
+        "{path}: ok — {} benches over {} rows, speedups {}; exchange wire {} B vs plain {} B vs decoded {} B",
         report.benches.len(),
         report.rows,
         report
@@ -36,7 +38,10 @@ fn main() -> Result<()> {
             .iter()
             .map(|b| format!("{} {:.2}x", b.name, b.speedup))
             .collect::<Vec<_>>()
-            .join(", ")
+            .join(", "),
+        report.exchange_wire_bytes,
+        report.exchange_plain_bytes,
+        report.exchange_decoded_bytes,
     );
     Ok(())
 }

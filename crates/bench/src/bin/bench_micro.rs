@@ -1,23 +1,30 @@
 //! Hot-path microbench runner: records `BENCH_micro.json`.
 //!
 //! Measures the string-heavy data-path kernels (filter, hash-join
-//! build/probe, group-by) over both string encodings, plus the
-//! `filter_chain` kernel over both materialization strategies, in one
-//! process. In every entry `baseline_naive_ns` is the pre-refactor
+//! build/probe, group-by) over both string encodings, the `filter_chain`
+//! kernel over both materialization strategies, and the encoded-page
+//! kernels (`page_encode` round-trips columns through their size-picked
+//! codecs, `exchange_wire` serializes morsels through the wire format), in
+//! one process. In every entry `baseline_naive_ns` is the pre-refactor
 //! behaviour (owned `Vec<String>` columns with per-row clones and boxed
-//! keys; per-operator compaction for `filter_chain`) and `dict_ns` the
-//! optimized path (dictionary encoding; deferred selection vectors). The
-//! JSON lands at the repo root (or `$BENCH_MICRO_OUT`) so successive PRs
-//! can track the perf trajectory; CI uploads it as an artifact and
-//! `bench_check` fails the build if any recorded speedup regresses
-//! below 1.0.
+//! keys; per-operator compaction for `filter_chain`; per-chunk dictionary
+//! rebuilds for the page kernels) and `dict_ns` the optimized path
+//! (dictionary encoding; deferred selection vectors; shared-dictionary wire
+//! streams). The report also records the exchange payload in three
+//! currencies (`exchange_wire_bytes` / `exchange_plain_bytes` /
+//! `exchange_decoded_bytes`). The JSON lands at the repo root (or
+//! `$BENCH_MICRO_OUT`) so successive PRs can track the perf trajectory; CI
+//! uploads it as an artifact and `bench_check` fails the build if any
+//! recorded speedup regresses below 1.0 or the dict-exchange payload stops
+//! beating the plain one.
 //!
 //! Usage: `cargo run --release -p ci-bench --bin bench_micro`
 
 use std::time::Instant;
 
 use ci_bench::hotpath::{
-    run_filter, run_filter_chain, run_group_by, run_join, string_batch, wide_batch,
+    exchange_wire_accounting, run_exchange_wire, run_filter, run_filter_chain, run_group_by,
+    run_join, run_page_encode, string_batch, wide_batch,
 };
 use ci_storage::RecordBatch;
 use ci_types::Result;
@@ -104,12 +111,23 @@ fn main() -> Result<()> {
         measure("hash_join_string_key", run_join)?,
         measure("group_by_string_key", |b, _| run_group_by(b, MORSEL))?,
         measure_filter_chain()?,
+        measure("page_encode", |b, _| run_page_encode(b))?,
+        measure("exchange_wire", |b, _| run_exchange_wire(b, MORSEL))?,
     ];
 
+    // Exchange payload accounting (not timed): what one dict-column stream
+    // puts on the wire vs the plain-page and decoded alternatives. CI gates
+    // on the wire payload beating plain and halving the decoded bytes.
+    let dict = string_batch(ROWS, CARDINALITY, 11, true);
+    let (wire_bytes, plain_bytes, decoded_bytes) = exchange_wire_accounting(&dict, MORSEL)?;
+
     let mut json = String::from("{\n");
-    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str("  \"schema_version\": 2,\n");
     json.push_str(&format!("  \"rows\": {ROWS},\n"));
     json.push_str(&format!("  \"cardinality\": {CARDINALITY},\n"));
+    json.push_str(&format!("  \"exchange_wire_bytes\": {wire_bytes},\n"));
+    json.push_str(&format!("  \"exchange_plain_bytes\": {plain_bytes},\n"));
+    json.push_str(&format!("  \"exchange_decoded_bytes\": {decoded_bytes},\n"));
     json.push_str("  \"benches\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         json.push_str(&format!(
@@ -140,6 +158,13 @@ fn main() -> Result<()> {
             m.speedup()
         );
     }
+    println!(
+        "exchange payload: wire {:.1} KB vs plain {:.1} KB vs decoded {:.1} KB ({:.2}x smaller than decoded)",
+        wire_bytes as f64 / 1e3,
+        plain_bytes as f64 / 1e3,
+        decoded_bytes as f64 / 1e3,
+        decoded_bytes as f64 / wire_bytes.max(1) as f64
+    );
     println!("wrote {out}");
     Ok(())
 }

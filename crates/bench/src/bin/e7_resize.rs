@@ -107,7 +107,7 @@ fn main() {
                 let entry = cat.get_by_id(*table_id).expect("table");
                 kept_parts
                     .iter()
-                    .map(|&i| entry.table.partitions[i].stored_bytes as f64)
+                    .map(|&i| entry.table.partitions[i].encoded_bytes as f64)
                     .sum()
             }
             _ => 0.0,

@@ -14,10 +14,11 @@ use ci_exec::operators::{AggregateState, JoinHashTable};
 use ci_plan::expr::{AggExpr, BinOp, ColMap, PlanExpr};
 use ci_sql::ast::AggFunc;
 use ci_storage::column::ColumnData;
+use ci_storage::pages::{self, PageCodec, WireEncoder};
 use ci_storage::schema::{Field, Schema, SchemaRef};
 use ci_storage::value::{DataType, Value};
 use ci_storage::RecordBatch;
-use ci_types::{DetRng, Result};
+use ci_types::{CiError, DetRng, Result};
 
 /// Schema of the fixture batches: a string key and an int payload.
 pub fn hot_schema() -> SchemaRef {
@@ -130,6 +131,69 @@ pub fn run_filter_chain(batch: &RecordBatch, eager: bool) -> Result<usize> {
     Ok(dense.rows() + (sum % 100_003) as usize)
 }
 
+/// Page encode/decode kernel: round-trips every column through its
+/// size-picked page codec. Dict-encoded inputs hit the id-remap fast path;
+/// owned `Vec<String>` inputs pay per-page dictionary interning — the
+/// pre-dictionary storage write path. The checksum mixes rows with encoded
+/// bytes, which are value-level and therefore identical across encodings.
+pub fn run_page_encode(batch: &RecordBatch) -> Result<usize> {
+    let mut encoded = 0u64;
+    let mut rows = 0usize;
+    for col in batch.columns() {
+        let (meta, bytes) = pages::encode_best(col)?;
+        let decoded = pages::decode_column(&bytes)?;
+        if decoded != **col {
+            return Err(CiError::Storage("page round-trip disagreed".into()));
+        }
+        encoded += meta.encoded_bytes;
+        rows += decoded.len();
+    }
+    Ok(rows + (encoded % 100_003) as usize)
+}
+
+/// Exchange serialization kernel: splits the batch into `morsel`-row chunks
+/// and serializes each through the wire format (shared dictionaries ship
+/// once, then bit-packed ids). Dict-encoded inputs are the wire fast path;
+/// owned-string inputs model the no-shared-dictionary stream that must
+/// rebuild and reship a dictionary per chunk. Returns the decoded bytes
+/// shipped — encoding-independent, so both paths' checksums agree.
+pub fn run_exchange_wire(batch: &RecordBatch, morsel: usize) -> Result<usize> {
+    let mut enc = WireEncoder::new();
+    let mut wire_bytes = 0usize;
+    let mut off = 0;
+    while off < batch.rows() {
+        let len = morsel.min(batch.rows() - off);
+        let chunk = batch.slice(off, len)?;
+        for col in chunk.columns() {
+            wire_bytes += enc.encode_column(col)?.len();
+        }
+        off += len;
+    }
+    std::hint::black_box(wire_bytes);
+    Ok(batch.byte_size())
+}
+
+/// Byte accounting of one exchanged stream, for the CI gate (not timed):
+/// `(wire, plain, decoded)` — wire-format bytes with one-time dictionaries,
+/// plain-page bytes (the pre-wire-format payload: decoded values per
+/// chunk), and the decoded logical bytes.
+pub fn exchange_wire_accounting(batch: &RecordBatch, morsel: usize) -> Result<(u64, u64, u64)> {
+    let mut enc = WireEncoder::new();
+    let mut wire = 0u64;
+    let mut plain = 0u64;
+    let mut off = 0;
+    while off < batch.rows() {
+        let len = morsel.min(batch.rows() - off);
+        let chunk = batch.slice(off, len)?;
+        for col in chunk.columns() {
+            wire += enc.column_wire_bytes(col);
+            plain += pages::encoded_size(col, PageCodec::Plain)?;
+        }
+        off += len;
+    }
+    Ok((wire, plain, batch.byte_size() as u64))
+}
+
 /// Group-by kernel on the string key: `COUNT(*), SUM(s1) GROUP BY s0`, fed
 /// in `morsel`-row chunks. Returns the group count.
 pub fn run_group_by(batch: &RecordBatch, morsel: usize) -> Result<usize> {
@@ -181,6 +245,14 @@ mod tests {
         let naive = string_batch(4_000, 40, 7, false);
         let dict = string_batch(4_000, 40, 7, true);
         assert_eq!(run_filter(&dict).unwrap(), run_filter(&naive).unwrap());
+        assert_eq!(
+            run_page_encode(&dict).unwrap(),
+            run_page_encode(&naive).unwrap()
+        );
+        assert_eq!(
+            run_exchange_wire(&dict, 512).unwrap(),
+            run_exchange_wire(&naive, 512).unwrap()
+        );
         // The filter chain agrees across encodings *and* across lazy/eager
         // materialization (checksums cover values, not just counts).
         let chain = wide_batch(4_000, 1_000, 7, true);
@@ -202,6 +274,17 @@ mod tests {
         assert_eq!(
             run_join(&dict, &probe_d).unwrap(),
             run_join(&naive, &probe_n).unwrap()
+        );
+    }
+
+    #[test]
+    fn dict_exchange_payload_beats_plain_and_decoded() {
+        let dict = string_batch(20_000, 500, 9, true);
+        let (wire, plain, decoded) = exchange_wire_accounting(&dict, 4_096).unwrap();
+        assert!(wire < plain, "wire {wire} must beat plain {plain}");
+        assert!(
+            wire * 2 <= decoded,
+            "dict-column wire bytes should be >= 2x smaller than decoded: {wire} vs {decoded}"
         );
     }
 }

@@ -28,12 +28,20 @@ pub struct BenchEntry {
 /// The parsed report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
-    /// Report format version; this reader understands version 1.
+    /// Report format version; this reader understands version 2.
     pub schema_version: u64,
     /// Fixture rows per batch.
     pub rows: u64,
     /// Distinct string keys in the fixtures.
     pub cardinality: u64,
+    /// Wire-format bytes of the dict-column exchange stream (bit-packed ids
+    /// plus a one-time dictionary).
+    pub exchange_wire_bytes: u64,
+    /// The same stream serialized as plain pages (decoded values per
+    /// chunk) — the pre-wire-format payload.
+    pub exchange_plain_bytes: u64,
+    /// Decoded logical bytes of the stream.
+    pub exchange_decoded_bytes: u64,
     /// The kernel measurements.
     pub benches: Vec<BenchEntry>,
 }
@@ -44,19 +52,24 @@ pub const REQUIRED_BENCHES: &[&str] = &[
     "hash_join_string_key",
     "group_by_string_key",
     "filter_chain",
+    "page_encode",
+    "exchange_wire",
 ];
 
 impl BenchReport {
     /// Parses a `BENCH_micro.json` document.
     pub fn parse(json: &str) -> Result<BenchReport> {
         let schema_version = int_field(json, "schema_version")?;
-        if schema_version != 1 {
+        if schema_version != 2 {
             return Err(CiError::Config(format!(
                 "unsupported BENCH_micro schema_version {schema_version}"
             )));
         }
         let rows = int_field(json, "rows")?;
         let cardinality = int_field(json, "cardinality")?;
+        let exchange_wire_bytes = int_field(json, "exchange_wire_bytes")?;
+        let exchange_plain_bytes = int_field(json, "exchange_plain_bytes")?;
+        let exchange_decoded_bytes = int_field(json, "exchange_decoded_bytes")?;
         let array = section(json, "benches")?;
         let benches = objects(array)
             .map(|obj| {
@@ -73,6 +86,9 @@ impl BenchReport {
             schema_version,
             rows,
             cardinality,
+            exchange_wire_bytes,
+            exchange_plain_bytes,
+            exchange_decoded_bytes,
             benches,
         })
     }
@@ -102,6 +118,22 @@ impl BenchReport {
                 out.push(format!(
                     "{}: speedup {:.2} < 1.0 — optimized path regressed below its baseline",
                     b.name, b.speedup
+                ));
+            }
+        }
+        if self.exchange_wire_bytes == 0 {
+            out.push("exchange_wire_bytes is zero — no payload recorded".into());
+        } else {
+            if self.exchange_wire_bytes >= self.exchange_plain_bytes {
+                out.push(format!(
+                    "dict-exchange payload ({} B) not smaller than the plain payload ({} B)",
+                    self.exchange_wire_bytes, self.exchange_plain_bytes
+                ));
+            }
+            if self.exchange_wire_bytes * 2 > self.exchange_decoded_bytes {
+                out.push(format!(
+                    "dict-exchange wire bytes ({} B) not >= 2x smaller than decoded ({} B)",
+                    self.exchange_wire_bytes, self.exchange_decoded_bytes
                 ));
             }
         }
@@ -177,13 +209,18 @@ mod tests {
     fn sample(speedup: &str) -> String {
         format!(
             r#"{{
-  "schema_version": 1,
+  "schema_version": 2,
   "rows": 1000,
   "cardinality": 10,
+  "exchange_wire_bytes": 400,
+  "exchange_plain_bytes": 1100,
+  "exchange_decoded_bytes": 1000,
   "benches": [
     {{"name": "filter_string_eq", "baseline_naive_ns": 200, "dict_ns": 100, "speedup": 2.00, "check": 5}},
     {{"name": "hash_join_string_key", "baseline_naive_ns": 300, "dict_ns": 100, "speedup": 3.00, "check": 6}},
     {{"name": "group_by_string_key", "baseline_naive_ns": 150, "dict_ns": 100, "speedup": 1.50, "check": 7}},
+    {{"name": "page_encode", "baseline_naive_ns": 180, "dict_ns": 100, "speedup": 1.80, "check": 9}},
+    {{"name": "exchange_wire", "baseline_naive_ns": 220, "dict_ns": 100, "speedup": 2.20, "check": 10}},
     {{"name": "filter_chain", "baseline_naive_ns": {base}, "dict_ns": 100, "speedup": {speedup}, "check": 8}}
   ]
 }}
@@ -195,14 +232,46 @@ mod tests {
     #[test]
     fn parses_the_writer_format() {
         let r = BenchReport::parse(&sample("2.50")).unwrap();
-        assert_eq!(r.schema_version, 1);
+        assert_eq!(r.schema_version, 2);
         assert_eq!(r.rows, 1000);
-        assert_eq!(r.benches.len(), 4);
-        assert_eq!(r.benches[3].name, "filter_chain");
-        assert_eq!(r.benches[3].baseline_naive_ns, 250);
-        assert!((r.benches[3].speedup - 2.5).abs() < 1e-9);
+        assert_eq!(r.benches.len(), 6);
+        assert_eq!(r.benches[5].name, "filter_chain");
+        assert_eq!(r.benches[5].baseline_naive_ns, 250);
+        assert!((r.benches[5].speedup - 2.5).abs() < 1e-9);
         assert_eq!(r.benches[0].check, 5);
+        assert_eq!(r.exchange_wire_bytes, 400);
+        assert_eq!(r.exchange_plain_bytes, 1100);
+        assert_eq!(r.exchange_decoded_bytes, 1000);
         assert!(r.violations().is_empty());
+    }
+
+    #[test]
+    fn exchange_payload_gates() {
+        // Wire >= plain: the dict exchange stopped beating plain pages.
+        let bloated = sample("2.00").replace(
+            "\"exchange_wire_bytes\": 400",
+            "\"exchange_wire_bytes\": 1200",
+        );
+        let v = BenchReport::parse(&bloated).unwrap().violations();
+        assert!(
+            v.iter().any(|m| m.contains("not smaller than the plain")),
+            "{v:?}"
+        );
+        // Wire over half of decoded: compression ratio gate.
+        let weak = sample("2.00").replace(
+            "\"exchange_wire_bytes\": 400",
+            "\"exchange_wire_bytes\": 600",
+        );
+        let v = BenchReport::parse(&weak).unwrap().violations();
+        assert!(
+            v.iter().any(|m| m.contains("2x smaller than decoded")),
+            "{v:?}"
+        );
+        // Zero payload means the writer recorded nothing.
+        let zero =
+            sample("2.00").replace("\"exchange_wire_bytes\": 400", "\"exchange_wire_bytes\": 0");
+        let v = BenchReport::parse(&zero).unwrap().violations();
+        assert!(v.iter().any(|m| m.contains("zero")), "{v:?}");
     }
 
     #[test]
@@ -235,7 +304,7 @@ mod tests {
     fn malformed_documents_error() {
         assert!(BenchReport::parse("{}").is_err());
         let wrong_version =
-            sample("2.00").replace("\"schema_version\": 1", "\"schema_version\": 9");
+            sample("2.00").replace("\"schema_version\": 2", "\"schema_version\": 9");
         assert!(BenchReport::parse(&wrong_version).is_err());
         let missing_field = sample("2.00").replace("\"dict_ns\"", "\"other\"");
         assert!(BenchReport::parse(&missing_field).is_err());

@@ -28,8 +28,13 @@ pub struct ColumnStats {
     pub max: Option<Value>,
     /// Equi-width histogram for numeric columns.
     pub histogram: Option<Histogram>,
-    /// Average encoded width in bytes.
+    /// Average decoded (logical) width in bytes — what a row of this column
+    /// occupies once decoded into operators.
     pub avg_width: f64,
+    /// Average *encoded* width in bytes per row under the size-picked page
+    /// codec, excluding dictionary sections (those ship once, not per row).
+    /// The wire width exchange and gather cost terms charge.
+    pub avg_encoded_width: f64,
     /// The table-wide dictionary, when the column is dict-encoded. The
     /// exact value domain: [`crate::CardinalityEstimator`] probes it to give
     /// string-equality predicates `1/ndv` selectivity on hits and a one-row
@@ -42,8 +47,10 @@ pub struct ColumnStats {
 pub struct TableStats {
     /// Total rows.
     pub row_count: u64,
-    /// Total stored bytes.
+    /// Total logical (decoded) bytes.
     pub total_bytes: u64,
+    /// Total encoded bytes — the billed object-store footprint.
+    pub total_encoded_bytes: u64,
     /// Number of micro-partitions.
     pub partition_count: usize,
     /// Per-column stats, in schema order.
@@ -65,6 +72,7 @@ impl TableStats {
         TableStats {
             row_count,
             total_bytes: table.total_bytes(),
+            total_encoded_bytes: table.total_encoded_bytes(),
             partition_count: table.partition_count(),
             columns,
         }
@@ -75,6 +83,15 @@ impl TableStats {
         let mut max: Option<Value> = None;
         let mut bytes = 0usize;
         let mut rows = 0usize;
+        // Encoded payload bytes from the partitions' page accounting,
+        // excluding inline dictionary sections (wire exchanges ship those
+        // once per column, not per row).
+        let encoded_payload: u64 = table
+            .partitions
+            .iter()
+            .filter_map(|p| p.pages.get(col_idx))
+            .map(|pg| pg.encoded_bytes - pg.dict_bytes)
+            .sum();
 
         // NDV: dict-encoded columns count referenced ids against the shared
         // dictionary (exact, no hashing); everything else hashes a canonical
@@ -161,6 +178,11 @@ impl TableStats {
                 0.0
             } else {
                 bytes as f64 / rows as f64
+            },
+            avg_encoded_width: if rows == 0 {
+                0.0
+            } else {
+                encoded_payload as f64 / rows as f64
             },
             dictionary: shared_dict,
         }
@@ -249,6 +271,23 @@ mod tests {
         assert!((s.columns[0].avg_width - 8.0).abs() < 1e-9);
         assert!(s.columns[1].avg_width > 0.0);
         assert!(s.avg_row_width() > 8.0);
+    }
+
+    #[test]
+    fn encoded_widths_reflect_compression() {
+        let s = TableStats::compute(&table().dict_encoded());
+        // grp has 5 distinct values: ids bit-pack to 3 bits, far under the
+        // decoded "g0"-string width of 6 bytes.
+        assert!(
+            s.columns[1].avg_encoded_width < s.columns[1].avg_width / 2.0,
+            "encoded {} vs decoded {}",
+            s.columns[1].avg_encoded_width,
+            s.columns[1].avg_width
+        );
+        assert!(s.columns[1].avg_encoded_width > 0.0);
+        // The table-level encoded footprint beats the logical one.
+        assert!(s.total_encoded_bytes > 0);
+        assert!(s.total_encoded_bytes < s.total_bytes);
     }
 
     #[test]

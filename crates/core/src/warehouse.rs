@@ -309,8 +309,9 @@ impl Warehouse {
                     .unwrap_or(8192);
                 let reclustered = entry.table.reclustered_by(col, rows_per_part)?;
                 // One-time bill: read + write the table once on background
-                // compute (same formula the what-if service charged).
-                let bytes = entry.table.total_bytes() as f64;
+                // compute (same formula the what-if service charged; object
+                // I/O moves encoded bytes).
+                let bytes = entry.table.total_encoded_bytes() as f64;
                 let m = &self.config.whatif.estimator.models;
                 let secs = 2.0 * bytes / m.hw.node_scan_bytes_per_sec();
                 let bill = self

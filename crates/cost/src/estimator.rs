@@ -38,19 +38,23 @@ impl Default for EstimatorConfig {
 /// quantity a database engineer can check by hand (§3.1 explainability).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PipelineWork {
-    /// Object-store bytes the source must fetch.
+    /// Object-store bytes the source must fetch — *encoded* page sizes, the
+    /// bytes a GET actually transfers.
     pub fetch_bytes: f64,
     /// Number of GET requests (micro-partitions).
     pub fetch_objects: f64,
-    /// Bytes decoded from columnar format.
+    /// Bytes decoded from columnar format — the *decoded* payload the CPU
+    /// produces (≥ `fetch_bytes` on compressible data).
     pub decode_bytes: f64,
     /// Rows through filters/projections (and scan-embedded filters).
     pub filter_rows: f64,
     /// Rows hashed for exchanges.
     pub exchange_rows: f64,
-    /// Bytes pushed through exchanges.
+    /// Bytes pushed through exchanges in the *wire format*: per-row encoded
+    /// widths from catalog page statistics plus one-time dictionary
+    /// transfers (dict columns ship bit-packed ids, not strings).
     pub exchange_bytes: f64,
-    /// Bytes gathered to a single node.
+    /// Wire-format bytes gathered to a single node.
     pub gather_bytes: f64,
     /// Rows probed into hash tables.
     pub probe_rows: f64,
@@ -125,16 +129,18 @@ impl<'a> CostEstimator<'a> {
                 ..
             } => {
                 let entry = self.catalog.get_by_id(*table_id)?;
-                let mut bytes = 0f64;
+                let mut encoded = 0f64;
+                let mut decoded = 0f64;
                 let mut raw_rows = 0f64;
                 for &pi in kept_parts {
                     let part = &entry.table.partitions[pi];
-                    bytes += part.stored_bytes as f64;
+                    encoded += part.encoded_bytes as f64;
+                    decoded += part.stored_bytes as f64;
                     raw_rows += part.rows() as f64;
                 }
-                w.fetch_bytes = bytes;
+                w.fetch_bytes = encoded;
                 w.fetch_objects = kept_parts.len() as f64;
-                w.decode_bytes = bytes;
+                w.decode_bytes = decoded;
                 if filter.is_some() {
                     w.filter_rows += raw_rows;
                 }
@@ -165,10 +171,12 @@ impl<'a> CostEstimator<'a> {
                 }
                 PhysicalOp::ExchangeHash { .. } => {
                     w.exchange_rows += rows;
-                    w.exchange_bytes += rows * plan.row_width(n_idx);
+                    w.exchange_bytes +=
+                        rows * plan.encoded_row_width(n_idx) + plan.dict_wire_bytes(n_idx);
                 }
                 PhysicalOp::Gather => {
-                    w.gather_bytes += rows * plan.row_width(n_idx);
+                    w.gather_bytes +=
+                        rows * plan.encoded_row_width(n_idx) + plan.dict_wire_bytes(n_idx);
                 }
                 PhysicalOp::HashJoin { .. } => {
                     w.probe_rows += rows;

@@ -28,6 +28,7 @@ use ci_cloud::work::WorkModels;
 use ci_plan::expr::{ColMap, PlanExpr};
 use ci_plan::physical::{PhysicalOp, PhysicalPlan};
 use ci_plan::pipeline::{Pipeline, PipelineGraph, SinkKind};
+use ci_storage::pages::WireEncoder;
 use ci_storage::schema::SchemaRef;
 use ci_storage::RecordBatch;
 use ci_types::money::{Dollars, DollarsPerSecond};
@@ -92,8 +93,12 @@ enum NodeState {
 /// One unit of schedulable work.
 struct Morsel {
     batch: RecordBatch,
-    /// Object-store bytes this morsel must fetch (0 for memory-resident).
+    /// *Encoded* object-store bytes this morsel must fetch (0 for
+    /// memory-resident state) — what the GET transfers.
     fetch_bytes: f64,
+    /// *Decoded* payload bytes the fetch expands to — what the scan-decode
+    /// CPU term processes.
+    decode_bytes: f64,
 }
 
 /// Precompiled streaming step of a pipeline's operator chain.
@@ -284,19 +289,23 @@ impl<'a> Executor<'a> {
                     // Re-label the partition's payload under the engine's
                     // slot schema without copying column data (Arc-shared).
                     let batch = part.batch.with_schema(schema.clone())?;
-                    let bytes = part.stored_bytes as f64;
+                    let encoded = part.encoded_bytes as f64;
+                    let decoded = part.stored_bytes as f64;
                     if rows <= self.config.morsel_rows {
                         morsels.push(Morsel {
                             batch,
-                            fetch_bytes: bytes,
+                            fetch_bytes: encoded,
+                            decode_bytes: decoded,
                         });
                     } else {
                         let mut offset = 0;
                         while offset < rows {
                             let len = self.config.morsel_rows.min(rows - offset);
+                            let share = len as f64 / rows as f64;
                             morsels.push(Morsel {
                                 batch: batch.slice(offset, len)?,
-                                fetch_bytes: bytes * len as f64 / rows as f64,
+                                fetch_bytes: encoded * share,
+                                decode_bytes: decoded * share,
                             });
                             offset += len;
                         }
@@ -325,6 +334,7 @@ impl<'a> Executor<'a> {
                     morsels.push(Morsel {
                         batch: batch.slice(offset, len)?,
                         fetch_bytes: 0.0,
+                        decode_bytes: 0.0,
                     });
                     offset += len;
                 }
@@ -454,6 +464,11 @@ impl<'a> Executor<'a> {
         let mut sink_rows = 0u64;
         let mut sink_rows_physical = 0u64;
         let mut gather_bytes = 0f64;
+        // One wire stream per pipeline execution: each shared dictionary
+        // ships once, then dict columns ride as bit-packed ids.
+        let mut wire = WireEncoder::new();
+        let mut exchange_wire_bytes = 0u64;
+        let mut exchange_decoded_bytes = 0u64;
         let total_morsels = morsels.len();
         let mut morsels_done = 0usize;
 
@@ -474,10 +489,11 @@ impl<'a> Executor<'a> {
             let mut secs = 0.0;
             let mut batch = morsel.batch;
 
-            // Source costs.
+            // Source costs: the fetch moves encoded bytes, the decode CPU
+            // expands them to the decoded payload.
             if src_is_scan {
                 secs += w.scan_fetch_secs(morsel.fetch_bytes, cur_dop);
-                secs += w.scan_decode_secs(morsel.fetch_bytes);
+                secs += w.scan_decode_secs(morsel.decode_bytes);
                 if let Some(pred) = &src_filter {
                     secs += w.filter_secs(batch.rows() as f64);
                     batch = apply_filter(&batch, pred, &src_map)?;
@@ -508,15 +524,27 @@ impl<'a> Executor<'a> {
                     }
                     Step::Exchange { node } => {
                         secs += w.exchange_cpu_secs(batch.rows() as f64);
-                        secs += w.exchange_wire_secs(batch.byte_size() as f64, cur_dop);
-                        node_actual[*node] += batch.rows() as u64;
                         // Shuffling serializes rows onto the wire: this is a
                         // materialization point, so deferred filters compact
-                        // here rather than shipping unselected rows.
+                        // here rather than shipping unselected rows — and
+                        // the payload crosses the fabric in the *wire
+                        // format* (encoded pages; dict ids + one-time
+                        // dictionary), not at decoded width.
                         batch = batch.compacted();
+                        let wire_bytes = wire.batch_wire_bytes(&batch);
+                        exchange_wire_bytes += wire_bytes;
+                        exchange_decoded_bytes += batch.byte_size() as u64;
+                        secs += w.exchange_wire_secs(wire_bytes as f64, cur_dop);
+                        node_actual[*node] += batch.rows() as u64;
                     }
                     Step::Gather { node } => {
-                        gather_bytes += batch.byte_size() as f64;
+                        // Gather is a network materialization point like
+                        // exchange: the receiver gets wire-format pages.
+                        batch = batch.compacted();
+                        let wire_bytes = wire.batch_wire_bytes(&batch);
+                        exchange_wire_bytes += wire_bytes;
+                        exchange_decoded_bytes += batch.byte_size() as u64;
+                        gather_bytes += wire_bytes as f64;
                         node_actual[*node] += batch.rows() as u64;
                     }
                     Step::Probe {
@@ -682,6 +710,8 @@ impl<'a> Executor<'a> {
             source_rows,
             sink_rows,
             sink_rows_physical,
+            exchange_wire_bytes,
+            exchange_decoded_bytes,
             busy,
             machine_time: SimDuration::ZERO, // filled at release
             resizes,

@@ -37,6 +37,13 @@ pub struct PipelineMetrics {
     /// rows a deferred selection skipped without ever copying — the
     /// late-materialization savings, at morsel granularity.
     pub sink_rows_physical: u64,
+    /// Wire-format bytes shipped through this pipeline's exchanges and
+    /// gathers (encoded pages; dict columns as bit-packed ids plus a
+    /// one-time dictionary).
+    pub exchange_wire_bytes: u64,
+    /// Decoded bytes of the same exchanged streams; the gap to
+    /// `exchange_wire_bytes` is the compression the wire format bought.
+    pub exchange_decoded_bytes: u64,
     /// Sum of per-node busy time (work only, excluding idle).
     pub busy: SimDuration,
     /// Machine time billed for this pipeline (leases, incl. idle/pinned).
@@ -115,6 +122,8 @@ mod tests {
             source_rows: 1000,
             sink_rows: 500,
             sink_rows_physical: 800,
+            exchange_wire_bytes: 0,
+            exchange_decoded_bytes: 0,
             busy: SimDuration::from_secs(6),
             machine_time: SimDuration::from_secs(16),
             resizes: 0,

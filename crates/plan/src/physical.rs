@@ -12,6 +12,7 @@
 use std::collections::BTreeSet;
 
 use ci_catalog::{CardinalityEstimator, Catalog, ErrorInjector};
+use ci_storage::pages::dictionary_page_bytes;
 use ci_storage::value::DataType;
 use ci_types::{CiError, Result, TableId};
 
@@ -129,8 +130,17 @@ pub struct PhysicalPlan {
     pub slot_types: Vec<DataType>,
     /// Name of each slot.
     pub slot_names: Vec<String>,
-    /// Average width in bytes of each slot.
+    /// Average decoded width in bytes of each slot.
     pub slot_widths: Vec<f64>,
+    /// Average *encoded* (wire) width in bytes of each slot — per-row page
+    /// payload under the size-picked codec from catalog statistics,
+    /// excluding one-time dictionary sections. Non-base slots fall back to
+    /// the decoded type width.
+    pub slot_encoded_widths: Vec<f64>,
+    /// One-time dictionary transfer bytes of each slot (0 for non-dict
+    /// columns): what an exchange of this slot ships once per stream before
+    /// bit-packed ids take over.
+    pub slot_dict_bytes: Vec<f64>,
 }
 
 impl PhysicalPlan {
@@ -148,12 +158,32 @@ impl PhysicalPlan {
             .collect()
     }
 
-    /// Estimated bytes per row of a node's output.
+    /// Estimated decoded bytes per row of a node's output.
     pub fn row_width(&self, idx: usize) -> f64 {
         self.nodes[idx]
             .out_slots
             .iter()
             .map(|&s| self.slot_widths[s])
+            .sum()
+    }
+
+    /// Estimated *encoded* (wire) bytes per row of a node's output — what an
+    /// exchange actually puts on the fabric per row under the page codecs.
+    pub fn encoded_row_width(&self, idx: usize) -> f64 {
+        self.nodes[idx]
+            .out_slots
+            .iter()
+            .map(|&s| self.slot_encoded_widths[s])
+            .sum()
+    }
+
+    /// One-time dictionary bytes a wire transfer of this node's output ships
+    /// before per-row ids take over (0 when no slot is dict-encoded).
+    pub fn dict_wire_bytes(&self, idx: usize) -> f64 {
+        self.nodes[idx]
+            .out_slots
+            .iter()
+            .map(|&s| self.slot_dict_bytes[s])
             .sum()
     }
 
@@ -236,6 +266,8 @@ pub fn build_plan(
         slot_types: bound.slot_types.clone(),
         slot_names: bound.slot_names.clone(),
         slot_widths: Vec::new(),
+        slot_encoded_widths: Vec::new(),
+        slot_dict_bytes: Vec::new(),
         applied_filters: Vec::new(),
     }
     .build(tree)
@@ -250,13 +282,16 @@ struct Builder<'a> {
     slot_types: Vec<DataType>,
     slot_names: Vec<String>,
     slot_widths: Vec<f64>,
+    slot_encoded_widths: Vec<f64>,
+    slot_dict_bytes: Vec<f64>,
     applied_filters: Vec<bool>,
 }
 
 impl<'a> Builder<'a> {
     fn build(mut self, tree: &JoinTree) -> Result<PhysicalPlan> {
-        // Slot widths for base + post-agg slots.
+        // Slot widths for base + post-agg slots, in both byte currencies.
         self.slot_widths = self.base_slot_widths()?;
+        (self.slot_encoded_widths, self.slot_dict_bytes) = self.base_slot_encoded_widths()?;
         self.applied_filters = vec![false; self.bound.cross_filters.len()];
 
         if tree.relations().len() != self.bound.relations.len() {
@@ -348,6 +383,19 @@ impl<'a> Builder<'a> {
             self.slot_types.push(dt);
             self.slot_names.push(name.clone());
             self.slot_widths.push(dt.width_estimate() as f64);
+            // A projected bare column keeps its source slot's wire profile
+            // (dict columns stay dict-encoded through projection); computed
+            // expressions are charged at uncompressed type width.
+            match e {
+                PlanExpr::Col(s) if *s < self.slot_encoded_widths.len() => {
+                    self.slot_encoded_widths.push(self.slot_encoded_widths[*s]);
+                    self.slot_dict_bytes.push(self.slot_dict_bytes[*s]);
+                }
+                _ => {
+                    self.slot_encoded_widths.push(dt.width_estimate() as f64);
+                    self.slot_dict_bytes.push(0.0);
+                }
+            }
             let _ = i;
         }
         let out_slots: Vec<usize> = (proj_base..proj_base + self.bound.output.len()).collect();
@@ -390,6 +438,8 @@ impl<'a> Builder<'a> {
             slot_types: self.slot_types,
             slot_names: self.slot_names,
             slot_widths: self.slot_widths,
+            slot_encoded_widths: self.slot_encoded_widths,
+            slot_dict_bytes: self.slot_dict_bytes,
         };
         plan.validate()?;
         Ok(plan)
@@ -584,6 +634,37 @@ impl<'a> Builder<'a> {
             widths.push(dt.width_estimate() as f64);
         }
         Ok(widths)
+    }
+
+    /// Per-slot `(encoded wire width, one-time dictionary bytes)` from
+    /// catalog statistics. Post-aggregate slots have no page stats and fall
+    /// back to their decoded type width (conservative: exchanges of derived
+    /// values are charged uncompressed).
+    fn base_slot_encoded_widths(&self) -> Result<(Vec<f64>, Vec<f64>)> {
+        let mut widths = Vec::with_capacity(self.bound.slot_types.len());
+        let mut dict_bytes = Vec::with_capacity(self.bound.slot_types.len());
+        for r in &self.bound.relations {
+            let entry = self.catalog.get(&r.table_name)?;
+            for c in &entry.stats.columns {
+                widths.push(if c.avg_encoded_width > 0.0 {
+                    c.avg_encoded_width
+                } else if c.avg_width > 0.0 {
+                    c.avg_width
+                } else {
+                    8.0
+                });
+                dict_bytes.push(
+                    c.dictionary
+                        .as_ref()
+                        .map_or(0.0, |d| dictionary_page_bytes(d) as f64),
+                );
+            }
+        }
+        for dt in &self.bound.slot_types[widths.len()..] {
+            widths.push(dt.width_estimate() as f64);
+            dict_bytes.push(0.0);
+        }
+        Ok((widths, dict_bytes))
     }
 
     fn slot_type_fn(&self) -> impl Fn(usize) -> Result<DataType> + 'static {

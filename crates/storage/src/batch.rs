@@ -203,10 +203,7 @@ impl RecordBatch {
         }
         let composed = match &self.selection {
             None => sel,
-            Some(cur) => {
-                let indices = sel.iter().map(|i| cur.physical(i) as u32).collect();
-                SelectionVector::from_indices(indices, self.rows)?
-            }
+            Some(cur) => cur.compose(&sel)?,
         };
         Ok(self.with_composed_selection(composed))
     }
@@ -460,7 +457,10 @@ mod tests {
         // The logical view is filtered...
         assert_eq!(f.rows(), 2);
         assert_eq!(f.physical_rows(), 3);
-        assert_eq!(f.selection().unwrap().indices(), &[0, 2]);
+        assert_eq!(
+            f.selection().unwrap().iter().collect::<Vec<_>>(),
+            vec![0, 2]
+        );
         // ...but every column is still shared, untouched.
         for i in 0..2 {
             assert!(Arc::ptr_eq(f.column_arc(i), b.column_arc(i)));

@@ -256,9 +256,14 @@ impl ColumnData {
 
     /// Materializes the rows a selection names, in order. Panic-free by the
     /// selection invariants (`sel.total() == self.len()`, indices in
-    /// bounds); dict columns keep their dictionary and move only ids.
+    /// bounds); dict columns keep their dictionary and move only ids. A
+    /// contiguous range-run selection degrades to [`ColumnData::slice`] — a
+    /// memcpy of fixed-width payloads instead of a per-row gather.
     pub fn gather(&self, sel: &SelectionVector) -> ColumnData {
         debug_assert_eq!(sel.total(), self.len());
+        if let Some((start, len)) = sel.as_range() {
+            return self.slice(start, len);
+        }
         fn pick<T: Clone>(v: &[T], sel: &SelectionVector) -> Vec<T> {
             sel.iter().map(|i| v[i].clone()).collect()
         }
@@ -282,8 +287,17 @@ impl ColumnData {
         match self {
             ColumnData::Int64(_) | ColumnData::Float64(_) => sel.len() * 8,
             ColumnData::Bool(_) => sel.len(),
-            ColumnData::Utf8(v) => sel.iter().map(|i| v[i].len() + 4).sum(),
-            ColumnData::Dict { ids, dict } => sel.iter().map(|i| dict.value_bytes(ids[i])).sum(),
+            ColumnData::Utf8(v) => match sel.as_range() {
+                Some((start, len)) => v[start..start + len].iter().map(|s| s.len() + 4).sum(),
+                None => sel.iter().map(|i| v[i].len() + 4).sum(),
+            },
+            ColumnData::Dict { ids, dict } => match sel.as_range() {
+                Some((start, len)) => ids[start..start + len]
+                    .iter()
+                    .map(|&id| dict.value_bytes(id))
+                    .sum(),
+                None => sel.iter().map(|i| dict.value_bytes(ids[i])).sum(),
+            },
         }
     }
 

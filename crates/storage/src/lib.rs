@@ -8,6 +8,10 @@
 //!   `Arc`-shared columns, per-table [`dict::Dictionary`] string interning,
 //!   and late-materializing filters via [`selection::SelectionVector`]
 //!   (the zero-copy data path),
+//! * self-describing encoded [`pages`] (plain / dict / run-length codecs
+//!   with a size-based picker) and the exchange [`pages::WireEncoder`] —
+//!   the byte format that lets scans, exchanges, and bills charge *encoded*
+//!   sizes instead of decoded ones,
 //! * [`partition::MicroPartition`]s — the unit of object-store I/O — carrying
 //!   zone maps (per-column min/max) and size metadata,
 //! * [`table::Table`]s assembled from micro-partitions, with partition
@@ -21,6 +25,7 @@
 pub mod batch;
 pub mod column;
 pub mod dict;
+pub mod pages;
 pub mod partition;
 pub mod pruning;
 pub mod schema;
@@ -31,6 +36,7 @@ pub mod value;
 pub use batch::RecordBatch;
 pub use column::ColumnData;
 pub use dict::Dictionary;
+pub use pages::{EncodedPage, PageCodec, WireEncoder};
 pub use partition::MicroPartition;
 pub use pruning::ColumnBound;
 pub use schema::{Field, Schema};

@@ -1,0 +1,1071 @@
+//! Encoded column pages and the exchange wire format.
+//!
+//! Until this subsystem existed, every byte the cost model saw was a
+//! *decoded* byte: partitions billed `RecordBatch::byte_size`, scans fetched
+//! decoded payloads, and exchanges charged decoded row widths — so the
+//! optimizer could never reward compression, the dominant lever of real
+//! cloud scan economics. A page is the self-describing encoded form of one
+//! column chunk:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "CIPG"
+//! 4       1     format version (1)
+//! 5       1     codec tag   (0 = Plain, 1 = Dict, 2 = Rle)
+//! 6       1     dtype tag   (0 = Int64, 1 = Float64, 2 = Utf8, 3 = Bool)
+//! 7       1     flags (bit 0 = dictionary-by-reference, wire streams only)
+//! 8       4     row count (u32 LE)
+//! 12      ..    codec-specific payload
+//! ```
+//!
+//! Payloads (all integers little-endian):
+//!
+//! * **Plain** — raw values: 8 bytes per `Int64`/`Float64` (floats as IEEE
+//!   bits), 1 byte per `Bool`, and `u32` length + UTF-8 bytes per string.
+//! * **Dict** — `u32` entry count, the distinct strings (`u32` length +
+//!   bytes each, in first-appearance order), a `u8` bit width, then the
+//!   per-row ids bit-packed LSB-first at that width. Encoding a column that
+//!   is already dict-encoded writes only the entries its rows reference,
+//!   remapped to dense local ids, so a partition page never ships the
+//!   unreferenced tail of a table-wide dictionary.
+//! * **Rle** — `u32` run count, then `u32` run length + one value encoding
+//!   (as in Plain) per run. Wins on sorted / low-cardinality runs, e.g.
+//!   cluster columns after a recluster tuning action.
+//!
+//! [`decode_column`] inverts [`encode_column`] for every codec and
+//! [`ColumnData`] variant: values round-trip exactly (Dict pages decode back
+//! to dict-encoded columns; Rle/Plain string pages decode to owned strings —
+//! equal under the workspace's decoded-value column equality). Malformed
+//! bytes are rejected with `Err`, never a panic.
+//!
+//! [`best_page`] is the size-based codec picker partitions use to account
+//! `encoded_bytes`, and [`WireEncoder`] is the exchange wire format: dict
+//! columns ship bit-packed ids plus their dictionary **once** per encoder
+//! (one-time per (table, column) dictionary transfer), which is what lets
+//! `exchange_wire_secs` see the shrunken payload.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use ci_types::{CiError, Result};
+
+use crate::batch::RecordBatch;
+use crate::column::ColumnData;
+use crate::dict::Dictionary;
+use crate::value::DataType;
+
+/// Magic bytes opening every encoded page.
+pub const PAGE_MAGIC: [u8; 4] = *b"CIPG";
+/// Current page format version.
+pub const PAGE_VERSION: u8 = 1;
+/// Fixed header size preceding every codec payload.
+pub const PAGE_HEADER_BYTES: usize = 12;
+
+/// The column encodings a page can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageCodec {
+    /// Raw decoded values.
+    Plain,
+    /// Distinct-string dictionary + bit-packed per-row ids (strings only).
+    Dict,
+    /// Run-length encoded values.
+    Rle,
+}
+
+impl PageCodec {
+    fn tag(self) -> u8 {
+        match self {
+            PageCodec::Plain => 0,
+            PageCodec::Dict => 1,
+            PageCodec::Rle => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<PageCodec> {
+        match tag {
+            0 => Ok(PageCodec::Plain),
+            1 => Ok(PageCodec::Dict),
+            2 => Ok(PageCodec::Rle),
+            other => Err(err(format!("unknown codec tag {other}"))),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PageCodec::Plain => "plain",
+            PageCodec::Dict => "dict",
+            PageCodec::Rle => "rle",
+        }
+    }
+
+    /// The codecs applicable to a column of logical type `dt`, in the
+    /// deterministic tie-break order the picker uses.
+    pub fn candidates(dt: DataType) -> &'static [PageCodec] {
+        match dt {
+            DataType::Utf8 => &[PageCodec::Plain, PageCodec::Dict, PageCodec::Rle],
+            _ => &[PageCodec::Plain, PageCodec::Rle],
+        }
+    }
+}
+
+/// Metadata of one encoded page: what a partition or catalog keeps to
+/// account billed bytes without holding the payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedPage {
+    /// Codec the page is encoded with.
+    pub codec: PageCodec,
+    /// Total page size in bytes (header + payload) — what a fetch transfers.
+    pub encoded_bytes: u64,
+    /// Decoded payload size ([`ColumnData::byte_size`]) — what decode yields.
+    pub decoded_bytes: u64,
+    /// Rows in the page.
+    pub rows: usize,
+    /// Bytes of the inline dictionary section (0 for non-Dict codecs). The
+    /// per-row wire width of a dict column is
+    /// `(encoded_bytes - dict_bytes) / rows`.
+    pub dict_bytes: u64,
+}
+
+fn err(msg: String) -> CiError {
+    CiError::Storage(msg)
+}
+
+fn dtype_tag(dt: DataType) -> u8 {
+    match dt {
+        DataType::Int64 => 0,
+        DataType::Float64 => 1,
+        DataType::Utf8 => 2,
+        DataType::Bool => 3,
+    }
+}
+
+fn dtype_from_tag(tag: u8) -> Result<DataType> {
+    match tag {
+        0 => Ok(DataType::Int64),
+        1 => Ok(DataType::Float64),
+        2 => Ok(DataType::Utf8),
+        3 => Ok(DataType::Bool),
+        other => Err(err(format!("unknown dtype tag {other}"))),
+    }
+}
+
+/// Bits needed per id for a dictionary of `entries` distinct values.
+pub fn id_bit_width(entries: usize) -> u32 {
+    if entries <= 1 {
+        0
+    } else {
+        usize::BITS - (entries - 1).leading_zeros()
+    }
+}
+
+/// Bytes occupied by `rows` ids bit-packed at `width` bits.
+pub fn packed_id_bytes(rows: usize, width: u32) -> u64 {
+    (rows as u64 * width as u64).div_ceil(8)
+}
+
+/// Size in bytes of a serialized dictionary section (`u32` entry count plus
+/// `u32` length + payload per entry) — the one-time transfer a wire exchange
+/// of a dict column pays per (table, column).
+pub fn dictionary_page_bytes(dict: &Dictionary) -> u64 {
+    4 + dict
+        .values()
+        .iter()
+        .map(|s| 4 + s.len() as u64)
+        .sum::<u64>()
+}
+
+/// The distinct entries a column's rows reference, with their total
+/// serialized entry bytes: `(entry_count, entry_bytes)`.
+fn referenced_entries(col: &ColumnData) -> (usize, u64) {
+    match col {
+        ColumnData::Utf8(v) => {
+            let mut seen: HashSet<&str> = HashSet::new();
+            let mut bytes = 0u64;
+            for s in v {
+                if seen.insert(s) {
+                    bytes += 4 + s.len() as u64;
+                }
+            }
+            (seen.len(), bytes)
+        }
+        ColumnData::Dict { ids, dict } => {
+            let mut seen = vec![false; dict.len()];
+            let mut count = 0usize;
+            let mut bytes = 0u64;
+            for &id in ids {
+                if !seen[id as usize] {
+                    seen[id as usize] = true;
+                    count += 1;
+                    bytes += dict.value_bytes(id) as u64;
+                }
+            }
+            (count, bytes)
+        }
+        _ => (0, 0),
+    }
+}
+
+/// Number of equal-value runs in the column (1 run minimum when non-empty),
+/// plus the total serialized bytes of one value per run.
+fn rle_runs(col: &ColumnData) -> (u64, u64) {
+    fn runs_by<T, K: PartialEq>(
+        v: &[T],
+        key: impl Fn(&T) -> K,
+        width: impl Fn(&T) -> u64,
+    ) -> (u64, u64) {
+        let mut runs = 0u64;
+        let mut bytes = 0u64;
+        let mut prev: Option<K> = None;
+        for x in v {
+            let k = key(x);
+            if prev.as_ref() != Some(&k) {
+                runs += 1;
+                bytes += width(x);
+                prev = Some(k);
+            }
+        }
+        (runs, bytes)
+    }
+    match col {
+        ColumnData::Int64(v) => runs_by(v, |&x| x, |_| 8),
+        ColumnData::Float64(v) => runs_by(v, |x| x.to_bits(), |_| 8),
+        ColumnData::Bool(v) => runs_by(v, |&b| b, |_| 1),
+        ColumnData::Utf8(v) => {
+            // Adjacent &str comparison — this runs for every string column
+            // of every partition build, so no per-row clones.
+            let mut runs = 0u64;
+            let mut bytes = 0u64;
+            for (i, s) in v.iter().enumerate() {
+                if i == 0 || v[i - 1] != *s {
+                    runs += 1;
+                    bytes += 4 + s.len() as u64;
+                }
+            }
+            (runs, bytes)
+        }
+        ColumnData::Dict { ids, dict } => {
+            let mut runs = 0u64;
+            let mut bytes = 0u64;
+            let mut prev: Option<u32> = None;
+            for &id in ids {
+                // Distinct ids always hold distinct strings (interning), so
+                // id equality is value equality here.
+                if prev != Some(id) {
+                    runs += 1;
+                    bytes += dict.value_bytes(id) as u64;
+                    prev = Some(id);
+                }
+            }
+            (runs, bytes)
+        }
+    }
+}
+
+/// Exact size in bytes of `encode_column(col, codec)` without materializing
+/// the page (partitions account every column of every partition, so the
+/// picker must not allocate payloads).
+pub fn encoded_size(col: &ColumnData, codec: PageCodec) -> Result<u64> {
+    let header = PAGE_HEADER_BYTES as u64;
+    let rows = col.len() as u64;
+    Ok(match codec {
+        PageCodec::Plain => match col {
+            ColumnData::Int64(_) | ColumnData::Float64(_) => header + rows * 8,
+            ColumnData::Bool(_) => header + rows,
+            // `byte_size` is exactly Σ (4 + len) for both string encodings.
+            ColumnData::Utf8(_) | ColumnData::Dict { .. } => header + col.byte_size() as u64,
+        },
+        PageCodec::Dict => {
+            if col.data_type() != DataType::Utf8 {
+                return Err(err(format!(
+                    "dict codec applies to strings, not {}",
+                    col.data_type()
+                )));
+            }
+            let (entries, entry_bytes) = referenced_entries(col);
+            header + 4 + entry_bytes + 1 + packed_id_bytes(col.len(), id_bit_width(entries))
+        }
+        PageCodec::Rle => {
+            let (runs, value_bytes) = rle_runs(col);
+            header + 4 + runs * 4 + value_bytes
+        }
+    })
+}
+
+/// The smallest-page codec for this column (ties break toward the earlier
+/// candidate, so the choice is deterministic).
+pub fn pick_codec(col: &ColumnData) -> PageCodec {
+    let mut best = PageCodec::Plain;
+    let mut best_size = u64::MAX;
+    for &c in PageCodec::candidates(col.data_type()) {
+        let size = encoded_size(col, c).expect("candidate codecs always apply");
+        if size < best_size {
+            best = c;
+            best_size = size;
+        }
+    }
+    best
+}
+
+/// Page metadata under the size-based codec picker — what
+/// [`crate::partition::MicroPartition`] stores per column.
+pub fn best_page(col: &ColumnData) -> EncodedPage {
+    let codec = pick_codec(col);
+    let encoded_bytes = encoded_size(col, codec).expect("picked codec applies");
+    let dict_bytes = if codec == PageCodec::Dict {
+        let (_, entry_bytes) = referenced_entries(col);
+        4 + entry_bytes
+    } else {
+        0
+    };
+    EncodedPage {
+        codec,
+        encoded_bytes,
+        decoded_bytes: col.byte_size() as u64,
+        rows: col.len(),
+        dict_bytes,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn push_header(out: &mut Vec<u8>, codec: PageCodec, dt: DataType, rows: u32) {
+    push_header_flags(out, codec, dt, rows, 0);
+}
+
+fn push_header_flags(out: &mut Vec<u8>, codec: PageCodec, dt: DataType, rows: u32, flags: u8) {
+    out.extend_from_slice(&PAGE_MAGIC);
+    out.push(PAGE_VERSION);
+    out.push(codec.tag());
+    out.push(dtype_tag(dt));
+    out.push(flags);
+    push_u32(out, rows);
+}
+
+/// Header flag bit marking a wire-stream dict page that references an
+/// already-shipped dictionary instead of inlining one (ids section only).
+pub const PAGE_FLAG_DICT_REF: u8 = 1;
+
+/// Bit-packs `ids` at `width` bits each, LSB-first.
+fn pack_ids(out: &mut Vec<u8>, ids: impl Iterator<Item = u32>, width: u32) {
+    if width == 0 {
+        return;
+    }
+    let mut buf: u64 = 0;
+    let mut bits: u32 = 0;
+    for id in ids {
+        buf |= (id as u64) << bits;
+        bits += width;
+        while bits >= 8 {
+            out.push((buf & 0xff) as u8);
+            buf >>= 8;
+            bits -= 8;
+        }
+    }
+    if bits > 0 {
+        out.push((buf & 0xff) as u8);
+    }
+}
+
+/// Encodes a column as one self-contained page under the given codec.
+/// Returns the page metadata and the bytes; `decode_column` inverts it.
+pub fn encode_column(col: &ColumnData, codec: PageCodec) -> Result<(EncodedPage, Vec<u8>)> {
+    let rows =
+        u32::try_from(col.len()).map_err(|_| err(format!("page overflow: {} rows", col.len())))?;
+    let mut out = Vec::with_capacity(PAGE_HEADER_BYTES + 16);
+    push_header(&mut out, codec, col.data_type(), rows);
+    let mut dict_bytes = 0u64;
+    match codec {
+        PageCodec::Plain => match col {
+            ColumnData::Int64(v) => v
+                .iter()
+                .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+            ColumnData::Float64(v) => v
+                .iter()
+                .for_each(|x| out.extend_from_slice(&x.to_bits().to_le_bytes())),
+            ColumnData::Bool(v) => v.iter().for_each(|&b| out.push(b as u8)),
+            ColumnData::Utf8(v) => v.iter().for_each(|s| push_str(&mut out, s)),
+            ColumnData::Dict { ids, dict } => {
+                ids.iter().for_each(|&id| push_str(&mut out, dict.get(id)))
+            }
+        },
+        PageCodec::Dict => {
+            // Local dictionary in first-appearance order over this page's
+            // rows only (a table-wide dictionary's unreferenced tail is not
+            // shipped), then bit-packed local ids.
+            let (local, local_ids): (Dictionary, Vec<u32>) = match col {
+                ColumnData::Utf8(v) => Dictionary::encode(v.iter().map(String::as_str)),
+                ColumnData::Dict { ids, dict } => {
+                    let mut remap: Vec<u32> = vec![u32::MAX; dict.len()];
+                    let mut local = Dictionary::new();
+                    let local_ids = ids
+                        .iter()
+                        .map(|&id| {
+                            if remap[id as usize] == u32::MAX {
+                                remap[id as usize] = local.intern(dict.get(id));
+                            }
+                            remap[id as usize]
+                        })
+                        .collect();
+                    (local, local_ids)
+                }
+                other => {
+                    return Err(err(format!(
+                        "dict codec applies to strings, not {}",
+                        other.data_type()
+                    )))
+                }
+            };
+            let section_start = out.len();
+            push_u32(&mut out, local.len() as u32);
+            for entry in local.values() {
+                push_str(&mut out, entry);
+            }
+            dict_bytes = (out.len() - section_start) as u64;
+            let width = id_bit_width(local.len());
+            out.push(width as u8);
+            pack_ids(&mut out, local_ids.into_iter(), width);
+        }
+        PageCodec::Rle => {
+            let run_count_at = out.len();
+            push_u32(&mut out, 0); // patched below
+            let mut runs = 0u32;
+            macro_rules! rle {
+                ($vals:expr, $key:expr, $emit:expr) => {{
+                    let mut iter = $vals;
+                    if let Some(first) = iter.next() {
+                        let mut cur = first;
+                        let mut len = 1u32;
+                        for x in iter {
+                            if $key(&x) == $key(&cur) {
+                                len += 1;
+                            } else {
+                                runs += 1;
+                                push_u32(&mut out, len);
+                                $emit(&mut out, &cur);
+                                cur = x;
+                                len = 1;
+                            }
+                        }
+                        runs += 1;
+                        push_u32(&mut out, len);
+                        $emit(&mut out, &cur);
+                    }
+                }};
+            }
+            match col {
+                ColumnData::Int64(v) => rle!(
+                    v.iter().copied(),
+                    |x: &i64| *x,
+                    |out: &mut Vec<u8>, x: &i64| out.extend_from_slice(&x.to_le_bytes())
+                ),
+                ColumnData::Float64(v) => rle!(
+                    v.iter().copied(),
+                    |x: &f64| x.to_bits(),
+                    |out: &mut Vec<u8>, x: &f64| out.extend_from_slice(&x.to_bits().to_le_bytes())
+                ),
+                ColumnData::Bool(v) => rle!(
+                    v.iter().copied(),
+                    |b: &bool| *b,
+                    |out: &mut Vec<u8>, b: &bool| out.push(*b as u8)
+                ),
+                ColumnData::Utf8(v) => {
+                    let mut i = 0;
+                    while i < v.len() {
+                        let mut end = i + 1;
+                        while end < v.len() && v[end] == v[i] {
+                            end += 1;
+                        }
+                        runs += 1;
+                        push_u32(&mut out, (end - i) as u32);
+                        push_str(&mut out, &v[i]);
+                        i = end;
+                    }
+                }
+                ColumnData::Dict { ids, dict } => rle!(
+                    // Id equality is value equality under interning.
+                    ids.iter().copied(),
+                    |id: &u32| *id,
+                    |out: &mut Vec<u8>, id: &u32| push_str(out, dict.get(*id))
+                ),
+            }
+            out[run_count_at..run_count_at + 4].copy_from_slice(&runs.to_le_bytes());
+        }
+    }
+    let meta = EncodedPage {
+        codec,
+        encoded_bytes: out.len() as u64,
+        decoded_bytes: col.byte_size() as u64,
+        rows: col.len(),
+        dict_bytes,
+    };
+    debug_assert_eq!(
+        meta.encoded_bytes,
+        encoded_size(col, codec).expect("sized codec"),
+        "size-only accounting must match the real encoder"
+    );
+    Ok((meta, out))
+}
+
+/// Encodes under the size-picked codec.
+pub fn encode_best(col: &ColumnData) -> Result<(EncodedPage, Vec<u8>)> {
+    encode_column(col, pick_codec(col))
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked little-endian reader over page bytes.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| {
+                err(format!(
+                    "truncated page: need {n} bytes at offset {}, have {}",
+                    self.at,
+                    self.bytes.len().saturating_sub(self.at)
+                ))
+            })?;
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| err(format!("invalid UTF-8 in page: {e}")))
+    }
+
+    fn done(&self) -> Result<()> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(err(format!(
+                "{} trailing bytes after page payload",
+                self.bytes.len() - self.at
+            )))
+        }
+    }
+}
+
+/// Decodes a self-contained page back into a column. Every malformed input
+/// (bad magic/version/tags, truncated payload, invalid UTF-8, out-of-range
+/// ids, run/row count mismatch, trailing bytes) is an `Err`, never a panic.
+pub fn decode_column(bytes: &[u8]) -> Result<ColumnData> {
+    let mut c = Cursor { bytes, at: 0 };
+    let magic = c.take(4)?;
+    if magic != PAGE_MAGIC {
+        return Err(err(format!("bad page magic {magic:02x?}")));
+    }
+    let version = c.u8()?;
+    if version != PAGE_VERSION {
+        return Err(err(format!("unsupported page version {version}")));
+    }
+    let codec = PageCodec::from_tag(c.u8()?)?;
+    let dt = dtype_from_tag(c.u8()?)?;
+    let flags = c.u8()?;
+    if flags == PAGE_FLAG_DICT_REF {
+        return Err(err(
+            "dictionary-by-reference wire page needs the stream's dictionary cache".into(),
+        ));
+    }
+    if flags != 0 {
+        return Err(err(format!("unknown page flags {flags:#04x}")));
+    }
+    let rows = c.u32()? as usize;
+    let col = match codec {
+        PageCodec::Plain => match dt {
+            DataType::Int64 => {
+                let mut v = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    v.push(c.u64()? as i64);
+                }
+                ColumnData::Int64(v)
+            }
+            DataType::Float64 => {
+                let mut v = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    v.push(f64::from_bits(c.u64()?));
+                }
+                ColumnData::Float64(v)
+            }
+            DataType::Bool => {
+                let mut v = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    v.push(decode_bool(c.u8()?)?);
+                }
+                ColumnData::Bool(v)
+            }
+            DataType::Utf8 => {
+                let mut v = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    v.push(c.str()?);
+                }
+                ColumnData::Utf8(v)
+            }
+        },
+        PageCodec::Dict => {
+            if dt != DataType::Utf8 {
+                return Err(err(format!("dict page with non-string dtype {dt}")));
+            }
+            let entries = c.u32()? as usize;
+            let mut dict = Dictionary::new();
+            for _ in 0..entries {
+                let s = c.str()?;
+                dict.intern(&s);
+            }
+            if dict.len() != entries {
+                return Err(err(format!(
+                    "dict page holds duplicate entries ({} distinct of {entries})",
+                    dict.len()
+                )));
+            }
+            let width = c.u8()? as u32;
+            if width > 32 || (entries > 1 && width < id_bit_width(entries)) {
+                return Err(err(format!(
+                    "dict page bit width {width} invalid for {entries} entries"
+                )));
+            }
+            let packed = c.take(packed_id_bytes(rows, width) as usize)?;
+            let ids = unpack_ids(packed, rows, width)?;
+            if let Some(&bad) = ids.iter().find(|&&id| id as usize >= entries.max(1)) {
+                return Err(err(format!(
+                    "dict page id {bad} out of range for {entries} entries"
+                )));
+            }
+            if rows > 0 && entries == 0 {
+                return Err(err(format!("dict page has {rows} rows but no entries")));
+            }
+            ColumnData::Dict {
+                ids,
+                dict: Arc::new(dict),
+            }
+        }
+        PageCodec::Rle => {
+            let runs = c.u32()?;
+            let mut col = ColumnData::with_capacity(dt, rows);
+            let mut decoded = 0usize;
+            for _ in 0..runs {
+                let len = c.u32()? as usize;
+                decoded = decoded
+                    .checked_add(len)
+                    .filter(|&d| d <= rows)
+                    .ok_or_else(|| err(format!("rle runs exceed declared {rows} rows")))?;
+                match (&mut col, dt) {
+                    (ColumnData::Int64(v), _) => {
+                        let x = c.u64()? as i64;
+                        v.extend(std::iter::repeat_n(x, len));
+                    }
+                    (ColumnData::Float64(v), _) => {
+                        let x = f64::from_bits(c.u64()?);
+                        v.extend(std::iter::repeat_n(x, len));
+                    }
+                    (ColumnData::Bool(v), _) => {
+                        let b = decode_bool(c.u8()?)?;
+                        v.extend(std::iter::repeat_n(b, len));
+                    }
+                    (ColumnData::Utf8(v), _) => {
+                        let s = c.str()?;
+                        v.extend(std::iter::repeat_n(s, len));
+                    }
+                    (other, _) => {
+                        return Err(err(format!(
+                            "rle decode into unexpected column {}",
+                            other.data_type()
+                        )))
+                    }
+                }
+            }
+            if decoded != rows {
+                return Err(err(format!(
+                    "rle page decodes {decoded} rows, header declares {rows}"
+                )));
+            }
+            col
+        }
+    };
+    if col.len() != rows {
+        return Err(err(format!(
+            "page declares {rows} rows but decoded {}",
+            col.len()
+        )));
+    }
+    c.done()?;
+    Ok(col)
+}
+
+fn decode_bool(b: u8) -> Result<bool> {
+    match b {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(err(format!("invalid bool byte {other}"))),
+    }
+}
+
+fn unpack_ids(packed: &[u8], rows: usize, width: u32) -> Result<Vec<u32>> {
+    if width == 0 {
+        return Ok(vec![0; rows]);
+    }
+    let mut ids = Vec::with_capacity(rows);
+    let mut buf: u64 = 0;
+    let mut bits: u32 = 0;
+    let mut next = packed.iter();
+    let mask = if width == 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    };
+    for _ in 0..rows {
+        while bits < width {
+            let byte = next
+                .next()
+                .ok_or_else(|| err("truncated bit-packed id section".into()))?;
+            buf |= (*byte as u64) << bits;
+            bits += 8;
+        }
+        ids.push((buf as u32) & mask);
+        buf >>= width;
+        bits -= width;
+    }
+    Ok(ids)
+}
+
+// ---------------------------------------------------------------------------
+// Wire format
+// ---------------------------------------------------------------------------
+
+/// Serializes batches for exchange / gather transfers with one-time
+/// dictionary shipping: the first batch referencing a shared dictionary pays
+/// [`dictionary_page_bytes`] for it, later batches ship only bit-packed ids
+/// (at the *table* dictionary's bit width, since the receiver already holds
+/// every entry). Non-dict columns travel as their best self-contained page.
+///
+/// One encoder models one transfer stream (the engine keeps one per pipeline
+/// execution), so dictionary dedup is scoped exactly like the paper's
+/// per-(table, column) one-time transfer. Dictionary identity is `Arc`
+/// pointer identity — the invariant the catalog establishes by interning one
+/// dictionary per table column at load; the encoder holds a reference to
+/// every dictionary it marks shipped, so a freed-and-reallocated address can
+/// never alias an earlier entry and silently skip a transfer.
+#[derive(Debug, Default)]
+pub struct WireEncoder {
+    shipped: HashMap<usize, Arc<Dictionary>>,
+}
+
+impl WireEncoder {
+    /// A fresh stream: no dictionaries shipped yet.
+    pub fn new() -> WireEncoder {
+        WireEncoder::default()
+    }
+
+    /// `true` if the next dict column sharing `dict` rides for ids only.
+    pub fn has_shipped(&self, dict: &Arc<Dictionary>) -> bool {
+        self.shipped.contains_key(&(Arc::as_ptr(dict) as usize))
+    }
+
+    /// Marks `dict` shipped (pinning it alive for the encoder's lifetime);
+    /// returns `true` on the first sighting.
+    fn ship(&mut self, dict: &Arc<Dictionary>) -> bool {
+        self.shipped
+            .insert(Arc::as_ptr(dict) as usize, dict.clone())
+            .is_none()
+    }
+
+    /// Wire bytes for one column, updating the shipped-dictionary set.
+    /// Size-only: the engine charges virtual wire seconds from this without
+    /// materializing payloads.
+    pub fn column_wire_bytes(&mut self, col: &ColumnData) -> u64 {
+        match col {
+            ColumnData::Dict { ids, dict } => {
+                let first = self.ship(dict);
+                let width = id_bit_width(dict.len());
+                let mut bytes = PAGE_HEADER_BYTES as u64 + 1 + packed_id_bytes(ids.len(), width);
+                if first {
+                    bytes += dictionary_page_bytes(dict);
+                }
+                bytes
+            }
+            other => best_page(other).encoded_bytes,
+        }
+    }
+
+    /// Wire bytes for a whole batch (sum over columns). Selected batches are
+    /// measured over their logical rows, as the exchange materialization
+    /// point would ship them.
+    pub fn batch_wire_bytes(&mut self, batch: &RecordBatch) -> u64 {
+        let dense;
+        let b = if batch.selection().is_some() {
+            dense = batch.compacted();
+            &dense
+        } else {
+            batch
+        };
+        b.columns().iter().map(|c| self.column_wire_bytes(c)).sum()
+    }
+
+    /// Actually serializes one column for the wire (benchmarks measure this;
+    /// the simulation only needs [`WireEncoder::column_wire_bytes`]). Every
+    /// emitted blob is self-describing — the "CIPG" header always comes
+    /// first. A dict column's first transfer is a complete Dict page
+    /// inlining the whole shared dictionary (decodable by [`decode_column`]
+    /// like any storage page); later transfers carry the
+    /// [`PAGE_FLAG_DICT_REF`] header flag and only the bit-packed ids, for
+    /// a receiver holding the stream's dictionary cache. Other columns emit
+    /// their best self-contained page. The byte count always equals
+    /// `column_wire_bytes`.
+    pub fn encode_column(&mut self, col: &ColumnData) -> Result<Vec<u8>> {
+        match col {
+            ColumnData::Dict { ids, dict } => {
+                let first = self.ship(dict);
+                let rows = u32::try_from(ids.len())
+                    .map_err(|_| err(format!("wire overflow: {} rows", ids.len())))?;
+                let mut out = Vec::new();
+                let flags = if first { 0 } else { PAGE_FLAG_DICT_REF };
+                push_header_flags(&mut out, PageCodec::Dict, DataType::Utf8, rows, flags);
+                if first {
+                    push_u32(&mut out, dict.len() as u32);
+                    for entry in dict.values() {
+                        push_str(&mut out, entry);
+                    }
+                }
+                let width = id_bit_width(dict.len());
+                out.push(width as u8);
+                pack_ids(&mut out, ids.iter().copied(), width);
+                Ok(out)
+            }
+            other => Ok(encode_best(other)?.1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict_col(vals: &[&str]) -> ColumnData {
+        ColumnData::Utf8(vals.iter().map(|s| (*s).to_owned()).collect()).dict_encoded()
+    }
+
+    #[test]
+    fn plain_round_trips_every_type() {
+        let cols = [
+            ColumnData::Int64(vec![-5, 0, 7, i64::MAX]),
+            ColumnData::Float64(vec![0.5, -1.25, f64::MAX]),
+            ColumnData::Bool(vec![true, false, true]),
+            ColumnData::Utf8(vec!["a".into(), "".into(), "日本".into()]),
+        ];
+        for col in &cols {
+            let (meta, bytes) = encode_column(col, PageCodec::Plain).unwrap();
+            assert_eq!(meta.encoded_bytes as usize, bytes.len());
+            assert_eq!(meta.rows, col.len());
+            assert_eq!(&decode_column(&bytes).unwrap(), col);
+        }
+    }
+
+    #[test]
+    fn dict_page_round_trips_and_shrinks() {
+        let col = dict_col(&[
+            "aaaa", "bbbb", "aaaa", "bbbb", "aaaa", "aaaa", "bbbb", "aaaa",
+        ]);
+        let (meta, bytes) = encode_column(&col, PageCodec::Dict).unwrap();
+        assert_eq!(meta.encoded_bytes as usize, bytes.len());
+        assert!(meta.encoded_bytes < meta.decoded_bytes, "{meta:?}");
+        assert!(meta.dict_bytes > 0);
+        let decoded = decode_column(&bytes).unwrap();
+        assert_eq!(decoded, col);
+        assert!(decoded.as_dict().is_some(), "dict pages decode to dict");
+    }
+
+    #[test]
+    fn dict_page_ships_only_referenced_entries() {
+        // Table dictionary has 3 entries; this chunk references one.
+        let table_col = dict_col(&["x", "y", "z"]);
+        let chunk = table_col.slice(2, 1);
+        let (_, bytes) = encode_column(&chunk, PageCodec::Dict).unwrap();
+        let decoded = decode_column(&bytes).unwrap();
+        let (ids, dict) = decoded.as_dict().unwrap();
+        assert_eq!(ids, &[0], "remapped to dense local ids");
+        assert_eq!(dict.len(), 1, "unreferenced entries not shipped");
+        assert_eq!(decoded.str_at(0), Some("z"));
+    }
+
+    #[test]
+    fn rle_round_trips_and_wins_on_runs() {
+        let col = ColumnData::Int64(vec![7; 1000]);
+        assert_eq!(pick_codec(&col), PageCodec::Rle);
+        let (meta, bytes) = encode_best(&col).unwrap();
+        assert!(meta.encoded_bytes < meta.decoded_bytes / 10);
+        assert_eq!(&decode_column(&bytes).unwrap(), &col);
+
+        let strs = ColumnData::Utf8(vec!["run".into(); 64]);
+        let (_, bytes) = encode_column(&strs, PageCodec::Rle).unwrap();
+        assert_eq!(&decode_column(&bytes).unwrap(), &strs);
+    }
+
+    #[test]
+    fn plain_wins_on_incompressible_ints() {
+        let col = ColumnData::Int64((0..100).map(|i| i * 7919 % 1000).collect());
+        assert_eq!(pick_codec(&col), PageCodec::Plain);
+    }
+
+    #[test]
+    fn empty_columns_round_trip() {
+        for dt in [
+            DataType::Int64,
+            DataType::Float64,
+            DataType::Utf8,
+            DataType::Bool,
+        ] {
+            let col = ColumnData::empty(dt);
+            let (meta, bytes) = encode_best(&col).unwrap();
+            assert_eq!(meta.rows, 0);
+            assert_eq!(&decode_column(&bytes).unwrap(), &col);
+        }
+    }
+
+    #[test]
+    fn size_only_matches_real_encoding() {
+        let cols = [
+            ColumnData::Int64(vec![1, 1, 1, 2, 3, 3]),
+            ColumnData::Float64(vec![0.0, 0.0, 9.5]),
+            ColumnData::Bool(vec![true; 9]),
+            ColumnData::Utf8(vec!["aa".into(), "aa".into(), "b".into()]),
+            dict_col(&["g1", "g2", "g1", "g1"]),
+        ];
+        for col in &cols {
+            for &codec in PageCodec::candidates(col.data_type()) {
+                let (meta, bytes) = encode_column(col, codec).unwrap();
+                assert_eq!(
+                    encoded_size(col, codec).unwrap(),
+                    bytes.len() as u64,
+                    "{codec:?} on {}",
+                    col.data_type()
+                );
+                assert_eq!(meta.encoded_bytes, bytes.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_pages_error_not_panic() {
+        let (_, good) = encode_best(&dict_col(&["a", "b", "a"])).unwrap();
+        // Truncations at every length.
+        for n in 0..good.len() {
+            assert!(decode_column(&good[..n]).is_err(), "truncated at {n}");
+        }
+        // Corrupt header fields.
+        for (at, val) in [(0usize, 0xffu8), (4, 9), (5, 9), (6, 9), (7, 1)] {
+            let mut bad = good.clone();
+            bad[at] = val;
+            assert!(decode_column(&bad).is_err(), "corrupt byte {at}");
+        }
+        // Trailing garbage.
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(decode_column(&padded).is_err());
+        // Declared rows beyond payload.
+        let mut inflated = good.clone();
+        inflated[8..12].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(decode_column(&inflated).is_err());
+    }
+
+    #[test]
+    fn bit_widths() {
+        assert_eq!(id_bit_width(0), 0);
+        assert_eq!(id_bit_width(1), 0);
+        assert_eq!(id_bit_width(2), 1);
+        assert_eq!(id_bit_width(3), 2);
+        assert_eq!(id_bit_width(256), 8);
+        assert_eq!(id_bit_width(257), 9);
+        assert_eq!(packed_id_bytes(8, 1), 1);
+        assert_eq!(packed_id_bytes(9, 1), 2);
+        assert_eq!(packed_id_bytes(3, 10), 4);
+    }
+
+    #[test]
+    fn wire_ships_dictionary_once() {
+        let col = dict_col(&["aaaaaaaa", "bbbbbbbb", "aaaaaaaa", "bbbbbbbb"]);
+        let (_, dict) = col.as_dict().unwrap();
+        let dict_bytes = dictionary_page_bytes(dict);
+        let mut w = WireEncoder::new();
+        let first = w.column_wire_bytes(&col);
+        let second = w.column_wire_bytes(&col);
+        assert_eq!(first, second + dict_bytes);
+        assert!(w.has_shipped(&dict.clone()));
+        // Real serialization agrees with the size-only accounting.
+        let mut w2 = WireEncoder::new();
+        let b1 = w2.encode_column(&col).unwrap();
+        let b2 = w2.encode_column(&col).unwrap();
+        assert_eq!(b1.len() as u64, first);
+        assert_eq!(b2.len() as u64, second);
+        // Every wire blob is self-describing, header first: the first
+        // transfer is a complete Dict page any receiver can decode, the
+        // follow-up is a flagged ids-only page that demands the cache.
+        assert_eq!(decode_column(&b1).unwrap(), col);
+        let e = decode_column(&b2).unwrap_err().to_string();
+        assert!(e.contains("dictionary cache"), "{e}");
+        // The ids-only payload beats the decoded width by a wide margin.
+        assert!(second * 2 < col.byte_size() as u64);
+    }
+
+    #[test]
+    fn wire_batch_reads_through_selections() {
+        use crate::schema::{Field, Schema};
+        let schema = Arc::new(Schema::of(vec![
+            Field::new("s", DataType::Utf8),
+            Field::new("i", DataType::Int64),
+        ]));
+        let batch = RecordBatch::new(
+            schema,
+            vec![
+                dict_col(&["a", "b", "c", "d"]),
+                ColumnData::Int64(vec![1, 2, 3, 4]),
+            ],
+        )
+        .unwrap();
+        let filtered = batch.filter(&[true, false, true, false]).unwrap();
+        let mut a = WireEncoder::new();
+        let mut b = WireEncoder::new();
+        assert_eq!(
+            a.batch_wire_bytes(&filtered),
+            b.batch_wire_bytes(&filtered.compacted())
+        );
+    }
+}

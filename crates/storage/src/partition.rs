@@ -5,8 +5,25 @@
 //! min/max) used for pruning. In this reproduction the payload lives in
 //! memory, but every byte is accounted for so the object-store model can
 //! charge realistic fetch times.
+//!
+//! Two byte figures describe one partition, and they answer different
+//! questions:
+//!
+//! * [`MicroPartition::stored_bytes`] — the **logical (decoded)** payload
+//!   size, [`RecordBatch::byte_size`]. This is what decode produces, what
+//!   flows through operators, and the size statistics/row-width estimates
+//!   are defined over. It is encoding-invariant by construction.
+//! * [`MicroPartition::encoded_bytes`] — the **billed (encoded)** object
+//!   size: each column compressed under its size-picked page codec
+//!   ([`crate::pages::best_page`]), summed. This is what a GET transfers,
+//!   what scan-time and storage bills charge, and what pruning reports as
+//!   saved I/O.
+//!
+//! The gap between the two is exactly the compression the cost model can
+//! now reward.
 
 use crate::batch::RecordBatch;
+use crate::pages::{self, EncodedPage};
 use crate::pruning::ColumnBound;
 use crate::value::Value;
 
@@ -43,19 +60,44 @@ pub struct MicroPartition {
     pub batch: RecordBatch,
     /// Zone map over `batch`.
     pub zone_map: ZoneMap,
-    /// Encoded object size in bytes (what a fetch transfers).
+    /// Logical (decoded) payload size in bytes. **Not** what a fetch
+    /// transfers — see [`MicroPartition::encoded_bytes`] and the module docs
+    /// for the distinction.
     pub stored_bytes: u64,
+    /// Encoded object size in bytes (what a GET transfers and scans bill):
+    /// the sum of [`MicroPartition::pages`] sizes.
+    pub encoded_bytes: u64,
+    /// Per-column encoded-page metadata under the size-based codec picker,
+    /// in schema order. Value-level (encoding-invariant) like the zone map:
+    /// a dict-encoded and a plain column holding the same strings produce
+    /// identical page accounting.
+    pub pages: Vec<EncodedPage>,
 }
 
 impl MicroPartition {
-    /// Wraps a batch into a partition, computing its metadata.
+    /// Wraps a batch into a partition, computing its metadata (zone map,
+    /// decoded size, and per-column best-codec page sizes). Selected batches
+    /// are compacted first — stored objects are dense.
     pub fn from_batch(batch: RecordBatch) -> MicroPartition {
+        let batch = if batch.selection().is_some() {
+            batch.compacted()
+        } else {
+            batch
+        };
         let zone_map = ZoneMap::of(&batch);
         let stored_bytes = batch.byte_size() as u64;
+        let pages: Vec<EncodedPage> = batch
+            .columns()
+            .iter()
+            .map(|c| pages::best_page(c))
+            .collect();
+        let encoded_bytes = pages.iter().map(|p| p.encoded_bytes).sum();
         MicroPartition {
             batch,
             zone_map,
             stored_bytes,
+            encoded_bytes,
+            pages,
         }
     }
 
@@ -71,6 +113,7 @@ mod tests {
 
     use super::*;
     use crate::column::ColumnData;
+    use crate::pages::PageCodec;
     use crate::schema::{Field, Schema};
     use crate::value::DataType;
 
@@ -85,6 +128,41 @@ mod tests {
         assert_eq!(p.zone_map.ranges, vec![(Value::Int(1), Value::Int(9))]);
         assert_eq!(p.rows(), 3);
         assert_eq!(p.stored_bytes, 24);
+    }
+
+    #[test]
+    fn stored_is_logical_encoded_is_billed() {
+        // A constant column: decoded size is rows × 8, encoded collapses to
+        // one RLE run.
+        let p = part(vec![42; 1024]);
+        assert_eq!(p.stored_bytes, 1024 * 8, "stored_bytes stays logical");
+        assert!(
+            p.encoded_bytes < p.stored_bytes / 10,
+            "encoded {} vs stored {}",
+            p.encoded_bytes,
+            p.stored_bytes
+        );
+        assert_eq!(p.pages.len(), 1);
+        assert_eq!(p.pages[0].codec, PageCodec::Rle);
+        assert_eq!(p.pages[0].decoded_bytes, p.stored_bytes);
+        assert_eq!(p.pages[0].rows, 1024);
+        assert_eq!(p.encoded_bytes, p.pages[0].encoded_bytes);
+    }
+
+    #[test]
+    fn page_accounting_is_encoding_invariant() {
+        let schema = Arc::new(Schema::of(vec![Field::new("s", DataType::Utf8)]));
+        let vals: Vec<String> = (0..100).map(|i| format!("grp{}", i % 4)).collect();
+        let plain = MicroPartition::from_batch(
+            RecordBatch::new(schema.clone(), vec![ColumnData::Utf8(vals.clone())]).unwrap(),
+        );
+        let dicted = MicroPartition::from_batch(
+            RecordBatch::new(schema, vec![ColumnData::Utf8(vals).dict_encoded()]).unwrap(),
+        );
+        assert_eq!(plain.encoded_bytes, dicted.encoded_bytes);
+        assert_eq!(plain.pages, dicted.pages);
+        assert_eq!(plain.pages[0].codec, PageCodec::Dict);
+        assert!(plain.encoded_bytes < plain.stored_bytes);
     }
 
     #[test]

@@ -29,15 +29,21 @@ pub struct Table {
     pub clustered_by: Option<usize>,
 }
 
-/// Result of partition pruning: which partitions survive and how much was skipped.
+/// Result of partition pruning: which partitions survive and how much was
+/// skipped, stated in both byte currencies — logical bytes for data-volume
+/// intuition, encoded bytes for what the skipped GETs would actually have
+/// transferred (the billed savings).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PruneOutcome {
     /// Indices of surviving partitions.
     pub kept: Vec<usize>,
     /// Partitions skipped thanks to zone maps.
     pub pruned_partitions: usize,
-    /// Bytes that did not need fetching.
+    /// Logical (decoded) bytes that did not need decoding.
     pub pruned_bytes: u64,
+    /// Encoded bytes that did not need fetching — pruning savings in billed
+    /// bytes.
+    pub pruned_encoded_bytes: u64,
 }
 
 impl Table {
@@ -46,9 +52,15 @@ impl Table {
         self.partitions.iter().map(|p| p.rows() as u64).sum()
     }
 
-    /// Total stored bytes.
+    /// Total logical (decoded) bytes across partitions.
     pub fn total_bytes(&self) -> u64 {
         self.partitions.iter().map(|p| p.stored_bytes).sum()
+    }
+
+    /// Total encoded bytes across partitions — the object-store footprint
+    /// that storage bills and full-table I/O (recluster, MV builds) pay.
+    pub fn total_encoded_bytes(&self) -> u64 {
+        self.partitions.iter().map(|p| p.encoded_bytes).sum()
     }
 
     /// Number of micro-partitions.
@@ -61,18 +73,21 @@ impl Table {
         let mut kept = Vec::new();
         let mut pruned_partitions = 0usize;
         let mut pruned_bytes = 0u64;
+        let mut pruned_encoded_bytes = 0u64;
         for (i, p) in self.partitions.iter().enumerate() {
             if p.zone_map.may_contain(bounds) {
                 kept.push(i);
             } else {
                 pruned_partitions += 1;
                 pruned_bytes += p.stored_bytes;
+                pruned_encoded_bytes += p.encoded_bytes;
             }
         }
         PruneOutcome {
             kept,
             pruned_partitions,
             pruned_bytes,
+            pruned_encoded_bytes,
         }
     }
 
@@ -131,9 +146,10 @@ impl Table {
                     .collect(),
             );
         }
-        // Rebuild partitions with the encoded columns swapped in. Zone maps
-        // and stored_bytes are value-level quantities, so they are preserved
-        // verbatim rather than recomputed.
+        // Rebuild partitions with the encoded columns swapped in. Zone maps,
+        // stored_bytes, and page accounting are value-level quantities (the
+        // page codec picker sees through string encodings), so they are
+        // preserved verbatim rather than recomputed.
         for (pi, part) in self.partitions.iter_mut().enumerate() {
             let mut columns: Vec<Arc<ColumnData>> = part.batch.columns().to_vec();
             for (k, &ci) in string_cols.iter().enumerate() {
@@ -356,6 +372,10 @@ mod tests {
         assert_eq!(out.kept, vec![0], "only the first partition can hold 1");
         assert_eq!(out.pruned_partitions, 2);
         assert!(out.pruned_bytes > 0);
+        // Billed savings are reported alongside logical ones (tiny pages can
+        // exceed their logical size by the fixed page header).
+        let expected: u64 = t.partitions[1..].iter().map(|p| p.encoded_bytes).sum();
+        assert_eq!(out.pruned_encoded_bytes, expected);
         // Reclustering preserves the multiset of rows.
         let mut vals = t.to_batch().unwrap().column(0).as_i64().unwrap().to_vec();
         vals.sort_unstable();
@@ -395,6 +415,7 @@ mod tests {
         .unwrap();
         let plain = b.finish().unwrap();
         let plain_bytes = plain.total_bytes();
+        let plain_encoded = plain.total_encoded_bytes();
         let plain_rows = plain.to_batch().unwrap();
 
         let t = plain.dict_encoded();
@@ -405,8 +426,10 @@ mod tests {
             let (_, d) = p.batch.column(1).as_dict().expect("dict-encoded");
             assert!(Arc::ptr_eq(d, &dict));
         }
-        // Values, byte accounting, and zone maps are unchanged.
+        // Values, byte accounting (both currencies), and zone maps are
+        // unchanged.
         assert_eq!(t.total_bytes(), plain_bytes);
+        assert_eq!(t.total_encoded_bytes(), plain_encoded);
         assert_eq!(t.to_batch().unwrap(), plain_rows);
         assert_eq!(
             t.partitions[0].zone_map.ranges[1],

@@ -87,10 +87,13 @@ proptest! {
 
         prop_assert_eq!(encoded.row_count(), plain.row_count());
         prop_assert_eq!(encoded.total_bytes(), plain.total_bytes());
+        prop_assert_eq!(encoded.total_encoded_bytes(), plain.total_encoded_bytes());
         prop_assert_eq!(encoded.to_batch().unwrap(), plain.to_batch().unwrap());
         for (pe, pp) in encoded.partitions.iter().zip(&plain.partitions) {
             prop_assert_eq!(&pe.zone_map, &pp.zone_map);
             prop_assert_eq!(pe.stored_bytes, pp.stored_bytes);
+            prop_assert_eq!(pe.encoded_bytes, pp.encoded_bytes);
+            prop_assert_eq!(&pe.pages, &pp.pages);
         }
         let dict = encoded.column_dictionary(0).expect("shared dictionary");
         let distinct: std::collections::BTreeSet<_> = vals.iter().collect();

@@ -1,0 +1,219 @@
+//! Property tests for the encoded page format: every codec round-trips
+//! every column variant exactly, compression never loses data, sizing is
+//! exact, and malformed pages fail with errors, never panics. A golden
+//! fixed-bytes test pins the wire format itself — any byte-level change to
+//! the encoder is a format break and must bump `PAGE_VERSION`.
+
+use ci_storage::column::ColumnData;
+use ci_storage::pages::{
+    decode_column, dictionary_page_bytes, encode_best, encode_column, encoded_size, pick_codec,
+    PageCodec, WireEncoder, PAGE_HEADER_BYTES, PAGE_MAGIC, PAGE_VERSION,
+};
+use proptest::prelude::*;
+
+fn utf8(vals: &[String]) -> ColumnData {
+    ColumnData::Utf8(vals.to_vec())
+}
+
+/// Round-trips one column through every applicable codec, checking value
+/// equality and exact size accounting.
+fn check_round_trip(col: &ColumnData) -> Result<(), String> {
+    for &codec in PageCodec::candidates(col.data_type()) {
+        let (meta, bytes) = encode_column(col, codec).map_err(|e| e.to_string())?;
+        if meta.encoded_bytes as usize != bytes.len() {
+            return Err(format!(
+                "{codec:?}: meta says {} bytes, encoded {}",
+                meta.encoded_bytes,
+                bytes.len()
+            ));
+        }
+        if encoded_size(col, codec).map_err(|e| e.to_string())? != bytes.len() as u64 {
+            return Err(format!(
+                "{codec:?}: size-only estimate disagrees with encoder"
+            ));
+        }
+        if meta.rows != col.len() || meta.decoded_bytes != col.byte_size() as u64 {
+            return Err(format!("{codec:?}: bad metadata {meta:?}"));
+        }
+        let decoded = decode_column(&bytes).map_err(|e| e.to_string())?;
+        if &decoded != col {
+            return Err(format!("{codec:?}: decode(encode(c)) != c"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Int columns round-trip through Plain and Rle bit-identically.
+    #[test]
+    fn int_columns_round_trip(vals in proptest::collection::vec(any::<i64>(), 0..200usize)) {
+        let col = ColumnData::Int64(vals);
+        prop_assert!(check_round_trip(&col).is_ok(), "{:?}", check_round_trip(&col));
+    }
+
+    /// Float columns round-trip (IEEE bits preserved exactly).
+    #[test]
+    fn float_columns_round_trip(vals in proptest::collection::vec(any::<f64>(), 0..200usize)) {
+        let col = ColumnData::Float64(vals);
+        prop_assert!(check_round_trip(&col).is_ok(), "{:?}", check_round_trip(&col));
+    }
+
+    /// Bool columns round-trip.
+    #[test]
+    fn bool_columns_round_trip(vals in proptest::collection::vec(any::<bool>(), 0..200usize)) {
+        let col = ColumnData::Bool(vals);
+        prop_assert!(check_round_trip(&col).is_ok(), "{:?}", check_round_trip(&col));
+    }
+
+    /// String columns round-trip under both in-memory encodings and all
+    /// three codecs; dict pages decode back to dict-encoded columns.
+    #[test]
+    fn string_columns_round_trip(vals in string_column(6, 1..150)) {
+        let naive = utf8(&vals);
+        let dicted = naive.dict_encoded();
+        prop_assert!(check_round_trip(&naive).is_ok(), "{:?}", check_round_trip(&naive));
+        prop_assert!(check_round_trip(&dicted).is_ok(), "{:?}", check_round_trip(&dicted));
+        let (_, bytes) = encode_column(&dicted, PageCodec::Dict).unwrap();
+        prop_assert!(decode_column(&bytes).unwrap().as_dict().is_some());
+        // Page accounting is invisible to the in-memory string encoding.
+        for &codec in PageCodec::candidates(ci_storage::value::DataType::Utf8) {
+            prop_assert_eq!(
+                encoded_size(&naive, codec).unwrap(),
+                encoded_size(&dicted, codec).unwrap()
+            );
+        }
+    }
+
+    /// On dict/RLE-friendly data (duplicate-heavy, realistically wide
+    /// strings) the picked codec genuinely compresses.
+    #[test]
+    fn friendly_data_compresses(
+        short in string_column(4, 32..200),
+        run_len in 2usize..50,
+    ) {
+        // Widen the pooled values so the decoded column is string-heavy.
+        let vals: Vec<String> = short.iter().map(|s| format!("{s}-{s}-{s}-padding")).collect();
+        let col = utf8(&vals).dict_encoded();
+        let (meta, _) = encode_best(&col).unwrap();
+        prop_assert!(
+            meta.encoded_bytes <= meta.decoded_bytes,
+            "dict-friendly data must not inflate: {meta:?}"
+        );
+        // Runs compress under RLE.
+        let runs = ColumnData::Int64(
+            (0..8i64).flat_map(|v| std::iter::repeat_n(v, run_len)).collect()
+        );
+        let (rmeta, _) = encode_best(&runs).unwrap();
+        prop_assert!(rmeta.encoded_bytes < rmeta.decoded_bytes, "{rmeta:?}");
+        prop_assert_eq!(pick_codec(&runs), PageCodec::Rle);
+    }
+
+    /// Corrupting any single byte of a valid page either fails cleanly or
+    /// still decodes a column of the declared row count — never a panic.
+    #[test]
+    fn corrupted_pages_never_panic(
+        vals in string_column(5, 1..60),
+        flip_at in 0usize..4096,
+        flip_bits in 1u8..255,
+    ) {
+        let col = utf8(&vals).dict_encoded();
+        let (_, mut bytes) = encode_best(&col).unwrap();
+        let at = flip_at % bytes.len();
+        bytes[at] ^= flip_bits;
+        match decode_column(&bytes) {
+            Err(_) => {}
+            Ok(decoded) => prop_assert_eq!(decoded.len(), col.len()),
+        }
+        // Every truncation of the valid page errors.
+        bytes[at] ^= flip_bits; // restore
+        let cut = flip_at % bytes.len();
+        prop_assert!(decode_column(&bytes[..cut]).is_err());
+    }
+
+    /// The wire encoder's size-only accounting matches its real serializer,
+    /// and re-shipping a dictionary is free after the first transfer.
+    #[test]
+    fn wire_sizes_match_serialization(vals in string_column(5, 1..120)) {
+        let col = utf8(&vals).dict_encoded();
+        let (_, dict) = col.as_dict().unwrap();
+        let dict_bytes = dictionary_page_bytes(dict);
+        let mut size_only = WireEncoder::new();
+        let mut real = WireEncoder::new();
+        for _ in 0..3 {
+            let expected = size_only.column_wire_bytes(&col);
+            let bytes = real.encode_column(&col).unwrap();
+            prop_assert_eq!(bytes.len() as u64, expected);
+        }
+        // Second transfer of the same column saves exactly the dictionary.
+        let mut w = WireEncoder::new();
+        let first = w.column_wire_bytes(&col);
+        let second = w.column_wire_bytes(&col);
+        prop_assert_eq!(first, second + dict_bytes);
+    }
+}
+
+/// Pins the byte-level wire format. If this test fails, the format changed:
+/// bump [`PAGE_VERSION`] and treat it as a breaking storage change.
+#[test]
+fn golden_bytes_pin_the_format() {
+    assert_eq!(PAGE_MAGIC, *b"CIPG");
+    assert_eq!(PAGE_VERSION, 1);
+    assert_eq!(PAGE_HEADER_BYTES, 12);
+
+    // Plain Int64 [1, 2]: header + two LE i64s.
+    let (_, bytes) = encode_column(&ColumnData::Int64(vec![1, 2]), PageCodec::Plain).unwrap();
+    #[rustfmt::skip]
+    let expected = vec![
+        0x43, 0x49, 0x50, 0x47, // "CIPG"
+        0x01,                   // version
+        0x00,                   // codec = Plain
+        0x00,                   // dtype = Int64
+        0x00,                   // reserved
+        0x02, 0x00, 0x00, 0x00, // rows = 2
+        0x01, 0, 0, 0, 0, 0, 0, 0,
+        0x02, 0, 0, 0, 0, 0, 0, 0,
+    ];
+    assert_eq!(bytes, expected, "Plain Int64 layout drifted");
+
+    // Dict page over ["b", "a", "b"]: 2 entries in first-appearance order,
+    // 1-bit ids packed LSB-first (0, 1, 0 -> 0b010).
+    let col = utf8(&["b".into(), "a".into(), "b".into()]);
+    let (meta, bytes) = encode_column(&col, PageCodec::Dict).unwrap();
+    #[rustfmt::skip]
+    let expected = vec![
+        0x43, 0x49, 0x50, 0x47, 0x01,
+        0x01,                   // codec = Dict
+        0x02,                   // dtype = Utf8
+        0x00,
+        0x03, 0x00, 0x00, 0x00, // rows = 3
+        0x02, 0x00, 0x00, 0x00, // 2 dictionary entries
+        0x01, 0x00, 0x00, 0x00, 0x62, // "b"
+        0x01, 0x00, 0x00, 0x00, 0x61, // "a"
+        0x01,                   // bit width = 1
+        0x02,                   // ids 0,1,0 packed LSB-first
+    ];
+    assert_eq!(bytes, expected, "Dict page layout drifted");
+    assert_eq!(meta.dict_bytes, 14, "dict section = count + 2 entries");
+
+    // RLE Bool [true, true, false]: two runs.
+    let (_, bytes) =
+        encode_column(&ColumnData::Bool(vec![true, true, false]), PageCodec::Rle).unwrap();
+    #[rustfmt::skip]
+    let expected = vec![
+        0x43, 0x49, 0x50, 0x47, 0x01,
+        0x02,                   // codec = Rle
+        0x03,                   // dtype = Bool
+        0x00,
+        0x03, 0x00, 0x00, 0x00, // rows = 3
+        0x02, 0x00, 0x00, 0x00, // 2 runs
+        0x02, 0x00, 0x00, 0x00, 0x01, // run: 2 x true
+        0x01, 0x00, 0x00, 0x00, 0x00, // run: 1 x false
+    ];
+    assert_eq!(bytes, expected, "RLE layout drifted");
+
+    // Round-trip the goldens for good measure.
+    assert_eq!(
+        decode_column(&encode_column(&col, PageCodec::Dict).unwrap().1).unwrap(),
+        col
+    );
+}

@@ -17,6 +17,8 @@ pub enum CiError {
     Parse(String),
     /// Name resolution / catalog lookup failure (unknown table, column, ...).
     Catalog(String),
+    /// Storage-format failure (malformed encoded page, codec mismatch, ...).
+    Storage(String),
     /// Logical or physical planning failure.
     Plan(String),
     /// Execution-time failure (type mismatch in a batch, missing input, ...).
@@ -38,6 +40,7 @@ impl CiError {
         match self {
             CiError::Parse(_) => "parse",
             CiError::Catalog(_) => "catalog",
+            CiError::Storage(_) => "storage",
             CiError::Plan(_) => "plan",
             CiError::Exec(_) => "exec",
             CiError::Cloud(_) => "cloud",
@@ -53,6 +56,7 @@ impl fmt::Display for CiError {
         let (kind, msg) = match self {
             CiError::Parse(m) => ("parse error", m),
             CiError::Catalog(m) => ("catalog error", m),
+            CiError::Storage(m) => ("storage error", m),
             CiError::Plan(m) => ("plan error", m),
             CiError::Exec(m) => ("execution error", m),
             CiError::Cloud(m) => ("cloud error", m),
@@ -82,6 +86,7 @@ mod tests {
         let all = [
             CiError::Parse(String::new()),
             CiError::Catalog(String::new()),
+            CiError::Storage(String::new()),
             CiError::Plan(String::new()),
             CiError::Exec(String::new()),
             CiError::Cloud(String::new()),
