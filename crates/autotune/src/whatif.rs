@@ -430,6 +430,26 @@ mod tests {
     }
 
     #[test]
+    fn recluster_benefits_full_scans_via_compression_alone() {
+        // Full scans see no zone-map pruning, but reclustering sorts the id
+        // column, which collapses under the delta page codec — the second
+        // lever (encoded-byte fetches shrink) rewards the action even
+        // without a selective predicate.
+        let cat = catalog();
+        let svc = WhatIfService::new(&cat, WhatIfConfig::default());
+        let action = TuningAction::Recluster {
+            table: "facts".into(),
+            column: "id".into(),
+        };
+        let report = svc.evaluate(&action, &workload(AGG, 100.0)).unwrap();
+        assert!(
+            report.benefit_rate > Dollars::ZERO,
+            "compression lever must reward reclustering: {}",
+            report.narrative
+        );
+    }
+
+    #[test]
     fn recluster_rejected_without_benefiting_queries() {
         let cat = catalog();
         let svc = WhatIfService::new(&cat, WhatIfConfig::default());
@@ -437,8 +457,10 @@ mod tests {
             table: "facts".into(),
             column: "id".into(),
         };
-        // Full scans do not benefit from zone maps.
-        let report = svc.evaluate(&action, &workload(AGG, 100.0)).unwrap();
+        // Queries that never touch the table gain nothing from either
+        // lever (pruning or compression).
+        let other = workload("SELECT d_name FROM dims WHERE d_id < 5", 100.0);
+        let report = svc.evaluate(&action, &other).unwrap();
         assert_eq!(report.benefit_rate, Dollars::ZERO);
         assert!(!report.accepted);
     }

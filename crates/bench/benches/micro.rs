@@ -19,7 +19,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use ci_autotune::{QueryLogRecord, StatisticsService, StatsConfig};
 use ci_bench::hotpath::{
     run_exchange_wire, run_filter, run_filter_chain, run_group_by, run_join, run_page_encode,
-    string_batch, wide_batch,
+    run_page_encode_int, sorted_int_batch, string_batch, wide_batch,
 };
 use ci_bench::plan_query;
 use ci_cost::{CostEstimator, EstimatorConfig};
@@ -168,6 +168,14 @@ fn bench_hot_path(c: &mut Criterion) {
         });
         g.bench_function(&format!("exchange_wire/{enc}"), |b| {
             b.iter(|| run_exchange_wire(&batch, 8_192).expect("exchange wire"))
+        });
+    }
+    // Int pages: the sorted-int fixture through Plain (8 B/row both ways)
+    // vs the size-picked FoR/Delta codecs (a few bits per row).
+    let ints = sorted_int_batch(ROWS);
+    for (mode, int_codecs) in [("plain", false), ("for_delta", true)] {
+        g.bench_function(&format!("page_encode_int/{mode}"), |b| {
+            b.iter(|| run_page_encode_int(&ints, int_codecs).expect("int page encode"))
         });
     }
     // Late materialization: the same dict batch through a filter→project

@@ -8,11 +8,14 @@
 //! one process. In every entry `baseline_naive_ns` is the pre-refactor
 //! behaviour (owned `Vec<String>` columns with per-row clones and boxed
 //! keys; per-operator compaction for `filter_chain`; per-chunk dictionary
-//! rebuilds for the page kernels) and `dict_ns` the optimized path
-//! (dictionary encoding; deferred selection vectors; shared-dictionary wire
-//! streams). The report also records the exchange payload in three
-//! currencies (`exchange_wire_bytes` / `exchange_plain_bytes` /
-//! `exchange_decoded_bytes`). The JSON lands at the repo root (or
+//! rebuilds for the page kernels; Plain-only codec picking for
+//! `page_encode_int`) and `dict_ns` the optimized path (dictionary
+//! encoding; deferred selection vectors; shared-dictionary wire streams;
+//! FoR/Delta int pages). The report also records the exchange payload in
+//! three currencies (`exchange_wire_bytes` / `exchange_plain_bytes` /
+//! `exchange_decoded_bytes`) and the sorted-int page footprint
+//! (`int_encoded_bytes` / `int_plain_bytes`). The JSON lands at the repo
+//! root (or
 //! `$BENCH_MICRO_OUT`) so successive PRs can track the perf trajectory; CI
 //! uploads it as an artifact and `bench_check` fails the build if any
 //! recorded speedup regresses below 1.0 or the dict-exchange payload stops
@@ -23,8 +26,9 @@
 use std::time::Instant;
 
 use ci_bench::hotpath::{
-    exchange_wire_accounting, run_exchange_wire, run_filter, run_filter_chain, run_group_by,
-    run_join, run_page_encode, string_batch, wide_batch,
+    exchange_wire_accounting, int_codec_accounting, run_exchange_wire, run_filter,
+    run_filter_chain, run_group_by, run_join, run_page_encode, run_page_encode_int,
+    sorted_int_batch, string_batch, wide_batch,
 };
 use ci_storage::RecordBatch;
 use ci_types::Result;
@@ -105,6 +109,25 @@ fn measure_filter_chain() -> Result<Measurement> {
     })
 }
 
+/// The int-codec measurement: the same sorted-int fixture, baseline
+/// round-trips through Plain pages (8 B/row), the optimized run through the
+/// size-picked FoR/Delta codecs (a few bits per row).
+fn measure_page_encode_int() -> Result<Measurement> {
+    let batch = sorted_int_batch(ROWS);
+    let (baseline_naive_ns, plain_check) = time_min(|| run_page_encode_int(&batch, false))?;
+    let (dict_ns, int_check) = time_min(|| run_page_encode_int(&batch, true))?;
+    assert_eq!(
+        plain_check, int_check,
+        "page_encode_int: codecs disagree on decoded values"
+    );
+    Ok(Measurement {
+        name: "page_encode_int",
+        baseline_naive_ns,
+        dict_ns,
+        check: int_check,
+    })
+}
+
 fn main() -> Result<()> {
     let measurements = vec![
         measure("filter_string_eq", |b, _| run_filter(b))?,
@@ -112,6 +135,7 @@ fn main() -> Result<()> {
         measure("group_by_string_key", |b, _| run_group_by(b, MORSEL))?,
         measure_filter_chain()?,
         measure("page_encode", |b, _| run_page_encode(b))?,
+        measure_page_encode_int()?,
         measure("exchange_wire", |b, _| run_exchange_wire(b, MORSEL))?,
     ];
 
@@ -120,14 +144,19 @@ fn main() -> Result<()> {
     // on the wire payload beating plain and halving the decoded bytes.
     let dict = string_batch(ROWS, CARDINALITY, 11, true);
     let (wire_bytes, plain_bytes, decoded_bytes) = exchange_wire_accounting(&dict, MORSEL)?;
+    // Int page accounting (not timed): the sorted-int fixture under the
+    // size-picked FoR/Delta codecs vs Plain. CI gates on >= 4x compression.
+    let (int_encoded_bytes, int_plain_bytes) = int_codec_accounting(&sorted_int_batch(ROWS))?;
 
     let mut json = String::from("{\n");
-    json.push_str("  \"schema_version\": 2,\n");
+    json.push_str("  \"schema_version\": 3,\n");
     json.push_str(&format!("  \"rows\": {ROWS},\n"));
     json.push_str(&format!("  \"cardinality\": {CARDINALITY},\n"));
     json.push_str(&format!("  \"exchange_wire_bytes\": {wire_bytes},\n"));
     json.push_str(&format!("  \"exchange_plain_bytes\": {plain_bytes},\n"));
     json.push_str(&format!("  \"exchange_decoded_bytes\": {decoded_bytes},\n"));
+    json.push_str(&format!("  \"int_encoded_bytes\": {int_encoded_bytes},\n"));
+    json.push_str(&format!("  \"int_plain_bytes\": {int_plain_bytes},\n"));
     json.push_str("  \"benches\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         json.push_str(&format!(
@@ -164,6 +193,12 @@ fn main() -> Result<()> {
         plain_bytes as f64 / 1e3,
         decoded_bytes as f64 / 1e3,
         decoded_bytes as f64 / wire_bytes.max(1) as f64
+    );
+    println!(
+        "sorted-int pages: FoR/Delta {:.1} KB vs plain {:.1} KB ({:.2}x smaller)",
+        int_encoded_bytes as f64 / 1e3,
+        int_plain_bytes as f64 / 1e3,
+        int_plain_bytes as f64 / int_encoded_bytes.max(1) as f64
     );
     println!("wrote {out}");
     Ok(())

@@ -28,7 +28,7 @@ pub struct BenchEntry {
 /// The parsed report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
-    /// Report format version; this reader understands version 2.
+    /// Report format version; this reader understands version 3.
     pub schema_version: u64,
     /// Fixture rows per batch.
     pub rows: u64,
@@ -42,6 +42,12 @@ pub struct BenchReport {
     pub exchange_plain_bytes: u64,
     /// Decoded logical bytes of the stream.
     pub exchange_decoded_bytes: u64,
+    /// Sorted-int fixture page bytes under the size-picked FoR/Delta
+    /// codecs.
+    pub int_encoded_bytes: u64,
+    /// The same fixture as Plain pages (8 B per int) — the pre-int-codec
+    /// storage footprint.
+    pub int_plain_bytes: u64,
     /// The kernel measurements.
     pub benches: Vec<BenchEntry>,
 }
@@ -53,6 +59,7 @@ pub const REQUIRED_BENCHES: &[&str] = &[
     "group_by_string_key",
     "filter_chain",
     "page_encode",
+    "page_encode_int",
     "exchange_wire",
 ];
 
@@ -60,7 +67,7 @@ impl BenchReport {
     /// Parses a `BENCH_micro.json` document.
     pub fn parse(json: &str) -> Result<BenchReport> {
         let schema_version = int_field(json, "schema_version")?;
-        if schema_version != 2 {
+        if schema_version != 3 {
             return Err(CiError::Config(format!(
                 "unsupported BENCH_micro schema_version {schema_version}"
             )));
@@ -70,6 +77,8 @@ impl BenchReport {
         let exchange_wire_bytes = int_field(json, "exchange_wire_bytes")?;
         let exchange_plain_bytes = int_field(json, "exchange_plain_bytes")?;
         let exchange_decoded_bytes = int_field(json, "exchange_decoded_bytes")?;
+        let int_encoded_bytes = int_field(json, "int_encoded_bytes")?;
+        let int_plain_bytes = int_field(json, "int_plain_bytes")?;
         let array = section(json, "benches")?;
         let benches = objects(array)
             .map(|obj| {
@@ -89,6 +98,8 @@ impl BenchReport {
             exchange_wire_bytes,
             exchange_plain_bytes,
             exchange_decoded_bytes,
+            int_encoded_bytes,
+            int_plain_bytes,
             benches,
         })
     }
@@ -120,6 +131,15 @@ impl BenchReport {
                     b.name, b.speedup
                 ));
             }
+        }
+        if self.int_encoded_bytes == 0 {
+            out.push("int_encoded_bytes is zero — no sorted-int pages recorded".into());
+        } else if self.int_plain_bytes < 4 * self.int_encoded_bytes {
+            out.push(format!(
+                "sorted-int fixture no longer compresses >= 4x under FoR/Delta \
+                 ({} B encoded vs {} B plain)",
+                self.int_encoded_bytes, self.int_plain_bytes
+            ));
         }
         if self.exchange_wire_bytes == 0 {
             out.push("exchange_wire_bytes is zero — no payload recorded".into());
@@ -209,17 +229,20 @@ mod tests {
     fn sample(speedup: &str) -> String {
         format!(
             r#"{{
-  "schema_version": 2,
+  "schema_version": 3,
   "rows": 1000,
   "cardinality": 10,
   "exchange_wire_bytes": 400,
   "exchange_plain_bytes": 1100,
   "exchange_decoded_bytes": 1000,
+  "int_encoded_bytes": 150,
+  "int_plain_bytes": 1600,
   "benches": [
     {{"name": "filter_string_eq", "baseline_naive_ns": 200, "dict_ns": 100, "speedup": 2.00, "check": 5}},
     {{"name": "hash_join_string_key", "baseline_naive_ns": 300, "dict_ns": 100, "speedup": 3.00, "check": 6}},
     {{"name": "group_by_string_key", "baseline_naive_ns": 150, "dict_ns": 100, "speedup": 1.50, "check": 7}},
     {{"name": "page_encode", "baseline_naive_ns": 180, "dict_ns": 100, "speedup": 1.80, "check": 9}},
+    {{"name": "page_encode_int", "baseline_naive_ns": 400, "dict_ns": 100, "speedup": 4.00, "check": 11}},
     {{"name": "exchange_wire", "baseline_naive_ns": 220, "dict_ns": 100, "speedup": 2.20, "check": 10}},
     {{"name": "filter_chain", "baseline_naive_ns": {base}, "dict_ns": 100, "speedup": {speedup}, "check": 8}}
   ]
@@ -232,16 +255,18 @@ mod tests {
     #[test]
     fn parses_the_writer_format() {
         let r = BenchReport::parse(&sample("2.50")).unwrap();
-        assert_eq!(r.schema_version, 2);
+        assert_eq!(r.schema_version, 3);
         assert_eq!(r.rows, 1000);
-        assert_eq!(r.benches.len(), 6);
-        assert_eq!(r.benches[5].name, "filter_chain");
-        assert_eq!(r.benches[5].baseline_naive_ns, 250);
-        assert!((r.benches[5].speedup - 2.5).abs() < 1e-9);
+        assert_eq!(r.benches.len(), 7);
+        assert_eq!(r.benches[6].name, "filter_chain");
+        assert_eq!(r.benches[6].baseline_naive_ns, 250);
+        assert!((r.benches[6].speedup - 2.5).abs() < 1e-9);
         assert_eq!(r.benches[0].check, 5);
         assert_eq!(r.exchange_wire_bytes, 400);
         assert_eq!(r.exchange_plain_bytes, 1100);
         assert_eq!(r.exchange_decoded_bytes, 1000);
+        assert_eq!(r.int_encoded_bytes, 150);
+        assert_eq!(r.int_plain_bytes, 1600);
         assert!(r.violations().is_empty());
     }
 
@@ -275,6 +300,32 @@ mod tests {
     }
 
     #[test]
+    fn int_codec_compression_gates() {
+        // Under 4x: the FoR/Delta pages stopped paying off.
+        let weak =
+            sample("2.00").replace("\"int_encoded_bytes\": 150", "\"int_encoded_bytes\": 500");
+        let v = BenchReport::parse(&weak).unwrap().violations();
+        assert!(
+            v.iter().any(|m| m.contains(">= 4x under FoR/Delta")),
+            "{v:?}"
+        );
+        // Zero means the writer recorded nothing.
+        let zero = sample("2.00").replace("\"int_encoded_bytes\": 150", "\"int_encoded_bytes\": 0");
+        let v = BenchReport::parse(&zero).unwrap().violations();
+        assert!(
+            v.iter().any(|m| m.contains("int_encoded_bytes is zero")),
+            "{v:?}"
+        );
+        // Missing the int kernel is a schema violation.
+        let missing = sample("2.00").replace("page_encode_int", "page_encode_xyz");
+        let v = BenchReport::parse(&missing).unwrap().violations();
+        assert!(
+            v.iter().any(|m| m.contains("'page_encode_int' missing")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
     fn regression_below_one_is_flagged() {
         let r = BenchReport::parse(&sample("0.80")).unwrap();
         let v = r.violations();
@@ -304,7 +355,7 @@ mod tests {
     fn malformed_documents_error() {
         assert!(BenchReport::parse("{}").is_err());
         let wrong_version =
-            sample("2.00").replace("\"schema_version\": 2", "\"schema_version\": 9");
+            sample("2.00").replace("\"schema_version\": 3", "\"schema_version\": 9");
         assert!(BenchReport::parse(&wrong_version).is_err());
         let missing_field = sample("2.00").replace("\"dict_ns\"", "\"other\"");
         assert!(BenchReport::parse(&missing_field).is_err());

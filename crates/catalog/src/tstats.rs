@@ -291,6 +291,23 @@ mod tests {
     }
 
     #[test]
+    fn int_avg_encoded_width_reflects_delta_pages() {
+        // The id column is sorted within each partition, so its pages
+        // collapse under the Delta codec: the per-row wire width the
+        // exchange cost terms charge drops far below the 8-byte decoded
+        // width, without any dictionary in play.
+        let s = TableStats::compute(&table());
+        assert!((s.columns[0].avg_width - 8.0).abs() < 1e-9);
+        assert!(
+            s.columns[0].avg_encoded_width < s.columns[0].avg_width / 2.0,
+            "sorted ints must encode below half their decoded width: {}",
+            s.columns[0].avg_encoded_width
+        );
+        assert!(s.columns[0].avg_encoded_width > 0.0);
+        assert!(s.total_encoded_bytes < s.total_bytes);
+    }
+
+    #[test]
     fn dict_encoded_table_reports_exact_ndv_from_dictionary() {
         let t = table().dict_encoded();
         let s = TableStats::compute(&t);

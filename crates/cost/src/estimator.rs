@@ -438,6 +438,47 @@ mod tests {
     }
 
     #[test]
+    fn int_codecs_shrink_fetch_and_exchange_charges() {
+        // `facts` has a sorted id column (Delta pages) and a small-domain
+        // grp column (FoR pages): the scan's fetch term charges encoded
+        // bytes well under the decoded payload, and the group-by exchange
+        // charges the encoded per-row width, not 8 bytes per int.
+        let cat = catalog();
+        let est = CostEstimator::new(&cat, EstimatorConfig::default());
+
+        let (plan, graph) = planned(&cat, "SELECT id FROM facts");
+        let w = est.pipeline_work(&plan, &graph.pipelines[0]).unwrap();
+        assert!(w.fetch_bytes > 0.0);
+        assert!(
+            w.fetch_bytes * 2.0 < w.decode_bytes,
+            "encoded fetch {} must be under half the decoded payload {}",
+            w.fetch_bytes,
+            w.decode_bytes
+        );
+
+        let (plan, graph) = planned(&cat, "SELECT grp, COUNT(*) FROM facts GROUP BY grp");
+        let w = est.pipeline_work(&plan, &graph.pipelines[0]).unwrap();
+        assert!(w.exchange_rows > 0.0 && w.exchange_bytes > 0.0);
+        let exch = plan
+            .nodes
+            .iter()
+            .position(|n| matches!(n.op, PhysicalOp::ExchangeHash { .. }))
+            .expect("group-by plans an exchange");
+        assert!(
+            plan.encoded_row_width(exch) * 2.0 < plan.row_width(exch),
+            "int slots must exchange at encoded width: {} vs decoded {}",
+            plan.encoded_row_width(exch),
+            plan.row_width(exch)
+        );
+        let charged = w.exchange_rows * plan.encoded_row_width(exch) + plan.dict_wire_bytes(exch);
+        assert!(
+            (w.exchange_bytes - charged).abs() < 1.0,
+            "exchange charge {} must follow the encoded widths ({charged})",
+            w.exchange_bytes
+        );
+    }
+
+    #[test]
     fn exchange_heavy_pipeline_has_a_knee() {
         let cat = catalog();
         let (plan, graph) = planned(&cat, "SELECT grp, COUNT(*) FROM facts GROUP BY grp");

@@ -28,8 +28,9 @@ use ci_cloud::work::WorkModels;
 use ci_plan::expr::{ColMap, PlanExpr};
 use ci_plan::physical::{PhysicalOp, PhysicalPlan};
 use ci_plan::pipeline::{Pipeline, PipelineGraph, SinkKind};
-use ci_storage::pages::WireEncoder;
+use ci_storage::pages::{WireDecoder, WireEncoder};
 use ci_storage::schema::SchemaRef;
+use ci_storage::selection::SelectionVector;
 use ci_storage::RecordBatch;
 use ci_types::money::{Dollars, DollarsPerSecond};
 use ci_types::{CiError, Result, SimDuration, SimTime};
@@ -53,6 +54,14 @@ pub struct ExecutionConfig {
     pub morsel_rows: usize,
     /// Progress-callback period, in morsels.
     pub check_interval: usize,
+    /// Run exchanges and gathers through the *real* wire path: serialize
+    /// each shuffled batch with the pipeline's [`WireEncoder`] and decode it
+    /// back through a paired [`WireDecoder`] (per-stream dictionary cache)
+    /// before it continues downstream. Results, metrics, and `Dollars` are
+    /// bit-identical to the default size-only accounting — engine tests pin
+    /// that — so this stays off outside tests, where the simulation only
+    /// needs byte counts.
+    pub wire_roundtrip: bool,
 }
 
 impl Default for ExecutionConfig {
@@ -63,6 +72,7 @@ impl Default for ExecutionConfig {
             resize_latency: SimDuration::from_millis(500),
             morsel_rows: 65_536,
             check_interval: 8,
+            wire_roundtrip: false,
         }
     }
 }
@@ -465,8 +475,10 @@ impl<'a> Executor<'a> {
         let mut sink_rows_physical = 0u64;
         let mut gather_bytes = 0f64;
         // One wire stream per pipeline execution: each shared dictionary
-        // ships once, then dict columns ride as bit-packed ids.
+        // ships once, then dict columns ride as bit-packed ids. The paired
+        // decoder is the receiver's dictionary cache (wire_roundtrip only).
         let mut wire = WireEncoder::new();
+        let mut wire_rx = WireDecoder::new();
         let mut exchange_wire_bytes = 0u64;
         let mut exchange_decoded_bytes = 0u64;
         let total_morsels = morsels.len();
@@ -531,7 +543,7 @@ impl<'a> Executor<'a> {
                         // format* (encoded pages; dict ids + one-time
                         // dictionary), not at decoded width.
                         batch = batch.compacted();
-                        let wire_bytes = wire.batch_wire_bytes(&batch);
+                        let wire_bytes = self.ship_batch(&mut batch, &mut wire, &mut wire_rx)?;
                         exchange_wire_bytes += wire_bytes;
                         exchange_decoded_bytes += batch.byte_size() as u64;
                         secs += w.exchange_wire_secs(wire_bytes as f64, cur_dop);
@@ -541,7 +553,7 @@ impl<'a> Executor<'a> {
                         // Gather is a network materialization point like
                         // exchange: the receiver gets wire-format pages.
                         batch = batch.compacted();
-                        let wire_bytes = wire.batch_wire_bytes(&batch);
+                        let wire_bytes = self.ship_batch(&mut batch, &mut wire, &mut wire_rx)?;
                         exchange_wire_bytes += wire_bytes;
                         exchange_decoded_bytes += batch.byte_size() as u64;
                         gather_bytes += wire_bytes as f64;
@@ -566,7 +578,15 @@ impl<'a> Executor<'a> {
                     Step::Limit { node } => {
                         if let Some(rem) = &mut limit_remaining {
                             let take = (*rem as usize).min(batch.rows());
-                            batch = batch.slice(0, take)?;
+                            // Pushed into the selection: a prefix range over
+                            // the logical rows shares every column, so the
+                            // cut is zero-copy whether or not the stream
+                            // already carries a deferred filter.
+                            batch = batch.select(SelectionVector::from_range(
+                                0,
+                                take,
+                                batch.rows(),
+                            )?)?;
                             *rem -= take as u64;
                         }
                         node_actual[*node] += batch.rows() as u64;
@@ -723,6 +743,39 @@ impl<'a> Executor<'a> {
         })
     }
 
+    /// Puts one compacted batch on a pipeline's transfer stream and returns
+    /// its wire bytes. Size-only accounting by default; with
+    /// [`ExecutionConfig::wire_roundtrip`], really serializes through the
+    /// stream's encoder and decodes through the paired receiver cache,
+    /// replacing the batch with the receiver's view (byte counts are
+    /// identical either way — the size-only path is the serializer's exact
+    /// size function).
+    fn ship_batch(
+        &self,
+        batch: &mut RecordBatch,
+        tx: &mut WireEncoder,
+        rx: &mut WireDecoder,
+    ) -> Result<u64> {
+        if !self.config.wire_roundtrip {
+            return Ok(tx.batch_wire_bytes(batch));
+        }
+        let blobs = tx.encode_batch(batch)?;
+        let bytes = blobs.iter().map(|b| b.len() as u64).sum();
+        let decoded = rx.decode_batch(batch.schema().clone(), &blobs)?;
+        // The decoded view carries the *receiver's* dictionary Arcs; alias
+        // them to the sent ones so a later transfer point in the same
+        // pipeline (Exchange then Gather) recognizes the dictionary as
+        // already shipped — exactly like the size-only accounting, which
+        // sees the sender's Arc at both points.
+        for (sent, got) in batch.columns().iter().zip(decoded.columns()) {
+            if let (Some((_, a)), Some((_, b))) = (sent.as_dict(), got.as_dict()) {
+                tx.alias_shipped(a, b);
+            }
+        }
+        *batch = decoded;
+        Ok(bytes)
+    }
+
     fn make_sink(
         &self,
         plan: &PhysicalPlan,
@@ -789,10 +842,29 @@ impl<'a> Executor<'a> {
                             })
                     })
                     .collect::<Result<Vec<_>>>()?;
-                Ok(Sink::Sorter(SortBuffer::new(
-                    slots_schema(layout, &plan.slot_types),
-                    positions,
-                )))
+                // A LIMIT fed by this sort (possibly through Gather/Project,
+                // which preserve row order and count) consumes only the
+                // top-k rows; push it into the sort sink so finalize never
+                // materializes the discarded tail.
+                let limit = plan.nodes.iter().find_map(|node| {
+                    let PhysicalOp::Limit { n } = &node.op else {
+                        return None;
+                    };
+                    let mut cur = *node.children.first()?;
+                    loop {
+                        match &plan.nodes[cur].op {
+                            PhysicalOp::Sort { .. } if cur == sort => return Some(*n as usize),
+                            PhysicalOp::Gather | PhysicalOp::Project { .. } => {
+                                cur = *plan.nodes[cur].children.first()?;
+                            }
+                            _ => return None,
+                        }
+                    }
+                });
+                Ok(Sink::Sorter(
+                    SortBuffer::new(slots_schema(layout, &plan.slot_types), positions)
+                        .with_limit(limit),
+                ))
             }
             SinkKind::Result => Ok(Sink::Result),
         }

@@ -576,11 +576,22 @@ impl AggregateState {
 }
 
 /// Buffers batches for a sort breaker and produces the sorted output.
+///
+/// Buffered batches are kept exactly as they stream in — deferred filter
+/// selections and all. [`SortBuffer::finalize`] sorts a global index
+/// permutation that reads every key column *in place* through its batch's
+/// selection, so the pre-sort `concat` copy the sorter used to pay is gone:
+/// the only materialization is the sorted output itself. With a
+/// [`SortBuffer::with_limit`] bound (a `LIMIT` directly consuming the
+/// sort), only the top-k rows are selected and gathered, so the sink never
+/// materializes rows the query will discard.
 #[derive(Debug)]
 pub struct SortBuffer {
     schema: SchemaRef,
     /// (column position, ascending) sort keys.
     keys: Vec<(usize, bool)>,
+    /// Keep only the first `limit` sorted rows when set.
+    limit: Option<usize>,
     buffered: Vec<RecordBatch>,
 }
 
@@ -590,46 +601,99 @@ impl SortBuffer {
         SortBuffer {
             schema,
             keys,
+            limit: None,
             buffered: Vec::new(),
         }
     }
 
-    /// Buffers one morsel.
+    /// Caps the output at the first `limit` sorted rows (top-k): the
+    /// `LIMIT` pushed down into the sort by the engine.
+    pub fn with_limit(mut self, limit: Option<usize>) -> SortBuffer {
+        self.limit = limit;
+        self
+    }
+
+    /// Buffers one morsel as-is — selections stay deferred until the sorted
+    /// gather.
     pub fn push(&mut self, batch: RecordBatch) {
         self.buffered.push(batch);
     }
 
-    /// Rows buffered so far.
+    /// Logical rows buffered so far.
     pub fn rows(&self) -> usize {
         self.buffered.iter().map(RecordBatch::rows).sum()
     }
 
-    /// Sorts and returns the full output. Comparators read columns in
-    /// place — no per-comparison `Value` (and for dict columns, a one-time
-    /// rank table turns string comparisons into integer comparisons).
+    /// Sorts and returns the output. Comparators read columns in place —
+    /// no per-comparison `Value`, no pre-sort compaction (and for dict
+    /// columns sharing one dictionary, a one-time rank table turns string
+    /// comparisons into integer comparisons).
     pub fn finalize(self) -> Result<RecordBatch> {
         if self.buffered.is_empty() {
             return Ok(RecordBatch::empty(self.schema));
         }
-        let all = RecordBatch::concat(&self.buffered)?;
-        let sort_cols: Vec<(SortCol, bool)> = self
+        // Global row addresses in buffer-arrival (= original logical)
+        // order: (batch, physical row), read through each selection.
+        let mut addrs: Vec<(u32, u32)> = Vec::with_capacity(self.rows());
+        for (bi, b) in self.buffered.iter().enumerate() {
+            match b.selection() {
+                Some(sel) => addrs.extend(sel.iter().map(|p| (bi as u32, p as u32))),
+                None => addrs.extend((0..b.physical_rows()).map(|p| (bi as u32, p as u32))),
+            }
+        }
+        // Per-key, per-batch in-place readers.
+        let key_cols: Vec<(Vec<SortCol>, bool)> = self
             .keys
             .iter()
-            .map(|&(pos, asc)| (SortCol::of(all.column(pos)), asc))
+            .map(|&(pos, asc)| (SortCol::for_batches(&self.buffered, pos), asc))
             .collect();
-        let mut indices: Vec<usize> = (0..all.rows()).collect();
-        indices.sort_by(|&a, &b| {
-            for (col, asc) in &sort_cols {
-                let ord = col.cmp_rows(a, b);
+        let cmp = |a: &(u32, u32), b: &(u32, u32)| {
+            for (cols, asc) in &key_cols {
+                let ord = SortCol::cmp_across(
+                    &cols[a.0 as usize],
+                    a.1 as usize,
+                    &cols[b.0 as usize],
+                    b.1 as usize,
+                );
                 let ord = if *asc { ord } else { ord.reverse() };
                 if ord != Ordering::Equal {
                     return ord;
                 }
             }
-            // Stable tie-break on original index for determinism.
-            a.cmp(&b)
-        });
-        all.take(&indices)
+            // Tie-break on the original position for determinism; this also
+            // makes the comparator a strict total order, so the unstable
+            // sorts below are deterministic.
+            a.cmp(b)
+        };
+        let keep = self.limit.map_or(addrs.len(), |k| k.min(addrs.len()));
+        if keep == 0 {
+            return Ok(RecordBatch::empty(self.schema));
+        }
+        if keep < addrs.len() {
+            // Top-k: partition the k smallest to the front, sort only them.
+            addrs.select_nth_unstable_by(keep - 1, cmp);
+            addrs.truncate(keep);
+        }
+        addrs.sort_unstable_by(cmp);
+        drop(key_cols);
+
+        // Materialize the sorted permutation — the sink's single copy.
+        if let [only] = &self.buffered[..] {
+            let phys: Vec<usize> = addrs.iter().map(|&(_, p)| p as usize).collect();
+            return only.unselected().take(&phys)?.with_schema(self.schema);
+        }
+        let mut columns: Vec<ColumnData> = self.buffered[0]
+            .columns()
+            .iter()
+            .map(|c| c.slice(0, 0))
+            .collect();
+        for &(bi, p) in &addrs {
+            let src = &self.buffered[bi as usize];
+            for (dst, col) in columns.iter_mut().zip(src.columns()) {
+                dst.push_from(col, p as usize)?;
+            }
+        }
+        RecordBatch::new(self.schema, columns)
     }
 }
 
@@ -639,30 +703,75 @@ enum SortCol<'a> {
     F64(&'a [f64]),
     Bool(&'a [bool]),
     Utf8(&'a [String]),
-    /// Dict ids plus the dictionary's lexicographic rank per id.
-    DictRank(&'a [u32], Vec<u32>),
+    /// Dict ids plus the dictionary's lexicographic rank per id. Only built
+    /// when every buffered batch shares one dictionary `Arc`, so ranks from
+    /// different readers are mutually comparable.
+    DictRank(&'a [u32], Arc<Vec<u32>>),
+    /// Dict column compared by decoded string — the cross-dictionary
+    /// fallback.
+    DictStr(&'a ColumnData),
 }
 
 impl<'a> SortCol<'a> {
-    fn of(c: &'a ColumnData) -> SortCol<'a> {
-        match c {
-            ColumnData::Int64(v) => SortCol::I64(v),
-            ColumnData::Float64(v) => SortCol::F64(v),
-            ColumnData::Bool(v) => SortCol::Bool(v),
-            ColumnData::Utf8(v) => SortCol::Utf8(v),
-            ColumnData::Dict { ids, dict } => SortCol::DictRank(ids, dict.sort_ranks()),
+    /// Readers for column `pos` of every batch. Dict columns get shared
+    /// rank tables only when all batches point at one dictionary.
+    fn for_batches(batches: &'a [RecordBatch], pos: usize) -> Vec<SortCol<'a>> {
+        let shared_ranks: Option<Arc<Vec<u32>>> = match batches[0].column(pos) {
+            ColumnData::Dict { dict, .. }
+                if batches.iter().all(|b| {
+                    matches!(b.column(pos), ColumnData::Dict { dict: d, .. }
+                             if Arc::ptr_eq(d, dict))
+                }) =>
+            {
+                Some(Arc::new(dict.sort_ranks()))
+            }
+            _ => None,
+        };
+        batches
+            .iter()
+            .map(|b| {
+                let c = b.column(pos);
+                match c {
+                    ColumnData::Int64(v) => SortCol::I64(v),
+                    ColumnData::Float64(v) => SortCol::F64(v),
+                    ColumnData::Bool(v) => SortCol::Bool(v),
+                    ColumnData::Utf8(v) => SortCol::Utf8(v),
+                    ColumnData::Dict { ids, .. } => match &shared_ranks {
+                        Some(ranks) => SortCol::DictRank(ids, ranks.clone()),
+                        None => SortCol::DictStr(c),
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Borrowed string at row `i` (string readers only).
+    fn str_at(&self, i: usize) -> &str {
+        match self {
+            SortCol::Utf8(v) => &v[i],
+            SortCol::DictStr(c) => c.str_at(i).expect("dict column reads strings"),
+            _ => unreachable!("str_at on a non-string sort column"),
         }
     }
 
-    fn cmp_rows(&self, a: usize, b: usize) -> Ordering {
-        match self {
-            SortCol::I64(v) => v[a].cmp(&v[b]),
+    /// Compares row `a` of one batch's reader against row `b` of another's
+    /// (both readers cover the same key column, so variants agree up to
+    /// string encoding).
+    fn cmp_across(a_col: &SortCol, a: usize, b_col: &SortCol, b: usize) -> Ordering {
+        match (a_col, b_col) {
+            (SortCol::I64(x), SortCol::I64(y)) => x[a].cmp(&y[b]),
             // NaNs compare equal, matching `Value::partial_cmp_sql`'s
             // unwrap-to-equal behaviour the sorter always used.
-            SortCol::F64(v) => v[a].partial_cmp(&v[b]).unwrap_or(Ordering::Equal),
-            SortCol::Bool(v) => v[a].cmp(&v[b]),
-            SortCol::Utf8(v) => v[a].cmp(&v[b]),
-            SortCol::DictRank(ids, ranks) => ranks[ids[a] as usize].cmp(&ranks[ids[b] as usize]),
+            (SortCol::F64(x), SortCol::F64(y)) => {
+                x[a].partial_cmp(&y[b]).unwrap_or(Ordering::Equal)
+            }
+            (SortCol::Bool(x), SortCol::Bool(y)) => x[a].cmp(&y[b]),
+            // Rank tables are only constructed over one shared dictionary,
+            // so rank order is value order across readers.
+            (SortCol::DictRank(xi, xr), SortCol::DictRank(yi, yr)) => {
+                xr[xi[a] as usize].cmp(&yr[yi[b] as usize])
+            }
+            (x, y) => x.str_at(a).cmp(y.str_at(b)),
         }
     }
 }
@@ -1050,5 +1159,92 @@ mod tests {
     fn empty_sort() {
         let sb = SortBuffer::new(schema2(DataType::Int64, DataType::Float64), vec![(0, true)]);
         assert_eq!(sb.finalize().unwrap().rows(), 0);
+    }
+
+    #[test]
+    fn sort_reads_buffered_selections_in_place() {
+        // Selected batches sort identically to their eagerly-compacted
+        // equivalents — the pre-sort concat copy is gone, not the
+        // semantics.
+        let schema = schema2(DataType::Int64, DataType::Float64);
+        let b1 = batch(vec![9, 2, 7, 4], vec![0.9, 0.2, 0.7, 0.4]);
+        let b2 = batch(vec![3, 8, 1], vec![0.3, 0.8, 0.1]);
+        let f1 = b1.filter(&[true, false, true, true]).unwrap();
+        let f2 = b2.filter(&[true, true, false]).unwrap();
+        assert!(f1.selection().is_some() && f2.selection().is_some());
+
+        let mut lazy = SortBuffer::new(schema.clone(), vec![(0, true)]);
+        lazy.push(f1.clone());
+        lazy.push(f2.clone());
+        assert_eq!(lazy.rows(), 5, "rows() counts logical rows");
+
+        let mut eager = SortBuffer::new(schema, vec![(0, true)]);
+        eager.push(f1.compacted());
+        eager.push(f2.compacted());
+
+        let lazy_out = lazy.finalize().unwrap();
+        let eager_out = eager.finalize().unwrap();
+        assert_eq!(lazy_out, eager_out);
+        assert_eq!(lazy_out.column(0), &ColumnData::Int64(vec![3, 4, 7, 8, 9]));
+    }
+
+    #[test]
+    fn sort_limit_keeps_top_k_and_matches_full_sort() {
+        let schema = schema2(DataType::Int64, DataType::Float64);
+        let mk = |limit| {
+            let mut sb =
+                SortBuffer::new(schema.clone(), vec![(1, false), (0, true)]).with_limit(limit);
+            sb.push(batch(vec![1, 2, 3, 4], vec![4.0, 1.0, 4.0, 2.0]));
+            sb.push(batch(vec![5, 6], vec![3.0, 4.0]));
+            sb
+        };
+        let full = mk(None).finalize().unwrap();
+        for k in 0..=7 {
+            let topk = mk(Some(k)).finalize().unwrap();
+            assert_eq!(topk.rows(), k.min(6));
+            assert_eq!(topk, full.slice(0, k.min(6)).unwrap(), "top-{k}");
+        }
+        // Ties (three 4.0 rows) broke on original order in both paths.
+        assert_eq!(full.column(0), &ColumnData::Int64(vec![1, 3, 6, 5, 4, 2]));
+    }
+
+    #[test]
+    fn sort_merges_foreign_dictionaries_by_value() {
+        // Two buffered batches whose dict columns do NOT share a dictionary:
+        // rank tables are per-dictionary and incomparable, so the sorter
+        // must fall back to value comparisons.
+        let schema = Arc::new(Schema::of(vec![Field::new("s0", DataType::Utf8)]));
+        let b1 = RecordBatch::new(
+            schema.clone(),
+            vec![ColumnData::Utf8(vec!["m".into(), "c".into()]).dict_encoded()],
+        )
+        .unwrap();
+        let b2 = RecordBatch::new(
+            schema.clone(),
+            vec![ColumnData::Utf8(vec!["a".into(), "z".into()]).dict_encoded()],
+        )
+        .unwrap();
+        assert!(!Arc::ptr_eq(
+            b1.column(0).as_dict().unwrap().1,
+            b2.column(0).as_dict().unwrap().1
+        ));
+        let mut sb = SortBuffer::new(schema.clone(), vec![(0, true)]);
+        sb.push(b1);
+        sb.push(b2);
+        let out = sb.finalize().unwrap();
+        assert_eq!(
+            out.column(0),
+            &ColumnData::Utf8(vec!["a".into(), "c".into(), "m".into(), "z".into()])
+        );
+
+        // Shared-dictionary batches keep the integer rank fast path and
+        // produce the same order.
+        let table =
+            ColumnData::Utf8(vec!["m".into(), "c".into(), "a".into(), "z".into()]).dict_encoded();
+        let shared = RecordBatch::new(schema.clone(), vec![table]).unwrap();
+        let mut sb = SortBuffer::new(schema, vec![(0, true)]);
+        sb.push(shared.slice(0, 2).unwrap());
+        sb.push(shared.slice(2, 2).unwrap());
+        assert_eq!(sb.finalize().unwrap(), out);
     }
 }

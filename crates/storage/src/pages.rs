@@ -10,10 +10,10 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic "CIPG"
-//! 4       1     format version (1)
-//! 5       1     codec tag   (0 = Plain, 1 = Dict, 2 = Rle)
+//! 4       1     format version (2)
+//! 5       1     codec tag   (0 = Plain, 1 = Dict, 2 = Rle, 3 = For, 4 = Delta)
 //! 6       1     dtype tag   (0 = Int64, 1 = Float64, 2 = Utf8, 3 = Bool)
-//! 7       1     flags (bit 0 = dictionary-by-reference, wire streams only)
+//! 7       1     flags (wire streams only, see below)
 //! 8       4     row count (u32 LE)
 //! 12      ..    codec-specific payload
 //! ```
@@ -31,18 +31,36 @@
 //! * **Rle** — `u32` run count, then `u32` run length + one value encoding
 //!   (as in Plain) per run. Wins on sorted / low-cardinality runs, e.g.
 //!   cluster columns after a recluster tuning action.
+//! * **For** — frame of reference (`Int64`/`Bool`): the `i64` minimum, a
+//!   `u8` bit width, then every `value − min` bit-packed LSB-first at that
+//!   width. Small-domain columns (dates, cluster keys) collapse to a few
+//!   bits per row; a constant column needs width 0 and 9 payload bytes.
+//!   Empty columns carry no payload.
+//! * **Delta** — bit-packed deltas (`Int64`): the `i64` first value, the
+//!   `i64` minimum consecutive delta, a `u8` bit width, then
+//!   `delta − min_delta` for rows `1..n` bit-packed at that width. Sorted
+//!   columns (ids, cluster keys after a recluster) have tiny non-negative
+//!   deltas, so this is the codec that lets the cost model reward
+//!   reclustering twice: pruning *and* compression. All delta arithmetic is
+//!   wrapping, so the codec is exact for any `i64` input.
 //!
 //! [`decode_column`] inverts [`encode_column`] for every codec and
 //! [`ColumnData`] variant: values round-trip exactly (Dict pages decode back
 //! to dict-encoded columns; Rle/Plain string pages decode to owned strings —
 //! equal under the workspace's decoded-value column equality). Malformed
-//! bytes are rejected with `Err`, never a panic.
+//! bytes are rejected with `Err`, never a panic, and declared sizes are
+//! validated against the actual payload *before* any row-proportional
+//! allocation, so a forged header cannot over-allocate.
 //!
 //! [`best_page`] is the size-based codec picker partitions use to account
-//! `encoded_bytes`, and [`WireEncoder`] is the exchange wire format: dict
+//! `encoded_bytes`. [`WireEncoder`] is the exchange wire format: dict
 //! columns ship bit-packed ids plus their dictionary **once** per encoder
 //! (one-time per (table, column) dictionary transfer), which is what lets
-//! `exchange_wire_secs` see the shrunken payload.
+//! `exchange_wire_secs` see the shrunken payload. [`WireDecoder`] is the
+//! receiver side: it maintains the stream's dictionary cache (keyed by the
+//! `u32` stream dictionary id every wire dict page carries) and turns wire
+//! blobs back into columns and [`RecordBatch`]es, so exchange streams
+//! round-trip exactly like storage pages do.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -56,8 +74,9 @@ use crate::value::DataType;
 
 /// Magic bytes opening every encoded page.
 pub const PAGE_MAGIC: [u8; 4] = *b"CIPG";
-/// Current page format version.
-pub const PAGE_VERSION: u8 = 1;
+/// Current page format version (2: For/Delta codec tags, wire dict pages
+/// carry a stream dictionary id).
+pub const PAGE_VERSION: u8 = 2;
 /// Fixed header size preceding every codec payload.
 pub const PAGE_HEADER_BYTES: usize = 12;
 
@@ -70,7 +89,21 @@ pub enum PageCodec {
     Dict,
     /// Run-length encoded values.
     Rle,
+    /// Frame of reference: `i64` minimum + bit-packed offsets.
+    For,
+    /// Bit-packed consecutive deltas off an `i64` first value.
+    Delta,
 }
+
+/// Every codec, in the deterministic tie-break order the picker uses
+/// (earlier wins on equal size).
+pub const ALL_CODECS: [PageCodec; 5] = [
+    PageCodec::Plain,
+    PageCodec::Dict,
+    PageCodec::Rle,
+    PageCodec::For,
+    PageCodec::Delta,
+];
 
 impl PageCodec {
     fn tag(self) -> u8 {
@@ -78,6 +111,8 @@ impl PageCodec {
             PageCodec::Plain => 0,
             PageCodec::Dict => 1,
             PageCodec::Rle => 2,
+            PageCodec::For => 3,
+            PageCodec::Delta => 4,
         }
     }
 
@@ -86,6 +121,8 @@ impl PageCodec {
             0 => Ok(PageCodec::Plain),
             1 => Ok(PageCodec::Dict),
             2 => Ok(PageCodec::Rle),
+            3 => Ok(PageCodec::For),
+            4 => Ok(PageCodec::Delta),
             other => Err(err(format!("unknown codec tag {other}"))),
         }
     }
@@ -96,16 +133,34 @@ impl PageCodec {
             PageCodec::Plain => "plain",
             PageCodec::Dict => "dict",
             PageCodec::Rle => "rle",
+            PageCodec::For => "for",
+            PageCodec::Delta => "delta",
+        }
+    }
+
+    /// Whether this codec can encode a column of logical type `dt`. This is
+    /// the single capability source [`PageCodec::candidates`] derives from,
+    /// so adding a codec here automatically enrolls it with the picker for
+    /// every type it supports.
+    pub fn applies_to(self, dt: DataType) -> bool {
+        match self {
+            PageCodec::Plain | PageCodec::Rle => true,
+            PageCodec::Dict => dt == DataType::Utf8,
+            // Frame of reference covers anything with an integer value
+            // domain: Int64, and Bool as 0/1 (1 bit per row past the frame).
+            PageCodec::For => matches!(dt, DataType::Int64 | DataType::Bool),
+            // Deltas only pay off where consecutive differences carry
+            // information — the 64-bit integer domain.
+            PageCodec::Delta => dt == DataType::Int64,
         }
     }
 
     /// The codecs applicable to a column of logical type `dt`, in the
-    /// deterministic tie-break order the picker uses.
-    pub fn candidates(dt: DataType) -> &'static [PageCodec] {
-        match dt {
-            DataType::Utf8 => &[PageCodec::Plain, PageCodec::Dict, PageCodec::Rle],
-            _ => &[PageCodec::Plain, PageCodec::Rle],
-        }
+    /// deterministic tie-break order the picker uses. Capability-driven over
+    /// [`ALL_CODECS`]: a codec that supports a type can never be silently
+    /// skipped by a stale per-type list.
+    pub fn candidates(dt: DataType) -> impl Iterator<Item = PageCodec> {
+        ALL_CODECS.into_iter().filter(move |c| c.applies_to(dt))
     }
 }
 
@@ -162,6 +217,181 @@ pub fn id_bit_width(entries: usize) -> u32 {
 /// Bytes occupied by `rows` ids bit-packed at `width` bits.
 pub fn packed_id_bytes(rows: usize, width: u32) -> u64 {
     (rows as u64 * width as u64).div_ceil(8)
+}
+
+/// Bits needed to represent every offset in `[0, range]` (0 for a
+/// zero-range, i.e. constant, frame).
+pub fn range_bit_width(range: u64) -> u32 {
+    u64::BITS - range.leading_zeros()
+}
+
+/// The frame-of-reference parameters of an integer column: `(min, width)`
+/// where `width` bits hold every `value − min`. `None` for empty columns
+/// (a For page of zero rows has no payload). Offsets are exact for any
+/// `i64` input: `max − min` always fits in a `u64`.
+fn for_frame(col: &ColumnData) -> Result<Option<(i64, u32)>> {
+    let (min, max) = match col {
+        ColumnData::Int64(v) => match v.first() {
+            None => return Ok(None),
+            Some(&first) => v
+                .iter()
+                .fold((first, first), |(lo, hi), &x| (lo.min(x), hi.max(x))),
+        },
+        ColumnData::Bool(v) => {
+            if v.is_empty() {
+                return Ok(None);
+            }
+            let any_true = v.iter().any(|&b| b);
+            let any_false = v.iter().any(|&b| !b);
+            (i64::from(!any_false), i64::from(any_true))
+        }
+        other => {
+            return Err(err(format!(
+                "for codec applies to integer domains, not {}",
+                other.data_type()
+            )))
+        }
+    };
+    Ok(Some((min, range_bit_width(max.wrapping_sub(min) as u64))))
+}
+
+/// The delta-frame parameters of an `Int64` column:
+/// `(first, min_delta, width)` where `width` bits hold every
+/// `delta − min_delta` over the `rows − 1` consecutive (wrapping) deltas.
+/// `None` for empty columns.
+fn delta_frame(col: &ColumnData) -> Result<Option<(i64, i64, u32)>> {
+    let ColumnData::Int64(v) = col else {
+        return Err(err(format!(
+            "delta codec applies to INT columns, not {}",
+            col.data_type()
+        )));
+    };
+    let Some(&first) = v.first() else {
+        return Ok(None);
+    };
+    let mut min_d = 0i64;
+    let mut max_d = 0i64;
+    let mut seen = false;
+    for w in v.windows(2) {
+        let d = w[1].wrapping_sub(w[0]);
+        if !seen {
+            (min_d, max_d, seen) = (d, d, true);
+        } else {
+            min_d = min_d.min(d);
+            max_d = max_d.max(d);
+        }
+    }
+    Ok(Some((
+        first,
+        min_d,
+        range_bit_width(max_d.wrapping_sub(min_d) as u64),
+    )))
+}
+
+/// Widths up to this bound take the `u64`-buffer packing fast path (the
+/// flush loop keeps the buffer under 8 live bits, so `56 + 8 <= 64` bits
+/// always fit); wider values fall back to a `u128` buffer.
+const PACK_FAST_WIDTH: u32 = 56;
+
+/// Bit-packs `values` at `width` bits each, LSB-first (`width <= 64`).
+fn pack_bits(out: &mut Vec<u8>, values: impl Iterator<Item = u64>, width: u32) {
+    if width == 0 {
+        return;
+    }
+    if width <= PACK_FAST_WIDTH {
+        let mut buf: u64 = 0;
+        let mut bits: u32 = 0;
+        for v in values {
+            buf |= v << bits;
+            bits += width;
+            while bits >= 8 {
+                out.push(buf as u8);
+                buf >>= 8;
+                bits -= 8;
+            }
+        }
+        if bits > 0 {
+            out.push(buf as u8);
+        }
+        return;
+    }
+    let mut buf: u128 = 0;
+    let mut bits: u32 = 0;
+    for v in values {
+        buf |= (v as u128) << bits;
+        bits += width;
+        while bits >= 8 {
+            out.push((buf & 0xff) as u8);
+            buf >>= 8;
+            bits -= 8;
+        }
+    }
+    if bits > 0 {
+        out.push((buf & 0xff) as u8);
+    }
+}
+
+/// Unpacks `rows` values bit-packed at `width` bits (`width <= 64`),
+/// feeding each to `emit`. `packed` must hold exactly
+/// [`packed_id_bytes`]`(rows, width)` bytes — callers bounds-check first.
+fn unpack_bits(packed: &[u8], rows: usize, width: u32, mut emit: impl FnMut(u64)) {
+    if width == 0 {
+        for _ in 0..rows {
+            emit(0);
+        }
+        return;
+    }
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    if width <= PACK_FAST_WIDTH {
+        // Positional fast path: value `i` spans bits `[i*width, i*width +
+        // width)`, which sit inside the unaligned u64 starting at its byte
+        // (shift <= 7, so width + shift <= 63). One load + shift + mask per
+        // value while a full 8-byte window exists.
+        let mut i = 0usize;
+        while i < rows {
+            let bitpos = i as u64 * width as u64;
+            let at = (bitpos / 8) as usize;
+            let Some(window) = packed.get(at..at + 8) else {
+                break;
+            };
+            let w = u64::from_le_bytes(window.try_into().expect("8 bytes"));
+            emit((w >> (bitpos % 8)) & mask);
+            i += 1;
+        }
+        // Tail: assemble the last few values byte by byte.
+        for j in i..rows {
+            let bitpos = j as u64 * width as u64;
+            let mut at = (bitpos / 8) as usize;
+            let mut shift = (bitpos % 8) as u32;
+            let mut v: u64 = 0;
+            let mut got = 0u32;
+            while got < width {
+                v |= ((packed[at] as u64) >> shift) << got;
+                got += 8 - shift;
+                at += 1;
+                shift = 0;
+            }
+            emit(v & mask);
+        }
+        return;
+    }
+    let mut next = packed.iter();
+    let mut buf: u128 = 0;
+    let mut bits: u32 = 0;
+    for _ in 0..rows {
+        while bits < width {
+            let byte = next.next().expect("caller sized the packed section");
+            buf |= (*byte as u128) << bits;
+            bits += 8;
+        }
+        emit((buf as u64) & mask);
+        buf >>= width;
+        bits -= width;
+    }
 }
 
 /// Size in bytes of a serialized dictionary section (`u32` entry count plus
@@ -289,6 +519,14 @@ pub fn encoded_size(col: &ColumnData, codec: PageCodec) -> Result<u64> {
             let (runs, value_bytes) = rle_runs(col);
             header + 4 + runs * 4 + value_bytes
         }
+        PageCodec::For => match for_frame(col)? {
+            None => header,
+            Some((_, width)) => header + 8 + 1 + packed_id_bytes(col.len(), width),
+        },
+        PageCodec::Delta => match delta_frame(col)? {
+            None => header,
+            Some((_, _, width)) => header + 8 + 8 + 1 + packed_id_bytes(col.len() - 1, width),
+        },
     })
 }
 
@@ -297,7 +535,7 @@ pub fn encoded_size(col: &ColumnData, codec: PageCodec) -> Result<u64> {
 pub fn pick_codec(col: &ColumnData) -> PageCodec {
     let mut best = PageCodec::Plain;
     let mut best_size = u64::MAX;
-    for &c in PageCodec::candidates(col.data_type()) {
+    for c in PageCodec::candidates(col.data_type()) {
         let size = encoded_size(col, c).expect("candidate codecs always apply");
         if size < best_size {
             best = c;
@@ -356,33 +594,21 @@ fn push_header_flags(out: &mut Vec<u8>, codec: PageCodec, dt: DataType, rows: u3
 /// Header flag bit marking a wire-stream dict page that references an
 /// already-shipped dictionary instead of inlining one (ids section only).
 pub const PAGE_FLAG_DICT_REF: u8 = 1;
+/// Header flag bit marking a wire-stream dict page: a `u32` stream
+/// dictionary id follows the header, naming the entry in the receiver's
+/// dictionary cache this page fills (first transfer) or references
+/// ([`PAGE_FLAG_DICT_REF`] also set).
+pub const PAGE_FLAG_WIRE_STREAM: u8 = 2;
 
 /// Bit-packs `ids` at `width` bits each, LSB-first.
 fn pack_ids(out: &mut Vec<u8>, ids: impl Iterator<Item = u32>, width: u32) {
-    if width == 0 {
-        return;
-    }
-    let mut buf: u64 = 0;
-    let mut bits: u32 = 0;
-    for id in ids {
-        buf |= (id as u64) << bits;
-        bits += width;
-        while bits >= 8 {
-            out.push((buf & 0xff) as u8);
-            buf >>= 8;
-            bits -= 8;
-        }
-    }
-    if bits > 0 {
-        out.push((buf & 0xff) as u8);
-    }
+    pack_bits(out, ids.map(u64::from), width);
 }
 
 /// Encodes a column as one self-contained page under the given codec.
 /// Returns the page metadata and the bytes; `decode_column` inverts it.
 pub fn encode_column(col: &ColumnData, codec: PageCodec) -> Result<(EncodedPage, Vec<u8>)> {
-    let rows =
-        u32::try_from(col.len()).map_err(|_| err(format!("page overflow: {} rows", col.len())))?;
+    let rows = page_rows(col.len())?;
     let mut out = Vec::with_capacity(PAGE_HEADER_BYTES + 16);
     push_header(&mut out, codec, col.data_type(), rows);
     let mut dict_bytes = 0u64;
@@ -502,6 +728,41 @@ pub fn encode_column(col: &ColumnData, codec: PageCodec) -> Result<(EncodedPage,
             }
             out[run_count_at..run_count_at + 4].copy_from_slice(&runs.to_le_bytes());
         }
+        PageCodec::For => {
+            if let Some((min, width)) = for_frame(col)? {
+                out.extend_from_slice(&min.to_le_bytes());
+                out.push(width as u8);
+                match col {
+                    ColumnData::Int64(v) => pack_bits(
+                        &mut out,
+                        v.iter().map(|&x| x.wrapping_sub(min) as u64),
+                        width,
+                    ),
+                    ColumnData::Bool(v) => pack_bits(
+                        &mut out,
+                        v.iter().map(|&b| (i64::from(b)).wrapping_sub(min) as u64),
+                        width,
+                    ),
+                    _ => unreachable!("for_frame rejected the type"),
+                }
+            }
+        }
+        PageCodec::Delta => {
+            if let Some((first, min_d, width)) = delta_frame(col)? {
+                let ColumnData::Int64(v) = col else {
+                    unreachable!("delta_frame rejected the type");
+                };
+                out.extend_from_slice(&first.to_le_bytes());
+                out.extend_from_slice(&min_d.to_le_bytes());
+                out.push(width as u8);
+                pack_bits(
+                    &mut out,
+                    v.windows(2)
+                        .map(|w| w[1].wrapping_sub(w[0]).wrapping_sub(min_d) as u64),
+                    width,
+                );
+            }
+        }
     }
     let meta = EncodedPage {
         codec,
@@ -573,6 +834,25 @@ impl<'a> Cursor<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|e| err(format!("invalid UTF-8 in page: {e}")))
     }
 
+    /// Bytes left to read.
+    fn remaining(&self) -> u64 {
+        (self.bytes.len() - self.at) as u64
+    }
+
+    /// Errors unless at least `bytes` more payload bytes exist. Decoders
+    /// call this with the *declared* payload size before any
+    /// row-proportional allocation, so forged headers fail cheaply.
+    fn need(&self, bytes: u64) -> Result<()> {
+        if bytes <= self.remaining() {
+            Ok(())
+        } else {
+            Err(err(format!(
+                "truncated page: payload declares {bytes} bytes, {} remain",
+                self.remaining()
+            )))
+        }
+    }
+
     fn done(&self) -> Result<()> {
         if self.at == self.bytes.len() {
             Ok(())
@@ -585,11 +865,52 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Decodes a self-contained page back into a column. Every malformed input
-/// (bad magic/version/tags, truncated payload, invalid UTF-8, out-of-range
-/// ids, run/row count mismatch, trailing bytes) is an `Err`, never a panic.
-pub fn decode_column(bytes: &[u8]) -> Result<ColumnData> {
-    let mut c = Cursor { bytes, at: 0 };
+/// Decoder hardening bound on the declared row count of a single page.
+///
+/// Width-0 frames, empty-dictionary ids, and RLE runs legitimately encode
+/// *constant* row ranges in O(1) payload bytes, so payload-size validation
+/// alone cannot bound the decode allocation — a forged header could demand
+/// a 32 GB materialization from a 21-byte page. Real pages are per-column
+/// chunks of one micro-partition (thousands to at most a few hundred
+/// thousand rows); this bound leaves ~80x headroom over the largest page
+/// in the workspace while capping a forged constant page's decode at
+/// 128 MB of i64s.
+pub const MAX_DECODE_ROWS: usize = 1 << 24;
+
+/// Validates a column length against the page row bound shared by encoder
+/// and decoder, keeping `decode(encode(c)) == c` total: anything the
+/// encoder accepts, [`parse_header`] accepts back.
+fn page_rows(len: usize) -> Result<u32> {
+    if len > MAX_DECODE_ROWS {
+        return Err(err(format!(
+            "page overflow: {len} rows exceeds the page bound of {MAX_DECODE_ROWS}"
+        )));
+    }
+    Ok(len as u32)
+}
+
+/// [`packed_id_bytes`] with overflow-checked arithmetic, for decoders fed
+/// untrusted row counts and widths.
+fn packed_bytes_checked(rows: usize, width: u32) -> Result<u64> {
+    (rows as u64)
+        .checked_mul(width as u64)
+        .map(|bits| bits.div_ceil(8))
+        .ok_or_else(|| {
+            err(format!(
+                "bit-packed section overflows: {rows} rows at {width} bits"
+            ))
+        })
+}
+
+/// The parsed fixed header of one page.
+struct PageHeader {
+    codec: PageCodec,
+    dt: DataType,
+    flags: u8,
+    rows: usize,
+}
+
+fn parse_header(c: &mut Cursor) -> Result<PageHeader> {
     let magic = c.take(4)?;
     if magic != PAGE_MAGIC {
         return Err(err(format!("bad page magic {magic:02x?}")));
@@ -601,18 +922,54 @@ pub fn decode_column(bytes: &[u8]) -> Result<ColumnData> {
     let codec = PageCodec::from_tag(c.u8()?)?;
     let dt = dtype_from_tag(c.u8()?)?;
     let flags = c.u8()?;
-    if flags == PAGE_FLAG_DICT_REF {
+    let rows = c.u32()? as usize;
+    if rows > MAX_DECODE_ROWS {
+        return Err(err(format!(
+            "page declares {rows} rows, decoder bound is {MAX_DECODE_ROWS}"
+        )));
+    }
+    Ok(PageHeader {
+        codec,
+        dt,
+        flags,
+        rows,
+    })
+}
+
+/// Decodes a self-contained page back into a column. Every malformed input
+/// (bad magic/version/tags, truncated payload, invalid UTF-8, out-of-range
+/// ids, bit widths over 64, run/row count mismatch, trailing bytes) is an
+/// `Err`, never a panic — and declared sizes are checked against the real
+/// payload before any row-proportional allocation. Wire-stream pages
+/// (flagged, dictionary-by-reference) need a [`WireDecoder`].
+pub fn decode_column(bytes: &[u8]) -> Result<ColumnData> {
+    let mut c = Cursor { bytes, at: 0 };
+    let h = parse_header(&mut c)?;
+    if h.flags & (PAGE_FLAG_WIRE_STREAM | PAGE_FLAG_DICT_REF) != 0 {
         return Err(err(
-            "dictionary-by-reference wire page needs the stream's dictionary cache".into(),
+            "wire-stream page needs the stream's dictionary cache (WireDecoder)".into(),
         ));
     }
-    if flags != 0 {
-        return Err(err(format!("unknown page flags {flags:#04x}")));
+    if h.flags != 0 {
+        return Err(err(format!("unknown page flags {:#04x}", h.flags)));
     }
-    let rows = c.u32()? as usize;
+    let col = decode_payload(&mut c, h.codec, h.dt, h.rows)?;
+    c.done()?;
+    Ok(col)
+}
+
+/// Decodes the codec payload of a self-contained page (everything after the
+/// header) into a column of exactly `rows` values.
+fn decode_payload(
+    c: &mut Cursor,
+    codec: PageCodec,
+    dt: DataType,
+    rows: usize,
+) -> Result<ColumnData> {
     let col = match codec {
         PageCodec::Plain => match dt {
             DataType::Int64 => {
+                c.need(rows as u64 * 8)?;
                 let mut v = Vec::with_capacity(rows);
                 for _ in 0..rows {
                     v.push(c.u64()? as i64);
@@ -620,6 +977,7 @@ pub fn decode_column(bytes: &[u8]) -> Result<ColumnData> {
                 ColumnData::Int64(v)
             }
             DataType::Float64 => {
+                c.need(rows as u64 * 8)?;
                 let mut v = Vec::with_capacity(rows);
                 for _ in 0..rows {
                     v.push(f64::from_bits(c.u64()?));
@@ -627,6 +985,7 @@ pub fn decode_column(bytes: &[u8]) -> Result<ColumnData> {
                 ColumnData::Float64(v)
             }
             DataType::Bool => {
+                c.need(rows as u64)?;
                 let mut v = Vec::with_capacity(rows);
                 for _ in 0..rows {
                     v.push(decode_bool(c.u8()?)?);
@@ -634,6 +993,8 @@ pub fn decode_column(bytes: &[u8]) -> Result<ColumnData> {
                 ColumnData::Bool(v)
             }
             DataType::Utf8 => {
+                // Every string costs at least its 4-byte length header.
+                c.need(rows as u64 * 4)?;
                 let mut v = Vec::with_capacity(rows);
                 for _ in 0..rows {
                     v.push(c.str()?);
@@ -645,34 +1006,8 @@ pub fn decode_column(bytes: &[u8]) -> Result<ColumnData> {
             if dt != DataType::Utf8 {
                 return Err(err(format!("dict page with non-string dtype {dt}")));
             }
-            let entries = c.u32()? as usize;
-            let mut dict = Dictionary::new();
-            for _ in 0..entries {
-                let s = c.str()?;
-                dict.intern(&s);
-            }
-            if dict.len() != entries {
-                return Err(err(format!(
-                    "dict page holds duplicate entries ({} distinct of {entries})",
-                    dict.len()
-                )));
-            }
-            let width = c.u8()? as u32;
-            if width > 32 || (entries > 1 && width < id_bit_width(entries)) {
-                return Err(err(format!(
-                    "dict page bit width {width} invalid for {entries} entries"
-                )));
-            }
-            let packed = c.take(packed_id_bytes(rows, width) as usize)?;
-            let ids = unpack_ids(packed, rows, width)?;
-            if let Some(&bad) = ids.iter().find(|&&id| id as usize >= entries.max(1)) {
-                return Err(err(format!(
-                    "dict page id {bad} out of range for {entries} entries"
-                )));
-            }
-            if rows > 0 && entries == 0 {
-                return Err(err(format!("dict page has {rows} rows but no entries")));
-            }
+            let dict = read_dictionary_section(c)?;
+            let ids = read_packed_ids(c, rows, dict.len())?;
             ColumnData::Dict {
                 ids,
                 dict: Arc::new(dict),
@@ -680,6 +1015,8 @@ pub fn decode_column(bytes: &[u8]) -> Result<ColumnData> {
         }
         PageCodec::Rle => {
             let runs = c.u32()?;
+            // A run costs at least its 4-byte length plus a 1-byte value.
+            c.need(runs as u64 * 5)?;
             let mut col = ColumnData::with_capacity(dt, rows);
             let mut decoded = 0usize;
             for _ in 0..runs {
@@ -720,6 +1057,74 @@ pub fn decode_column(bytes: &[u8]) -> Result<ColumnData> {
             }
             col
         }
+        PageCodec::For => {
+            if !codec.applies_to(dt) || dt == DataType::Utf8 {
+                return Err(err(format!("for page with unsupported dtype {dt}")));
+            }
+            if rows == 0 {
+                ColumnData::empty(dt)
+            } else {
+                let min = c.u64()? as i64;
+                let width = c.u8()? as u32;
+                if width > 64 {
+                    return Err(err(format!("for page bit width {width} exceeds 64")));
+                }
+                let packed = c.take(packed_bytes_checked(rows, width)? as usize)?;
+                match dt {
+                    DataType::Int64 if width == 0 => ColumnData::Int64(vec![min; rows]),
+                    DataType::Int64 => {
+                        let mut v = Vec::with_capacity(rows);
+                        unpack_bits(packed, rows, width, |off| {
+                            v.push(min.wrapping_add(off as i64));
+                        });
+                        ColumnData::Int64(v)
+                    }
+                    DataType::Bool => {
+                        if !matches!(min, 0 | 1) {
+                            return Err(err(format!("bool for page with frame min {min}")));
+                        }
+                        let mut v = Vec::with_capacity(rows);
+                        let mut bad = None;
+                        unpack_bits(packed, rows, width, |off| {
+                            match min.wrapping_add(off as i64) {
+                                0 => v.push(false),
+                                1 => v.push(true),
+                                other => bad = Some(other),
+                            }
+                        });
+                        if let Some(other) = bad {
+                            return Err(err(format!("bool for page decodes value {other}")));
+                        }
+                        ColumnData::Bool(v)
+                    }
+                    _ => unreachable!("applies_to checked above"),
+                }
+            }
+        }
+        PageCodec::Delta => {
+            if dt != DataType::Int64 {
+                return Err(err(format!("delta page with non-INT dtype {dt}")));
+            }
+            if rows == 0 {
+                ColumnData::empty(dt)
+            } else {
+                let first = c.u64()? as i64;
+                let min_d = c.u64()? as i64;
+                let width = c.u8()? as u32;
+                if width > 64 {
+                    return Err(err(format!("delta page bit width {width} exceeds 64")));
+                }
+                let packed = c.take(packed_bytes_checked(rows - 1, width)? as usize)?;
+                let mut v = Vec::with_capacity(rows);
+                v.push(first);
+                let mut cur = first;
+                unpack_bits(packed, rows - 1, width, |off| {
+                    cur = cur.wrapping_add(min_d.wrapping_add(off as i64));
+                    v.push(cur);
+                });
+                ColumnData::Int64(v)
+            }
+        }
     };
     if col.len() != rows {
         return Err(err(format!(
@@ -727,7 +1132,6 @@ pub fn decode_column(bytes: &[u8]) -> Result<ColumnData> {
             col.len()
         )));
     }
-    c.done()?;
     Ok(col)
 }
 
@@ -739,31 +1143,57 @@ fn decode_bool(b: u8) -> Result<bool> {
     }
 }
 
+/// Reads an inline dictionary section (`u32` entry count, then
+/// length-prefixed entries), validating the declared count against the
+/// remaining payload before interning and rejecting duplicate entries.
+/// Shared by storage Dict pages and wire dictionary transfers so the two
+/// decoders can never drift.
+fn read_dictionary_section(c: &mut Cursor) -> Result<Dictionary> {
+    let entries = c.u32()? as usize;
+    c.need(entries as u64 * 4)?;
+    let mut dict = Dictionary::new();
+    for _ in 0..entries {
+        let s = c.str()?;
+        dict.intern(&s);
+    }
+    if dict.len() != entries {
+        return Err(err(format!(
+            "dictionary section holds duplicate entries ({} distinct of {entries})",
+            dict.len()
+        )));
+    }
+    Ok(dict)
+}
+
+/// Reads a bit-packed ids section (`u8` width, then the packed ids) for a
+/// dictionary of `entries`, validating the width, the payload size (before
+/// any row-proportional allocation), and every id's range. Shared by
+/// storage Dict pages and both wire dict page forms.
+fn read_packed_ids(c: &mut Cursor, rows: usize, entries: usize) -> Result<Vec<u32>> {
+    let width = c.u8()? as u32;
+    if width > 32 || (entries > 1 && width < id_bit_width(entries)) {
+        return Err(err(format!(
+            "dict page bit width {width} invalid for {entries} entries"
+        )));
+    }
+    if rows > 0 && entries == 0 {
+        return Err(err(format!("dict page has {rows} rows but no entries")));
+    }
+    let packed = c.take(packed_bytes_checked(rows, width)? as usize)?;
+    let ids = unpack_ids(packed, rows, width)?;
+    if let Some(&bad) = ids.iter().find(|&&id| id as usize >= entries.max(1)) {
+        return Err(err(format!(
+            "dict page id {bad} out of range for {entries} entries"
+        )));
+    }
+    Ok(ids)
+}
+
 fn unpack_ids(packed: &[u8], rows: usize, width: u32) -> Result<Vec<u32>> {
-    if width == 0 {
-        return Ok(vec![0; rows]);
-    }
+    // Callers validate widths (<= 32) and size `packed` exactly via
+    // `packed_bytes_checked` + `take` before unpacking.
     let mut ids = Vec::with_capacity(rows);
-    let mut buf: u64 = 0;
-    let mut bits: u32 = 0;
-    let mut next = packed.iter();
-    let mask = if width == 32 {
-        u32::MAX
-    } else {
-        (1u32 << width) - 1
-    };
-    for _ in 0..rows {
-        while bits < width {
-            let byte = next
-                .next()
-                .ok_or_else(|| err("truncated bit-packed id section".into()))?;
-            buf |= (*byte as u64) << bits;
-            bits += 8;
-        }
-        ids.push((buf as u32) & mask);
-        buf >>= width;
-        bits -= width;
-    }
+    unpack_bits(packed, rows, width, |v| ids.push(v as u32));
     Ok(ids)
 }
 
@@ -786,7 +1216,8 @@ fn unpack_ids(packed: &[u8], rows: usize, width: u32) -> Result<Vec<u32>> {
 /// never alias an earlier entry and silently skip a transfer.
 #[derive(Debug, Default)]
 pub struct WireEncoder {
-    shipped: HashMap<usize, Arc<Dictionary>>,
+    /// Pointer-identity → `(stream dictionary id, pinned dictionary)`.
+    shipped: HashMap<usize, (u32, Arc<Dictionary>)>,
 }
 
 impl WireEncoder {
@@ -801,11 +1232,31 @@ impl WireEncoder {
     }
 
     /// Marks `dict` shipped (pinning it alive for the encoder's lifetime);
-    /// returns `true` on the first sighting.
-    fn ship(&mut self, dict: &Arc<Dictionary>) -> bool {
-        self.shipped
-            .insert(Arc::as_ptr(dict) as usize, dict.clone())
-            .is_none()
+    /// returns its stream dictionary id and `true` on the first sighting.
+    fn ship(&mut self, dict: &Arc<Dictionary>) -> (u32, bool) {
+        let next_id = self.shipped.len() as u32;
+        let entry = self
+            .shipped
+            .entry(Arc::as_ptr(dict) as usize)
+            .or_insert_with(|| (next_id, dict.clone()));
+        (entry.0, entry.0 == next_id)
+    }
+
+    /// Registers `alias` as the same stream dictionary as the
+    /// already-shipped `original`, so a receiver-decoded view of a column
+    /// (whose dictionary is the *receiver's* `Arc`, not the sender's) can
+    /// be re-encoded on this stream without re-shipping its dictionary.
+    /// The engine's wire-roundtrip path uses this when one pipeline has
+    /// several transfer points (Exchange then Gather) and the decoded batch
+    /// keeps flowing: byte accounting must match the size-only simulation,
+    /// which recognizes the original `Arc` throughout. No-op when
+    /// `original` was never shipped or `alias` is already known.
+    pub fn alias_shipped(&mut self, original: &Arc<Dictionary>, alias: &Arc<Dictionary>) {
+        if let Some(&(id, _)) = self.shipped.get(&(Arc::as_ptr(original) as usize)) {
+            self.shipped
+                .entry(Arc::as_ptr(alias) as usize)
+                .or_insert_with(|| (id, alias.clone()));
+        }
     }
 
     /// Wire bytes for one column, updating the shipped-dictionary set.
@@ -814,9 +1265,11 @@ impl WireEncoder {
     pub fn column_wire_bytes(&mut self, col: &ColumnData) -> u64 {
         match col {
             ColumnData::Dict { ids, dict } => {
-                let first = self.ship(dict);
+                let (_, first) = self.ship(dict);
                 let width = id_bit_width(dict.len());
-                let mut bytes = PAGE_HEADER_BYTES as u64 + 1 + packed_id_bytes(ids.len(), width);
+                // Header + stream dict id + bit width + packed ids.
+                let mut bytes =
+                    PAGE_HEADER_BYTES as u64 + 4 + 1 + packed_id_bytes(ids.len(), width);
                 if first {
                     bytes += dictionary_page_bytes(dict);
                 }
@@ -840,25 +1293,28 @@ impl WireEncoder {
         b.columns().iter().map(|c| self.column_wire_bytes(c)).sum()
     }
 
-    /// Actually serializes one column for the wire (benchmarks measure this;
-    /// the simulation only needs [`WireEncoder::column_wire_bytes`]). Every
-    /// emitted blob is self-describing — the "CIPG" header always comes
-    /// first. A dict column's first transfer is a complete Dict page
-    /// inlining the whole shared dictionary (decodable by [`decode_column`]
-    /// like any storage page); later transfers carry the
-    /// [`PAGE_FLAG_DICT_REF`] header flag and only the bit-packed ids, for
-    /// a receiver holding the stream's dictionary cache. Other columns emit
-    /// their best self-contained page. The byte count always equals
-    /// `column_wire_bytes`.
+    /// Actually serializes one column for the wire. Every emitted blob is
+    /// self-describing — the "CIPG" header always comes first. A dict
+    /// column's transfers carry the [`PAGE_FLAG_WIRE_STREAM`] flag and a
+    /// `u32` stream dictionary id: the first transfer inlines the whole
+    /// shared dictionary (filling the receiver's cache under that id),
+    /// later transfers also set [`PAGE_FLAG_DICT_REF`] and carry only the
+    /// bit-packed ids. Other columns emit their best self-contained page.
+    /// The byte count always equals [`WireEncoder::column_wire_bytes`];
+    /// [`WireDecoder`] inverts the stream.
     pub fn encode_column(&mut self, col: &ColumnData) -> Result<Vec<u8>> {
         match col {
             ColumnData::Dict { ids, dict } => {
-                let first = self.ship(dict);
-                let rows = u32::try_from(ids.len())
-                    .map_err(|_| err(format!("wire overflow: {} rows", ids.len())))?;
+                let (dict_id, first) = self.ship(dict);
+                let rows = page_rows(ids.len())?;
                 let mut out = Vec::new();
-                let flags = if first { 0 } else { PAGE_FLAG_DICT_REF };
+                let flags = if first {
+                    PAGE_FLAG_WIRE_STREAM
+                } else {
+                    PAGE_FLAG_WIRE_STREAM | PAGE_FLAG_DICT_REF
+                };
                 push_header_flags(&mut out, PageCodec::Dict, DataType::Utf8, rows, flags);
+                push_u32(&mut out, dict_id);
                 if first {
                     push_u32(&mut out, dict.len() as u32);
                     for entry in dict.values() {
@@ -872,6 +1328,117 @@ impl WireEncoder {
             }
             other => Ok(encode_best(other)?.1),
         }
+    }
+
+    /// Serializes a whole batch for the wire: one blob per column, in schema
+    /// order. Selected batches are compacted first (the exchange is a
+    /// materialization point). [`WireDecoder::decode_batch`] inverts it.
+    pub fn encode_batch(&mut self, batch: &RecordBatch) -> Result<Vec<Vec<u8>>> {
+        let dense;
+        let b = if batch.selection().is_some() {
+            dense = batch.compacted();
+            &dense
+        } else {
+            batch
+        };
+        b.columns().iter().map(|c| self.encode_column(c)).collect()
+    }
+}
+
+/// The receiver side of the wire format: holds one stream's dictionary
+/// cache and turns [`WireEncoder`] blobs back into columns and batches.
+///
+/// The first transfer of each shared dictionary fills the cache under the
+/// `u32` stream dictionary id the page carries; every later ids-only
+/// transfer ([`PAGE_FLAG_DICT_REF`]) resolves against it, so all decoded
+/// batches of one stream share a single receiver-side `Arc<Dictionary>` —
+/// the same one-allocation-per-stream shape the sender had. Pair one
+/// decoder with one encoder for the lifetime of a transfer stream, exactly
+/// like the engine pairs them per pipeline execution. Malformed blobs (cache
+/// misses, re-shipped ids, out-of-range ids, truncations) are an `Err`,
+/// never a panic.
+#[derive(Debug, Default)]
+pub struct WireDecoder {
+    dicts: HashMap<u32, Arc<Dictionary>>,
+}
+
+impl WireDecoder {
+    /// A fresh stream: empty dictionary cache.
+    pub fn new() -> WireDecoder {
+        WireDecoder::default()
+    }
+
+    /// Number of dictionaries received so far.
+    pub fn cached_dictionaries(&self) -> usize {
+        self.dicts.len()
+    }
+
+    /// Decodes one wire blob, updating the dictionary cache. Self-contained
+    /// pages (non-dict columns) decode exactly like [`decode_column`]; wire
+    /// dict pages resolve through the cache and decode to dict columns
+    /// sharing the cached `Arc`.
+    pub fn decode_column(&mut self, bytes: &[u8]) -> Result<ColumnData> {
+        let mut c = Cursor { bytes, at: 0 };
+        let h = parse_header(&mut c)?;
+        if h.flags & PAGE_FLAG_WIRE_STREAM == 0 {
+            if h.flags != 0 {
+                return Err(err(format!("unknown page flags {:#04x}", h.flags)));
+            }
+            let col = decode_payload(&mut c, h.codec, h.dt, h.rows)?;
+            c.done()?;
+            return Ok(col);
+        }
+        if h.flags & !(PAGE_FLAG_WIRE_STREAM | PAGE_FLAG_DICT_REF) != 0 {
+            return Err(err(format!("unknown page flags {:#04x}", h.flags)));
+        }
+        if h.codec != PageCodec::Dict || h.dt != DataType::Utf8 {
+            return Err(err(format!(
+                "wire-stream flag on a {} {} page",
+                h.codec.name(),
+                h.dt
+            )));
+        }
+        let dict_id = c.u32()?;
+        let dict = if h.flags & PAGE_FLAG_DICT_REF != 0 {
+            self.dicts.get(&dict_id).cloned().ok_or_else(|| {
+                err(format!(
+                    "wire page references stream dictionary {dict_id} never shipped \
+                         (dictionary cache miss)"
+                ))
+            })?
+        } else {
+            let dict = Arc::new(read_dictionary_section(&mut c)?);
+            if self.dicts.insert(dict_id, dict.clone()).is_some() {
+                return Err(err(format!("stream dictionary {dict_id} shipped twice")));
+            }
+            dict
+        };
+        // Ids ride at the full shared dictionary's bit width.
+        let ids = read_packed_ids(&mut c, h.rows, dict.len())?;
+        c.done()?;
+        Ok(ColumnData::Dict { ids, dict })
+    }
+
+    /// Decodes a batch serialized by [`WireEncoder::encode_batch`]: one blob
+    /// per schema column. The result is dense (exchanges ship compacted
+    /// rows) and logically equal to the batch the sender serialized.
+    pub fn decode_batch(
+        &mut self,
+        schema: crate::schema::SchemaRef,
+        columns: &[Vec<u8>],
+    ) -> Result<RecordBatch> {
+        if columns.len() != schema.arity() {
+            return Err(err(format!(
+                "wire batch has {} columns, schema expects {}",
+                columns.len(),
+                schema.arity()
+            )));
+        }
+        let decoded = columns
+            .iter()
+            .map(|bytes| self.decode_column(bytes))
+            .collect::<Result<Vec<_>>>()?;
+        RecordBatch::new(schema, decoded)
     }
 }
 
@@ -928,11 +1495,23 @@ mod tests {
 
     #[test]
     fn rle_round_trips_and_wins_on_runs() {
-        let col = ColumnData::Int64(vec![7; 1000]);
+        // Long runs over a wide value range: RLE's per-run cost beats the
+        // per-row bits FoR/Delta would spend on the large domain.
+        let mut vals = vec![1_000_000i64; 1000];
+        vals.extend(std::iter::repeat_n(-4i64, 1000));
+        let col = ColumnData::Int64(vals);
         assert_eq!(pick_codec(&col), PageCodec::Rle);
         let (meta, bytes) = encode_best(&col).unwrap();
         assert!(meta.encoded_bytes < meta.decoded_bytes / 10);
         assert_eq!(&decode_column(&bytes).unwrap(), &col);
+
+        // A constant column is the int codecs' home turf now: FoR needs
+        // width 0 (9 payload bytes), beating even a single RLE run.
+        let constant = ColumnData::Int64(vec![7; 1000]);
+        assert_eq!(pick_codec(&constant), PageCodec::For);
+        let (cmeta, cbytes) = encode_best(&constant).unwrap();
+        assert_eq!(cmeta.encoded_bytes as usize, PAGE_HEADER_BYTES + 8 + 1);
+        assert_eq!(&decode_column(&cbytes).unwrap(), &constant);
 
         let strs = ColumnData::Utf8(vec!["run".into(); 64]);
         let (_, bytes) = encode_column(&strs, PageCodec::Rle).unwrap();
@@ -941,7 +1520,18 @@ mod tests {
 
     #[test]
     fn plain_wins_on_incompressible_ints() {
-        let col = ColumnData::Int64((0..100).map(|i| i * 7919 % 1000).collect());
+        // Full-range hashed values: no frame, no delta structure, no runs
+        // (a plain multiplicative sequence would hand Delta a constant
+        // stride, so finalize with a splitmix-style mixer).
+        let col = ColumnData::Int64(
+            (0u64..100)
+                .map(|i| {
+                    let z = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    (z ^ (z >> 31)) as i64
+                })
+                .collect(),
+        );
         assert_eq!(pick_codec(&col), PageCodec::Plain);
     }
 
@@ -970,7 +1560,7 @@ mod tests {
             dict_col(&["g1", "g2", "g1", "g1"]),
         ];
         for col in &cols {
-            for &codec in PageCodec::candidates(col.data_type()) {
+            for codec in PageCodec::candidates(col.data_type()) {
                 let (meta, bytes) = encode_column(col, codec).unwrap();
                 assert_eq!(
                     encoded_size(col, codec).unwrap(),
@@ -981,6 +1571,152 @@ mod tests {
                 assert_eq!(meta.encoded_bytes, bytes.len() as u64);
             }
         }
+    }
+
+    #[test]
+    fn candidates_are_capability_driven_and_all_round_trip() {
+        // Every codec that claims a type must actually encode + decode a
+        // column of that type — a codec can neither be silently skipped nor
+        // spuriously offered.
+        let fixtures = [
+            ColumnData::Int64(vec![5, 6, 7, 9, 12]),
+            ColumnData::Float64(vec![1.5, -2.0, 0.0]),
+            ColumnData::Utf8(vec!["a".into(), "b".into(), "a".into()]),
+            ColumnData::Bool(vec![true, false, true]),
+        ];
+        for col in &fixtures {
+            let dt = col.data_type();
+            for codec in ALL_CODECS {
+                let listed = PageCodec::candidates(dt).any(|c| c == codec);
+                assert_eq!(
+                    listed,
+                    codec.applies_to(dt),
+                    "{codec:?} candidacy for {dt} out of sync with capability"
+                );
+                if listed {
+                    let (_, bytes) =
+                        encode_column(col, codec).unwrap_or_else(|e| panic!("{codec:?}/{dt}: {e}"));
+                    assert_eq!(&decode_column(&bytes).unwrap(), col, "{codec:?} on {dt}");
+                } else {
+                    assert!(
+                        encode_column(col, codec).is_err() || dt == DataType::Utf8,
+                        "{codec:?} should reject {dt}"
+                    );
+                }
+            }
+        }
+        // Int codecs are offered for ints — the regression the capability
+        // refactor guards against.
+        assert!(PageCodec::candidates(DataType::Int64).any(|c| c == PageCodec::For));
+        assert!(PageCodec::candidates(DataType::Int64).any(|c| c == PageCodec::Delta));
+        assert!(PageCodec::candidates(DataType::Bool).any(|c| c == PageCodec::For));
+        assert!(!PageCodec::candidates(DataType::Utf8).any(|c| c == PageCodec::Delta));
+    }
+
+    #[test]
+    fn for_round_trips_and_wins_on_small_domains() {
+        // Dates: a small domain far from zero. Plain needs 8 B/row; FoR
+        // needs ⌈log2 range⌉ bits.
+        let col = ColumnData::Int64((0..1000).map(|i| 20_240_000 + (i % 365)).collect());
+        assert_eq!(pick_codec(&col), PageCodec::For);
+        let (meta, bytes) = encode_best(&col).unwrap();
+        assert!(meta.encoded_bytes * 4 < meta.decoded_bytes, "{meta:?}");
+        assert_eq!(&decode_column(&bytes).unwrap(), &col);
+        // Extremes round-trip exactly (offsets span the full u64 range).
+        let extremes = ColumnData::Int64(vec![i64::MIN, i64::MAX, 0, -1]);
+        let (_, bytes) = encode_column(&extremes, PageCodec::For).unwrap();
+        assert_eq!(&decode_column(&bytes).unwrap(), &extremes);
+        // Bool columns bit-pack under FoR (1 bit/row past the frame).
+        let bools = ColumnData::Bool((0..256).map(|i| i % 3 == 0).collect());
+        assert_eq!(pick_codec(&bools), PageCodec::For);
+        let (bmeta, bytes) = encode_best(&bools).unwrap();
+        assert!(bmeta.encoded_bytes < bmeta.decoded_bytes / 4);
+        assert_eq!(&decode_column(&bytes).unwrap(), &bools);
+    }
+
+    #[test]
+    fn delta_round_trips_and_wins_on_sorted_ints() {
+        // A sorted id column: consecutive deltas are tiny, so Delta beats
+        // both Plain (8 B/row) and FoR (⌈log2 n⌉ bits/row).
+        let col = ColumnData::Int64((0..4096).map(|i| i * 3 + 1_000_000).collect());
+        assert_eq!(pick_codec(&col), PageCodec::Delta);
+        let (meta, bytes) = encode_best(&col).unwrap();
+        assert!(
+            meta.encoded_bytes * 100 < meta.decoded_bytes,
+            "constant-stride sorted ints collapse to width 0: {meta:?}"
+        );
+        assert_eq!(&decode_column(&bytes).unwrap(), &col);
+        // Descending and mixed-sign deltas round-trip too.
+        let wiggle = ColumnData::Int64(vec![10, 7, 9, -3, 4, 4, 100]);
+        let (_, bytes) = encode_column(&wiggle, PageCodec::Delta).unwrap();
+        assert_eq!(&decode_column(&bytes).unwrap(), &wiggle);
+        // Wrapping extremes are exact.
+        let extremes = ColumnData::Int64(vec![i64::MIN, i64::MAX, i64::MIN + 1]);
+        let (_, bytes) = encode_column(&extremes, PageCodec::Delta).unwrap();
+        assert_eq!(&decode_column(&bytes).unwrap(), &extremes);
+        // Single-row and empty columns round-trip through both int codecs.
+        for col in [ColumnData::Int64(vec![42]), ColumnData::Int64(vec![])] {
+            for codec in [PageCodec::For, PageCodec::Delta] {
+                let (m, bytes) = encode_column(&col, codec).unwrap();
+                assert_eq!(m.encoded_bytes as usize, bytes.len());
+                assert_eq!(&decode_column(&bytes).unwrap(), &col);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_int_pages_error_not_panic() {
+        let col = ColumnData::Int64((0..100).map(|i| i * 5).collect());
+        for codec in [PageCodec::For, PageCodec::Delta] {
+            let (_, good) = encode_column(&col, codec).unwrap();
+            for n in 0..good.len() {
+                assert!(decode_column(&good[..n]).is_err(), "{codec:?} cut at {n}");
+            }
+            // Bit width over 64.
+            let mut bad = good.clone();
+            let width_at = PAGE_HEADER_BYTES + if codec == PageCodec::For { 8 } else { 16 };
+            bad[width_at] = 65;
+            assert!(decode_column(&bad).is_err(), "{codec:?} width 65");
+            // Forged row count: payload no longer covers it, and the error
+            // must fire before any row-proportional allocation.
+            let mut inflated = good.clone();
+            inflated[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+            assert!(decode_column(&inflated).is_err(), "{codec:?} forged rows");
+        }
+    }
+
+    #[test]
+    fn encoder_and_decoder_share_one_row_bound() {
+        // The round-trip contract is total: anything the encoder accepts,
+        // the decoder accepts back — so the encoder must reject columns
+        // past MAX_DECODE_ROWS instead of emitting undecodable pages.
+        let oversized = ColumnData::Bool(vec![false; MAX_DECODE_ROWS + 1]);
+        let e = encode_column(&oversized, PageCodec::Plain)
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("page bound"), "{e}");
+        let mut w = WireEncoder::new();
+        let dict_oversized = ColumnData::Dict {
+            ids: vec![0; MAX_DECODE_ROWS + 1],
+            dict: Arc::new(Dictionary::encode(["x"].into_iter()).0),
+        };
+        assert!(w.encode_column(&dict_oversized).is_err());
+    }
+
+    #[test]
+    fn forged_plain_row_counts_fail_before_allocating() {
+        let (_, mut page) =
+            encode_column(&ColumnData::Int64(vec![1, 2, 3]), PageCodec::Plain).unwrap();
+        // Declares 4 billion rows over a 24-byte payload: rejected by the
+        // decoder row bound, not by attempting a 32 GB allocation.
+        page[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let e = decode_column(&page).unwrap_err().to_string();
+        assert!(e.contains("decoder bound"), "{e}");
+        // Within the row bound, the payload-size check fires instead —
+        // still before any row-proportional allocation.
+        page[8..12].copy_from_slice(&1_000_000u32.to_le_bytes());
+        let e = decode_column(&page).unwrap_err().to_string();
+        assert!(e.contains("truncated"), "{e}");
     }
 
     #[test]
@@ -1035,14 +1771,91 @@ mod tests {
         let b2 = w2.encode_column(&col).unwrap();
         assert_eq!(b1.len() as u64, first);
         assert_eq!(b2.len() as u64, second);
-        // Every wire blob is self-describing, header first: the first
-        // transfer is a complete Dict page any receiver can decode, the
-        // follow-up is a flagged ids-only page that demands the cache.
-        assert_eq!(decode_column(&b1).unwrap(), col);
-        let e = decode_column(&b2).unwrap_err().to_string();
+        // Wire pages demand the stream's dictionary cache: the cache-less
+        // storage decoder rejects them, the stream decoder inverts both.
+        let e = decode_column(&b1).unwrap_err().to_string();
         assert!(e.contains("dictionary cache"), "{e}");
+        let mut rx = WireDecoder::new();
+        assert_eq!(rx.decode_column(&b1).unwrap(), col);
+        assert_eq!(rx.decode_column(&b2).unwrap(), col);
+        assert_eq!(rx.cached_dictionaries(), 1);
         // The ids-only payload beats the decoded width by a wide margin.
         assert!(second * 2 < col.byte_size() as u64);
+    }
+
+    #[test]
+    fn wire_decoder_round_trips_a_stream_sharing_one_dictionary() {
+        // Three chunks of one table column: the receiver interns the
+        // dictionary once and every decoded chunk shares that Arc.
+        let table = dict_col(&["x", "yy", "zzz", "x", "yy", "zzz", "x", "yy"]);
+        let mut tx = WireEncoder::new();
+        let mut rx = WireDecoder::new();
+        let mut decoded_dicts = Vec::new();
+        for start in [0usize, 3, 6] {
+            let chunk = table.slice(start, (table.len() - start).min(3));
+            let blob = tx.encode_column(&chunk).unwrap();
+            let decoded = rx.decode_column(&blob).unwrap();
+            assert_eq!(decoded, chunk, "chunk at {start}");
+            decoded_dicts.push(decoded.as_dict().unwrap().1.clone());
+        }
+        assert!(Arc::ptr_eq(&decoded_dicts[0], &decoded_dicts[1]));
+        assert!(Arc::ptr_eq(&decoded_dicts[0], &decoded_dicts[2]));
+        assert_eq!(rx.cached_dictionaries(), 1);
+        // Ids decode against the *full* shared dictionary, so they are
+        // bit-identical to the sender's, not remapped.
+        let chunk = table.slice(6, 2);
+        let blob = tx.encode_column(&chunk).unwrap();
+        let decoded = rx.decode_column(&blob).unwrap();
+        assert_eq!(decoded.as_dict().unwrap().0, chunk.as_dict().unwrap().0);
+    }
+
+    #[test]
+    fn wire_decoder_rejects_cache_misses_and_reships() {
+        let col = dict_col(&["a", "b", "a"]);
+        let mut tx = WireEncoder::new();
+        let b1 = tx.encode_column(&col).unwrap();
+        let b2 = tx.encode_column(&col).unwrap();
+        // A ref page with no prior dictionary transfer is a cache miss.
+        let mut cold = WireDecoder::new();
+        let e = cold.decode_column(&b2).unwrap_err().to_string();
+        assert!(e.contains("cache miss"), "{e}");
+        // Shipping the same stream dictionary id twice is corrupt.
+        let mut rx = WireDecoder::new();
+        rx.decode_column(&b1).unwrap();
+        let e = rx.decode_column(&b1).unwrap_err().to_string();
+        assert!(e.contains("shipped twice"), "{e}");
+        // Truncations of wire blobs error, never panic.
+        for blob in [&b1, &b2] {
+            for n in 0..blob.len() {
+                assert!(WireDecoder::new().decode_column(&blob[..n]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn wire_batch_round_trip_is_dense_and_equal() {
+        use crate::schema::{Field, Schema};
+        let schema = Arc::new(Schema::of(vec![
+            Field::new("s", DataType::Utf8),
+            Field::new("i", DataType::Int64),
+        ]));
+        let batch = RecordBatch::new(
+            schema.clone(),
+            vec![
+                dict_col(&["a", "b", "a", "c"]),
+                ColumnData::Int64(vec![10, 20, 30, 40]),
+            ],
+        )
+        .unwrap();
+        let filtered = batch.filter(&[true, false, true, true]).unwrap();
+        let mut tx = WireEncoder::new();
+        let mut rx = WireDecoder::new();
+        let blobs = tx.encode_batch(&filtered).unwrap();
+        let decoded = rx.decode_batch(schema.clone(), &blobs).unwrap();
+        assert!(decoded.selection().is_none(), "wire batches arrive dense");
+        assert_eq!(decoded, filtered.compacted());
+        // Column-count mismatches are rejected.
+        assert!(rx.decode_batch(schema, &blobs[..1]).is_err());
     }
 
     #[test]

@@ -133,7 +133,7 @@ mod tests {
     #[test]
     fn stored_is_logical_encoded_is_billed() {
         // A constant column: decoded size is rows × 8, encoded collapses to
-        // one RLE run.
+        // a width-0 frame-of-reference page.
         let p = part(vec![42; 1024]);
         assert_eq!(p.stored_bytes, 1024 * 8, "stored_bytes stays logical");
         assert!(
@@ -143,10 +143,24 @@ mod tests {
             p.stored_bytes
         );
         assert_eq!(p.pages.len(), 1);
-        assert_eq!(p.pages[0].codec, PageCodec::Rle);
+        assert_eq!(p.pages[0].codec, PageCodec::For);
         assert_eq!(p.pages[0].decoded_bytes, p.stored_bytes);
         assert_eq!(p.pages[0].rows, 1024);
         assert_eq!(p.encoded_bytes, p.pages[0].encoded_bytes);
+    }
+
+    #[test]
+    fn sorted_int_partitions_bill_delta_pages() {
+        // A clustered (sorted) id column: the Delta codec collapses it far
+        // below Plain, so the billed fetch sees the recluster win.
+        let p = part((0..4096).collect());
+        assert_eq!(p.pages[0].codec, PageCodec::Delta);
+        assert!(
+            p.encoded_bytes * 4 < p.stored_bytes,
+            "sorted ints must encode >= 4x smaller: {} vs {}",
+            p.encoded_bytes,
+            p.stored_bytes
+        );
     }
 
     #[test]

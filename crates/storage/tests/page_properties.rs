@@ -7,7 +7,7 @@
 use ci_storage::column::ColumnData;
 use ci_storage::pages::{
     decode_column, dictionary_page_bytes, encode_best, encode_column, encoded_size, pick_codec,
-    PageCodec, WireEncoder, PAGE_HEADER_BYTES, PAGE_MAGIC, PAGE_VERSION,
+    PageCodec, WireDecoder, WireEncoder, PAGE_HEADER_BYTES, PAGE_MAGIC, PAGE_VERSION,
 };
 use proptest::prelude::*;
 
@@ -18,7 +18,7 @@ fn utf8(vals: &[String]) -> ColumnData {
 /// Round-trips one column through every applicable codec, checking value
 /// equality and exact size accounting.
 fn check_round_trip(col: &ColumnData) -> Result<(), String> {
-    for &codec in PageCodec::candidates(col.data_type()) {
+    for codec in PageCodec::candidates(col.data_type()) {
         let (meta, bytes) = encode_column(col, codec).map_err(|e| e.to_string())?;
         if meta.encoded_bytes as usize != bytes.len() {
             return Err(format!(
@@ -43,12 +43,58 @@ fn check_round_trip(col: &ColumnData) -> Result<(), String> {
     Ok(())
 }
 
+/// Corrupting or truncating a page must never panic: every outcome is a
+/// clean `Err` or a decode of the declared row count.
+fn check_corruption(col: &ColumnData, codec: PageCodec, flip_at: usize, flip_bits: u8) {
+    let (_, mut bytes) = encode_column(col, codec).expect("valid page");
+    let at = flip_at % bytes.len();
+    bytes[at] ^= flip_bits;
+    if let Ok(decoded) = decode_column(&bytes) {
+        // The flip may have landed in the row-count field itself; a decode
+        // that still succeeds must honor whatever count the header declares.
+        assert_eq!(decoded.len(), declared_rows(&bytes));
+    }
+    bytes[at] ^= flip_bits; // restore
+    let cut = flip_at % bytes.len();
+    assert!(decode_column(&bytes[..cut]).is_err(), "truncated at {cut}");
+}
+
+/// The row count a page header declares (byte offsets 8..12).
+fn declared_rows(page: &[u8]) -> usize {
+    u32::from_le_bytes(page[8..12].try_into().expect("4 bytes")) as usize
+}
+
 proptest! {
-    /// Int columns round-trip through Plain and Rle bit-identically.
+    /// Int columns round-trip through Plain, Rle, For, and Delta
+    /// bit-identically — including extreme values whose frames and deltas
+    /// wrap the i64 domain.
     #[test]
     fn int_columns_round_trip(vals in proptest::collection::vec(any::<i64>(), 0..200usize)) {
         let col = ColumnData::Int64(vals);
         prop_assert!(check_round_trip(&col).is_ok(), "{:?}", check_round_trip(&col));
+    }
+
+    /// Sorted int columns (the recluster shape) round-trip and genuinely
+    /// compress: the picked codec never inflates, and on non-trivial sizes
+    /// it beats Plain.
+    #[test]
+    fn sorted_int_columns_compress(
+        vals in proptest::collection::vec(0i64..1_000_000, 1..300usize),
+        base in -1_000_000i64..1_000_000,
+    ) {
+        let mut vals = vals;
+        vals.sort_unstable();
+        let col = ColumnData::Int64(vals.iter().map(|v| v + base).collect());
+        prop_assert!(check_round_trip(&col).is_ok(), "{:?}", check_round_trip(&col));
+        let (meta, bytes) = encode_best(&col).unwrap();
+        prop_assert!(meta.encoded_bytes <= meta.decoded_bytes + PAGE_HEADER_BYTES as u64);
+        if col.len() >= 64 {
+            prop_assert!(
+                meta.encoded_bytes < meta.decoded_bytes,
+                "sorted ints must compress: {meta:?}"
+            );
+        }
+        prop_assert_eq!(&decode_column(&bytes).unwrap(), &col);
     }
 
     /// Float columns round-trip (IEEE bits preserved exactly).
@@ -58,7 +104,7 @@ proptest! {
         prop_assert!(check_round_trip(&col).is_ok(), "{:?}", check_round_trip(&col));
     }
 
-    /// Bool columns round-trip.
+    /// Bool columns round-trip — including the bit-packed For form.
     #[test]
     fn bool_columns_round_trip(vals in proptest::collection::vec(any::<bool>(), 0..200usize)) {
         let col = ColumnData::Bool(vals);
@@ -66,7 +112,7 @@ proptest! {
     }
 
     /// String columns round-trip under both in-memory encodings and all
-    /// three codecs; dict pages decode back to dict-encoded columns.
+    /// applicable codecs; dict pages decode back to dict-encoded columns.
     #[test]
     fn string_columns_round_trip(vals in string_column(6, 1..150)) {
         let naive = utf8(&vals);
@@ -76,7 +122,7 @@ proptest! {
         let (_, bytes) = encode_column(&dicted, PageCodec::Dict).unwrap();
         prop_assert!(decode_column(&bytes).unwrap().as_dict().is_some());
         // Page accounting is invisible to the in-memory string encoding.
-        for &codec in PageCodec::candidates(ci_storage::value::DataType::Utf8) {
+        for codec in PageCodec::candidates(ci_storage::value::DataType::Utf8) {
             prop_assert_eq!(
                 encoded_size(&naive, codec).unwrap(),
                 encoded_size(&dicted, codec).unwrap()
@@ -99,17 +145,17 @@ proptest! {
             meta.encoded_bytes <= meta.decoded_bytes,
             "dict-friendly data must not inflate: {meta:?}"
         );
-        // Runs compress under RLE.
+        // Runs compress (under RLE or the int codecs, whichever is smaller).
         let runs = ColumnData::Int64(
-            (0..8i64).flat_map(|v| std::iter::repeat_n(v, run_len)).collect()
+            (0..8i64).flat_map(|v| std::iter::repeat_n(v * 1000, run_len)).collect()
         );
         let (rmeta, _) = encode_best(&runs).unwrap();
         prop_assert!(rmeta.encoded_bytes < rmeta.decoded_bytes, "{rmeta:?}");
-        prop_assert_eq!(pick_codec(&runs), PageCodec::Rle);
     }
 
-    /// Corrupting any single byte of a valid page either fails cleanly or
-    /// still decodes a column of the declared row count — never a panic.
+    /// Corrupting any single byte of a valid string page either fails
+    /// cleanly or still decodes a column of the declared row count — never
+    /// a panic. Every truncation errors.
     #[test]
     fn corrupted_pages_never_panic(
         vals in string_column(5, 1..60),
@@ -117,47 +163,100 @@ proptest! {
         flip_bits in 1u8..255,
     ) {
         let col = utf8(&vals).dict_encoded();
-        let (_, mut bytes) = encode_best(&col).unwrap();
-        let at = flip_at % bytes.len();
-        bytes[at] ^= flip_bits;
-        match decode_column(&bytes) {
-            Err(_) => {}
-            Ok(decoded) => prop_assert_eq!(decoded.len(), col.len()),
+        check_corruption(&col, pick_codec(&col), flip_at, flip_bits);
+    }
+
+    /// The same corruption guarantee for the bit-packed int codecs: forged
+    /// widths (0, >64), forged row counts, and truncated packed sections
+    /// all fail cleanly without over-allocating.
+    #[test]
+    fn corrupted_int_pages_never_panic(
+        vals in proptest::collection::vec(any::<i64>(), 1..120usize),
+        flip_at in 0usize..4096,
+        flip_bits in 1u8..255,
+        forged_rows in any::<u32>(),
+    ) {
+        let col = ColumnData::Int64(vals);
+        for codec in [PageCodec::For, PageCodec::Delta, PageCodec::Rle, PageCodec::Plain] {
+            check_corruption(&col, codec, flip_at, flip_bits);
+            // Forged row counts must be caught by payload-size validation
+            // (before any row-proportional allocation), or decode to
+            // exactly the declared count.
+            let (_, mut bytes) = encode_column(&col, codec).unwrap();
+            bytes[8..12].copy_from_slice(&forged_rows.to_le_bytes());
+            if let Ok(decoded) = decode_column(&bytes) {
+                prop_assert_eq!(decoded.len(), forged_rows as usize);
+            }
         }
-        // Every truncation of the valid page errors.
-        bytes[at] ^= flip_bits; // restore
-        let cut = flip_at % bytes.len();
-        prop_assert!(decode_column(&bytes[..cut]).is_err());
     }
 
     /// The wire encoder's size-only accounting matches its real serializer,
-    /// and re-shipping a dictionary is free after the first transfer.
+    /// re-shipping a dictionary is free after the first transfer, and the
+    /// receiver-side decoder inverts every blob of the stream.
     #[test]
-    fn wire_sizes_match_serialization(vals in string_column(5, 1..120)) {
+    fn wire_sizes_match_serialization_and_decode(vals in string_column(5, 1..120)) {
         let col = utf8(&vals).dict_encoded();
         let (_, dict) = col.as_dict().unwrap();
         let dict_bytes = dictionary_page_bytes(dict);
         let mut size_only = WireEncoder::new();
         let mut real = WireEncoder::new();
+        let mut rx = WireDecoder::new();
         for _ in 0..3 {
             let expected = size_only.column_wire_bytes(&col);
             let bytes = real.encode_column(&col).unwrap();
             prop_assert_eq!(bytes.len() as u64, expected);
+            let decoded = rx.decode_column(&bytes).unwrap();
+            prop_assert_eq!(&decoded, &col);
+            // Receiver ids are bit-identical, not just value-equal.
+            prop_assert_eq!(decoded.as_dict().unwrap().0, col.as_dict().unwrap().0);
         }
+        prop_assert_eq!(rx.cached_dictionaries(), 1);
         // Second transfer of the same column saves exactly the dictionary.
         let mut w = WireEncoder::new();
         let first = w.column_wire_bytes(&col);
         let second = w.column_wire_bytes(&col);
         prop_assert_eq!(first, second + dict_bytes);
     }
+
+    /// Corrupting wire blobs never panics the receiver: any flip or
+    /// truncation of either the dictionary transfer or an ids-only page is
+    /// a clean `Err` or a decode of the declared row count.
+    #[test]
+    fn corrupted_wire_blobs_never_panic(
+        vals in string_column(4, 1..60),
+        flip_at in 0usize..4096,
+        flip_bits in 1u8..255,
+    ) {
+        let col = utf8(&vals).dict_encoded();
+        let mut tx = WireEncoder::new();
+        let b1 = tx.encode_column(&col).unwrap();
+        let b2 = tx.encode_column(&col).unwrap();
+        for (warm, blob) in [(false, &b1), (true, &b2)] {
+            let mut corrupt = blob.clone();
+            let at = flip_at % corrupt.len();
+            corrupt[at] ^= flip_bits;
+            let mut rx = WireDecoder::new();
+            if warm {
+                rx.decode_column(&b1).unwrap();
+            }
+            if let Ok(decoded) = rx.decode_column(&corrupt) {
+                prop_assert_eq!(decoded.len(), declared_rows(&corrupt));
+            }
+            let mut rx = WireDecoder::new();
+            if warm {
+                rx.decode_column(&b1).unwrap();
+            }
+            prop_assert!(rx.decode_column(&blob[..at]).is_err());
+        }
+    }
 }
 
-/// Pins the byte-level wire format. If this test fails, the format changed:
+/// Pins the byte-level page format. If this test fails, the format changed:
 /// bump [`PAGE_VERSION`] and treat it as a breaking storage change.
 #[test]
 fn golden_bytes_pin_the_format() {
     assert_eq!(PAGE_MAGIC, *b"CIPG");
-    assert_eq!(PAGE_VERSION, 1);
+    assert_eq!(PAGE_VERSION, 2);
     assert_eq!(PAGE_HEADER_BYTES, 12);
 
     // Plain Int64 [1, 2]: header + two LE i64s.
@@ -165,7 +264,7 @@ fn golden_bytes_pin_the_format() {
     #[rustfmt::skip]
     let expected = vec![
         0x43, 0x49, 0x50, 0x47, // "CIPG"
-        0x01,                   // version
+        0x02,                   // version
         0x00,                   // codec = Plain
         0x00,                   // dtype = Int64
         0x00,                   // reserved
@@ -181,7 +280,7 @@ fn golden_bytes_pin_the_format() {
     let (meta, bytes) = encode_column(&col, PageCodec::Dict).unwrap();
     #[rustfmt::skip]
     let expected = vec![
-        0x43, 0x49, 0x50, 0x47, 0x01,
+        0x43, 0x49, 0x50, 0x47, 0x02,
         0x01,                   // codec = Dict
         0x02,                   // dtype = Utf8
         0x00,
@@ -200,7 +299,7 @@ fn golden_bytes_pin_the_format() {
         encode_column(&ColumnData::Bool(vec![true, true, false]), PageCodec::Rle).unwrap();
     #[rustfmt::skip]
     let expected = vec![
-        0x43, 0x49, 0x50, 0x47, 0x01,
+        0x43, 0x49, 0x50, 0x47, 0x02,
         0x02,                   // codec = Rle
         0x03,                   // dtype = Bool
         0x00,
@@ -211,9 +310,91 @@ fn golden_bytes_pin_the_format() {
     ];
     assert_eq!(bytes, expected, "RLE layout drifted");
 
+    // For Int64 [5, 7, 6]: frame min 5, range 2 -> width 2 bits, offsets
+    // 0, 2, 1 packed LSB-first into 0b01_10_00 = 0x18.
+    let (_, bytes) = encode_column(&ColumnData::Int64(vec![5, 7, 6]), PageCodec::For).unwrap();
+    #[rustfmt::skip]
+    let expected = vec![
+        0x43, 0x49, 0x50, 0x47, 0x02,
+        0x03,                   // codec = For
+        0x00,                   // dtype = Int64
+        0x00,
+        0x03, 0x00, 0x00, 0x00, // rows = 3
+        0x05, 0, 0, 0, 0, 0, 0, 0, // frame min = 5
+        0x02,                   // bit width = 2
+        0x18,                   // offsets 0,2,1 packed LSB-first
+    ];
+    assert_eq!(bytes, expected, "For layout drifted");
+
+    // Delta Int64 [10, 13, 16]: first 10, constant delta 3 -> min_delta 3,
+    // width 0, no packed section at all.
+    let (_, bytes) = encode_column(&ColumnData::Int64(vec![10, 13, 16]), PageCodec::Delta).unwrap();
+    #[rustfmt::skip]
+    let expected = vec![
+        0x43, 0x49, 0x50, 0x47, 0x02,
+        0x04,                   // codec = Delta
+        0x00,                   // dtype = Int64
+        0x00,
+        0x03, 0x00, 0x00, 0x00, // rows = 3
+        0x0a, 0, 0, 0, 0, 0, 0, 0, // first value = 10
+        0x03, 0, 0, 0, 0, 0, 0, 0, // min delta = 3
+        0x00,                   // bit width = 0
+    ];
+    assert_eq!(bytes, expected, "Delta layout drifted");
+
+    // Wire dict pages: flags bit 1 marks the stream form (u32 dictionary id
+    // after the header); bit 0 marks an ids-only follow-up.
+    let dicted = col.dict_encoded();
+    let mut tx = WireEncoder::new();
+    let b1 = tx.encode_column(&dicted).unwrap();
+    let b2 = tx.encode_column(&dicted).unwrap();
+    #[rustfmt::skip]
+    let expected_first = vec![
+        0x43, 0x49, 0x50, 0x47, 0x02,
+        0x01,                   // codec = Dict
+        0x02,                   // dtype = Utf8
+        0x02,                   // flags = WIRE_STREAM
+        0x03, 0x00, 0x00, 0x00, // rows = 3
+        0x00, 0x00, 0x00, 0x00, // stream dictionary id = 0
+        0x02, 0x00, 0x00, 0x00, // 2 dictionary entries
+        0x01, 0x00, 0x00, 0x00, 0x62, // "b"
+        0x01, 0x00, 0x00, 0x00, 0x61, // "a"
+        0x01,                   // bit width = 1
+        0x02,                   // ids 0,1,0
+    ];
+    assert_eq!(b1, expected_first, "wire dictionary transfer drifted");
+    #[rustfmt::skip]
+    let expected_ref = vec![
+        0x43, 0x49, 0x50, 0x47, 0x02,
+        0x01, 0x02,
+        0x03,                   // flags = WIRE_STREAM | DICT_REF
+        0x03, 0x00, 0x00, 0x00,
+        0x00, 0x00, 0x00, 0x00, // stream dictionary id = 0
+        0x01, 0x02,             // bit width, ids
+    ];
+    assert_eq!(b2, expected_ref, "wire ids-only page drifted");
+
     // Round-trip the goldens for good measure.
     assert_eq!(
         decode_column(&encode_column(&col, PageCodec::Dict).unwrap().1).unwrap(),
         col
     );
+    let mut rx = WireDecoder::new();
+    assert_eq!(rx.decode_column(&b1).unwrap(), col);
+    assert_eq!(rx.decode_column(&b2).unwrap(), col);
+}
+
+/// An ids-only wire page referencing a dictionary with zero entries can
+/// never carry rows; the receiver rejects it instead of fabricating ids.
+#[test]
+fn wire_empty_dictionary_with_rows_rejected() {
+    let empty = utf8(&[]).dict_encoded();
+    let mut tx = WireEncoder::new();
+    let blob = tx.encode_column(&empty).unwrap();
+    let mut rx = WireDecoder::new();
+    assert_eq!(rx.decode_column(&blob).unwrap(), empty);
+    // Forge a row count onto the empty-dictionary ref page.
+    let mut forged = tx.encode_column(&empty).unwrap();
+    forged[8..12].copy_from_slice(&5u32.to_le_bytes());
+    assert!(rx.decode_column(&forged).is_err());
 }
