@@ -19,17 +19,21 @@
 //! `$BENCH_MICRO_OUT`) so successive PRs can track the perf trajectory; CI
 //! uploads it as an artifact and `bench_check` fails the build if any
 //! recorded speedup regresses below 1.0 or the dict-exchange payload stops
-//! beating the plain one.
+//! beating the plain one. The report additionally records the parallel
+//! runtime's scan-join speedup over the simulator (`parallel_sim_ns` /
+//! `parallel_4w_ns` / `parallel_speedup`, with `host_cores` so the gate
+//! only binds on hosts that can actually run the workers).
 //!
 //! Usage: `cargo run --release -p ci-bench --bin bench_micro`
 
 use std::time::Instant;
 
 use ci_bench::hotpath::{
-    exchange_wire_accounting, int_codec_accounting, run_exchange_wire, run_filter,
-    run_filter_chain, run_group_by, run_join, run_page_encode, run_page_encode_int,
-    sorted_int_batch, string_batch, wide_batch,
+    exchange_wire_accounting, int_codec_accounting, parallel_fixture, run_exchange_wire,
+    run_filter, run_filter_chain, run_group_by, run_join, run_page_encode, run_page_encode_int,
+    run_parallel_scan_join, sorted_int_batch, string_batch, wide_batch, PARALLEL_WORKERS,
 };
+use ci_exec::ExecutionMode;
 use ci_storage::RecordBatch;
 use ci_types::Result;
 
@@ -139,6 +143,33 @@ fn main() -> Result<()> {
         measure("exchange_wire", |b, _| run_exchange_wire(b, MORSEL))?,
     ];
 
+    // Parallel-runtime measurement: the same scan-filter-join plan through
+    // the simulator (single-threaded oracle) and the work-stealing pool at
+    // PARALLEL_WORKERS. Results are bit-identical by contract (checksummed
+    // here), so the timing ratio is pure runtime speedup. Recorded as
+    // top-level fields, not a `benches` entry: on hosts with fewer cores
+    // than workers the ratio legitimately drops below 1.0, so `bench_check`
+    // gates it only when `host_cores` suffices.
+    let (cat, plan, graph) = parallel_fixture(ROWS)?;
+    let (parallel_sim_ns, sim_check) =
+        time_min(|| run_parallel_scan_join(&cat, &plan, &graph, ExecutionMode::Simulate))?;
+    let (parallel_4w_ns, par_check) = time_min(|| {
+        run_parallel_scan_join(
+            &cat,
+            &plan,
+            &graph,
+            ExecutionMode::Parallel {
+                workers: PARALLEL_WORKERS,
+            },
+        )
+    })?;
+    assert_eq!(
+        sim_check, par_check,
+        "parallel_scan_join: modes disagree on results"
+    );
+    let parallel_speedup = parallel_sim_ns as f64 / parallel_4w_ns.max(1) as f64;
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+
     // Exchange payload accounting (not timed): what one dict-column stream
     // puts on the wire vs the plain-page and decoded alternatives. CI gates
     // on the wire payload beating plain and halving the decoded bytes.
@@ -149,9 +180,14 @@ fn main() -> Result<()> {
     let (int_encoded_bytes, int_plain_bytes) = int_codec_accounting(&sorted_int_batch(ROWS))?;
 
     let mut json = String::from("{\n");
-    json.push_str("  \"schema_version\": 3,\n");
+    json.push_str("  \"schema_version\": 4,\n");
     json.push_str(&format!("  \"rows\": {ROWS},\n"));
     json.push_str(&format!("  \"cardinality\": {CARDINALITY},\n"));
+    json.push_str(&format!("  \"parallel_sim_ns\": {parallel_sim_ns},\n"));
+    json.push_str(&format!("  \"parallel_4w_ns\": {parallel_4w_ns},\n"));
+    json.push_str(&format!("  \"parallel_speedup\": {parallel_speedup:.2},\n"));
+    json.push_str(&format!("  \"parallel_workers\": {PARALLEL_WORKERS},\n"));
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     json.push_str(&format!("  \"exchange_wire_bytes\": {wire_bytes},\n"));
     json.push_str(&format!("  \"exchange_plain_bytes\": {plain_bytes},\n"));
     json.push_str(&format!("  \"exchange_decoded_bytes\": {decoded_bytes},\n"));
@@ -193,6 +229,14 @@ fn main() -> Result<()> {
         plain_bytes as f64 / 1e3,
         decoded_bytes as f64 / 1e3,
         decoded_bytes as f64 / wire_bytes.max(1) as f64
+    );
+    println!(
+        "parallel scan-join: simulator {:.2} ms vs {} workers {:.2} ms ({:.2}x, {} host cores)",
+        parallel_sim_ns as f64 / 1e6,
+        PARALLEL_WORKERS,
+        parallel_4w_ns as f64 / 1e6,
+        parallel_speedup,
+        host_cores
     );
     println!(
         "sorted-int pages: FoR/Delta {:.1} KB vs plain {:.1} KB ({:.2}x smaller)",

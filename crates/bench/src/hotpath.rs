@@ -10,8 +10,12 @@
 
 use std::sync::Arc;
 
+use ci_catalog::Catalog;
 use ci_exec::operators::{AggregateState, JoinHashTable};
+use ci_exec::{ExecutionConfig, ExecutionMode, Executor, NoScaling};
 use ci_plan::expr::{AggExpr, BinOp, ColMap, PlanExpr};
+use ci_plan::physical::PhysicalPlan;
+use ci_plan::pipeline::PipelineGraph;
 use ci_sql::ast::AggFunc;
 use ci_storage::column::ColumnData;
 use ci_storage::pages::{self, PageCodec, WireEncoder};
@@ -313,6 +317,85 @@ pub fn run_group_by(batch: &RecordBatch, morsel: usize) -> Result<usize> {
     Ok(st.finalize()?.rows())
 }
 
+/// Default worker count for the parallel-runtime kernel (matches the CI
+/// runner's 4 cores).
+pub const PARALLEL_WORKERS: usize = 4;
+
+/// The query the parallel kernel runs: scan filter + join probe +
+/// projection keep the per-morsel chain (the part the worker pool
+/// parallelizes) heavy, while the `Result` sink keeps the driver's serial
+/// accounting tail thin.
+pub const PARALLEL_SQL: &str = "SELECT o_id, o_total FROM orders o \
+                                JOIN customers c ON o.o_cust = c.c_id \
+                                WHERE o_total > 100.0";
+
+/// Catalog + plan fixture for [`run_parallel_scan_join`]: a `rows`-row fact
+/// table over many small partitions (so the morsel queue has enough grains
+/// to steal) joined against a small dimension.
+pub fn parallel_fixture(rows: usize) -> Result<(Catalog, PhysicalPlan, PipelineGraph)> {
+    use ci_storage::table::TableBuilder;
+    use ci_types::TableId;
+
+    let mut cat = Catalog::new();
+    let orders = Arc::new(Schema::of(vec![
+        Field::new("o_id", DataType::Int64),
+        Field::new("o_cust", DataType::Int64),
+        Field::new("o_total", DataType::Float64),
+    ]));
+    let n = rows as i64;
+    let mut b = TableBuilder::new(TableId::new(0), "orders", orders.clone(), 4_096)?;
+    b.append(RecordBatch::new(
+        orders,
+        vec![
+            ColumnData::Int64((0..n).collect()),
+            ColumnData::Int64((0..n).map(|i| i * 13 % 2_000).collect()),
+            ColumnData::Float64((0..n).map(|i| (i % 1_000) as f64).collect()),
+        ],
+    )?)?;
+    cat.register(b.finish()?);
+
+    let cust = Arc::new(Schema::of(vec![
+        Field::new("c_id", DataType::Int64),
+        Field::new("c_name", DataType::Utf8),
+    ]));
+    let mut b = TableBuilder::new(TableId::new(1), "customers", cust.clone(), 512)?;
+    b.append(RecordBatch::new(
+        cust,
+        vec![
+            ColumnData::Int64((0..2_000).collect()),
+            ColumnData::Utf8((0..2_000).map(|i| format!("cust{i:05}")).collect()),
+        ],
+    )?)?;
+    cat.register(b.finish()?);
+
+    let (plan, graph) = crate::plan_query(&cat, PARALLEL_SQL)?;
+    Ok((cat, plan, graph))
+}
+
+/// Parallel-runtime kernel: executes the scan-filter-join plan under the
+/// given [`ExecutionMode`] and checksums the (bit-identical by contract)
+/// output. `ExecutionMode::Simulate` is the single-threaded baseline;
+/// `Parallel` fans the morsel chain out over a work-stealing pool, so the
+/// simulator-vs-parallel timing ratio is the runtime's real speedup.
+pub fn run_parallel_scan_join(
+    cat: &Catalog,
+    plan: &PhysicalPlan,
+    graph: &PipelineGraph,
+    mode: ExecutionMode,
+) -> Result<usize> {
+    let exec = Executor::new(
+        cat,
+        ExecutionConfig {
+            morsel_rows: 4_096,
+            mode,
+            ..ExecutionConfig::default()
+        },
+    );
+    let out = exec.execute(plan, graph, &vec![4; graph.len()], &mut NoScaling)?;
+    let actual: u64 = out.metrics.node_actual_rows.iter().sum();
+    Ok(out.metrics.result_rows as usize + (actual % 100_003) as usize)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,6 +450,21 @@ mod tests {
             plain >= 4 * encoded,
             "sorted-int fixture must encode >= 4x smaller than Plain: {encoded} vs {plain}"
         );
+    }
+
+    #[test]
+    fn parallel_kernel_checksum_is_mode_independent() {
+        let (cat, plan, graph) = parallel_fixture(30_000).unwrap();
+        let sim = run_parallel_scan_join(&cat, &plan, &graph, ExecutionMode::Simulate).unwrap();
+        for workers in [1, PARALLEL_WORKERS, 7] {
+            let par =
+                run_parallel_scan_join(&cat, &plan, &graph, ExecutionMode::Parallel { workers })
+                    .unwrap();
+            assert_eq!(
+                par, sim,
+                "parallel ({workers} workers) diverged from simulator"
+            );
+        }
     }
 
     #[test]

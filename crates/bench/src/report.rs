@@ -28,12 +28,25 @@ pub struct BenchEntry {
 /// The parsed report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
-    /// Report format version; this reader understands version 3.
+    /// Report format version; this reader understands version 4.
     pub schema_version: u64,
     /// Fixture rows per batch.
     pub rows: u64,
     /// Distinct string keys in the fixtures.
     pub cardinality: u64,
+    /// Wall-clock of the scan-filter-join plan in simulator mode (the
+    /// single-threaded oracle).
+    pub parallel_sim_ns: u64,
+    /// The same plan on the work-stealing pool at `parallel_workers`.
+    pub parallel_4w_ns: u64,
+    /// `parallel_sim_ns / parallel_4w_ns`. Gated `>= 1.5` only when the
+    /// recording host had at least `parallel_workers` cores — the ratio is
+    /// honest but meaningless on a starved host.
+    pub parallel_speedup: f64,
+    /// Worker count of the parallel measurement.
+    pub parallel_workers: u64,
+    /// `available_parallelism()` of the recording host.
+    pub host_cores: u64,
     /// Wire-format bytes of the dict-column exchange stream (bit-packed ids
     /// plus a one-time dictionary).
     pub exchange_wire_bytes: u64,
@@ -67,13 +80,18 @@ impl BenchReport {
     /// Parses a `BENCH_micro.json` document.
     pub fn parse(json: &str) -> Result<BenchReport> {
         let schema_version = int_field(json, "schema_version")?;
-        if schema_version != 3 {
+        if schema_version != 4 {
             return Err(CiError::Config(format!(
                 "unsupported BENCH_micro schema_version {schema_version}"
             )));
         }
         let rows = int_field(json, "rows")?;
         let cardinality = int_field(json, "cardinality")?;
+        let parallel_sim_ns = int_field(json, "parallel_sim_ns")?;
+        let parallel_4w_ns = int_field(json, "parallel_4w_ns")?;
+        let parallel_speedup = float_field(json, "parallel_speedup")?;
+        let parallel_workers = int_field(json, "parallel_workers")?;
+        let host_cores = int_field(json, "host_cores")?;
         let exchange_wire_bytes = int_field(json, "exchange_wire_bytes")?;
         let exchange_plain_bytes = int_field(json, "exchange_plain_bytes")?;
         let exchange_decoded_bytes = int_field(json, "exchange_decoded_bytes")?;
@@ -95,6 +113,11 @@ impl BenchReport {
             schema_version,
             rows,
             cardinality,
+            parallel_sim_ns,
+            parallel_4w_ns,
+            parallel_speedup,
+            parallel_workers,
+            host_cores,
             exchange_wire_bytes,
             exchange_plain_bytes,
             exchange_decoded_bytes,
@@ -129,6 +152,25 @@ impl BenchReport {
                 out.push(format!(
                     "{}: speedup {:.2} < 1.0 — optimized path regressed below its baseline",
                     b.name, b.speedup
+                ));
+            }
+        }
+        if self.parallel_sim_ns == 0 || self.parallel_4w_ns == 0 || self.parallel_speedup <= 0.0 {
+            out.push("parallel measurement missing or zero".into());
+        } else {
+            let recomputed = self.parallel_sim_ns as f64 / self.parallel_4w_ns as f64;
+            if (recomputed - self.parallel_speedup).abs() > 0.011 * recomputed.max(1.0) {
+                out.push(format!(
+                    "recorded parallel_speedup {:.2} inconsistent with durations ({recomputed:.2})",
+                    self.parallel_speedup
+                ));
+            }
+            // The scaling gate only binds where the workers had cores to
+            // run on; a starved host still must record honest numbers.
+            if self.host_cores >= self.parallel_workers && self.parallel_speedup < 1.5 {
+                out.push(format!(
+                    "parallel runtime speedup {:.2} < 1.5 at {} workers on {} cores",
+                    self.parallel_speedup, self.parallel_workers, self.host_cores
                 ));
             }
         }
@@ -229,9 +271,14 @@ mod tests {
     fn sample(speedup: &str) -> String {
         format!(
             r#"{{
-  "schema_version": 3,
+  "schema_version": 4,
   "rows": 1000,
   "cardinality": 10,
+  "parallel_sim_ns": 3000,
+  "parallel_4w_ns": 1000,
+  "parallel_speedup": 3.00,
+  "parallel_workers": 4,
+  "host_cores": 8,
   "exchange_wire_bytes": 400,
   "exchange_plain_bytes": 1100,
   "exchange_decoded_bytes": 1000,
@@ -255,8 +302,13 @@ mod tests {
     #[test]
     fn parses_the_writer_format() {
         let r = BenchReport::parse(&sample("2.50")).unwrap();
-        assert_eq!(r.schema_version, 3);
+        assert_eq!(r.schema_version, 4);
         assert_eq!(r.rows, 1000);
+        assert_eq!(r.parallel_sim_ns, 3000);
+        assert_eq!(r.parallel_4w_ns, 1000);
+        assert!((r.parallel_speedup - 3.0).abs() < 1e-9);
+        assert_eq!(r.parallel_workers, 4);
+        assert_eq!(r.host_cores, 8);
         assert_eq!(r.benches.len(), 7);
         assert_eq!(r.benches[6].name, "filter_chain");
         assert_eq!(r.benches[6].baseline_naive_ns, 250);
@@ -326,6 +378,39 @@ mod tests {
     }
 
     #[test]
+    fn parallel_speedup_gates() {
+        // Below 1.5 with enough cores: the runtime stopped scaling.
+        let slow = sample("2.00")
+            .replace("\"parallel_4w_ns\": 1000", "\"parallel_4w_ns\": 2500")
+            .replace("\"parallel_speedup\": 3.00", "\"parallel_speedup\": 1.20");
+        let v = BenchReport::parse(&slow).unwrap().violations();
+        assert!(v.iter().any(|m| m.contains("speedup 1.20 < 1.5")), "{v:?}");
+        // The same ratio on a starved host is not a violation.
+        let starved = slow.replace("\"host_cores\": 8", "\"host_cores\": 1");
+        let v = BenchReport::parse(&starved).unwrap().violations();
+        assert!(v.is_empty(), "{v:?}");
+        // A recorded ratio inconsistent with the durations is flagged.
+        let fudged =
+            sample("2.00").replace("\"parallel_speedup\": 3.00", "\"parallel_speedup\": 9.00");
+        let v = BenchReport::parse(&fudged).unwrap().violations();
+        assert!(
+            v.iter()
+                .any(|m| m.contains("parallel_speedup 9.00 inconsistent")),
+            "{v:?}"
+        );
+        // Zero durations mean the writer recorded nothing.
+        let zero = sample("2.00").replace("\"parallel_sim_ns\": 3000", "\"parallel_sim_ns\": 0");
+        let v = BenchReport::parse(&zero).unwrap().violations();
+        assert!(
+            v.iter().any(|m| m.contains("parallel measurement missing")),
+            "{v:?}"
+        );
+        // A v4 document must carry the parallel fields at all.
+        let missing = sample("2.00").replace("\"parallel_sim_ns\"", "\"other\"");
+        assert!(BenchReport::parse(&missing).is_err());
+    }
+
+    #[test]
     fn regression_below_one_is_flagged() {
         let r = BenchReport::parse(&sample("0.80")).unwrap();
         let v = r.violations();
@@ -355,7 +440,7 @@ mod tests {
     fn malformed_documents_error() {
         assert!(BenchReport::parse("{}").is_err());
         let wrong_version =
-            sample("2.00").replace("\"schema_version\": 3", "\"schema_version\": 9");
+            sample("2.00").replace("\"schema_version\": 4", "\"schema_version\": 9");
         assert!(BenchReport::parse(&wrong_version).is_err());
         let missing_field = sample("2.00").replace("\"dict_ns\"", "\"other\"");
         assert!(BenchReport::parse(&missing_field).is_err());

@@ -11,6 +11,9 @@
 //! features — an engineer can read the fitted coefficients and see, e.g.,
 //! "we under-predict exchange-heavy pipelines by 12% per doubling of DOP".
 
+use std::collections::BTreeMap;
+
+use ci_cloud::work::WorkModels;
 use ci_types::regression::{fit, LinearModel};
 use ci_types::{CiError, Result};
 
@@ -78,6 +81,98 @@ impl Calibration {
 
 fn features(raw: f64, dop: u32) -> Vec<f64> {
     vec![raw, raw * (dop.max(1) as f64).log2()]
+}
+
+/// Measured per-operator-class hardware rates, aggregated from the parallel
+/// runtime's `OpSample` stream (crate `ci-exec`).
+///
+/// The parallel engine times every operator-kernel invocation on a single
+/// worker thread and emits `(op, units, wall_ns)` samples. This collector
+/// turns them into *units per second per core* — dimensionally the same
+/// quantity as the `HardwareProfile` `*_per_sec_per_core` rates, because
+/// each sample is one thread's throughput — and [`MeasuredRates::seed`]
+/// rewrites a [`WorkModels`] with them, closing the calibrate-from-reality
+/// loop the paper's §3.1 hardware calibration describes.
+///
+/// Aggregation is the **lower median** of per-sample rates under a total
+/// order on `f64` — deterministic for a given multiset of samples no matter
+/// what order the workers produced them in, and robust to the long upper
+/// tail that first-touch/cold-cache morsels put on wall-clock.
+///
+/// Op-class names are shared with the exec crate by convention (the two
+/// crates are DAG siblings): `"filter"`, `"probe"`, `"build"`, `"agg"`,
+/// `"exchange"`, `"sort"` (whose units are `n·log2(n)` row-comparisons,
+/// matching `sort_rows_log_per_sec_per_core`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MeasuredRates {
+    /// Per-sample units/sec by operator class. `BTreeMap` keeps iteration
+    /// (and hence any derived report) in a stable key order.
+    rates: BTreeMap<String, Vec<f64>>,
+}
+
+impl MeasuredRates {
+    /// An empty collector.
+    pub fn new() -> MeasuredRates {
+        MeasuredRates::default()
+    }
+
+    /// Folds one measured kernel invocation in. Samples that cannot yield a
+    /// meaningful rate (zero/negative units, zero wall-clock, non-finite
+    /// values) are dropped — a kernel too fast for the clock tick carries no
+    /// rate information.
+    pub fn record(&mut self, op: &str, units: f64, wall_ns: u64) {
+        if wall_ns == 0 || units <= 0.0 || !units.is_finite() {
+            return;
+        }
+        let per_sec = units / (wall_ns as f64 * 1e-9);
+        if per_sec.is_finite() && per_sec > 0.0 {
+            self.rates.entry(op.to_string()).or_default().push(per_sec);
+        }
+    }
+
+    /// The aggregated rate (units/sec/core) for one operator class: the
+    /// lower median of its per-sample rates. `None` until at least one
+    /// usable sample was recorded.
+    pub fn rate(&self, op: &str) -> Option<f64> {
+        let v = self.rates.get(op)?;
+        if v.is_empty() {
+            return None;
+        }
+        let mut sorted = v.clone();
+        sorted.sort_by(f64::total_cmp);
+        Some(sorted[(sorted.len() - 1) / 2])
+    }
+
+    /// Number of usable samples recorded for one operator class.
+    pub fn samples(&self, op: &str) -> usize {
+        self.rates.get(op).map_or(0, Vec::len)
+    }
+
+    /// Operator classes with at least one sample, in stable order.
+    pub fn ops(&self) -> impl Iterator<Item = &str> {
+        self.rates.keys().map(String::as_str)
+    }
+
+    /// A copy of `base` with every measured per-core compute rate replaced
+    /// by its aggregate. Classes without samples keep the base calibration —
+    /// seeding is incremental, one workload need not exercise every kernel.
+    pub fn seed(&self, base: &WorkModels) -> WorkModels {
+        let mut m = base.clone();
+        let slots: [(&str, &mut f64); 6] = [
+            ("filter", &mut m.hw.filter_rows_per_sec_per_core),
+            ("probe", &mut m.hw.hash_probe_rows_per_sec_per_core),
+            ("build", &mut m.hw.hash_build_rows_per_sec_per_core),
+            ("agg", &mut m.hw.agg_rows_per_sec_per_core),
+            ("exchange", &mut m.hw.exchange_part_rows_per_sec_per_core),
+            ("sort", &mut m.hw.sort_rows_log_per_sec_per_core),
+        ];
+        for (op, slot) in slots {
+            if let Some(r) = self.rate(op) {
+                *slot = r;
+            }
+        }
+        m
+    }
 }
 
 #[cfg(test)]
@@ -171,5 +266,83 @@ mod tests {
         let c = Calibration::fit(&synth(0.0, 1.5, 0.0)).unwrap();
         assert_eq!(c.coefficients().len(), 3);
         assert!((c.coefficients()[1] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn measured_rate_is_lower_median_and_order_free() {
+        // 1000 rows in 1µs = 1e9 rows/s; 1000 in 2µs = 5e8; 1000 in 10µs = 1e8.
+        let mut a = MeasuredRates::new();
+        a.record("filter", 1000.0, 1_000);
+        a.record("filter", 1000.0, 2_000);
+        a.record("filter", 1000.0, 10_000);
+        let mut b = MeasuredRates::new();
+        b.record("filter", 1000.0, 10_000);
+        b.record("filter", 1000.0, 1_000);
+        b.record("filter", 1000.0, 2_000);
+        let close = |x: Option<f64>, want: f64| {
+            let x = x.expect("rate present");
+            (x / want - 1.0).abs() < 1e-12
+        };
+        // Odd count: the true median, regardless of arrival order.
+        assert!(close(a.rate("filter"), 5e8), "{:?}", a.rate("filter"));
+        assert_eq!(a.rate("filter"), b.rate("filter"));
+        // Even count: the *lower* median (deterministic, no averaging).
+        a.record("filter", 1000.0, 4_000);
+        assert!(close(a.rate("filter"), 2.5e8), "{:?}", a.rate("filter"));
+        assert_eq!(a.samples("filter"), 4);
+        assert_eq!(a.rate("sort"), None);
+    }
+
+    #[test]
+    fn unusable_samples_dropped() {
+        let mut r = MeasuredRates::new();
+        r.record("agg", 100.0, 0); // clock too coarse
+        r.record("agg", 0.0, 100); // no work
+        r.record("agg", -5.0, 100);
+        r.record("agg", f64::NAN, 100);
+        assert_eq!(r.rate("agg"), None);
+        assert_eq!(r.samples("agg"), 0);
+    }
+
+    #[test]
+    fn seed_overrides_only_measured_classes() {
+        let base = WorkModels::standard();
+        let mut r = MeasuredRates::new();
+        r.record("probe", 1_000_000.0, 1_000_000); // 1M rows in 1ms = 1e9/s
+        r.record("sort", 64_000.0, 1_000_000); // 64k cmp in 1ms = 6.4e7/s
+        let seeded = r.seed(&base);
+        assert_eq!(
+            seeded.hw.hash_probe_rows_per_sec_per_core,
+            r.rate("probe").unwrap()
+        );
+        assert_eq!(
+            seeded.hw.sort_rows_log_per_sec_per_core,
+            r.rate("sort").unwrap()
+        );
+        assert!((seeded.hw.hash_probe_rows_per_sec_per_core / 1e9 - 1.0).abs() < 1e-12);
+        // Unmeasured classes keep the base calibration.
+        assert_eq!(
+            seeded.hw.filter_rows_per_sec_per_core,
+            base.hw.filter_rows_per_sec_per_core
+        );
+        assert_eq!(
+            seeded.hw.hash_build_rows_per_sec_per_core,
+            base.hw.hash_build_rows_per_sec_per_core
+        );
+        // Network/store models are untouched.
+        assert_eq!(seeded.net, base.net);
+        assert_eq!(seeded.store, base.store);
+        // Faster measured probe rate means less probe time.
+        assert!(seeded.probe_secs(1e6) < base.probe_secs(1e6));
+    }
+
+    #[test]
+    fn ops_iterate_in_stable_order() {
+        let mut r = MeasuredRates::new();
+        r.record("sort", 1.0, 1);
+        r.record("agg", 1.0, 1);
+        r.record("filter", 1.0, 1);
+        let ops: Vec<&str> = r.ops().collect();
+        assert_eq!(ops, vec!["agg", "filter", "sort"]);
     }
 }

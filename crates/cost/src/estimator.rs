@@ -7,7 +7,7 @@ use ci_plan::pipeline::{Pipeline, PipelineGraph, SinkKind};
 use ci_types::money::{Dollars, DollarsPerSecond};
 use ci_types::{CiError, Result, SimDuration, SimTime};
 
-use crate::calibration::Calibration;
+use crate::calibration::{Calibration, MeasuredRates};
 
 /// Estimator configuration (mirrors the executor's scheduling parameters so
 /// predictions and measurements share assumptions).
@@ -112,6 +112,16 @@ impl<'a> CostEstimator<'a> {
     /// Attaches a fitted calibration.
     pub fn with_calibration(mut self, c: Calibration) -> CostEstimator<'a> {
         self.calibration = Some(c);
+        self
+    }
+
+    /// Re-seeds the hardware calibration from rates the parallel runtime
+    /// actually measured ([`MeasuredRates`]): every operator class with
+    /// samples replaces its analytic `*_per_sec_per_core` rate, the rest
+    /// keep the standing calibration. Predictions then track the machine
+    /// the engine really ran on rather than the shipped defaults.
+    pub fn with_measured_rates(mut self, rates: &MeasuredRates) -> CostEstimator<'a> {
+        self.config.models = rates.seed(&self.config.models);
         self
     }
 
@@ -558,6 +568,46 @@ mod tests {
         let t1 = est.pipeline_throughput(&w, 1);
         let t8 = est.pipeline_throughput(&w, 8);
         assert!(t8 > t1);
+    }
+
+    #[test]
+    fn measured_rates_move_the_estimate() {
+        use crate::calibration::MeasuredRates;
+        let cat = catalog();
+        let (plan, graph) = planned(&cat, "SELECT id FROM facts WHERE val < 50.0");
+        let dops = vec![2u32; graph.len()];
+        let baseline = CostEstimator::new(&cat, EstimatorConfig::default())
+            .estimate(&plan, &graph, &dops)
+            .unwrap();
+
+        // A machine measured 10x slower at filtering stretches the estimate…
+        let mut slow = MeasuredRates::new();
+        slow.record("filter", 12_000_000.0, 1_000_000_000);
+        let q_slow = CostEstimator::new(&cat, EstimatorConfig::default())
+            .with_measured_rates(&slow)
+            .estimate(&plan, &graph, &dops)
+            .unwrap();
+        assert!(q_slow.latency > baseline.latency);
+        assert!(q_slow.cost.amount() > baseline.cost.amount());
+
+        // …and one measured 10x faster shrinks it. The estimate is pinned to
+        // the measured rates, not the shipped defaults.
+        let mut fast = MeasuredRates::new();
+        fast.record("filter", 1_200_000_000.0, 1_000_000_000);
+        let q_fast = CostEstimator::new(&cat, EstimatorConfig::default())
+            .with_measured_rates(&fast)
+            .estimate(&plan, &graph, &dops)
+            .unwrap();
+        assert!(q_fast.latency < baseline.latency);
+
+        // Rates for classes this plan never exercises leave it unchanged.
+        let mut idle = MeasuredRates::new();
+        idle.record("sort", 1_000.0, 1_000_000_000);
+        let q_idle = CostEstimator::new(&cat, EstimatorConfig::default())
+            .with_measured_rates(&idle)
+            .estimate(&plan, &graph, &dops)
+            .unwrap();
+        assert_eq!(q_idle.latency, baseline.latency);
     }
 
     #[test]

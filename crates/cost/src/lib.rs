@@ -24,5 +24,5 @@
 pub mod calibration;
 pub mod estimator;
 
-pub use calibration::Calibration;
+pub use calibration::{Calibration, MeasuredRates};
 pub use estimator::{CostEstimator, EstimatorConfig, PipelineWork, QueryEstimate};

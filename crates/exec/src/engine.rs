@@ -1,4 +1,4 @@
-//! The discrete-event, morsel-driven query executor.
+//! The morsel-driven query executor: one accounting core, two drivers.
 //!
 //! Execution walks the pipeline DAG bottom-up. Each pipeline:
 //!
@@ -20,8 +20,35 @@
 //! until the consuming pipeline finishes — **state pinning**. That is the
 //! resource-waste mechanism behind the paper's equal-finish-time heuristic:
 //! a build that finishes early idles (and bills) until its probe completes.
+//!
+//! # Simulate vs. Parallel
+//!
+//! Per-morsel work is split into two phases so one accounting code path can
+//! serve two execution modes ([`ExecutionMode`]):
+//!
+//! * **processing** — the pure operator chain (scan filter, filters,
+//!   projections, probes, transfer-point compaction) recorded into a
+//!   `MorselTrace`. This phase touches no shared mutable state, so
+//!   [`ExecutionMode::Parallel`] runs it on a work-stealing `std::thread`
+//!   pool (the `parallel` module); [`ExecutionMode::Simulate`] runs it
+//!   inline.
+//! * **accounting** — always on the driver, in canonical morsel order:
+//!   virtual-time list scheduling, wire-format byte accounting (the encoder
+//!   stream is order-dependent: a dictionary ships once), `LIMIT`
+//!   consumption, per-node cardinalities, and sink feeds (aggregate folding
+//!   is IEEE-float order-sensitive, so the per-worker partial traces are
+//!   merged here, at the pipeline breaker, in morsel order).
+//!
+//! Everything that determines results, logical row counts, and billed
+//! `Dollars` lives in the accounting phase, which is why the parallel path
+//! is bit-identical to the simulator *by construction* — the simulator stays
+//! the determinism oracle, and the parallel runtime only changes wall-clock.
+//! Parallel runs additionally record per-operator-class wall-clock
+//! ([`OpSample`]) that `cost::calibration::MeasuredRates` aggregates into
+//! hardware rates.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use ci_catalog::Catalog;
 use ci_cloud::work::WorkModels;
@@ -35,11 +62,54 @@ use ci_storage::RecordBatch;
 use ci_types::money::{Dollars, DollarsPerSecond};
 use ci_types::{CiError, Result, SimDuration, SimTime};
 
-use crate::metrics::{PipelineMetrics, QueryMetrics};
+use crate::metrics::{OpSample, PipelineMetrics, QueryMetrics};
 use crate::operators::{
     apply_filter, apply_project, slots_schema, AggregateState, JoinHashTable, SortBuffer,
 };
 use crate::scaling::{PipelineProgress, PipelineStart, ScaleDecision, ScalingController};
+
+/// How morsels are really processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Single-threaded discrete-event simulation: the determinism oracle.
+    Simulate,
+    /// Real multi-threaded processing on a work-stealing `std::thread` pool
+    /// of `workers` threads. Result rows, logical row counts, and billed
+    /// `Dollars` are bit-identical to [`ExecutionMode::Simulate`]; only
+    /// wall-clock changes, and [`PipelineMetrics::measured_wall_ns`] /
+    /// [`QueryOutcome::op_samples`] are populated.
+    Parallel {
+        /// Worker-thread count (clamped to at least 1).
+        workers: usize,
+    },
+}
+
+impl ExecutionMode {
+    /// Reads the mode from the `CI_EXEC_MODE` environment variable
+    /// (`simulate`/`sim`, `parallel` = 4 workers, `parallel:N`), defaulting
+    /// to [`ExecutionMode::Simulate`] when unset or unparseable. This is the
+    /// CI toggle that runs the whole test suite under the parallel runtime.
+    pub fn from_env() -> ExecutionMode {
+        std::env::var("CI_EXEC_MODE")
+            .ok()
+            .and_then(|s| Self::parse(&s))
+            .unwrap_or(ExecutionMode::Simulate)
+    }
+
+    /// Parses a mode string: `simulate`/`sim` (or empty), `parallel`
+    /// (4 workers), `parallel:N`.
+    pub fn parse(s: &str) -> Option<ExecutionMode> {
+        let s = s.trim();
+        match s {
+            "" | "simulate" | "sim" => Some(ExecutionMode::Simulate),
+            "parallel" => Some(ExecutionMode::Parallel { workers: 4 }),
+            _ => s
+                .strip_prefix("parallel:")
+                .and_then(|n| n.trim().parse::<usize>().ok())
+                .map(|n| ExecutionMode::Parallel { workers: n.max(1) }),
+        }
+    }
+}
 
 /// Executor configuration.
 #[derive(Debug, Clone)]
@@ -62,6 +132,9 @@ pub struct ExecutionConfig {
     /// that — so this stays off outside tests, where the simulation only
     /// needs byte counts.
     pub wire_roundtrip: bool,
+    /// Morsel-processing driver (defaults from `CI_EXEC_MODE`, see
+    /// [`ExecutionMode::from_env`]).
+    pub mode: ExecutionMode,
 }
 
 impl Default for ExecutionConfig {
@@ -73,6 +146,7 @@ impl Default for ExecutionConfig {
             morsel_rows: 65_536,
             check_interval: 8,
             wire_roundtrip: false,
+            mode: ExecutionMode::from_env(),
         }
     }
 }
@@ -84,6 +158,10 @@ pub struct QueryOutcome {
     pub result: RecordBatch,
     /// Execution metrics (latency, dollars, per-pipeline breakdown).
     pub metrics: QueryMetrics,
+    /// Measured per-operator wall-clock samples, in canonical (pipeline,
+    /// morsel) order. Empty in simulator mode. Sample *durations* are
+    /// nondeterministic (real hardware); sample *order and units* are not.
+    pub op_samples: Vec<OpSample>,
 }
 
 /// The query executor.
@@ -95,13 +173,13 @@ pub struct Executor<'a> {
 }
 
 /// Materialized inter-pipeline state, keyed by plan-node index.
-enum NodeState {
+pub(crate) enum NodeState {
     Built(JoinHashTable),
     Output(RecordBatch),
 }
 
 /// One unit of schedulable work.
-struct Morsel {
+pub(crate) struct Morsel {
     batch: RecordBatch,
     /// *Encoded* object-store bytes this morsel must fetch (0 for
     /// memory-resident state) — what the GET transfers.
@@ -112,7 +190,7 @@ struct Morsel {
 }
 
 /// Precompiled streaming step of a pipeline's operator chain.
-enum Step {
+pub(crate) enum Step {
     Filter {
         pred: PlanExpr,
         map: ColMap,
@@ -138,6 +216,266 @@ enum Step {
     Limit {
         node: usize,
     },
+}
+
+/// What one chain step did to one morsel — everything the accounting phase
+/// needs to charge virtual time and cardinalities without reprocessing.
+pub(crate) struct StepTrace {
+    /// Index into the pipeline's step list.
+    step: usize,
+    /// Logical rows entering the step.
+    rows_in: u64,
+    /// Logical rows leaving the step.
+    rows_out: u64,
+    /// At transfer points (exchange/gather): the compacted batch as it went
+    /// to the wire, so the driver can replay serialization against the
+    /// order-dependent encoder stream.
+    shipped: Option<RecordBatch>,
+}
+
+/// Where a morsel's chain processing ended.
+pub(crate) enum Tail {
+    /// Chain fully processed; this batch feeds the sink.
+    Done(RecordBatch),
+    /// A worker reached a `LIMIT` step, which needs the driver's shared
+    /// limit state; the driver resumes the chain from `step`.
+    AtLimit { step: usize, batch: RecordBatch },
+}
+
+/// Pure per-morsel processing record, produced by workers (or inline by the
+/// simulator) and consumed by the driver's accounting pass.
+pub(crate) struct MorselTrace {
+    /// Rows entering the pipeline source.
+    source_rows: u64,
+    /// Rows surviving the source-embedded scan filter (equals `source_rows`
+    /// when there is none; unused for breaker sources).
+    src_post_rows: u64,
+    steps: Vec<StepTrace>,
+    tail: Tail,
+    samples: Vec<OpSample>,
+    wall_ns: u64,
+}
+
+/// Everything the pure processing phase needs, shareable across worker
+/// threads (immutable borrows only).
+pub(crate) struct ChainCtx<'a> {
+    steps: &'a [Step],
+    src_is_scan: bool,
+    src_filter: Option<PlanExpr>,
+    src_map: ColMap,
+    states: &'a HashMap<usize, NodeState>,
+    /// Record wall-clock [`OpSample`]s (parallel mode only — the simulator
+    /// reports 0 measured time by contract).
+    measure: bool,
+}
+
+/// Runs `f`, optionally timing it into `samples`/`wall_total` under the
+/// given operator class.
+pub(crate) fn timed<T>(
+    measure: bool,
+    op: &'static str,
+    units: f64,
+    samples: &mut Vec<OpSample>,
+    wall_total: &mut u64,
+    f: impl FnOnce() -> Result<T>,
+) -> Result<T> {
+    if !measure {
+        return f();
+    }
+    let t0 = Instant::now();
+    let out = f();
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    *wall_total += wall_ns;
+    samples.push(OpSample { op, units, wall_ns });
+    out
+}
+
+impl ChainCtx<'_> {
+    /// Processes one morsel through the operator chain, producing its trace.
+    ///
+    /// With `limit: Some(..)` (simulator / driver), `LIMIT` steps are
+    /// applied inline against the shared remaining-rows state. With `None`
+    /// (parallel workers), processing stops at the first `LIMIT` step and
+    /// the driver finishes the chain via [`ChainCtx::complete_trace`].
+    pub(crate) fn process_morsel(
+        &self,
+        morsel: &Morsel,
+        limit: Option<&mut Option<u64>>,
+    ) -> Result<MorselTrace> {
+        let mut samples = Vec::new();
+        let mut wall_ns = 0u64;
+        let mut batch = morsel.batch.clone();
+        let source_rows = batch.rows() as u64;
+        let mut src_post_rows = source_rows;
+        if self.src_is_scan {
+            if let Some(pred) = &self.src_filter {
+                let units = batch.rows() as f64;
+                batch = timed(
+                    self.measure,
+                    "filter",
+                    units,
+                    &mut samples,
+                    &mut wall_ns,
+                    || apply_filter(&batch, pred, &self.src_map),
+                )?;
+            }
+            src_post_rows = batch.rows() as u64;
+        }
+        let mut steps = Vec::new();
+        let tail = self.process_chain(batch, 0, limit, &mut steps, &mut samples, &mut wall_ns)?;
+        Ok(MorselTrace {
+            source_rows,
+            src_post_rows,
+            steps,
+            tail,
+            samples,
+            wall_ns,
+        })
+    }
+
+    /// Resumes a worker-produced trace that stopped at a `LIMIT` step,
+    /// running the remaining chain against the driver's real limit state.
+    /// A no-op for already-complete traces.
+    pub(crate) fn complete_trace(
+        &self,
+        t: MorselTrace,
+        limit: &mut Option<u64>,
+    ) -> Result<MorselTrace> {
+        let MorselTrace {
+            source_rows,
+            src_post_rows,
+            mut steps,
+            tail,
+            mut samples,
+            mut wall_ns,
+        } = t;
+        let tail = match tail {
+            Tail::Done(batch) => Tail::Done(batch),
+            Tail::AtLimit { step, batch } => self.process_chain(
+                batch,
+                step,
+                Some(limit),
+                &mut steps,
+                &mut samples,
+                &mut wall_ns,
+            )?,
+        };
+        Ok(MorselTrace {
+            source_rows,
+            src_post_rows,
+            steps,
+            tail,
+            samples,
+            wall_ns,
+        })
+    }
+
+    /// The streaming operator chain from `first_step` onward. Pure with
+    /// respect to engine state: reads hash tables, writes only the trace.
+    fn process_chain(
+        &self,
+        mut batch: RecordBatch,
+        first_step: usize,
+        mut limit: Option<&mut Option<u64>>,
+        trace: &mut Vec<StepTrace>,
+        samples: &mut Vec<OpSample>,
+        wall_ns: &mut u64,
+    ) -> Result<Tail> {
+        for si in first_step..self.steps.len() {
+            if batch.is_empty() {
+                break;
+            }
+            let rows_in = batch.rows() as u64;
+            let mut shipped = None;
+            match &self.steps[si] {
+                Step::Filter { pred, map, .. } => {
+                    batch = timed(
+                        self.measure,
+                        "filter",
+                        rows_in as f64,
+                        samples,
+                        wall_ns,
+                        || apply_filter(&batch, pred, map),
+                    )?;
+                }
+                Step::Project {
+                    exprs,
+                    map,
+                    out_schema,
+                    ..
+                } => {
+                    batch = timed(
+                        self.measure,
+                        "filter",
+                        rows_in as f64,
+                        samples,
+                        wall_ns,
+                        || apply_project(&batch, exprs, map, out_schema.clone()),
+                    )?;
+                }
+                Step::Exchange { .. } | Step::Gather { .. } => {
+                    // Transfer points materialize: deferred filters compact
+                    // here rather than shipping unselected rows. The wire
+                    // bytes themselves are charged by the driver, which
+                    // replays this batch against the pipeline's (stateful,
+                    // order-dependent) encoder stream.
+                    batch = timed(
+                        self.measure,
+                        "exchange",
+                        rows_in as f64,
+                        samples,
+                        wall_ns,
+                        || Ok(batch.compacted()),
+                    )?;
+                    shipped = Some(batch.clone());
+                }
+                Step::Probe {
+                    join_node,
+                    probe_positions,
+                    out_schema,
+                } => {
+                    let Some(NodeState::Built(ht)) = self.states.get(join_node) else {
+                        return Err(CiError::Exec(format!(
+                            "hash table for join node {join_node} not built"
+                        )));
+                    };
+                    batch = timed(
+                        self.measure,
+                        "probe",
+                        rows_in as f64,
+                        samples,
+                        wall_ns,
+                        || ht.probe(&batch, probe_positions, out_schema.clone()),
+                    )?;
+                }
+                Step::Limit { .. } => match &mut limit {
+                    None => return Ok(Tail::AtLimit { step: si, batch }),
+                    Some(rem_opt) => {
+                        if let Some(rem) = rem_opt.as_mut() {
+                            let take = (*rem as usize).min(batch.rows());
+                            // Pushed into the selection: a prefix range over
+                            // the logical rows shares every column, so the
+                            // cut is zero-copy whether or not the stream
+                            // already carries a deferred filter.
+                            batch = batch.select(SelectionVector::from_range(
+                                0,
+                                take,
+                                batch.rows(),
+                            )?)?;
+                            *rem -= take as u64;
+                        }
+                    }
+                },
+            }
+            trace.push(StepTrace {
+                step: si,
+                rows_in,
+                rows_out: batch.rows() as u64,
+                shipped,
+            });
+        }
+        Ok(Tail::Done(batch))
+    }
 }
 
 /// Per-node scheduling slot.
@@ -181,6 +519,7 @@ impl<'a> Executor<'a> {
         let mut open_leases: Vec<Vec<NodeSlot>> = Vec::new();
         let mut result_batches: Vec<RecordBatch> = Vec::new();
         let mut resize_events = 0u32;
+        let mut op_samples: Vec<OpSample> = Vec::new();
 
         for p in &graph.pipelines {
             let ready = p
@@ -219,6 +558,7 @@ impl<'a> Executor<'a> {
             resize_events += run.metrics.resizes;
             all_metrics.push(run.metrics);
             open_leases.push(run.slots);
+            op_samples.extend(run.samples);
         }
 
         // Release: state-holding pipelines pin their nodes until the
@@ -268,6 +608,7 @@ impl<'a> Executor<'a> {
                 resize_events,
                 result_rows,
             },
+            op_samples,
         })
     }
 
@@ -417,7 +758,10 @@ impl<'a> Executor<'a> {
     }
 
     /// Runs one pipeline to completion; returns finish time, node slots
-    /// (leases), and metrics.
+    /// (leases), metrics, and measured samples.
+    ///
+    /// Both modes drive the same accounting loop below; they differ only in
+    /// where [`MorselTrace`]s come from (inline vs. the worker pool).
     #[allow(clippy::too_many_arguments)]
     fn run_pipeline(
         &self,
@@ -477,198 +821,238 @@ impl<'a> Executor<'a> {
         // One wire stream per pipeline execution: each shared dictionary
         // ships once, then dict columns ride as bit-packed ids. The paired
         // decoder is the receiver's dictionary cache (wire_roundtrip only).
+        // Replayed on the driver in canonical morsel order in both modes —
+        // the stream is stateful, so byte counts depend on batch order.
         let mut wire = WireEncoder::new();
         let mut wire_rx = WireDecoder::new();
         let mut exchange_wire_bytes = 0u64;
         let mut exchange_decoded_bytes = 0u64;
         let total_morsels = morsels.len();
         let mut morsels_done = 0usize;
+        let measure = matches!(self.config.mode, ExecutionMode::Parallel { .. });
+        let mut samples: Vec<OpSample> = Vec::new();
+        let mut measured_wall_ns = 0u64;
 
-        for (mi, morsel) in morsels.into_iter().enumerate() {
-            if limit_remaining == Some(0) {
-                break;
-            }
-            // Pick the earliest-free alive node.
-            let (ni, _) = slots
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| s.lease_end.is_none())
-                .min_by_key(|(_, s)| s.free)
-                .ok_or_else(|| CiError::Exec("no alive nodes".into()))?;
-            let assigned_at = slots[ni].free;
+        {
+            let ctx = ChainCtx {
+                steps: &steps,
+                src_is_scan,
+                src_filter: src_filter.clone(),
+                src_map,
+                states: &*states,
+                measure,
+            };
 
-            source_rows += morsel.batch.rows() as u64;
-            let mut secs = 0.0;
-            let mut batch = morsel.batch;
-
-            // Source costs: the fetch moves encoded bytes, the decode CPU
-            // expands them to the decoded payload.
-            if src_is_scan {
-                secs += w.scan_fetch_secs(morsel.fetch_bytes, cur_dop);
-                secs += w.scan_decode_secs(morsel.decode_bytes);
-                if let Some(pred) = &src_filter {
-                    secs += w.filter_secs(batch.rows() as f64);
-                    batch = apply_filter(&batch, pred, &src_map)?;
+            // Phase 1 (parallel only): pure processing on the worker pool.
+            // The simulator processes inline, inside the accounting loop.
+            let mut pre: Vec<Option<Result<MorselTrace>>> = match self.config.mode {
+                ExecutionMode::Simulate => Vec::new(),
+                ExecutionMode::Parallel { workers } => {
+                    crate::parallel::process_morsels(&ctx, &morsels, workers)
                 }
-                node_actual[p.source()] += batch.rows() as u64;
-            }
+            };
 
-            // Streaming chain.
-            for step in &steps {
-                if batch.is_empty() {
+            // Phase 2 (both modes): accounting, in canonical morsel order.
+            for (mi, morsel) in morsels.iter().enumerate() {
+                if limit_remaining == Some(0) {
                     break;
                 }
-                match step {
-                    Step::Filter { pred, map, node } => {
-                        secs += w.filter_secs(batch.rows() as f64);
-                        batch = apply_filter(&batch, pred, map)?;
-                        node_actual[*node] += batch.rows() as u64;
-                    }
-                    Step::Project {
-                        exprs,
-                        map,
-                        out_schema,
-                        node,
-                    } => {
-                        secs += w.filter_secs(batch.rows() as f64);
-                        batch = apply_project(&batch, exprs, map, out_schema.clone())?;
-                        node_actual[*node] += batch.rows() as u64;
-                    }
-                    Step::Exchange { node } => {
-                        secs += w.exchange_cpu_secs(batch.rows() as f64);
-                        // Shuffling serializes rows onto the wire: this is a
-                        // materialization point, so deferred filters compact
-                        // here rather than shipping unselected rows — and
-                        // the payload crosses the fabric in the *wire
-                        // format* (encoded pages; dict ids + one-time
-                        // dictionary), not at decoded width.
-                        batch = batch.compacted();
-                        let wire_bytes = self.ship_batch(&mut batch, &mut wire, &mut wire_rx)?;
-                        exchange_wire_bytes += wire_bytes;
-                        exchange_decoded_bytes += batch.byte_size() as u64;
-                        secs += w.exchange_wire_secs(wire_bytes as f64, cur_dop);
-                        node_actual[*node] += batch.rows() as u64;
-                    }
-                    Step::Gather { node } => {
-                        // Gather is a network materialization point like
-                        // exchange: the receiver gets wire-format pages.
-                        batch = batch.compacted();
-                        let wire_bytes = self.ship_batch(&mut batch, &mut wire, &mut wire_rx)?;
-                        exchange_wire_bytes += wire_bytes;
-                        exchange_decoded_bytes += batch.byte_size() as u64;
-                        gather_bytes += wire_bytes as f64;
-                        node_actual[*node] += batch.rows() as u64;
-                    }
-                    Step::Probe {
-                        join_node,
-                        probe_positions,
-                        out_schema,
-                    } => {
-                        let Some(NodeState::Built(ht)) = states.get(join_node) else {
+                // Pick the earliest-free alive node.
+                let (ni, _) = slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.lease_end.is_none())
+                    .min_by_key(|(_, s)| s.free)
+                    .ok_or_else(|| CiError::Exec("no alive nodes".into()))?;
+                let assigned_at = slots[ni].free;
+
+                let mut trace = if pre.is_empty() {
+                    ctx.process_morsel(morsel, Some(&mut limit_remaining))?
+                } else {
+                    let t = match pre[mi].take() {
+                        Some(r) => r?,
+                        None => {
                             return Err(CiError::Exec(format!(
-                                "hash table for join node {join_node} not built"
-                            )));
-                        };
-                        secs += w.probe_secs(batch.rows() as f64);
-                        batch = ht.probe(&batch, probe_positions, out_schema.clone())?;
-                        // Output materialization cost.
-                        secs += w.filter_secs(batch.rows() as f64);
-                        node_actual[*join_node] += batch.rows() as u64;
-                    }
-                    Step::Limit { node } => {
-                        if let Some(rem) = &mut limit_remaining {
-                            let take = (*rem as usize).min(batch.rows());
-                            // Pushed into the selection: a prefix range over
-                            // the logical rows shares every column, so the
-                            // cut is zero-copy whether or not the stream
-                            // already carries a deferred filter.
-                            batch = batch.select(SelectionVector::from_range(
-                                0,
-                                take,
-                                batch.rows(),
-                            )?)?;
-                            *rem -= take as u64;
+                                "morsel {mi} missing from worker pool output"
+                            )))
                         }
-                        node_actual[*node] += batch.rows() as u64;
+                    };
+                    ctx.complete_trace(t, &mut limit_remaining)?
+                };
+
+                source_rows += trace.source_rows;
+                measured_wall_ns += trace.wall_ns;
+                samples.append(&mut trace.samples);
+
+                let mut secs = 0.0;
+
+                // Source costs: the fetch moves encoded bytes, the decode
+                // CPU expands them to the decoded payload.
+                if src_is_scan {
+                    secs += w.scan_fetch_secs(morsel.fetch_bytes, cur_dop);
+                    secs += w.scan_decode_secs(morsel.decode_bytes);
+                    if src_filter.is_some() {
+                        secs += w.filter_secs(trace.source_rows as f64);
                     }
+                    node_actual[p.source()] += trace.src_post_rows;
                 }
-            }
 
-            // Sink. Work models charge *logical* rows (identical to the
-            // eager-materialization bill); the logical/physical gap is the
-            // copying the selection path deferred all the way to here.
-            sink_rows += batch.rows() as u64;
-            sink_rows_physical += batch.physical_rows() as u64;
-            match &mut sink {
-                Sink::Build(ht) => {
-                    secs += w.build_secs(batch.rows() as f64);
-                    // Buffered until finalize, which compacts via concat.
-                    ht.insert_batch(batch)?;
-                }
-                Sink::Agg(st) => {
-                    secs += w.agg_update_secs(batch.rows() as f64);
-                    st.update(&batch)?;
-                }
-                Sink::Sorter(sb) => {
-                    secs += w.filter_secs(batch.rows() as f64);
-                    // Buffered until finalize, which compacts via concat.
-                    sb.push(batch);
-                }
-                Sink::Result => {
-                    if !batch.is_empty() {
-                        result_batches.push(batch.compacted());
-                    }
-                }
-            }
-
-            let span = SimDuration::from_secs_f64(secs + w.morsel_overhead_secs());
-            slots[ni].free = assigned_at + span;
-            slots[ni].worked_until = Some(slots[ni].free);
-            busy += span;
-            morsels_done += 1;
-
-            // Progress callback.
-            if (mi + 1) % self.config.check_interval == 0 {
-                let now = slots[ni].free;
-                let decision = ctrl.on_progress(&PipelineProgress {
-                    pipeline: p.id,
-                    current_dop: cur_dop,
-                    morsels_done,
-                    morsels_total: total_morsels,
-                    source_rows_seen: source_rows,
-                    sink_rows_seen: sink_rows,
-                    planned_source_rows: plan.nodes[p.source()].est_rows,
-                    planned_sink_rows: plan.nodes[p.last()].est_rows,
-                    elapsed: now.saturating_since(start),
-                    now,
-                });
-                if let ScaleDecision::SetDop(new_dop) = decision {
-                    let new_dop = new_dop.max(1);
-                    if new_dop != cur_dop {
-                        resizes += 1;
-                        if new_dop > cur_dop {
-                            for _ in cur_dop..new_dop {
-                                slots.push(NodeSlot {
-                                    free: now + self.config.resize_latency,
-                                    worked_until: None,
-                                    lease_start: now,
-                                    lease_end: None,
-                                });
-                            }
-                        } else {
-                            // Retire the latest-free alive nodes.
-                            let mut alive: Vec<usize> = slots
-                                .iter()
-                                .enumerate()
-                                .filter(|(_, s)| s.lease_end.is_none())
-                                .map(|(i, _)| i)
-                                .collect();
-                            alive.sort_by_key(|&i| std::cmp::Reverse(slots[i].free));
-                            for &i in alive.iter().take((cur_dop - new_dop) as usize) {
-                                slots[i].lease_end = Some(slots[i].free.max(now));
-                            }
+                // Streaming chain: charge each recorded step.
+                for st in &trace.steps {
+                    match &steps[st.step] {
+                        Step::Filter { node, .. } | Step::Project { node, .. } => {
+                            secs += w.filter_secs(st.rows_in as f64);
+                            node_actual[*node] += st.rows_out;
                         }
-                        cur_dop = new_dop;
+                        Step::Exchange { node } => {
+                            secs += w.exchange_cpu_secs(st.rows_in as f64);
+                            // Shuffling serializes rows onto the wire: the
+                            // payload crosses the fabric in the *wire
+                            // format* (encoded pages; dict ids + one-time
+                            // dictionary), not at decoded width.
+                            let mut shipped = st.shipped.clone().ok_or_else(|| {
+                                CiError::Exec("exchange trace lost its shipped batch".into())
+                            })?;
+                            let wire_bytes =
+                                self.ship_batch(&mut shipped, &mut wire, &mut wire_rx)?;
+                            exchange_wire_bytes += wire_bytes;
+                            exchange_decoded_bytes += shipped.byte_size() as u64;
+                            secs += w.exchange_wire_secs(wire_bytes as f64, cur_dop);
+                            node_actual[*node] += st.rows_out;
+                        }
+                        Step::Gather { node } => {
+                            // Gather is a network materialization point like
+                            // exchange: the receiver gets wire-format pages.
+                            let mut shipped = st.shipped.clone().ok_or_else(|| {
+                                CiError::Exec("gather trace lost its shipped batch".into())
+                            })?;
+                            let wire_bytes =
+                                self.ship_batch(&mut shipped, &mut wire, &mut wire_rx)?;
+                            exchange_wire_bytes += wire_bytes;
+                            exchange_decoded_bytes += shipped.byte_size() as u64;
+                            gather_bytes += wire_bytes as f64;
+                            node_actual[*node] += st.rows_out;
+                        }
+                        Step::Probe { join_node, .. } => {
+                            secs += w.probe_secs(st.rows_in as f64);
+                            // Output materialization cost.
+                            secs += w.filter_secs(st.rows_out as f64);
+                            node_actual[*join_node] += st.rows_out;
+                        }
+                        Step::Limit { node } => {
+                            node_actual[*node] += st.rows_out;
+                        }
+                    }
+                }
+
+                // Sink. Work models charge *logical* rows (identical to the
+                // eager-materialization bill); the logical/physical gap is
+                // the copying the selection path deferred all the way here.
+                // Sink folding is order-sensitive (IEEE float sums, first-
+                // wins dictionaries), so per-worker partials merge *here*,
+                // at the pipeline breaker, in morsel order.
+                let Tail::Done(batch) = trace.tail else {
+                    return Err(CiError::Exec("morsel trace ended before the sink".into()));
+                };
+                sink_rows += batch.rows() as u64;
+                sink_rows_physical += batch.physical_rows() as u64;
+                let units = batch.rows() as f64;
+                // A morsel that filtered down to zero rows leaves the chain
+                // early, so its (empty) batch may still carry an upstream
+                // schema; contributing zero rows, it must not be buffered
+                // into schema-sensitive sinks. Charges below are zero for
+                // it either way.
+                match &mut sink {
+                    Sink::Build(ht) => {
+                        secs += w.build_secs(units);
+                        if !batch.is_empty() {
+                            // Buffered until finalize (compacts via concat).
+                            timed(
+                                measure,
+                                "build",
+                                units,
+                                &mut samples,
+                                &mut measured_wall_ns,
+                                || ht.insert_batch(batch),
+                            )?;
+                        }
+                    }
+                    Sink::Agg(st) => {
+                        secs += w.agg_update_secs(units);
+                        if !batch.is_empty() {
+                            timed(
+                                measure,
+                                "agg",
+                                units,
+                                &mut samples,
+                                &mut measured_wall_ns,
+                                || st.update(&batch),
+                            )?;
+                        }
+                    }
+                    Sink::Sorter(sb) => {
+                        secs += w.filter_secs(units);
+                        if !batch.is_empty() {
+                            // Buffered until finalize (compacts via concat).
+                            sb.push(batch);
+                        }
+                    }
+                    Sink::Result => {
+                        if !batch.is_empty() {
+                            result_batches.push(batch.compacted());
+                        }
+                    }
+                }
+
+                let span = SimDuration::from_secs_f64(secs + w.morsel_overhead_secs());
+                slots[ni].free = assigned_at + span;
+                slots[ni].worked_until = Some(slots[ni].free);
+                busy += span;
+                morsels_done += 1;
+
+                // Progress callback.
+                if (mi + 1) % self.config.check_interval == 0 {
+                    let now = slots[ni].free;
+                    let decision = ctrl.on_progress(&PipelineProgress {
+                        pipeline: p.id,
+                        current_dop: cur_dop,
+                        morsels_done,
+                        morsels_total: total_morsels,
+                        source_rows_seen: source_rows,
+                        sink_rows_seen: sink_rows,
+                        planned_source_rows: plan.nodes[p.source()].est_rows,
+                        planned_sink_rows: plan.nodes[p.last()].est_rows,
+                        elapsed: now.saturating_since(start),
+                        now,
+                    });
+                    if let ScaleDecision::SetDop(new_dop) = decision {
+                        let new_dop = new_dop.max(1);
+                        if new_dop != cur_dop {
+                            resizes += 1;
+                            if new_dop > cur_dop {
+                                for _ in cur_dop..new_dop {
+                                    slots.push(NodeSlot {
+                                        free: now + self.config.resize_latency,
+                                        worked_until: None,
+                                        lease_start: now,
+                                        lease_end: None,
+                                    });
+                                }
+                            } else {
+                                // Retire the latest-free alive nodes.
+                                let mut alive: Vec<usize> = slots
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|(_, s)| s.lease_end.is_none())
+                                    .map(|(i, _)| i)
+                                    .collect();
+                                alive.sort_by_key(|&i| std::cmp::Reverse(slots[i].free));
+                                for &i in alive.iter().take((cur_dop - new_dop) as usize) {
+                                    slots[i].lease_end = Some(slots[i].free.max(now));
+                                }
+                            }
+                            cur_dop = new_dop;
+                        }
                     }
                 }
             }
@@ -691,7 +1075,14 @@ impl<'a> Executor<'a> {
         // Finalize the sink.
         match sink {
             Sink::Build(mut ht) => {
-                ht.finalize()?;
+                timed(
+                    measure,
+                    "build",
+                    sink_rows as f64,
+                    &mut samples,
+                    &mut measured_wall_ns,
+                    || ht.finalize(),
+                )?;
                 let SinkKind::JoinBuild { join } = p.sink else {
                     unreachable!("build sink without join");
                 };
@@ -711,7 +1102,17 @@ impl<'a> Executor<'a> {
                     unreachable!("sort sink mismatch");
                 };
                 let rows = sb.rows() as f64;
-                let out = sb.finalize()?;
+                // Sort's real work happens here, not in the buffering
+                // pushes; units follow the n·log n model term.
+                let sort_units = rows.max(2.0) * rows.max(2.0).log2();
+                let out = timed(
+                    measure,
+                    "sort",
+                    sort_units,
+                    &mut samples,
+                    &mut measured_wall_ns,
+                    || sb.finalize(),
+                )?;
                 finish += SimDuration::from_secs_f64(w.sort_finalize_secs(rows, cur_dop));
                 node_actual[sort] += out.rows() as u64;
                 states.insert(sort, NodeState::Output(out));
@@ -735,11 +1136,13 @@ impl<'a> Executor<'a> {
             busy,
             machine_time: SimDuration::ZERO, // filled at release
             resizes,
+            measured_wall_ns,
         };
         Ok(PipelineRun {
             finish,
             slots,
             metrics,
+            samples,
         })
     }
 
@@ -904,6 +1307,7 @@ struct PipelineRun {
     finish: SimTime,
     slots: Vec<NodeSlot>,
     metrics: PipelineMetrics,
+    samples: Vec<OpSample>,
 }
 
 enum Sink {
@@ -911,4 +1315,32 @@ enum Sink {
     Agg(AggregateState),
     Sorter(SortBuffer),
     Result,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ExecutionMode;
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(
+            ExecutionMode::parse("simulate"),
+            Some(ExecutionMode::Simulate)
+        );
+        assert_eq!(ExecutionMode::parse("sim"), Some(ExecutionMode::Simulate));
+        assert_eq!(ExecutionMode::parse(""), Some(ExecutionMode::Simulate));
+        assert_eq!(
+            ExecutionMode::parse("parallel"),
+            Some(ExecutionMode::Parallel { workers: 4 })
+        );
+        assert_eq!(
+            ExecutionMode::parse("parallel:7"),
+            Some(ExecutionMode::Parallel { workers: 7 })
+        );
+        assert_eq!(
+            ExecutionMode::parse("parallel:0"),
+            Some(ExecutionMode::Parallel { workers: 1 })
+        );
+        assert_eq!(ExecutionMode::parse("bogus"), None);
+    }
 }

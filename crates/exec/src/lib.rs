@@ -27,10 +27,11 @@ pub mod engine;
 pub mod key;
 pub mod metrics;
 pub mod operators;
+mod parallel;
 pub mod scaling;
 
 pub use ci_cloud::work::WorkModels;
-pub use engine::{ExecutionConfig, Executor, QueryOutcome};
+pub use engine::{ExecutionConfig, ExecutionMode, Executor, QueryOutcome};
 pub use key::{DictKeyEntry, Key, KeyEncoder, KeyPart, MissPolicy};
-pub use metrics::{PipelineMetrics, QueryMetrics};
+pub use metrics::{OpSample, PipelineMetrics, QueryMetrics};
 pub use scaling::{NoScaling, PipelineProgress, ScaleDecision, ScalingController};

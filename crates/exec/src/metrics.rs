@@ -50,6 +50,13 @@ pub struct PipelineMetrics {
     pub machine_time: SimDuration,
     /// Mid-pipeline resize operations applied.
     pub resizes: u32,
+    /// *Measured* wall-clock nanoseconds spent really processing this
+    /// pipeline's morsels (operator kernels only, not scheduling). Always 0
+    /// in simulator mode — `busy`/`machine_time` are virtual seconds from
+    /// the work models, and monitors use this field to tell estimated time
+    /// from observed time. Scheduling-order dependent, so deliberately *not*
+    /// part of the determinism contract.
+    pub measured_wall_ns: u64,
 }
 
 impl PipelineMetrics {
@@ -71,6 +78,26 @@ impl PipelineMetrics {
             self.sink_rows as f64 / span
         }
     }
+}
+
+/// One measured operator-kernel invocation: how long a worker really took
+/// to push `units` of work (rows, or rows-equivalents) through an operator
+/// class. The parallel runtime emits one sample per operator per morsel;
+/// `cost::calibration::MeasuredRates` aggregates them (median-of-runs) into
+/// hardware rates the estimator can be seeded from.
+///
+/// Op-class names are shared with the cost crate by convention (the two
+/// crates are DAG siblings): `"filter"`, `"probe"`, `"build"`, `"agg"`,
+/// `"exchange"`, `"sort"`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpSample {
+    /// Operator class (`"filter"`, `"probe"`, `"build"`, `"agg"`,
+    /// `"exchange"`, `"sort"`).
+    pub op: &'static str,
+    /// Work units processed (rows for every current class).
+    pub units: f64,
+    /// Measured wall-clock for this invocation.
+    pub wall_ns: u64,
 }
 
 /// Whole-query execution metrics.
@@ -127,6 +154,7 @@ mod tests {
             busy: SimDuration::from_secs(6),
             machine_time: SimDuration::from_secs(16),
             resizes: 0,
+            measured_wall_ns: 0,
         }
     }
 

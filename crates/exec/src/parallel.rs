@@ -1,0 +1,152 @@
+//! Work-stealing morsel pool for [`ExecutionMode::Parallel`].
+//!
+//! Plain `std::thread` + `std::sync` (the workspace has no external deps):
+//! a global [`Injector`] seeds work, each worker owns a [`WorkerDeque`] it
+//! pops from the front while idle siblings steal from the back — the
+//! classic morsel-driven shape, with the injector bounding contention to
+//! one grab per [`GRAB`] morsels in the common case.
+//!
+//! Workers run only the *pure* processing phase ([`ChainCtx::process_morsel`]
+//! with no limit state), producing one [`MorselTrace`] per morsel. Order
+//! does not matter here by design: everything order-sensitive — virtual
+//! time, wire-stream bytes, `LIMIT` consumption, sink folding — happens in
+//! the driver's accounting pass, which consumes these traces in canonical
+//! morsel order. That split is what keeps the parallel path bit-identical
+//! to the simulator oracle.
+//!
+//! [`ExecutionMode::Parallel`]: crate::engine::ExecutionMode::Parallel
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use ci_types::Result;
+
+use crate::engine::{ChainCtx, Morsel, MorselTrace};
+
+/// Morsels a worker moves from the injector to its own deque per refill.
+const GRAB: usize = 4;
+
+/// Global FIFO of not-yet-claimed morsel indices.
+struct Injector {
+    q: Mutex<VecDeque<usize>>,
+}
+
+impl Injector {
+    fn new(n: usize) -> Injector {
+        Injector {
+            q: Mutex::new((0..n).collect()),
+        }
+    }
+
+    /// Pops up to [`GRAB`] indices for a worker's local deque.
+    fn grab(&self) -> Vec<usize> {
+        let mut q = self.q.lock().expect("injector lock");
+        let take = GRAB.min(q.len());
+        q.drain(..take).collect()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.q.lock().expect("injector lock").is_empty()
+    }
+}
+
+/// A worker's local run queue. The owner pops from the front (oldest first,
+/// preserving scan locality); thieves steal from the back.
+struct WorkerDeque {
+    q: Mutex<VecDeque<usize>>,
+}
+
+impl WorkerDeque {
+    fn new() -> WorkerDeque {
+        WorkerDeque {
+            q: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn push_batch(&self, items: Vec<usize>) {
+        self.q.lock().expect("deque lock").extend(items);
+    }
+
+    fn pop_front(&self) -> Option<usize> {
+        self.q.lock().expect("deque lock").pop_front()
+    }
+
+    fn steal_back(&self) -> Option<usize> {
+        self.q.lock().expect("deque lock").pop_back()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.q.lock().expect("deque lock").is_empty()
+    }
+}
+
+/// Processes every morsel on a pool of `workers` threads, returning each
+/// morsel's trace (or its error) at the morsel's own index.
+///
+/// Errors are *not* short-circuited across the pool: the driver surfaces
+/// them in canonical morsel order, so a failure past a satisfied `LIMIT`
+/// stays invisible — exactly as in the simulator, which never reaches it.
+/// A worker that hits an error stops claiming new work; its queued morsels
+/// drain to the surviving workers.
+pub(crate) fn process_morsels(
+    ctx: &ChainCtx<'_>,
+    morsels: &[Morsel],
+    workers: usize,
+) -> Vec<Option<Result<MorselTrace>>> {
+    let workers = workers.max(1);
+    let injector = Injector::new(morsels.len());
+    let deques: Vec<WorkerDeque> = (0..workers).map(|_| WorkerDeque::new()).collect();
+
+    let mut merged: Vec<Option<Result<MorselTrace>>> = (0..morsels.len()).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for wi in 0..workers {
+            let injector = &injector;
+            let deques = &deques;
+            handles.push(scope.spawn(move || {
+                let mut out: Vec<(usize, Result<MorselTrace>)> = Vec::new();
+                let mine = &deques[wi];
+                loop {
+                    // Own deque first, then refill from the injector, then
+                    // steal from a sibling (scanning rightward from us).
+                    let idx = mine.pop_front().or_else(|| {
+                        let grabbed = injector.grab();
+                        if grabbed.is_empty() {
+                            (1..deques.len())
+                                .find_map(|off| deques[(wi + off) % deques.len()].steal_back())
+                        } else {
+                            mine.push_batch(grabbed);
+                            mine.pop_front()
+                        }
+                    });
+                    match idx {
+                        Some(i) => {
+                            let r = ctx.process_morsel(&morsels[i], None);
+                            let failed = r.is_err();
+                            out.push((i, r));
+                            if failed {
+                                // Stop claiming; siblings drain our deque.
+                                break;
+                            }
+                        }
+                        None => {
+                            if injector.is_empty() && deques.iter().all(|d| d.is_empty()) {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                out
+            }));
+        }
+        for h in handles {
+            for (idx, r) in h.join().expect("parallel worker panicked") {
+                merged[idx] = Some(r);
+            }
+        }
+    });
+
+    merged
+}

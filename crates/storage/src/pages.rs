@@ -298,6 +298,32 @@ fn pack_bits(out: &mut Vec<u8>, values: impl Iterator<Item = u64>, width: u32) {
     if width == 0 {
         return;
     }
+    let (lo, _) = values.size_hint();
+    out.reserve((lo * width as usize).div_ceil(8));
+    if width <= 32 {
+        // Flush four bytes at a time: the buffer stays below 32 live bits
+        // between values, so `32 + width <= 64` always fits the shift.
+        let mut buf: u64 = 0;
+        let mut bits: u32 = 0;
+        for v in values {
+            buf |= v << bits;
+            bits += width;
+            if bits >= 32 {
+                out.extend_from_slice(&(buf as u32).to_le_bytes());
+                buf >>= 32;
+                bits -= 32;
+            }
+        }
+        while bits >= 8 {
+            out.push(buf as u8);
+            buf >>= 8;
+            bits -= 8;
+        }
+        if bits > 0 {
+            out.push(buf as u8);
+        }
+        return;
+    }
     if width <= PACK_FAST_WIDTH {
         let mut buf: u64 = 0;
         let mut bits: u32 = 0;
@@ -332,12 +358,25 @@ fn pack_bits(out: &mut Vec<u8>, values: impl Iterator<Item = u64>, width: u32) {
 }
 
 /// Unpacks `rows` values bit-packed at `width` bits (`width <= 64`),
-/// feeding each to `emit`. `packed` must hold exactly
-/// [`packed_id_bytes`]`(rows, width)` bytes — callers bounds-check first.
-fn unpack_bits(packed: &[u8], rows: usize, width: u32, mut emit: impl FnMut(u64)) {
+/// feeding `emit` blocks of up to 8 values (every block but the last is
+/// exactly 8). `packed` must hold exactly [`packed_id_bytes`]`(rows, width)`
+/// bytes — callers bounds-check first.
+///
+/// The block API is the fast path's point: consumers bulk-append each slice
+/// (one capacity check per 8 values instead of one per value), and at
+/// widths <= 16 a whole block comes out of one or two unaligned `u64`
+/// loads — 8 values span exactly `width` bytes, so blocks start
+/// byte-aligned and every shift is a compile-time multiple of `width`.
+fn unpack_bit_blocks(packed: &[u8], rows: usize, width: u32, mut emit: impl FnMut(&[u64])) {
+    let mut blk = [0u64; 8];
     if width == 0 {
-        for _ in 0..rows {
-            emit(0);
+        let mut left = rows;
+        while left >= 8 {
+            emit(&blk);
+            left -= 8;
+        }
+        if left > 0 {
+            emit(&blk[..left]);
         }
         return;
     }
@@ -346,12 +385,53 @@ fn unpack_bits(packed: &[u8], rows: usize, width: u32, mut emit: impl FnMut(u64)
     } else {
         (1u64 << width) - 1
     };
+    let mut i = 0usize;
+    if width <= 8 {
+        // All 8 values fit one unaligned u64 (the last ends at bit
+        // 7*width + width <= 64).
+        while i + 8 <= rows {
+            let base = i * width as usize / 8;
+            let Some(window) = packed.get(base..base + 8) else {
+                break;
+            };
+            let w = u64::from_le_bytes(window.try_into().expect("8 bytes"));
+            for (k, b) in blk.iter_mut().enumerate() {
+                *b = (w >> (k as u32 * width)) & mask;
+            }
+            emit(&blk);
+            i += 8;
+        }
+    } else if width <= 16 {
+        // Two unaligned u64 loads per block: values 0-3 from `base` (the
+        // last ends at 4*width <= 64), values 4-7 from the byte where value
+        // 4 starts, pre-shifted by its sub-byte bit offset (<= 4, and
+        // 4 + 4*width <= 64 for width <= 15; width 16 is byte-aligned with
+        // offset 0).
+        while i + 8 <= rows {
+            let base = i * width as usize / 8;
+            let hi_at = base + (4 * width as usize) / 8;
+            let Some(hw) = packed.get(hi_at..hi_at + 8) else {
+                break;
+            };
+            let hi = u64::from_le_bytes(hw.try_into().expect("8 bytes"));
+            let lo = u64::from_le_bytes(packed[base..base + 8].try_into().expect("8 bytes"));
+            let hi_shift = (4 * width) % 8;
+            let (low4, high4) = blk.split_at_mut(4);
+            for (k, (l, h)) in low4.iter_mut().zip(high4).enumerate() {
+                *l = (lo >> (k as u32 * width)) & mask;
+                *h = (hi >> (hi_shift + k as u32 * width)) & mask;
+            }
+            emit(&blk);
+            i += 8;
+        }
+    }
+    let mut n = 0usize;
     if width <= PACK_FAST_WIDTH {
-        // Positional fast path: value `i` spans bits `[i*width, i*width +
+        // Positional path: value `i` spans bits `[i*width, i*width +
         // width)`, which sit inside the unaligned u64 starting at its byte
         // (shift <= 7, so width + shift <= 63). One load + shift + mask per
-        // value while a full 8-byte window exists.
-        let mut i = 0usize;
+        // value while a full 8-byte window exists. Handles all widths the
+        // block paths skip, plus each block path's last-window tail.
         while i < rows {
             let bitpos = i as u64 * width as u64;
             let at = (bitpos / 8) as usize;
@@ -359,7 +439,12 @@ fn unpack_bits(packed: &[u8], rows: usize, width: u32, mut emit: impl FnMut(u64)
                 break;
             };
             let w = u64::from_le_bytes(window.try_into().expect("8 bytes"));
-            emit((w >> (bitpos % 8)) & mask);
+            blk[n] = (w >> (bitpos % 8)) & mask;
+            n += 1;
+            if n == 8 {
+                emit(&blk);
+                n = 0;
+            }
             i += 1;
         }
         // Tail: assemble the last few values byte by byte.
@@ -375,7 +460,15 @@ fn unpack_bits(packed: &[u8], rows: usize, width: u32, mut emit: impl FnMut(u64)
                 at += 1;
                 shift = 0;
             }
-            emit(v & mask);
+            blk[n] = v & mask;
+            n += 1;
+            if n == 8 {
+                emit(&blk);
+                n = 0;
+            }
+        }
+        if n > 0 {
+            emit(&blk[..n]);
         }
         return;
     }
@@ -388,10 +481,86 @@ fn unpack_bits(packed: &[u8], rows: usize, width: u32, mut emit: impl FnMut(u64)
             buf |= (*byte as u128) << bits;
             bits += 8;
         }
-        emit((buf as u64) & mask);
+        blk[n] = (buf as u64) & mask;
+        n += 1;
+        if n == 8 {
+            emit(&blk);
+            n = 0;
+        }
         buf >>= width;
         bits -= width;
     }
+    if n > 0 {
+        emit(&blk[..n]);
+    }
+}
+
+/// FoR `Int64` payload decode for widths 1..=16: unpacks straight into the
+/// result vector (chunked index writes — no per-block staging buffer or
+/// `Vec` capacity checks on the hot path). The vector comes from
+/// `vec![0; rows]`, which large allocators satisfy with already-zeroed
+/// pages, so the "extra" zeroing pass costs nothing the `with_capacity`
+/// route wouldn't also pay in first-touch faults.
+fn unpack_for_i64_small(packed: &[u8], rows: usize, width: u32, min: i64) -> Vec<i64> {
+    debug_assert!((1..=16).contains(&width));
+    let mask = (1u64 << width) - 1;
+    let w = width as usize;
+    let mut v = vec![0i64; rows];
+    let mut done = 0usize;
+    let mut chunks = v.chunks_exact_mut(8);
+    for out8 in chunks.by_ref() {
+        // 8 values span exactly `w` bytes, so block starts are
+        // byte-aligned; a 16-byte window covers both loads below. Blocks
+        // the window can't cover (at most the last two) fall to the
+        // per-value tail.
+        let base = done * w / 8;
+        let Some(win) = packed.get(base..base + 16) else {
+            break;
+        };
+        let lo = u64::from_le_bytes(win[..8].try_into().expect("8 bytes"));
+        if width <= 8 {
+            for (k, o) in out8.iter_mut().enumerate() {
+                *o = min.wrapping_add(((lo >> (k as u32 * width)) & mask) as i64);
+            }
+        } else {
+            let hi_off = (4 * w) / 8;
+            let hi = u64::from_le_bytes(win[hi_off..hi_off + 8].try_into().expect("8 bytes"));
+            let hi_shift = (4 * width as usize % 8) as u32;
+            for k in 0..4u32 {
+                out8[k as usize] = min.wrapping_add(((lo >> (k * width)) & mask) as i64);
+                out8[k as usize + 4] =
+                    min.wrapping_add(((hi >> (hi_shift + k * width)) & mask) as i64);
+            }
+        }
+        done += 8;
+    }
+    drop(chunks);
+    // Tail: positional per-value reads (at most 3 bytes per value at these
+    // widths), never past the packed section's exact length.
+    for (i, o) in v.iter_mut().enumerate().skip(done) {
+        let bit = i * w;
+        let shift = (bit % 8) as u32;
+        let mut byte = bit / 8;
+        let mut acc = 0u64;
+        let mut got = 0u32;
+        while got < shift + width {
+            acc |= (packed[byte] as u64) << got;
+            got += 8;
+            byte += 1;
+        }
+        *o = min.wrapping_add(((acc >> shift) & mask) as i64);
+    }
+    v
+}
+
+/// Per-value adapter over [`unpack_bit_blocks`] for consumers whose work is
+/// inherently per value (bool validation, RLE-style logic).
+fn unpack_bits(packed: &[u8], rows: usize, width: u32, mut emit: impl FnMut(u64)) {
+    unpack_bit_blocks(packed, rows, width, |blk| {
+        for &v in blk {
+            emit(v);
+        }
+    });
 }
 
 /// Size in bytes of a serialized dictionary section (`u32` entry count plus
@@ -533,6 +702,12 @@ pub fn encoded_size(col: &ColumnData, codec: PageCodec) -> Result<u64> {
 /// The smallest-page codec for this column (ties break toward the earlier
 /// candidate, so the choice is deterministic).
 pub fn pick_codec(col: &ColumnData) -> PageCodec {
+    // Int columns take a fused stats pass: the RLE run count, the FoR
+    // min/max, and the Delta min/max-delta all fall out of one loop, where
+    // the generic path below re-scans the column once per candidate.
+    if let ColumnData::Int64(v) = col {
+        return pick_int_codec(v);
+    }
     let mut best = PageCodec::Plain;
     let mut best_size = u64::MAX;
     for c in PageCodec::candidates(col.data_type()) {
@@ -543,6 +718,55 @@ pub fn pick_codec(col: &ColumnData) -> PageCodec {
         }
     }
     best
+}
+
+/// Single-pass `Int64` codec pick: identical sizes and tie-break order to
+/// the generic [`encoded_size`]-per-candidate loop (`Plain`, `Rle`, `For`,
+/// `Delta` — earlier wins on equal size).
+fn pick_int_codec(v: &[i64]) -> PageCodec {
+    let header = PAGE_HEADER_BYTES as u64;
+    let Some(&first) = v.first() else {
+        // Empty column: For ties Plain at a bare header and the tie-break
+        // prefers the earlier candidate.
+        return PageCodec::Plain;
+    };
+    let (mut min, mut max) = (first, first);
+    let mut runs = 1u64;
+    let mut prev = first;
+    let mut deltas: Option<(i64, i64)> = None;
+    for &x in &v[1..] {
+        min = min.min(x);
+        max = max.max(x);
+        runs += u64::from(x != prev);
+        let d = x.wrapping_sub(prev);
+        deltas = Some(match deltas {
+            None => (d, d),
+            Some((lo, hi)) => (lo.min(d), hi.max(d)),
+        });
+        prev = x;
+    }
+    let (min_d, max_d) = deltas.unwrap_or((0, 0));
+    let for_width = range_bit_width(max.wrapping_sub(min) as u64);
+    let delta_width = range_bit_width(max_d.wrapping_sub(min_d) as u64);
+    let candidates = [
+        (header + v.len() as u64 * 8, PageCodec::Plain),
+        (header + 4 + runs * (4 + 8), PageCodec::Rle),
+        (
+            header + 8 + 1 + packed_id_bytes(v.len(), for_width),
+            PageCodec::For,
+        ),
+        (
+            header + 8 + 8 + 1 + packed_id_bytes(v.len() - 1, delta_width),
+            PageCodec::Delta,
+        ),
+    ];
+    let mut best = candidates[0];
+    for &cand in &candidates[1..] {
+        if cand.0 < best.0 {
+            best = cand;
+        }
+    }
+    best.1
 }
 
 /// Page metadata under the size-based codec picker — what
@@ -1072,10 +1296,17 @@ fn decode_payload(
                 let packed = c.take(packed_bytes_checked(rows, width)? as usize)?;
                 match dt {
                     DataType::Int64 if width == 0 => ColumnData::Int64(vec![min; rows]),
+                    DataType::Int64 if width <= 16 => {
+                        ColumnData::Int64(unpack_for_i64_small(packed, rows, width, min))
+                    }
                     DataType::Int64 => {
                         let mut v = Vec::with_capacity(rows);
-                        unpack_bits(packed, rows, width, |off| {
-                            v.push(min.wrapping_add(off as i64));
+                        let mut tmp = [0i64; 8];
+                        unpack_bit_blocks(packed, rows, width, |blk| {
+                            for (t, &off) in tmp.iter_mut().zip(blk) {
+                                *t = min.wrapping_add(off as i64);
+                            }
+                            v.extend_from_slice(&tmp[..blk.len()]);
                         });
                         ColumnData::Int64(v)
                     }
@@ -1115,14 +1346,29 @@ fn decode_payload(
                     return Err(err(format!("delta page bit width {width} exceeds 64")));
                 }
                 let packed = c.take(packed_bytes_checked(rows - 1, width)? as usize)?;
-                let mut v = Vec::with_capacity(rows);
-                v.push(first);
-                let mut cur = first;
-                unpack_bits(packed, rows - 1, width, |off| {
-                    cur = cur.wrapping_add(min_d.wrapping_add(off as i64));
-                    v.push(cur);
-                });
-                ColumnData::Int64(v)
+                if width == 0 {
+                    // Every delta equals `min_d`: the column is an
+                    // arithmetic sequence, materialized without touching
+                    // the (empty) packed section or a running carry.
+                    ColumnData::Int64(
+                        (0..rows as i64)
+                            .map(|k| first.wrapping_add(min_d.wrapping_mul(k)))
+                            .collect(),
+                    )
+                } else {
+                    let mut v = Vec::with_capacity(rows);
+                    v.push(first);
+                    let mut cur = first;
+                    let mut tmp = [0i64; 8];
+                    unpack_bit_blocks(packed, rows - 1, width, |blk| {
+                        for (t, &off) in tmp.iter_mut().zip(blk) {
+                            cur = cur.wrapping_add(min_d.wrapping_add(off as i64));
+                            *t = cur;
+                        }
+                        v.extend_from_slice(&tmp[..blk.len()]);
+                    });
+                    ColumnData::Int64(v)
+                }
             }
         }
     };
@@ -1193,7 +1439,13 @@ fn unpack_ids(packed: &[u8], rows: usize, width: u32) -> Result<Vec<u32>> {
     // Callers validate widths (<= 32) and size `packed` exactly via
     // `packed_bytes_checked` + `take` before unpacking.
     let mut ids = Vec::with_capacity(rows);
-    unpack_bits(packed, rows, width, |v| ids.push(v as u32));
+    let mut tmp = [0u32; 8];
+    unpack_bit_blocks(packed, rows, width, |blk| {
+        for (t, &v) in tmp.iter_mut().zip(blk) {
+            *t = v as u32;
+        }
+        ids.extend_from_slice(&tmp[..blk.len()]);
+    });
     Ok(ids)
 }
 
@@ -1448,6 +1700,43 @@ mod tests {
 
     fn dict_col(vals: &[&str]) -> ColumnData {
         ColumnData::Utf8(vals.iter().map(|s| (*s).to_owned()).collect()).dict_encoded()
+    }
+
+    #[test]
+    fn fused_int_pick_matches_generic_argmin() {
+        // The generic per-candidate loop the fused pass replaces.
+        let generic = |col: &ColumnData| {
+            let mut best = PageCodec::Plain;
+            let mut best_size = u64::MAX;
+            for c in PageCodec::candidates(col.data_type()) {
+                let size = encoded_size(col, c).unwrap();
+                if size < best_size {
+                    best = c;
+                    best_size = size;
+                }
+            }
+            best
+        };
+        let cols: Vec<Vec<i64>> = vec![
+            vec![],
+            vec![42],
+            vec![7; 500],                                      // runs: RLE
+            (0..500).map(|i| 1_000 + i * 3).collect(),         // stride: Delta
+            (0..500).map(|i| (i * 37) % 100).collect(),        // small domain: FoR
+            (0..500).map(|i| i * i * 7_919 - 3 * i).collect(), // wide: Plain-ish
+            vec![i64::MIN, i64::MAX, 0, -1, 1],
+            (0..300)
+                .map(|i| if i % 2 == 0 { 5 } else { 900_000_000_000 })
+                .collect(),
+        ];
+        for vals in cols {
+            let col = ColumnData::Int64(vals);
+            assert_eq!(
+                pick_codec(&col),
+                generic(&col),
+                "fused int pick diverged on {col:?}"
+            );
+        }
     }
 
     #[test]
