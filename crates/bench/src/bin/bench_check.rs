@@ -3,7 +3,11 @@
 //! the dict-exchange wire payload stops beating the plain payload, or when
 //! it is no longer >= 2x smaller than the decoded bytes — a regression on
 //! the dictionary, selection-vector, or wire-format paths breaks the build
-//! instead of slipping into the artifact.
+//! instead of slipping into the artifact. Core-count-conditional speedup
+//! gates that cannot bind on this host (fewer cores than workers) are
+//! printed as explicit `gate skipped: ...` lines rather than passing
+//! silently; the presence and duration-consistency of those measurements is
+//! enforced either way.
 //!
 //! Usage: `cargo run --release -p ci-bench --bin bench_check [path]`
 //! (default path `BENCH_micro.json`, or `$BENCH_MICRO_OUT`).
@@ -19,6 +23,11 @@ fn main() -> Result<()> {
     let text = std::fs::read_to_string(&path)
         .map_err(|e| CiError::Config(format!("cannot read {path}: {e}")))?;
     let report = BenchReport::parse(&text)?;
+    // A gate the host cannot honestly evaluate must say so in the log —
+    // a silently skipped gate looks exactly like a passing one.
+    for s in report.gate_skips() {
+        println!("BENCH_micro {s}");
+    }
     let violations = report.violations();
     for v in &violations {
         eprintln!("BENCH_micro violation: {v}");
@@ -42,6 +51,14 @@ fn main() -> Result<()> {
         report.exchange_wire_bytes,
         report.exchange_plain_bytes,
         report.exchange_decoded_bytes,
+    );
+    println!(
+        "{path}: parallel {:.2}x at {} workers ({} cores), partial-agg {:.2}x, pool reuse {:.2}x",
+        report.parallel_speedup,
+        report.parallel_workers,
+        report.host_cores,
+        report.partial_agg_speedup,
+        report.pool_reuse_speedup,
     );
     Ok(())
 }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use ci_catalog::Catalog;
 use ci_exec::operators::{AggregateState, JoinHashTable};
-use ci_exec::{ExecutionConfig, ExecutionMode, Executor, NoScaling};
+use ci_exec::{ExecutionConfig, ExecutionMode, Executor, NoScaling, WorkerPool};
 use ci_plan::expr::{AggExpr, BinOp, ColMap, PlanExpr};
 use ci_plan::physical::PhysicalPlan;
 use ci_plan::pipeline::PipelineGraph;
@@ -245,8 +245,8 @@ pub fn run_exchange_wire(batch: &RecordBatch, morsel: usize) -> Result<usize> {
     while off < batch.rows() {
         let len = morsel.min(batch.rows() - off);
         let chunk = batch.slice(off, len)?;
-        for col in chunk.columns() {
-            wire_bytes += enc.encode_column(col)?.len();
+        for (i, col) in chunk.columns().iter().enumerate() {
+            wire_bytes += enc.encode_column(col, i as u32)?.len();
         }
         off += len;
     }
@@ -266,8 +266,8 @@ pub fn exchange_wire_accounting(batch: &RecordBatch, morsel: usize) -> Result<(u
     while off < batch.rows() {
         let len = morsel.min(batch.rows() - off);
         let chunk = batch.slice(off, len)?;
-        for col in chunk.columns() {
-            wire += enc.column_wire_bytes(col);
+        for (i, col) in chunk.columns().iter().enumerate() {
+            wire += enc.column_wire_bytes(col, i as u32)?;
             plain += pages::encoded_size(col, PageCodec::Plain)?;
         }
         off += len;
@@ -396,6 +396,80 @@ pub fn run_parallel_scan_join(
     Ok(out.metrics.result_rows as usize + (actual % 100_003) as usize)
 }
 
+/// The query the partial-aggregation kernel runs: a mergeable group-by
+/// (`COUNT` + integer `SUM`) over the [`parallel_fixture`] fact table —
+/// every aggregate passes [`AggregateState::mergeable`], so the
+/// reorder-tolerant partial path may fold worker-side and merge chunk
+/// states at the breaker.
+pub const PARTIAL_AGG_SQL: &str =
+    "SELECT o_cust, COUNT(*) AS n, SUM(o_id) AS s FROM orders GROUP BY o_cust";
+
+/// Plans [`PARTIAL_AGG_SQL`] over the [`parallel_fixture`] catalog.
+pub fn partial_agg_plan(cat: &Catalog) -> Result<(PhysicalPlan, PipelineGraph)> {
+    crate::plan_query(cat, PARTIAL_AGG_SQL)
+}
+
+/// Partial-aggregation kernel: executes the group-by plan under
+/// `ExecutionMode::Parallel { workers }` with the partial path on or off.
+/// With `partial` unset the workers fold morsels through the trace path and
+/// the driver replays every sink batch serially; with it set they fold into
+/// chunk-local aggregate states the driver merges in deterministic chunk
+/// order. Results and `Dollars` are identical by contract — the checksum
+/// pins that — so the timing ratio is the merge protocol's real speedup.
+pub fn run_partial_agg(
+    cat: &Catalog,
+    plan: &PhysicalPlan,
+    graph: &PipelineGraph,
+    workers: usize,
+    partial: bool,
+) -> Result<usize> {
+    let exec = Executor::new(
+        cat,
+        ExecutionConfig {
+            morsel_rows: 4_096,
+            partial_agg: partial,
+            mode: ExecutionMode::Parallel { workers },
+            ..ExecutionConfig::default()
+        },
+    );
+    let out = exec.execute(plan, graph, &vec![4; graph.len()], &mut NoScaling)?;
+    let actual: u64 = out.metrics.node_actual_rows.iter().sum();
+    Ok(out.metrics.result_rows as usize + (actual % 100_003) as usize)
+}
+
+/// Pool-reuse kernel: executes the scan-filter-join plan at
+/// [`PARALLEL_WORKERS`] against either the process-wide warm pool
+/// ([`WorkerPool::shared`], threads already parked between queries) or a
+/// freshly spawned private pool that is built *and* joined inside the timed
+/// call ([`WorkerPool::new`] + drop) — the per-query thread lifecycle the
+/// persistent pool amortizes away. Same checksum either way.
+pub fn run_pool_reuse(
+    cat: &Catalog,
+    plan: &PhysicalPlan,
+    graph: &PipelineGraph,
+    warm: bool,
+) -> Result<usize> {
+    let pool = if warm {
+        WorkerPool::shared(PARALLEL_WORKERS)
+    } else {
+        Arc::new(WorkerPool::new(PARALLEL_WORKERS))
+    };
+    let exec = Executor::new(
+        cat,
+        ExecutionConfig {
+            morsel_rows: 4_096,
+            mode: ExecutionMode::Parallel {
+                workers: PARALLEL_WORKERS,
+            },
+            pool: Some(pool),
+            ..ExecutionConfig::default()
+        },
+    );
+    let out = exec.execute(plan, graph, &vec![4; graph.len()], &mut NoScaling)?;
+    let actual: u64 = out.metrics.node_actual_rows.iter().sum();
+    Ok(out.metrics.result_rows as usize + (actual % 100_003) as usize)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,6 +539,30 @@ mod tests {
                 "parallel ({workers} workers) diverged from simulator"
             );
         }
+    }
+
+    #[test]
+    fn partial_agg_kernel_checksum_is_path_independent() {
+        let (cat, _, _) = parallel_fixture(30_000).unwrap();
+        let (plan, graph) = partial_agg_plan(&cat).unwrap();
+        let trace = run_partial_agg(&cat, &plan, &graph, PARALLEL_WORKERS, false).unwrap();
+        for workers in [1, 2, PARALLEL_WORKERS] {
+            let partial = run_partial_agg(&cat, &plan, &graph, workers, true).unwrap();
+            assert_eq!(
+                partial, trace,
+                "partial path ({workers} workers) diverged from trace fold"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_reuse_kernel_checksum_is_temperature_independent() {
+        let (cat, plan, graph) = parallel_fixture(30_000).unwrap();
+        assert_eq!(
+            run_pool_reuse(&cat, &plan, &graph, true).unwrap(),
+            run_pool_reuse(&cat, &plan, &graph, false).unwrap(),
+            "warm and cold pools must produce identical checksums"
+        );
     }
 
     #[test]

@@ -29,9 +29,13 @@
 //! * **processing** — the pure operator chain (scan filter, filters,
 //!   projections, probes, transfer-point compaction) recorded into a
 //!   `MorselTrace`. This phase touches no shared mutable state, so
-//!   [`ExecutionMode::Parallel`] runs it on a work-stealing `std::thread`
-//!   pool (the `parallel` module); [`ExecutionMode::Simulate`] runs it
-//!   inline.
+//!   [`ExecutionMode::Parallel`] runs it on a persistent
+//!   [`crate::parallel::WorkerPool`] whose Condvar-parked
+//!   threads outlive individual queries; [`ExecutionMode::Simulate`] runs
+//!   it inline. Processing itself is split again into a *fetch* stage
+//!   (`ChainCtx::fetch_morsel`: page decode / batch materialization) and
+//!   a *compute* stage (`ChainCtx::compute_morsel`), which the pool
+//!   overlaps — workers prefetch upcoming morsels while others compute.
 //! * **accounting** — always on the driver, in canonical morsel order:
 //!   virtual-time list scheduling, wire-format byte accounting (the encoder
 //!   stream is order-dependent: a dictionary ships once), `LIMIT`
@@ -46,8 +50,23 @@
 //! Parallel runs additionally record per-operator-class wall-clock
 //! ([`OpSample`]) that `cost::calibration::MeasuredRates` aggregates into
 //! hardware rates.
+//!
+//! One aggregation fast path relaxes the *structural* part of that story
+//! without touching the observable part: when every aggregate in a sink is
+//! provably order-insensitive ([`AggregateState::mergeable`] — integer
+//! sums, counts, non-float min/max, distinct sets), the morsel list is
+//! split into contiguous chunks and each worker folds its chunk into a
+//! local [`AggregateState`] as it computes, instead of shipping per-morsel
+//! sink batches back through the trace. The driver still walks every trace
+//! in canonical order (its tail carries the sink-feed row counts, so
+//! charges and metrics are unchanged), then absorbs the chunk states in
+//! chunk order before finalizing — reproducing the sequential fold's
+//! groups, order, and values exactly. Final results, cardinalities, and
+//! `Dollars` stay bit-identical to the simulator; the equivalence is pinned
+//! by `tests/partial_agg_equivalence.rs`.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use ci_catalog::Catalog;
@@ -55,7 +74,8 @@ use ci_cloud::work::WorkModels;
 use ci_plan::expr::{ColMap, PlanExpr};
 use ci_plan::physical::{PhysicalOp, PhysicalPlan};
 use ci_plan::pipeline::{Pipeline, PipelineGraph, SinkKind};
-use ci_storage::pages::{WireDecoder, WireEncoder};
+use ci_storage::column::ColumnData;
+use ci_storage::pages::{decode_column, encode_best, WireDecoder, WireEncoder};
 use ci_storage::schema::SchemaRef;
 use ci_storage::selection::SelectionVector;
 use ci_storage::RecordBatch;
@@ -66,6 +86,7 @@ use crate::metrics::{OpSample, PipelineMetrics, QueryMetrics};
 use crate::operators::{
     apply_filter, apply_project, slots_schema, AggregateState, JoinHashTable, SortBuffer,
 };
+use crate::parallel::WorkerPool;
 use crate::scaling::{PipelineProgress, PipelineStart, ScaleDecision, ScalingController};
 
 /// How morsels are really processed.
@@ -73,8 +94,9 @@ use crate::scaling::{PipelineProgress, PipelineStart, ScaleDecision, ScalingCont
 pub enum ExecutionMode {
     /// Single-threaded discrete-event simulation: the determinism oracle.
     Simulate,
-    /// Real multi-threaded processing on a work-stealing `std::thread` pool
-    /// of `workers` threads. Result rows, logical row counts, and billed
+    /// Real multi-threaded processing on a persistent `std::thread`
+    /// [`WorkerPool`] of `workers` threads (see [`ExecutionConfig::pool`]).
+    /// Result rows, logical row counts, and billed
     /// `Dollars` are bit-identical to [`ExecutionMode::Simulate`]; only
     /// wall-clock changes, and [`PipelineMetrics::measured_wall_ns`] /
     /// [`QueryOutcome::op_samples`] are populated.
@@ -135,6 +157,25 @@ pub struct ExecutionConfig {
     /// Morsel-processing driver (defaults from `CI_EXEC_MODE`, see
     /// [`ExecutionMode::from_env`]).
     pub mode: ExecutionMode,
+    /// Allow the reorder-tolerant partial-aggregation path in parallel mode
+    /// (worker-side chunk folds merged at the breaker). Only engaged when
+    /// [`AggregateState::mergeable`] proves the merge exact, so results and
+    /// `Dollars` are unchanged either way; the toggle exists so tests and
+    /// benchmarks can pin the trace-fold baseline.
+    pub partial_agg: bool,
+    /// Really round-trip scan morsels through the storage page codecs: at
+    /// morsel split, non-dictionary columns are encoded into pages, and the
+    /// fetch stage decodes them back (dictionary columns ride as shared
+    /// `Arc`s, like the wire's dictionary dedup). Applied in *both* modes,
+    /// so parallel runs stay bit-identical to the simulator; billed fetch
+    /// bytes come from partition statistics and are unchanged by
+    /// construction. Off by default: the simulation only needs byte counts.
+    pub fetch_roundtrip: bool,
+    /// Worker pool for [`ExecutionMode::Parallel`]. `None` (default) uses
+    /// the process-wide [`WorkerPool::shared`] pool for the mode's worker
+    /// count; set an owned pool to control thread lifetime explicitly
+    /// (benchmarks pin cold-start costs this way).
+    pub pool: Option<Arc<WorkerPool>>,
 }
 
 impl Default for ExecutionConfig {
@@ -147,6 +188,9 @@ impl Default for ExecutionConfig {
             check_interval: 8,
             wire_roundtrip: false,
             mode: ExecutionMode::from_env(),
+            partial_agg: true,
+            fetch_roundtrip: false,
+            pool: None,
         }
     }
 }
@@ -187,6 +231,27 @@ pub(crate) struct Morsel {
     /// *Decoded* payload bytes the fetch expands to — what the scan-decode
     /// CPU term processes.
     decode_bytes: f64,
+    /// With [`ExecutionConfig::fetch_roundtrip`]: the morsel's payload as
+    /// really-encoded storage pages, decoded by the fetch stage instead of
+    /// handing `batch` over directly.
+    pages: Option<EncodedMorsel>,
+}
+
+/// A morsel's payload in page form (the `fetch_roundtrip` representation).
+pub(crate) struct EncodedMorsel {
+    schema: SchemaRef,
+    cols: Vec<PageOrCol>,
+}
+
+/// One column of an [`EncodedMorsel`].
+pub(crate) enum PageOrCol {
+    /// A storage page the fetch stage decodes.
+    Page(Vec<u8>),
+    /// Passed through as-is: dictionary columns ride as shared `Arc`s so
+    /// every morsel of a partition keeps the *same* dictionary identity
+    /// (page decode would mint per-morsel dictionaries and break the
+    /// exchange wire's ship-once dedup).
+    Col(Arc<ColumnData>),
 }
 
 /// Precompiled streaming step of a pipeline's operator chain.
@@ -240,6 +305,10 @@ pub(crate) enum Tail {
     /// A worker reached a `LIMIT` step, which needs the driver's shared
     /// limit state; the driver resumes the chain from `step`.
     AtLimit { step: usize, batch: RecordBatch },
+    /// Partial-aggregation path: the sink feed was folded into a worker's
+    /// chunk-local [`AggregateState`]; only the counts the driver's
+    /// accounting needs travel back.
+    AggPartial { rows: u64, physical_rows: u64 },
 }
 
 /// Pure per-morsel processing record, produced by workers (or inline by the
@@ -256,14 +325,16 @@ pub(crate) struct MorselTrace {
     wall_ns: u64,
 }
 
-/// Everything the pure processing phase needs, shareable across worker
-/// threads (immutable borrows only).
-pub(crate) struct ChainCtx<'a> {
-    steps: &'a [Step],
+/// Everything the pure processing phase needs. Owns its data (steps moved
+/// in, node states as `Arc` snapshots) so an `Arc<ChainCtx>` can be handed
+/// to the persistent worker pool without lifetime coupling to the driver's
+/// stack frame.
+pub(crate) struct ChainCtx {
+    steps: Vec<Step>,
     src_is_scan: bool,
     src_filter: Option<PlanExpr>,
     src_map: ColMap,
-    states: &'a HashMap<usize, NodeState>,
+    states: HashMap<usize, Arc<NodeState>>,
     /// Record wall-clock [`OpSample`]s (parallel mode only — the simulator
     /// reports 0 measured time by contract).
     measure: bool,
@@ -290,21 +361,42 @@ pub(crate) fn timed<T>(
     out
 }
 
-impl ChainCtx<'_> {
-    /// Processes one morsel through the operator chain, producing its trace.
-    ///
-    /// With `limit: Some(..)` (simulator / driver), `LIMIT` steps are
-    /// applied inline against the shared remaining-rows state. With `None`
-    /// (parallel workers), processing stops at the first `LIMIT` step and
-    /// the driver finishes the chain via [`ChainCtx::complete_trace`].
-    pub(crate) fn process_morsel(
+impl ChainCtx {
+    /// The fetch/decode stage: materializes a morsel's payload batch. A
+    /// cheap `Arc` clone normally; with [`ExecutionConfig::fetch_roundtrip`]
+    /// it really decodes the morsel's storage pages. Separated from
+    /// [`ChainCtx::compute_morsel`] so the worker pool can prefetch
+    /// upcoming morsels while earlier ones compute. Emits no [`OpSample`]s:
+    /// the operator-class set the calibrator sees is fixed, and billed
+    /// fetch bytes come from the morsel's partition statistics, not from
+    /// this stage.
+    pub(crate) fn fetch_morsel(&self, morsel: &Morsel) -> Result<RecordBatch> {
+        match &morsel.pages {
+            None => Ok(morsel.batch.clone()),
+            Some(em) => {
+                let cols = em
+                    .cols
+                    .iter()
+                    .map(|c| match c {
+                        PageOrCol::Col(col) => Ok(col.clone()),
+                        PageOrCol::Page(bytes) => decode_column(bytes).map(Arc::new),
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                RecordBatch::from_arcs(em.schema.clone(), cols)
+            }
+        }
+    }
+
+    /// The compute stage: runs a fetched batch through the operator chain,
+    /// producing the morsel's trace. See [`ChainCtx::process_morsel`] for
+    /// the `limit` contract.
+    pub(crate) fn compute_morsel(
         &self,
-        morsel: &Morsel,
+        mut batch: RecordBatch,
         limit: Option<&mut Option<u64>>,
     ) -> Result<MorselTrace> {
         let mut samples = Vec::new();
         let mut wall_ns = 0u64;
-        let mut batch = morsel.batch.clone();
         let source_rows = batch.rows() as u64;
         let mut src_post_rows = source_rows;
         if self.src_is_scan {
@@ -333,6 +425,56 @@ impl ChainCtx<'_> {
         })
     }
 
+    /// Processes one morsel through fetch + compute, producing its trace.
+    ///
+    /// With `limit: Some(..)` (simulator / driver), `LIMIT` steps are
+    /// applied inline against the shared remaining-rows state. With `None`
+    /// (parallel workers), processing stops at the first `LIMIT` step and
+    /// the driver finishes the chain via [`ChainCtx::complete_trace`].
+    pub(crate) fn process_morsel(
+        &self,
+        morsel: &Morsel,
+        limit: Option<&mut Option<u64>>,
+    ) -> Result<MorselTrace> {
+        self.compute_morsel(self.fetch_morsel(morsel)?, limit)
+    }
+
+    /// Partial-aggregation processing: fetch + compute, then fold the sink
+    /// feed into the caller's chunk-local state instead of carrying the
+    /// batch back. Only valid on chains without `LIMIT` steps (the engine
+    /// guards this), so the chain always runs to completion. The fold is
+    /// timed under the same `"agg"` class, guard, and canonical sample
+    /// position as the driver-side sink update it replaces.
+    pub(crate) fn process_morsel_partial(
+        &self,
+        morsel: &Morsel,
+        st: &mut AggregateState,
+    ) -> Result<MorselTrace> {
+        let mut trace = self.compute_morsel(self.fetch_morsel(morsel)?, None)?;
+        let Tail::Done(batch) = trace.tail else {
+            return Err(CiError::Exec(
+                "partial-agg morsel stopped mid-chain (LIMIT in an agg pipeline?)".into(),
+            ));
+        };
+        let rows = batch.rows() as u64;
+        let physical_rows = batch.physical_rows() as u64;
+        if !batch.is_empty() {
+            timed(
+                self.measure,
+                "agg",
+                rows as f64,
+                &mut trace.samples,
+                &mut trace.wall_ns,
+                || st.update(&batch),
+            )?;
+        }
+        trace.tail = Tail::AggPartial {
+            rows,
+            physical_rows,
+        };
+        Ok(trace)
+    }
+
     /// Resumes a worker-produced trace that stopped at a `LIMIT` step,
     /// running the remaining chain against the driver's real limit state.
     /// A no-op for already-complete traces.
@@ -351,6 +493,7 @@ impl ChainCtx<'_> {
         } = t;
         let tail = match tail {
             Tail::Done(batch) => Tail::Done(batch),
+            tail @ Tail::AggPartial { .. } => tail,
             Tail::AtLimit { step, batch } => self.process_chain(
                 batch,
                 step,
@@ -434,7 +577,8 @@ impl ChainCtx<'_> {
                     probe_positions,
                     out_schema,
                 } => {
-                    let Some(NodeState::Built(ht)) = self.states.get(join_node) else {
+                    let Some(NodeState::Built(ht)) = self.states.get(join_node).map(Arc::as_ref)
+                    else {
                         return Err(CiError::Exec(format!(
                             "hash table for join node {join_node} not built"
                         )));
@@ -512,8 +656,17 @@ impl<'a> Executor<'a> {
                 graph.len()
             )));
         }
-        let mut states: HashMap<usize, NodeState> = HashMap::new();
+        let mut states: HashMap<usize, Arc<NodeState>> = HashMap::new();
         let mut node_actual = vec![0u64; plan.nodes.len()];
+        // Resolve the worker pool once per query: back-to-back queries (and
+        // every pipeline of this one) reuse the same parked threads.
+        let pool: Option<Arc<WorkerPool>> = match self.config.mode {
+            ExecutionMode::Simulate => None,
+            ExecutionMode::Parallel { workers } => Some(match &self.config.pool {
+                Some(p) => p.clone(),
+                None => WorkerPool::shared(workers),
+            }),
+        };
         let mut finishes = vec![SimTime::ZERO; graph.len()];
         let mut all_metrics: Vec<PipelineMetrics> = Vec::new();
         let mut open_leases: Vec<Vec<NodeSlot>> = Vec::new();
@@ -553,6 +706,7 @@ impl<'a> Executor<'a> {
                 &mut node_actual,
                 &mut result_batches,
                 ctrl,
+                pool.as_deref(),
             )?;
             finishes[p.id.index()] = run.finish;
             resize_events += run.metrics.resizes;
@@ -617,7 +771,7 @@ impl<'a> Executor<'a> {
         &self,
         plan: &PhysicalPlan,
         p: &Pipeline,
-        states: &mut HashMap<usize, NodeState>,
+        states: &mut HashMap<usize, Arc<NodeState>>,
     ) -> Result<(Vec<Morsel>, Option<f64>)> {
         let src = p.source();
         match &plan.nodes[src].op {
@@ -643,21 +797,17 @@ impl<'a> Executor<'a> {
                     let encoded = part.encoded_bytes as f64;
                     let decoded = part.stored_bytes as f64;
                     if rows <= self.config.morsel_rows {
-                        morsels.push(Morsel {
-                            batch,
-                            fetch_bytes: encoded,
-                            decode_bytes: decoded,
-                        });
+                        morsels.push(self.scan_morsel(batch, encoded, decoded)?);
                     } else {
                         let mut offset = 0;
                         while offset < rows {
                             let len = self.config.morsel_rows.min(rows - offset);
                             let share = len as f64 / rows as f64;
-                            morsels.push(Morsel {
-                                batch: batch.slice(offset, len)?,
-                                fetch_bytes: encoded * share,
-                                decode_bytes: decoded * share,
-                            });
+                            morsels.push(self.scan_morsel(
+                                batch.slice(offset, len)?,
+                                encoded * share,
+                                decoded * share,
+                            )?);
                             offset += len;
                         }
                     }
@@ -672,7 +822,7 @@ impl<'a> Executor<'a> {
                 let state = states.remove(&src).ok_or_else(|| {
                     CiError::Exec(format!("breaker output for node {src} not ready"))
                 })?;
-                let NodeState::Output(batch) = state else {
+                let NodeState::Output(batch) = &*state else {
                     return Err(CiError::Exec(format!(
                         "node {src} holds a hash table, expected output"
                     )));
@@ -686,6 +836,7 @@ impl<'a> Executor<'a> {
                         batch: batch.slice(offset, len)?,
                         fetch_bytes: 0.0,
                         decode_bytes: 0.0,
+                        pages: None,
                     });
                     offset += len;
                 }
@@ -696,6 +847,44 @@ impl<'a> Executor<'a> {
                 other.name()
             ))),
         }
+    }
+
+    /// Builds one scan morsel, encoding its payload into storage pages when
+    /// [`ExecutionConfig::fetch_roundtrip`] asks the fetch stage to really
+    /// decode. Compacted first (pages are dense); dictionary columns pass
+    /// through as shared `Arc`s — see [`PageOrCol::Col`].
+    fn scan_morsel(
+        &self,
+        batch: RecordBatch,
+        fetch_bytes: f64,
+        decode_bytes: f64,
+    ) -> Result<Morsel> {
+        let pages = if self.config.fetch_roundtrip {
+            let dense = batch.compacted();
+            let cols = dense
+                .columns()
+                .iter()
+                .map(|c| {
+                    if c.as_dict().is_some() {
+                        Ok(PageOrCol::Col(c.clone()))
+                    } else {
+                        encode_best(c).map(|(_, bytes)| PageOrCol::Page(bytes))
+                    }
+                })
+                .collect::<Result<Vec<_>>>()?;
+            Some(EncodedMorsel {
+                schema: dense.schema().clone(),
+                cols,
+            })
+        } else {
+            None
+        };
+        Ok(Morsel {
+            batch,
+            fetch_bytes,
+            decode_bytes,
+            pages,
+        })
     }
 
     /// Compiles the streaming steps of a pipeline (everything after the
@@ -770,10 +959,11 @@ impl<'a> Executor<'a> {
         dop: u32,
         start: SimTime,
         morsels: Vec<Morsel>,
-        states: &mut HashMap<usize, NodeState>,
+        states: &mut HashMap<usize, Arc<NodeState>>,
         node_actual: &mut [u64],
         result_batches: &mut Vec<RecordBatch>,
         ctrl: &mut dyn ScalingController,
+        pool: Option<&WorkerPool>,
     ) -> Result<PipelineRun> {
         let w = &self.config.models;
         let steps = self.compile_steps(plan, p)?;
@@ -832,24 +1022,51 @@ impl<'a> Executor<'a> {
         let measure = matches!(self.config.mode, ExecutionMode::Parallel { .. });
         let mut samples: Vec<OpSample> = Vec::new();
         let mut measured_wall_ns = 0u64;
+        // Pool-reuse stats: jobs this pool finished before this pipeline.
+        let pool_workers = pool.map_or(0, |p| p.workers() as u32);
+        let pool_reuses = pool.map_or(0, WorkerPool::jobs_completed);
+        let mut agg_partials = 0u32;
+
+        let morsels = Arc::new(morsels);
+        let ctx = Arc::new(ChainCtx {
+            steps,
+            src_is_scan,
+            src_filter,
+            src_map,
+            states: states.clone(),
+            measure,
+        });
+        let mut chunk_states: Vec<AggregateState> = Vec::new();
 
         {
-            let ctx = ChainCtx {
-                steps: &steps,
-                src_is_scan,
-                src_filter: src_filter.clone(),
-                src_map,
-                states: &*states,
-                measure,
-            };
-
             // Phase 1 (parallel only): pure processing on the worker pool.
             // The simulator processes inline, inside the accounting loop.
-            let mut pre: Vec<Option<Result<MorselTrace>>> = match self.config.mode {
-                ExecutionMode::Simulate => Vec::new(),
-                ExecutionMode::Parallel { workers } => {
-                    crate::parallel::process_morsels(&ctx, &morsels, workers)
+            // Mergeable aggregations additionally fold worker-side: each
+            // contiguous morsel chunk folds into a chunk-local state, and
+            // the driver absorbs the states in chunk order at finalize.
+            let mut pre: Option<Vec<Option<Result<MorselTrace>>>> = match (pool, &self.config.mode)
+            {
+                (None, _) => None,
+                (Some(_), _) if morsels.is_empty() => Some(Vec::new()),
+                (Some(pool), &ExecutionMode::Parallel { workers }) => {
+                    let partial = self.config.partial_agg
+                        && limit_remaining.is_none()
+                        && !ctx.steps.iter().any(|s| matches!(s, Step::Limit { .. }))
+                        && matches!(&sink, Sink::Agg(st) if st.mergeable());
+                    if let (true, Sink::Agg(st)) = (partial, &sink) {
+                        // Chunk layout depends only on the configured worker
+                        // count and morsel count — never on pool scheduling.
+                        let chunks = (workers.max(1) * 4).min(morsels.len());
+                        let (traces, cs) =
+                            pool.run_partial(ctx.clone(), morsels.clone(), st.fresh(), chunks);
+                        agg_partials = cs.len() as u32;
+                        chunk_states = cs;
+                        Some(traces)
+                    } else {
+                        Some(pool.run_traces(ctx.clone(), morsels.clone()))
+                    }
                 }
+                (Some(pool), _) => Some(pool.run_traces(ctx.clone(), morsels.clone())),
             };
 
             // Phase 2 (both modes): accounting, in canonical morsel order.
@@ -866,18 +1083,19 @@ impl<'a> Executor<'a> {
                     .ok_or_else(|| CiError::Exec("no alive nodes".into()))?;
                 let assigned_at = slots[ni].free;
 
-                let mut trace = if pre.is_empty() {
-                    ctx.process_morsel(morsel, Some(&mut limit_remaining))?
-                } else {
-                    let t = match pre[mi].take() {
-                        Some(r) => r?,
-                        None => {
-                            return Err(CiError::Exec(format!(
-                                "morsel {mi} missing from worker pool output"
-                            )))
-                        }
-                    };
-                    ctx.complete_trace(t, &mut limit_remaining)?
+                let mut trace = match &mut pre {
+                    None => ctx.process_morsel(morsel, Some(&mut limit_remaining))?,
+                    Some(outputs) => {
+                        let t = match outputs[mi].take() {
+                            Some(r) => r?,
+                            None => {
+                                return Err(CiError::Exec(format!(
+                                    "morsel {mi} missing from worker pool output"
+                                )))
+                            }
+                        };
+                        ctx.complete_trace(t, &mut limit_remaining)?
+                    }
                 };
 
                 source_rows += trace.source_rows;
@@ -891,7 +1109,7 @@ impl<'a> Executor<'a> {
                 if src_is_scan {
                     secs += w.scan_fetch_secs(morsel.fetch_bytes, cur_dop);
                     secs += w.scan_decode_secs(morsel.decode_bytes);
-                    if src_filter.is_some() {
+                    if ctx.src_filter.is_some() {
                         secs += w.filter_secs(trace.source_rows as f64);
                     }
                     node_actual[p.source()] += trace.src_post_rows;
@@ -899,7 +1117,7 @@ impl<'a> Executor<'a> {
 
                 // Streaming chain: charge each recorded step.
                 for st in &trace.steps {
-                    match &steps[st.step] {
+                    match &ctx.steps[st.step] {
                         Step::Filter { node, .. } | Step::Project { node, .. } => {
                             secs += w.filter_secs(st.rows_in as f64);
                             node_actual[*node] += st.rows_out;
@@ -950,56 +1168,73 @@ impl<'a> Executor<'a> {
                 // the copying the selection path deferred all the way here.
                 // Sink folding is order-sensitive (IEEE float sums, first-
                 // wins dictionaries), so per-worker partials merge *here*,
-                // at the pipeline breaker, in morsel order.
-                let Tail::Done(batch) = trace.tail else {
-                    return Err(CiError::Exec("morsel trace ended before the sink".into()));
-                };
-                sink_rows += batch.rows() as u64;
-                sink_rows_physical += batch.physical_rows() as u64;
-                let units = batch.rows() as f64;
-                // A morsel that filtered down to zero rows leaves the chain
-                // early, so its (empty) batch may still carry an upstream
-                // schema; contributing zero rows, it must not be buffered
-                // into schema-sensitive sinks. Charges below are zero for
-                // it either way.
-                match &mut sink {
-                    Sink::Build(ht) => {
-                        secs += w.build_secs(units);
-                        if !batch.is_empty() {
-                            // Buffered until finalize (compacts via concat).
-                            timed(
-                                measure,
-                                "build",
-                                units,
-                                &mut samples,
-                                &mut measured_wall_ns,
-                                || ht.insert_batch(batch),
-                            )?;
-                        }
+                // at the pipeline breaker, in morsel order — except on the
+                // partial-agg path, where the fold was proven
+                // order-insensitive and already happened worker-side; its
+                // tail carries the counts this accounting still needs.
+                match trace.tail {
+                    Tail::AtLimit { .. } => {
+                        return Err(CiError::Exec("morsel trace ended before the sink".into()));
                     }
-                    Sink::Agg(st) => {
-                        secs += w.agg_update_secs(units);
-                        if !batch.is_empty() {
-                            timed(
-                                measure,
-                                "agg",
-                                units,
-                                &mut samples,
-                                &mut measured_wall_ns,
-                                || st.update(&batch),
-                            )?;
-                        }
+                    Tail::AggPartial {
+                        rows,
+                        physical_rows,
+                    } => {
+                        sink_rows += rows;
+                        sink_rows_physical += physical_rows;
+                        secs += w.agg_update_secs(rows as f64);
                     }
-                    Sink::Sorter(sb) => {
-                        secs += w.filter_secs(units);
-                        if !batch.is_empty() {
-                            // Buffered until finalize (compacts via concat).
-                            sb.push(batch);
-                        }
-                    }
-                    Sink::Result => {
-                        if !batch.is_empty() {
-                            result_batches.push(batch.compacted());
+                    Tail::Done(batch) => {
+                        sink_rows += batch.rows() as u64;
+                        sink_rows_physical += batch.physical_rows() as u64;
+                        let units = batch.rows() as f64;
+                        // A morsel that filtered down to zero rows leaves the
+                        // chain early, so its (empty) batch may still carry
+                        // an upstream schema; contributing zero rows, it must
+                        // not be buffered into schema-sensitive sinks.
+                        // Charges below are zero for it either way.
+                        match &mut sink {
+                            Sink::Build(ht) => {
+                                secs += w.build_secs(units);
+                                if !batch.is_empty() {
+                                    // Buffered until finalize (compacts via
+                                    // concat).
+                                    timed(
+                                        measure,
+                                        "build",
+                                        units,
+                                        &mut samples,
+                                        &mut measured_wall_ns,
+                                        || ht.insert_batch(batch),
+                                    )?;
+                                }
+                            }
+                            Sink::Agg(st) => {
+                                secs += w.agg_update_secs(units);
+                                if !batch.is_empty() {
+                                    timed(
+                                        measure,
+                                        "agg",
+                                        units,
+                                        &mut samples,
+                                        &mut measured_wall_ns,
+                                        || st.update(&batch),
+                                    )?;
+                                }
+                            }
+                            Sink::Sorter(sb) => {
+                                secs += w.filter_secs(units);
+                                if !batch.is_empty() {
+                                    // Buffered until finalize (compacts via
+                                    // concat).
+                                    sb.push(batch);
+                                }
+                            }
+                            Sink::Result => {
+                                if !batch.is_empty() {
+                                    result_batches.push(batch.compacted());
+                                }
+                            }
                         }
                     }
                 }
@@ -1086,16 +1321,24 @@ impl<'a> Executor<'a> {
                 let SinkKind::JoinBuild { join } = p.sink else {
                     unreachable!("build sink without join");
                 };
-                states.insert(join, NodeState::Built(ht));
+                states.insert(join, Arc::new(NodeState::Built(ht)));
             }
-            Sink::Agg(st) => {
+            Sink::Agg(mut st) => {
                 let SinkKind::Aggregate { agg } = p.sink else {
                     unreachable!("agg sink mismatch");
                 };
+                // Partial-agg path: merge the worker chunk states in chunk
+                // order — contiguous in-order chunks reproduce the
+                // sequential fold's groups and first-appearance order
+                // exactly. Untimed and uncharged: the per-morsel updates
+                // were already billed above from the trace tails.
+                for cs in chunk_states.drain(..) {
+                    st.absorb(cs);
+                }
                 let out = st.finalize()?;
                 finish += SimDuration::from_secs_f64(w.filter_secs(out.rows() as f64));
                 node_actual[agg] += out.rows() as u64;
-                states.insert(agg, NodeState::Output(out));
+                states.insert(agg, Arc::new(NodeState::Output(out)));
             }
             Sink::Sorter(sb) => {
                 let SinkKind::Sort { sort } = p.sink else {
@@ -1115,7 +1358,7 @@ impl<'a> Executor<'a> {
                 )?;
                 finish += SimDuration::from_secs_f64(w.sort_finalize_secs(rows, cur_dop));
                 node_actual[sort] += out.rows() as u64;
-                states.insert(sort, NodeState::Output(out));
+                states.insert(sort, Arc::new(NodeState::Output(out)));
             }
             Sink::Result => {}
         }
@@ -1137,6 +1380,9 @@ impl<'a> Executor<'a> {
             machine_time: SimDuration::ZERO, // filled at release
             resizes,
             measured_wall_ns,
+            pool_workers,
+            pool_reuses,
+            agg_partials,
         };
         Ok(PipelineRun {
             finish,
@@ -1160,7 +1406,7 @@ impl<'a> Executor<'a> {
         rx: &mut WireDecoder,
     ) -> Result<u64> {
         if !self.config.wire_roundtrip {
-            return Ok(tx.batch_wire_bytes(batch));
+            return tx.batch_wire_bytes(batch);
         }
         let blobs = tx.encode_batch(batch)?;
         let bytes = blobs.iter().map(|b| b.len() as u64).sum();
@@ -1183,7 +1429,7 @@ impl<'a> Executor<'a> {
         &self,
         plan: &PhysicalPlan,
         p: &Pipeline,
-        _states: &mut HashMap<usize, NodeState>,
+        _states: &mut HashMap<usize, Arc<NodeState>>,
     ) -> Result<Sink> {
         match p.sink {
             SinkKind::JoinBuild { join } => {

@@ -27,11 +27,12 @@ pub mod engine;
 pub mod key;
 pub mod metrics;
 pub mod operators;
-mod parallel;
+pub mod parallel;
 pub mod scaling;
 
 pub use ci_cloud::work::WorkModels;
 pub use engine::{ExecutionConfig, ExecutionMode, Executor, QueryOutcome};
 pub use key::{DictKeyEntry, Key, KeyEncoder, KeyPart, MissPolicy};
 pub use metrics::{OpSample, PipelineMetrics, QueryMetrics};
+pub use parallel::WorkerPool;
 pub use scaling::{NoScaling, PipelineProgress, ScaleDecision, ScalingController};

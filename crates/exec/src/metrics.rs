@@ -57,6 +57,18 @@ pub struct PipelineMetrics {
     /// from observed time. Scheduling-order dependent, so deliberately *not*
     /// part of the determinism contract.
     pub measured_wall_ns: u64,
+    /// Worker threads in the pool that processed this pipeline (0 in
+    /// simulator mode).
+    pub pool_workers: u32,
+    /// Jobs the worker pool had already completed when this pipeline
+    /// started — evidence of thread reuse across pipelines and queries.
+    /// History-dependent (a shared pool serves the whole process), so not
+    /// part of the determinism contract.
+    pub pool_reuses: u64,
+    /// Worker-side partial-aggregation chunk states merged at the breaker.
+    /// 0 when the sink is not an aggregation or took the trace-fold path
+    /// (simulator mode, non-mergeable aggregates, `partial_agg` off).
+    pub agg_partials: u32,
 }
 
 impl PipelineMetrics {
@@ -155,6 +167,9 @@ mod tests {
             machine_time: SimDuration::from_secs(16),
             resizes: 0,
             measured_wall_ns: 0,
+            pool_workers: 0,
+            pool_reuses: 0,
+            agg_partials: 0,
         }
     }
 

@@ -1,152 +1,508 @@
-//! Work-stealing morsel pool for [`ExecutionMode::Parallel`].
+//! Persistent worker pool for [`ExecutionMode::Parallel`].
 //!
-//! Plain `std::thread` + `std::sync` (the workspace has no external deps):
-//! a global [`Injector`] seeds work, each worker owns a [`WorkerDeque`] it
-//! pops from the front while idle siblings steal from the back — the
-//! classic morsel-driven shape, with the injector bounding contention to
-//! one grab per [`GRAB`] morsels in the common case.
+//! Plain `std::thread` + `std::sync` (the workspace has no external deps).
+//! Unlike the scoped pool it replaces, the pool outlives individual queries:
+//! threads park on a `Condvar` between jobs, so back-to-back queries — and
+//! the whole test suite under `CI_EXEC_MODE=parallel` — reuse threads
+//! instead of paying spawn/join per `execute`. [`WorkerPool::shared`] hands
+//! out one process-wide pool per worker count; [`WorkerPool::new`] builds a
+//! private pool whose threads shut down on drop (the bench harness uses
+//! that as its cold-start baseline).
 //!
-//! Workers run only the *pure* processing phase ([`ChainCtx::process_morsel`]
-//! with no limit state), producing one [`MorselTrace`] per morsel. Order
-//! does not matter here by design: everything order-sensitive — virtual
-//! time, wire-stream bytes, `LIMIT` consumption, sink folding — happens in
-//! the driver's accounting pass, which consumes these traces in canonical
-//! morsel order. That split is what keeps the parallel path bit-identical
-//! to the simulator oracle.
+//! Two job shapes run on the pool:
+//!
+//! * **Trace jobs** (`WorkerPool::run_traces`) — the classic split: each
+//!   morsel's pure processing phase produces a `MorselTrace`; everything
+//!   order-sensitive (virtual time, wire bytes, `LIMIT`, sink folds)
+//!   happens later on the driver in canonical morsel order. Workers overlap
+//!   *fetch* and *compute*: a morsel's fetch/decode stage
+//!   (`ChainCtx::fetch_morsel`) and its operator-chain stage
+//!   (`ChainCtx::compute_morsel`) are separate tasks, and a worker
+//!   prefers fetching ahead (bounded by the fetch-ahead target) while
+//!   sibling workers compute already-fetched morsels — the simulated GET
+//!   no longer serializes with morsel CPU.
+//! * **Partial-agg jobs** (`WorkerPool::run_partial`) — reorder-tolerant
+//!   aggregation: the morsel list is split into contiguous chunks, one
+//!   worker folds each chunk's morsels *in order* into a chunk-local
+//!   [`AggregateState`], and the driver absorbs the chunk states in chunk
+//!   order. The engine only routes aggregations here when
+//!   [`AggregateState::mergeable`] proves the merge is bit-identical to
+//!   sequential folding.
+//!
+//! All job progress lives behind one mutex (`PoolState`); workers park on
+//! `work_cv`, the driver parks on `done_cv`. One lock keeps the wakeup
+//! protocol trivially sound — no two-level locking, no lost notifications.
+//! A morsel that errors does not stop the pool: trace jobs still fill every
+//! output slot (the driver surfaces the first error in canonical order, so
+//! a failure past a satisfied `LIMIT` stays invisible, exactly as in the
+//! simulator); a partial chunk stops at its first error, which the driver
+//! meets before ever reading the chunk's unprocessed tail.
 //!
 //! [`ExecutionMode::Parallel`]: crate::engine::ExecutionMode::Parallel
 
-use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::ops::Range;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
 
+use ci_storage::RecordBatch;
 use ci_types::Result;
 
 use crate::engine::{ChainCtx, Morsel, MorselTrace};
+use crate::operators::AggregateState;
 
-/// Morsels a worker moves from the injector to its own deque per refill.
-const GRAB: usize = 4;
-
-/// Global FIFO of not-yet-claimed morsel indices.
-struct Injector {
-    q: Mutex<VecDeque<usize>>,
-}
-
-impl Injector {
-    fn new(n: usize) -> Injector {
-        Injector {
-            q: Mutex::new((0..n).collect()),
-        }
-    }
-
-    /// Pops up to [`GRAB`] indices for a worker's local deque.
-    fn grab(&self) -> Vec<usize> {
-        let mut q = self.q.lock().expect("injector lock");
-        let take = GRAB.min(q.len());
-        q.drain(..take).collect()
-    }
-
-    fn is_empty(&self) -> bool {
-        self.q.lock().expect("injector lock").is_empty()
-    }
-}
-
-/// A worker's local run queue. The owner pops from the front (oldest first,
-/// preserving scan locality); thieves steal from the back.
-struct WorkerDeque {
-    q: Mutex<VecDeque<usize>>,
-}
-
-impl WorkerDeque {
-    fn new() -> WorkerDeque {
-        WorkerDeque {
-            q: Mutex::new(VecDeque::new()),
-        }
-    }
-
-    fn push_batch(&self, items: Vec<usize>) {
-        self.q.lock().expect("deque lock").extend(items);
-    }
-
-    fn pop_front(&self) -> Option<usize> {
-        self.q.lock().expect("deque lock").pop_front()
-    }
-
-    fn steal_back(&self) -> Option<usize> {
-        self.q.lock().expect("deque lock").pop_back()
-    }
-
-    fn is_empty(&self) -> bool {
-        self.q.lock().expect("deque lock").is_empty()
-    }
-}
-
-/// Processes every morsel on a pool of `workers` threads, returning each
-/// morsel's trace (or its error) at the morsel's own index.
-///
-/// Errors are *not* short-circuited across the pool: the driver surfaces
-/// them in canonical morsel order, so a failure past a satisfied `LIMIT`
-/// stays invisible — exactly as in the simulator, which never reaches it.
-/// A worker that hits an error stops claiming new work; its queued morsels
-/// drain to the surviving workers.
-pub(crate) fn process_morsels(
-    ctx: &ChainCtx<'_>,
-    morsels: &[Morsel],
+/// A persistent pool of morsel workers. Cheap to clone via `Arc`; see the
+/// module docs for the lifecycle and job shapes.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    threads: Vec<JoinHandle<()>>,
     workers: usize,
-) -> Vec<Option<Result<MorselTrace>>> {
-    let workers = workers.max(1);
-    let injector = Injector::new(morsels.len());
-    let deques: Vec<WorkerDeque> = (0..workers).map(|_| WorkerDeque::new()).collect();
+}
 
-    let mut merged: Vec<Option<Result<MorselTrace>>> = (0..morsels.len()).map(|_| None).collect();
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here when no task is claimable.
+    work_cv: Condvar,
+    /// Drivers park here awaiting their job's completion.
+    done_cv: Condvar,
+}
 
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for wi in 0..workers {
-            let injector = &injector;
-            let deques = &deques;
-            handles.push(scope.spawn(move || {
-                let mut out: Vec<(usize, Result<MorselTrace>)> = Vec::new();
-                let mine = &deques[wi];
-                loop {
-                    // Own deque first, then refill from the injector, then
-                    // steal from a sibling (scanning rightward from us).
-                    let idx = mine.pop_front().or_else(|| {
-                        let grabbed = injector.grab();
-                        if grabbed.is_empty() {
-                            (1..deques.len())
-                                .find_map(|off| deques[(wi + off) % deques.len()].steal_back())
-                        } else {
-                            mine.push_batch(grabbed);
-                            mine.pop_front()
-                        }
-                    });
-                    match idx {
-                        Some(i) => {
-                            let r = ctx.process_morsel(&morsels[i], None);
-                            let failed = r.is_err();
-                            out.push((i, r));
-                            if failed {
-                                // Stop claiming; siblings drain our deque.
-                                break;
-                            }
-                        }
-                        None => {
-                            if injector.is_empty() && deques.iter().all(|d| d.is_empty()) {
-                                break;
-                            }
-                            std::thread::yield_now();
-                        }
-                    }
-                }
-                out
-            }));
+#[derive(Default)]
+struct PoolState {
+    jobs: HashMap<u64, Job>,
+    next_job: u64,
+    /// Jobs completed over the pool's lifetime (the reuse statistic).
+    completed: u64,
+    shutdown: bool,
+}
+
+/// One submitted unit of pipeline work.
+struct Job {
+    ctx: Arc<ChainCtx>,
+    morsels: Arc<Vec<Morsel>>,
+    work: JobWork,
+    /// Per-morsel traces at the morsel's own index.
+    outputs: Vec<Option<Result<MorselTrace>>>,
+    /// Chunk-local aggregation states (partial jobs only).
+    chunk_states: Vec<Option<AggregateState>>,
+    /// Outstanding work units: morsels (trace) or chunks (partial).
+    remaining: usize,
+    done: bool,
+}
+
+enum JobWork {
+    Trace {
+        /// Next morsel index to start fetching.
+        fetch_next: usize,
+        /// Fetches claimed but not yet landed in `ready`.
+        fetch_inflight: usize,
+        /// Fetch-ahead bound: fetching pauses while
+        /// `ready + inflight >= target`, so prefetch stays a window, not a
+        /// full materialization of the pipeline source.
+        target: usize,
+        /// Fetched morsels awaiting compute.
+        ready: VecDeque<(usize, Result<RecordBatch>)>,
+    },
+    Chunks {
+        /// Configuration prototype each chunk's local state is cloned from.
+        proto: Arc<AggregateState>,
+        /// Contiguous morsel ranges, in canonical order.
+        ranges: Vec<Range<usize>>,
+        /// Next unclaimed chunk.
+        next: usize,
+    },
+}
+
+/// A claimed task, executed outside the pool lock.
+enum Task {
+    Fetch(usize),
+    Compute(usize, Result<RecordBatch>),
+    Chunk {
+        chunk: usize,
+        range: Range<usize>,
+        proto: Arc<AggregateState>,
+    },
+}
+
+/// A claimed unit of work: the owning job's id, its shared context and
+/// morsel list, and the task to run.
+type Claimed = (u64, Arc<ChainCtx>, Arc<Vec<Morsel>>, Task);
+
+/// Scans jobs for claimable work. Fetches win over computes while a job's
+/// prefetch window has room (that is the overlap: early claims fill the
+/// window, later claims drain it while siblings keep fetching).
+fn claim(state: &mut PoolState) -> Option<Claimed> {
+    for (&id, job) in state.jobs.iter_mut() {
+        if job.done {
+            continue;
         }
-        for h in handles {
-            for (idx, r) in h.join().expect("parallel worker panicked") {
-                merged[idx] = Some(r);
+        match &mut job.work {
+            JobWork::Trace {
+                fetch_next,
+                fetch_inflight,
+                target,
+                ready,
+            } => {
+                if *fetch_next < job.morsels.len() && ready.len() + *fetch_inflight < *target {
+                    let idx = *fetch_next;
+                    *fetch_next += 1;
+                    *fetch_inflight += 1;
+                    return Some((id, job.ctx.clone(), job.morsels.clone(), Task::Fetch(idx)));
+                }
+                if let Some((idx, batch)) = ready.pop_front() {
+                    return Some((
+                        id,
+                        job.ctx.clone(),
+                        job.morsels.clone(),
+                        Task::Compute(idx, batch),
+                    ));
+                }
+            }
+            JobWork::Chunks {
+                proto,
+                ranges,
+                next,
+            } => {
+                if *next < ranges.len() {
+                    let chunk = *next;
+                    *next += 1;
+                    return Some((
+                        id,
+                        job.ctx.clone(),
+                        job.morsels.clone(),
+                        Task::Chunk {
+                            chunk,
+                            range: ranges[chunk].clone(),
+                            proto: proto.clone(),
+                        },
+                    ));
+                }
             }
         }
-    });
+    }
+    None
+}
 
-    merged
+fn worker_loop(shared: Arc<PoolShared>) {
+    let mut state = shared.state.lock().expect("pool lock");
+    loop {
+        if state.shutdown {
+            return;
+        }
+        match claim(&mut state) {
+            Some((id, ctx, morsels, task)) => {
+                drop(state);
+                run_task(&shared, id, &ctx, &morsels, task);
+                state = shared.state.lock().expect("pool lock");
+            }
+            None => state = shared.work_cv.wait(state).expect("pool lock"),
+        }
+    }
+}
+
+/// Executes one claimed task and records its result under the lock.
+fn run_task(shared: &PoolShared, id: u64, ctx: &ChainCtx, morsels: &[Morsel], task: Task) {
+    match task {
+        Task::Fetch(idx) => {
+            let fetched = ctx.fetch_morsel(&morsels[idx]);
+            let mut state = shared.state.lock().expect("pool lock");
+            if let Some(job) = state.jobs.get_mut(&id) {
+                if let JobWork::Trace {
+                    fetch_inflight,
+                    ready,
+                    ..
+                } = &mut job.work
+                {
+                    *fetch_inflight -= 1;
+                    ready.push_back((idx, fetched));
+                }
+            }
+            drop(state);
+            // A compute (this morsel) and possibly a fetch (window slot
+            // freed) became claimable.
+            shared.work_cv.notify_all();
+        }
+        Task::Compute(idx, fetched) => {
+            let out = fetched.and_then(|batch| ctx.compute_morsel(batch, None));
+            finish_unit(shared, id, |job| {
+                job.outputs[idx] = Some(out);
+            });
+        }
+        Task::Chunk {
+            chunk,
+            range,
+            proto,
+        } => {
+            let mut local = proto.fresh();
+            let mut outs: Vec<(usize, Result<MorselTrace>)> = Vec::with_capacity(range.len());
+            for i in range {
+                let r = ctx.process_morsel_partial(&morsels[i], &mut local);
+                let failed = r.is_err();
+                outs.push((i, r));
+                if failed {
+                    // Stop the chunk: the driver reads morsels in canonical
+                    // order and surfaces this error before ever looking at
+                    // the chunk's unprocessed tail.
+                    break;
+                }
+            }
+            finish_unit(shared, id, |job| {
+                for (i, r) in outs {
+                    job.outputs[i] = Some(r);
+                }
+                job.chunk_states[chunk] = Some(local);
+            });
+        }
+    }
+}
+
+/// Records one completed work unit, marking the job done (and waking its
+/// driver) when it was the last.
+fn finish_unit(shared: &PoolShared, id: u64, record: impl FnOnce(&mut Job)) {
+    let mut state = shared.state.lock().expect("pool lock");
+    let Some(job) = state.jobs.get_mut(&id) else {
+        return;
+    };
+    record(job);
+    job.remaining -= 1;
+    if job.remaining == 0 {
+        job.done = true;
+        state.completed += 1;
+        drop(state);
+        shared.done_cv.notify_all();
+        // Siblings may be parked while other jobs still hold work.
+        shared.work_cv.notify_all();
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a private pool of `workers` threads (clamped to at least 1).
+    /// Threads shut down when the pool drops; long-lived callers should
+    /// prefer [`WorkerPool::shared`].
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let threads = (0..workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("ci-exec-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            threads,
+            workers,
+        }
+    }
+
+    /// The process-wide pool for `workers` threads, created on first use
+    /// and reused by every later caller (and every query) with the same
+    /// worker count. Its threads are never joined — they idle parked on a
+    /// condition variable between queries.
+    pub fn shared(workers: usize) -> Arc<WorkerPool> {
+        static POOLS: OnceLock<Mutex<HashMap<usize, Arc<WorkerPool>>>> = OnceLock::new();
+        let workers = workers.max(1);
+        let mut pools = POOLS
+            .get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .expect("pool registry lock");
+        pools
+            .entry(workers)
+            .or_insert_with(|| Arc::new(WorkerPool::new(workers)))
+            .clone()
+    }
+
+    /// Worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Jobs (pipeline runs) this pool has completed over its lifetime —
+    /// the pool-reuse statistic `PipelineMetrics` records.
+    pub fn jobs_completed(&self) -> u64 {
+        self.shared.state.lock().expect("pool lock").completed
+    }
+
+    fn submit(&self, job: Job) -> u64 {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        let id = state.next_job;
+        state.next_job += 1;
+        state.jobs.insert(id, job);
+        drop(state);
+        self.shared.work_cv.notify_all();
+        id
+    }
+
+    fn wait(&self, id: u64) -> Job {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        loop {
+            if state.jobs.get(&id).is_some_and(|j| j.done) {
+                return state.jobs.remove(&id).expect("job present");
+            }
+            state = self.shared.done_cv.wait(state).expect("pool lock");
+        }
+    }
+
+    /// Processes every morsel into its trace (fetch/compute overlapped),
+    /// returning each morsel's result at the morsel's own index. Blocks the
+    /// calling driver until the job completes.
+    pub(crate) fn run_traces(
+        &self,
+        ctx: Arc<ChainCtx>,
+        morsels: Arc<Vec<Morsel>>,
+    ) -> Vec<Option<Result<MorselTrace>>> {
+        let n = morsels.len();
+        let id = self.submit(Job {
+            ctx,
+            morsels,
+            work: JobWork::Trace {
+                fetch_next: 0,
+                fetch_inflight: 0,
+                // Enough fetched morsels for every worker to compute while
+                // one fetches ahead; 2 minimum so even a 1-worker pool
+                // overlaps the next fetch with the current compute.
+                target: self.workers.max(2),
+                ready: VecDeque::new(),
+            },
+            outputs: (0..n).map(|_| None).collect(),
+            chunk_states: Vec::new(),
+            remaining: n,
+            done: n == 0,
+        });
+        self.wait(id).outputs
+    }
+
+    /// Partial aggregation: folds contiguous chunks of the morsel list into
+    /// chunk-local clones of `proto`, returning the per-morsel traces
+    /// (tails carry row counts, not batches) and the chunk states in
+    /// canonical chunk order. `chunks` is a target count (clamped to the
+    /// morsel count); the split is deterministic, so chunk layout — and
+    /// therefore the merged group order — depends only on the inputs.
+    pub(crate) fn run_partial(
+        &self,
+        ctx: Arc<ChainCtx>,
+        morsels: Arc<Vec<Morsel>>,
+        proto: AggregateState,
+        chunks: usize,
+    ) -> (Vec<Option<Result<MorselTrace>>>, Vec<AggregateState>) {
+        let n = morsels.len();
+        let ranges = split_ranges(n, chunks);
+        let k = ranges.len();
+        let id = self.submit(Job {
+            ctx,
+            morsels,
+            work: JobWork::Chunks {
+                proto: Arc::new(proto),
+                ranges,
+                next: 0,
+            },
+            outputs: (0..n).map(|_| None).collect(),
+            chunk_states: (0..k).map(|_| None).collect(),
+            remaining: k,
+            done: k == 0,
+        });
+        let job = self.wait(id);
+        let states = job
+            .chunk_states
+            .into_iter()
+            .map(|s| s.expect("completed chunk state"))
+            .collect();
+        (job.outputs, states)
+    }
+}
+
+/// Splits `n` morsels into (up to) `chunks` contiguous ranges of
+/// near-equal size, earlier ranges one longer when `n` does not divide
+/// evenly. Deterministic; empty for `n == 0`.
+fn split_ranges(n: usize, chunks: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = chunks.clamp(1, n);
+    let base = n / k;
+    let rem = n % k;
+    let mut ranges = Vec::with_capacity(k);
+    let mut at = 0;
+    for c in 0..k {
+        let len = base + usize::from(c < rem);
+        ranges.push(at..at + len);
+        at += len;
+    }
+    debug_assert_eq!(at, n);
+    ranges
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            state.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        self.shared.done_cv.notify_all();
+        for t in std::mem::take(&mut self.threads) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ranges_is_contiguous_and_balanced() {
+        for n in 0..40usize {
+            for k in 1..10usize {
+                let ranges = split_ranges(n, k);
+                if n == 0 {
+                    assert!(ranges.is_empty());
+                    continue;
+                }
+                assert_eq!(ranges.len(), k.min(n));
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().unwrap().end, n);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "contiguous");
+                    assert!(
+                        w[0].len() >= w[1].len() && w[0].len() - w[1].len() <= 1,
+                        "balanced, earlier chunks first: {ranges:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_pools_are_keyed_by_worker_count() {
+        let a = WorkerPool::shared(3);
+        let b = WorkerPool::shared(3);
+        let c = WorkerPool::shared(5);
+        assert!(Arc::ptr_eq(&a, &b), "same count, same pool");
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(a.workers(), 3);
+        assert_eq!(c.workers(), 5);
+    }
+
+    #[test]
+    fn private_pool_drops_cleanly_while_idle() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.jobs_completed(), 0);
+        drop(pool); // joins both threads; hangs the test if shutdown is broken
+    }
 }

@@ -815,12 +815,15 @@ fn push_header_flags(out: &mut Vec<u8>, codec: PageCodec, dt: DataType, rows: u3
     push_u32(out, rows);
 }
 
-/// Header flag bit marking a wire-stream dict page that references an
-/// already-shipped dictionary instead of inlining one (ids section only).
+/// Header flag bit marking a wire-stream page that *references* stream
+/// state the receiver already holds instead of inlining it: a dict page
+/// riding on an already-shipped dictionary (ids section only), or a
+/// FoR/Delta page riding on an already-shipped int frame (packed offsets
+/// only, no frame header).
 pub const PAGE_FLAG_DICT_REF: u8 = 1;
-/// Header flag bit marking a wire-stream dict page: a `u32` stream
-/// dictionary id follows the header, naming the entry in the receiver's
-/// dictionary cache this page fills (first transfer) or references
+/// Header flag bit marking a wire-stream page: a `u32` stream id follows
+/// the header, naming the entry in the receiver's cache this page fills
+/// (first transfer of a dictionary or int frame) or references
 /// ([`PAGE_FLAG_DICT_REF`] also set).
 pub const PAGE_FLAG_WIRE_STREAM: u8 = 2;
 
@@ -1466,10 +1469,65 @@ fn unpack_ids(packed: &[u8], rows: usize, width: u32) -> Result<Vec<u32>> {
 /// dictionary per table column at load; the encoder holds a reference to
 /// every dictionary it marks shipped, so a freed-and-reallocated address can
 /// never alias an earlier entry and silently skip a transfer.
+///
+/// Int columns get the same stream-awareness for their codec *frames*: when
+/// FoR/Delta wins the codec pick, the frame header (FoR base + bit width,
+/// or delta base + width) ships once under the column's stream position and
+/// later chunks ship packed offsets only ([`PAGE_FLAG_DICT_REF`]), each
+/// chunk re-deriving a fresh frame mid-stream the moment its values stop
+/// fitting the cached one or reuse stops being byte-beneficial (ties reuse).
 #[derive(Debug, Default)]
 pub struct WireEncoder {
     /// Pointer-identity → `(stream dictionary id, pinned dictionary)`.
     shipped: HashMap<usize, (u32, Arc<Dictionary>)>,
+    /// Stream column position → the FoR/Delta frame last shipped there.
+    frames: HashMap<u32, IntFrame>,
+}
+
+/// A FoR or Delta frame header shipped once per stream column and reused by
+/// later chunks (`PAGE_FLAG_DICT_REF` int pages carry packed offsets only).
+/// Reuse is exact by wrapping arithmetic: any value whose wrapping offset
+/// fits `width` bits round-trips bit-identically through the cached frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IntFrame {
+    /// Frame-of-reference: offsets from `min`, packed at `width` bits.
+    For { min: i64, width: u32 },
+    /// Delta: each chunk ships its own first value; consecutive deltas are
+    /// offset by `min_d` and packed at `width` bits.
+    Delta { min_d: i64, width: u32 },
+}
+
+fn fits_bits(off: u64, width: u32) -> bool {
+    width >= 64 || off < 1u64 << width
+}
+
+/// Wire bytes of a `PAGE_FLAG_DICT_REF` int page for `v` under the cached
+/// frame, or `None` when some offset overflows the frame's bit width (the
+/// sender must re-derive). Shared by size-only accounting and the real
+/// encoder so the two can never disagree on the reuse decision.
+fn frame_ref_bytes(frame: IntFrame, v: &[i64]) -> Option<u64> {
+    let header = PAGE_HEADER_BYTES as u64 + 4;
+    match frame {
+        IntFrame::For { min, width } => v
+            .iter()
+            .all(|&x| fits_bits(x.wrapping_sub(min) as u64, width))
+            .then(|| header + packed_id_bytes(v.len(), width)),
+        IntFrame::Delta { min_d, width } => v
+            .windows(2)
+            .all(|w| fits_bits(w[1].wrapping_sub(w[0]).wrapping_sub(min_d) as u64, width))
+            .then(|| header + 8 + packed_id_bytes(v.len() - 1, width)),
+    }
+}
+
+/// How one int column rides the wire, chosen by [`WireEncoder::plan_ints`].
+enum IntPlan {
+    /// Self-contained flagless page (Plain/RLE won, or the column is empty).
+    Page { codec: PageCodec, bytes: u64 },
+    /// FoR/Delta page carrying its frame inline plus the `u32` stream id
+    /// that fills (or replaces) the receiver's frame cache entry.
+    Fresh { codec: PageCodec, bytes: u64 },
+    /// Offsets-only page against the cached frame.
+    Reuse { frame: IntFrame, bytes: u64 },
 }
 
 impl WireEncoder {
@@ -1511,10 +1569,63 @@ impl WireEncoder {
         }
     }
 
-    /// Wire bytes for one column, updating the shipped-dictionary set.
-    /// Size-only: the engine charges virtual wire seconds from this without
-    /// materializing payloads.
-    pub fn column_wire_bytes(&mut self, col: &ColumnData) -> u64 {
+    /// Number of int frames currently cached (one per stream column that
+    /// has shipped a FoR/Delta chunk).
+    pub fn cached_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Picks how the int column at stream position `stream_col` rides the
+    /// wire, updating the frame cache. The single decision point for both
+    /// size-only accounting and real serialization: reuse the cached frame
+    /// when every offset fits it and the offsets-only page is no larger
+    /// than the alternative (ties prefer reuse); otherwise ship the chunk's
+    /// own best page — carrying a fresh frame when FoR/Delta won the pick,
+    /// which replaces the cache entry (mid-stream re-derivation).
+    fn plan_ints(&mut self, col: &ColumnData, v: &[i64], stream_col: u32) -> Result<IntPlan> {
+        let codec = pick_codec(col);
+        let page_bytes = encoded_size(col, codec)?;
+        let reuse = (!v.is_empty())
+            .then(|| self.frames.get(&stream_col))
+            .flatten()
+            .and_then(|&f| frame_ref_bytes(f, v).map(|bytes| (f, bytes)));
+        Ok(match codec {
+            PageCodec::For | PageCodec::Delta if !v.is_empty() => {
+                let fresh_bytes = page_bytes + 4;
+                match reuse {
+                    Some((frame, bytes)) if bytes <= fresh_bytes => IntPlan::Reuse { frame, bytes },
+                    _ => {
+                        let frame = match codec {
+                            PageCodec::For => {
+                                for_frame(col)?.map(|(min, width)| IntFrame::For { min, width })
+                            }
+                            _ => delta_frame(col)?
+                                .map(|(_, min_d, width)| IntFrame::Delta { min_d, width }),
+                        }
+                        .ok_or_else(|| err("picked frame codec derives no frame".into()))?;
+                        self.frames.insert(stream_col, frame);
+                        IntPlan::Fresh {
+                            codec,
+                            bytes: fresh_bytes,
+                        }
+                    }
+                }
+            }
+            _ => match reuse {
+                Some((frame, bytes)) if bytes <= page_bytes => IntPlan::Reuse { frame, bytes },
+                _ => IntPlan::Page {
+                    codec,
+                    bytes: page_bytes,
+                },
+            },
+        })
+    }
+
+    /// Wire bytes for one column at stream position `stream_col`, updating
+    /// the shipped-dictionary set and the int frame cache. Size-only: the
+    /// engine charges virtual wire seconds from this without materializing
+    /// payloads.
+    pub fn column_wire_bytes(&mut self, col: &ColumnData, stream_col: u32) -> Result<u64> {
         match col {
             ColumnData::Dict { ids, dict } => {
                 let (_, first) = self.ship(dict);
@@ -1525,16 +1636,21 @@ impl WireEncoder {
                 if first {
                     bytes += dictionary_page_bytes(dict);
                 }
-                bytes
+                Ok(bytes)
             }
-            other => best_page(other).encoded_bytes,
+            ColumnData::Int64(v) => Ok(match self.plan_ints(col, v, stream_col)? {
+                IntPlan::Page { bytes, .. }
+                | IntPlan::Fresh { bytes, .. }
+                | IntPlan::Reuse { bytes, .. } => bytes,
+            }),
+            other => Ok(best_page(other).encoded_bytes),
         }
     }
 
-    /// Wire bytes for a whole batch (sum over columns). Selected batches are
-    /// measured over their logical rows, as the exchange materialization
-    /// point would ship them.
-    pub fn batch_wire_bytes(&mut self, batch: &RecordBatch) -> u64 {
+    /// Wire bytes for a whole batch (sum over columns, stream positions in
+    /// schema order). Selected batches are measured over their logical
+    /// rows, as the exchange materialization point would ship them.
+    pub fn batch_wire_bytes(&mut self, batch: &RecordBatch) -> Result<u64> {
         let dense;
         let b = if batch.selection().is_some() {
             dense = batch.compacted();
@@ -1542,7 +1658,11 @@ impl WireEncoder {
         } else {
             batch
         };
-        b.columns().iter().map(|c| self.column_wire_bytes(c)).sum()
+        let mut sum = 0u64;
+        for (i, c) in b.columns().iter().enumerate() {
+            sum += self.column_wire_bytes(c, i as u32)?;
+        }
+        Ok(sum)
     }
 
     /// Actually serializes one column for the wire. Every emitted blob is
@@ -1551,10 +1671,13 @@ impl WireEncoder {
     /// `u32` stream dictionary id: the first transfer inlines the whole
     /// shared dictionary (filling the receiver's cache under that id),
     /// later transfers also set [`PAGE_FLAG_DICT_REF`] and carry only the
-    /// bit-packed ids. Other columns emit their best self-contained page.
-    /// The byte count always equals [`WireEncoder::column_wire_bytes`];
-    /// [`WireDecoder`] inverts the stream.
-    pub fn encode_column(&mut self, col: &ColumnData) -> Result<Vec<u8>> {
+    /// bit-packed ids. An int column whose pick is FoR/Delta rides the same
+    /// protocol under its stream position: frame-bearing transfers fill the
+    /// receiver's frame cache, reuse transfers carry packed offsets only.
+    /// Other columns emit their best self-contained page. The byte count
+    /// always equals [`WireEncoder::column_wire_bytes`]; [`WireDecoder`]
+    /// inverts the stream.
+    pub fn encode_column(&mut self, col: &ColumnData, stream_col: u32) -> Result<Vec<u8>> {
         match col {
             ColumnData::Dict { ids, dict } => {
                 let (dict_id, first) = self.ship(dict);
@@ -1578,13 +1701,85 @@ impl WireEncoder {
                 pack_ids(&mut out, ids.iter().copied(), width);
                 Ok(out)
             }
+            ColumnData::Int64(v) => {
+                let plan = self.plan_ints(col, v, stream_col)?;
+                let out = match plan {
+                    IntPlan::Page { codec, bytes } => {
+                        let blob = encode_column(col, codec)?.1;
+                        debug_assert_eq!(blob.len() as u64, bytes, "int wire page size drift");
+                        blob
+                    }
+                    IntPlan::Fresh { codec, bytes } => {
+                        // The canonical self-contained page, re-headered
+                        // with the stream flag and the frame id spliced in.
+                        let page = encode_column(col, codec)?.1;
+                        let rows = page_rows(v.len())?;
+                        let mut out = Vec::with_capacity(page.len() + 4);
+                        push_header_flags(
+                            &mut out,
+                            codec,
+                            DataType::Int64,
+                            rows,
+                            PAGE_FLAG_WIRE_STREAM,
+                        );
+                        push_u32(&mut out, stream_col);
+                        out.extend_from_slice(&page[PAGE_HEADER_BYTES..]);
+                        debug_assert_eq!(out.len() as u64, bytes, "fresh frame size drift");
+                        out
+                    }
+                    IntPlan::Reuse { frame, bytes } => {
+                        let rows = page_rows(v.len())?;
+                        let mut out = Vec::new();
+                        let flags = PAGE_FLAG_WIRE_STREAM | PAGE_FLAG_DICT_REF;
+                        match frame {
+                            IntFrame::For { min, width } => {
+                                push_header_flags(
+                                    &mut out,
+                                    PageCodec::For,
+                                    DataType::Int64,
+                                    rows,
+                                    flags,
+                                );
+                                push_u32(&mut out, stream_col);
+                                pack_bits(
+                                    &mut out,
+                                    v.iter().map(|&x| x.wrapping_sub(min) as u64),
+                                    width,
+                                );
+                            }
+                            IntFrame::Delta { min_d, width } => {
+                                push_header_flags(
+                                    &mut out,
+                                    PageCodec::Delta,
+                                    DataType::Int64,
+                                    rows,
+                                    flags,
+                                );
+                                push_u32(&mut out, stream_col);
+                                out.extend_from_slice(&v[0].to_le_bytes());
+                                pack_bits(
+                                    &mut out,
+                                    v.windows(2).map(|w| {
+                                        w[1].wrapping_sub(w[0]).wrapping_sub(min_d) as u64
+                                    }),
+                                    width,
+                                );
+                            }
+                        }
+                        debug_assert_eq!(out.len() as u64, bytes, "frame reuse size drift");
+                        out
+                    }
+                };
+                Ok(out)
+            }
             other => Ok(encode_best(other)?.1),
         }
     }
 
-    /// Serializes a whole batch for the wire: one blob per column, in schema
-    /// order. Selected batches are compacted first (the exchange is a
-    /// materialization point). [`WireDecoder::decode_batch`] inverts it.
+    /// Serializes a whole batch for the wire: one blob per column, stream
+    /// positions in schema order. Selected batches are compacted first (the
+    /// exchange is a materialization point). [`WireDecoder::decode_batch`]
+    /// inverts it.
     pub fn encode_batch(&mut self, batch: &RecordBatch) -> Result<Vec<Vec<u8>>> {
         let dense;
         let b = if batch.selection().is_some() {
@@ -1593,25 +1788,33 @@ impl WireEncoder {
         } else {
             batch
         };
-        b.columns().iter().map(|c| self.encode_column(c)).collect()
+        b.columns()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| self.encode_column(c, i as u32))
+            .collect()
     }
 }
 
-/// The receiver side of the wire format: holds one stream's dictionary
-/// cache and turns [`WireEncoder`] blobs back into columns and batches.
+/// The receiver side of the wire format: holds one stream's dictionary and
+/// int-frame caches and turns [`WireEncoder`] blobs back into columns and
+/// batches.
 ///
 /// The first transfer of each shared dictionary fills the cache under the
 /// `u32` stream dictionary id the page carries; every later ids-only
 /// transfer ([`PAGE_FLAG_DICT_REF`]) resolves against it, so all decoded
 /// batches of one stream share a single receiver-side `Arc<Dictionary>` —
-/// the same one-allocation-per-stream shape the sender had. Pair one
-/// decoder with one encoder for the lifetime of a transfer stream, exactly
-/// like the engine pairs them per pipeline execution. Malformed blobs (cache
-/// misses, re-shipped ids, out-of-range ids, truncations) are an `Err`,
-/// never a panic.
+/// the same one-allocation-per-stream shape the sender had. FoR/Delta wire
+/// pages fill (or, on mid-stream re-derivation, *replace*) the frame cache
+/// under their stream position the same way, and offsets-only transfers
+/// resolve against it. Pair one decoder with one encoder for the lifetime
+/// of a transfer stream, exactly like the engine pairs them per pipeline
+/// execution. Malformed blobs (cache misses, re-shipped ids, out-of-range
+/// ids, truncations) are an `Err`, never a panic.
 #[derive(Debug, Default)]
 pub struct WireDecoder {
     dicts: HashMap<u32, Arc<Dictionary>>,
+    frames: HashMap<u32, IntFrame>,
 }
 
 impl WireDecoder {
@@ -1623,6 +1826,88 @@ impl WireDecoder {
     /// Number of dictionaries received so far.
     pub fn cached_dictionaries(&self) -> usize {
         self.dicts.len()
+    }
+
+    /// Number of int frames currently cached.
+    pub fn cached_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Decodes a wire FoR/Delta page: frame-bearing transfers decode like
+    /// their self-contained form and fill (or replace) the frame cache
+    /// under the page's stream id; offsets-only transfers
+    /// ([`PAGE_FLAG_DICT_REF`]) resolve against the cached frame.
+    fn decode_frame_page(&mut self, c: &mut Cursor, h: &PageHeader) -> Result<ColumnData> {
+        let frame_id = c.u32()?;
+        if h.flags & PAGE_FLAG_DICT_REF == 0 {
+            // Peek the frame parameters, then let the canonical payload
+            // decoder (with all its validation) consume them.
+            let mut peek = Cursor {
+                bytes: c.bytes,
+                at: c.at,
+            };
+            let frame = match (h.codec, h.rows) {
+                (_, 0) => None,
+                (PageCodec::For, _) => Some(IntFrame::For {
+                    min: peek.u64()? as i64,
+                    width: peek.u8()? as u32,
+                }),
+                _ => {
+                    peek.u64()?; // per-chunk first value, not frame state
+                    Some(IntFrame::Delta {
+                        min_d: peek.u64()? as i64,
+                        width: peek.u8()? as u32,
+                    })
+                }
+            };
+            let col = decode_payload(c, h.codec, h.dt, h.rows)?;
+            c.done()?;
+            if let Some(frame) = frame {
+                self.frames.insert(frame_id, frame);
+            }
+            return Ok(col);
+        }
+        let frame = *self.frames.get(&frame_id).ok_or_else(|| {
+            err(format!(
+                "wire page references stream frame {frame_id} never shipped (frame cache miss)"
+            ))
+        })?;
+        let rows = h.rows;
+        let col = match (h.codec, frame) {
+            (PageCodec::For, IntFrame::For { min, width }) => {
+                let packed = c.take(packed_bytes_checked(rows, width)? as usize)?;
+                let mut v = Vec::with_capacity(rows);
+                unpack_bits(packed, rows, width, |off| {
+                    v.push(min.wrapping_add(off as i64));
+                });
+                ColumnData::Int64(v)
+            }
+            (PageCodec::Delta, IntFrame::Delta { min_d, width }) => {
+                if rows == 0 {
+                    return Err(err(format!(
+                        "delta frame reuse page for stream frame {frame_id} declares 0 rows"
+                    )));
+                }
+                let first = c.u64()? as i64;
+                let packed = c.take(packed_bytes_checked(rows - 1, width)? as usize)?;
+                let mut v = Vec::with_capacity(rows);
+                v.push(first);
+                let mut cur = first;
+                unpack_bits(packed, rows - 1, width, |off| {
+                    cur = cur.wrapping_add(min_d.wrapping_add(off as i64));
+                    v.push(cur);
+                });
+                ColumnData::Int64(v)
+            }
+            _ => {
+                return Err(err(format!(
+                    "wire {} page reuses stream frame {frame_id} of the other kind",
+                    h.codec.name()
+                )))
+            }
+        };
+        c.done()?;
+        Ok(col)
     }
 
     /// Decodes one wire blob, updating the dictionary cache. Self-contained
@@ -1642,6 +1927,9 @@ impl WireDecoder {
         }
         if h.flags & !(PAGE_FLAG_WIRE_STREAM | PAGE_FLAG_DICT_REF) != 0 {
             return Err(err(format!("unknown page flags {:#04x}", h.flags)));
+        }
+        if matches!(h.codec, PageCodec::For | PageCodec::Delta) && h.dt == DataType::Int64 {
+            return self.decode_frame_page(&mut c, &h);
         }
         if h.codec != PageCodec::Dict || h.dt != DataType::Utf8 {
             return Err(err(format!(
@@ -1989,7 +2277,7 @@ mod tests {
             ids: vec![0; MAX_DECODE_ROWS + 1],
             dict: Arc::new(Dictionary::encode(["x"].into_iter()).0),
         };
-        assert!(w.encode_column(&dict_oversized).is_err());
+        assert!(w.encode_column(&dict_oversized, 0).is_err());
     }
 
     #[test]
@@ -2050,14 +2338,14 @@ mod tests {
         let (_, dict) = col.as_dict().unwrap();
         let dict_bytes = dictionary_page_bytes(dict);
         let mut w = WireEncoder::new();
-        let first = w.column_wire_bytes(&col);
-        let second = w.column_wire_bytes(&col);
+        let first = w.column_wire_bytes(&col, 0).unwrap();
+        let second = w.column_wire_bytes(&col, 0).unwrap();
         assert_eq!(first, second + dict_bytes);
         assert!(w.has_shipped(&dict.clone()));
         // Real serialization agrees with the size-only accounting.
         let mut w2 = WireEncoder::new();
-        let b1 = w2.encode_column(&col).unwrap();
-        let b2 = w2.encode_column(&col).unwrap();
+        let b1 = w2.encode_column(&col, 0).unwrap();
+        let b2 = w2.encode_column(&col, 0).unwrap();
         assert_eq!(b1.len() as u64, first);
         assert_eq!(b2.len() as u64, second);
         // Wire pages demand the stream's dictionary cache: the cache-less
@@ -2082,7 +2370,7 @@ mod tests {
         let mut decoded_dicts = Vec::new();
         for start in [0usize, 3, 6] {
             let chunk = table.slice(start, (table.len() - start).min(3));
-            let blob = tx.encode_column(&chunk).unwrap();
+            let blob = tx.encode_column(&chunk, 0).unwrap();
             let decoded = rx.decode_column(&blob).unwrap();
             assert_eq!(decoded, chunk, "chunk at {start}");
             decoded_dicts.push(decoded.as_dict().unwrap().1.clone());
@@ -2093,7 +2381,7 @@ mod tests {
         // Ids decode against the *full* shared dictionary, so they are
         // bit-identical to the sender's, not remapped.
         let chunk = table.slice(6, 2);
-        let blob = tx.encode_column(&chunk).unwrap();
+        let blob = tx.encode_column(&chunk, 0).unwrap();
         let decoded = rx.decode_column(&blob).unwrap();
         assert_eq!(decoded.as_dict().unwrap().0, chunk.as_dict().unwrap().0);
     }
@@ -2102,8 +2390,8 @@ mod tests {
     fn wire_decoder_rejects_cache_misses_and_reships() {
         let col = dict_col(&["a", "b", "a"]);
         let mut tx = WireEncoder::new();
-        let b1 = tx.encode_column(&col).unwrap();
-        let b2 = tx.encode_column(&col).unwrap();
+        let b1 = tx.encode_column(&col, 0).unwrap();
+        let b2 = tx.encode_column(&col, 0).unwrap();
         // A ref page with no prior dictionary transfer is a cache miss.
         let mut cold = WireDecoder::new();
         let e = cold.decode_column(&b2).unwrap_err().to_string();
@@ -2119,6 +2407,91 @@ mod tests {
                 assert!(WireDecoder::new().decode_column(&blob[..n]).is_err());
             }
         }
+    }
+
+    #[test]
+    fn wire_reuses_int_frames_across_chunks() {
+        // A sorted id column split into chunks: every chunk picks Delta, and
+        // chunks after the first ride the cached frame, saving exactly the
+        // frame header (min-delta i64 + width u8) per chunk.
+        let table: Vec<i64> = (0..4096).map(|i| 10_000 + i * 3).collect();
+        let mut tx = WireEncoder::new();
+        let mut rx = WireDecoder::new();
+        let mut sizes = Vec::new();
+        for chunk in table.chunks(1024) {
+            let c = ColumnData::Int64(chunk.to_vec());
+            let blob = tx.encode_column(&c, 0).unwrap();
+            sizes.push(blob.len() as u64);
+            assert_eq!(rx.decode_column(&blob).unwrap(), c);
+        }
+        assert_eq!(tx.cached_frames(), 1);
+        assert_eq!(rx.cached_frames(), 1);
+        // Later chunks are strictly smaller than the frame-bearing first
+        // and exactly 9 bytes (i64 + u8 frame header) under the
+        // self-contained Delta page each would otherwise ship.
+        let standalone =
+            encoded_size(&ColumnData::Int64(table[..1024].to_vec()), PageCodec::Delta).unwrap();
+        assert_eq!(
+            sizes[0],
+            standalone + 4,
+            "first chunk carries the frame + stream id"
+        );
+        for &later in &sizes[1..] {
+            assert!(later < sizes[0], "reuse chunks must shrink: {sizes:?}");
+            assert_eq!(
+                later,
+                standalone + 4 - 9,
+                "reuse chunk = fresh minus frame header"
+            );
+        }
+        // Size-only accounting agrees blob for blob.
+        let mut size_only = WireEncoder::new();
+        for (chunk, &real) in table.chunks(1024).zip(&sizes) {
+            let c = ColumnData::Int64(chunk.to_vec());
+            assert_eq!(size_only.column_wire_bytes(&c, 0).unwrap(), real);
+        }
+        // A reuse blob against a cold receiver is a frame cache miss.
+        let c = ColumnData::Int64(table[1024..2048].to_vec());
+        let blob = tx.encode_column(&c, 0).unwrap();
+        let e = WireDecoder::new()
+            .decode_column(&blob)
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("frame cache miss"), "{e}");
+    }
+
+    #[test]
+    fn wire_rederives_int_frames_mid_stream() {
+        let mut tx = WireEncoder::new();
+        let mut rx = WireDecoder::new();
+        // Chunk 1 establishes a narrow FoR frame around ~100.
+        let narrow = ColumnData::Int64((0..512).map(|i| 100 + (i * 37) % 50).collect());
+        let b = tx.encode_column(&narrow, 7).unwrap();
+        assert_eq!(rx.decode_column(&b).unwrap(), narrow);
+        assert_eq!(tx.cached_frames(), 1);
+        // Chunk 2 jumps out of the frame: offsets from min=100 no longer fit
+        // the cached width, so the sender re-derives and the receiver
+        // replaces its cache entry — still one frame, new parameters.
+        let shifted = ColumnData::Int64((0..512).map(|i| 1_000_000 + (i * 37) % 50).collect());
+        let b = tx.encode_column(&shifted, 7).unwrap();
+        assert_eq!(rx.decode_column(&b).unwrap(), shifted);
+        assert_eq!(rx.cached_frames(), 1);
+        // Chunk 3 fits the *new* frame and rides it (strictly smaller than
+        // its frame-bearing predecessor of identical shape).
+        let again = ColumnData::Int64((0..512).map(|i| 1_000_000 + (i * 11) % 50).collect());
+        let b3 = tx.encode_column(&again, 7).unwrap();
+        assert_eq!(rx.decode_column(&b3).unwrap(), again);
+        assert!((b3.len() as u64) < b.len() as u64);
+        // Mixed stream: a non-int column at another position never touches
+        // the frame cache, and plain int chunks (no For/Delta win) ship
+        // flagless and decode everywhere.
+        let wide = ColumnData::Int64(vec![i64::MIN, i64::MAX, 0, -7, 917_114]);
+        let blob = tx.encode_column(&wide, 7).unwrap();
+        assert_eq!(
+            decode_column(&blob).unwrap(),
+            wide,
+            "plain pages stay self-contained"
+        );
     }
 
     #[test]
@@ -2166,8 +2539,8 @@ mod tests {
         let mut a = WireEncoder::new();
         let mut b = WireEncoder::new();
         assert_eq!(
-            a.batch_wire_bytes(&filtered),
-            b.batch_wire_bytes(&filtered.compacted())
+            a.batch_wire_bytes(&filtered).unwrap(),
+            b.batch_wire_bytes(&filtered.compacted()).unwrap()
         );
     }
 }

@@ -202,8 +202,8 @@ proptest! {
         let mut real = WireEncoder::new();
         let mut rx = WireDecoder::new();
         for _ in 0..3 {
-            let expected = size_only.column_wire_bytes(&col);
-            let bytes = real.encode_column(&col).unwrap();
+            let expected = size_only.column_wire_bytes(&col, 0).unwrap();
+            let bytes = real.encode_column(&col, 0).unwrap();
             prop_assert_eq!(bytes.len() as u64, expected);
             let decoded = rx.decode_column(&bytes).unwrap();
             prop_assert_eq!(&decoded, &col);
@@ -213,8 +213,8 @@ proptest! {
         prop_assert_eq!(rx.cached_dictionaries(), 1);
         // Second transfer of the same column saves exactly the dictionary.
         let mut w = WireEncoder::new();
-        let first = w.column_wire_bytes(&col);
-        let second = w.column_wire_bytes(&col);
+        let first = w.column_wire_bytes(&col, 0).unwrap();
+        let second = w.column_wire_bytes(&col, 0).unwrap();
         prop_assert_eq!(first, second + dict_bytes);
     }
 
@@ -229,8 +229,8 @@ proptest! {
     ) {
         let col = utf8(&vals).dict_encoded();
         let mut tx = WireEncoder::new();
-        let b1 = tx.encode_column(&col).unwrap();
-        let b2 = tx.encode_column(&col).unwrap();
+        let b1 = tx.encode_column(&col, 0).unwrap();
+        let b2 = tx.encode_column(&col, 0).unwrap();
         for (warm, blob) in [(false, &b1), (true, &b2)] {
             let mut corrupt = blob.clone();
             let at = flip_at % corrupt.len();
@@ -346,8 +346,8 @@ fn golden_bytes_pin_the_format() {
     // after the header); bit 0 marks an ids-only follow-up.
     let dicted = col.dict_encoded();
     let mut tx = WireEncoder::new();
-    let b1 = tx.encode_column(&dicted).unwrap();
-    let b2 = tx.encode_column(&dicted).unwrap();
+    let b1 = tx.encode_column(&dicted, 0).unwrap();
+    let b2 = tx.encode_column(&dicted, 0).unwrap();
     #[rustfmt::skip]
     let expected_first = vec![
         0x43, 0x49, 0x50, 0x47, 0x02,
@@ -390,11 +390,11 @@ fn golden_bytes_pin_the_format() {
 fn wire_empty_dictionary_with_rows_rejected() {
     let empty = utf8(&[]).dict_encoded();
     let mut tx = WireEncoder::new();
-    let blob = tx.encode_column(&empty).unwrap();
+    let blob = tx.encode_column(&empty, 0).unwrap();
     let mut rx = WireDecoder::new();
     assert_eq!(rx.decode_column(&blob).unwrap(), empty);
     // Forge a row count onto the empty-dictionary ref page.
-    let mut forged = tx.encode_column(&empty).unwrap();
+    let mut forged = tx.encode_column(&empty, 0).unwrap();
     forged[8..12].copy_from_slice(&5u32.to_le_bytes());
     assert!(rx.decode_column(&forged).is_err());
 }
