@@ -466,6 +466,41 @@ mod tests {
     }
 
     #[test]
+    fn fault_profile_reprices_the_same_action() {
+        // The failure-tax bridge: the same tuning action priced on a flaky
+        // tier costs more to apply (every fetch/compute second carries
+        // expected recovery), so tier reliability shows up in the same
+        // dollar terms as the action itself.
+        use ci_cost::FaultProfile;
+        let cat = catalog();
+        let action = TuningAction::CreateMaterializedView {
+            name: "mv_rev".into(),
+            definition_sql: AGG.into(),
+            refresh_per_hour: 1.0,
+        };
+        let priced = |profile: Option<FaultProfile>| {
+            let mut cfg = WhatIfConfig::default();
+            cfg.estimator.fault_profile = profile;
+            WhatIfService::new(&cat, cfg)
+                .evaluate(&action, &workload(AGG, 10.0))
+                .unwrap()
+        };
+        let reliable = priced(None);
+        let mut storm = FaultProfile::light();
+        storm.fetch_failure_rate = 0.5;
+        storm.straggler_rate = 0.4;
+        storm.worker_loss_rate = 0.2;
+        let flaky = priced(Some(storm));
+        assert!(
+            flaky.one_time_cost > reliable.one_time_cost,
+            "flaky tier must make the MV build pricier: {} vs {}",
+            flaky.one_time_cost,
+            reliable.one_time_cost
+        );
+        assert!(flaky.cost_rate > reliable.cost_rate);
+    }
+
+    #[test]
     fn net_rate_is_x_minus_y() {
         let cat = catalog();
         let svc = WhatIfService::new(&cat, WhatIfConfig::default());

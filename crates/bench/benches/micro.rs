@@ -19,8 +19,8 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use ci_autotune::{QueryLogRecord, StatisticsService, StatsConfig};
 use ci_bench::hotpath::{
     parallel_fixture, run_exchange_wire, run_filter, run_filter_chain, run_group_by, run_join,
-    run_page_encode, run_page_encode_int, run_parallel_scan_join, sorted_int_batch, string_batch,
-    wide_batch, PARALLEL_WORKERS,
+    run_page_encode, run_page_encode_int, run_parallel_scan_join, run_retry_storm,
+    sorted_int_batch, string_batch, wide_batch, PARALLEL_WORKERS,
 };
 use ci_bench::plan_query;
 use ci_cost::{CostEstimator, EstimatorConfig};
@@ -115,6 +115,16 @@ fn bench_executor(c: &mut Criterion) {
     ] {
         g.bench_function(name, |b| {
             b.iter(|| run_parallel_scan_join(&pcat, &pplan, &pgraph, mode).expect("run"))
+        });
+    }
+    // The same plan with the fault hooks explicitly disabled vs under a
+    // seeded chaos plan (retries, hedges, reassignment all firing).
+    for (name, chaos) in [
+        ("retry_storm/hooks_off", false),
+        ("retry_storm/chaos", true),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| run_retry_storm(&pcat, &pplan, &pgraph, chaos).expect("run"))
         });
     }
     g.finish();

@@ -1,9 +1,10 @@
 //! CI gate over `BENCH_micro.json`: validates the report schema and fails
 //! (non-zero exit) when any recorded kernel speedup drops below 1.0, when
 //! the dict-exchange wire payload stops beating the plain payload, or when
-//! it is no longer >= 2x smaller than the decoded bytes — a regression on
-//! the dictionary, selection-vector, or wire-format paths breaks the build
-//! instead of slipping into the artifact. Core-count-conditional speedup
+//! it is no longer >= 2x smaller than the decoded bytes, or when the
+//! disabled fault hooks cost >= 5% on the parallel scan-join — a regression
+//! on the dictionary, selection-vector, wire-format, or fault-injection
+//! paths breaks the build instead of slipping into the artifact. Core-count-conditional speedup
 //! gates that cannot bind on this host (fewer cores than workers) are
 //! printed as explicit `gate skipped: ...` lines rather than passing
 //! silently; the presence and duration-consistency of those measurements is
@@ -59,6 +60,10 @@ fn main() -> Result<()> {
         report.host_cores,
         report.partial_agg_speedup,
         report.pool_reuse_speedup,
+    );
+    println!(
+        "{path}: retry storm hooks-off {:.2}x of plain scan-join, chaos {} ns",
+        report.retry_storm_overhead, report.retry_storm_chaos_ns,
     );
     Ok(())
 }

@@ -28,7 +28,12 @@
 //! `partial_agg_speedup`, gated the same way), and the persistent pool's
 //! warm-vs-cold query times (`pool_cold_ns` / `pool_warm_ns` /
 //! `pool_reuse_speedup`, consistency-checked but not speed-gated: thread
-//! spawn cost is too host-dependent for a ratio floor).
+//! spawn cost is too host-dependent for a ratio floor), and the fault-hook
+//! overhead of the retry-storm kernel (`retry_storm_off_ns` /
+//! `retry_storm_chaos_ns` / `retry_storm_overhead`: the scan-join plan with
+//! the fault hooks explicitly disabled vs under a seeded chaos plan — the
+//! disabled arm is gated < 5% over the plain parallel measurement when
+//! `host_cores` suffices; the chaos arm is recorded for the trajectory).
 //!
 //! Usage: `cargo run --release -p ci-bench --bin bench_micro`
 
@@ -37,8 +42,8 @@ use std::time::Instant;
 use ci_bench::hotpath::{
     exchange_wire_accounting, int_codec_accounting, parallel_fixture, partial_agg_plan,
     run_exchange_wire, run_filter, run_filter_chain, run_group_by, run_join, run_page_encode,
-    run_page_encode_int, run_parallel_scan_join, run_partial_agg, run_pool_reuse, sorted_int_batch,
-    string_batch, wide_batch, PARALLEL_WORKERS,
+    run_page_encode_int, run_parallel_scan_join, run_partial_agg, run_pool_reuse, run_retry_storm,
+    sorted_int_batch, string_batch, wide_batch, PARALLEL_WORKERS,
 };
 use ci_exec::ExecutionMode;
 use ci_storage::RecordBatch;
@@ -205,6 +210,28 @@ fn main() -> Result<()> {
     );
     let pool_reuse_speedup = pool_cold_ns as f64 / pool_warm_ns.max(1) as f64;
 
+    // Retry-storm measurement: the scan-join plan with the fault hooks
+    // explicitly disabled (identical work to the parallel measurement above,
+    // so the ratio against `parallel_4w_ns` is the dormant fault machinery's
+    // hot-path overhead — bench_check gates it < 5% when host_cores
+    // suffices) and under a seeded chaos plan driving the full recovery
+    // machinery (recorded for the trajectory, not gated: the injected
+    // schedule's cost is by design). Recoverable faults never change the
+    // answer, so all three checksums must agree.
+    let (retry_storm_off_ns, storm_off_check) =
+        time_min(|| run_retry_storm(&cat, &plan, &graph, false))?;
+    let (retry_storm_chaos_ns, storm_chaos_check) =
+        time_min(|| run_retry_storm(&cat, &plan, &graph, true))?;
+    assert_eq!(
+        storm_off_check, par_check,
+        "retry_storm: disabled hooks changed results"
+    );
+    assert_eq!(
+        storm_chaos_check, par_check,
+        "retry_storm: recoverable chaos changed results"
+    );
+    let retry_storm_overhead = retry_storm_off_ns as f64 / parallel_4w_ns.max(1) as f64;
+
     // Exchange payload accounting (not timed): what one dict-column stream
     // puts on the wire vs the plain-page and decoded alternatives. CI gates
     // on the wire payload beating plain and halving the decoded bytes.
@@ -215,7 +242,7 @@ fn main() -> Result<()> {
     let (int_encoded_bytes, int_plain_bytes) = int_codec_accounting(&sorted_int_batch(ROWS))?;
 
     let mut json = String::from("{\n");
-    json.push_str("  \"schema_version\": 5,\n");
+    json.push_str("  \"schema_version\": 6,\n");
     json.push_str(&format!("  \"rows\": {ROWS},\n"));
     json.push_str(&format!("  \"cardinality\": {CARDINALITY},\n"));
     json.push_str(&format!("  \"parallel_sim_ns\": {parallel_sim_ns},\n"));
@@ -236,6 +263,15 @@ fn main() -> Result<()> {
     json.push_str(&format!("  \"pool_warm_ns\": {pool_warm_ns},\n"));
     json.push_str(&format!(
         "  \"pool_reuse_speedup\": {pool_reuse_speedup:.2},\n"
+    ));
+    json.push_str(&format!(
+        "  \"retry_storm_off_ns\": {retry_storm_off_ns},\n"
+    ));
+    json.push_str(&format!(
+        "  \"retry_storm_chaos_ns\": {retry_storm_chaos_ns},\n"
+    ));
+    json.push_str(&format!(
+        "  \"retry_storm_overhead\": {retry_storm_overhead:.2},\n"
     ));
     json.push_str(&format!("  \"exchange_wire_bytes\": {wire_bytes},\n"));
     json.push_str(&format!("  \"exchange_plain_bytes\": {plain_bytes},\n"));
@@ -299,6 +335,12 @@ fn main() -> Result<()> {
         pool_cold_ns as f64 / 1e6,
         pool_warm_ns as f64 / 1e6,
         pool_reuse_speedup
+    );
+    println!(
+        "retry storm: hooks off {:.2} ms ({:.2}x of plain scan-join) vs chaos {:.2} ms",
+        retry_storm_off_ns as f64 / 1e6,
+        retry_storm_overhead,
+        retry_storm_chaos_ns as f64 / 1e6,
     );
     println!(
         "sorted-int pages: FoR/Delta {:.1} KB vs plain {:.1} KB ({:.2}x smaller)",

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use ci_catalog::Catalog;
 use ci_exec::operators::{AggregateState, JoinHashTable};
-use ci_exec::{ExecutionConfig, ExecutionMode, Executor, NoScaling, WorkerPool};
+use ci_exec::{ExecutionConfig, ExecutionMode, Executor, FaultPlan, NoScaling, WorkerPool};
 use ci_plan::expr::{AggExpr, BinOp, ColMap, PlanExpr};
 use ci_plan::physical::PhysicalPlan;
 use ci_plan::pipeline::PipelineGraph;
@@ -470,6 +470,46 @@ pub fn run_pool_reuse(
     Ok(out.metrics.result_rows as usize + (actual % 100_003) as usize)
 }
 
+/// Seed for the chaos arm of [`run_retry_storm`] — fixed so the injected
+/// schedule (and therefore the recorded chaos timing) is reproducible.
+pub const RETRY_STORM_SEED: u64 = 42;
+
+/// Retry-storm kernel: the scan-filter-join plan at [`PARALLEL_WORKERS`]
+/// with the fault hooks either explicitly disabled (`chaos` unset —
+/// `faults: None` overrides any ambient `CI_FAULT_MODE`, making this arm
+/// identical work to [`run_parallel_scan_join`]) or driving the full
+/// recovery machinery under `FaultPlan::chaos` (`chaos` set: transient
+/// fetch retries, hedged stragglers, morsel reassignment). Recoverable
+/// faults never change the answer, so both arms return the same checksum;
+/// the hooks-disabled timing against the plain scan-join timing pins the
+/// dormant fault machinery's overhead on the hot path.
+pub fn run_retry_storm(
+    cat: &Catalog,
+    plan: &PhysicalPlan,
+    graph: &PipelineGraph,
+    chaos: bool,
+) -> Result<usize> {
+    let faults = if chaos {
+        Some(FaultPlan::chaos(RETRY_STORM_SEED))
+    } else {
+        None
+    };
+    let exec = Executor::new(
+        cat,
+        ExecutionConfig {
+            morsel_rows: 4_096,
+            mode: ExecutionMode::Parallel {
+                workers: PARALLEL_WORKERS,
+            },
+            faults,
+            ..ExecutionConfig::default()
+        },
+    );
+    let out = exec.execute(plan, graph, &vec![4; graph.len()], &mut NoScaling)?;
+    let actual: u64 = out.metrics.node_actual_rows.iter().sum();
+    Ok(out.metrics.result_rows as usize + (actual % 100_003) as usize)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -562,6 +602,22 @@ mod tests {
             run_pool_reuse(&cat, &plan, &graph, true).unwrap(),
             run_pool_reuse(&cat, &plan, &graph, false).unwrap(),
             "warm and cold pools must produce identical checksums"
+        );
+    }
+
+    #[test]
+    fn retry_storm_kernel_checksum_is_fault_independent() {
+        let (cat, plan, graph) = parallel_fixture(30_000).unwrap();
+        let sim = run_parallel_scan_join(&cat, &plan, &graph, ExecutionMode::Simulate).unwrap();
+        assert_eq!(
+            run_retry_storm(&cat, &plan, &graph, false).unwrap(),
+            sim,
+            "hooks-disabled retry storm must match the plain scan-join checksum"
+        );
+        assert_eq!(
+            run_retry_storm(&cat, &plan, &graph, true).unwrap(),
+            sim,
+            "recoverable chaos must not change the scan-join checksum"
         );
     }
 

@@ -28,7 +28,7 @@ pub struct BenchEntry {
 /// The parsed report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
-    /// Report format version; this reader understands version 5.
+    /// Report format version; this reader understands version 6.
     pub schema_version: u64,
     /// Fixture rows per batch.
     pub rows: u64,
@@ -66,6 +66,20 @@ pub struct BenchReport {
     /// `pool_cold_ns / pool_warm_ns`. Consistency-checked but not gated:
     /// thread spawn cost is too host-dependent for a ratio floor.
     pub pool_reuse_speedup: f64,
+    /// The scan-join plan at `parallel_workers` with the fault hooks
+    /// explicitly disabled — identical work to `parallel_4w_ns`, so the
+    /// ratio between the two is the dormant fault machinery's hot-path
+    /// overhead. Gated `< 1.05` only when `host_cores >=
+    /// parallel_workers` (starved hosts time too noisily for a 5% bound).
+    pub retry_storm_off_ns: u64,
+    /// The same plan under a seeded chaos `FaultPlan` driving the full
+    /// recovery machinery (retries, hedges, morsel reassignment). Recorded
+    /// for the trajectory, not gated: the injected schedule's cost is by
+    /// design.
+    pub retry_storm_chaos_ns: u64,
+    /// `retry_storm_off_ns / parallel_4w_ns`. Consistency-checked against
+    /// the durations and gated by the `< 1.05` rule above.
+    pub retry_storm_overhead: f64,
     /// Wire-format bytes of the dict-column exchange stream (bit-packed ids
     /// plus a one-time dictionary).
     pub exchange_wire_bytes: u64,
@@ -99,7 +113,7 @@ impl BenchReport {
     /// Parses a `BENCH_micro.json` document.
     pub fn parse(json: &str) -> Result<BenchReport> {
         let schema_version = int_field(json, "schema_version")?;
-        if schema_version != 5 {
+        if schema_version != 6 {
             return Err(CiError::Config(format!(
                 "unsupported BENCH_micro schema_version {schema_version}"
             )));
@@ -117,6 +131,9 @@ impl BenchReport {
         let pool_cold_ns = int_field(json, "pool_cold_ns")?;
         let pool_warm_ns = int_field(json, "pool_warm_ns")?;
         let pool_reuse_speedup = float_field(json, "pool_reuse_speedup")?;
+        let retry_storm_off_ns = int_field(json, "retry_storm_off_ns")?;
+        let retry_storm_chaos_ns = int_field(json, "retry_storm_chaos_ns")?;
+        let retry_storm_overhead = float_field(json, "retry_storm_overhead")?;
         let exchange_wire_bytes = int_field(json, "exchange_wire_bytes")?;
         let exchange_plain_bytes = int_field(json, "exchange_plain_bytes")?;
         let exchange_decoded_bytes = int_field(json, "exchange_decoded_bytes")?;
@@ -149,6 +166,9 @@ impl BenchReport {
             pool_cold_ns,
             pool_warm_ns,
             pool_reuse_speedup,
+            retry_storm_off_ns,
+            retry_storm_chaos_ns,
+            retry_storm_overhead,
             exchange_wire_bytes,
             exchange_plain_bytes,
             exchange_decoded_bytes,
@@ -240,6 +260,32 @@ impl BenchReport {
                 ));
             }
         }
+        if self.retry_storm_off_ns == 0
+            || self.retry_storm_chaos_ns == 0
+            || self.retry_storm_overhead <= 0.0
+        {
+            out.push("retry-storm measurement missing or zero".into());
+        } else if self.parallel_4w_ns != 0 {
+            let recomputed = self.retry_storm_off_ns as f64 / self.parallel_4w_ns as f64;
+            if (recomputed - self.retry_storm_overhead).abs() > 0.011 * recomputed.max(1.0) {
+                out.push(format!(
+                    "recorded retry_storm_overhead {:.2} inconsistent with durations \
+                     ({recomputed:.2})",
+                    self.retry_storm_overhead
+                ));
+            }
+            // Same policy as the scan-join gate: a starved host times the
+            // two arms too noisily to certify a 5% bound.
+            if self.host_cores >= self.parallel_workers && recomputed >= 1.05 {
+                out.push(format!(
+                    "disabled fault hooks cost {:.1}% on the parallel scan-join \
+                     (retry_storm_off {} ns vs parallel {} ns; must stay < 5%)",
+                    (recomputed - 1.0) * 100.0,
+                    self.retry_storm_off_ns,
+                    self.parallel_4w_ns
+                ));
+            }
+        }
         if self.int_encoded_bytes == 0 {
             out.push("int_encoded_bytes is zero — no sorted-int pages recorded".into());
         } else if self.int_plain_bytes < 4 * self.int_encoded_bytes {
@@ -287,6 +333,11 @@ impl BenchReport {
                 "gate skipped: partial_agg_speedup >= 2.0 ({} host cores < {} workers; \
                  recorded {:.2})",
                 self.host_cores, self.parallel_workers, self.partial_agg_speedup
+            ));
+            out.push(format!(
+                "gate skipped: retry_storm_overhead < 1.05 ({} host cores < {} workers; \
+                 recorded {:.2})",
+                self.host_cores, self.parallel_workers, self.retry_storm_overhead
             ));
         }
         out
@@ -361,7 +412,7 @@ mod tests {
     fn sample(speedup: &str) -> String {
         format!(
             r#"{{
-  "schema_version": 5,
+  "schema_version": 6,
   "rows": 1000,
   "cardinality": 10,
   "parallel_sim_ns": 3000,
@@ -375,6 +426,9 @@ mod tests {
   "pool_cold_ns": 4000,
   "pool_warm_ns": 2000,
   "pool_reuse_speedup": 2.00,
+  "retry_storm_off_ns": 1020,
+  "retry_storm_chaos_ns": 5000,
+  "retry_storm_overhead": 1.02,
   "exchange_wire_bytes": 400,
   "exchange_plain_bytes": 1100,
   "exchange_decoded_bytes": 1000,
@@ -398,7 +452,7 @@ mod tests {
     #[test]
     fn parses_the_writer_format() {
         let r = BenchReport::parse(&sample("2.50")).unwrap();
-        assert_eq!(r.schema_version, 5);
+        assert_eq!(r.schema_version, 6);
         assert_eq!(r.rows, 1000);
         assert_eq!(r.parallel_sim_ns, 3000);
         assert_eq!(r.parallel_4w_ns, 1000);
@@ -416,6 +470,9 @@ mod tests {
         assert_eq!(r.pool_cold_ns, 4000);
         assert_eq!(r.pool_warm_ns, 2000);
         assert!((r.pool_reuse_speedup - 2.0).abs() < 1e-9);
+        assert_eq!(r.retry_storm_off_ns, 1020);
+        assert_eq!(r.retry_storm_chaos_ns, 5000);
+        assert!((r.retry_storm_overhead - 1.02).abs() < 1e-9);
         assert_eq!(r.exchange_wire_bytes, 400);
         assert_eq!(r.exchange_plain_bytes, 1100);
         assert_eq!(r.exchange_decoded_bytes, 1000);
@@ -481,10 +538,16 @@ mod tests {
 
     #[test]
     fn parallel_speedup_gates() {
-        // Below 1.5 with enough cores: the runtime stopped scaling.
+        // Below 1.5 with enough cores: the runtime stopped scaling. The
+        // retry-storm overhead is a ratio over parallel_4w_ns, so it must
+        // track the changed duration to stay consistent.
         let slow = sample("2.00")
             .replace("\"parallel_4w_ns\": 1000", "\"parallel_4w_ns\": 2500")
-            .replace("\"parallel_speedup\": 3.00", "\"parallel_speedup\": 1.20");
+            .replace("\"parallel_speedup\": 3.00", "\"parallel_speedup\": 1.20")
+            .replace(
+                "\"retry_storm_overhead\": 1.02",
+                "\"retry_storm_overhead\": 0.41",
+            );
         let v = BenchReport::parse(&slow).unwrap().violations();
         assert!(v.iter().any(|m| m.contains("speedup 1.20 < 1.5")), "{v:?}");
         // The same ratio on a starved host is not a violation.
@@ -596,16 +659,65 @@ mod tests {
     }
 
     #[test]
+    fn retry_storm_overhead_gates() {
+        // Disabled hooks costing >= 5% over the plain scan-join: the fault
+        // machinery slowed the hot path.
+        let slow = sample("2.00")
+            .replace(
+                "\"retry_storm_off_ns\": 1020",
+                "\"retry_storm_off_ns\": 1200",
+            )
+            .replace(
+                "\"retry_storm_overhead\": 1.02",
+                "\"retry_storm_overhead\": 1.20",
+            );
+        let v = BenchReport::parse(&slow).unwrap().violations();
+        assert!(
+            v.iter().any(|m| m.contains("disabled fault hooks cost")),
+            "{v:?}"
+        );
+        // The same ratio on a starved host is not a violation.
+        let starved = slow.replace("\"host_cores\": 8", "\"host_cores\": 1");
+        let v = BenchReport::parse(&starved).unwrap().violations();
+        assert!(v.is_empty(), "{v:?}");
+        // A recorded ratio inconsistent with the durations is flagged.
+        let fudged = sample("2.00").replace(
+            "\"retry_storm_overhead\": 1.02",
+            "\"retry_storm_overhead\": 3.00",
+        );
+        let v = BenchReport::parse(&fudged).unwrap().violations();
+        assert!(
+            v.iter()
+                .any(|m| m.contains("retry_storm_overhead 3.00 inconsistent")),
+            "{v:?}"
+        );
+        // Zero durations mean the writer recorded nothing.
+        let zero = sample("2.00").replace(
+            "\"retry_storm_chaos_ns\": 5000",
+            "\"retry_storm_chaos_ns\": 0",
+        );
+        let v = BenchReport::parse(&zero).unwrap().violations();
+        assert!(
+            v.iter()
+                .any(|m| m.contains("retry-storm measurement missing")),
+            "{v:?}"
+        );
+        // A v6 document must carry the retry-storm fields at all.
+        let missing = sample("2.00").replace("\"retry_storm_off_ns\"", "\"other\"");
+        assert!(BenchReport::parse(&missing).is_err());
+    }
+
+    #[test]
     fn starved_host_skips_are_reported_explicitly() {
         // Enough cores: nothing is skipped.
         let r = BenchReport::parse(&sample("2.00")).unwrap();
         assert!(r.gate_skips().is_empty(), "{:?}", r.gate_skips());
-        // A starved host skips both core-count-conditional gates, and says
+        // A starved host skips every core-count-conditional gate, and says
         // so — one line per gate, naming the cores-vs-workers reason.
         let starved = sample("2.00").replace("\"host_cores\": 8", "\"host_cores\": 1");
         let r = BenchReport::parse(&starved).unwrap();
         let skips = r.gate_skips();
-        assert_eq!(skips.len(), 2, "{skips:?}");
+        assert_eq!(skips.len(), 3, "{skips:?}");
         assert!(
             skips[0].contains("gate skipped: parallel_speedup >= 1.5")
                 && skips[0].contains("1 host cores < 4 workers"),
@@ -614,6 +726,11 @@ mod tests {
         assert!(
             skips[1].contains("gate skipped: partial_agg_speedup >= 2.0")
                 && skips[1].contains("1 host cores < 4 workers"),
+            "{skips:?}"
+        );
+        assert!(
+            skips[2].contains("gate skipped: retry_storm_overhead < 1.05")
+                && skips[2].contains("1 host cores < 4 workers"),
             "{skips:?}"
         );
         // Skipped gates still leave the consistency checks binding.
@@ -650,7 +767,7 @@ mod tests {
     fn malformed_documents_error() {
         assert!(BenchReport::parse("{}").is_err());
         let wrong_version =
-            sample("2.00").replace("\"schema_version\": 5", "\"schema_version\": 9");
+            sample("2.00").replace("\"schema_version\": 6", "\"schema_version\": 9");
         assert!(BenchReport::parse(&wrong_version).is_err());
         let missing_field = sample("2.00").replace("\"dict_ns\"", "\"other\"");
         assert!(BenchReport::parse(&missing_field).is_err());

@@ -11,7 +11,10 @@
 //! * machine-time billing — blocked nodes still bill, per §3.1 ([`billing`]),
 //! * the network fabric whose sub-linear bisection scaling creates the
 //!   exchange-operator knee the paper argues about ([`network`]),
-//! * object-store scan bandwidth ([`objectstore`]).
+//! * object-store scan bandwidth ([`objectstore`]),
+//! * deterministic fault injection — transient fetch failures and
+//!   throttling, straggler slowdowns, worker preemption — with per-morsel
+//!   draws that are pure in `(seed, pipeline, morsel)` ([`faults`]).
 //!
 //! All models are pure functions of explicit parameters plus virtual time
 //! ([`ci_types::SimTime`]); the discrete-event clock itself lives in the
@@ -19,6 +22,7 @@
 
 pub mod billing;
 pub mod cluster;
+pub mod faults;
 pub mod network;
 pub mod node;
 pub mod objectstore;
@@ -27,6 +31,7 @@ pub mod work;
 
 pub use billing::BillingMeter;
 pub use cluster::{Acquisition, ClusterManager};
+pub use faults::{FaultInjector, FaultPlan, FaultProfile, MorselFaults};
 pub use network::NetworkModel;
 pub use node::{HardwareProfile, NodeType};
 pub use objectstore::ObjectStoreModel;

@@ -153,6 +153,141 @@ impl MeasuredRates {
         self.rates.keys().map(String::as_str)
     }
 
+    /// Serializes the collector to a JSON object mapping each operator
+    /// class to its raw per-sample rates (`{"filter":[1e9,5e8],...}`).
+    /// Hand-rolled (the workspace has no serde); keys emit in `BTreeMap`
+    /// order, so equal collectors serialize identically — a calibration run
+    /// can be persisted and diffed. Rates are written with Rust's shortest
+    /// round-trip float formatting, so [`MeasuredRates::from_json`] restores
+    /// the collector bit-for-bit.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (op, rates)) in self.rates.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // Op names come from a fixed set of identifiers; escape the two
+            // JSON-significant characters anyway so the writer is total.
+            out.push('"');
+            for c in op.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    _ => out.push(c),
+                }
+            }
+            out.push_str("\":[");
+            for (j, r) in rates.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{r:?}"));
+            }
+            out.push(']');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses the [`MeasuredRates::to_json`] format back into a collector.
+    /// Strict: malformed JSON, duplicate keys, and non-finite or
+    /// non-positive rates are errors — a corrupted calibration file must
+    /// not silently seed the estimator with garbage.
+    pub fn from_json(s: &str) -> Result<MeasuredRates> {
+        let bad = |what: &str| CiError::Config(format!("measured-rates json: {what}"));
+        let mut chars = s.char_indices().peekable();
+        let skip_ws = |chars: &mut std::iter::Peekable<std::str::CharIndices>| {
+            while matches!(chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+                chars.next();
+            }
+        };
+        skip_ws(&mut chars);
+        if !matches!(chars.next(), Some((_, '{'))) {
+            return Err(bad("expected '{'"));
+        }
+        let mut rates: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        skip_ws(&mut chars);
+        if matches!(chars.peek(), Some((_, '}'))) {
+            chars.next();
+        } else {
+            loop {
+                skip_ws(&mut chars);
+                if !matches!(chars.next(), Some((_, '"'))) {
+                    return Err(bad("expected key string"));
+                }
+                let mut key = String::new();
+                loop {
+                    match chars.next() {
+                        Some((_, '"')) => break,
+                        Some((_, '\\')) => match chars.next() {
+                            Some((_, c @ ('"' | '\\'))) => key.push(c),
+                            _ => return Err(bad("unsupported escape in key")),
+                        },
+                        Some((_, c)) => key.push(c),
+                        None => return Err(bad("unterminated key")),
+                    }
+                }
+                skip_ws(&mut chars);
+                if !matches!(chars.next(), Some((_, ':'))) {
+                    return Err(bad("expected ':'"));
+                }
+                skip_ws(&mut chars);
+                if !matches!(chars.next(), Some((_, '['))) {
+                    return Err(bad("expected '['"));
+                }
+                let mut vals = Vec::new();
+                skip_ws(&mut chars);
+                if matches!(chars.peek(), Some((_, ']'))) {
+                    chars.next();
+                } else {
+                    loop {
+                        skip_ws(&mut chars);
+                        let start = match chars.peek() {
+                            Some(&(i, _)) => i,
+                            None => return Err(bad("unterminated array")),
+                        };
+                        let mut end = start;
+                        while matches!(
+                            chars.peek(),
+                            Some((_, c)) if c.is_ascii_digit()
+                                || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+                        ) {
+                            let (i, c) = chars.next().expect("peeked");
+                            end = i + c.len_utf8();
+                        }
+                        let v: f64 = s[start..end]
+                            .parse()
+                            .map_err(|_| bad("unparsable number"))?;
+                        if !v.is_finite() || v <= 0.0 {
+                            return Err(bad("rate must be finite and positive"));
+                        }
+                        vals.push(v);
+                        skip_ws(&mut chars);
+                        match chars.next() {
+                            Some((_, ',')) => continue,
+                            Some((_, ']')) => break,
+                            _ => return Err(bad("expected ',' or ']'")),
+                        }
+                    }
+                }
+                if rates.insert(key, vals).is_some() {
+                    return Err(bad("duplicate operator key"));
+                }
+                skip_ws(&mut chars);
+                match chars.next() {
+                    Some((_, ',')) => continue,
+                    Some((_, '}')) => break,
+                    _ => return Err(bad("expected ',' or '}'")),
+                }
+            }
+        }
+        skip_ws(&mut chars);
+        if chars.next().is_some() {
+            return Err(bad("trailing characters"));
+        }
+        Ok(MeasuredRates { rates })
+    }
+
     /// A copy of `base` with every measured per-core compute rate replaced
     /// by its aggregate. Classes without samples keep the base calibration —
     /// seeding is incremental, one workload need not exercise every kernel.
@@ -334,6 +469,51 @@ mod tests {
         assert_eq!(seeded.store, base.store);
         // Faster measured probe rate means less probe time.
         assert!(seeded.probe_secs(1e6) < base.probe_secs(1e6));
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut r = MeasuredRates::new();
+        r.record("filter", 1000.0, 1_000);
+        r.record("filter", 1000.0, 3_000); // non-terminating decimal rate
+        r.record("probe", 1_000_000.0, 1_234_567);
+        r.record("sort", 64_000.0, 7);
+        let json = r.to_json();
+        let back = MeasuredRates::from_json(&json).unwrap();
+        assert_eq!(back, r, "shortest float formatting must round-trip bits");
+        assert_eq!(back.to_json(), json);
+        assert_eq!(back.rate("filter"), r.rate("filter"));
+
+        // Empty collector round-trips too.
+        let empty = MeasuredRates::new();
+        assert_eq!(empty.to_json(), "{}");
+        assert_eq!(MeasuredRates::from_json("{}").unwrap(), empty);
+        // Whitespace tolerated on re-read.
+        let spaced = " { \"agg\" : [ 1.5 , 2.0 ] } ";
+        let m = MeasuredRates::from_json(spaced).unwrap();
+        assert_eq!(m.samples("agg"), 2);
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[]",
+            "{\"filter\":}",
+            "{\"filter\":[1.0}",
+            "{\"filter\":[1.0],}",
+            "{\"filter\":[nope]}",
+            "{\"filter\":[0.0]}",        // non-positive rate
+            "{\"filter\":[-1.0]}",       // negative rate
+            "{\"a\":[1.0],\"a\":[2.0]}", // duplicate key
+            "{} trailing",
+        ] {
+            assert!(
+                MeasuredRates::from_json(bad).is_err(),
+                "should reject: {bad}"
+            );
+        }
     }
 
     #[test]

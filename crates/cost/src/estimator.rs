@@ -1,6 +1,7 @@
 //! Per-operator scalability models and the query-level simulator.
 
 use ci_catalog::Catalog;
+use ci_cloud::faults::FaultProfile;
 use ci_cloud::work::WorkModels;
 use ci_plan::physical::{PhysicalOp, PhysicalPlan};
 use ci_plan::pipeline::{Pipeline, PipelineGraph, SinkKind};
@@ -21,6 +22,13 @@ pub struct EstimatorConfig {
     pub resize_latency: SimDuration,
     /// Morsel split size (for overhead estimation).
     pub morsel_rows: usize,
+    /// Fault rates of the priced tier, if any. When set, every pipeline
+    /// duration carries a *failure tax*: the expected recovery time of
+    /// retries, throttles, stragglers/hedges, and preemption re-runs, in
+    /// the same taxonomy the engine bills (`ci_cloud::faults`). This is
+    /// what lets the what-if service price "cheaper but flakier" against
+    /// "pricier but reliable" tiers. `None` prices a fault-free tier.
+    pub fault_profile: Option<FaultProfile>,
 }
 
 impl Default for EstimatorConfig {
@@ -30,6 +38,7 @@ impl Default for EstimatorConfig {
             rate: DollarsPerSecond::per_hour(2.0),
             resize_latency: SimDuration::from_millis(500),
             morsel_rows: 65_536,
+            fault_profile: None,
         }
     }
 }
@@ -225,13 +234,15 @@ impl<'a> CostEstimator<'a> {
     /// The parallel work terms divide by `dop`; serial terms (gather
     /// receive, sort merge span, per-node startup) do not. Morsel-ceiling
     /// effects are deliberately not modeled (a known, explainable error
-    /// source the run-time monitor absorbs; calibration shrinks it).
+    /// source the run-time monitor absorbs; calibration shrinks it). With
+    /// [`EstimatorConfig::fault_profile`] set, a failure-tax term adds the
+    /// expected recovery time of the tier's fault rates.
     pub fn pipeline_duration(&self, w: &PipelineWork, dop: u32) -> SimDuration {
         let m = &self.config.models;
         let d = dop.max(1);
-        let parallel_secs = w.fetch_objects * m.store.request_latency_secs
-            + w.fetch_bytes / m.store.per_node_bw(d)
-            + m.scan_decode_secs(w.decode_bytes)
+        let fetch_secs =
+            w.fetch_objects * m.store.request_latency_secs + w.fetch_bytes / m.store.per_node_bw(d);
+        let compute_secs = m.scan_decode_secs(w.decode_bytes)
             + m.filter_secs(w.filter_rows)
             + m.exchange_cpu_secs(w.exchange_rows)
             + m.exchange_wire_secs(w.exchange_bytes, d)
@@ -241,6 +252,22 @@ impl<'a> CostEstimator<'a> {
             + m.agg_update_secs(w.agg_rows)
             + m.filter_secs(w.sink_copy_rows)
             + w.morsels * m.morsel_overhead_secs();
+        // Failure tax: expected recovery seconds under the priced tier's
+        // fault profile, term-for-term with the engine's billing —
+        // re-billed fetches + backoff, throttle penalties, straggler excess
+        // (hedged past the threshold), and preemption re-runs (expected
+        // half-morsel wasted plus the re-fetch).
+        let failure_secs = match &self.config.fault_profile {
+            None => 0.0,
+            Some(fp) => {
+                fetch_secs * fp.expected_fetch_overhead_factor()
+                    + w.morsels * (fp.expected_backoff_secs() + fp.expected_throttle_secs())
+                    + compute_secs * fp.expected_straggler_overhead_factor()
+                    + (fetch_secs + compute_secs) * fp.expected_loss_overhead_factor()
+                    + fetch_secs * fp.worker_loss_rate.clamp(0.0, 1.0)
+            }
+        };
+        let parallel_secs = fetch_secs + compute_secs + failure_secs;
         let mut serial_secs = m.pipeline_startup_secs()
             + m.gather_secs(w.gather_bytes, d)
             + m.sort_finalize_secs(w.sort_rows, d)
@@ -608,6 +635,45 @@ mod tests {
             .estimate(&plan, &graph, &dops)
             .unwrap();
         assert_eq!(q_idle.latency, baseline.latency);
+    }
+
+    #[test]
+    fn failure_tax_prices_flaky_tiers_higher() {
+        use ci_cloud::faults::FaultProfile;
+        let cat = catalog();
+        let (plan, graph) = planned(&cat, "SELECT grp, COUNT(*) FROM facts GROUP BY grp");
+        let dops = vec![2u32; graph.len()];
+        let priced = |profile: Option<FaultProfile>| {
+            let cfg = EstimatorConfig {
+                fault_profile: profile,
+                ..EstimatorConfig::default()
+            };
+            CostEstimator::new(&cat, cfg)
+                .estimate(&plan, &graph, &dops)
+                .unwrap()
+        };
+
+        let reliable = priced(None);
+        // A quiet profile is a no-op tax: same price as no profile at all.
+        let quiet = priced(Some(FaultProfile::none()));
+        assert_eq!(quiet.latency, reliable.latency);
+        assert_eq!(quiet.cost, reliable.cost);
+
+        // Light faults cost real (expected) money…
+        let light = priced(Some(FaultProfile::light()));
+        assert!(light.latency > reliable.latency);
+        assert!(light.cost.amount() > reliable.cost.amount());
+
+        // …and a flakier tier prices strictly above a lighter one, which is
+        // the comparison the what-if service makes.
+        let mut storm = FaultProfile::light();
+        storm.fetch_failure_rate = 0.5;
+        storm.straggler_rate = 0.4;
+        storm.worker_loss_rate = 0.2;
+        storm.throttle_rate = 0.3;
+        let stormy = priced(Some(storm));
+        assert!(stormy.latency > light.latency);
+        assert!(stormy.cost.amount() > light.cost.amount());
     }
 
     #[test]

@@ -25,4 +25,7 @@ pub mod calibration;
 pub mod estimator;
 
 pub use calibration::{Calibration, MeasuredRates};
+/// Re-exported so estimator clients can configure the failure tax without
+/// depending on `ci-cloud` directly.
+pub use ci_cloud::faults::FaultProfile;
 pub use estimator::{CostEstimator, EstimatorConfig, PipelineWork, QueryEstimate};

@@ -70,6 +70,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ci_catalog::Catalog;
+use ci_cloud::faults::FaultPlan;
 use ci_cloud::work::WorkModels;
 use ci_plan::expr::{ColMap, PlanExpr};
 use ci_plan::physical::{PhysicalOp, PhysicalPlan};
@@ -176,6 +177,14 @@ pub struct ExecutionConfig {
     /// count; set an owned pool to control thread lifetime explicitly
     /// (benchmarks pin cold-start costs this way).
     pub pool: Option<Arc<WorkerPool>>,
+    /// Deterministic fault injection (`None` = fault-free; defaults from
+    /// `CI_FAULT_MODE`, see [`FaultPlan::from_env`]). Fault draws are pure
+    /// in `(seed, pipeline, morsel)`, recovery is billed in the accounting
+    /// phase, and the data path never sees a fault — so for a fixed plan
+    /// the Dollars bill is bit-identical across runs and modes while result
+    /// rows stay bit-identical to the fault-free run. Unrecoverable
+    /// schedules surface [`CiError::Fault`] instead of hanging.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ExecutionConfig {
@@ -191,6 +200,7 @@ impl Default for ExecutionConfig {
             partial_agg: true,
             fetch_roundtrip: false,
             pool: None,
+            faults: FaultPlan::from_env(),
         }
     }
 }
@@ -338,6 +348,52 @@ pub(crate) struct ChainCtx {
     /// Record wall-clock [`OpSample`]s (parallel mode only — the simulator
     /// reports 0 measured time by contract).
     measure: bool,
+    /// Containment-testing trap: compute panics on a morsel with exactly
+    /// this many source rows. Always `None` in the engine; pool tests set
+    /// it to prove a panicking operator cannot wedge `done_cv`.
+    pub(crate) panic_trap: Option<u64>,
+}
+
+#[cfg(test)]
+impl ChainCtx {
+    /// Minimal pass-through context for pool tests: no steps, no scan
+    /// semantics, so `process_morsel` returns the batch as `Tail::Done` —
+    /// unless `panic_trap` matches the morsel's row count.
+    pub(crate) fn test_passthrough(panic_trap: Option<u64>) -> ChainCtx {
+        ChainCtx {
+            steps: Vec::new(),
+            src_is_scan: false,
+            src_filter: None,
+            src_map: ColMap::from_slots(&[]),
+            states: HashMap::new(),
+            measure: false,
+            panic_trap,
+        }
+    }
+}
+
+#[cfg(test)]
+impl Morsel {
+    /// Memory-resident test morsel (no fetch bytes, no encoded pages).
+    pub(crate) fn test_from_batch(batch: RecordBatch) -> Morsel {
+        Morsel {
+            batch,
+            fetch_bytes: 0.0,
+            decode_bytes: 0.0,
+            pages: None,
+        }
+    }
+}
+
+#[cfg(test)]
+impl MorselTrace {
+    /// Rows carried by a completed trace's tail batch (test observability).
+    pub(crate) fn test_done_rows(&self) -> Option<u64> {
+        match &self.tail {
+            Tail::Done(b) => Some(b.rows() as u64),
+            _ => None,
+        }
+    }
 }
 
 /// Runs `f`, optionally timing it into `samples`/`wall_total` under the
@@ -398,6 +454,9 @@ impl ChainCtx {
         let mut samples = Vec::new();
         let mut wall_ns = 0u64;
         let source_rows = batch.rows() as u64;
+        if self.panic_trap == Some(source_rows) {
+            panic!("panic_trap: morsel with {source_rows} source rows");
+        }
         let mut src_post_rows = source_rows;
         if self.src_is_scan {
             if let Some(pred) = &self.src_filter {
@@ -1026,6 +1085,23 @@ impl<'a> Executor<'a> {
         let pool_workers = pool.map_or(0, |p| p.workers() as u32);
         let pool_reuses = pool.map_or(0, WorkerPool::jobs_completed);
         let mut agg_partials = 0u32;
+        // Fault schedule: per-morsel draws pure in (seed, pipeline, morsel),
+        // so Simulate, Parallel, and every worker count see the *same*
+        // schedule. Recovery is billed below in the accounting loop; the
+        // data path never observes a fault.
+        let injector = self
+            .config
+            .faults
+            .as_ref()
+            .filter(|f| !f.profile.is_quiet())
+            .map(FaultPlan::injector);
+        let fault_profile = injector.as_ref().map(|i| i.profile().clone());
+        let pipe_stream = p.id.index() as u64;
+        let mut fetch_retries = 0u32;
+        let mut hedged_morsels = 0u32;
+        let mut faults_injected = 0u32;
+        let mut retry_bytes = 0u64;
+        let mut recovery = SimDuration::ZERO;
 
         let morsels = Arc::new(morsels);
         let ctx = Arc::new(ChainCtx {
@@ -1035,6 +1111,7 @@ impl<'a> Executor<'a> {
             src_map,
             states: states.clone(),
             measure,
+            panic_trap: None,
         });
         let mut chunk_states: Vec<AggregateState> = Vec::new();
 
@@ -1083,16 +1160,57 @@ impl<'a> Executor<'a> {
                     .ok_or_else(|| CiError::Exec("no alive nodes".into()))?;
                 let assigned_at = slots[ni].free;
 
+                // Draw this morsel's faults up front: recovery decisions
+                // (reassign a preempted morsel, hedge a straggler) precede
+                // the charges they are billed under.
+                let faults = injector.as_ref().map(|inj| {
+                    inj.morsel_faults(
+                        pipe_stream,
+                        mi as u64,
+                        src_is_scan && morsel.fetch_bytes > 0.0,
+                    )
+                });
+                let (hedged, hedge_wins) = match (&faults, &fault_profile) {
+                    (Some(f), Some(prof)) => match f.straggler {
+                        // First-result-wins: the hedge replaces the
+                        // straggling attempt only when it strictly beats it;
+                        // on a tie the canonical attempt is kept.
+                        Some(s) if s >= prof.hedge_threshold => (true, prof.hedged_factor(s) < s),
+                        _ => (false, false),
+                    },
+                    _ => (false, false),
+                };
+                let worker_lost = faults.as_ref().is_some_and(|f| f.worker_lost.is_some());
+
                 let mut trace = match &mut pre {
                     None => ctx.process_morsel(morsel, Some(&mut limit_remaining))?,
                     Some(outputs) => {
-                        let t = match outputs[mi].take() {
-                            Some(r) => r?,
+                        let pooled = match outputs[mi].take() {
+                            Some(r) => r,
                             None => {
                                 return Err(CiError::Exec(format!(
                                     "morsel {mi} missing from worker pool output"
                                 )))
                             }
+                        };
+                        // Recovery re-execution (parallel mode only — the
+                        // simulator is single-threaded, so its recovery is
+                        // purely billed): a preempted worker's morsel is
+                        // reassigned and re-run on the driver; a winning
+                        // hedge's speculative duplicate replaces the
+                        // straggling attempt. Processing is pure, so the
+                        // replica is bit-identical to the attempt it
+                        // replaces — recovery changes the bill, never the
+                        // answer. Exception: on the partial-agg path the
+                        // morsel's rows were already folded into a worker
+                        // chunk state that merges wholesale at finalize, so
+                        // a driver re-run would double-count; recovery there
+                        // is billed only, like the simulator.
+                        let t = if agg_partials == 0 && (worker_lost || (hedged && hedge_wins)) {
+                            drop(pooled);
+                            ctx.process_morsel(morsel, None)?
+                        } else {
+                            pooled?
                         };
                         ctx.complete_trace(t, &mut limit_remaining)?
                     }
@@ -1103,11 +1221,15 @@ impl<'a> Executor<'a> {
                 samples.append(&mut trace.samples);
 
                 let mut secs = 0.0;
+                // Fetch time is billed apart from compute: retries and
+                // preemption re-runs repeat the *fetch*, not the whole
+                // morsel's CPU.
+                let mut fetch_secs = 0.0;
 
                 // Source costs: the fetch moves encoded bytes, the decode
                 // CPU expands them to the decoded payload.
                 if src_is_scan {
-                    secs += w.scan_fetch_secs(morsel.fetch_bytes, cur_dop);
+                    fetch_secs += w.scan_fetch_secs(morsel.fetch_bytes, cur_dop);
                     secs += w.scan_decode_secs(morsel.decode_bytes);
                     if ctx.src_filter.is_some() {
                         secs += w.filter_secs(trace.source_rows as f64);
@@ -1239,7 +1361,64 @@ impl<'a> Executor<'a> {
                     }
                 }
 
-                let span = SimDuration::from_secs_f64(secs + w.morsel_overhead_secs());
+                // Fault recovery charges. Everything here is billing: the
+                // rows were produced above from the canonical (or replayed —
+                // bit-identical) trace, so faults change the bill and the
+                // error path, never the answer.
+                let mut recovery_secs = 0.0;
+                if let (Some(f), Some(prof)) = (&faults, &fault_profile) {
+                    if !f.is_clean() {
+                        faults_injected += f.count();
+                    }
+                    // Transient fetch failures: each failed attempt is a
+                    // billed fetch plus exponential backoff, and the bytes
+                    // move again on the retry.
+                    for k in 0..f.fetch_failures {
+                        recovery_secs += fetch_secs + prof.backoff(k).as_secs_f64();
+                        retry_bytes += morsel.fetch_bytes as u64;
+                        fetch_retries += 1;
+                    }
+                    if f.fetch_permanent {
+                        // Retries exhausted on a fetch that will never
+                        // succeed. The bill above stands (the retries were
+                        // real machine time); the query dies with a typed
+                        // error rather than wrong rows or a hang.
+                        recovery += SimDuration::from_secs_f64(recovery_secs);
+                        return Err(CiError::Fault(format!(
+                            "pipeline {} morsel {mi}: object fetch still failing after {} retries",
+                            p.id.index(),
+                            prof.max_retries
+                        )));
+                    }
+                    // Throttling: the store accepted the request late.
+                    recovery_secs += f.throttles as f64 * prof.throttle_penalty.as_secs_f64();
+                    // Stragglers: below the hedge threshold the slow attempt
+                    // just runs to completion; at or above it a speculative
+                    // duplicate is launched once the straggler is detected,
+                    // the first result wins, and both attempts bill.
+                    if let Some(s) = f.straggler {
+                        if hedged {
+                            let eff = prof.hedged_factor(s);
+                            recovery_secs += secs * (eff - 1.0).max(0.0);
+                            recovery_secs += secs * (eff - prof.hedge_detect_frac).max(0.0);
+                            hedged_morsels += 1;
+                        } else {
+                            recovery_secs += secs * (s - 1.0).max(0.0);
+                        }
+                    }
+                    // Worker preemption: the fraction of the morsel done on
+                    // the lost worker is wasted, and the replacement re-runs
+                    // it from the top — including the fetch.
+                    if let Some(frac) = f.worker_lost {
+                        recovery_secs += (fetch_secs + secs) * frac + fetch_secs;
+                        retry_bytes += morsel.fetch_bytes as u64;
+                    }
+                    recovery += SimDuration::from_secs_f64(recovery_secs);
+                }
+
+                let span = SimDuration::from_secs_f64(
+                    fetch_secs + secs + recovery_secs + w.morsel_overhead_secs(),
+                );
                 slots[ni].free = assigned_at + span;
                 slots[ni].worked_until = Some(slots[ni].free);
                 busy += span;
@@ -1383,6 +1562,11 @@ impl<'a> Executor<'a> {
             pool_workers,
             pool_reuses,
             agg_partials,
+            fetch_retries,
+            hedged_morsels,
+            faults_injected,
+            recovery_wall_ns: recovery.as_micros().saturating_mul(1000),
+            retry_bytes,
         };
         Ok(PipelineRun {
             finish,

@@ -22,6 +22,14 @@
 //! Runtime adaptivity hooks ([`scaling::ScalingController`]) let the DOP
 //! monitor (crate `ci-monitor`) observe per-pipeline progress and resize
 //! mid-flight.
+//!
+//! Fault tolerance: a seeded [`ci_cloud::faults::FaultPlan`] (wired through
+//! [`engine::ExecutionConfig::faults`], or `CI_FAULT_MODE=chaos:<seed>`)
+//! injects transient fetch failures, throttling, stragglers, and worker
+//! preemption. The engine recovers with bounded-backoff retries, hedged
+//! re-execution of stragglers, and morsel reassignment — recoverable
+//! schedules reproduce the fault-free rows bit-for-bit, and every recovery
+//! second is billed into the cost accounting.
 
 pub mod engine;
 pub mod key;
@@ -30,6 +38,7 @@ pub mod operators;
 pub mod parallel;
 pub mod scaling;
 
+pub use ci_cloud::faults::{FaultInjector, FaultPlan, FaultProfile};
 pub use ci_cloud::work::WorkModels;
 pub use engine::{ExecutionConfig, ExecutionMode, Executor, QueryOutcome};
 pub use key::{DictKeyEntry, Key, KeyEncoder, KeyPart, MissPolicy};

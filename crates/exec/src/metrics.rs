@@ -69,6 +69,26 @@ pub struct PipelineMetrics {
     /// 0 when the sink is not an aggregation or took the trace-fold path
     /// (simulator mode, non-mergeable aggregates, `partial_agg` off).
     pub agg_partials: u32,
+    /// Object-store fetch retries billed for this pipeline (transient
+    /// failures, including the billed-but-doomed retries of a permanent
+    /// failure). Deterministic for a fixed fault plan, so — unlike
+    /// `measured_wall_ns` — part of the cross-mode equality contract.
+    pub fetch_retries: u32,
+    /// Morsels whose straggling attempt triggered a speculative hedge
+    /// (first result wins; the duplicate's work is billed).
+    pub hedged_morsels: u32,
+    /// Total injected fault events (failures, throttles, stragglers,
+    /// preemptions) this pipeline absorbed.
+    pub faults_injected: u32,
+    /// *Virtual* nanoseconds of recovery work billed to this pipeline:
+    /// retry backoff + re-fetches, throttle penalties, straggler excess,
+    /// hedge duplicates, and re-run preempted morsels. Sim-time (hence
+    /// deterministic and mode-identical), not wall-clock, despite the
+    /// `_ns` suffix it shares with the issue taxonomy.
+    pub recovery_wall_ns: u64,
+    /// Object-store bytes fetched *again* because of retries or preemption
+    /// re-runs — the re-billed portion of the fetch bill.
+    pub retry_bytes: u64,
 }
 
 impl PipelineMetrics {
@@ -170,6 +190,11 @@ mod tests {
             pool_workers: 0,
             pool_reuses: 0,
             agg_partials: 0,
+            fetch_retries: 0,
+            hedged_morsels: 0,
+            faults_injected: 0,
+            recovery_wall_ns: 0,
+            retry_bytes: 0,
         }
     }
 

@@ -42,11 +42,12 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 use ci_storage::RecordBatch;
-use ci_types::Result;
+use ci_types::{CiError, Result};
 
 use crate::engine::{ChainCtx, Morsel, MorselTrace};
 use crate::operators::AggregateState;
@@ -200,11 +201,33 @@ fn worker_loop(shared: Arc<PoolShared>) {
     }
 }
 
-/// Executes one claimed task and records its result under the lock.
+/// Runs one closure with panic containment: a panic anywhere in morsel
+/// processing (an operator bug, a poisoned input) becomes a per-morsel
+/// [`CiError::Exec`] instead of killing the worker thread mid-bookkeeping —
+/// which would leave `remaining` stuck above zero and wedge every driver
+/// parked on `done_cv`, poisoning the shared pool for all later queries.
+fn contained<T>(f: impl FnOnce() -> Result<T>) -> Result<T> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".to_string());
+            Err(CiError::Exec(format!("worker panicked: {msg}")))
+        }
+    }
+}
+
+/// Executes one claimed task and records its result under the lock. Every
+/// arm routes the actual processing through [`contained`], so the
+/// completion bookkeeping below it *always* runs — a lost worker's morsel
+/// surfaces as an error at its own output index, never as a hang.
 fn run_task(shared: &PoolShared, id: u64, ctx: &ChainCtx, morsels: &[Morsel], task: Task) {
     match task {
         Task::Fetch(idx) => {
-            let fetched = ctx.fetch_morsel(&morsels[idx]);
+            let fetched = contained(|| ctx.fetch_morsel(&morsels[idx]));
             let mut state = shared.state.lock().expect("pool lock");
             if let Some(job) = state.jobs.get_mut(&id) {
                 if let JobWork::Trace {
@@ -223,7 +246,7 @@ fn run_task(shared: &PoolShared, id: u64, ctx: &ChainCtx, morsels: &[Morsel], ta
             shared.work_cv.notify_all();
         }
         Task::Compute(idx, fetched) => {
-            let out = fetched.and_then(|batch| ctx.compute_morsel(batch, None));
+            let out = contained(|| fetched.and_then(|batch| ctx.compute_morsel(batch, None)));
             finish_unit(shared, id, |job| {
                 job.outputs[idx] = Some(out);
             });
@@ -236,7 +259,7 @@ fn run_task(shared: &PoolShared, id: u64, ctx: &ChainCtx, morsels: &[Morsel], ta
             let mut local = proto.fresh();
             let mut outs: Vec<(usize, Result<MorselTrace>)> = Vec::with_capacity(range.len());
             for i in range {
-                let r = ctx.process_morsel_partial(&morsels[i], &mut local);
+                let r = contained(|| ctx.process_morsel_partial(&morsels[i], &mut local));
                 let failed = r.is_err();
                 outs.push((i, r));
                 if failed {
@@ -504,5 +527,69 @@ mod tests {
         let pool = WorkerPool::new(2);
         assert_eq!(pool.jobs_completed(), 0);
         drop(pool); // joins both threads; hangs the test if shutdown is broken
+    }
+
+    use ci_storage::{ColumnData, Field, Schema};
+
+    /// A single-column Int64 batch with `rows` rows.
+    fn batch(rows: i64) -> RecordBatch {
+        let schema =
+            Arc::new(Schema::new(vec![Field::new("x", ci_storage::DataType::Int64)]).unwrap());
+        RecordBatch::new(schema, vec![ColumnData::Int64((0..rows).collect())]).unwrap()
+    }
+
+    fn morsels(row_counts: &[i64]) -> Arc<Vec<Morsel>> {
+        Arc::new(
+            row_counts
+                .iter()
+                .map(|&n| Morsel::test_from_batch(batch(n)))
+                .collect(),
+        )
+    }
+
+    /// A panicking operator must surface as a per-morsel error at its own
+    /// index — not kill the worker thread mid-bookkeeping and leave the
+    /// driver parked on `done_cv` forever. Before containment this test
+    /// hung.
+    #[test]
+    fn worker_panic_becomes_morsel_error_not_a_hang() {
+        let pool = WorkerPool::new(2);
+        let ctx = Arc::new(ChainCtx::test_passthrough(Some(3)));
+        let outs = pool.run_traces(ctx, morsels(&[5, 3, 7]));
+        assert_eq!(outs.len(), 3);
+        let rows: Vec<_> = outs
+            .iter()
+            .map(|o| o.as_ref().unwrap().as_ref().map(|t| t.test_done_rows()))
+            .collect();
+        assert_eq!(rows[0], Ok(Some(5)));
+        assert_eq!(rows[2], Ok(Some(7)));
+        let err = match outs[1].as_ref().unwrap() {
+            Ok(_) => panic!("trapped morsel should error"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), "exec");
+        assert!(
+            err.to_string().contains("panicked"),
+            "panic origin should survive into the error: {err}"
+        );
+    }
+
+    /// A panic in one job must not poison the pool for later jobs: the
+    /// worker thread survives (containment, not respawn), so a follow-up
+    /// job on the *same* pool completes normally.
+    #[test]
+    fn pool_survives_a_panicking_job() {
+        let pool = WorkerPool::new(2);
+        let trapped = Arc::new(ChainCtx::test_passthrough(Some(2)));
+        let outs = pool.run_traces(trapped, morsels(&[2, 2, 2, 2]));
+        assert!(outs.iter().all(|o| o.as_ref().unwrap().is_err()));
+
+        let clean = Arc::new(ChainCtx::test_passthrough(None));
+        let outs = pool.run_traces(clean, morsels(&[1, 2, 3, 4]));
+        for (i, o) in outs.iter().enumerate() {
+            let t = o.as_ref().unwrap().as_ref().unwrap();
+            assert_eq!(t.test_done_rows(), Some(i as u64 + 1));
+        }
+        assert_eq!(pool.jobs_completed(), 2);
     }
 }

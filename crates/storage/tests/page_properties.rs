@@ -249,6 +249,56 @@ proptest! {
             prop_assert!(rx.decode_column(&blob[..at]).is_err());
         }
     }
+
+    /// Int frame streams get the same guarantee: the first transfer of an
+    /// `Int64` column carries its FoR/Delta frame, the repeat transfer is a
+    /// `PAGE_FLAG_DICT_REF` page of packed offsets riding the receiver's
+    /// cached frame. Any bit flip is a clean `Err` or a decode of the
+    /// declared row count; any truncation is an `Err`; and replaying the
+    /// reuse page into a *cold* receiver that never saw the frame is an
+    /// `Err` — never a panic, never a silent mis-decode.
+    #[test]
+    fn corrupted_int_frame_wire_blobs_never_panic(
+        vals in proptest::collection::vec(0i64..100_000, 2..120usize),
+        flip_at in 0usize..4096,
+        flip_bits in 1u8..255,
+    ) {
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        // Unsorted leans FoR; sorted leans Delta — both frame codecs.
+        for col in [ColumnData::Int64(vals.clone()), ColumnData::Int64(sorted)] {
+            let mut tx = WireEncoder::new();
+            let b1 = tx.encode_column(&col, 0).unwrap();
+            let b2 = tx.encode_column(&col, 0).unwrap();
+            // Re-shipping never costs more; strictly less iff the second
+            // page rides the cached frame.
+            prop_assert!(b2.len() <= b1.len());
+            for (warm, blob) in [(false, &b1), (true, &b2)] {
+                let mut corrupt = blob.clone();
+                let at = flip_at % corrupt.len();
+                corrupt[at] ^= flip_bits;
+                let mut rx = WireDecoder::new();
+                if warm {
+                    rx.decode_column(&b1).unwrap();
+                }
+                if let Ok(decoded) = rx.decode_column(&corrupt) {
+                    prop_assert_eq!(decoded.len(), declared_rows(&corrupt));
+                }
+                let mut rx = WireDecoder::new();
+                if warm {
+                    rx.decode_column(&b1).unwrap();
+                }
+                prop_assert!(rx.decode_column(&blob[..at]).is_err());
+            }
+            if b2.len() < b1.len() {
+                let mut cold = WireDecoder::new();
+                prop_assert!(
+                    cold.decode_column(&b2).is_err(),
+                    "frame-reuse page must not decode without its frame"
+                );
+            }
+        }
+    }
 }
 
 /// Pins the byte-level page format. If this test fails, the format changed:

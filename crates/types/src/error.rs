@@ -25,6 +25,11 @@ pub enum CiError {
     Exec(String),
     /// Cloud substrate failure (no capacity, invalid resize, ...).
     Cloud(String),
+    /// Unrecoverable injected or observed fault: retries exhausted on a
+    /// permanently failing fetch, a worker lost beyond recovery. Distinct
+    /// from [`CiError::Cloud`] so callers can tell "the substrate rejected
+    /// the request" from "the request died of failures despite recovery".
+    Fault(String),
     /// A user constraint (latency SLA or budget) cannot be satisfied by any
     /// plan the optimizer explored.
     Infeasible(String),
@@ -44,6 +49,7 @@ impl CiError {
             CiError::Plan(_) => "plan",
             CiError::Exec(_) => "exec",
             CiError::Cloud(_) => "cloud",
+            CiError::Fault(_) => "fault",
             CiError::Infeasible(_) => "infeasible",
             CiError::Config(_) => "config",
             CiError::Tuning(_) => "tuning",
@@ -60,6 +66,7 @@ impl fmt::Display for CiError {
             CiError::Plan(m) => ("plan error", m),
             CiError::Exec(m) => ("execution error", m),
             CiError::Cloud(m) => ("cloud error", m),
+            CiError::Fault(m) => ("unrecoverable fault", m),
             CiError::Infeasible(m) => ("infeasible constraint", m),
             CiError::Config(m) => ("config error", m),
             CiError::Tuning(m) => ("tuning error", m),
@@ -90,6 +97,7 @@ mod tests {
             CiError::Plan(String::new()),
             CiError::Exec(String::new()),
             CiError::Cloud(String::new()),
+            CiError::Fault(String::new()),
             CiError::Infeasible(String::new()),
             CiError::Config(String::new()),
             CiError::Tuning(String::new()),
