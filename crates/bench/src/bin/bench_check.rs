@@ -2,9 +2,11 @@
 //! (non-zero exit) when any recorded kernel speedup drops below 1.0, when
 //! the dict-exchange wire payload stops beating the plain payload, or when
 //! it is no longer >= 2x smaller than the decoded bytes, or when the
-//! disabled fault hooks cost >= 5% on the parallel scan-join — a regression
-//! on the dictionary, selection-vector, wire-format, or fault-injection
-//! paths breaks the build instead of slipping into the artifact. Core-count-conditional speedup
+//! disabled fault hooks cost >= 5% on the parallel scan-join, or when
+//! dormant tracing (`CI_TRACE=off`) costs >= 3% on the same plan — a
+//! regression on the dictionary, selection-vector, wire-format,
+//! fault-injection, or tracing paths breaks the build instead of slipping
+//! into the artifact. Core-count-conditional speedup
 //! gates that cannot bind on this host (fewer cores than workers) are
 //! printed as explicit `gate skipped: ...` lines rather than passing
 //! silently; the presence and duration-consistency of those measurements is
@@ -64,6 +66,10 @@ fn main() -> Result<()> {
     println!(
         "{path}: retry storm hooks-off {:.2}x of plain scan-join, chaos {} ns",
         report.retry_storm_overhead, report.retry_storm_chaos_ns,
+    );
+    println!(
+        "{path}: trace hooks-off {:.2}x of plain scan-join, full tracing {} ns",
+        report.trace_overhead, report.trace_full_ns,
     );
     Ok(())
 }

@@ -33,7 +33,12 @@
 //! `retry_storm_chaos_ns` / `retry_storm_overhead`: the scan-join plan with
 //! the fault hooks explicitly disabled vs under a seeded chaos plan — the
 //! disabled arm is gated < 5% over the plain parallel measurement when
-//! `host_cores` suffices; the chaos arm is recorded for the trajectory).
+//! `host_cores` suffices; the chaos arm is recorded for the trajectory),
+//! and the tracing layer's dormant overhead (`trace_off_ns` /
+//! `trace_full_ns` / `trace_overhead`: the scan-join plan with
+//! `CI_TRACE=off` vs `full` — the off arm is gated < 3% over the plain
+//! parallel measurement when `host_cores` suffices; the full arm is
+//! recorded for the trajectory).
 //!
 //! Usage: `cargo run --release -p ci-bench --bin bench_micro`
 
@@ -43,9 +48,9 @@ use ci_bench::hotpath::{
     exchange_wire_accounting, int_codec_accounting, parallel_fixture, partial_agg_plan,
     run_exchange_wire, run_filter, run_filter_chain, run_group_by, run_join, run_page_encode,
     run_page_encode_int, run_parallel_scan_join, run_partial_agg, run_pool_reuse, run_retry_storm,
-    sorted_int_batch, string_batch, wide_batch, PARALLEL_WORKERS,
+    run_trace_overhead, sorted_int_batch, string_batch, wide_batch, PARALLEL_WORKERS,
 };
-use ci_exec::ExecutionMode;
+use ci_exec::{ExecutionMode, TraceLevel};
 use ci_storage::RecordBatch;
 use ci_types::Result;
 
@@ -232,6 +237,27 @@ fn main() -> Result<()> {
     );
     let retry_storm_overhead = retry_storm_off_ns as f64 / parallel_4w_ns.max(1) as f64;
 
+    // Trace-overhead measurement: the scan-join plan with the tracing
+    // machinery pinned off (identical work to the parallel measurement, so
+    // the ratio against `parallel_4w_ns` is the dormant instrumentation's
+    // hot-path overhead — bench_check gates it < 3% when host_cores
+    // suffices) and at `full` (spans + registry + wall-clock worker lanes,
+    // recorded for the trajectory, not gated). Tracing never touches the
+    // data path, so both checksums must match the plain parallel run.
+    let (trace_off_ns, trace_off_check) =
+        time_min(|| run_trace_overhead(&cat, &plan, &graph, TraceLevel::Off))?;
+    let (trace_full_ns, trace_full_check) =
+        time_min(|| run_trace_overhead(&cat, &plan, &graph, TraceLevel::Full))?;
+    assert_eq!(
+        trace_off_check, par_check,
+        "trace_overhead: dormant tracing changed results"
+    );
+    assert_eq!(
+        trace_full_check, par_check,
+        "trace_overhead: full tracing changed results"
+    );
+    let trace_overhead = trace_off_ns as f64 / parallel_4w_ns.max(1) as f64;
+
     // Exchange payload accounting (not timed): what one dict-column stream
     // puts on the wire vs the plain-page and decoded alternatives. CI gates
     // on the wire payload beating plain and halving the decoded bytes.
@@ -242,7 +268,7 @@ fn main() -> Result<()> {
     let (int_encoded_bytes, int_plain_bytes) = int_codec_accounting(&sorted_int_batch(ROWS))?;
 
     let mut json = String::from("{\n");
-    json.push_str("  \"schema_version\": 6,\n");
+    json.push_str("  \"schema_version\": 7,\n");
     json.push_str(&format!("  \"rows\": {ROWS},\n"));
     json.push_str(&format!("  \"cardinality\": {CARDINALITY},\n"));
     json.push_str(&format!("  \"parallel_sim_ns\": {parallel_sim_ns},\n"));
@@ -273,6 +299,9 @@ fn main() -> Result<()> {
     json.push_str(&format!(
         "  \"retry_storm_overhead\": {retry_storm_overhead:.2},\n"
     ));
+    json.push_str(&format!("  \"trace_off_ns\": {trace_off_ns},\n"));
+    json.push_str(&format!("  \"trace_full_ns\": {trace_full_ns},\n"));
+    json.push_str(&format!("  \"trace_overhead\": {trace_overhead:.2},\n"));
     json.push_str(&format!("  \"exchange_wire_bytes\": {wire_bytes},\n"));
     json.push_str(&format!("  \"exchange_plain_bytes\": {plain_bytes},\n"));
     json.push_str(&format!("  \"exchange_decoded_bytes\": {decoded_bytes},\n"));
@@ -341,6 +370,12 @@ fn main() -> Result<()> {
         retry_storm_off_ns as f64 / 1e6,
         retry_storm_overhead,
         retry_storm_chaos_ns as f64 / 1e6,
+    );
+    println!(
+        "trace overhead: off {:.2} ms ({:.2}x of plain scan-join) vs full {:.2} ms",
+        trace_off_ns as f64 / 1e6,
+        trace_overhead,
+        trace_full_ns as f64 / 1e6,
     );
     println!(
         "sorted-int pages: FoR/Delta {:.1} KB vs plain {:.1} KB ({:.2}x smaller)",

@@ -1,0 +1,130 @@
+//! E14: query tracing and dollar attribution under chaos.
+//!
+//! Runs the scan-filter-join fixture with `CI_TRACE=full`-level tracing and
+//! a seeded chaos fault plan, in both execution modes, and demonstrates the
+//! observability contract end to end:
+//!
+//! * the per-node `Dollars` in the profile fold back to `QueryMetrics::cost`
+//!   **bit-exactly**, in `Simulate` and `Parallel` alike;
+//! * the `EXPLAIN ANALYZE`-style profile is byte-identical across modes —
+//!   attribution rides the driver's canonical morsel order, not the
+//!   scheduler;
+//! * the Chrome-trace JSON (`e14_trace.json`, Perfetto-loadable) carries the
+//!   deterministic virtual-time lanes plus, from the parallel run, the
+//!   wall-clock worker lanes.
+//!
+//! Artifacts: `e14_trace.json` and `e14_profile.txt` in the working
+//! directory (override with `E14_TRACE_OUT` / `E14_PROFILE_OUT`).
+//!
+//! Calibration persistence rides along: measured per-operator rates are
+//! loaded from `CI_RATES_PATH` at startup (seeding the cost models) and the
+//! parallel run's samples are folded back and saved on clean exit, so a
+//! fleet of runs converges on this host's real rates.
+
+use ci_bench::banner;
+use ci_bench::hotpath::parallel_fixture;
+use ci_cost::calibration::MeasuredRates;
+use ci_exec::{
+    ExecutionConfig, ExecutionMode, Executor, FaultPlan, NoScaling, QueryOutcome, TraceLevel,
+    WorkModels,
+};
+use ci_types::{Dollars, Result};
+
+const CHAOS_SEED: u64 = 42;
+const ROWS: usize = 60_000;
+const WORKERS: u32 = 4;
+
+fn main() -> Result<()> {
+    banner(
+        "E14: traced + profiled query under chaos",
+        "structured spans on a dual clock, per-node dollar attribution that \
+         folds bit-exactly to the bill, identical across execution modes",
+    );
+    let (cat, plan, graph) = parallel_fixture(ROWS)?;
+
+    // Satellite: calibration persistence. Rates measured by earlier runs
+    // seed the cost models; this run's samples are saved back on exit.
+    let mut rates = match MeasuredRates::load_env()? {
+        Some(r) => {
+            println!(
+                "loaded measured rates from CI_RATES_PATH ({} ops)",
+                r.ops().count()
+            );
+            r
+        }
+        None => MeasuredRates::new(),
+    };
+    let models = rates.seed(&WorkModels::standard());
+
+    let run = |mode: ExecutionMode| -> Result<QueryOutcome> {
+        let exec = Executor::new(
+            &cat,
+            ExecutionConfig {
+                models: models.clone(),
+                morsel_rows: 2_048,
+                mode,
+                trace: TraceLevel::Full,
+                faults: Some(FaultPlan::chaos(CHAOS_SEED)),
+                ..ExecutionConfig::default()
+            },
+        );
+        exec.execute(&plan, &graph, &vec![WORKERS; graph.len()], &mut NoScaling)
+    };
+
+    let sim = run(ExecutionMode::Simulate)?;
+    let par = run(ExecutionMode::Parallel {
+        workers: WORKERS as usize,
+    })?;
+
+    // The observability contract, checked live on every run of this bin.
+    for (label, out) in [("simulate", &sim), ("parallel", &par)] {
+        let folded: Dollars = out.metrics.node_dollars.iter().copied().sum();
+        assert_eq!(
+            folded, out.metrics.cost,
+            "{label}: per-node dollars must fold bit-exactly to the bill"
+        );
+    }
+    let sim_trace = sim.trace.as_ref().expect("sim trace at Full");
+    let par_trace = par.trace.as_ref().expect("par trace at Full");
+    assert_eq!(
+        sim_trace.profile_text(),
+        par_trace.profile_text(),
+        "profile must be byte-identical across execution modes"
+    );
+
+    // Artifacts: the parallel trace (it carries the wall-clock worker
+    // lanes on top of the shared deterministic virtual-time lanes).
+    let trace_out = std::env::var("E14_TRACE_OUT").unwrap_or_else(|_| "e14_trace.json".into());
+    let profile_out = std::env::var("E14_PROFILE_OUT").unwrap_or_else(|_| "e14_profile.txt".into());
+    std::fs::write(&trace_out, par_trace.to_chrome_json())
+        .map_err(|e| ci_types::CiError::Config(format!("write {trace_out}: {e}")))?;
+    std::fs::write(&profile_out, sim_trace.profile_text())
+        .map_err(|e| ci_types::CiError::Config(format!("write {profile_out}: {e}")))?;
+
+    println!("{}", sim_trace.profile_text());
+    println!("counters (virtual-time lane, mode-independent):");
+    for (name, v) in sim_trace.registry.counters() {
+        println!("  {name:<20} {v}");
+    }
+    if let Some(h) = sim_trace.registry.histogram("morsel_span_us") {
+        println!(
+            "morsel span: {} morsels, mean {:.0} virtual us",
+            h.count(),
+            h.mean()
+        );
+    }
+    println!(
+        "artifacts: {trace_out} ({} events, load in Perfetto / chrome://tracing) and {profile_out}",
+        par_trace.events.len()
+    );
+
+    // Fold the parallel run's measured samples back into the persisted
+    // rates (no-op unless CI_RATES_PATH is set).
+    for s in &par.op_samples {
+        rates.record(s.op, s.units, s.wall_ns);
+    }
+    if rates.save_env()? {
+        println!("saved measured rates to CI_RATES_PATH");
+    }
+    Ok(())
+}

@@ -12,7 +12,9 @@ use std::sync::Arc;
 
 use ci_catalog::Catalog;
 use ci_exec::operators::{AggregateState, JoinHashTable};
-use ci_exec::{ExecutionConfig, ExecutionMode, Executor, FaultPlan, NoScaling, WorkerPool};
+use ci_exec::{
+    ExecutionConfig, ExecutionMode, Executor, FaultPlan, NoScaling, TraceLevel, WorkerPool,
+};
 use ci_plan::expr::{AggExpr, BinOp, ColMap, PlanExpr};
 use ci_plan::physical::PhysicalPlan;
 use ci_plan::pipeline::PipelineGraph;
@@ -388,6 +390,8 @@ pub fn run_parallel_scan_join(
         ExecutionConfig {
             morsel_rows: 4_096,
             mode,
+            // Pinned off so the kernel is independent of ambient `CI_TRACE`.
+            trace: TraceLevel::Off,
             ..ExecutionConfig::default()
         },
     );
@@ -429,6 +433,7 @@ pub fn run_partial_agg(
             morsel_rows: 4_096,
             partial_agg: partial,
             mode: ExecutionMode::Parallel { workers },
+            trace: TraceLevel::Off,
             ..ExecutionConfig::default()
         },
     );
@@ -462,6 +467,7 @@ pub fn run_pool_reuse(
                 workers: PARALLEL_WORKERS,
             },
             pool: Some(pool),
+            trace: TraceLevel::Off,
             ..ExecutionConfig::default()
         },
     );
@@ -502,6 +508,41 @@ pub fn run_retry_storm(
                 workers: PARALLEL_WORKERS,
             },
             faults,
+            trace: TraceLevel::Off,
+            ..ExecutionConfig::default()
+        },
+    );
+    let out = exec.execute(plan, graph, &vec![4; graph.len()], &mut NoScaling)?;
+    let actual: u64 = out.metrics.node_actual_rows.iter().sum();
+    Ok(out.metrics.result_rows as usize + (actual % 100_003) as usize)
+}
+
+/// Trace-overhead kernel: the scan-filter-join plan at [`PARALLEL_WORKERS`]
+/// with fault hooks explicitly disabled and the tracing machinery at the
+/// given level. At `TraceLevel::Off` this is identical work to
+/// [`run_parallel_scan_join`] plus the dormant instrumentation (a branch per
+/// call site and the always-on per-node accounting adds) — that timing
+/// against the plain scan-join timing pins the hooks-off overhead. At
+/// `TraceLevel::Full` it records spans, registry updates, and wall-clock
+/// worker lanes (informational; no gate). Tracing never touches the data
+/// path, so the checksum matches the plain kernel at every level.
+pub fn run_trace_overhead(
+    cat: &Catalog,
+    plan: &PhysicalPlan,
+    graph: &PipelineGraph,
+    level: TraceLevel,
+) -> Result<usize> {
+    let exec = Executor::new(
+        cat,
+        ExecutionConfig {
+            morsel_rows: 4_096,
+            mode: ExecutionMode::Parallel {
+                workers: PARALLEL_WORKERS,
+            },
+            // `faults: None` overrides any ambient `CI_FAULT_MODE`, keeping
+            // this arm's work identical to the plain parallel kernel.
+            faults: None,
+            trace: level,
             ..ExecutionConfig::default()
         },
     );
@@ -619,6 +660,19 @@ mod tests {
             sim,
             "recoverable chaos must not change the scan-join checksum"
         );
+    }
+
+    #[test]
+    fn trace_overhead_kernel_checksum_is_level_independent() {
+        let (cat, plan, graph) = parallel_fixture(30_000).unwrap();
+        let sim = run_parallel_scan_join(&cat, &plan, &graph, ExecutionMode::Simulate).unwrap();
+        for level in [TraceLevel::Off, TraceLevel::Spans, TraceLevel::Full] {
+            assert_eq!(
+                run_trace_overhead(&cat, &plan, &graph, level).unwrap(),
+                sim,
+                "tracing at {level:?} must not change the scan-join checksum"
+            );
+        }
     }
 
     #[test]

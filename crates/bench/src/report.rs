@@ -28,7 +28,7 @@ pub struct BenchEntry {
 /// The parsed report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
-    /// Report format version; this reader understands version 6.
+    /// Report format version; this reader understands version 7.
     pub schema_version: u64,
     /// Fixture rows per batch.
     pub rows: u64,
@@ -80,6 +80,19 @@ pub struct BenchReport {
     /// `retry_storm_off_ns / parallel_4w_ns`. Consistency-checked against
     /// the durations and gated by the `< 1.05` rule above.
     pub retry_storm_overhead: f64,
+    /// The scan-join plan at `parallel_workers` with `CI_TRACE=off` —
+    /// identical work to `parallel_4w_ns`, so the ratio between the two is
+    /// the dormant tracing layer's hot-path overhead. Gated `< 1.03` only
+    /// when `host_cores >= parallel_workers` (starved hosts time too
+    /// noisily for a 3% bound).
+    pub trace_off_ns: u64,
+    /// The same plan under `CI_TRACE=full` (spans, counters, histograms,
+    /// per-worker wall-clock buffers all live). Recorded for the
+    /// trajectory, not gated: full tracing is priced observability.
+    pub trace_full_ns: u64,
+    /// `trace_off_ns / parallel_4w_ns`. Consistency-checked against the
+    /// durations and gated by the `< 1.03` rule above.
+    pub trace_overhead: f64,
     /// Wire-format bytes of the dict-column exchange stream (bit-packed ids
     /// plus a one-time dictionary).
     pub exchange_wire_bytes: u64,
@@ -113,7 +126,7 @@ impl BenchReport {
     /// Parses a `BENCH_micro.json` document.
     pub fn parse(json: &str) -> Result<BenchReport> {
         let schema_version = int_field(json, "schema_version")?;
-        if schema_version != 6 {
+        if schema_version != 7 {
             return Err(CiError::Config(format!(
                 "unsupported BENCH_micro schema_version {schema_version}"
             )));
@@ -134,6 +147,9 @@ impl BenchReport {
         let retry_storm_off_ns = int_field(json, "retry_storm_off_ns")?;
         let retry_storm_chaos_ns = int_field(json, "retry_storm_chaos_ns")?;
         let retry_storm_overhead = float_field(json, "retry_storm_overhead")?;
+        let trace_off_ns = int_field(json, "trace_off_ns")?;
+        let trace_full_ns = int_field(json, "trace_full_ns")?;
+        let trace_overhead = float_field(json, "trace_overhead")?;
         let exchange_wire_bytes = int_field(json, "exchange_wire_bytes")?;
         let exchange_plain_bytes = int_field(json, "exchange_plain_bytes")?;
         let exchange_decoded_bytes = int_field(json, "exchange_decoded_bytes")?;
@@ -169,6 +185,9 @@ impl BenchReport {
             retry_storm_off_ns,
             retry_storm_chaos_ns,
             retry_storm_overhead,
+            trace_off_ns,
+            trace_full_ns,
+            trace_overhead,
             exchange_wire_bytes,
             exchange_plain_bytes,
             exchange_decoded_bytes,
@@ -286,6 +305,28 @@ impl BenchReport {
                 ));
             }
         }
+        if self.trace_off_ns == 0 || self.trace_full_ns == 0 || self.trace_overhead <= 0.0 {
+            out.push("trace-overhead measurement missing or zero".into());
+        } else if self.parallel_4w_ns != 0 {
+            let recomputed = self.trace_off_ns as f64 / self.parallel_4w_ns as f64;
+            if (recomputed - self.trace_overhead).abs() > 0.011 * recomputed.max(1.0) {
+                out.push(format!(
+                    "recorded trace_overhead {:.2} inconsistent with durations ({recomputed:.2})",
+                    self.trace_overhead
+                ));
+            }
+            // Same policy as the retry-storm gate: a starved host times the
+            // two arms too noisily to certify a 3% bound.
+            if self.host_cores >= self.parallel_workers && recomputed >= 1.03 {
+                out.push(format!(
+                    "dormant tracing costs {:.1}% on the parallel scan-join \
+                     (trace_off {} ns vs parallel {} ns; must stay < 3%)",
+                    (recomputed - 1.0) * 100.0,
+                    self.trace_off_ns,
+                    self.parallel_4w_ns
+                ));
+            }
+        }
         if self.int_encoded_bytes == 0 {
             out.push("int_encoded_bytes is zero — no sorted-int pages recorded".into());
         } else if self.int_plain_bytes < 4 * self.int_encoded_bytes {
@@ -338,6 +379,11 @@ impl BenchReport {
                 "gate skipped: retry_storm_overhead < 1.05 ({} host cores < {} workers; \
                  recorded {:.2})",
                 self.host_cores, self.parallel_workers, self.retry_storm_overhead
+            ));
+            out.push(format!(
+                "gate skipped: trace_overhead < 1.03 ({} host cores < {} workers; \
+                 recorded {:.2})",
+                self.host_cores, self.parallel_workers, self.trace_overhead
             ));
         }
         out
@@ -412,7 +458,7 @@ mod tests {
     fn sample(speedup: &str) -> String {
         format!(
             r#"{{
-  "schema_version": 6,
+  "schema_version": 7,
   "rows": 1000,
   "cardinality": 10,
   "parallel_sim_ns": 3000,
@@ -429,6 +475,9 @@ mod tests {
   "retry_storm_off_ns": 1020,
   "retry_storm_chaos_ns": 5000,
   "retry_storm_overhead": 1.02,
+  "trace_off_ns": 1000,
+  "trace_full_ns": 1500,
+  "trace_overhead": 1.00,
   "exchange_wire_bytes": 400,
   "exchange_plain_bytes": 1100,
   "exchange_decoded_bytes": 1000,
@@ -452,7 +501,7 @@ mod tests {
     #[test]
     fn parses_the_writer_format() {
         let r = BenchReport::parse(&sample("2.50")).unwrap();
-        assert_eq!(r.schema_version, 6);
+        assert_eq!(r.schema_version, 7);
         assert_eq!(r.rows, 1000);
         assert_eq!(r.parallel_sim_ns, 3000);
         assert_eq!(r.parallel_4w_ns, 1000);
@@ -473,6 +522,9 @@ mod tests {
         assert_eq!(r.retry_storm_off_ns, 1020);
         assert_eq!(r.retry_storm_chaos_ns, 5000);
         assert!((r.retry_storm_overhead - 1.02).abs() < 1e-9);
+        assert_eq!(r.trace_off_ns, 1000);
+        assert_eq!(r.trace_full_ns, 1500);
+        assert!((r.trace_overhead - 1.0).abs() < 1e-9);
         assert_eq!(r.exchange_wire_bytes, 400);
         assert_eq!(r.exchange_plain_bytes, 1100);
         assert_eq!(r.exchange_decoded_bytes, 1000);
@@ -539,15 +591,16 @@ mod tests {
     #[test]
     fn parallel_speedup_gates() {
         // Below 1.5 with enough cores: the runtime stopped scaling. The
-        // retry-storm overhead is a ratio over parallel_4w_ns, so it must
-        // track the changed duration to stay consistent.
+        // retry-storm and trace overheads are ratios over parallel_4w_ns,
+        // so they must track the changed duration to stay consistent.
         let slow = sample("2.00")
             .replace("\"parallel_4w_ns\": 1000", "\"parallel_4w_ns\": 2500")
             .replace("\"parallel_speedup\": 3.00", "\"parallel_speedup\": 1.20")
             .replace(
                 "\"retry_storm_overhead\": 1.02",
                 "\"retry_storm_overhead\": 0.41",
-            );
+            )
+            .replace("\"trace_overhead\": 1.00", "\"trace_overhead\": 0.40");
         let v = BenchReport::parse(&slow).unwrap().violations();
         assert!(v.iter().any(|m| m.contains("speedup 1.20 < 1.5")), "{v:?}");
         // The same ratio on a starved host is not a violation.
@@ -708,6 +761,43 @@ mod tests {
     }
 
     #[test]
+    fn trace_overhead_gates() {
+        // Dormant tracing costing >= 3% over the plain scan-join: the span
+        // layer slowed the hot path even when switched off.
+        let slow = sample("2.00")
+            .replace("\"trace_off_ns\": 1000", "\"trace_off_ns\": 1200")
+            .replace("\"trace_overhead\": 1.00", "\"trace_overhead\": 1.20");
+        let v = BenchReport::parse(&slow).unwrap().violations();
+        assert!(
+            v.iter().any(|m| m.contains("dormant tracing costs")),
+            "{v:?}"
+        );
+        // The same ratio on a starved host is not a violation.
+        let starved = slow.replace("\"host_cores\": 8", "\"host_cores\": 1");
+        let v = BenchReport::parse(&starved).unwrap().violations();
+        assert!(v.is_empty(), "{v:?}");
+        // A recorded ratio inconsistent with the durations is flagged.
+        let fudged = sample("2.00").replace("\"trace_overhead\": 1.00", "\"trace_overhead\": 3.00");
+        let v = BenchReport::parse(&fudged).unwrap().violations();
+        assert!(
+            v.iter()
+                .any(|m| m.contains("trace_overhead 3.00 inconsistent")),
+            "{v:?}"
+        );
+        // Zero durations mean the writer recorded nothing.
+        let zero = sample("2.00").replace("\"trace_full_ns\": 1500", "\"trace_full_ns\": 0");
+        let v = BenchReport::parse(&zero).unwrap().violations();
+        assert!(
+            v.iter()
+                .any(|m| m.contains("trace-overhead measurement missing")),
+            "{v:?}"
+        );
+        // A v7 document must carry the trace fields at all.
+        let missing = sample("2.00").replace("\"trace_off_ns\"", "\"other\"");
+        assert!(BenchReport::parse(&missing).is_err());
+    }
+
+    #[test]
     fn starved_host_skips_are_reported_explicitly() {
         // Enough cores: nothing is skipped.
         let r = BenchReport::parse(&sample("2.00")).unwrap();
@@ -717,7 +807,7 @@ mod tests {
         let starved = sample("2.00").replace("\"host_cores\": 8", "\"host_cores\": 1");
         let r = BenchReport::parse(&starved).unwrap();
         let skips = r.gate_skips();
-        assert_eq!(skips.len(), 3, "{skips:?}");
+        assert_eq!(skips.len(), 4, "{skips:?}");
         assert!(
             skips[0].contains("gate skipped: parallel_speedup >= 1.5")
                 && skips[0].contains("1 host cores < 4 workers"),
@@ -731,6 +821,11 @@ mod tests {
         assert!(
             skips[2].contains("gate skipped: retry_storm_overhead < 1.05")
                 && skips[2].contains("1 host cores < 4 workers"),
+            "{skips:?}"
+        );
+        assert!(
+            skips[3].contains("gate skipped: trace_overhead < 1.03")
+                && skips[3].contains("1 host cores < 4 workers"),
             "{skips:?}"
         );
         // Skipped gates still leave the consistency checks binding.
@@ -767,7 +862,7 @@ mod tests {
     fn malformed_documents_error() {
         assert!(BenchReport::parse("{}").is_err());
         let wrong_version =
-            sample("2.00").replace("\"schema_version\": 6", "\"schema_version\": 9");
+            sample("2.00").replace("\"schema_version\": 7", "\"schema_version\": 9");
         assert!(BenchReport::parse(&wrong_version).is_err());
         let missing_field = sample("2.00").replace("\"dict_ns\"", "\"other\"");
         assert!(BenchReport::parse(&missing_field).is_err());

@@ -319,6 +319,30 @@ impl MorselFaults {
     pub fn is_clean(&self) -> bool {
         self.count() == 0
     }
+
+    /// One `(kind, magnitude)` entry per injected fault, in draw order —
+    /// the shape trace exporters render as instant events. Magnitude is the
+    /// slowdown factor (stragglers) or lost-progress fraction (preemption);
+    /// count-style faults carry `None`.
+    pub fn events(&self) -> Vec<(&'static str, Option<f64>)> {
+        let mut out = Vec::new();
+        for _ in 0..self.fetch_failures {
+            out.push(("fetch_failure", None));
+        }
+        if self.fetch_permanent {
+            out.push(("fetch_permanent", None));
+        }
+        for _ in 0..self.throttles {
+            out.push(("throttle", None));
+        }
+        if let Some(s) = self.straggler {
+            out.push(("straggler", Some(s)));
+        }
+        if let Some(frac) = self.worker_lost {
+            out.push(("worker_lost", Some(frac)));
+        }
+        out
+    }
 }
 
 /// Deterministic per-morsel fault source. Draws are a pure function of

@@ -25,6 +25,7 @@ pub use ci_cloud as cloud;
 pub use ci_cost as cost;
 pub use ci_exec as exec;
 pub use ci_monitor as monitor;
+pub use ci_obs as obs;
 pub use ci_optimizer as optimizer;
 pub use ci_plan as plan;
 pub use ci_sql as sql;

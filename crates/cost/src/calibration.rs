@@ -288,6 +288,52 @@ impl MeasuredRates {
         Ok(MeasuredRates { rates })
     }
 
+    /// Writes the collector to `path` in the [`MeasuredRates::to_json`]
+    /// format (atomic enough for a single writer: plain `fs::write`).
+    pub fn save_path(&self, path: &std::path::Path) -> Result<()> {
+        std::fs::write(path, self.to_json())
+            .map_err(|e| CiError::Config(format!("cannot write rates to {}: {e}", path.display())))
+    }
+
+    /// Loads a collector from `path`. A missing file is `Ok(None)` — the
+    /// load-if-exists half of the persistence contract; any other I/O or
+    /// parse failure is an error (a corrupted calibration file must be
+    /// noticed, not silently ignored).
+    pub fn load_path(path: &std::path::Path) -> Result<Option<MeasuredRates>> {
+        match std::fs::read_to_string(path) {
+            Ok(s) => MeasuredRates::from_json(&s).map(Some),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(CiError::Config(format!(
+                "cannot read rates from {}: {e}",
+                path.display()
+            ))),
+        }
+    }
+
+    /// Loads the collector named by the `CI_RATES_PATH` env var. Unset or
+    /// empty means persistence is off (`Ok(None)`), as does a path that
+    /// does not exist yet.
+    pub fn load_env() -> Result<Option<MeasuredRates>> {
+        match std::env::var("CI_RATES_PATH") {
+            Ok(p) if !p.trim().is_empty() => {
+                MeasuredRates::load_path(std::path::Path::new(p.trim()))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Saves the collector to the `CI_RATES_PATH` env var's path, returning
+    /// whether anything was written (`false` when the var is unset/empty).
+    pub fn save_env(&self) -> Result<bool> {
+        match std::env::var("CI_RATES_PATH") {
+            Ok(p) if !p.trim().is_empty() => {
+                self.save_path(std::path::Path::new(p.trim()))?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
     /// A copy of `base` with every measured per-core compute rate replaced
     /// by its aggregate. Classes without samples keep the base calibration —
     /// seeding is incremental, one workload need not exercise every kernel.
@@ -514,6 +560,25 @@ mod tests {
                 "should reject: {bad}"
             );
         }
+    }
+
+    #[test]
+    fn path_persistence_round_trips_and_tolerates_absence() {
+        let path = std::env::temp_dir().join(format!("ci-rates-test-{}.json", std::process::id()));
+        // Missing file: load-if-exists says None, not an error.
+        assert_eq!(MeasuredRates::load_path(&path).unwrap(), None);
+
+        let mut r = MeasuredRates::new();
+        r.record("filter", 1000.0, 3_000);
+        r.record("probe", 1_000_000.0, 1_234_567);
+        r.save_path(&path).unwrap();
+        let back = MeasuredRates::load_path(&path).unwrap().expect("saved");
+        assert_eq!(back, r, "file round-trip must be bit-exact");
+
+        // Corruption is a loud error, not a silent empty collector.
+        std::fs::write(&path, "{\"filter\":[-1.0]}").unwrap();
+        assert!(MeasuredRates::load_path(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

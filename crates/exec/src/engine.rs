@@ -72,6 +72,7 @@ use std::time::Instant;
 use ci_catalog::Catalog;
 use ci_cloud::faults::FaultPlan;
 use ci_cloud::work::WorkModels;
+use ci_obs::{Lane, NodeProfile, ProfileReport, Trace, TraceEvent, TraceLevel, WorkerBuffers};
 use ci_plan::expr::{ColMap, PlanExpr};
 use ci_plan::physical::{PhysicalOp, PhysicalPlan};
 use ci_plan::pipeline::{Pipeline, PipelineGraph, SinkKind};
@@ -83,12 +84,13 @@ use ci_storage::RecordBatch;
 use ci_types::money::{Dollars, DollarsPerSecond};
 use ci_types::{CiError, Result, SimDuration, SimTime};
 
-use crate::metrics::{OpSample, PipelineMetrics, QueryMetrics};
+use crate::metrics::{attribute_node_dollars, OpSample, PipelineMetrics, QueryMetrics};
 use crate::operators::{
     apply_filter, apply_project, slots_schema, AggregateState, JoinHashTable, SortBuffer,
 };
 use crate::parallel::WorkerPool;
 use crate::scaling::{PipelineProgress, PipelineStart, ScaleDecision, ScalingController};
+use crate::trace::{NodeStats, Tracer};
 
 /// How morsels are really processed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,6 +187,18 @@ pub struct ExecutionConfig {
     /// rows stay bit-identical to the fault-free run. Unrecoverable
     /// schedules surface [`CiError::Fault`] instead of hanging.
     pub faults: Option<FaultPlan>,
+    /// Tracing level (defaults from `CI_TRACE`, see
+    /// [`TraceLevel::from_env`]). `Off` keeps the observability machinery
+    /// dormant; `Spans` records the deterministic virtual-time driver lanes,
+    /// the metrics registry, and the per-node profile; `Full` adds
+    /// wall-clock worker lanes (park/claim/run). Per-node busy/dollar
+    /// attribution on [`QueryMetrics`] is always on — it rides the
+    /// accounting pass and costs a few float adds per morsel.
+    pub trace: TraceLevel,
+    /// When set (and `trace` is not `Off`), the Chrome trace-format JSON is
+    /// written here after execution — load it in `chrome://tracing` or
+    /// Perfetto.
+    pub trace_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ExecutionConfig {
@@ -201,6 +215,8 @@ impl Default for ExecutionConfig {
             fetch_roundtrip: false,
             pool: None,
             faults: FaultPlan::from_env(),
+            trace: TraceLevel::from_env(),
+            trace_path: None,
         }
     }
 }
@@ -216,6 +232,11 @@ pub struct QueryOutcome {
     /// morsel) order. Empty in simulator mode. Sample *durations* are
     /// nondeterministic (real hardware); sample *order and units* are not.
     pub op_samples: Vec<OpSample>,
+    /// The recorded trace (`None` at [`TraceLevel::Off`]): events, metrics
+    /// registry, and the per-node profile report. The virtual-time lanes and
+    /// the profile are deterministic; wall-clock worker lanes (at
+    /// [`TraceLevel::Full`], parallel mode) are not.
+    pub trace: Option<Trace>,
 }
 
 /// The query executor.
@@ -717,6 +738,8 @@ impl<'a> Executor<'a> {
         }
         let mut states: HashMap<usize, Arc<NodeState>> = HashMap::new();
         let mut node_actual = vec![0u64; plan.nodes.len()];
+        let mut node_stats = vec![NodeStats::default(); plan.nodes.len()];
+        let mut tracer = Tracer::new(self.config.trace);
         // Resolve the worker pool once per query: back-to-back queries (and
         // every pipeline of this one) reuse the same parked threads.
         let pool: Option<Arc<WorkerPool>> = match self.config.mode {
@@ -725,6 +748,20 @@ impl<'a> Executor<'a> {
                 Some(p) => p.clone(),
                 None => WorkerPool::shared(workers),
             }),
+        };
+        // Wall-clock worker lanes (Full only): per-worker buffers attached
+        // to the pool for the duration of this query. The guard detaches on
+        // every exit path, including errors. A shared pool serving another
+        // query concurrently would interleave its spans into these lanes —
+        // acceptable for a profiling artifact, and exactly what a wall-clock
+        // timeline of the shared threads means.
+        let worker_bufs: Option<Arc<WorkerBuffers>> = match (&pool, self.config.trace.wall()) {
+            (Some(p), true) => Some(Arc::new(WorkerBuffers::new(p.workers()))),
+            _ => None,
+        };
+        let _trace_guard = match (&pool, &worker_bufs) {
+            (Some(p), Some(b)) => Some(p.attach_trace(b.clone())),
+            _ => None,
         };
         let mut finishes = vec![SimTime::ZERO; graph.len()];
         let mut all_metrics: Vec<PipelineMetrics> = Vec::new();
@@ -763,9 +800,11 @@ impl<'a> Executor<'a> {
                 morsels,
                 &mut states,
                 &mut node_actual,
+                &mut node_stats,
                 &mut result_batches,
                 ctrl,
                 pool.as_deref(),
+                &mut tracer,
             )?;
             finishes[p.id.index()] = run.finish;
             resize_events += run.metrics.resizes;
@@ -810,6 +849,78 @@ impl<'a> Executor<'a> {
         };
         let result_rows = result.rows() as u64;
 
+        // Dollar attribution: prorate the (lease-based) bill over measured
+        // node busy time. `node_stats` was accumulated by the driver in
+        // canonical morsel order, so the shares — and their bit-exact fold
+        // back to `cost` — are identical across execution modes.
+        let node_busy_secs: Vec<f64> = node_stats.iter().map(|s| s.busy_secs).collect();
+        let node_dollars = attribute_node_dollars(cost, &node_busy_secs, plan.root);
+
+        let trace = if tracer.on() {
+            // Planned-vs-actual deviation, one instant per plan node on the
+            // plan lane (spread 1 µs apart so viewers don't stack them).
+            for (i, node) in plan.nodes.iter().enumerate() {
+                let name = format!("{} #{i}", node.op.name());
+                tracer.push(
+                    TraceEvent::instant(name, "plan", Lane::Plan, i as u64)
+                        .arg("est_rows", node.est_rows)
+                        .arg("actual_rows", node_actual[i])
+                        .arg("busy_secs", node_busy_secs[i])
+                        .arg("dollars", node_dollars[i].amount()),
+                );
+            }
+            tracer.count("result_rows", result_rows);
+            tracer.count("resize_events", resize_events as u64);
+            // Wall-clock worker lanes recorded by the pool, in worker order.
+            if let Some(bufs) = &worker_bufs {
+                tracer.events.extend(bufs.drain());
+            }
+            let profile = ProfileReport {
+                query: format!(
+                    "{} ({} nodes, {} pipelines)",
+                    plan.nodes[plan.root].op.name(),
+                    plan.nodes.len(),
+                    graph.len()
+                ),
+                latency_secs: latency.as_secs_f64(),
+                machine_secs: machine_time.as_secs_f64(),
+                cost,
+                result_rows,
+                nodes: plan
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, n)| NodeProfile {
+                        index: i,
+                        label: n.op.name().to_owned(),
+                        est_rows: n.est_rows,
+                        actual_rows: node_actual[i],
+                        busy_secs: node_stats[i].busy_secs,
+                        dollars: node_dollars[i],
+                        fetch_bytes: node_stats[i].fetch_bytes,
+                        decoded_bytes: node_stats[i].decoded_bytes,
+                        wire_bytes: node_stats[i].wire_bytes,
+                        retries: node_stats[i].retries,
+                        recovery_us: node_stats[i].recovery_us,
+                    })
+                    .collect(),
+            };
+            let trace = Trace {
+                level: tracer.level,
+                events: std::mem::take(&mut tracer.events),
+                registry: std::mem::take(&mut tracer.registry),
+                profile,
+            };
+            if let Some(path) = &self.config.trace_path {
+                std::fs::write(path, trace.to_chrome_json()).map_err(|e| {
+                    CiError::Exec(format!("cannot write trace to {}: {e}", path.display()))
+                })?;
+            }
+            Some(trace)
+        } else {
+            None
+        };
+
         Ok(QueryOutcome {
             result,
             metrics: QueryMetrics {
@@ -818,10 +929,13 @@ impl<'a> Executor<'a> {
                 cost,
                 pipelines: all_metrics,
                 node_actual_rows: node_actual,
+                node_busy_secs,
+                node_dollars,
                 resize_events,
                 result_rows,
             },
             op_samples,
+            trace,
         })
     }
 
@@ -1020,12 +1134,22 @@ impl<'a> Executor<'a> {
         morsels: Vec<Morsel>,
         states: &mut HashMap<usize, Arc<NodeState>>,
         node_actual: &mut [u64],
+        node_stats: &mut [NodeStats],
         result_batches: &mut Vec<RecordBatch>,
         ctrl: &mut dyn ScalingController,
         pool: Option<&WorkerPool>,
+        tracer: &mut Tracer,
     ) -> Result<PipelineRun> {
         let w = &self.config.models;
         let steps = self.compile_steps(plan, p)?;
+        // Attribution targets: per-morsel sink charges go to the sink's plan
+        // node; recovery and morsel overhead go to the pipeline's source.
+        let sink_node = match p.sink {
+            SinkKind::JoinBuild { join } => join,
+            SinkKind::Aggregate { agg } => agg,
+            SinkKind::Sort { sort } => sort,
+            SinkKind::Result => p.last(),
+        };
         let src_is_scan = matches!(plan.nodes[p.source()].op, PhysicalOp::Scan { .. });
         let src_filter = match &plan.nodes[p.source()].op {
             PhysicalOp::Scan { filter, .. } => filter.clone(),
@@ -1229,23 +1353,31 @@ impl<'a> Executor<'a> {
                 // Source costs: the fetch moves encoded bytes, the decode
                 // CPU expands them to the decoded payload.
                 if src_is_scan {
-                    fetch_secs += w.scan_fetch_secs(morsel.fetch_bytes, cur_dop);
-                    secs += w.scan_decode_secs(morsel.decode_bytes);
+                    let fetch = w.scan_fetch_secs(morsel.fetch_bytes, cur_dop);
+                    fetch_secs += fetch;
+                    let mut cpu = w.scan_decode_secs(morsel.decode_bytes);
                     if ctx.src_filter.is_some() {
-                        secs += w.filter_secs(trace.source_rows as f64);
+                        cpu += w.filter_secs(trace.source_rows as f64);
                     }
+                    secs += cpu;
                     node_actual[p.source()] += trace.src_post_rows;
+                    let src = &mut node_stats[p.source()];
+                    src.busy_secs += fetch + cpu;
+                    src.fetch_bytes += morsel.fetch_bytes as u64;
+                    src.decoded_bytes += morsel.decode_bytes as u64;
                 }
 
                 // Streaming chain: charge each recorded step.
                 for st in &trace.steps {
                     match &ctx.steps[st.step] {
                         Step::Filter { node, .. } | Step::Project { node, .. } => {
-                            secs += w.filter_secs(st.rows_in as f64);
+                            let cpu = w.filter_secs(st.rows_in as f64);
+                            secs += cpu;
+                            node_stats[*node].busy_secs += cpu;
                             node_actual[*node] += st.rows_out;
                         }
                         Step::Exchange { node } => {
-                            secs += w.exchange_cpu_secs(st.rows_in as f64);
+                            let mut cpu = w.exchange_cpu_secs(st.rows_in as f64);
                             // Shuffling serializes rows onto the wire: the
                             // payload crosses the fabric in the *wire
                             // format* (encoded pages; dict ids + one-time
@@ -1257,7 +1389,10 @@ impl<'a> Executor<'a> {
                                 self.ship_batch(&mut shipped, &mut wire, &mut wire_rx)?;
                             exchange_wire_bytes += wire_bytes;
                             exchange_decoded_bytes += shipped.byte_size() as u64;
-                            secs += w.exchange_wire_secs(wire_bytes as f64, cur_dop);
+                            cpu += w.exchange_wire_secs(wire_bytes as f64, cur_dop);
+                            secs += cpu;
+                            node_stats[*node].busy_secs += cpu;
+                            node_stats[*node].wire_bytes += wire_bytes;
                             node_actual[*node] += st.rows_out;
                         }
                         Step::Gather { node } => {
@@ -1271,12 +1406,15 @@ impl<'a> Executor<'a> {
                             exchange_wire_bytes += wire_bytes;
                             exchange_decoded_bytes += shipped.byte_size() as u64;
                             gather_bytes += wire_bytes as f64;
+                            node_stats[*node].wire_bytes += wire_bytes;
                             node_actual[*node] += st.rows_out;
                         }
                         Step::Probe { join_node, .. } => {
-                            secs += w.probe_secs(st.rows_in as f64);
-                            // Output materialization cost.
-                            secs += w.filter_secs(st.rows_out as f64);
+                            // Probe plus output materialization cost.
+                            let cpu =
+                                w.probe_secs(st.rows_in as f64) + w.filter_secs(st.rows_out as f64);
+                            secs += cpu;
+                            node_stats[*join_node].busy_secs += cpu;
                             node_actual[*join_node] += st.rows_out;
                         }
                         Step::Limit { node } => {
@@ -1304,7 +1442,9 @@ impl<'a> Executor<'a> {
                     } => {
                         sink_rows += rows;
                         sink_rows_physical += physical_rows;
-                        secs += w.agg_update_secs(rows as f64);
+                        let cpu = w.agg_update_secs(rows as f64);
+                        secs += cpu;
+                        node_stats[sink_node].busy_secs += cpu;
                     }
                     Tail::Done(batch) => {
                         sink_rows += batch.rows() as u64;
@@ -1317,7 +1457,9 @@ impl<'a> Executor<'a> {
                         // Charges below are zero for it either way.
                         match &mut sink {
                             Sink::Build(ht) => {
-                                secs += w.build_secs(units);
+                                let cpu = w.build_secs(units);
+                                secs += cpu;
+                                node_stats[sink_node].busy_secs += cpu;
                                 if !batch.is_empty() {
                                     // Buffered until finalize (compacts via
                                     // concat).
@@ -1332,7 +1474,9 @@ impl<'a> Executor<'a> {
                                 }
                             }
                             Sink::Agg(st) => {
-                                secs += w.agg_update_secs(units);
+                                let cpu = w.agg_update_secs(units);
+                                secs += cpu;
+                                node_stats[sink_node].busy_secs += cpu;
                                 if !batch.is_empty() {
                                     timed(
                                         measure,
@@ -1345,7 +1489,9 @@ impl<'a> Executor<'a> {
                                 }
                             }
                             Sink::Sorter(sb) => {
-                                secs += w.filter_secs(units);
+                                let cpu = w.filter_secs(units);
+                                secs += cpu;
+                                node_stats[sink_node].busy_secs += cpu;
                                 if !batch.is_empty() {
                                     // Buffered until finalize (compacts via
                                     // concat).
@@ -1378,6 +1524,7 @@ impl<'a> Executor<'a> {
                         retry_bytes += morsel.fetch_bytes as u64;
                         fetch_retries += 1;
                     }
+                    node_stats[p.source()].retries += u64::from(f.fetch_failures);
                     if f.fetch_permanent {
                         // Retries exhausted on a fetch that will never
                         // succeed. The bill above stands (the retries were
@@ -1415,6 +1562,14 @@ impl<'a> Executor<'a> {
                     }
                     recovery += SimDuration::from_secs_f64(recovery_secs);
                 }
+                // Recovery time and the fixed per-morsel overhead are charged
+                // to the pipeline's source node: faults are morsel-level
+                // events, and the morsel originates there.
+                node_stats[p.source()].busy_secs += recovery_secs + w.morsel_overhead_secs();
+                if recovery_secs > 0.0 {
+                    node_stats[p.source()].recovery_us +=
+                        SimDuration::from_secs_f64(recovery_secs).as_micros();
+                }
 
                 let span = SimDuration::from_secs_f64(
                     fetch_secs + secs + recovery_secs + w.morsel_overhead_secs(),
@@ -1423,6 +1578,62 @@ impl<'a> Executor<'a> {
                 slots[ni].worked_until = Some(slots[ni].free);
                 busy += span;
                 morsels_done += 1;
+
+                // Morsel spans on the pipeline's virtual-time lane. Emission
+                // happens here, in canonical accounting order, so the lanes
+                // are bit-identical across execution modes.
+                if tracer.on() {
+                    let lane = Lane::Pipeline(p.id.index() as u32);
+                    let t0 = assigned_at.since(SimTime::ZERO).as_micros();
+                    let fetch_us = SimDuration::from_secs_f64(fetch_secs).as_micros();
+                    let compute_us = SimDuration::from_secs_f64(secs).as_micros();
+                    if fetch_us > 0 {
+                        tracer.push(
+                            TraceEvent::span(format!("fetch m{mi}"), "fetch", lane, t0, fetch_us)
+                                .arg("slot", ni as u64)
+                                .arg("bytes", morsel.fetch_bytes),
+                        );
+                    }
+                    tracer.push(
+                        TraceEvent::span(
+                            format!("compute m{mi}"),
+                            "compute",
+                            lane,
+                            t0 + fetch_us,
+                            compute_us,
+                        )
+                        .arg("slot", ni as u64)
+                        .arg("rows", trace.source_rows),
+                    );
+                    if recovery_secs > 0.0 {
+                        tracer.push(TraceEvent::span(
+                            format!("recovery m{mi}"),
+                            "recovery",
+                            lane,
+                            t0 + fetch_us + compute_us,
+                            SimDuration::from_secs_f64(recovery_secs).as_micros(),
+                        ));
+                    }
+                    if let Some(f) = &faults {
+                        // One instant per injected fault, at morsel start.
+                        for (kind, magnitude) in f.events() {
+                            let mut ev =
+                                TraceEvent::instant(format!("fault:{kind}"), "fault", lane, t0);
+                            if let Some(m) = magnitude {
+                                ev = ev.arg("magnitude", m);
+                            }
+                            tracer.push(ev);
+                        }
+                        if hedged {
+                            tracer.push(
+                                TraceEvent::instant("hedge", "fault", lane, t0)
+                                    .arg("win", u64::from(hedge_wins)),
+                            );
+                        }
+                    }
+                    tracer.observe("morsel_span_us", span.as_micros());
+                    tracer.observe("morsel_rows", trace.source_rows);
+                }
 
                 // Progress callback.
                 if (mi + 1) % self.config.check_interval == 0 {
@@ -1443,6 +1654,18 @@ impl<'a> Executor<'a> {
                         let new_dop = new_dop.max(1);
                         if new_dop != cur_dop {
                             resizes += 1;
+                            if tracer.on() {
+                                tracer.push(
+                                    TraceEvent::instant(
+                                        "resize",
+                                        "scale",
+                                        Lane::Pipeline(p.id.index() as u32),
+                                        now.since(SimTime::ZERO).as_micros(),
+                                    )
+                                    .arg("from", u64::from(cur_dop))
+                                    .arg("to", u64::from(new_dop)),
+                                );
+                            }
                             if new_dop > cur_dop {
                                 for _ in cur_dop..new_dop {
                                     slots.push(NodeSlot {
@@ -1483,7 +1706,14 @@ impl<'a> Executor<'a> {
 
         // Gather is serial at the receiver.
         if gather_bytes > 0.0 {
-            finish += SimDuration::from_secs_f64(w.gather_secs(gather_bytes, cur_dop));
+            let cpu = w.gather_secs(gather_bytes, cur_dop);
+            finish += SimDuration::from_secs_f64(cpu);
+            if let Some(g) = ctx.steps.iter().find_map(|s| match s {
+                Step::Gather { node } => Some(*node),
+                _ => None,
+            }) {
+                node_stats[g].busy_secs += cpu;
+            }
         }
 
         // Finalize the sink.
@@ -1515,7 +1745,9 @@ impl<'a> Executor<'a> {
                     st.absorb(cs);
                 }
                 let out = st.finalize()?;
-                finish += SimDuration::from_secs_f64(w.filter_secs(out.rows() as f64));
+                let cpu = w.filter_secs(out.rows() as f64);
+                finish += SimDuration::from_secs_f64(cpu);
+                node_stats[agg].busy_secs += cpu;
                 node_actual[agg] += out.rows() as u64;
                 states.insert(agg, Arc::new(NodeState::Output(out)));
             }
@@ -1535,11 +1767,35 @@ impl<'a> Executor<'a> {
                     &mut measured_wall_ns,
                     || sb.finalize(),
                 )?;
-                finish += SimDuration::from_secs_f64(w.sort_finalize_secs(rows, cur_dop));
+                let cpu = w.sort_finalize_secs(rows, cur_dop);
+                finish += SimDuration::from_secs_f64(cpu);
+                node_stats[sort].busy_secs += cpu;
                 node_actual[sort] += out.rows() as u64;
                 states.insert(sort, Arc::new(NodeState::Output(out)));
             }
             Sink::Result => {}
+        }
+
+        // Pipeline extent on the driver lane, plus per-pipeline counters.
+        if tracer.on() {
+            let t0 = start.since(SimTime::ZERO).as_micros();
+            let end = finish.since(SimTime::ZERO).as_micros();
+            tracer.push(
+                TraceEvent::span(
+                    format!("pipeline {}", p.id.index()),
+                    "pipeline",
+                    Lane::Driver,
+                    t0,
+                    end.saturating_sub(t0),
+                )
+                .arg("morsels", morsels_done as u64)
+                .arg("dop", u64::from(cur_dop))
+                .arg("source_rows", source_rows),
+            );
+            tracer.count("morsels", morsels_done as u64);
+            tracer.count("fetch_retries", u64::from(fetch_retries));
+            tracer.count("hedged_morsels", u64::from(hedged_morsels));
+            tracer.count("faults_injected", u64::from(faults_injected));
         }
 
         let metrics = PipelineMetrics {
@@ -1565,7 +1821,7 @@ impl<'a> Executor<'a> {
             fetch_retries,
             hedged_morsels,
             faults_injected,
-            recovery_wall_ns: recovery.as_micros().saturating_mul(1000),
+            recovery_virtual_ns: recovery.as_micros().saturating_mul(1000),
             retry_bytes,
         };
         Ok(PipelineRun {

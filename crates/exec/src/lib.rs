@@ -30,6 +30,13 @@
 //! re-execution of stragglers, and morsel reassignment — recoverable
 //! schedules reproduce the fault-free rows bit-for-bit, and every recovery
 //! second is billed into the cost accounting.
+//!
+//! Observability: `CI_TRACE=spans|full` (or
+//! [`engine::ExecutionConfig::trace`]) records structured spans on a dual
+//! clock — deterministic virtual-time driver lanes, wall-clock worker
+//! lanes — plus a metrics registry and per-plan-node dollar attribution
+//! (`QueryMetrics::node_dollars`, summing bit-exactly to the query bill).
+//! See `ci-obs` for the exporters.
 
 pub mod engine;
 pub mod key;
@@ -37,11 +44,13 @@ pub mod metrics;
 pub mod operators;
 pub mod parallel;
 pub mod scaling;
+mod trace;
 
 pub use ci_cloud::faults::{FaultInjector, FaultPlan, FaultProfile};
 pub use ci_cloud::work::WorkModels;
+pub use ci_obs::TraceLevel;
 pub use engine::{ExecutionConfig, ExecutionMode, Executor, QueryOutcome};
 pub use key::{DictKeyEntry, Key, KeyEncoder, KeyPart, MissPolicy};
-pub use metrics::{OpSample, PipelineMetrics, QueryMetrics};
+pub use metrics::{attribute_node_dollars, OpSample, PipelineMetrics, QueryMetrics};
 pub use parallel::WorkerPool;
 pub use scaling::{NoScaling, PipelineProgress, ScaleDecision, ScalingController};

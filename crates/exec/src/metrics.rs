@@ -82,10 +82,9 @@ pub struct PipelineMetrics {
     pub faults_injected: u32,
     /// *Virtual* nanoseconds of recovery work billed to this pipeline:
     /// retry backoff + re-fetches, throttle penalties, straggler excess,
-    /// hedge duplicates, and re-run preempted morsels. Sim-time (hence
-    /// deterministic and mode-identical), not wall-clock, despite the
-    /// `_ns` suffix it shares with the issue taxonomy.
-    pub recovery_wall_ns: u64,
+    /// hedge duplicates, and re-run preempted morsels. Sim-time, hence
+    /// deterministic and mode-identical.
+    pub recovery_virtual_ns: u64,
     /// Object-store bytes fetched *again* because of retries or preemption
     /// re-runs — the re-billed portion of the fetch bill.
     pub retry_bytes: u64,
@@ -146,10 +145,76 @@ pub struct QueryMetrics {
     /// True output rows per physical plan node (indexed by node id) —
     /// the run-time cardinalities the monitor and statistics service use.
     pub node_actual_rows: Vec<u64>,
+    /// Virtual seconds each physical plan node kept the machine busy
+    /// (indexed by node id): fetch + decode + operator work + the recovery
+    /// and per-morsel overhead charged to it. Accumulated by the driver in
+    /// canonical morsel order, so bit-identical across execution modes.
+    pub node_busy_secs: Vec<f64>,
+    /// Each node's share of [`QueryMetrics::cost`], prorated over
+    /// `node_busy_secs` (see [`attribute_node_dollars`]). The left fold of
+    /// this vector equals `cost` bit-exactly.
+    pub node_dollars: Vec<Dollars>,
     /// Total resize operations (initial acquisitions excluded).
     pub resize_events: u32,
     /// Rows in the final result.
     pub result_rows: u64,
+}
+
+/// Prorates a query's total bill over per-node busy time such that the
+/// canonical left fold of the result (`iter().sum::<Dollars>()`, the fold
+/// [`Dollars`]'s `Sum` impl performs) reproduces `cost` **bit-exactly** —
+/// no lost or double-billed cents, ever.
+///
+/// Nodes with zero busy time get exactly `Dollars::ZERO`. Every other node
+/// gets `cost * (busy / total)`, except the *last* busy node, which absorbs
+/// the rounding residual: it is assigned `cost - <fold of the others>` and
+/// then nudged by a fixup loop until the full fold lands exactly on `cost`
+/// (adding zeros preserves any f64 bit pattern, so only busy nodes matter to
+/// the fold). When no node was busy the whole bill lands on `fallback`.
+///
+/// Deterministic: the same `(cost, busy)` always produces the same shares,
+/// and `busy` itself is mode-independent, so attribution is part of the
+/// cross-mode equality contract.
+pub fn attribute_node_dollars(cost: Dollars, busy: &[f64], fallback: usize) -> Vec<Dollars> {
+    let mut out = vec![Dollars::ZERO; busy.len()];
+    if out.is_empty() {
+        return out;
+    }
+    let total: f64 = busy.iter().sum();
+    let last_busy = busy.iter().rposition(|&b| b > 0.0);
+    let Some(last) = last_busy else {
+        out[fallback.min(busy.len() - 1)] = cost;
+        return out;
+    };
+    let proratable = total.is_finite() && total > 0.0 && cost.amount().is_finite();
+    if !proratable {
+        out[last] = cost;
+        return out;
+    }
+    for (i, &b) in busy.iter().enumerate() {
+        if b > 0.0 && i != last {
+            out[i] = Dollars::new(cost.amount() * (b / total));
+        }
+    }
+    // Assign the residual, then fix up until the canonical fold is exact.
+    // Each pass shrinks the fold error toward zero; a handful of iterations
+    // always suffices (the residual is within a few ulps after pass one).
+    let fold_without_last =
+        |out: &[Dollars]| -> Dollars { out[..last].iter().copied().sum::<Dollars>() };
+    out[last] = cost - fold_without_last(&out);
+    for _ in 0..8 {
+        let fold: Dollars = out.iter().copied().sum();
+        if fold == cost {
+            return out;
+        }
+        out[last] += cost - fold;
+    }
+    // Unreachable in practice; guarantee exactness regardless.
+    for d in out.iter_mut() {
+        *d = Dollars::ZERO;
+    }
+    out[last] = cost;
+    out
 }
 
 impl QueryMetrics {
@@ -193,7 +258,7 @@ mod tests {
             fetch_retries: 0,
             hedged_morsels: 0,
             faults_injected: 0,
-            recovery_wall_ns: 0,
+            recovery_virtual_ns: 0,
             retry_bytes: 0,
         }
     }
@@ -216,9 +281,56 @@ mod tests {
             cost: Dollars::new(0.1),
             pipelines: vec![pm(), pm()],
             node_actual_rows: vec![],
+            node_busy_secs: vec![],
+            node_dollars: vec![],
             resize_events: 0,
             result_rows: 1,
         };
         assert!((q.utilization() - 12.0 / 32.0).abs() < 1e-12);
+    }
+
+    /// The canonical left fold of the attributed shares must reproduce the
+    /// total bit-exactly for arbitrary busy vectors — including awkward
+    /// ones (tiny shares, huge spreads, single-node, zero-padded).
+    #[test]
+    fn dollar_attribution_folds_bit_exactly() {
+        let cases: Vec<(f64, Vec<f64>)> = vec![
+            (1.0, vec![1.0, 1.0, 1.0]),
+            (0.1, vec![0.3, 0.0, 0.7]),
+            (123.456789, vec![1e-9, 1.0, 1e9, 0.0]),
+            (0.000123, vec![0.0, 0.0, 5.0]),
+            (7.25, vec![1.0 / 3.0, 1.0 / 7.0, 1.0 / 11.0, 1.0 / 13.0]),
+            (1e-18, vec![2.0, 3.0]),
+            (9.99, vec![0.125]),
+            // A pseudo-random pile of shares (fixed recurrence, no RNG).
+            (3.17159, {
+                let mut x = 0.5f64;
+                (0..32)
+                    .map(|_| {
+                        x = (x * 1103515245.0 + 12345.0) % 97.0;
+                        x.abs() + 0.001
+                    })
+                    .collect()
+            }),
+        ];
+        for (cost, busy) in cases {
+            let cost = Dollars::new(cost);
+            let out = attribute_node_dollars(cost, &busy, 0);
+            assert_eq!(out.len(), busy.len());
+            let fold: Dollars = out.iter().copied().sum();
+            assert_eq!(fold, cost, "busy={busy:?}");
+            for (i, &b) in busy.iter().enumerate() {
+                if b == 0.0 {
+                    assert_eq!(out[i], Dollars::ZERO, "idle node {i} billed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dollar_attribution_idle_query_bills_fallback() {
+        let out = attribute_node_dollars(Dollars::new(0.5), &[0.0, 0.0, 0.0], 1);
+        assert_eq!(out, vec![Dollars::ZERO, Dollars::new(0.5), Dollars::ZERO]);
+        assert!(attribute_node_dollars(Dollars::new(1.0), &[], 0).is_empty());
     }
 }

@@ -46,6 +46,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
+use ci_obs::{Lane, TraceEvent, WorkerBuffers};
 use ci_storage::RecordBatch;
 use ci_types::{CiError, Result};
 
@@ -75,6 +76,10 @@ struct PoolState {
     /// Jobs completed over the pool's lifetime (the reuse statistic).
     completed: u64,
     shutdown: bool,
+    /// Wall-clock trace buffers, attached for the duration of one traced
+    /// query (`CI_TRACE=full`). `None` — the common case — costs one clone
+    /// of a `None` per claim.
+    trace: Option<Arc<WorkerBuffers>>,
 }
 
 /// One submitted unit of pipeline work.
@@ -184,7 +189,7 @@ fn claim(state: &mut PoolState) -> Option<Claimed> {
     None
 }
 
-fn worker_loop(shared: Arc<PoolShared>) {
+fn worker_loop(shared: Arc<PoolShared>, worker: usize) {
     let mut state = shared.state.lock().expect("pool lock");
     loop {
         if state.shutdown {
@@ -192,12 +197,48 @@ fn worker_loop(shared: Arc<PoolShared>) {
         }
         match claim(&mut state) {
             Some((id, ctx, morsels, task)) => {
+                let trace = state.trace.clone();
                 drop(state);
-                run_task(&shared, id, &ctx, &morsels, task);
+                run_task(&shared, id, &ctx, &morsels, task, worker, trace.as_deref());
                 state = shared.state.lock().expect("pool lock");
             }
-            None => state = shared.work_cv.wait(state).expect("pool lock"),
+            None => {
+                // Park span: how long this worker slept between claims.
+                // Best-effort — a worker that parked before the trace was
+                // attached records nothing for that nap.
+                let trace = state.trace.clone();
+                let parked_at = trace.as_ref().map(|b| b.now_us());
+                state = shared.work_cv.wait(state).expect("pool lock");
+                if let (Some(b), Some(t0)) = (&trace, parked_at) {
+                    b.record(
+                        worker,
+                        TraceEvent::span(
+                            "park",
+                            "pool",
+                            Lane::Worker(worker as u32),
+                            t0,
+                            b.now_us().saturating_sub(t0),
+                        ),
+                    );
+                }
+            }
         }
+    }
+}
+
+/// Records one wall-clock span on `worker`'s lane, `t0` to now.
+fn record_span(trace: Option<&WorkerBuffers>, worker: usize, name: String, t0: u64) {
+    if let Some(b) = trace {
+        b.record(
+            worker,
+            TraceEvent::span(
+                name,
+                "pool",
+                Lane::Worker(worker as u32),
+                t0,
+                b.now_us().saturating_sub(t0),
+            ),
+        );
     }
 }
 
@@ -224,10 +265,20 @@ fn contained<T>(f: impl FnOnce() -> Result<T>) -> Result<T> {
 /// arm routes the actual processing through [`contained`], so the
 /// completion bookkeeping below it *always* runs — a lost worker's morsel
 /// surfaces as an error at its own output index, never as a hang.
-fn run_task(shared: &PoolShared, id: u64, ctx: &ChainCtx, morsels: &[Morsel], task: Task) {
+fn run_task(
+    shared: &PoolShared,
+    id: u64,
+    ctx: &ChainCtx,
+    morsels: &[Morsel],
+    task: Task,
+    worker: usize,
+    trace: Option<&WorkerBuffers>,
+) {
     match task {
         Task::Fetch(idx) => {
+            let t0 = trace.map_or(0, WorkerBuffers::now_us);
             let fetched = contained(|| ctx.fetch_morsel(&morsels[idx]));
+            record_span(trace, worker, format!("fetch m{idx}"), t0);
             let mut state = shared.state.lock().expect("pool lock");
             if let Some(job) = state.jobs.get_mut(&id) {
                 if let JobWork::Trace {
@@ -246,7 +297,9 @@ fn run_task(shared: &PoolShared, id: u64, ctx: &ChainCtx, morsels: &[Morsel], ta
             shared.work_cv.notify_all();
         }
         Task::Compute(idx, fetched) => {
+            let t0 = trace.map_or(0, WorkerBuffers::now_us);
             let out = contained(|| fetched.and_then(|batch| ctx.compute_morsel(batch, None)));
+            record_span(trace, worker, format!("compute m{idx}"), t0);
             finish_unit(shared, id, |job| {
                 job.outputs[idx] = Some(out);
             });
@@ -256,6 +309,8 @@ fn run_task(shared: &PoolShared, id: u64, ctx: &ChainCtx, morsels: &[Morsel], ta
             range,
             proto,
         } => {
+            let t0 = trace.map_or(0, WorkerBuffers::now_us);
+            let chunk_len = range.len();
             let mut local = proto.fresh();
             let mut outs: Vec<(usize, Result<MorselTrace>)> = Vec::with_capacity(range.len());
             for i in range {
@@ -268,6 +323,19 @@ fn run_task(shared: &PoolShared, id: u64, ctx: &ChainCtx, morsels: &[Morsel], ta
                     // the chunk's unprocessed tail.
                     break;
                 }
+            }
+            if let Some(b) = trace {
+                b.record(
+                    worker,
+                    TraceEvent::span(
+                        format!("chunk {chunk}"),
+                        "pool",
+                        Lane::Worker(worker as u32),
+                        t0,
+                        b.now_us().saturating_sub(t0),
+                    )
+                    .arg("morsels", chunk_len as u64),
+                );
             }
             finish_unit(shared, id, |job| {
                 for (i, r) in outs {
@@ -314,7 +382,7 @@ impl WorkerPool {
                 let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("ci-exec-worker-{i}"))
-                    .spawn(move || worker_loop(shared))
+                    .spawn(move || worker_loop(shared, i))
                     .expect("spawn pool worker")
             })
             .collect();
@@ -351,6 +419,14 @@ impl WorkerPool {
     /// the pool-reuse statistic `PipelineMetrics` records.
     pub fn jobs_completed(&self) -> u64 {
         self.shared.state.lock().expect("pool lock").completed
+    }
+
+    /// Attaches wall-clock trace buffers for one query (`CI_TRACE=full`).
+    /// The returned guard detaches on drop, so every exit path — including
+    /// errors — leaves a shared pool clean for the next query.
+    pub(crate) fn attach_trace(&self, bufs: Arc<WorkerBuffers>) -> TraceGuard<'_> {
+        self.shared.state.lock().expect("pool lock").trace = Some(bufs);
+        TraceGuard { pool: self }
     }
 
     fn submit(&self, job: Job) -> u64 {
@@ -460,6 +536,18 @@ fn split_ranges(n: usize, chunks: usize) -> Vec<Range<usize>> {
     }
     debug_assert_eq!(at, n);
     ranges
+}
+
+/// Detaches a pool's trace buffers when dropped (see
+/// [`WorkerPool::attach_trace`]).
+pub(crate) struct TraceGuard<'a> {
+    pool: &'a WorkerPool,
+}
+
+impl Drop for TraceGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.shared.state.lock().expect("pool lock").trace = None;
+    }
 }
 
 impl Drop for WorkerPool {

@@ -129,7 +129,7 @@ fn faults_total(q: &QueryOutcome) -> u32 {
 
 /// Everything except wall-clock/pool identity must match bit-for-bit —
 /// including the fault counters (`fetch_retries`, `hedged_morsels`,
-/// `faults_injected`, `recovery_wall_ns`, `retry_bytes`), which are part of
+/// `faults_injected`, `recovery_virtual_ns`, `retry_bytes`), which are part of
 /// the determinism contract.
 fn assert_equivalent(sim: &QueryOutcome, par: &QueryOutcome, label: &str) -> Result<(), String> {
     prop_assert_eq!(&par.result, &sim.result, "{label}: result rows");
@@ -197,7 +197,7 @@ proptest! {
         prop_assert_eq!(faults_total(&clean), 0, "{label}: clean run injected faults");
         for p in &clean.metrics.pipelines {
             prop_assert_eq!(p.fetch_retries, 0, "{label}: clean retries");
-            prop_assert_eq!(p.recovery_wall_ns, 0, "{label}: clean recovery");
+            prop_assert_eq!(p.recovery_virtual_ns, 0, "{label}: clean recovery");
             prop_assert_eq!(p.retry_bytes, 0, "{label}: clean retry bytes");
         }
     }
@@ -248,18 +248,67 @@ fn chaos_actually_injects_and_bills() {
         .metrics
         .pipelines
         .iter()
-        .map(|p| p.recovery_wall_ns)
+        .map(|p| p.recovery_virtual_ns)
         .sum();
     assert!(recovery > 0, "injected faults must bill recovery time");
     for (pp, sp) in par.metrics.pipelines.iter().zip(&sim.metrics.pipelines) {
         assert_eq!(pp.faults_injected, sp.faults_injected, "{:?}", sp.id);
         assert_eq!(pp.fetch_retries, sp.fetch_retries, "{:?}", sp.id);
         assert_eq!(pp.hedged_morsels, sp.hedged_morsels, "{:?}", sp.id);
-        assert_eq!(pp.recovery_wall_ns, sp.recovery_wall_ns, "{:?}", sp.id);
+        assert_eq!(
+            pp.recovery_virtual_ns, sp.recovery_virtual_ns,
+            "{:?}",
+            sp.id
+        );
         assert_eq!(pp.retry_bytes, sp.retry_bytes, "{:?}", sp.id);
     }
     assert_eq!(par.result, sim.result);
     assert_eq!(par.metrics.cost, sim.metrics.cost);
+}
+
+/// Per-node dollar attribution is part of the determinism contract: under
+/// chaos, every query's `node_dollars` fold back to the total bill
+/// *bit-exactly*, and the attribution (plus the busy-time basis behind it)
+/// is bit-identical across Simulate and Parallel at 2 and 4 workers.
+#[test]
+fn node_dollar_attribution_sums_exactly_to_cost() {
+    use ci_types::Dollars;
+    let cat = catalog();
+    for sql in QUERIES {
+        let plan = Some(FaultPlan::chaos(42));
+        let sim = run_faulted(&cat, sql, ExecutionMode::Simulate, plan.clone()).unwrap();
+        for out in [
+            &sim,
+            &run_faulted(
+                &cat,
+                sql,
+                ExecutionMode::Parallel { workers: 2 },
+                plan.clone(),
+            )
+            .unwrap(),
+            &run_faulted(
+                &cat,
+                sql,
+                ExecutionMode::Parallel { workers: 4 },
+                plan.clone(),
+            )
+            .unwrap(),
+        ] {
+            let total: Dollars = out.metrics.node_dollars.iter().copied().sum();
+            assert_eq!(
+                total, out.metrics.cost,
+                "[{sql}] node dollars must fold bit-exactly to the bill"
+            );
+            assert_eq!(
+                &out.metrics.node_dollars, &sim.metrics.node_dollars,
+                "[{sql}] attribution must be mode-independent"
+            );
+            assert_eq!(
+                &out.metrics.node_busy_secs, &sim.metrics.node_busy_secs,
+                "[{sql}] busy-time basis must be mode-independent"
+            );
+        }
+    }
 }
 
 /// An unrecoverable schedule dies with a typed error — no panic, no hang —

@@ -1,0 +1,169 @@
+//! Chrome trace-format exporter: renders recorded events as the JSON-array
+//! flavor `chrome://tracing` and Perfetto load directly.
+//!
+//! Lane mapping keeps the two clocks on separate axes: process 1 is
+//! **virtual time** (tid 0 = driver, tid `p+1` = pipeline `p`, tid 900 =
+//! planned-vs-actual instants) and process 2 is **wall clock** (tid `w+1` =
+//! worker `w`). Metadata events label every process and thread so the lanes
+//! read by name in the viewer.
+
+use crate::span::{ArgVal, Lane, TraceEvent};
+use std::collections::BTreeSet;
+
+/// Chrome-trace `(pid, tid)` of a lane.
+fn lane_ids(lane: Lane) -> (u32, u32) {
+    match lane {
+        Lane::Driver => (1, 0),
+        Lane::Pipeline(p) => (1, p + 1),
+        Lane::Plan => (1, 900),
+        Lane::Worker(w) => (2, w + 1),
+    }
+}
+
+/// Human label for a lane's thread metadata.
+fn lane_label(lane: Lane) -> String {
+    match lane {
+        Lane::Driver => "driver".into(),
+        Lane::Pipeline(p) => format!("pipeline {p}"),
+        Lane::Plan => "plan est-vs-actual".into(),
+        Lane::Worker(w) => format!("worker {w}"),
+    }
+}
+
+/// Escapes a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_args(args: &[(&'static str, ArgVal)]) -> String {
+    if args.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = args
+        .iter()
+        .map(|(k, v)| {
+            let val = match v {
+                ArgVal::U64(n) => n.to_string(),
+                ArgVal::I64(n) => n.to_string(),
+                // `{:?}` is Rust's shortest round-trip float rendering;
+                // guard non-finite values (invalid JSON) as strings.
+                ArgVal::F64(f) if f.is_finite() => format!("{f:?}"),
+                ArgVal::F64(f) => format!("\"{f}\""),
+                ArgVal::Str(s) => format!("\"{}\"", esc(s)),
+            };
+            format!("\"{}\": {val}", esc(k))
+        })
+        .collect();
+    format!(", \"args\": {{{}}}", body.join(", "))
+}
+
+/// Serializes events as a Chrome trace-format JSON array, prefixed with the
+/// metadata events naming every lane that appears.
+pub fn to_chrome_json(events: &[TraceEvent]) -> String {
+    let mut lines = Vec::new();
+
+    let lanes: BTreeSet<Lane> = events.iter().map(|e| e.lane).collect();
+    let pids: BTreeSet<u32> = lanes.iter().map(|&l| lane_ids(l).0).collect();
+    for pid in pids {
+        let pname = if pid == 1 {
+            "virtual time"
+        } else {
+            "wall clock"
+        };
+        lines.push(format!(
+            "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": 0, \
+             \"args\": {{\"name\": \"{pname}\"}}}}"
+        ));
+    }
+    for &lane in &lanes {
+        let (pid, tid) = lane_ids(lane);
+        lines.push(format!(
+            "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \
+             \"args\": {{\"name\": \"{}\"}}}}",
+            esc(&lane_label(lane))
+        ));
+    }
+
+    for e in events {
+        let (pid, tid) = lane_ids(e.lane);
+        let args = render_args(&e.args);
+        if e.dur_us > 0 {
+            lines.push(format!(
+                "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \
+                 \"pid\": {pid}, \"tid\": {tid}{args}}}",
+                esc(&e.name),
+                e.cat,
+                e.ts_us,
+                e.dur_us
+            ));
+        } else {
+            lines.push(format!(
+                "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \"ts\": {}, \
+                 \"pid\": {pid}, \"tid\": {tid}{args}}}",
+                esc(&e.name),
+                e.cat,
+                e.ts_us
+            ));
+        }
+    }
+
+    let mut out = String::from("[\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_instants_and_metadata() {
+        let events = vec![
+            TraceEvent::span("fetch", "exec", Lane::Pipeline(0), 10, 5).arg("bytes", 64u64),
+            TraceEvent::instant("fault:throttle", "fault", Lane::Pipeline(0), 12),
+            TraceEvent::span("run:compute", "pool", Lane::Worker(1), 3, 9),
+            TraceEvent::instant("node 2", "plan", Lane::Plan, 0)
+                .arg("est_rows", 10.5f64)
+                .arg("actual_rows", 12u64),
+        ];
+        let json = to_chrome_json(&events);
+        // Both processes named, every lane thread-named.
+        assert!(json.contains("\"name\": \"virtual time\""), "{json}");
+        assert!(json.contains("\"name\": \"wall clock\""), "{json}");
+        assert!(json.contains("\"name\": \"pipeline 0\""), "{json}");
+        assert!(json.contains("\"name\": \"worker 1\""), "{json}");
+        // Spans carry dur, instants carry scope.
+        assert!(
+            json.contains("\"ph\": \"X\", \"ts\": 10, \"dur\": 5"),
+            "{json}"
+        );
+        assert!(json.contains("\"ph\": \"i\", \"s\": \"t\""), "{json}");
+        // Args render with JSON-safe values.
+        assert!(json.contains("\"bytes\": 64"), "{json}");
+        assert!(json.contains("\"est_rows\": 10.5"), "{json}");
+        // The document is one array.
+        assert!(json.starts_with("[\n") && json.ends_with("\n]\n"), "{json}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let events =
+            vec![TraceEvent::instant("a\"b\\c", "exec", Lane::Driver, 1).arg("label", "x\ny")];
+        let json = to_chrome_json(&events);
+        assert!(json.contains("a\\\"b\\\\c"), "{json}");
+        assert!(json.contains("x\\ny"), "{json}");
+    }
+}
