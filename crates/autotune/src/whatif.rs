@@ -1,7 +1,9 @@
 //! The What-If Service (§4): dollar-denominated evaluation of tuning actions.
 
 use ci_catalog::{Catalog, ErrorInjector};
-use ci_cost::{CostEstimator, EstimatorConfig, PipelineWork};
+use ci_cost::{
+    CostEstimator, EstimatorConfig, PipelineWork, TierCostModel, TierLevel, TierPricing,
+};
 use ci_plan::binder::bind;
 use ci_plan::jointree::JoinTree;
 use ci_plan::physical::build_plan;
@@ -33,6 +35,28 @@ pub enum TuningAction {
         /// Cluster column name.
         column: String,
     },
+    /// Pin a table into a cache tier: every scan of it is served at that
+    /// tier's latency, and the table pays the tier's occupancy rent for as
+    /// long as the pin stands. The benefit is saved fetch dollars — faster
+    /// machine-seconds plus the object-store GET/transfer charges the cache
+    /// absorbs; the cost is rent. Exactly the recluster trade, with
+    /// residency in place of sort order.
+    PinTable {
+        /// Table name.
+        table: String,
+        /// Which cache tier holds it (`Mem` or `Ssd`; pinning to `Object`
+        /// is rejected — everything already lives there).
+        tier: TierLevel,
+    },
+    /// Resize the cache budget: expected hit rates scale with how much of
+    /// the workload's working set the tiers can hold, and rent scales with
+    /// the bytes actually occupied.
+    CacheBudget {
+        /// Memory-tier budget in bytes.
+        mem_bytes: u64,
+        /// SSD-tier budget in bytes.
+        ssd_bytes: u64,
+    },
 }
 
 impl TuningAction {
@@ -42,6 +66,24 @@ impl TuningAction {
             TuningAction::CreateMaterializedView { name, .. } => format!("CREATE MV {name}"),
             TuningAction::Recluster { table, column } => {
                 format!("RECLUSTER {table} BY {column}")
+            }
+            TuningAction::PinTable { table, tier } => {
+                let t = match tier {
+                    TierLevel::Mem => "MEMORY",
+                    TierLevel::Ssd => "SSD",
+                    TierLevel::Object => "OBJECT",
+                };
+                format!("PIN {table} IN {t}")
+            }
+            TuningAction::CacheBudget {
+                mem_bytes,
+                ssd_bytes,
+            } => {
+                format!(
+                    "CACHE BUDGET mem={:.1}MB ssd={:.1}MB",
+                    *mem_bytes as f64 / 1e6,
+                    *ssd_bytes as f64 / 1e6
+                )
             }
         }
     }
@@ -61,6 +103,9 @@ pub struct WhatIfConfig {
     pub recluster_maintenance_factor_per_hour: f64,
     /// DOP ladder used when costing queries.
     pub dop_ladder: Vec<u32>,
+    /// Tier menu used when pricing cache actions (capacities, service
+    /// times, occupancy rents, object GET/transfer charges).
+    pub tier_pricing: TierPricing,
 }
 
 impl Default for WhatIfConfig {
@@ -71,6 +116,7 @@ impl Default for WhatIfConfig {
             mv_refresh_factor: 0.1,
             recluster_maintenance_factor_per_hour: 0.002,
             dop_ladder: (0..=8).map(|i| 1u32 << i).collect(),
+            tier_pricing: TierPricing::standard(),
         }
     }
 }
@@ -125,16 +171,34 @@ impl<'a> WhatIfService<'a> {
             TuningAction::Recluster { table, column } => {
                 self.evaluate_recluster(action, table, column, workload)
             }
+            TuningAction::PinTable { table, tier } => {
+                self.evaluate_pin(action, table, *tier, workload)
+            }
+            TuningAction::CacheBudget {
+                mem_bytes,
+                ssd_bytes,
+            } => self.evaluate_budget(action, *mem_bytes, *ssd_bytes, workload),
         }
     }
 
     /// Estimated dollars and latency for one query under a given catalog.
     fn query_cost(&self, catalog: &Catalog, sql: &str) -> Result<(Dollars, f64)> {
+        self.query_cost_with(catalog, &self.config.estimator, sql)
+    }
+
+    /// Same, under an explicit estimator configuration — how cache what-ifs
+    /// price "the same query, but with this tier model".
+    fn query_cost_with(
+        &self,
+        catalog: &Catalog,
+        cfg: &EstimatorConfig,
+        sql: &str,
+    ) -> Result<(Dollars, f64)> {
         let bound = bind(&parse(sql)?, catalog)?;
         let tree = JoinTree::left_deep(&(0..bound.relations.len()).collect::<Vec<_>>());
         let plan = build_plan(&bound, &tree, catalog, &mut ErrorInjector::oracle())?;
         let graph = PipelineGraph::decompose(&plan)?;
-        let est = CostEstimator::new(catalog, self.config.estimator.clone());
+        let est = CostEstimator::new(catalog, cfg.clone());
         let dops: Vec<u32> = graph
             .pipelines
             .iter()
@@ -145,6 +209,17 @@ impl<'a> WhatIfService<'a> {
             .collect::<Result<Vec<_>>>()?;
         let q = est.estimate(&plan, &graph, &dops)?;
         Ok((q.cost, q.latency.as_secs_f64()))
+    }
+
+    /// The estimator configuration cache what-ifs start from: the standing
+    /// one, with a cold tier model installed if none was set (so "before"
+    /// and "after" differ only in the proposed residency).
+    fn tiered_base_config(&self) -> EstimatorConfig {
+        let mut cfg = self.config.estimator.clone();
+        if cfg.tiers.is_none() {
+            cfg.tiers = Some(TierCostModel::cold(self.config.tier_pricing.clone()));
+        }
+        cfg
     }
 
     fn evaluate_mv(
@@ -260,6 +335,141 @@ impl<'a> WhatIfService<'a> {
             .bill(ci_types::SimDuration::from_secs_f64(rewrite_secs));
         let cost_rate = one_time * self.config.recluster_maintenance_factor_per_hour;
         self.finish_report(action, benefit, cost_rate, one_time, matched)
+    }
+
+    fn evaluate_pin(
+        &self,
+        action: &TuningAction,
+        table: &str,
+        tier: TierLevel,
+        workload: &[PredictedQuery],
+    ) -> Result<ProposalReport> {
+        let entry = self.catalog.get(table)?;
+        let id = entry.table.id;
+        let pricing = &self.config.tier_pricing;
+        // Residency footprint: the memory tier holds decoded batches, the
+        // SSD tier holds encoded partition files.
+        let (spec, resident_bytes) = match tier {
+            TierLevel::Mem => (&pricing.mem, entry.table.total_bytes()),
+            TierLevel::Ssd => (&pricing.ssd, entry.table.total_encoded_bytes()),
+            TierLevel::Object => {
+                return Err(CiError::Tuning(
+                    "pinning to the object tier is a no-op: data already lives there".into(),
+                ))
+            }
+        };
+        if resident_bytes > spec.capacity_bytes {
+            return Err(CiError::Tuning(format!(
+                "cannot pin '{table}': {resident_bytes} B exceeds the tier's \
+                 {} B capacity",
+                spec.capacity_bytes
+            )));
+        }
+
+        let before_cfg = self.tiered_base_config();
+        let mut after_cfg = before_cfg.clone();
+        let model = after_cfg
+            .tiers
+            .as_mut()
+            .expect("tiered_base_config sets it");
+        match tier {
+            TierLevel::Mem => model.pinned_mem.insert(id),
+            TierLevel::Ssd => model.pinned_ssd.insert(id),
+            TierLevel::Object => unreachable!("rejected above"),
+        };
+
+        // Saved fetch dollars, per §4's x: faster machine-seconds (the scan
+        // is served at tier latency) plus the object-store GET and transfer
+        // charges every cache-served scan no longer pays.
+        let encoded = entry.table.total_encoded_bytes() as f64;
+        let parts = entry.table.partitions.len() as f64;
+        let egress_per_exec = parts * pricing.object_get_dollars
+            + encoded / 1e9 * pricing.object_transfer_dollars_per_gb;
+        let mut benefit = Dollars::ZERO;
+        let mut matched = 0usize;
+        for q in workload {
+            if !q.sql.to_lowercase().contains(&table.to_lowercase()) {
+                continue;
+            }
+            let (before, _) = self.query_cost_with(self.catalog, &before_cfg, &q.sql)?;
+            let (after, _) = self.query_cost_with(self.catalog, &after_cfg, &q.sql)?;
+            let saved = (before - after).max(Dollars::ZERO) + Dollars::new(egress_per_exec);
+            if saved > Dollars::ZERO {
+                matched += 1;
+                benefit += saved * q.rate_per_hour;
+            }
+        }
+
+        // y: occupancy rent for as long as the pin stands.
+        let cost_rate = Dollars::new(spec.rent_per_hour(resident_bytes));
+        // One-time: fill the tier once from the object store (transfer
+        // charges plus the machine time of the fill scan).
+        let fill_secs = encoded / self.config.estimator.models.hw.node_scan_bytes_per_sec();
+        let one_time = self
+            .config
+            .estimator
+            .rate
+            .bill(ci_types::SimDuration::from_secs_f64(fill_secs))
+            + Dollars::new(egress_per_exec);
+        self.finish_report(action, benefit, cost_rate, one_time, matched)
+    }
+
+    fn evaluate_budget(
+        &self,
+        action: &TuningAction,
+        mem_bytes: u64,
+        ssd_bytes: u64,
+        workload: &[PredictedQuery],
+    ) -> Result<ProposalReport> {
+        let pricing = &self.config.tier_pricing;
+        // Working set: encoded bytes of every table the workload touches.
+        let lowered: Vec<String> = workload.iter().map(|q| q.sql.to_lowercase()).collect();
+        let mut working_set = 0u64;
+        for (name, entry) in self.catalog.tables() {
+            if lowered.iter().any(|s| s.contains(name)) {
+                working_set += entry.table.total_encoded_bytes();
+            }
+        }
+        if working_set == 0 {
+            return self.finish_report(action, Dollars::ZERO, Dollars::ZERO, Dollars::ZERO, 0);
+        }
+        let ws = working_set as f64;
+        // Hit-rate model: each tier serves the fraction of the working set
+        // it can hold; memory claims its share first.
+        let mem_frac = (mem_bytes as f64 / ws).min(1.0);
+        let ssd_frac = (ssd_bytes as f64 / ws).min(1.0 - mem_frac);
+
+        let before_cfg = self.tiered_base_config();
+        let mut after_cfg = before_cfg.clone();
+        {
+            let model = after_cfg
+                .tiers
+                .as_mut()
+                .expect("tiered_base_config sets it");
+            model.mem_hit_rate = mem_frac;
+            model.ssd_hit_rate = ssd_frac;
+        }
+
+        let mut benefit = Dollars::ZERO;
+        let mut matched = 0usize;
+        for q in workload {
+            let (before, _) = self.query_cost_with(self.catalog, &before_cfg, &q.sql)?;
+            let (after, _) = self.query_cost_with(self.catalog, &after_cfg, &q.sql)?;
+            if after < before {
+                matched += 1;
+                benefit += (before - after) * q.rate_per_hour;
+            }
+        }
+
+        // Rent is charged on occupied bytes, not the configured budget — a
+        // budget bigger than the working set buys nothing and costs nothing
+        // extra.
+        let mem_used = (mem_frac * ws).min(mem_bytes as f64) as u64;
+        let ssd_used = (ssd_frac * ws).min(ssd_bytes as f64) as u64;
+        let cost_rate =
+            Dollars::new(pricing.mem.rent_per_hour(mem_used) + pricing.ssd.rent_per_hour(ssd_used));
+        // The cache fills lazily on misses the workload pays anyway.
+        self.finish_report(action, benefit, cost_rate, Dollars::ZERO, matched)
     }
 
     fn finish_report(
@@ -523,5 +733,106 @@ mod tests {
             column: "id".into(),
         };
         assert!(svc.evaluate(&action, &[]).is_err());
+    }
+
+    #[test]
+    fn pin_accepted_for_hot_table_rejected_when_rent_dominates() {
+        let cat = catalog();
+        let action = TuningAction::PinTable {
+            table: "facts".into(),
+            tier: TierLevel::Ssd,
+        };
+        let priced = |rate_per_hour: f64, ssd_price_per_gb_hour: f64| {
+            let mut cfg = WhatIfConfig::default();
+            cfg.tier_pricing.ssd.price_per_gb_hour = ssd_price_per_gb_hour;
+            WhatIfService::new(&cat, cfg)
+                .evaluate(&action, &workload(AGG, rate_per_hour))
+                .unwrap()
+        };
+        // A hot table at standard rent: the saved fetch dollars win.
+        let hot = priced(500.0, TierPricing::standard().ssd.price_per_gb_hour);
+        assert!(hot.benefit_rate > Dollars::ZERO, "{}", hot.narrative);
+        assert!(hot.accepted, "{}", hot.narrative);
+        // Same workload, rent cranked until occupancy dominates: REJECT.
+        let pricey = priced(500.0, 1e9);
+        assert!(!pricey.accepted, "{}", pricey.narrative);
+        assert_eq!(
+            hot.benefit_rate, pricey.benefit_rate,
+            "rent must not change the benefit side"
+        );
+    }
+
+    #[test]
+    fn pin_rejects_object_tier_and_over_capacity() {
+        let cat = catalog();
+        let svc = WhatIfService::new(&cat, WhatIfConfig::default());
+        let obj = TuningAction::PinTable {
+            table: "facts".into(),
+            tier: TierLevel::Object,
+        };
+        assert!(svc.evaluate(&obj, &workload(AGG, 1.0)).is_err());
+
+        let mut tiny = WhatIfConfig::default();
+        tiny.tier_pricing.mem.capacity_bytes = 16;
+        let svc = WhatIfService::new(&cat, tiny);
+        let mem = TuningAction::PinTable {
+            table: "facts".into(),
+            tier: TierLevel::Mem,
+        };
+        assert!(svc.evaluate(&mem, &workload(AGG, 1.0)).is_err());
+    }
+
+    #[test]
+    fn pin_without_touching_queries_rejected() {
+        let cat = catalog();
+        let svc = WhatIfService::new(&cat, WhatIfConfig::default());
+        let action = TuningAction::PinTable {
+            table: "facts".into(),
+            tier: TierLevel::Ssd,
+        };
+        let other = workload("SELECT d_name FROM dims WHERE d_id < 5", 100.0);
+        let report = svc.evaluate(&action, &other).unwrap();
+        assert_eq!(report.benefit_rate, Dollars::ZERO);
+        assert!(!report.accepted);
+    }
+
+    #[test]
+    fn cache_budget_scales_benefit_with_size() {
+        let cat = catalog();
+        let svc = WhatIfService::new(&cat, WhatIfConfig::default());
+        let ws = cat.get("facts").unwrap().table.total_encoded_bytes();
+        let wl = workload(AGG, 200.0);
+        let report_at = |mem: u64| {
+            let action = TuningAction::CacheBudget {
+                mem_bytes: mem,
+                ssd_bytes: 0,
+            };
+            svc.evaluate(&action, &wl).unwrap()
+        };
+        let none = report_at(0);
+        let half = report_at(ws / 2);
+        let full = report_at(ws);
+        assert_eq!(none.benefit_rate, Dollars::ZERO);
+        assert!(half.benefit_rate > Dollars::ZERO, "{}", half.narrative);
+        assert!(full.benefit_rate > half.benefit_rate);
+        // Rent tracks occupied bytes: a budget above the working set costs
+        // the same as one exactly covering it.
+        let over = report_at(ws * 10);
+        assert_eq!(over.cost_rate, full.cost_rate);
+        assert_eq!(over.benefit_rate, full.benefit_rate);
+    }
+
+    #[test]
+    fn cache_action_labels_are_descriptive() {
+        let pin = TuningAction::PinTable {
+            table: "facts".into(),
+            tier: TierLevel::Mem,
+        };
+        assert_eq!(pin.label(), "PIN facts IN MEMORY");
+        let budget = TuningAction::CacheBudget {
+            mem_bytes: 64_000_000,
+            ssd_bytes: 0,
+        };
+        assert!(budget.label().contains("mem=64.0MB"));
     }
 }

@@ -3,7 +3,8 @@
 //! the dict-exchange wire payload stops beating the plain payload, or when
 //! it is no longer >= 2x smaller than the decoded bytes, or when the
 //! disabled fault hooks cost >= 5% on the parallel scan-join, or when
-//! dormant tracing (`CI_TRACE=off`) costs >= 3% on the same plan — a
+//! dormant tracing (`CI_TRACE=off`) costs >= 3% on the same plan, or when
+//! the warm cache-hit scan stops beating cold `CIPF` reads by >= 2x — a
 //! regression on the dictionary, selection-vector, wire-format,
 //! fault-injection, or tracing paths breaks the build instead of slipping
 //! into the artifact. Core-count-conditional speedup
@@ -70,6 +71,10 @@ fn main() -> Result<()> {
     println!(
         "{path}: trace hooks-off {:.2}x of plain scan-join, full tracing {} ns",
         report.trace_overhead, report.trace_full_ns,
+    );
+    println!(
+        "{path}: cache-hit scan warm {:.2}x over cold CIPF reads ({} partitions)",
+        report.cache_hit_speedup, report.cache_parts,
     );
     Ok(())
 }

@@ -38,17 +38,22 @@
 //! `trace_full_ns` / `trace_overhead`: the scan-join plan with
 //! `CI_TRACE=off` vs `full` — the off arm is gated < 3% over the plain
 //! parallel measurement when `host_cores` suffices; the full arm is
-//! recorded for the trajectory).
+//! recorded for the trajectory), and the tiered cache's hit economics
+//! (`cache_cold_ns` / `cache_warm_ns` / `cache_hit_speedup`: every
+//! partition of a CIPF-persisted table read through the tier stack fully
+//! cold — open, checksum, decode per file — vs served from the memory
+//! tier; gated >= 2x when `host_cores` suffices).
 //!
 //! Usage: `cargo run --release -p ci-bench --bin bench_micro`
 
 use std::time::Instant;
 
 use ci_bench::hotpath::{
-    exchange_wire_accounting, int_codec_accounting, parallel_fixture, partial_agg_plan,
-    run_exchange_wire, run_filter, run_filter_chain, run_group_by, run_join, run_page_encode,
-    run_page_encode_int, run_parallel_scan_join, run_partial_agg, run_pool_reuse, run_retry_storm,
-    run_trace_overhead, sorted_int_batch, string_batch, wide_batch, PARALLEL_WORKERS,
+    cache_scan_fixture, exchange_wire_accounting, int_codec_accounting, parallel_fixture,
+    partial_agg_plan, run_cache_hit_scan, run_exchange_wire, run_filter, run_filter_chain,
+    run_group_by, run_join, run_page_encode, run_page_encode_int, run_parallel_scan_join,
+    run_partial_agg, run_pool_reuse, run_retry_storm, run_trace_overhead, sorted_int_batch,
+    string_batch, warm_cache, wide_batch, PARALLEL_WORKERS,
 };
 use ci_exec::{ExecutionMode, TraceLevel};
 use ci_storage::RecordBatch;
@@ -258,6 +263,25 @@ fn main() -> Result<()> {
     );
     let trace_overhead = trace_off_ns as f64 / parallel_4w_ns.max(1) as f64;
 
+    // Cache-hit-scan measurement: every partition of a CIPF-persisted table
+    // read through the tier stack, fully cold (each read opens, checksums,
+    // and decodes the on-disk page file) vs fully warm (each read served
+    // from the memory tier's decoded batches). The ratio is the pure cost
+    // of the object-tier round trip — bench_check gates it >= 2x, with the
+    // usual starved-host skip: a host too contended for the parallel gates
+    // times this IO-vs-memory ratio too noisily as well.
+    let (tiers, cache_table, cache_parts) = cache_scan_fixture(ROWS)?;
+    let (cache_cold_ns, cache_cold_check) =
+        time_min(|| run_cache_hit_scan(&tiers, cache_table, cache_parts))?;
+    warm_cache(&tiers, cache_table, cache_parts)?;
+    let (cache_warm_ns, cache_warm_check) =
+        time_min(|| run_cache_hit_scan(&tiers, cache_table, cache_parts))?;
+    assert_eq!(
+        cache_cold_check, cache_warm_check,
+        "cache_hit_scan: cache temperature changed results"
+    );
+    let cache_hit_speedup = cache_cold_ns as f64 / cache_warm_ns.max(1) as f64;
+
     // Exchange payload accounting (not timed): what one dict-column stream
     // puts on the wire vs the plain-page and decoded alternatives. CI gates
     // on the wire payload beating plain and halving the decoded bytes.
@@ -268,7 +292,7 @@ fn main() -> Result<()> {
     let (int_encoded_bytes, int_plain_bytes) = int_codec_accounting(&sorted_int_batch(ROWS))?;
 
     let mut json = String::from("{\n");
-    json.push_str("  \"schema_version\": 7,\n");
+    json.push_str("  \"schema_version\": 8,\n");
     json.push_str(&format!("  \"rows\": {ROWS},\n"));
     json.push_str(&format!("  \"cardinality\": {CARDINALITY},\n"));
     json.push_str(&format!("  \"parallel_sim_ns\": {parallel_sim_ns},\n"));
@@ -302,6 +326,12 @@ fn main() -> Result<()> {
     json.push_str(&format!("  \"trace_off_ns\": {trace_off_ns},\n"));
     json.push_str(&format!("  \"trace_full_ns\": {trace_full_ns},\n"));
     json.push_str(&format!("  \"trace_overhead\": {trace_overhead:.2},\n"));
+    json.push_str(&format!("  \"cache_cold_ns\": {cache_cold_ns},\n"));
+    json.push_str(&format!("  \"cache_warm_ns\": {cache_warm_ns},\n"));
+    json.push_str(&format!(
+        "  \"cache_hit_speedup\": {cache_hit_speedup:.2},\n"
+    ));
+    json.push_str(&format!("  \"cache_parts\": {cache_parts},\n"));
     json.push_str(&format!("  \"exchange_wire_bytes\": {wire_bytes},\n"));
     json.push_str(&format!("  \"exchange_plain_bytes\": {plain_bytes},\n"));
     json.push_str(&format!("  \"exchange_decoded_bytes\": {decoded_bytes},\n"));
@@ -376,6 +406,13 @@ fn main() -> Result<()> {
         trace_off_ns as f64 / 1e6,
         trace_overhead,
         trace_full_ns as f64 / 1e6,
+    );
+    println!(
+        "cache hit scan: cold CIPF reads {:.2} ms vs warm memory tier {:.2} ms ({:.2}x, {} partitions)",
+        cache_cold_ns as f64 / 1e6,
+        cache_warm_ns as f64 / 1e6,
+        cache_hit_speedup,
+        cache_parts
     );
     println!(
         "sorted-int pages: FoR/Delta {:.1} KB vs plain {:.1} KB ({:.2}x smaller)",

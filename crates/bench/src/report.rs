@@ -28,7 +28,7 @@ pub struct BenchEntry {
 /// The parsed report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
-    /// Report format version; this reader understands version 7.
+    /// Report format version; this reader understands version 8.
     pub schema_version: u64,
     /// Fixture rows per batch.
     pub rows: u64,
@@ -93,6 +93,20 @@ pub struct BenchReport {
     /// `trace_off_ns / parallel_4w_ns`. Consistency-checked against the
     /// durations and gated by the `< 1.03` rule above.
     pub trace_overhead: f64,
+    /// Every partition of a `CIPF`-persisted table read through the tier
+    /// stack fully cold: each read opens the on-disk page file, verifies
+    /// its checksum, and decodes the pages.
+    pub cache_cold_ns: u64,
+    /// The same reads with every partition promoted to the memory tier —
+    /// pure cache hits over already-decoded batches.
+    pub cache_warm_ns: u64,
+    /// `cache_cold_ns / cache_warm_ns`. Gated `>= 2.0` only when
+    /// `host_cores >= parallel_workers` — the usual starved-host skip: a
+    /// host too contended for the parallel gates times this IO-vs-memory
+    /// ratio too noisily as well.
+    pub cache_hit_speedup: f64,
+    /// Partition (page file) count of the cache-scan fixture.
+    pub cache_parts: u64,
     /// Wire-format bytes of the dict-column exchange stream (bit-packed ids
     /// plus a one-time dictionary).
     pub exchange_wire_bytes: u64,
@@ -126,7 +140,7 @@ impl BenchReport {
     /// Parses a `BENCH_micro.json` document.
     pub fn parse(json: &str) -> Result<BenchReport> {
         let schema_version = int_field(json, "schema_version")?;
-        if schema_version != 7 {
+        if schema_version != 8 {
             return Err(CiError::Config(format!(
                 "unsupported BENCH_micro schema_version {schema_version}"
             )));
@@ -150,6 +164,10 @@ impl BenchReport {
         let trace_off_ns = int_field(json, "trace_off_ns")?;
         let trace_full_ns = int_field(json, "trace_full_ns")?;
         let trace_overhead = float_field(json, "trace_overhead")?;
+        let cache_cold_ns = int_field(json, "cache_cold_ns")?;
+        let cache_warm_ns = int_field(json, "cache_warm_ns")?;
+        let cache_hit_speedup = float_field(json, "cache_hit_speedup")?;
+        let cache_parts = int_field(json, "cache_parts")?;
         let exchange_wire_bytes = int_field(json, "exchange_wire_bytes")?;
         let exchange_plain_bytes = int_field(json, "exchange_plain_bytes")?;
         let exchange_decoded_bytes = int_field(json, "exchange_decoded_bytes")?;
@@ -188,6 +206,10 @@ impl BenchReport {
             trace_off_ns,
             trace_full_ns,
             trace_overhead,
+            cache_cold_ns,
+            cache_warm_ns,
+            cache_hit_speedup,
+            cache_parts,
             exchange_wire_bytes,
             exchange_plain_bytes,
             exchange_decoded_bytes,
@@ -327,6 +349,31 @@ impl BenchReport {
                 ));
             }
         }
+        if self.cache_cold_ns == 0 || self.cache_warm_ns == 0 || self.cache_hit_speedup <= 0.0 {
+            out.push("cache-hit-scan measurement missing or zero".into());
+        } else {
+            let recomputed = self.cache_cold_ns as f64 / self.cache_warm_ns as f64;
+            if (recomputed - self.cache_hit_speedup).abs() > 0.011 * recomputed.max(1.0) {
+                out.push(format!(
+                    "recorded cache_hit_speedup {:.2} inconsistent with durations ({recomputed:.2})",
+                    self.cache_hit_speedup
+                ));
+            }
+            if self.cache_parts < 2 {
+                out.push(format!(
+                    "cache-scan fixture spans {} partition(s) — too few to measure the tier stack",
+                    self.cache_parts
+                ));
+            }
+            // Same starved-host policy as the parallel gates: a contended
+            // host times the IO-vs-memory ratio too noisily for a floor.
+            if self.host_cores >= self.parallel_workers && self.cache_hit_speedup < 2.0 {
+                out.push(format!(
+                    "warm cache-hit scan only {:.2}x over cold CIPF reads (must stay >= 2x)",
+                    self.cache_hit_speedup
+                ));
+            }
+        }
         if self.int_encoded_bytes == 0 {
             out.push("int_encoded_bytes is zero — no sorted-int pages recorded".into());
         } else if self.int_plain_bytes < 4 * self.int_encoded_bytes {
@@ -384,6 +431,11 @@ impl BenchReport {
                 "gate skipped: trace_overhead < 1.03 ({} host cores < {} workers; \
                  recorded {:.2})",
                 self.host_cores, self.parallel_workers, self.trace_overhead
+            ));
+            out.push(format!(
+                "gate skipped: cache_hit_speedup >= 2.0 ({} host cores < {} workers; \
+                 recorded {:.2})",
+                self.host_cores, self.parallel_workers, self.cache_hit_speedup
             ));
         }
         out
@@ -458,7 +510,7 @@ mod tests {
     fn sample(speedup: &str) -> String {
         format!(
             r#"{{
-  "schema_version": 7,
+  "schema_version": 8,
   "rows": 1000,
   "cardinality": 10,
   "parallel_sim_ns": 3000,
@@ -478,6 +530,10 @@ mod tests {
   "trace_off_ns": 1000,
   "trace_full_ns": 1500,
   "trace_overhead": 1.00,
+  "cache_cold_ns": 9000,
+  "cache_warm_ns": 1000,
+  "cache_hit_speedup": 9.00,
+  "cache_parts": 25,
   "exchange_wire_bytes": 400,
   "exchange_plain_bytes": 1100,
   "exchange_decoded_bytes": 1000,
@@ -501,7 +557,7 @@ mod tests {
     #[test]
     fn parses_the_writer_format() {
         let r = BenchReport::parse(&sample("2.50")).unwrap();
-        assert_eq!(r.schema_version, 7);
+        assert_eq!(r.schema_version, 8);
         assert_eq!(r.rows, 1000);
         assert_eq!(r.parallel_sim_ns, 3000);
         assert_eq!(r.parallel_4w_ns, 1000);
@@ -525,6 +581,10 @@ mod tests {
         assert_eq!(r.trace_off_ns, 1000);
         assert_eq!(r.trace_full_ns, 1500);
         assert!((r.trace_overhead - 1.0).abs() < 1e-9);
+        assert_eq!(r.cache_cold_ns, 9000);
+        assert_eq!(r.cache_warm_ns, 1000);
+        assert!((r.cache_hit_speedup - 9.0).abs() < 1e-9);
+        assert_eq!(r.cache_parts, 25);
         assert_eq!(r.exchange_wire_bytes, 400);
         assert_eq!(r.exchange_plain_bytes, 1100);
         assert_eq!(r.exchange_decoded_bytes, 1000);
@@ -798,6 +858,49 @@ mod tests {
     }
 
     #[test]
+    fn cache_hit_speedup_gates() {
+        // Warm under 2x over cold with enough cores: hitting the cache
+        // stopped paying for the hierarchy.
+        let slow = sample("2.00")
+            .replace("\"cache_warm_ns\": 1000", "\"cache_warm_ns\": 6000")
+            .replace("\"cache_hit_speedup\": 9.00", "\"cache_hit_speedup\": 1.50");
+        let v = BenchReport::parse(&slow).unwrap().violations();
+        assert!(
+            v.iter()
+                .any(|m| m.contains("warm cache-hit scan only 1.50x")),
+            "{v:?}"
+        );
+        // The same ratio on a starved host is not a violation.
+        let starved = slow.replace("\"host_cores\": 8", "\"host_cores\": 1");
+        let v = BenchReport::parse(&starved).unwrap().violations();
+        assert!(v.is_empty(), "{v:?}");
+        // A recorded ratio inconsistent with the durations is flagged.
+        let fudged =
+            sample("2.00").replace("\"cache_hit_speedup\": 9.00", "\"cache_hit_speedup\": 3.00");
+        let v = BenchReport::parse(&fudged).unwrap().violations();
+        assert!(
+            v.iter()
+                .any(|m| m.contains("cache_hit_speedup 3.00 inconsistent")),
+            "{v:?}"
+        );
+        // A single-partition fixture cannot exercise the tier stack.
+        let thin = sample("2.00").replace("\"cache_parts\": 25", "\"cache_parts\": 1");
+        let v = BenchReport::parse(&thin).unwrap().violations();
+        assert!(v.iter().any(|m| m.contains("too few")), "{v:?}");
+        // Zero durations mean the writer recorded nothing.
+        let zero = sample("2.00").replace("\"cache_cold_ns\": 9000", "\"cache_cold_ns\": 0");
+        let v = BenchReport::parse(&zero).unwrap().violations();
+        assert!(
+            v.iter()
+                .any(|m| m.contains("cache-hit-scan measurement missing")),
+            "{v:?}"
+        );
+        // A v8 document must carry the cache fields at all.
+        let missing = sample("2.00").replace("\"cache_cold_ns\"", "\"other\"");
+        assert!(BenchReport::parse(&missing).is_err());
+    }
+
+    #[test]
     fn starved_host_skips_are_reported_explicitly() {
         // Enough cores: nothing is skipped.
         let r = BenchReport::parse(&sample("2.00")).unwrap();
@@ -807,7 +910,7 @@ mod tests {
         let starved = sample("2.00").replace("\"host_cores\": 8", "\"host_cores\": 1");
         let r = BenchReport::parse(&starved).unwrap();
         let skips = r.gate_skips();
-        assert_eq!(skips.len(), 4, "{skips:?}");
+        assert_eq!(skips.len(), 5, "{skips:?}");
         assert!(
             skips[0].contains("gate skipped: parallel_speedup >= 1.5")
                 && skips[0].contains("1 host cores < 4 workers"),
@@ -826,6 +929,11 @@ mod tests {
         assert!(
             skips[3].contains("gate skipped: trace_overhead < 1.03")
                 && skips[3].contains("1 host cores < 4 workers"),
+            "{skips:?}"
+        );
+        assert!(
+            skips[4].contains("gate skipped: cache_hit_speedup >= 2.0")
+                && skips[4].contains("1 host cores < 4 workers"),
             "{skips:?}"
         );
         // Skipped gates still leave the consistency checks binding.
@@ -862,7 +970,7 @@ mod tests {
     fn malformed_documents_error() {
         assert!(BenchReport::parse("{}").is_err());
         let wrong_version =
-            sample("2.00").replace("\"schema_version\": 7", "\"schema_version\": 9");
+            sample("2.00").replace("\"schema_version\": 8", "\"schema_version\": 9");
         assert!(BenchReport::parse(&wrong_version).is_err());
         let missing_field = sample("2.00").replace("\"dict_ns\"", "\"other\"");
         assert!(BenchReport::parse(&missing_field).is_err());

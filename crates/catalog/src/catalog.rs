@@ -1,9 +1,10 @@
 //! The catalog: name → table + statistics.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use ci_storage::table::Table;
+use ci_storage::tiers::{ObjectStoreDir, TierStore};
 use ci_types::{CiError, Result, TableId};
 
 use crate::tstats::TableStats;
@@ -23,6 +24,12 @@ pub struct TableEntry {
 pub struct Catalog {
     by_name: HashMap<String, TableEntry>,
     by_id: HashMap<TableId, String>,
+    /// Lazily-created on-disk page store (`CIPF` files). Clones of the
+    /// catalog share the same store, so scratch copies (what-if analyses)
+    /// don't re-materialize files.
+    store: OnceLock<Arc<ObjectStoreDir>>,
+    /// Lazily-created physical tier stack over `store`.
+    tiers: OnceLock<Arc<TierStore>>,
 }
 
 impl Catalog {
@@ -46,7 +53,38 @@ impl Catalog {
         };
         self.by_id.insert(id, name.clone());
         self.by_name.insert(name, entry.clone());
+        // Write-through: if the on-disk page store is already materialized,
+        // keep it in sync so a tiered executor never reads stale files.
+        // Best-effort by design — `register` predates fallible storage, and
+        // the executor's own `ensure_table` surfaces any write error at
+        // query time.
+        if let Some(store) = self.store.get() {
+            let _ = store.ensure_table(&entry.table);
+        }
         entry
+    }
+
+    /// The on-disk page store backing `CI_PAGE_SOURCE=disk|tiered`, created
+    /// under a temp directory on first use. Errors surface as
+    /// [`CiError::Storage`].
+    pub fn page_store(&self) -> Result<Arc<ObjectStoreDir>> {
+        if let Some(s) = self.store.get() {
+            return Ok(s.clone());
+        }
+        let built = Arc::new(ObjectStoreDir::temp()?);
+        Ok(self.store.get_or_init(|| built).clone())
+    }
+
+    /// The physical tier stack (memory / SSD cache over [`page_store`]),
+    /// created on first use.
+    ///
+    /// [`page_store`]: Catalog::page_store
+    pub fn tier_store(&self) -> Result<Arc<TierStore>> {
+        if let Some(t) = self.tiers.get() {
+            return Ok(t.clone());
+        }
+        let built = Arc::new(TierStore::new(self.page_store()?)?);
+        Ok(self.tiers.get_or_init(|| built).clone())
     }
 
     /// Looks a table up by name.

@@ -27,6 +27,7 @@ pub mod network;
 pub mod node;
 pub mod objectstore;
 pub mod pricing;
+pub mod tiercache;
 pub mod work;
 
 pub use billing::BillingMeter;
@@ -35,5 +36,6 @@ pub use faults::{FaultInjector, FaultPlan, FaultProfile, MorselFaults};
 pub use network::NetworkModel;
 pub use node::{HardwareProfile, NodeType};
 pub use objectstore::ObjectStoreModel;
-pub use pricing::{PriceList, TShirtSize};
+pub use pricing::{PriceList, TShirtSize, TierPricing, TierSpec};
+pub use tiercache::{CacheAccess, CacheCounters, CacheKey, TierCacheSim, TierLevel};
 pub use work::WorkModels;

@@ -1,0 +1,507 @@
+//! Deterministic cost-aware cache simulation for the tier hierarchy.
+//!
+//! The simulator decides, per partition access, which tier serves the bytes
+//! and what gets admitted or evicted — *purely* as a function of the access
+//! trace. The execution engine drives it from the driver's canonical
+//! accounting loop, so hit/miss/eviction sequences are identical across
+//! execution modes and across physical page sources; the physical tier
+//! store merely mirrors the simulator's decisions.
+//!
+//! Admission is cost-aware, not recency-based: an entry is admitted to a
+//! tier when the re-fetch dollars it is expected to save (object GET price
+//! plus transfer price, scaled by its observed access count) exceed the
+//! occupancy rent of keeping it resident over the pricing horizon. Eviction
+//! removes the lowest-scoring resident first, tie-broken canonically by
+//! `(score, insertion sequence, key)` so the outcome never depends on hash
+//! iteration order. Occupancy itself is metered through
+//! [`crate::billing::BillingMeter`] leases so cache rent shows up in the
+//! same ledger as machine time.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ci_types::money::{Dollars, DollarsPerSecond};
+use ci_types::{NodeId, SimDuration, SimTime, TableId};
+
+use crate::billing::BillingMeter;
+use crate::pricing::{TierPricing, TierSpec};
+
+/// Cache identity of one micro-partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CacheKey {
+    /// Owning table.
+    pub table: TableId,
+    /// Partition ordinal within the table.
+    pub part: u32,
+}
+
+impl CacheKey {
+    /// Convenience constructor.
+    pub fn new(table: TableId, part: u32) -> CacheKey {
+        CacheKey { table, part }
+    }
+}
+
+/// Which level of the hierarchy served (or would serve) an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierLevel {
+    /// In-memory cache of decoded batches.
+    Mem,
+    /// Local-SSD cache of encoded partition files.
+    Ssd,
+    /// The backing object store — a cache miss.
+    Object,
+}
+
+impl TierLevel {
+    /// Stable numeric code for traces (0 = mem, 1 = ssd, 2 = object).
+    pub fn code(self) -> u64 {
+        match self {
+            TierLevel::Mem => 0,
+            TierLevel::Ssd => 1,
+            TierLevel::Object => 2,
+        }
+    }
+}
+
+/// Outcome of one simulated access: the serving tier plus the admissions
+/// and evictions it triggered, in the order they must be applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheAccess {
+    /// The partition accessed.
+    pub key: CacheKey,
+    /// Tier that served the bytes.
+    pub level: TierLevel,
+    /// Entries admitted (promoted) by this access.
+    pub admitted: Vec<(CacheKey, TierLevel)>,
+    /// Entries evicted to make room, tagged with the tier they left.
+    pub evicted: Vec<(CacheKey, TierLevel)>,
+}
+
+/// Running totals, exposed for metrics and experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Accesses served from memory.
+    pub mem_hits: u64,
+    /// Accesses served from local SSD.
+    pub ssd_hits: u64,
+    /// Accesses that went to the object store.
+    pub misses: u64,
+    /// Admissions into either cache tier.
+    pub promotions: u64,
+    /// Evictions from either cache tier.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Resident {
+    bytes: u64,
+    seq: u64,
+    lease_node: NodeId,
+}
+
+/// Deterministic cost-aware two-tier cache simulator.
+///
+/// All state lives in ordered maps and every decision is a pure function of
+/// the access sequence, so two replays of the same trace produce identical
+/// hit/miss/admission/eviction sequences — the property the equivalence
+/// tests pin.
+#[derive(Debug)]
+pub struct TierCacheSim {
+    pricing: TierPricing,
+    mem: BTreeMap<CacheKey, Resident>,
+    ssd: BTreeMap<CacheKey, Resident>,
+    mem_bytes: u64,
+    ssd_bytes: u64,
+    accesses: BTreeMap<CacheKey, u64>,
+    pinned_mem: BTreeSet<TableId>,
+    pinned_ssd: BTreeSet<TableId>,
+    seq: u64,
+    lease_ids: u32,
+    meter: BillingMeter,
+    /// Offset added to query-local timestamps so the occupancy clock never
+    /// regresses when the same simulator outlives multiple queries.
+    base: SimDuration,
+    high_water: SimTime,
+    counters: CacheCounters,
+}
+
+impl TierCacheSim {
+    /// Empty caches under the given price menu.
+    pub fn new(pricing: TierPricing) -> TierCacheSim {
+        TierCacheSim {
+            pricing,
+            mem: BTreeMap::new(),
+            ssd: BTreeMap::new(),
+            mem_bytes: 0,
+            ssd_bytes: 0,
+            accesses: BTreeMap::new(),
+            pinned_mem: BTreeSet::new(),
+            pinned_ssd: BTreeSet::new(),
+            seq: 0,
+            lease_ids: 0,
+            meter: BillingMeter::new(),
+            base: SimDuration::ZERO,
+            high_water: SimTime::ZERO,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// The price menu in force.
+    pub fn pricing(&self) -> &TierPricing {
+        &self.pricing
+    }
+
+    /// Pins every partition of `table` to `level`: always admitted there,
+    /// never evicted. Pinning to [`TierLevel::Object`] clears the pin.
+    pub fn pin(&mut self, table: TableId, level: TierLevel) {
+        self.pinned_mem.remove(&table);
+        self.pinned_ssd.remove(&table);
+        match level {
+            TierLevel::Mem => {
+                self.pinned_mem.insert(table);
+            }
+            TierLevel::Ssd => {
+                self.pinned_ssd.insert(table);
+            }
+            TierLevel::Object => {}
+        }
+    }
+
+    /// Rebases the query-local clock: subsequent `now` values (which restart
+    /// at zero each query) are offset past everything already observed.
+    pub fn begin_query(&mut self) {
+        self.base = self.high_water.since(SimTime::ZERO);
+    }
+
+    fn clock(&mut self, now: SimTime) -> SimTime {
+        let t = SimTime::ZERO + self.base + now.since(SimTime::ZERO);
+        self.high_water = self.high_water.max(t);
+        self.high_water
+    }
+
+    /// Expected dollars saved minus occupancy rent for keeping `bytes` in
+    /// `tier` given `hits` observed accesses.
+    fn score(&self, tier: &TierSpec, bytes: u64, hits: u64) -> f64 {
+        let saved = self.pricing.refetch_dollars(bytes as f64) * hits as f64;
+        let rent = tier.rent_per_hour(bytes) * self.pricing.rent_horizon_hours;
+        saved - rent
+    }
+
+    fn next_lease(&mut self) -> NodeId {
+        let id = self.lease_ids;
+        self.lease_ids += 1;
+        NodeId::new(id)
+    }
+
+    /// Admits `key` into the tier behind `level` if its score clears zero
+    /// (or its table is pinned there) and room can be made by evicting
+    /// strictly lower-scoring, unpinned residents. Returns `true` on admit.
+    fn admit(
+        &mut self,
+        level: TierLevel,
+        key: CacheKey,
+        bytes: u64,
+        hits: u64,
+        now: SimTime,
+        evicted: &mut Vec<(CacheKey, TierLevel)>,
+    ) -> bool {
+        let spec = match level {
+            TierLevel::Mem => self.pricing.mem.clone(),
+            TierLevel::Ssd => self.pricing.ssd.clone(),
+            TierLevel::Object => return false,
+        };
+        let pinned_here = match level {
+            TierLevel::Mem => self.pinned_mem.contains(&key.table),
+            TierLevel::Ssd => self.pinned_ssd.contains(&key.table),
+            TierLevel::Object => false,
+        };
+        let cand_score = self.score(&spec, bytes, hits);
+        if !pinned_here && cand_score <= 0.0 {
+            return false;
+        }
+        if bytes > spec.capacity_bytes {
+            return false;
+        }
+        // Plan evictions until the entry fits. Victims are chosen by
+        // ascending (score, insertion seq, key) — fully canonical.
+        let mut victims: Vec<CacheKey> = Vec::new();
+        let mut freed = 0u64;
+        {
+            let (residents, used, pinned) = match level {
+                TierLevel::Mem => (&self.mem, self.mem_bytes, &self.pinned_mem),
+                TierLevel::Ssd => (&self.ssd, self.ssd_bytes, &self.pinned_ssd),
+                TierLevel::Object => unreachable!(),
+            };
+            if used + bytes > spec.capacity_bytes {
+                let mut ranked: Vec<(f64, u64, CacheKey, u64)> = residents
+                    .iter()
+                    .filter(|(k, _)| !pinned.contains(&k.table))
+                    .map(|(k, r)| {
+                        let h = self.accesses.get(k).copied().unwrap_or(0);
+                        (self.score(&spec, r.bytes, h), r.seq, *k, r.bytes)
+                    })
+                    .collect();
+                ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+                for (vscore, _, vkey, vbytes) in ranked {
+                    if used + bytes - freed <= spec.capacity_bytes {
+                        break;
+                    }
+                    // An unpinned candidate may only displace strictly
+                    // worse residents; a pinned one displaces anything
+                    // unpinned.
+                    if !pinned_here && vscore >= cand_score {
+                        return false;
+                    }
+                    freed += vbytes;
+                    victims.push(vkey);
+                }
+                if used + bytes - freed > spec.capacity_bytes {
+                    return false;
+                }
+            }
+        }
+        for vkey in victims {
+            self.remove(level, vkey, now);
+            evicted.push((vkey, level));
+            self.counters.evictions += 1;
+        }
+        let rate = DollarsPerSecond::per_hour(spec.rent_per_hour(bytes));
+        let lease_node = self.next_lease();
+        self.meter.open(lease_node, rate, now);
+        let resident = Resident {
+            bytes,
+            seq: self.seq,
+            lease_node,
+        };
+        self.seq += 1;
+        match level {
+            TierLevel::Mem => {
+                self.mem.insert(key, resident);
+                self.mem_bytes += bytes;
+            }
+            TierLevel::Ssd => {
+                self.ssd.insert(key, resident);
+                self.ssd_bytes += bytes;
+            }
+            TierLevel::Object => unreachable!(),
+        }
+        self.counters.promotions += 1;
+        true
+    }
+
+    fn remove(&mut self, level: TierLevel, key: CacheKey, now: SimTime) {
+        let removed = match level {
+            TierLevel::Mem => self.mem.remove(&key).inspect(|r| self.mem_bytes -= r.bytes),
+            TierLevel::Ssd => self.ssd.remove(&key).inspect(|r| self.ssd_bytes -= r.bytes),
+            TierLevel::Object => None,
+        };
+        if let Some(r) = removed {
+            self.meter.close(r.lease_node, now);
+        }
+    }
+
+    /// Records one access to `key` (`bytes` = encoded partition size) at
+    /// query-local time `now` and returns the serving tier plus the
+    /// admissions/evictions the physical store must mirror.
+    pub fn access(&mut self, key: CacheKey, bytes: u64, now: SimTime) -> CacheAccess {
+        let t = self.clock(now);
+        let hits = {
+            let e = self.accesses.entry(key).or_insert(0);
+            *e += 1;
+            *e
+        };
+        let mut admitted = Vec::new();
+        let mut evicted = Vec::new();
+        let level = if self.mem.contains_key(&key) {
+            self.counters.mem_hits += 1;
+            TierLevel::Mem
+        } else if self.ssd.contains_key(&key) {
+            self.counters.ssd_hits += 1;
+            // A hot SSD entry may graduate to memory.
+            if self.admit(TierLevel::Mem, key, bytes, hits, t, &mut evicted) {
+                self.remove(TierLevel::Ssd, key, t);
+                admitted.push((key, TierLevel::Mem));
+            }
+            TierLevel::Ssd
+        } else {
+            self.counters.misses += 1;
+            if self.admit(TierLevel::Mem, key, bytes, hits, t, &mut evicted) {
+                admitted.push((key, TierLevel::Mem));
+            } else if self.admit(TierLevel::Ssd, key, bytes, hits, t, &mut evicted) {
+                admitted.push((key, TierLevel::Ssd));
+            }
+            TierLevel::Object
+        };
+        CacheAccess {
+            key,
+            level,
+            admitted,
+            evicted,
+        }
+    }
+
+    /// Virtual seconds to serve `bytes` from `level` (the object tier is
+    /// priced by the engine's object-store model instead).
+    pub fn service_secs(&self, level: TierLevel, bytes: f64) -> Option<f64> {
+        match level {
+            TierLevel::Mem => Some(self.pricing.mem.access_secs(bytes)),
+            TierLevel::Ssd => Some(self.pricing.ssd.access_secs(bytes)),
+            TierLevel::Object => None,
+        }
+    }
+
+    /// Running hit/miss/promotion/eviction totals.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Bytes currently resident in `level` (0 for the object tier).
+    pub fn resident_bytes(&self, level: TierLevel) -> u64 {
+        match level {
+            TierLevel::Mem => self.mem_bytes,
+            TierLevel::Ssd => self.ssd_bytes,
+            TierLevel::Object => 0,
+        }
+    }
+
+    /// Accumulated occupancy rent, billed through the lease meter up to the
+    /// high-water clock.
+    pub fn occupancy_cost(&self) -> Dollars {
+        self.meter.total_cost(self.high_water)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_pricing() -> TierPricing {
+        let mut p = TierPricing::standard();
+        // Shrink capacities so eviction paths are exercised with small keys.
+        p.mem.capacity_bytes = 3_000_000;
+        p.ssd.capacity_bytes = 6_000_000;
+        // Make transfer expensive enough that a single access justifies SSD
+        // admission for MB-scale partitions.
+        p.object_transfer_dollars_per_gb = 10.0;
+        p
+    }
+
+    fn k(t: u32, p: u32) -> CacheKey {
+        CacheKey::new(TableId::new(t), p)
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let trace: Vec<(CacheKey, u64)> =
+            (0..40u32).map(|i| (k(i % 3, i % 5), 1_000_000)).collect();
+        let run = |p: TierPricing| {
+            let mut sim = TierCacheSim::new(p);
+            trace
+                .iter()
+                .enumerate()
+                .map(|(i, (key, b))| sim.access(*key, *b, SimTime::from_micros(i as u64)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(tiny_pricing()), run(tiny_pricing()));
+    }
+
+    #[test]
+    fn second_access_hits_after_admission() {
+        let mut sim = TierCacheSim::new(tiny_pricing());
+        let a = sim.access(k(0, 0), 1_000_000, SimTime::ZERO);
+        assert_eq!(a.level, TierLevel::Object);
+        assert!(
+            !a.admitted.is_empty(),
+            "expensive refetch should be admitted"
+        );
+        let b = sim.access(k(0, 0), 1_000_000, SimTime::from_micros(10));
+        assert_ne!(b.level, TierLevel::Object);
+    }
+
+    #[test]
+    fn cheap_refetch_is_never_admitted() {
+        let mut p = TierPricing::standard();
+        p.object_transfer_dollars_per_gb = 0.0;
+        p.object_get_dollars = 0.0;
+        let mut sim = TierCacheSim::new(p);
+        for i in 0..10 {
+            let a = sim.access(k(0, 0), 1_000_000, SimTime::from_micros(i));
+            assert_eq!(a.level, TierLevel::Object);
+            assert!(a.admitted.is_empty());
+        }
+        assert_eq!(sim.counters().promotions, 0);
+    }
+
+    #[test]
+    fn eviction_respects_capacity_and_scores() {
+        let mut sim = TierCacheSim::new(tiny_pricing());
+        // Fill memory (capacity 3 MB) with three 1 MB entries, then touch a
+        // fourth repeatedly until its score beats the coldest resident.
+        for (i, part) in [0u32, 1, 2].iter().enumerate() {
+            sim.access(k(0, *part), 1_000_000, SimTime::from_micros(i as u64));
+        }
+        // Heat up the original entries unevenly so scores differ.
+        sim.access(k(0, 1), 1_000_000, SimTime::from_micros(10));
+        sim.access(k(0, 2), 1_000_000, SimTime::from_micros(11));
+        sim.access(k(0, 2), 1_000_000, SimTime::from_micros(12));
+        // Part 3: first access scores equal to the coldest (part 0) -> no
+        // mem eviction (strictly-lower rule); second access beats it.
+        let first = sim.access(k(0, 3), 1_000_000, SimTime::from_micros(20));
+        assert!(!first.admitted.contains(&(k(0, 3), TierLevel::Mem)));
+        let second = sim.access(k(0, 3), 1_000_000, SimTime::from_micros(21));
+        assert!(second.admitted.contains(&(k(0, 3), TierLevel::Mem)));
+        assert!(second
+            .evicted
+            .iter()
+            .any(|(key, lvl)| *key == k(0, 0) && *lvl == TierLevel::Mem));
+        assert!(sim.resident_bytes(TierLevel::Mem) <= 3_000_000);
+    }
+
+    #[test]
+    fn pinned_tables_are_admitted_and_never_evicted() {
+        let mut sim = TierCacheSim::new(tiny_pricing());
+        sim.pin(TableId::new(9), TierLevel::Mem);
+        sim.access(k(9, 0), 2_000_000, SimTime::ZERO);
+        assert_eq!(sim.resident_bytes(TierLevel::Mem), 2_000_000);
+        // Hammer other keys; the pinned entry must survive.
+        for i in 0..20u32 {
+            sim.access(k(1, i % 2), 1_000_000, SimTime::from_micros(i as u64 + 1));
+        }
+        let hit = sim.access(k(9, 0), 2_000_000, SimTime::from_micros(100));
+        assert_eq!(hit.level, TierLevel::Mem);
+    }
+
+    #[test]
+    fn occupancy_rent_accrues_over_time() {
+        let mut sim = TierCacheSim::new(tiny_pricing());
+        sim.access(k(0, 0), 1_000_000, SimTime::ZERO);
+        assert_eq!(sim.occupancy_cost(), Dollars::ZERO);
+        sim.access(k(0, 0), 1_000_000, SimTime::from_secs_f64(3600.0));
+        let rent = sim.occupancy_cost();
+        assert!(rent.0 > 0.0, "an hour of residency should bill rent");
+    }
+
+    #[test]
+    fn clock_never_regresses_across_queries() {
+        let mut sim = TierCacheSim::new(tiny_pricing());
+        sim.access(k(0, 0), 1_000_000, SimTime::from_secs_f64(5.0));
+        sim.begin_query();
+        // Query-local time restarts at zero; the rebased clock must not.
+        sim.access(k(0, 1), 1_000_000, SimTime::ZERO);
+        let c1 = sim.occupancy_cost();
+        sim.access(k(0, 1), 1_000_000, SimTime::from_secs_f64(1.0));
+        assert!(sim.occupancy_cost() >= c1);
+    }
+
+    #[test]
+    fn ssd_catches_what_memory_rejects() {
+        let mut p = tiny_pricing();
+        // Memory rent so high nothing qualifies; SSD stays cheap.
+        p.mem.price_per_gb_hour = 1e6;
+        let mut sim = TierCacheSim::new(p);
+        let a = sim.access(k(0, 0), 1_000_000, SimTime::ZERO);
+        assert_eq!(a.admitted, vec![(k(0, 0), TierLevel::Ssd)]);
+        let b = sim.access(k(0, 0), 1_000_000, SimTime::from_micros(1));
+        assert_eq!(b.level, TierLevel::Ssd);
+    }
+}

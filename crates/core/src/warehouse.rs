@@ -7,7 +7,7 @@ use ci_autotune::{
 };
 use ci_catalog::Catalog;
 use ci_cost::CostEstimator;
-use ci_exec::{ExecutionConfig, Executor, NoScaling};
+use ci_exec::{ExecutionConfig, Executor, NoScaling, TierCacheSim};
 use ci_monitor::{DopMonitor, MonitorConfig};
 use ci_optimizer::{Constraint, Optimizer, OptimizerConfig};
 use ci_storage::schema::{Field, Schema};
@@ -16,7 +16,7 @@ use ci_storage::RecordBatch;
 use ci_types::money::Dollars;
 use ci_types::{CiError, Result, SimDuration, SimTime, TableId};
 use ci_workload::trace::WorkloadTrace;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::report::QueryReport;
 
@@ -346,6 +346,56 @@ impl Warehouse {
                     definition_fingerprint: fingerprint_sql(definition_sql),
                 });
                 Ok(report.cost)
+            }
+            TuningAction::PinTable { table, tier } => {
+                let entry = self.catalog.get(table)?.clone();
+                let Some(pricing) = self.config.execution.tiers.clone() else {
+                    return Err(CiError::Tuning(
+                        "cache pinning requires tier pricing on the execution config".into(),
+                    ));
+                };
+                // The pin must outlive this call: install a process-shared
+                // cache simulation if queries ran without one so far.
+                if self.config.execution.tier_sim.is_none() {
+                    self.config.execution.tier_sim =
+                        Some(Arc::new(Mutex::new(TierCacheSim::new(pricing))));
+                }
+                let sim = self.config.execution.tier_sim.as_ref().expect("just set");
+                sim.lock()
+                    .expect("tier sim lock")
+                    .pin(entry.table.id, *tier);
+                // One-time bill: fill the tier once from the object store on
+                // background compute (same formula the what-if service used).
+                let bytes = entry.table.total_encoded_bytes() as f64;
+                let m = &self.config.whatif.estimator.models;
+                let secs = bytes / m.hw.node_scan_bytes_per_sec();
+                let bill = self
+                    .config
+                    .whatif
+                    .estimator
+                    .rate
+                    .bill(SimDuration::from_secs_f64(secs));
+                self.total_spend += bill;
+                Ok(bill)
+            }
+            TuningAction::CacheBudget {
+                mem_bytes,
+                ssd_bytes,
+            } => {
+                let Some(pricing) = self.config.execution.tiers.as_mut() else {
+                    return Err(CiError::Tuning(
+                        "cache budgets require tier pricing on the execution config".into(),
+                    ));
+                };
+                pricing.mem.capacity_bytes = *mem_bytes;
+                pricing.ssd.capacity_bytes = *ssd_bytes;
+                let pricing = pricing.clone();
+                // A resize restarts the cache cold: residency (and pins) do
+                // not survive the capacity change. No one-time bill — the
+                // cache refills lazily on misses the workload pays anyway.
+                self.config.execution.tier_sim =
+                    Some(Arc::new(Mutex::new(TierCacheSim::new(pricing))));
+                Ok(Dollars::ZERO)
             }
         }
     }

@@ -1,14 +1,78 @@
 //! Per-operator scalability models and the query-level simulator.
 
+use std::collections::BTreeSet;
+
 use ci_catalog::Catalog;
 use ci_cloud::faults::FaultProfile;
+use ci_cloud::pricing::TierPricing;
+use ci_cloud::tiercache::CacheCounters;
 use ci_cloud::work::WorkModels;
 use ci_plan::physical::{PhysicalOp, PhysicalPlan};
 use ci_plan::pipeline::{Pipeline, PipelineGraph, SinkKind};
 use ci_types::money::{Dollars, DollarsPerSecond};
-use ci_types::{CiError, Result, SimDuration, SimTime};
+use ci_types::{CiError, Result, SimDuration, SimTime, TableId};
 
 use crate::calibration::{Calibration, MeasuredRates};
+
+/// How the estimator prices scans against a cache hierarchy: the tier menu
+/// plus expected hit rates (global, observed from a prior run's counters),
+/// with per-table pin overrides for what-if analyses ("if `lineitem` were
+/// pinned in SSD, every one of its fetches is served at SSD latency").
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TierCostModel {
+    /// Per-tier capacity/latency/price menu.
+    pub pricing: TierPricing,
+    /// Expected fraction of scan fetches served from the memory tier.
+    pub mem_hit_rate: f64,
+    /// Expected fraction served from the local-SSD tier.
+    pub ssd_hit_rate: f64,
+    /// Tables assumed fully memory-resident (hit rate 1.0 regardless of the
+    /// global rates).
+    pub pinned_mem: BTreeSet<TableId>,
+    /// Tables assumed fully SSD-resident.
+    pub pinned_ssd: BTreeSet<TableId>,
+}
+
+impl TierCostModel {
+    /// A model with no expected hits: every fetch goes to the object store
+    /// (the cold-cache baseline).
+    pub fn cold(pricing: TierPricing) -> TierCostModel {
+        TierCostModel {
+            pricing,
+            ..TierCostModel::default()
+        }
+    }
+
+    /// Seeds the global hit rates from counters a real run observed.
+    pub fn observed(pricing: TierPricing, c: &CacheCounters) -> TierCostModel {
+        let total = (c.mem_hits + c.ssd_hits + c.misses) as f64;
+        let (mem, ssd) = if total > 0.0 {
+            (c.mem_hits as f64 / total, c.ssd_hits as f64 / total)
+        } else {
+            (0.0, 0.0)
+        };
+        TierCostModel {
+            pricing,
+            mem_hit_rate: mem,
+            ssd_hit_rate: ssd,
+            ..TierCostModel::default()
+        }
+    }
+
+    /// The (mem, ssd) fractions to price a scan of `table` at: pins
+    /// override the global rates.
+    fn hit_fractions(&self, table: Option<TableId>) -> (f64, f64) {
+        match table {
+            Some(t) if self.pinned_mem.contains(&t) => (1.0, 0.0),
+            Some(t) if self.pinned_ssd.contains(&t) => (0.0, 1.0),
+            _ => {
+                let mem = self.mem_hit_rate.clamp(0.0, 1.0);
+                let ssd = self.ssd_hit_rate.clamp(0.0, 1.0 - mem);
+                (mem, ssd)
+            }
+        }
+    }
+}
 
 /// Estimator configuration (mirrors the executor's scheduling parameters so
 /// predictions and measurements share assumptions).
@@ -29,6 +93,12 @@ pub struct EstimatorConfig {
     /// what lets the what-if service price "cheaper but flakier" against
     /// "pricier but reliable" tiers. `None` prices a fault-free tier.
     pub fault_profile: Option<FaultProfile>,
+    /// Cache-hierarchy pricing, if the engine runs one. When set, scan
+    /// fetch time blends tier service times by expected hit rate (pinned
+    /// tables hit their tier with certainty), matching the engine's
+    /// tier-aware fetch billing. `None` prices every fetch at object-store
+    /// latency/bandwidth.
+    pub tiers: Option<TierCostModel>,
 }
 
 impl Default for EstimatorConfig {
@@ -39,6 +109,7 @@ impl Default for EstimatorConfig {
             resize_latency: SimDuration::from_millis(500),
             morsel_rows: 65_536,
             fault_profile: None,
+            tiers: None,
         }
     }
 }
@@ -83,6 +154,9 @@ pub struct PipelineWork {
     pub morsels: f64,
     /// Estimated source rows (post scan-filter).
     pub source_rows: f64,
+    /// The scanned table, when the source is a scan — what per-table cache
+    /// pins in [`TierCostModel`] key on.
+    pub scan_table: Option<TableId>,
 }
 
 /// An end-to-end query estimate.
@@ -165,6 +239,7 @@ impl<'a> CostEstimator<'a> {
                 }
                 w.morsels = kept_parts.len() as f64;
                 w.source_rows = src.est_rows;
+                w.scan_table = Some(*table_id);
             }
             PhysicalOp::HashAgg { .. } | PhysicalOp::Sort { .. } => {
                 w.source_rows = src.est_rows;
@@ -240,8 +315,23 @@ impl<'a> CostEstimator<'a> {
     pub fn pipeline_duration(&self, w: &PipelineWork, dop: u32) -> SimDuration {
         let m = &self.config.models;
         let d = dop.max(1);
-        let fetch_secs =
+        let object_secs =
             w.fetch_objects * m.store.request_latency_secs + w.fetch_bytes / m.store.per_node_bw(d);
+        // Tier-aware fetch: blend the per-tier service times by expected
+        // hit rate (pins hit with certainty), mirroring the engine's
+        // tier-aware billing of scan fetches.
+        let fetch_secs = match &self.config.tiers {
+            None => object_secs,
+            Some(t) => {
+                let (mem_f, ssd_f) = t.hit_fractions(w.scan_table);
+                let obj_f = (1.0 - mem_f - ssd_f).max(0.0);
+                let mem_secs = w.fetch_objects * t.pricing.mem.request_latency_secs
+                    + w.fetch_bytes / t.pricing.mem.bytes_per_sec;
+                let ssd_secs = w.fetch_objects * t.pricing.ssd.request_latency_secs
+                    + w.fetch_bytes / t.pricing.ssd.bytes_per_sec;
+                obj_f * object_secs + mem_f * mem_secs + ssd_f * ssd_secs
+            }
+        };
         let compute_secs = m.scan_decode_secs(w.decode_bytes)
             + m.filter_secs(w.filter_rows)
             + m.exchange_cpu_secs(w.exchange_rows)
@@ -674,6 +764,89 @@ mod tests {
         let stormy = priced(Some(storm));
         assert!(stormy.latency > light.latency);
         assert!(stormy.cost.amount() > light.cost.amount());
+    }
+
+    #[test]
+    fn tier_hits_shrink_the_fetch_term() {
+        let cat = catalog();
+        let (plan, graph) = planned(&cat, "SELECT id FROM facts");
+        let dops = vec![2u32; graph.len()];
+        let priced = |tiers: Option<TierCostModel>| {
+            let cfg = EstimatorConfig {
+                tiers,
+                ..EstimatorConfig::default()
+            };
+            CostEstimator::new(&cat, cfg)
+                .estimate(&plan, &graph, &dops)
+                .unwrap()
+        };
+
+        let cold = priced(None);
+        // A cold tier model prices like no tier model at all.
+        let cold_model = priced(Some(TierCostModel::cold(TierPricing::standard())));
+        assert_eq!(cold_model.latency, cold.latency);
+
+        // Memory hits serve faster than SSD hits, which beat the object
+        // store — the ordering the tier menu guarantees.
+        let warm = |mem: f64, ssd: f64| {
+            priced(Some(TierCostModel {
+                pricing: TierPricing::standard(),
+                mem_hit_rate: mem,
+                ssd_hit_rate: ssd,
+                ..TierCostModel::default()
+            }))
+        };
+        let all_ssd = warm(0.0, 1.0);
+        let all_mem = warm(1.0, 0.0);
+        assert!(all_ssd.latency < cold.latency);
+        assert!(all_mem.latency < all_ssd.latency);
+        assert!(all_mem.cost.amount() < cold.cost.amount());
+    }
+
+    #[test]
+    fn pinned_table_prices_at_its_tier_regardless_of_global_rates() {
+        let cat = catalog();
+        let (plan, graph) = planned(&cat, "SELECT id FROM facts");
+        let dops = vec![2u32; graph.len()];
+        let priced = |tiers: TierCostModel| {
+            let cfg = EstimatorConfig {
+                tiers: Some(tiers),
+                ..EstimatorConfig::default()
+            };
+            CostEstimator::new(&cat, cfg)
+                .estimate(&plan, &graph, &dops)
+                .unwrap()
+        };
+        let mut pinned = TierCostModel::cold(TierPricing::standard());
+        pinned.pinned_mem.insert(TableId::new(0));
+        let all_mem = TierCostModel {
+            pricing: TierPricing::standard(),
+            mem_hit_rate: 1.0,
+            ..TierCostModel::default()
+        };
+        // Pinning `facts` in memory equals a 100% memory hit rate for this
+        // single-scan query, and beats the cold model.
+        assert_eq!(priced(pinned.clone()).latency, priced(all_mem).latency);
+        let cold = priced(TierCostModel::cold(TierPricing::standard()));
+        assert!(priced(pinned).latency < cold.latency);
+    }
+
+    #[test]
+    fn observed_counters_seed_hit_rates() {
+        use ci_cloud::tiercache::CacheCounters;
+        let c = CacheCounters {
+            mem_hits: 6,
+            ssd_hits: 2,
+            misses: 2,
+            promotions: 3,
+            evictions: 1,
+        };
+        let m = TierCostModel::observed(TierPricing::standard(), &c);
+        assert!((m.mem_hit_rate - 0.6).abs() < 1e-12);
+        assert!((m.ssd_hit_rate - 0.2).abs() < 1e-12);
+        let empty = TierCostModel::observed(TierPricing::standard(), &CacheCounters::default());
+        assert_eq!(empty.mem_hit_rate, 0.0);
+        assert_eq!(empty.ssd_hit_rate, 0.0);
     }
 
     #[test]

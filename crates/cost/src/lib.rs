@@ -28,4 +28,8 @@ pub use calibration::{Calibration, MeasuredRates};
 /// Re-exported so estimator clients can configure the failure tax without
 /// depending on `ci-cloud` directly.
 pub use ci_cloud::faults::FaultProfile;
-pub use estimator::{CostEstimator, EstimatorConfig, PipelineWork, QueryEstimate};
+/// Re-exported so estimator clients can configure tier pricing and cache
+/// hit models without depending on `ci-cloud` directly.
+pub use ci_cloud::pricing::{TierPricing, TierSpec};
+pub use ci_cloud::tiercache::{CacheCounters, TierLevel};
+pub use estimator::{CostEstimator, EstimatorConfig, PipelineWork, QueryEstimate, TierCostModel};

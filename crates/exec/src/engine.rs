@@ -66,11 +66,13 @@
 //! by `tests/partial_agg_equivalence.rs`.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use ci_catalog::Catalog;
 use ci_cloud::faults::FaultPlan;
+use ci_cloud::pricing::TierPricing;
+use ci_cloud::tiercache::{CacheAccess, CacheKey, TierCacheSim, TierLevel};
 use ci_cloud::work::WorkModels;
 use ci_obs::{Lane, NodeProfile, ProfileReport, Trace, TraceEvent, TraceLevel, WorkerBuffers};
 use ci_plan::expr::{ColMap, PlanExpr};
@@ -80,9 +82,10 @@ use ci_storage::column::ColumnData;
 use ci_storage::pages::{decode_column, encode_best, WireDecoder, WireEncoder};
 use ci_storage::schema::SchemaRef;
 use ci_storage::selection::SelectionVector;
+use ci_storage::tiers::{DiskSource, PageSource, PageSourceMode, TierStore, TieredSource};
 use ci_storage::RecordBatch;
 use ci_types::money::{Dollars, DollarsPerSecond};
-use ci_types::{CiError, Result, SimDuration, SimTime};
+use ci_types::{CiError, Result, SimDuration, SimTime, TableId};
 
 use crate::metrics::{attribute_node_dollars, OpSample, PipelineMetrics, QueryMetrics};
 use crate::operators::{
@@ -199,6 +202,27 @@ pub struct ExecutionConfig {
     /// written here after execution — load it in `chrome://tracing` or
     /// Perfetto.
     pub trace_path: Option<std::path::PathBuf>,
+    /// Where scans physically read partition bytes from (defaults from
+    /// `CI_PAGE_SOURCE`, see [`PageSourceMode::from_env`]). `Disk` and
+    /// `Tiered` read real on-disk `CIPF` page files written through the
+    /// catalog's page store; results and `Dollars` are bit-identical to
+    /// `Mem` by construction — the equivalence tests pin it. Purely
+    /// physical: billing is unaffected by this knob alone.
+    pub page_source: PageSourceMode,
+    /// Tier price menu engaging the cost-aware cache *accounting*
+    /// (defaults from `CI_TIERS`, normally `None`). When set, the
+    /// deterministic [`TierCacheSim`] advances in the driver's canonical
+    /// accounting loop — independent of `page_source` and execution mode —
+    /// so cache hits bill tier latencies instead of object fetches, misses
+    /// remain the only fault-injectable fetches, and hit/miss/eviction
+    /// sequences are a pure function of the morsel trace. With
+    /// `page_source: Tiered` the simulator's decisions also drive physical
+    /// promotion/eviction in the catalog's [`TierStore`].
+    pub tiers: Option<TierPricing>,
+    /// Shared cache-simulator state for warm-across-queries experiments
+    /// (like [`ExecutionConfig::pool`]): `None` starts each query cold.
+    /// Only consulted when [`ExecutionConfig::tiers`] is set.
+    pub tier_sim: Option<Arc<Mutex<TierCacheSim>>>,
 }
 
 impl Default for ExecutionConfig {
@@ -217,6 +241,9 @@ impl Default for ExecutionConfig {
             faults: FaultPlan::from_env(),
             trace: TraceLevel::from_env(),
             trace_path: None,
+            page_source: PageSourceMode::from_env(),
+            tiers: TierPricing::from_env(),
+            tier_sim: None,
         }
     }
 }
@@ -255,17 +282,50 @@ pub(crate) enum NodeState {
 
 /// One unit of schedulable work.
 pub(crate) struct Morsel {
-    batch: RecordBatch,
+    payload: Payload,
     /// *Encoded* object-store bytes this morsel must fetch (0 for
     /// memory-resident state) — what the GET transfers.
     fetch_bytes: f64,
     /// *Decoded* payload bytes the fetch expands to — what the scan-decode
     /// CPU term processes.
     decode_bytes: f64,
-    /// With [`ExecutionConfig::fetch_roundtrip`]: the morsel's payload as
-    /// really-encoded storage pages, decoded by the fetch stage instead of
-    /// handing `batch` over directly.
-    pages: Option<EncodedMorsel>,
+    /// The micro-partition this morsel reads, for tier-cache accounting:
+    /// `(table, partition ordinal, whole-partition encoded bytes)`. Set for
+    /// every scan morsel regardless of page source, so the cache simulation
+    /// sees an identical access trace under `Mem`, `Disk`, and `Tiered`.
+    tier_part: Option<TierPart>,
+}
+
+/// Identity + size of the partition behind a scan morsel.
+#[derive(Debug, Clone, Copy)]
+struct TierPart {
+    table: TableId,
+    part: u32,
+    bytes: u64,
+}
+
+/// A morsel's payload: where the fetch stage gets the batch.
+pub(crate) enum Payload {
+    /// Memory-resident batch (breaker outputs; `Mem` page source).
+    Batch(RecordBatch),
+    /// With [`ExecutionConfig::fetch_roundtrip`]: the payload as
+    /// really-encoded storage pages, decoded by the fetch stage.
+    Pages(EncodedMorsel),
+    /// Disk-backed: the fetch stage reads the partition through a
+    /// [`PageSource`] (real `CIPF` file bytes or the tier stack) — no
+    /// resident decoded table rides along.
+    File(FileMorsel),
+}
+
+/// A file-backed morsel: which partition slice to read, and through what.
+pub(crate) struct FileMorsel {
+    source: Arc<dyn PageSource>,
+    table: TableId,
+    part: u32,
+    offset: usize,
+    len: usize,
+    /// The pipeline's slot schema the fetched batch is re-labelled under.
+    schema: SchemaRef,
 }
 
 /// A morsel's payload in page form (the `fetch_roundtrip` representation).
@@ -398,10 +458,10 @@ impl Morsel {
     /// Memory-resident test morsel (no fetch bytes, no encoded pages).
     pub(crate) fn test_from_batch(batch: RecordBatch) -> Morsel {
         Morsel {
-            batch,
+            payload: Payload::Batch(batch),
             fetch_bytes: 0.0,
             decode_bytes: 0.0,
-            pages: None,
+            tier_part: None,
         }
     }
 }
@@ -448,9 +508,9 @@ impl ChainCtx {
     /// fetch bytes come from the morsel's partition statistics, not from
     /// this stage.
     pub(crate) fn fetch_morsel(&self, morsel: &Morsel) -> Result<RecordBatch> {
-        match &morsel.pages {
-            None => Ok(morsel.batch.clone()),
-            Some(em) => {
+        match &morsel.payload {
+            Payload::Batch(batch) => Ok(batch.clone()),
+            Payload::Pages(em) => {
                 let cols = em
                     .cols
                     .iter()
@@ -460,6 +520,20 @@ impl ChainCtx {
                     })
                     .collect::<Result<Vec<_>>>()?;
                 RecordBatch::from_arcs(em.schema.clone(), cols)
+            }
+            Payload::File(f) => {
+                // Real bytes: read + checksum + decode the partition file
+                // (or whatever tier physically holds it), then carve out
+                // this morsel's row range. Dict columns attach the pinned
+                // table-wide dictionary `Arc`s, so downstream wire
+                // accounting is identical to the memory path.
+                let part = f.source.read_partition(f.table, f.part as usize)?;
+                let batch = part.with_schema(f.schema.clone())?;
+                if f.offset == 0 && f.len == batch.rows() {
+                    Ok(batch)
+                } else {
+                    batch.slice(f.offset, f.len)
+                }
             }
         }
     }
@@ -702,6 +776,13 @@ impl ChainCtx {
     }
 }
 
+/// Per-query cache-accounting state: the deterministic simulator plus (for
+/// the tiered page source) the physical store mirroring its decisions.
+struct TierRuntime {
+    sim: Arc<Mutex<TierCacheSim>>,
+    store: Option<Arc<TierStore>>,
+}
+
 /// Per-node scheduling slot.
 struct NodeSlot {
     /// When this node can accept the next morsel.
@@ -763,6 +844,34 @@ impl<'a> Executor<'a> {
             (Some(p), Some(b)) => Some(p.attach_trace(b.clone())),
             _ => None,
         };
+        // Physical page source: where scan fetches read partition bytes
+        // from. Disk/Tiered wire up the catalog's on-disk page store; the
+        // executor's `source_morsels` writes each scanned table through on
+        // first touch.
+        let page_src: Option<Arc<dyn PageSource>> = match self.config.page_source {
+            PageSourceMode::Mem => None,
+            PageSourceMode::Disk => Some(Arc::new(DiskSource::new(self.catalog.page_store()?))),
+            PageSourceMode::Tiered => Some(Arc::new(TieredSource::new(self.catalog.tier_store()?))),
+        };
+        // Cache accounting: the deterministic tier simulator, advanced only
+        // from the driver's canonical accounting loop. Engaged by pricing,
+        // not by page source, so the bill is source-invariant. Physical
+        // placement mirrors the simulator only under the tiered source.
+        let tier_rt: Option<TierRuntime> = match &self.config.tiers {
+            None => None,
+            Some(pricing) => {
+                let sim =
+                    self.config.tier_sim.clone().unwrap_or_else(|| {
+                        Arc::new(Mutex::new(TierCacheSim::new(pricing.clone())))
+                    });
+                sim.lock().unwrap().begin_query();
+                let store = match self.config.page_source {
+                    PageSourceMode::Tiered => Some(self.catalog.tier_store()?),
+                    _ => None,
+                };
+                Some(TierRuntime { sim, store })
+            }
+        };
         let mut finishes = vec![SimTime::ZERO; graph.len()];
         let mut all_metrics: Vec<PipelineMetrics> = Vec::new();
         let mut open_leases: Vec<Vec<NodeSlot>> = Vec::new();
@@ -778,7 +887,8 @@ impl<'a> Executor<'a> {
                 .max()
                 .unwrap_or(SimTime::ZERO);
 
-            let (morsels, actual_source_rows) = self.source_morsels(plan, p, &mut states)?;
+            let (morsels, actual_source_rows) =
+                self.source_morsels(plan, p, &mut states, &page_src)?;
             let src_node = &plan.nodes[p.source()];
             let sink_node_est = plan.nodes[p.last()].est_rows;
             let planned_dop = dops[p.id.index()].max(1);
@@ -805,6 +915,7 @@ impl<'a> Executor<'a> {
                 ctrl,
                 pool.as_deref(),
                 &mut tracer,
+                tier_rt.as_ref(),
             )?;
             finishes[p.id.index()] = run.finish;
             resize_events += run.metrics.resizes;
@@ -945,6 +1056,7 @@ impl<'a> Executor<'a> {
         plan: &PhysicalPlan,
         p: &Pipeline,
         states: &mut HashMap<usize, Arc<NodeState>>,
+        page_src: &Option<Arc<dyn PageSource>>,
     ) -> Result<(Vec<Morsel>, Option<f64>)> {
         let src = p.source();
         match &plan.nodes[src].op {
@@ -954,6 +1066,12 @@ impl<'a> Executor<'a> {
                 ..
             } => {
                 let entry = self.catalog.get_by_id(*table_id)?;
+                // Disk-backed sources: make sure the table's CIPF files
+                // exist (idempotent per table identity) before morsels
+                // reference them.
+                if let Some(psrc) = page_src {
+                    psrc.ensure_table(&entry.table)?;
+                }
                 let schema = slots_schema(&plan.nodes[src].out_slots, &plan.slot_types);
                 let mut morsels = Vec::new();
                 let mut total_rows = 0f64;
@@ -964,13 +1082,44 @@ impl<'a> Executor<'a> {
                     if rows == 0 {
                         continue;
                     }
+                    // Partition identity rides on every morsel (whatever the
+                    // page source) so cache accounting sees one trace.
+                    let tier_part = Some(TierPart {
+                        table: *table_id,
+                        part: pi as u32,
+                        bytes: part.encoded_bytes,
+                    });
+                    let encoded = part.encoded_bytes as f64;
+                    let decoded = part.stored_bytes as f64;
+                    if let Some(psrc) = page_src {
+                        // File-backed morsels carry no resident batch: the
+                        // fetch stage reads real page-file bytes.
+                        let mut offset = 0;
+                        while offset < rows {
+                            let len = self.config.morsel_rows.min(rows - offset);
+                            let share = len as f64 / rows as f64;
+                            morsels.push(Morsel {
+                                payload: Payload::File(FileMorsel {
+                                    source: psrc.clone(),
+                                    table: *table_id,
+                                    part: pi as u32,
+                                    offset,
+                                    len,
+                                    schema: schema.clone(),
+                                }),
+                                fetch_bytes: encoded * share,
+                                decode_bytes: decoded * share,
+                                tier_part,
+                            });
+                            offset += len;
+                        }
+                        continue;
+                    }
                     // Re-label the partition's payload under the engine's
                     // slot schema without copying column data (Arc-shared).
                     let batch = part.batch.with_schema(schema.clone())?;
-                    let encoded = part.encoded_bytes as f64;
-                    let decoded = part.stored_bytes as f64;
                     if rows <= self.config.morsel_rows {
-                        morsels.push(self.scan_morsel(batch, encoded, decoded)?);
+                        morsels.push(self.scan_morsel(batch, encoded, decoded, tier_part)?);
                     } else {
                         let mut offset = 0;
                         while offset < rows {
@@ -980,6 +1129,7 @@ impl<'a> Executor<'a> {
                                 batch.slice(offset, len)?,
                                 encoded * share,
                                 decoded * share,
+                                tier_part,
                             )?);
                             offset += len;
                         }
@@ -1006,10 +1156,10 @@ impl<'a> Executor<'a> {
                 while offset < rows {
                     let len = self.config.morsel_rows.min(rows - offset);
                     morsels.push(Morsel {
-                        batch: batch.slice(offset, len)?,
+                        payload: Payload::Batch(batch.slice(offset, len)?),
                         fetch_bytes: 0.0,
                         decode_bytes: 0.0,
-                        pages: None,
+                        tier_part: None,
                     });
                     offset += len;
                 }
@@ -1031,8 +1181,9 @@ impl<'a> Executor<'a> {
         batch: RecordBatch,
         fetch_bytes: f64,
         decode_bytes: f64,
+        tier_part: Option<TierPart>,
     ) -> Result<Morsel> {
-        let pages = if self.config.fetch_roundtrip {
+        let payload = if self.config.fetch_roundtrip {
             let dense = batch.compacted();
             let cols = dense
                 .columns()
@@ -1045,18 +1196,18 @@ impl<'a> Executor<'a> {
                     }
                 })
                 .collect::<Result<Vec<_>>>()?;
-            Some(EncodedMorsel {
+            Payload::Pages(EncodedMorsel {
                 schema: dense.schema().clone(),
                 cols,
             })
         } else {
-            None
+            Payload::Batch(batch)
         };
         Ok(Morsel {
-            batch,
+            payload,
             fetch_bytes,
             decode_bytes,
-            pages,
+            tier_part,
         })
     }
 
@@ -1139,6 +1290,7 @@ impl<'a> Executor<'a> {
         ctrl: &mut dyn ScalingController,
         pool: Option<&WorkerPool>,
         tracer: &mut Tracer,
+        tier_rt: Option<&TierRuntime>,
     ) -> Result<PipelineRun> {
         let w = &self.config.models;
         let steps = self.compile_steps(plan, p)?;
@@ -1226,6 +1378,12 @@ impl<'a> Executor<'a> {
         let mut faults_injected = 0u32;
         let mut retry_bytes = 0u64;
         let mut recovery = SimDuration::ZERO;
+        let mut tier_mem_hits = 0u32;
+        let mut tier_ssd_hits = 0u32;
+        let mut tier_misses = 0u32;
+        let mut tier_promotions = 0u32;
+        let mut tier_evictions = 0u32;
+        let mut tier_saved_ns = 0u64;
 
         let morsels = Arc::new(morsels);
         let ctx = Arc::new(ChainCtx {
@@ -1284,14 +1442,71 @@ impl<'a> Executor<'a> {
                     .ok_or_else(|| CiError::Exec("no alive nodes".into()))?;
                 let assigned_at = slots[ni].free;
 
+                // Tier-cache accounting. The simulation advances *only*
+                // here, in the driver's canonical morsel order, so hit/miss/
+                // eviction sequences are a pure function of the trace —
+                // identical across page sources and execution modes. When the
+                // page source is tiered, the physical stores mirror the
+                // simulation's admissions/evictions (workers may have
+                // prefetched ahead of this loop; promotions then benefit
+                // later pipelines, never change bytes served).
+                let tier_access: Option<(CacheAccess, Option<f64>)> =
+                    match (tier_rt, &morsel.tier_part) {
+                        (Some(rt), Some(tp)) if src_is_scan && morsel.fetch_bytes > 0.0 => {
+                            let (acc, svc) = {
+                                let mut sim = rt.sim.lock().unwrap();
+                                let acc = sim.access(
+                                    CacheKey::new(tp.table, tp.part),
+                                    tp.bytes,
+                                    assigned_at,
+                                );
+                                let svc = sim.service_secs(acc.level, morsel.fetch_bytes);
+                                (acc, svc)
+                            };
+                            if let Some(store) = &rt.store {
+                                for (k, lvl) in &acc.admitted {
+                                    match lvl {
+                                        TierLevel::Mem => store.promote_mem(k.table, k.part)?,
+                                        TierLevel::Ssd => store.promote_ssd(k.table, k.part)?,
+                                        TierLevel::Object => {}
+                                    }
+                                }
+                                for (k, lvl) in &acc.evicted {
+                                    match lvl {
+                                        TierLevel::Mem => store.evict_mem(k.table, k.part),
+                                        TierLevel::Ssd => store.evict_ssd(k.table, k.part),
+                                        TierLevel::Object => {}
+                                    }
+                                }
+                            }
+                            Some((acc, svc))
+                        }
+                        _ => None,
+                    };
+                if let Some((acc, _)) = &tier_access {
+                    match acc.level {
+                        TierLevel::Mem => tier_mem_hits += 1,
+                        TierLevel::Ssd => tier_ssd_hits += 1,
+                        TierLevel::Object => tier_misses += 1,
+                    }
+                    tier_promotions += acc.admitted.len() as u32;
+                    tier_evictions += acc.evicted.len() as u32;
+                }
+
                 // Draw this morsel's faults up front: recovery decisions
                 // (reassign a preempted morsel, hedge a straggler) precede
-                // the charges they are billed under.
+                // the charges they are billed under. Cache hits never fetch
+                // from the object store, so they are never fetch-fault
+                // targets — only tier misses (or untiered fetches) are.
                 let faults = injector.as_ref().map(|inj| {
                     inj.morsel_faults(
                         pipe_stream,
                         mi as u64,
-                        src_is_scan && morsel.fetch_bytes > 0.0,
+                        src_is_scan
+                            && morsel.fetch_bytes > 0.0
+                            && tier_access
+                                .as_ref()
+                                .is_none_or(|(a, _)| a.level == TierLevel::Object),
                     )
                 });
                 let (hedged, hedge_wins) = match (&faults, &fault_profile) {
@@ -1351,9 +1566,18 @@ impl<'a> Executor<'a> {
                 let mut fetch_secs = 0.0;
 
                 // Source costs: the fetch moves encoded bytes, the decode
-                // CPU expands them to the decoded payload.
+                // CPU expands them to the decoded payload. A tier hit is
+                // served at the tier's latency/bandwidth instead of the
+                // object store's; the difference is the saved fetch time.
                 if src_is_scan {
-                    let fetch = w.scan_fetch_secs(morsel.fetch_bytes, cur_dop);
+                    let object_fetch = w.scan_fetch_secs(morsel.fetch_bytes, cur_dop);
+                    let fetch = match &tier_access {
+                        Some((_, Some(svc))) => {
+                            tier_saved_ns += ((object_fetch - svc).max(0.0) * 1e9) as u64;
+                            *svc
+                        }
+                        _ => object_fetch,
+                    };
                     fetch_secs += fetch;
                     let mut cpu = w.scan_decode_secs(morsel.decode_bytes);
                     if ctx.src_filter.is_some() {
@@ -1588,11 +1812,14 @@ impl<'a> Executor<'a> {
                     let fetch_us = SimDuration::from_secs_f64(fetch_secs).as_micros();
                     let compute_us = SimDuration::from_secs_f64(secs).as_micros();
                     if fetch_us > 0 {
-                        tracer.push(
+                        let mut ev =
                             TraceEvent::span(format!("fetch m{mi}"), "fetch", lane, t0, fetch_us)
                                 .arg("slot", ni as u64)
-                                .arg("bytes", morsel.fetch_bytes),
-                        );
+                                .arg("bytes", morsel.fetch_bytes);
+                        if let Some((a, _)) = &tier_access {
+                            ev = ev.arg("tier", a.level.code());
+                        }
+                        tracer.push(ev);
                     }
                     tracer.push(
                         TraceEvent::span(
@@ -1796,6 +2023,13 @@ impl<'a> Executor<'a> {
             tracer.count("fetch_retries", u64::from(fetch_retries));
             tracer.count("hedged_morsels", u64::from(hedged_morsels));
             tracer.count("faults_injected", u64::from(faults_injected));
+            if tier_rt.is_some() {
+                tracer.count("tier_mem_hits", u64::from(tier_mem_hits));
+                tracer.count("tier_ssd_hits", u64::from(tier_ssd_hits));
+                tracer.count("tier_misses", u64::from(tier_misses));
+                tracer.count("tier_promotions", u64::from(tier_promotions));
+                tracer.count("tier_evictions", u64::from(tier_evictions));
+            }
         }
 
         let metrics = PipelineMetrics {
@@ -1823,6 +2057,12 @@ impl<'a> Executor<'a> {
             faults_injected,
             recovery_virtual_ns: recovery.as_micros().saturating_mul(1000),
             retry_bytes,
+            tier_mem_hits,
+            tier_ssd_hits,
+            tier_misses,
+            tier_promotions,
+            tier_evictions,
+            tier_saved_ns,
         };
         Ok(PipelineRun {
             finish,

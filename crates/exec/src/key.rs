@@ -140,7 +140,11 @@ impl KeyEncoder {
         let modes: Vec<KeyMode> = columns
             .iter()
             .map(|c| match c {
-                ColumnData::Int64(_) => KeyMode::Int,
+                // Dict-encoded ints are their own canonical key: the decoded
+                // value goes inline, so no id translation between
+                // dictionaries is ever needed and cross-encoding joins
+                // (plain build, dict probe) match by value.
+                ColumnData::Int64(_) | ColumnData::DictInt { .. } => KeyMode::Int,
                 ColumnData::Float64(_) => KeyMode::Float,
                 ColumnData::Bool(_) => KeyMode::Bool,
                 ColumnData::Dict { dict, .. } => KeyMode::DictStr(dict.clone()),
@@ -208,6 +212,7 @@ impl KeyEncoder {
             .enumerate()
             .map(|(i, (mode, col))| match (mode, col) {
                 (KeyMode::Int, ColumnData::Int64(v)) => ColPlan::I64(v),
+                (KeyMode::Int, ColumnData::DictInt { ids, dict }) => ColPlan::DictI64(ids, dict),
                 (KeyMode::Float, ColumnData::Float64(v)) => ColPlan::F64(v),
                 (KeyMode::Bool, ColumnData::Bool(v)) => ColPlan::Bool(v),
                 (KeyMode::DictStr(d), ColumnData::Dict { ids, dict }) => {
@@ -404,6 +409,9 @@ pub struct RowEncoder<'a> {
 
 enum ColPlan<'a> {
     I64(&'a [i64]),
+    /// Dict-encoded ints: the *decoded value* encodes inline, exactly as a
+    /// plain int column would, so the key space is encoding-independent.
+    DictI64(&'a [u32], &'a Arc<ci_storage::dict::IntDict>),
     F64(&'a [f64]),
     Bool(&'a [bool]),
     /// Dict ids valid against the encoder's dictionary as-is.
@@ -428,6 +436,7 @@ impl ColPlan<'_> {
     fn fixed(&self, row: usize, miss: MissPolicy) -> Option<u64> {
         match self {
             ColPlan::I64(v) => Some(v[row] as u64),
+            ColPlan::DictI64(ids, dict) => Some(dict.get(ids[row]) as u64),
             ColPlan::F64(v) => Some(v[row].to_bits()),
             ColPlan::Bool(v) => Some(v[row] as u64),
             ColPlan::Ids(ids) => Some(u64::from(ids[row])),
@@ -452,6 +461,7 @@ impl ColPlan<'_> {
     fn part(&self, row: usize, miss: MissPolicy) -> KeyPart {
         match self {
             ColPlan::I64(v) => KeyPart::Int(v[row]),
+            ColPlan::DictI64(ids, dict) => KeyPart::Int(dict.get(ids[row])),
             ColPlan::F64(v) => KeyPart::FloatBits(v[row].to_bits()),
             ColPlan::Bool(v) => KeyPart::Bool(v[row]),
             ColPlan::Ids(ids) => KeyPart::DictId(u64::from(ids[row])),

@@ -47,8 +47,11 @@ pub mod scaling;
 mod trace;
 
 pub use ci_cloud::faults::{FaultInjector, FaultPlan, FaultProfile};
+pub use ci_cloud::pricing::TierPricing;
+pub use ci_cloud::tiercache::{CacheCounters, TierCacheSim, TierLevel};
 pub use ci_cloud::work::WorkModels;
 pub use ci_obs::TraceLevel;
+pub use ci_storage::tiers::{PageSource, PageSourceMode};
 pub use engine::{ExecutionConfig, ExecutionMode, Executor, QueryOutcome};
 pub use key::{DictKeyEntry, Key, KeyEncoder, KeyPart, MissPolicy};
 pub use metrics::{attribute_node_dollars, OpSample, PipelineMetrics, QueryMetrics};

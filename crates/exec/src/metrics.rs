@@ -88,6 +88,26 @@ pub struct PipelineMetrics {
     /// Object-store bytes fetched *again* because of retries or preemption
     /// re-runs — the re-billed portion of the fetch bill.
     pub retry_bytes: u64,
+    /// Scan morsels served from the memory tier of the cache hierarchy
+    /// (0 unless [`tiers`] is configured). Cache accounting advances in
+    /// canonical morsel order, so — like `fetch_retries` — these counters
+    /// are part of the cross-mode equality contract.
+    ///
+    /// [`tiers`]: crate::engine::ExecutionConfig::tiers
+    pub tier_mem_hits: u32,
+    /// Scan morsels served from the local-SSD tier.
+    pub tier_ssd_hits: u32,
+    /// Scan morsels that missed both cache tiers and fetched from the
+    /// object store.
+    pub tier_misses: u32,
+    /// Cache admissions (partition promotions into memory or SSD) the
+    /// admission policy performed during this pipeline.
+    pub tier_promotions: u32,
+    /// Cache evictions the admission policy performed to make room.
+    pub tier_evictions: u32,
+    /// Virtual nanoseconds of fetch time the cache hierarchy saved versus
+    /// fetching every morsel from the object store.
+    pub tier_saved_ns: u64,
 }
 
 impl PipelineMetrics {
@@ -260,6 +280,12 @@ mod tests {
             faults_injected: 0,
             recovery_virtual_ns: 0,
             retry_bytes: 0,
+            tier_mem_hits: 0,
+            tier_ssd_hits: 0,
+            tier_misses: 0,
+            tier_promotions: 0,
+            tier_evictions: 0,
+            tier_saved_ns: 0,
         }
     }
 

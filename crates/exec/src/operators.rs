@@ -245,12 +245,14 @@ fn num_at(c: &ColumnData, row: usize) -> Option<f64> {
     match c {
         ColumnData::Int64(v) => Some(v[row] as f64),
         ColumnData::Float64(v) => Some(v[row]),
+        ColumnData::DictInt { ids, dict } => Some(dict.get(ids[row]) as f64),
         _ => None,
     }
 }
 
 /// The canonical distinct-set key of row `row`. Strings hash by value (not
-/// by dictionary id) so the set stays consistent across encodings.
+/// by dictionary id) and dict-encoded ints by decoded value, so the set
+/// stays consistent across encodings.
 fn part_at(c: &ColumnData, row: usize) -> KeyPart {
     match c {
         ColumnData::Int64(v) => KeyPart::Int(v[row]),
@@ -258,6 +260,7 @@ fn part_at(c: &ColumnData, row: usize) -> KeyPart {
         ColumnData::Bool(v) => KeyPart::Bool(v[row]),
         ColumnData::Utf8(v) => KeyPart::Str(v[row].clone()),
         ColumnData::Dict { ids, dict } => KeyPart::Str(dict.get(ids[row]).to_owned()),
+        ColumnData::DictInt { ids, dict } => KeyPart::Int(dict.get(ids[row])),
     }
 }
 
@@ -285,8 +288,8 @@ impl AggAcc {
         match self {
             AggAcc::Count(c) => *c += 1,
             AggAcc::SumI(s) => {
-                if let Some(ColumnData::Int64(v)) = col {
-                    *s += v[row];
+                if let Some(x) = col.and_then(|c| c.int_at(row)) {
+                    *s += x;
                 }
             }
             AggAcc::SumF(s) => {
@@ -828,6 +831,9 @@ enum SortCol<'a> {
     /// Dict column compared by decoded string — the cross-dictionary
     /// fallback.
     DictStr(&'a ColumnData),
+    /// Dict-encoded ints compared by decoded value (int order needs no rank
+    /// table, and decoded comparison is valid across dictionaries).
+    DictI64(&'a [u32], &'a Arc<ci_storage::dict::IntDict>),
 }
 
 impl<'a> SortCol<'a> {
@@ -858,6 +864,7 @@ impl<'a> SortCol<'a> {
                         Some(ranks) => SortCol::DictRank(ids, ranks.clone()),
                         None => SortCol::DictStr(c),
                     },
+                    ColumnData::DictInt { ids, dict } => SortCol::DictI64(ids, dict),
                 }
             })
             .collect()
@@ -878,6 +885,11 @@ impl<'a> SortCol<'a> {
     fn cmp_across(a_col: &SortCol, a: usize, b_col: &SortCol, b: usize) -> Ordering {
         match (a_col, b_col) {
             (SortCol::I64(x), SortCol::I64(y)) => x[a].cmp(&y[b]),
+            (SortCol::DictI64(xi, xd), SortCol::DictI64(yi, yd)) => {
+                xd.get(xi[a]).cmp(&yd.get(yi[b]))
+            }
+            (SortCol::I64(x), SortCol::DictI64(yi, yd)) => x[a].cmp(&yd.get(yi[b])),
+            (SortCol::DictI64(xi, xd), SortCol::I64(y)) => xd.get(xi[a]).cmp(&y[b]),
             // NaNs compare equal, matching `Value::partial_cmp_sql`'s
             // unwrap-to-equal behaviour the sorter always used.
             (SortCol::F64(x), SortCol::F64(y)) => {

@@ -31,6 +31,7 @@ pub mod pruning;
 pub mod schema;
 pub mod selection;
 pub mod table;
+pub mod tiers;
 pub mod value;
 
 pub use batch::RecordBatch;
@@ -42,4 +43,8 @@ pub use pruning::ColumnBound;
 pub use schema::{Field, Schema};
 pub use selection::SelectionVector;
 pub use table::{Table, TableBuilder};
+pub use tiers::{
+    DiskSource, MemSource, ObjectStoreDir, PageSource, PageSourceMode, ServedFrom, StoredDict,
+    StoredTable, TierStore, TieredSource,
+};
 pub use value::{DataType, Value};

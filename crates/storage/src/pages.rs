@@ -69,7 +69,7 @@ use ci_types::{CiError, Result};
 
 use crate::batch::RecordBatch;
 use crate::column::ColumnData;
-use crate::dict::Dictionary;
+use crate::dict::{Dictionary, IntDict};
 use crate::value::DataType;
 
 /// Magic bytes opening every encoded page.
@@ -85,7 +85,8 @@ pub const PAGE_HEADER_BYTES: usize = 12;
 pub enum PageCodec {
     /// Raw decoded values.
     Plain,
-    /// Distinct-string dictionary + bit-packed per-row ids (strings only).
+    /// Distinct-value dictionary + bit-packed per-row ids (strings and
+    /// low-cardinality ints).
     Dict,
     /// Run-length encoded values.
     Rle,
@@ -145,7 +146,10 @@ impl PageCodec {
     pub fn applies_to(self, dt: DataType) -> bool {
         match self {
             PageCodec::Plain | PageCodec::Rle => true,
-            PageCodec::Dict => dt == DataType::Utf8,
+            // Dictionaries pay off wherever distinct values are few relative
+            // to rows: strings (entries dedup heap payloads) and ints
+            // (dates/enums whose *range* defeats FoR but whose NDV is tiny).
+            PageCodec::Dict => matches!(dt, DataType::Utf8 | DataType::Int64),
             // Frame of reference covers anything with an integer value
             // domain: Int64, and Bool as 0/1 (1 bit per row past the frame).
             PageCodec::For => matches!(dt, DataType::Int64 | DataType::Bool),
@@ -245,6 +249,18 @@ fn for_frame(col: &ColumnData) -> Result<Option<(i64, u32)>> {
             let any_false = v.iter().any(|&b| !b);
             (i64::from(!any_false), i64::from(any_true))
         }
+        ColumnData::DictInt { ids, dict } => match ids.first() {
+            None => return Ok(None),
+            Some(&first) => {
+                // Min/max over *referenced* values only: a slice or filter
+                // may reference a subset of the dictionary's entries.
+                let first = dict.get(first);
+                ids.iter().fold((first, first), |(lo, hi), &id| {
+                    let x = dict.get(id);
+                    (lo.min(x), hi.max(x))
+                })
+            }
+        },
         other => {
             return Err(err(format!(
                 "for codec applies to integer domains, not {}",
@@ -260,32 +276,65 @@ fn for_frame(col: &ColumnData) -> Result<Option<(i64, u32)>> {
 /// `delta − min_delta` over the `rows − 1` consecutive (wrapping) deltas.
 /// `None` for empty columns.
 fn delta_frame(col: &ColumnData) -> Result<Option<(i64, i64, u32)>> {
-    let ColumnData::Int64(v) = col else {
-        return Err(err(format!(
-            "delta codec applies to INT columns, not {}",
-            col.data_type()
-        )));
-    };
-    let Some(&first) = v.first() else {
+    let mut vals = int_values(col)?;
+    let Some(first) = vals.next() else {
         return Ok(None);
     };
     let mut min_d = 0i64;
     let mut max_d = 0i64;
     let mut seen = false;
-    for w in v.windows(2) {
-        let d = w[1].wrapping_sub(w[0]);
+    let mut prev = first;
+    for x in vals {
+        let d = x.wrapping_sub(prev);
         if !seen {
             (min_d, max_d, seen) = (d, d, true);
         } else {
             min_d = min_d.min(d);
             max_d = max_d.max(d);
         }
+        prev = x;
     }
     Ok(Some((
         first,
         min_d,
         range_bit_width(max_d.wrapping_sub(min_d) as u64),
     )))
+}
+
+/// Iterator over the decoded `i64` values of either int encoding; errors for
+/// non-int columns.
+fn int_values(col: &ColumnData) -> Result<impl Iterator<Item = i64> + '_> {
+    match col {
+        ColumnData::Int64(v) => Ok(IntValues::Plain(v.iter())),
+        ColumnData::DictInt { ids, dict } => Ok(IntValues::Dict(ids.iter(), dict)),
+        other => Err(err(format!(
+            "int codec applies to INT columns, not {}",
+            other.data_type()
+        ))),
+    }
+}
+
+enum IntValues<'a> {
+    Plain(std::slice::Iter<'a, i64>),
+    Dict(std::slice::Iter<'a, u32>, &'a crate::dict::IntDict),
+}
+
+impl Iterator for IntValues<'_> {
+    type Item = i64;
+
+    fn next(&mut self) -> Option<i64> {
+        match self {
+            IntValues::Plain(it) => it.next().copied(),
+            IntValues::Dict(it, dict) => it.next().map(|&id| dict.get(id)),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            IntValues::Plain(it) => it.size_hint(),
+            IntValues::Dict(it, _) => it.size_hint(),
+        }
+    }
 }
 
 /// Widths up to this bound take the `u64`-buffer packing fast path (the
@@ -601,6 +650,24 @@ fn referenced_entries(col: &ColumnData) -> (usize, u64) {
             }
             (count, bytes)
         }
+        ColumnData::Int64(v) => {
+            let mut seen: HashSet<i64> = HashSet::new();
+            for &x in v {
+                seen.insert(x);
+            }
+            (seen.len(), seen.len() as u64 * 8)
+        }
+        ColumnData::DictInt { ids, dict } => {
+            let mut seen = vec![false; dict.len()];
+            let mut count = 0usize;
+            for &id in ids {
+                if !seen[id as usize] {
+                    seen[id as usize] = true;
+                    count += 1;
+                }
+            }
+            (count, count as u64 * 8)
+        }
         _ => (0, 0),
     }
 }
@@ -658,6 +725,8 @@ fn rle_runs(col: &ColumnData) -> (u64, u64) {
             }
             (runs, bytes)
         }
+        // Id equality is value equality under interning, as for strings.
+        ColumnData::DictInt { ids, .. } => runs_by(ids, |&id| id, |_| 8),
     }
 }
 
@@ -669,15 +738,17 @@ pub fn encoded_size(col: &ColumnData, codec: PageCodec) -> Result<u64> {
     let rows = col.len() as u64;
     Ok(match codec {
         PageCodec::Plain => match col {
-            ColumnData::Int64(_) | ColumnData::Float64(_) => header + rows * 8,
+            ColumnData::Int64(_) | ColumnData::Float64(_) | ColumnData::DictInt { .. } => {
+                header + rows * 8
+            }
             ColumnData::Bool(_) => header + rows,
             // `byte_size` is exactly Σ (4 + len) for both string encodings.
             ColumnData::Utf8(_) | ColumnData::Dict { .. } => header + col.byte_size() as u64,
         },
         PageCodec::Dict => {
-            if col.data_type() != DataType::Utf8 {
+            if !codec.applies_to(col.data_type()) {
                 return Err(err(format!(
-                    "dict codec applies to strings, not {}",
+                    "dict codec applies to strings and ints, not {}",
                     col.data_type()
                 )));
             }
@@ -720,9 +791,21 @@ pub fn pick_codec(col: &ColumnData) -> PageCodec {
     best
 }
 
+/// Hard cap on the distinct-value count an `Int64` column may have and
+/// still be a `Dict` page candidate. The dict codec only pays when NDV is
+/// tiny (enum codes, bucketed dates), and sizing the candidate costs a hash
+/// insert per row in the fused stats pass — without a cap a 200k-row
+/// high-NDV column spends more time hashing than encoding. Once tracking
+/// passes the cap the set is dropped and `Dict` is disqualified outright;
+/// the picker contract (and [`pick_codec`]'s parity with the generic
+/// argmin) is defined over this capped candidate set.
+pub const DICT_INT_MAX_ENTRIES: usize = 4096;
+
 /// Single-pass `Int64` codec pick: identical sizes and tie-break order to
-/// the generic [`encoded_size`]-per-candidate loop (`Plain`, `Rle`, `For`,
-/// `Delta` — earlier wins on equal size).
+/// the generic [`encoded_size`]-per-candidate loop (`Plain`, `Dict`, `Rle`,
+/// `For`, `Delta` — earlier wins on equal size), except that `Dict` is
+/// disqualified past [`DICT_INT_MAX_ENTRIES`] distinct values so the stats
+/// pass never hashes an unbounded domain.
 fn pick_int_codec(v: &[i64]) -> PageCodec {
     let header = PAGE_HEADER_BYTES as u64;
     let Some(&first) = v.first() else {
@@ -734,6 +817,9 @@ fn pick_int_codec(v: &[i64]) -> PageCodec {
     let mut runs = 1u64;
     let mut prev = first;
     let mut deltas: Option<(i64, i64)> = None;
+    let mut distinct: HashSet<i64> = HashSet::new();
+    distinct.insert(first);
+    let mut dict_viable = true;
     for &x in &v[1..] {
         min = min.min(x);
         max = max.max(x);
@@ -743,13 +829,26 @@ fn pick_int_codec(v: &[i64]) -> PageCodec {
             None => (d, d),
             Some((lo, hi)) => (lo.min(d), hi.max(d)),
         });
+        if dict_viable && distinct.insert(x) && distinct.len() > DICT_INT_MAX_ENTRIES {
+            // Over the cap: free the set so the rest of the scan is pure
+            // min/max/run/delta arithmetic.
+            dict_viable = false;
+            distinct = HashSet::new();
+        }
         prev = x;
     }
     let (min_d, max_d) = deltas.unwrap_or((0, 0));
     let for_width = range_bit_width(max.wrapping_sub(min) as u64);
     let delta_width = range_bit_width(max_d.wrapping_sub(min_d) as u64);
+    let entries = distinct.len();
+    let dict_size = if dict_viable {
+        header + 4 + entries as u64 * 8 + 1 + packed_id_bytes(v.len(), id_bit_width(entries))
+    } else {
+        u64::MAX
+    };
     let candidates = [
         (header + v.len() as u64 * 8, PageCodec::Plain),
+        (dict_size, PageCodec::Dict),
         (header + 4 + runs * (4 + 8), PageCodec::Rle),
         (
             header + 8 + 1 + packed_id_bytes(v.len(), for_width),
@@ -828,7 +927,7 @@ pub const PAGE_FLAG_DICT_REF: u8 = 1;
 pub const PAGE_FLAG_WIRE_STREAM: u8 = 2;
 
 /// Bit-packs `ids` at `width` bits each, LSB-first.
-fn pack_ids(out: &mut Vec<u8>, ids: impl Iterator<Item = u32>, width: u32) {
+pub(crate) fn pack_ids(out: &mut Vec<u8>, ids: impl Iterator<Item = u32>, width: u32) {
     pack_bits(out, ids.map(u64::from), width);
 }
 
@@ -852,7 +951,42 @@ pub fn encode_column(col: &ColumnData, codec: PageCodec) -> Result<(EncodedPage,
             ColumnData::Dict { ids, dict } => {
                 ids.iter().for_each(|&id| push_str(&mut out, dict.get(id)))
             }
+            ColumnData::DictInt { ids, dict } => ids
+                .iter()
+                .for_each(|&id| out.extend_from_slice(&dict.get(id).to_le_bytes())),
         },
+        PageCodec::Dict if col.data_type() == DataType::Int64 => {
+            // Int dictionary page: local dictionary in first-appearance
+            // order (raw 8-byte entries), then bit-packed local ids — the
+            // integer twin of the string layout below.
+            let (local, local_ids): (IntDict, Vec<u32>) = match col {
+                ColumnData::Int64(v) => IntDict::encode(v.iter().copied()),
+                ColumnData::DictInt { ids, dict } => {
+                    let mut remap: Vec<u32> = vec![u32::MAX; dict.len()];
+                    let mut local = IntDict::new();
+                    let local_ids = ids
+                        .iter()
+                        .map(|&id| {
+                            if remap[id as usize] == u32::MAX {
+                                remap[id as usize] = local.intern(dict.get(id));
+                            }
+                            remap[id as usize]
+                        })
+                        .collect();
+                    (local, local_ids)
+                }
+                _ => unreachable!("int dtype guard matched a non-int column"),
+            };
+            let section_start = out.len();
+            push_u32(&mut out, local.len() as u32);
+            for &entry in local.values() {
+                out.extend_from_slice(&entry.to_le_bytes());
+            }
+            dict_bytes = (out.len() - section_start) as u64;
+            let width = id_bit_width(local.len());
+            out.push(width as u8);
+            pack_ids(&mut out, local_ids.into_iter(), width);
+        }
         PageCodec::Dict => {
             // Local dictionary in first-appearance order over this page's
             // rows only (a table-wide dictionary's unreferenced tail is not
@@ -875,7 +1009,7 @@ pub fn encode_column(col: &ColumnData, codec: PageCodec) -> Result<(EncodedPage,
                 }
                 other => {
                     return Err(err(format!(
-                        "dict codec applies to strings, not {}",
+                        "dict codec applies to strings and ints, not {}",
                         other.data_type()
                     )))
                 }
@@ -952,6 +1086,12 @@ pub fn encode_column(col: &ColumnData, codec: PageCodec) -> Result<(EncodedPage,
                     |id: &u32| *id,
                     |out: &mut Vec<u8>, id: &u32| push_str(out, dict.get(*id))
                 ),
+                ColumnData::DictInt { ids, dict } => rle!(
+                    ids.iter().copied(),
+                    |id: &u32| *id,
+                    |out: &mut Vec<u8>, id: &u32| out
+                        .extend_from_slice(&dict.get(*id).to_le_bytes())
+                ),
             }
             out[run_count_at..run_count_at + 4].copy_from_slice(&runs.to_le_bytes());
         }
@@ -970,22 +1110,29 @@ pub fn encode_column(col: &ColumnData, codec: PageCodec) -> Result<(EncodedPage,
                         v.iter().map(|&b| (i64::from(b)).wrapping_sub(min) as u64),
                         width,
                     ),
+                    ColumnData::DictInt { ids, dict } => pack_bits(
+                        &mut out,
+                        ids.iter().map(|&id| dict.get(id).wrapping_sub(min) as u64),
+                        width,
+                    ),
                     _ => unreachable!("for_frame rejected the type"),
                 }
             }
         }
         PageCodec::Delta => {
             if let Some((first, min_d, width)) = delta_frame(col)? {
-                let ColumnData::Int64(v) = col else {
-                    unreachable!("delta_frame rejected the type");
-                };
                 out.extend_from_slice(&first.to_le_bytes());
                 out.extend_from_slice(&min_d.to_le_bytes());
                 out.push(width as u8);
+                let mut vals = int_values(col).expect("delta_frame accepted the type");
+                let mut prev = vals.next().expect("non-empty by the frame");
                 pack_bits(
                     &mut out,
-                    v.windows(2)
-                        .map(|w| w[1].wrapping_sub(w[0]).wrapping_sub(min_d) as u64),
+                    vals.map(|x| {
+                        let d = x.wrapping_sub(prev).wrapping_sub(min_d) as u64;
+                        prev = x;
+                        d
+                    }),
                     width,
                 );
             }
@@ -1229,17 +1376,25 @@ fn decode_payload(
                 ColumnData::Utf8(v)
             }
         },
-        PageCodec::Dict => {
-            if dt != DataType::Utf8 {
-                return Err(err(format!("dict page with non-string dtype {dt}")));
+        PageCodec::Dict => match dt {
+            DataType::Utf8 => {
+                let dict = read_dictionary_section(c)?;
+                let ids = read_packed_ids(c, rows, dict.len())?;
+                ColumnData::Dict {
+                    ids,
+                    dict: Arc::new(dict),
+                }
             }
-            let dict = read_dictionary_section(c)?;
-            let ids = read_packed_ids(c, rows, dict.len())?;
-            ColumnData::Dict {
-                ids,
-                dict: Arc::new(dict),
+            DataType::Int64 => {
+                let dict = read_int_dictionary_section(c)?;
+                let ids = read_packed_ids(c, rows, dict.len())?;
+                ColumnData::DictInt {
+                    ids,
+                    dict: Arc::new(dict),
+                }
             }
-        }
+            _ => return Err(err(format!("dict page with unsupported dtype {dt}"))),
+        },
         PageCodec::Rle => {
             let runs = c.u32()?;
             // A run costs at least its 4-byte length plus a 1-byte value.
@@ -1414,6 +1569,26 @@ fn read_dictionary_section(c: &mut Cursor) -> Result<Dictionary> {
     Ok(dict)
 }
 
+/// Reads an int dictionary section (`u32` entry count, then raw 8-byte
+/// entries), validating the declared count against the remaining payload
+/// before interning and rejecting duplicate entries — the [`IntDict`] twin
+/// of [`read_dictionary_section`].
+fn read_int_dictionary_section(c: &mut Cursor) -> Result<IntDict> {
+    let entries = c.u32()? as usize;
+    c.need(entries as u64 * 8)?;
+    let mut dict = IntDict::new();
+    for _ in 0..entries {
+        dict.intern(c.u64()? as i64);
+    }
+    if dict.len() != entries {
+        return Err(err(format!(
+            "int dictionary section holds duplicate entries ({} distinct of {entries})",
+            dict.len()
+        )));
+    }
+    Ok(dict)
+}
+
 /// Reads a bit-packed ids section (`u8` width, then the packed ids) for a
 /// dictionary of `entries`, validating the width, the payload size (before
 /// any row-proportional allocation), and every id's range. Shared by
@@ -1438,7 +1613,7 @@ fn read_packed_ids(c: &mut Cursor, rows: usize, entries: usize) -> Result<Vec<u3
     Ok(ids)
 }
 
-fn unpack_ids(packed: &[u8], rows: usize, width: u32) -> Result<Vec<u32>> {
+pub(crate) fn unpack_ids(packed: &[u8], rows: usize, width: u32) -> Result<Vec<u32>> {
     // Callers validate widths (<= 32) and size `packed` exactly via
     // `packed_bytes_checked` + `take` before unpacking.
     let mut ids = Vec::with_capacity(rows);
@@ -1992,11 +2167,18 @@ mod tests {
 
     #[test]
     fn fused_int_pick_matches_generic_argmin() {
-        // The generic per-candidate loop the fused pass replaces.
+        // The generic per-candidate loop the fused pass replaces, with the
+        // same capped Dict candidacy the picker contract defines.
         let generic = |col: &ColumnData| {
             let mut best = PageCodec::Plain;
             let mut best_size = u64::MAX;
             for c in PageCodec::candidates(col.data_type()) {
+                if c == PageCodec::Dict
+                    && matches!(col, ColumnData::Int64(_))
+                    && referenced_entries(col).0 > DICT_INT_MAX_ENTRIES
+                {
+                    continue;
+                }
                 let size = encoded_size(col, c).unwrap();
                 if size < best_size {
                     best = c;
@@ -2016,6 +2198,10 @@ mod tests {
             (0..300)
                 .map(|i| if i % 2 == 0 { 5 } else { 900_000_000_000 })
                 .collect(),
+            // Exactly at the cap: Dict is still a candidate.
+            (0..DICT_INT_MAX_ENTRIES as i64).collect(),
+            // One over the cap: Dict is disqualified on both paths.
+            (0..=DICT_INT_MAX_ENTRIES as i64).collect(),
         ];
         for vals in cols {
             let col = ColumnData::Int64(vals);
@@ -2025,6 +2211,38 @@ mod tests {
                 "fused int pick diverged on {col:?}"
             );
         }
+    }
+
+    #[test]
+    fn int_dict_candidacy_is_capped() {
+        // Pseudo-random draws from a pool just over the cap: the exact dict
+        // page (~5 kB dictionary + packed ids) would beat Plain/RLE/FoR/Delta
+        // here, but the capped picker must refuse it — the cap is what keeps
+        // the fused stats pass from hashing every row of high-NDV columns.
+        let n = 20_000usize;
+        let pool = DICT_INT_MAX_ENTRIES + 1;
+        // A stride coprime with the pool walks every residue, so the NDV is
+        // exactly `pool` while the sequence stays run-free and wide-delta.
+        let vals: Vec<i64> = (0..n)
+            .map(|i| ((i * 1_000_003 % pool) as i64).wrapping_mul(0x0123_4567_89ab))
+            .collect();
+        let col = ColumnData::Int64(vals);
+        let (ndv, _) = referenced_entries(&col);
+        assert!(ndv > DICT_INT_MAX_ENTRIES, "fixture must exceed the cap");
+        let dict_size = encoded_size(&col, PageCodec::Dict).unwrap();
+        let picked = pick_codec(&col);
+        let picked_size = encoded_size(&col, picked).unwrap();
+        assert!(
+            dict_size < picked_size,
+            "fixture should make uncapped dict the argmin \
+             (dict {dict_size} vs {picked:?} {picked_size})"
+        );
+        assert_ne!(picked, PageCodec::Dict, "cap must disqualify dict");
+        // At or under the cap the same shape still picks Dict.
+        let small: Vec<i64> = (0..n)
+            .map(|i| ((i * 7) % 512) as i64 * 0x0123_4567_89ab)
+            .collect();
+        assert_eq!(pick_codec(&ColumnData::Int64(small)), PageCodec::Dict);
     }
 
     #[test]

@@ -1,0 +1,1060 @@
+//! Tiered page sources: real on-disk CIPG partition files behind a
+//! memory -> local-SSD -> object-store hierarchy.
+//!
+//! The rest of the workspace models the object store analytically; this
+//! module makes the *bytes* real. [`ObjectStoreDir`] persists every
+//! micro-partition of a table as one self-describing `CIPF` file — a
+//! checksummed container of per-column CIPG pages — plus a `CIPT` manifest
+//! carrying the table-wide dictionaries. A scan under
+//! `CI_PAGE_SOURCE=disk|tiered` then reads partitions back from those
+//! files through the [`PageSource`] trait instead of cloning resident
+//! batches, and must produce bit-identical rows and Dollars.
+//!
+//! # `CIPF` partition file layout
+//!
+//! ```text
+//! [0..4)   magic  "CIPF"
+//! [4]      format version (1)
+//! [5]      flags (0)
+//! [6..8)   column count, u16 LE
+//! [8..12)  row count, u32 LE
+//! [12..20) payload length, u64 LE
+//! [20..28) FNV-1a-64 checksum of the payload, u64 LE
+//! [28..]   payload: per column `kind u8 | blob_len u32 LE | blob`
+//! ```
+//!
+//! Column kinds: `0` = a self-contained CIPG page ([`crate::pages`]);
+//! `1` / `2` = bit-packed ids referencing the table-wide string / int
+//! dictionary from the manifest. Dict-ref columns exist so a decoded
+//! partition attaches the *same* `Arc`'d dictionary the in-memory table
+//! shares — wire-level dictionary deduplication (ship-once) and therefore
+//! Dollars stay identical to the in-memory path.
+//!
+//! Every malformed input — truncation, flipped bytes, forged lengths —
+//! surfaces as [`CiError::Storage`], never a panic, and length fields are
+//! validated against the actual file size *before* any proportional
+//! allocation.
+//!
+//! Decoded-value fidelity: inline (kind 0) columns restrict the codec
+//! choice so decoding reproduces the in-memory representation exactly
+//! (plain ints stay plain rather than resurfacing as fresh per-partition
+//! dictionaries), which keeps exchange wire accounting source-invariant.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ci_types::{CiError, Result, TableId};
+
+use crate::batch::RecordBatch;
+use crate::column::ColumnData;
+use crate::dict::{Dictionary, IntDict};
+use crate::pages::{
+    self, encode_best, encode_column, id_bit_width, packed_id_bytes, PageCodec, MAX_DECODE_ROWS,
+};
+use crate::schema::SchemaRef;
+use crate::table::Table;
+use crate::value::DataType;
+
+/// Magic prefix of a partition file.
+pub const PART_MAGIC: [u8; 4] = *b"CIPF";
+/// Magic prefix of a table manifest.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"CIPT";
+/// Container format version.
+pub const TIER_FILE_VERSION: u8 = 1;
+/// Fixed container header size (both file kinds).
+pub const TIER_HEADER_BYTES: usize = 28;
+
+/// Column payload kinds inside a `CIPF` file.
+const KIND_PAGE: u8 = 0;
+const KIND_DICT_REF: u8 = 1;
+const KIND_INT_DICT_REF: u8 = 2;
+
+fn serr(msg: String) -> CiError {
+    CiError::Storage(msg)
+}
+
+/// FNV-1a 64-bit — tiny, dependency-free, deterministic.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Page source selection
+// ---------------------------------------------------------------------------
+
+/// Where scans physically read partition bytes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PageSourceMode {
+    /// Resident in-memory batches (the seed behavior).
+    #[default]
+    Mem,
+    /// Every fetch reads and decodes the partition's `CIPF` file.
+    Disk,
+    /// Reads go through the memory -> SSD -> object tier stack.
+    Tiered,
+}
+
+impl PageSourceMode {
+    /// Parses `mem` / `disk` / `tiered` (case-insensitive).
+    pub fn parse(s: &str) -> Option<PageSourceMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "mem" | "memory" => Some(PageSourceMode::Mem),
+            "disk" => Some(PageSourceMode::Disk),
+            "tiered" => Some(PageSourceMode::Tiered),
+            _ => None,
+        }
+    }
+
+    /// Reads `CI_PAGE_SOURCE`; unset or unrecognized means [`Mem`].
+    ///
+    /// [`Mem`]: PageSourceMode::Mem
+    pub fn from_env() -> PageSourceMode {
+        std::env::var("CI_PAGE_SOURCE")
+            .ok()
+            .and_then(|s| PageSourceMode::parse(&s))
+            .unwrap_or_default()
+    }
+
+    /// Display label for traces and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            PageSourceMode::Mem => "mem",
+            PageSourceMode::Disk => "disk",
+            PageSourceMode::Tiered => "tiered",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table-wide dictionaries
+// ---------------------------------------------------------------------------
+
+/// Per-column table-wide dictionary, pinned so every decoded partition
+/// shares one `Arc` (identity matters for wire ship-once accounting).
+#[derive(Debug, Clone)]
+pub enum StoredDict {
+    /// No table-wide dictionary for this column.
+    None,
+    /// Shared string dictionary.
+    Str(Arc<Dictionary>),
+    /// Shared integer dictionary.
+    Int(Arc<IntDict>),
+}
+
+/// One table registered in an [`ObjectStoreDir`]: its schema, partition
+/// count, on-disk location, and pinned dictionaries.
+#[derive(Debug)]
+pub struct StoredTable {
+    /// Directory holding `part-N.cipf` files and `table.cipt`.
+    pub dir: PathBuf,
+    /// Table schema (decoded partitions carry it).
+    pub schema: SchemaRef,
+    /// Number of partition files.
+    pub parts: usize,
+    dicts: Vec<StoredDict>,
+    /// Identity of the source `Arc<Table>` used for idempotent re-writes
+    /// (0 when attached from disk without a source table).
+    ident: usize,
+}
+
+impl StoredTable {
+    /// The pinned dictionary of column `i`.
+    pub fn dict(&self, i: usize) -> &StoredDict {
+        &self.dicts[i]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Encodes one column as a kind-0 inline page whose decode reproduces the
+/// in-memory representation exactly: plain int columns never pick the Dict
+/// codec (which would decode into a fresh per-partition dictionary), and
+/// plain string columns stay Plain.
+fn inline_page_bytes(col: &ColumnData) -> Result<Vec<u8>> {
+    match col {
+        ColumnData::Int64(_) => {
+            let mut best: Option<(usize, PageCodec)> = None;
+            for codec in PageCodec::candidates(DataType::Int64) {
+                if codec == PageCodec::Dict {
+                    continue;
+                }
+                let (_, bytes) = encode_column(col, codec)?;
+                if best.as_ref().is_none_or(|(sz, _)| bytes.len() < *sz) {
+                    best = Some((bytes.len(), codec));
+                }
+            }
+            let (_, codec) = best.expect("Int64 always has candidate codecs");
+            Ok(encode_column(col, codec)?.1)
+        }
+        ColumnData::Utf8(_) => Ok(encode_column(col, PageCodec::Plain)?.1),
+        ColumnData::Float64(_) | ColumnData::Bool(_) => Ok(encode_best(col)?.1),
+        // Dictionary columns without a table-wide dictionary: store the
+        // materialized values. (Unreachable through the catalog, which
+        // always produces table-wide dictionaries; representation may then
+        // legitimately differ from the resident batch.)
+        ColumnData::Dict { ids, dict } => {
+            let vals: Vec<String> = ids.iter().map(|&id| dict.get(id).to_string()).collect();
+            Ok(encode_column(&ColumnData::Utf8(vals), PageCodec::Plain)?.1)
+        }
+        ColumnData::DictInt { ids, dict } => {
+            let vals: Vec<i64> = ids.iter().map(|&id| dict.get(id)).collect();
+            inline_page_bytes(&ColumnData::Int64(vals))
+        }
+    }
+}
+
+fn push_header(out: &mut Vec<u8>, magic: [u8; 4], cols: u16, rows: u32, payload: &[u8]) {
+    out.extend_from_slice(&magic);
+    out.push(TIER_FILE_VERSION);
+    out.push(0); // flags
+    out.extend_from_slice(&cols.to_le_bytes());
+    out.extend_from_slice(&rows.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Serializes one dense partition batch against the table-wide dicts.
+fn encode_partition(batch: &RecordBatch, dicts: &[StoredDict]) -> Result<Vec<u8>> {
+    let rows = batch.rows();
+    if rows > MAX_DECODE_ROWS {
+        return Err(serr(format!(
+            "partition of {rows} rows exceeds the page bound of {MAX_DECODE_ROWS}"
+        )));
+    }
+    let mut payload = Vec::new();
+    for (i, col) in batch.columns().iter().enumerate() {
+        let (kind, blob) = match (col.as_ref(), &dicts[i]) {
+            (ColumnData::Dict { ids, dict }, StoredDict::Str(td)) if Arc::ptr_eq(dict, td) => {
+                let width = id_bit_width(td.len());
+                let mut b = vec![width as u8];
+                pages::pack_ids(&mut b, ids.iter().copied(), width);
+                (KIND_DICT_REF, b)
+            }
+            (ColumnData::DictInt { ids, dict }, StoredDict::Int(td)) if Arc::ptr_eq(dict, td) => {
+                let width = id_bit_width(td.len());
+                let mut b = vec![width as u8];
+                pages::pack_ids(&mut b, ids.iter().copied(), width);
+                (KIND_INT_DICT_REF, b)
+            }
+            _ => (KIND_PAGE, inline_page_bytes(col)?),
+        };
+        payload.push(kind);
+        payload.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&blob);
+    }
+    let mut out = Vec::with_capacity(TIER_HEADER_BYTES + payload.len());
+    push_header(
+        &mut out,
+        PART_MAGIC,
+        batch.columns().len() as u16,
+        rows as u32,
+        &payload,
+    );
+    Ok(out)
+}
+
+/// Serializes the table manifest: per-column table-wide dictionaries.
+fn encode_manifest(dicts: &[StoredDict], parts: usize) -> Vec<u8> {
+    let mut payload = Vec::new();
+    for d in dicts {
+        match d {
+            StoredDict::None => payload.push(0),
+            StoredDict::Str(dict) => {
+                payload.push(1);
+                payload.extend_from_slice(&(dict.len() as u32).to_le_bytes());
+                for v in dict.values() {
+                    payload.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                    payload.extend_from_slice(v.as_bytes());
+                }
+            }
+            StoredDict::Int(dict) => {
+                payload.push(2);
+                payload.extend_from_slice(&(dict.len() as u32).to_le_bytes());
+                for &v in dict.values() {
+                    payload.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(TIER_HEADER_BYTES + payload.len());
+    push_header(
+        &mut out,
+        MANIFEST_MAGIC,
+        dicts.len() as u16,
+        parts as u32,
+        &payload,
+    );
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct TierCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    what: &'a str,
+}
+
+impl<'a> TierCursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.bytes.len() - self.pos < n {
+            return Err(serr(format!(
+                "{}: truncated payload (need {n} bytes at offset {}, have {})",
+                self.what,
+                self.pos,
+                self.bytes.len() - self.pos
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// Validates a container header against the actual byte length and returns
+/// `(cols, rows, payload)`. Checksums the payload.
+fn open_container<'a>(bytes: &'a [u8], magic: [u8; 4], what: &str) -> Result<(u16, u32, &'a [u8])> {
+    if bytes.len() < TIER_HEADER_BYTES {
+        return Err(serr(format!(
+            "{what}: file of {} bytes is shorter than the {TIER_HEADER_BYTES}-byte header",
+            bytes.len()
+        )));
+    }
+    if bytes[0..4] != magic {
+        return Err(serr(format!(
+            "{what}: bad magic {:02x?} (want {:02x?})",
+            &bytes[0..4],
+            magic
+        )));
+    }
+    if bytes[4] != TIER_FILE_VERSION {
+        return Err(serr(format!(
+            "{what}: unsupported version {} (want {TIER_FILE_VERSION})",
+            bytes[4]
+        )));
+    }
+    if bytes[5] != 0 {
+        return Err(serr(format!("{what}: unknown flags {:#x}", bytes[5])));
+    }
+    let cols = u16::from_le_bytes(bytes[6..8].try_into().unwrap());
+    let rows = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let checksum = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
+    // Forged lengths fail here, against the real file size, before any
+    // payload-proportional allocation.
+    if payload_len != (bytes.len() - TIER_HEADER_BYTES) as u64 {
+        return Err(serr(format!(
+            "{what}: payload length {payload_len} disagrees with file size {}",
+            bytes.len()
+        )));
+    }
+    let payload = &bytes[TIER_HEADER_BYTES..];
+    let actual = fnv1a64(payload);
+    if actual != checksum {
+        return Err(serr(format!(
+            "{what}: checksum mismatch (stored {checksum:#018x}, computed {actual:#018x})"
+        )));
+    }
+    Ok((cols, rows, payload))
+}
+
+/// Decodes a dict-ref blob (`width u8 | packed ids`) against `entries`.
+fn decode_dict_ref(blob: &[u8], rows: usize, entries: usize, what: &str) -> Result<Vec<u32>> {
+    if blob.is_empty() {
+        return Err(serr(format!("{what}: empty dict-ref blob")));
+    }
+    let width = blob[0] as u32;
+    if width > 32 || (entries > 1 && width < id_bit_width(entries)) {
+        return Err(serr(format!(
+            "{what}: dict-ref bit width {width} invalid for {entries} entries"
+        )));
+    }
+    if rows > 0 && entries == 0 {
+        return Err(serr(format!("{what}: {rows} rows but empty dictionary")));
+    }
+    let expect = packed_id_bytes(rows, width);
+    if (blob.len() - 1) as u64 != expect {
+        return Err(serr(format!(
+            "{what}: dict-ref blob holds {} packed bytes, want {expect}",
+            blob.len() - 1
+        )));
+    }
+    let ids = pages::unpack_ids(&blob[1..], rows, width)?;
+    if let Some(&bad) = ids.iter().find(|&&id| id as usize >= entries.max(1)) {
+        return Err(serr(format!(
+            "{what}: dict-ref id {bad} out of range for {entries} entries"
+        )));
+    }
+    Ok(ids)
+}
+
+/// Decodes one `CIPF` partition file against a table's schema + dicts.
+fn decode_partition(bytes: &[u8], stored: &StoredTable, what: &str) -> Result<RecordBatch> {
+    let (cols, rows, payload) = open_container(bytes, PART_MAGIC, what)?;
+    if cols as usize != stored.schema.arity() {
+        return Err(serr(format!(
+            "{what}: {cols} columns, schema has {}",
+            stored.schema.arity()
+        )));
+    }
+    let rows = rows as usize;
+    if rows > MAX_DECODE_ROWS {
+        return Err(serr(format!(
+            "{what}: {rows} rows exceeds the decoder bound of {MAX_DECODE_ROWS}"
+        )));
+    }
+    let mut c = TierCursor {
+        bytes: payload,
+        pos: 0,
+        what,
+    };
+    let mut out: Vec<ColumnData> = Vec::with_capacity(cols as usize);
+    for i in 0..cols as usize {
+        let kind = c.u8()?;
+        let blob_len = c.u32()? as usize;
+        let blob = c.take(blob_len)?;
+        let col = match kind {
+            KIND_PAGE => {
+                let col = pages::decode_column(blob)?;
+                if col.len() != rows {
+                    return Err(serr(format!(
+                        "{what}: column {i} decoded {} rows, file declares {rows}",
+                        col.len()
+                    )));
+                }
+                col
+            }
+            KIND_DICT_REF => match &stored.dicts[i] {
+                StoredDict::Str(d) => ColumnData::Dict {
+                    ids: decode_dict_ref(blob, rows, d.len(), what)?,
+                    dict: d.clone(),
+                },
+                _ => {
+                    return Err(serr(format!(
+                        "{what}: column {i} references a string dictionary the manifest lacks"
+                    )))
+                }
+            },
+            KIND_INT_DICT_REF => match &stored.dicts[i] {
+                StoredDict::Int(d) => ColumnData::DictInt {
+                    ids: decode_dict_ref(blob, rows, d.len(), what)?,
+                    dict: d.clone(),
+                },
+                _ => {
+                    return Err(serr(format!(
+                        "{what}: column {i} references an int dictionary the manifest lacks"
+                    )))
+                }
+            },
+            other => return Err(serr(format!("{what}: unknown column kind {other}"))),
+        };
+        if col.data_type() != stored.schema.field(i).data_type {
+            return Err(serr(format!(
+                "{what}: column {i} decoded as {:?}, schema wants {:?}",
+                col.data_type(),
+                stored.schema.field(i).data_type
+            )));
+        }
+        out.push(col);
+    }
+    if !c.done() {
+        return Err(serr(format!(
+            "{what}: {} trailing payload bytes after the last column",
+            payload.len() - c.pos
+        )));
+    }
+    RecordBatch::new(stored.schema.clone(), out)
+        .map_err(|e| serr(format!("{what}: malformed decoded batch: {e}")))
+}
+
+/// Parses a `CIPT` manifest into `(parts, dicts)`.
+fn decode_manifest(bytes: &[u8], arity: usize, what: &str) -> Result<(usize, Vec<StoredDict>)> {
+    let (cols, parts, payload) = open_container(bytes, MANIFEST_MAGIC, what)?;
+    if cols as usize != arity {
+        return Err(serr(format!(
+            "{what}: manifest covers {cols} columns, schema has {arity}"
+        )));
+    }
+    let mut c = TierCursor {
+        bytes: payload,
+        pos: 0,
+        what,
+    };
+    let mut dicts = Vec::with_capacity(arity);
+    for i in 0..arity {
+        match c.u8()? {
+            0 => dicts.push(StoredDict::None),
+            1 => {
+                let n = c.u32()? as usize;
+                let mut d = Dictionary::new();
+                for _ in 0..n {
+                    let len = c.u32()? as usize;
+                    let raw = c.take(len)?;
+                    let s = std::str::from_utf8(raw)
+                        .map_err(|_| serr(format!("{what}: non-UTF-8 dictionary entry")))?;
+                    d.intern(s);
+                }
+                if d.len() != n {
+                    return Err(serr(format!(
+                        "{what}: column {i} dictionary holds duplicate entries"
+                    )));
+                }
+                dicts.push(StoredDict::Str(Arc::new(d)));
+            }
+            2 => {
+                let n = c.u32()? as usize;
+                let mut d = IntDict::new();
+                for _ in 0..n {
+                    let v = c.i64()?;
+                    d.intern(v);
+                }
+                if d.len() != n {
+                    return Err(serr(format!(
+                        "{what}: column {i} int dictionary holds duplicate entries"
+                    )));
+                }
+                dicts.push(StoredDict::Int(Arc::new(d)));
+            }
+            other => return Err(serr(format!("{what}: unknown dictionary kind {other}"))),
+        }
+    }
+    if !c.done() {
+        return Err(serr(format!(
+            "{what}: trailing bytes after the last dictionary"
+        )));
+    }
+    Ok((parts as usize, dicts))
+}
+
+// ---------------------------------------------------------------------------
+// ObjectStoreDir
+// ---------------------------------------------------------------------------
+
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(prefix: &str) -> Result<PathBuf> {
+    let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("{prefix}-{}-{seq}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| serr(format!("creating {}: {e}", dir.display())))?;
+    Ok(dir)
+}
+
+/// The simulated object store made physical: a directory of per-table
+/// subdirectories, each holding `part-N.cipf` partition files plus a
+/// `table.cipt` manifest. Registration writes the files; reads go through
+/// [`ObjectStoreDir::read_partition`], which verifies checksums and decodes
+/// pages — no resident decoded tables on this path.
+#[derive(Debug)]
+pub struct ObjectStoreDir {
+    root: PathBuf,
+    owns_root: bool,
+    tables: Mutex<HashMap<TableId, Arc<StoredTable>>>,
+}
+
+impl ObjectStoreDir {
+    /// Opens (creating if needed) a store rooted at `path`.
+    pub fn at(path: impl Into<PathBuf>) -> Result<ObjectStoreDir> {
+        let root = path.into();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| serr(format!("creating {}: {e}", root.display())))?;
+        Ok(ObjectStoreDir {
+            root,
+            owns_root: false,
+            tables: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// A store under a fresh process-unique temp directory, removed on drop.
+    pub fn temp() -> Result<ObjectStoreDir> {
+        let root = temp_dir("ci-objstore")?;
+        Ok(ObjectStoreDir {
+            root,
+            owns_root: true,
+            tables: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Root directory of the store.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn table_dir(&self, id: TableId) -> PathBuf {
+        self.root.join(format!("t{}", id.index()))
+    }
+
+    /// Path of one partition file (exists only after `ensure_table`).
+    pub fn partition_path(&self, id: TableId, part: usize) -> PathBuf {
+        self.table_dir(id).join(format!("part-{part}.cipf"))
+    }
+
+    /// The registered metadata for `id`, if any.
+    pub fn stored(&self, id: TableId) -> Option<Arc<StoredTable>> {
+        self.tables.lock().unwrap().get(&id).cloned()
+    }
+
+    /// Writes (or re-writes, if the table object changed identity) every
+    /// partition of `table` as a `CIPF` file plus the manifest. Idempotent
+    /// per `Arc` identity: repeated calls with the same `Arc<Table>` only
+    /// pay a pointer compare.
+    pub fn ensure_table(&self, table: &Arc<Table>) -> Result<Arc<StoredTable>> {
+        let ident = Arc::as_ptr(table) as usize;
+        let mut tables = self.tables.lock().unwrap();
+        if let Some(st) = tables.get(&table.id) {
+            if st.ident == ident {
+                return Ok(st.clone());
+            }
+        }
+        let dicts: Vec<StoredDict> = (0..table.schema.arity())
+            .map(|i| {
+                if let Some(d) = table.column_dictionary(i) {
+                    StoredDict::Str(d.clone())
+                } else if let Some(d) = table.column_int_dictionary(i) {
+                    StoredDict::Int(d.clone())
+                } else {
+                    StoredDict::None
+                }
+            })
+            .collect();
+        let dir = self.table_dir(table.id);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| serr(format!("creating {}: {e}", dir.display())))?;
+        for (pi, part) in table.partitions.iter().enumerate() {
+            let bytes = encode_partition(&part.batch, &dicts)?;
+            let path = dir.join(format!("part-{pi}.cipf"));
+            std::fs::write(&path, &bytes)
+                .map_err(|e| serr(format!("writing {}: {e}", path.display())))?;
+        }
+        let manifest = encode_manifest(&dicts, table.partitions.len());
+        let mpath = dir.join("table.cipt");
+        std::fs::write(&mpath, &manifest)
+            .map_err(|e| serr(format!("writing {}: {e}", mpath.display())))?;
+        let st = Arc::new(StoredTable {
+            dir,
+            schema: table.schema.clone(),
+            parts: table.partitions.len(),
+            dicts,
+            ident,
+        });
+        tables.insert(table.id, st.clone());
+        Ok(st)
+    }
+
+    /// Cold-opens a table already on disk from its manifest alone — the
+    /// self-description path: no source `Table` needed.
+    pub fn attach(&self, id: TableId, schema: SchemaRef) -> Result<Arc<StoredTable>> {
+        let dir = self.table_dir(id);
+        let mpath = dir.join("table.cipt");
+        let bytes =
+            std::fs::read(&mpath).map_err(|e| serr(format!("reading {}: {e}", mpath.display())))?;
+        let what = format!("{}", mpath.display());
+        let (parts, dicts) = decode_manifest(&bytes, schema.arity(), &what)?;
+        let st = Arc::new(StoredTable {
+            dir,
+            schema,
+            parts,
+            dicts,
+            ident: 0,
+        });
+        self.tables.lock().unwrap().insert(id, st.clone());
+        Ok(st)
+    }
+
+    /// Reads and decodes one partition file, verifying its checksum.
+    pub fn read_partition(&self, id: TableId, part: usize) -> Result<RecordBatch> {
+        let stored = self
+            .stored(id)
+            .ok_or_else(|| serr(format!("table {id} is not registered in the page store")))?;
+        let path = self.partition_path(id, part);
+        let bytes =
+            std::fs::read(&path).map_err(|e| serr(format!("reading {}: {e}", path.display())))?;
+        decode_partition(&bytes, &stored, &format!("{}", path.display()))
+    }
+}
+
+impl Drop for ObjectStoreDir {
+    fn drop(&mut self) {
+        if self.owns_root {
+            let _ = std::fs::remove_dir_all(&self.root);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TierStore: physical residency
+// ---------------------------------------------------------------------------
+
+/// Which physical layer served a [`TierStore`] read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedFrom {
+    /// In-memory decoded-batch cache.
+    Mem,
+    /// Local-SSD copy of the encoded file.
+    Ssd,
+    /// The backing object store directory.
+    Object,
+}
+
+/// Physical tier residency: a memory cache of decoded batches and a
+/// local-SSD directory of encoded file copies in front of an
+/// [`ObjectStoreDir`]. Placement is *driven from outside* (by the
+/// deterministic cache simulator in `ci-cloud`); this type only moves
+/// bytes, so reads are correct no matter which tier serves them.
+#[derive(Debug)]
+pub struct TierStore {
+    store: Arc<ObjectStoreDir>,
+    ssd_root: PathBuf,
+    owns_ssd: bool,
+    mem: Mutex<HashMap<(TableId, u32), RecordBatch>>,
+}
+
+impl TierStore {
+    /// A tier stack over `store` with a fresh temp SSD directory.
+    pub fn new(store: Arc<ObjectStoreDir>) -> Result<TierStore> {
+        let ssd_root = temp_dir("ci-ssdcache")?;
+        Ok(TierStore {
+            store,
+            ssd_root,
+            owns_ssd: true,
+            mem: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The backing object store.
+    pub fn object_store(&self) -> &Arc<ObjectStoreDir> {
+        &self.store
+    }
+
+    fn ssd_path(&self, id: TableId, part: u32) -> PathBuf {
+        self.ssd_root.join(format!("t{}-p{part}.cipf", id.index()))
+    }
+
+    /// Decodes the partition once and keeps the batch in the memory tier.
+    pub fn promote_mem(&self, id: TableId, part: u32) -> Result<()> {
+        let batch = self.store.read_partition(id, part as usize)?;
+        self.mem.lock().unwrap().insert((id, part), batch);
+        Ok(())
+    }
+
+    /// Copies the encoded partition file into the SSD cache directory.
+    pub fn promote_ssd(&self, id: TableId, part: u32) -> Result<()> {
+        let src = self.store.partition_path(id, part as usize);
+        let dst = self.ssd_path(id, part);
+        std::fs::copy(&src, &dst)
+            .map(|_| ())
+            .map_err(|e| serr(format!("copying {} to ssd cache: {e}", src.display())))
+    }
+
+    /// Drops a partition from the memory tier (no-op if absent).
+    pub fn evict_mem(&self, id: TableId, part: u32) {
+        self.mem.lock().unwrap().remove(&(id, part));
+    }
+
+    /// Drops a partition's SSD copy (no-op if absent).
+    pub fn evict_ssd(&self, id: TableId, part: u32) {
+        let _ = std::fs::remove_file(self.ssd_path(id, part));
+    }
+
+    /// Reads one partition from the highest-resident tier. All tiers hold
+    /// byte-identical content, so the serving layer never affects values —
+    /// only where the bytes physically came from.
+    pub fn read_partition(&self, id: TableId, part: usize) -> Result<(RecordBatch, ServedFrom)> {
+        let key = (id, part as u32);
+        if let Some(b) = self.mem.lock().unwrap().get(&key) {
+            return Ok((b.clone(), ServedFrom::Mem));
+        }
+        let ssd = self.ssd_path(id, key.1);
+        if ssd.exists() {
+            let stored = self
+                .store
+                .stored(id)
+                .ok_or_else(|| serr(format!("table {id} is not registered in the page store")))?;
+            let bytes =
+                std::fs::read(&ssd).map_err(|e| serr(format!("reading {}: {e}", ssd.display())))?;
+            let batch = decode_partition(&bytes, &stored, &format!("{}", ssd.display()))?;
+            return Ok((batch, ServedFrom::Ssd));
+        }
+        Ok((self.store.read_partition(id, part)?, ServedFrom::Object))
+    }
+
+    /// Number of partitions resident in the memory tier.
+    pub fn mem_entries(&self) -> usize {
+        self.mem.lock().unwrap().len()
+    }
+}
+
+impl Drop for TierStore {
+    fn drop(&mut self) {
+        if self.owns_ssd {
+            let _ = std::fs::remove_dir_all(&self.ssd_root);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PageSource trait
+// ---------------------------------------------------------------------------
+
+/// Where the execution engine's scans get partition batches. The in-memory
+/// path, plain file reads, and the tier stack all implement it, so the
+/// engine can switch sources without touching operator code — and the
+/// equivalence tests can demand bit-identical results across all three.
+pub trait PageSource: fmt::Debug + Send + Sync {
+    /// Makes sure `table`'s pages exist in this source (writes files on
+    /// first call for disk-backed sources; no-op for memory).
+    fn ensure_table(&self, table: &Arc<Table>) -> Result<()>;
+
+    /// Fetches one whole partition as a dense batch.
+    fn read_partition(&self, table: TableId, part: usize) -> Result<RecordBatch>;
+
+    /// Which mode this source implements.
+    fn mode(&self) -> PageSourceMode;
+}
+
+/// Serves partitions from resident `Arc<Table>`s — the seed fetch path
+/// expressed through the trait.
+#[derive(Debug, Default)]
+pub struct MemSource {
+    tables: Mutex<HashMap<TableId, Arc<Table>>>,
+}
+
+impl MemSource {
+    /// An empty source; tables register through `ensure_table`.
+    pub fn new() -> MemSource {
+        MemSource::default()
+    }
+}
+
+impl PageSource for MemSource {
+    fn ensure_table(&self, table: &Arc<Table>) -> Result<()> {
+        self.tables.lock().unwrap().insert(table.id, table.clone());
+        Ok(())
+    }
+
+    fn read_partition(&self, table: TableId, part: usize) -> Result<RecordBatch> {
+        let tables = self.tables.lock().unwrap();
+        let t = tables
+            .get(&table)
+            .ok_or_else(|| serr(format!("table {table} is not registered in the page store")))?;
+        let p = t
+            .partitions
+            .get(part)
+            .ok_or_else(|| serr(format!("table {table} has no partition {part}")))?;
+        Ok(p.batch.clone())
+    }
+
+    fn mode(&self) -> PageSourceMode {
+        PageSourceMode::Mem
+    }
+}
+
+/// Reads every partition straight from its `CIPF` file.
+#[derive(Debug)]
+pub struct DiskSource {
+    store: Arc<ObjectStoreDir>,
+}
+
+impl DiskSource {
+    /// A source over the given store.
+    pub fn new(store: Arc<ObjectStoreDir>) -> DiskSource {
+        DiskSource { store }
+    }
+}
+
+impl PageSource for DiskSource {
+    fn ensure_table(&self, table: &Arc<Table>) -> Result<()> {
+        self.store.ensure_table(table).map(|_| ())
+    }
+
+    fn read_partition(&self, table: TableId, part: usize) -> Result<RecordBatch> {
+        self.store.read_partition(table, part)
+    }
+
+    fn mode(&self) -> PageSourceMode {
+        PageSourceMode::Disk
+    }
+}
+
+/// Reads through the physical tier stack (memory, then SSD, then object).
+#[derive(Debug)]
+pub struct TieredSource {
+    tiers: Arc<TierStore>,
+}
+
+impl TieredSource {
+    /// A source over the given tier stack.
+    pub fn new(tiers: Arc<TierStore>) -> TieredSource {
+        TieredSource { tiers }
+    }
+
+    /// The underlying tier stack (for applying placement decisions).
+    pub fn tiers(&self) -> &Arc<TierStore> {
+        &self.tiers
+    }
+}
+
+impl PageSource for TieredSource {
+    fn ensure_table(&self, table: &Arc<Table>) -> Result<()> {
+        self.tiers.object_store().ensure_table(table).map(|_| ())
+    }
+
+    fn read_partition(&self, table: TableId, part: usize) -> Result<RecordBatch> {
+        self.tiers.read_partition(table, part).map(|(b, _)| b)
+    }
+
+    fn mode(&self) -> PageSourceMode {
+        PageSourceMode::Tiered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::table::TableBuilder;
+
+    fn sample_table(id: u32) -> Arc<Table> {
+        let schema: SchemaRef = Arc::new(Schema::of(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Float64),
+            Field::new("tag", DataType::Utf8),
+            Field::new("code", DataType::Int64),
+            Field::new("ok", DataType::Bool),
+        ]));
+        let n = 100i64;
+        let batch = RecordBatch::new(
+            schema.clone(),
+            vec![
+                ColumnData::Int64((0..n).collect()),
+                ColumnData::Float64((0..n).map(|i| i as f64 * 0.5).collect()),
+                ColumnData::Utf8((0..n).map(|i| format!("tag{}", i % 3)).collect()),
+                ColumnData::Int64((0..n).map(|i| i % 4).collect()),
+                ColumnData::Bool((0..n).map(|i| i % 2 == 0).collect()),
+            ],
+        )
+        .unwrap();
+        let mut b = TableBuilder::new(TableId::new(id), "sample", schema, 16).unwrap();
+        b.append(batch).unwrap();
+        Arc::new(b.finish().unwrap().dict_encoded().dict_encoded_ints(16))
+    }
+
+    #[test]
+    fn round_trip_is_exact_and_pins_dictionaries() {
+        let table = sample_table(1);
+        let store = ObjectStoreDir::temp().unwrap();
+        store.ensure_table(&table).unwrap();
+        for (pi, part) in table.partitions.iter().enumerate() {
+            let got = store.read_partition(table.id, pi).unwrap();
+            assert_eq!(got, part.batch, "partition {pi}");
+            // Dict columns must attach the very same Arc the table shares.
+            let (_, orig_dict) = part.batch.column(2).as_dict().unwrap();
+            let (_, got_dict) = got.column(2).as_dict().unwrap();
+            assert!(Arc::ptr_eq(orig_dict, got_dict));
+            let (_, oi) = part.batch.column(3).as_int_dict().unwrap();
+            let (_, gi) = got.column(3).as_int_dict().unwrap();
+            assert!(Arc::ptr_eq(oi, gi));
+        }
+    }
+
+    #[test]
+    fn ensure_is_idempotent_by_identity() {
+        let table = sample_table(2);
+        let store = ObjectStoreDir::temp().unwrap();
+        let a = store.ensure_table(&table).unwrap();
+        let b = store.ensure_table(&table).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn cold_open_from_manifest_reproduces_values() {
+        let table = sample_table(3);
+        let store = ObjectStoreDir::temp().unwrap();
+        store.ensure_table(&table).unwrap();
+        // A second store over the same directory, knowing only the schema.
+        let cold = ObjectStoreDir::at(store.root()).unwrap();
+        cold.attach(table.id, table.schema.clone()).unwrap();
+        let got = cold.read_partition(table.id, 0).unwrap();
+        assert_eq!(got, table.partitions[0].batch);
+    }
+
+    #[test]
+    fn corrupted_bytes_fail_typed() {
+        let table = sample_table(4);
+        let store = ObjectStoreDir::temp().unwrap();
+        store.ensure_table(&table).unwrap();
+        let path = store.partition_path(table.id, 0);
+        let good = std::fs::read(&path).unwrap();
+        // Flip one payload byte: the checksum must catch it.
+        let mut bad = good.clone();
+        *bad.last_mut().unwrap() ^= 0xff;
+        std::fs::write(&path, &bad).unwrap();
+        match store.read_partition(table.id, 0) {
+            Err(CiError::Storage(_)) => {}
+            other => panic!("want Storage error, got {other:?}"),
+        }
+        std::fs::write(&path, &good).unwrap();
+        assert!(store.read_partition(table.id, 0).is_ok());
+    }
+
+    #[test]
+    fn tier_store_serves_identical_bytes_from_every_layer() {
+        let table = sample_table(5);
+        let store = Arc::new(ObjectStoreDir::temp().unwrap());
+        store.ensure_table(&table).unwrap();
+        let tiers = TierStore::new(store).unwrap();
+        let (from_object, s0) = tiers.read_partition(table.id, 0).unwrap();
+        assert_eq!(s0, ServedFrom::Object);
+        tiers.promote_ssd(table.id, 0).unwrap();
+        let (from_ssd, s1) = tiers.read_partition(table.id, 0).unwrap();
+        assert_eq!(s1, ServedFrom::Ssd);
+        tiers.promote_mem(table.id, 0).unwrap();
+        let (from_mem, s2) = tiers.read_partition(table.id, 0).unwrap();
+        assert_eq!(s2, ServedFrom::Mem);
+        assert_eq!(from_object, from_ssd);
+        assert_eq!(from_object, from_mem);
+        tiers.evict_mem(table.id, 0);
+        tiers.evict_ssd(table.id, 0);
+        let (_, s3) = tiers.read_partition(table.id, 0).unwrap();
+        assert_eq!(s3, ServedFrom::Object);
+    }
+
+    #[test]
+    fn mode_parses_env_strings() {
+        assert_eq!(PageSourceMode::parse("mem"), Some(PageSourceMode::Mem));
+        assert_eq!(PageSourceMode::parse("DISK"), Some(PageSourceMode::Disk));
+        assert_eq!(
+            PageSourceMode::parse("tiered"),
+            Some(PageSourceMode::Tiered)
+        );
+        assert_eq!(PageSourceMode::parse("bogus"), None);
+    }
+}
